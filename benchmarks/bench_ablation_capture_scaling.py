@@ -1,0 +1,74 @@
+"""Ablation: capture cost scaling with capture-set size.
+
+Fixes the workload (RW on the web-BS stand-in) and sweeps how many
+vertices the DebugConfig captures, from a handful to everything. Shows
+the overhead decomposition the Figure 7 discussion relies on: a roughly
+fixed per-superstep instrumentation cost plus a per-captured-record
+serialization cost.
+"""
+
+from bench_helpers import GRID_SEED, rw_spec
+from repro.bench import render_table, repeat_timed
+from repro.graft import DebugConfig, debug_run
+from repro.pregel import PregelEngine
+
+
+class CaptureFirstN(DebugConfig):
+    def __init__(self, ids):
+        self._ids = tuple(ids)
+
+    def vertices_to_capture(self):
+        return self._ids
+
+
+def _sweep():
+    spec = rw_spec(num_vertices=800)
+    all_ids = list(spec.graph.vertex_ids())
+    mid = all_ids[len(all_ids) // 4:]
+
+    def run_plain():
+        return PregelEngine(
+            spec.computation_factory, spec.graph, seed=GRID_SEED,
+            **spec.engine_kwargs(),
+        ).run()
+
+    base_stats, _ = repeat_timed(run_plain, repetitions=3)
+    rows = [["no-debug", f"{base_stats.mean * 1e3:.1f}ms", "1.00", 0, 0]]
+    for count in (1, 5, 25, 100, 400):
+        ids = mid[:count]
+
+        def run_debug(ids=ids):
+            return debug_run(
+                spec.computation_factory, spec.graph, CaptureFirstN(ids),
+                seed=GRID_SEED, **spec.engine_kwargs(),
+            )
+
+        stats, run = repeat_timed(run_debug, repetitions=3)
+        rows.append(
+            [
+                f"capture {count}",
+                f"{stats.mean * 1e3:.1f}ms",
+                f"{stats.mean / base_stats.mean:.2f}",
+                run.capture_count,
+                run.trace_bytes,
+            ]
+        )
+    return rows
+
+
+def test_capture_scaling(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["config", "runtime", "normalized", "captures", "trace bytes"],
+            rows,
+            title="Ablation: overhead vs capture-set size (RW, specified ids)",
+        )
+    )
+    # Trace bytes grow monotonically with the capture set.
+    sizes = [row[4] for row in rows[1:]]
+    assert sizes == sorted(sizes)
+    # Capturing one vertex costs close to nothing relative to capturing 400.
+    normalized = [float(row[2]) for row in rows[1:]]
+    assert normalized[0] <= normalized[-1] + 0.05

@@ -1,0 +1,60 @@
+"""Ablation: the max-captures safety net (paper Section 3.1).
+
+Graft "stops capturing" after an adjustable threshold. This bench sweeps
+the threshold under a capture-everything configuration and shows overhead
+and trace size saturating once the threshold binds — the safety net is
+what keeps a misconfigured DebugConfig from sinking the job.
+"""
+
+from bench_helpers import GRID_SEED, rw_spec
+from repro.bench import render_table
+from repro.graft import CaptureAllActiveConfig, debug_run
+
+THRESHOLDS = (10, 100, 1000, 10_000, 100_000)
+
+
+def _sweep():
+    spec = rw_spec(num_vertices=800)
+    rows = []
+    for threshold in THRESHOLDS:
+        run = debug_run(
+            spec.computation_factory,
+            spec.graph,
+            CaptureAllActiveConfig(max_captures=threshold),
+            seed=GRID_SEED,
+            **spec.engine_kwargs(),
+        )
+        rows.append(
+            [
+                threshold,
+                run.capture_count,
+                "yes" if run.capture_limit_hit else "no",
+                run.trace_bytes,
+                f"{run.result.metrics.total_seconds * 1e3:.1f}ms",
+            ]
+        )
+    return rows
+
+
+def test_capture_threshold_ablation(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["max_captures", "captured", "limit hit", "trace bytes", "runtime"],
+            rows,
+            title="Ablation: capture safety-net threshold (RW, capture-all-active)",
+        )
+    )
+    captured = [row[1] for row in rows]
+    # Captures are monotone in the threshold and clamp exactly at it.
+    assert captured == sorted(captured)
+    for threshold, count, hit, _bytes, _time in rows:
+        assert count <= threshold
+        if hit == "yes":
+            assert count == threshold
+    # The largest threshold should not bind on this workload.
+    assert rows[-1][2] == "no"
+    # Trace size grows with capture count.
+    sizes = [row[3] for row in rows]
+    assert sizes == sorted(sizes)

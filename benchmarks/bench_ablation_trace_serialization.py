@@ -1,0 +1,80 @@
+"""Ablation: trace record serialization cost and size.
+
+The paper claims Graft "only needs to capture a small amount of data,
+often in the kilobytes". This bench measures per-record encode/decode
+throughput and bytes-per-record for realistic contexts of varying degree.
+"""
+
+from bench_helpers import GRID_SEED
+from repro.bench import render_table
+from repro.common.serialization import default_codec
+from repro.graft.capture import VertexContextRecord, record_from_line, record_to_line
+
+
+def make_record(degree):
+    from repro.algorithms.coloring import GCMessage, GCValue
+
+    edges = {i: None for i in range(degree)}
+    return VertexContextRecord(
+        vertex_id=672,
+        superstep=41,
+        worker_id=1,
+        value_before=GCValue(color=None, state="UNKNOWN", priority=17),
+        edges_before=edges,
+        incoming=[(i, GCMessage(kind="PRIORITY", sender=i, priority=i)) for i in range(degree)],
+        aggregators={"phase": "DECIDE", "round": 3},
+        num_vertices=10**9,
+        num_edges=3 * 10**9,
+        run_seed=GRID_SEED,
+        value_after=GCValue(color=None, state="IN_SET", priority=17),
+        edges_after=edges,
+        sent=[(i, GCMessage(kind="NBR_IN_SET", sender=672)) for i in range(degree)],
+        halted=False,
+        reasons=["specified"],
+    )
+
+
+def test_record_sizes_stay_small(benchmark):
+    def measure():
+        rows = []
+        for degree in (3, 10, 50, 200):
+            line = record_to_line(make_record(degree), default_codec)
+            rows.append([degree, len(line)])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["vertex degree", "bytes per record"],
+            rows,
+            title='Ablation: trace record size (the "kilobytes" claim)',
+        )
+    )
+    # A typical captured vertex costs a few KB, not more.
+    by_degree = dict(rows)
+    assert by_degree[3] < 2_000
+    assert by_degree[10] < 5_000
+    # Size grows roughly linearly with degree, not worse.
+    assert by_degree[200] < by_degree[10] * 40
+
+
+def test_encode_throughput(benchmark):
+    record = make_record(10)
+    line = benchmark(lambda: record_to_line(record, default_codec))
+    assert line
+
+
+def test_decode_throughput(benchmark):
+    line = record_to_line(make_record(10), default_codec)
+    record = benchmark(lambda: record_from_line(line, default_codec))
+    assert record.vertex_id == 672
+
+
+def test_roundtrip_identity(benchmark):
+    record = make_record(25)
+
+    def roundtrip():
+        return record_from_line(record_to_line(record, default_codec), default_codec)
+
+    assert benchmark.pedantic(roundtrip, rounds=3, iterations=5) == record

@@ -1,0 +1,72 @@
+"""Ablation: overhead versus simulated worker count.
+
+Graft writes one trace file per worker; this bench verifies the relative
+overhead of a fixed DebugConfig is insensitive to how many workers the
+vertices are spread over (the paper ran on 36 machines; the simulator must
+not make worker count a confound for the Figure 7 numbers).
+"""
+
+from bench_helpers import GRID_SEED, rw_spec
+from repro.bench import render_table, repeat_timed
+from repro.graft import debug_run
+from repro.graft.config import standard_configs
+from repro.pregel import PregelEngine
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _sweep():
+    spec = rw_spec(num_vertices=800)
+    all_ids = list(spec.graph.vertex_ids())
+    ids = all_ids[len(all_ids) // 4:][:10]
+    rows = []
+    for workers in WORKER_COUNTS:
+        def run_plain(workers=workers):
+            return PregelEngine(
+                spec.computation_factory,
+                spec.graph,
+                seed=GRID_SEED,
+                num_workers=workers,
+                **spec.engine_kwargs(),
+            ).run()
+
+        def run_debug(workers=workers):
+            return debug_run(
+                spec.computation_factory,
+                spec.graph,
+                standard_configs(ids)["DC-sp+nbr"],
+                seed=GRID_SEED,
+                num_workers=workers,
+                **spec.engine_kwargs(),
+            )
+
+        base_stats, _ = repeat_timed(run_plain, repetitions=3)
+        debug_stats, run = repeat_timed(run_debug, repetitions=3)
+        rows.append(
+            [
+                workers,
+                f"{base_stats.mean * 1e3:.1f}ms",
+                f"{debug_stats.mean * 1e3:.1f}ms",
+                f"{debug_stats.mean / base_stats.mean:.2f}",
+                run.capture_count,
+            ]
+        )
+    return rows
+
+
+def test_worker_count_ablation(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["workers", "no-debug", "DC-sp+nbr", "normalized", "captures"],
+            rows,
+            title="Ablation: overhead vs simulated worker count (RW)",
+        )
+    )
+    # Captures are placement-independent.
+    captures = {row[4] for row in rows}
+    assert len(captures) == 1
+    # Relative overhead stays in one band across worker counts.
+    normalized = [float(row[3]) for row in rows]
+    assert max(normalized) - min(normalized) < 1.0

@@ -1,0 +1,82 @@
+"""Reproduce-step benchmarks: replay, line tracing, and code generation.
+
+Not a paper figure, but the paper calls the Context Reproducer "the most
+challenging component of Graft to implement" — these benches pin down what
+the debugging loop's inner operations cost: replaying one captured
+context, replaying with the line tracer attached, generating a test file,
+and verifying a whole run's fidelity.
+"""
+
+from bench_helpers import GRID_SEED
+from repro.algorithms import GCMaster, GraphColoring
+from repro.datasets import load_dataset
+from repro.graft import (
+    CaptureAllActiveConfig,
+    debug_run,
+    generate_test_code,
+    verify_run_fidelity,
+)
+from repro.graft.reproducer import replay_record
+
+
+def _captured_run():
+    graph = load_dataset("bipartite-1M-3M", num_vertices=200, seed=GRID_SEED)
+    return debug_run(
+        GraphColoring,
+        graph,
+        CaptureAllActiveConfig(),
+        master=GCMaster(),
+        seed=GRID_SEED,
+        max_supersteps=300,
+    )
+
+
+def test_replay_one_context(benchmark):
+    run = _captured_run()
+    record = run.reader.vertex_records[len(run.reader.vertex_records) // 2]
+    report = benchmark(
+        lambda: replay_record(record, GraphColoring, trace_lines=False)
+    )
+    assert report.faithful
+
+
+def test_replay_with_line_tracing(benchmark):
+    run = _captured_run()
+    record = run.reader.vertex_records[len(run.reader.vertex_records) // 2]
+    report = benchmark(lambda: replay_record(record, GraphColoring))
+    assert report.faithful
+    assert report.executed_lines
+
+
+def test_generate_test_file(benchmark):
+    run = _captured_run()
+    record = run.reader.vertex_records[0]
+    code = benchmark(lambda: generate_test_code(record, GraphColoring))
+    assert "ReplayHarness" in code
+
+
+def test_full_run_fidelity_verification(benchmark):
+    run = _captured_run()
+
+    def verify():
+        return verify_run_fidelity(run, limit=300)
+
+    report = benchmark.pedantic(verify, rounds=2, iterations=1)
+    assert report.ok
+    print()
+    print(
+        f"verified {report.total} captured contexts; "
+        f"{report.total and report.faithful} faithful"
+    )
+
+
+def test_trace_read_back(benchmark):
+    from repro.graft.trace import TraceReader
+
+    run = _captured_run()
+
+    def read():
+        return TraceReader(run.session.filesystem, run.session.job_id)
+
+    reader = benchmark.pedantic(read, rounds=3, iterations=1)
+    assert len(reader) == run.capture_count

@@ -1,0 +1,49 @@
+"""Regenerates **Table 2**: the performance-experiment datasets.
+
+Same layout as Table 1, for the sk-2005 / twitter / bipartite-2B-6B
+stand-ins used by the Figure 7 overhead grid.
+"""
+
+from repro.bench import render_table
+from repro.datasets import PERF_DATASETS
+from repro.graph import compute_stats
+
+
+def _rows(specs, seed=0):
+    rows = []
+    for spec in specs:
+        graph = spec.generate(seed=seed)
+        stats = compute_stats(graph)
+        rows.append(
+            [
+                spec.name,
+                spec.paper_vertices,
+                spec.paper_edges,
+                f"{stats.num_vertices}",
+                f"{stats.num_directed_edges} (d), {stats.num_undirected_edges} (u)",
+                spec.description,
+            ]
+        )
+    return rows
+
+
+def test_table2_perf_datasets(benchmark):
+    rows = benchmark.pedantic(lambda: _rows(PERF_DATASETS), rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["Name", "paper |V|", "paper edges", "ours |V|", "ours edges",
+             "Description"],
+            rows,
+            title="Table 2: Graph datasets for performance experiments "
+            "(paper vs stand-in)",
+        )
+    )
+    assert [row[0] for row in rows] == ["sk-2005", "twitter", "bipartite-2B-6B"]
+    # The web/social stand-ins must be heavy-tailed like the originals.
+    from repro.datasets import load_dataset
+
+    for name in ("sk-2005", "twitter"):
+        graph = load_dataset(name, seed=0)
+        stats = compute_stats(graph)
+        assert stats.max_out_degree > 3 * stats.mean_out_degree

@@ -1,0 +1,58 @@
+"""Regenerates **Table 3**: the DebugConfig configurations.
+
+Prints each configuration's name and description exactly as the paper
+lists them, and benchmarks the per-event cost of the constraint checks each
+configuration adds (the microscopic source of Figure 7's overhead
+differences).
+"""
+
+from repro.bench import render_table
+from repro.graft.config import STANDARD_CONFIG_DESCRIPTIONS, standard_configs
+
+
+def test_table3_configurations(benchmark):
+    configs = benchmark.pedantic(
+        lambda: standard_configs(range(10)), rounds=1, iterations=1
+    )
+    print()
+    rows = [[name, STANDARD_CONFIG_DESCRIPTIONS[name]] for name in
+            ["DC-sp", "DC-sp+nbr", "DC-msg", "DC-vv", "DC-full"]]
+    print(render_table(["Name", "Description"], rows,
+                       title="Table 3: DebugConfig configurations"))
+    assert set(configs) == set(STANDARD_CONFIG_DESCRIPTIONS)
+
+
+def test_message_constraint_check_cost(benchmark):
+    config = standard_configs(range(10))["DC-msg"]
+
+    def check_many():
+        ok = True
+        for value in range(-500, 500):
+            ok &= config.message_value_constraint(value, 1, 2, 0)
+        return ok
+
+    assert benchmark(check_many) is not None
+
+
+def test_vertex_constraint_check_cost(benchmark):
+    config = standard_configs(range(10))["DC-vv"]
+
+    def check_many():
+        ok = True
+        for value in range(-500, 500):
+            ok &= config.vertex_value_constraint(value, 1, 0)
+        return ok
+
+    assert benchmark(check_many) is not None
+
+
+def test_constraint_cost_on_non_numeric_values(benchmark):
+    """The hot path must stay cheap for values the constraint ignores."""
+    config = standard_configs(range(10))["DC-vv"]
+    values = [("a", "tuple"), None, "text", object()] * 250
+
+    def check_many():
+        for value in values:
+            config.vertex_value_constraint(value, 1, 0)
+
+    benchmark(check_many)

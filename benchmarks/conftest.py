@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark prints the paper table/figure it regenerates; run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the rendered tables; without it pytest captures them.)
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fig7_results():
+    """Shared cell store so the headline benchmark can aggregate clusters."""
+    return {}

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Differential debugging and fidelity auditing (extensions beyond the GUI).
+
+Two Graft workflows this reproduction adds on top of the paper:
+
+1. **diff two runs** — run the buggy and the fixed graph coloring under
+   capture-all-active with one seed; the earliest trace divergence is the
+   bug's first observable effect, found without eyeballing supersteps;
+2. **audit replay fidelity** — mechanically verify that every captured
+   context replays exactly (and see the Section 7 limitation trip it when
+   a computation smuggles hidden state).
+
+Run:  python examples/differential_debugging.py
+"""
+
+from repro.algorithms import BuggyGraphColoring, GCMaster, GraphColoring
+from repro.datasets import load_dataset
+from repro.graft import (
+    CaptureAllActiveConfig,
+    debug_run,
+    diff_runs,
+    verify_run_fidelity,
+)
+
+
+def main():
+    graph = load_dataset("bipartite-1M-3M", num_vertices=120, seed=5)
+
+    def run(computation):
+        return debug_run(
+            computation,
+            graph,
+            CaptureAllActiveConfig(),
+            master=GCMaster(),
+            seed=5,
+            max_supersteps=300,
+        )
+
+    print("== Running fixed and buggy GC under capture-all-active ==")
+    fixed = run(GraphColoring)
+    buggy = run(BuggyGraphColoring)
+    print(f"fixed: {fixed.summary()}")
+    print(f"buggy: {buggy.summary()}")
+    print()
+
+    print("== Diff the traces ==")
+    report = diff_runs(fixed, buggy)
+    print(report.summary())
+    print(f"first-divergence histogram by superstep: {report.by_superstep()}")
+    earliest = report.earliest()
+    print(f"earliest divergence: {earliest.summary()}")
+    print()
+
+    print("== Zoom in on the earliest diverging vertex in the buggy run ==")
+    record = buggy.captured(earliest.vertex_id, earliest.superstep)
+    print(buggy.tabular_view(superstep=earliest.superstep).expand(record.vertex_id))
+    print()
+
+    print("== Fidelity audit: every captured context replays exactly ==")
+    for name, debugged in (("fixed", fixed), ("buggy", buggy)):
+        fidelity = verify_run_fidelity(debugged, limit=200)
+        print(f"{name}: {fidelity.summary()}")
+    print()
+    print(
+        "Both implementations are deterministic given their captured "
+        "contexts — the difference between them is code, not environment, "
+        "which is exactly what the diff above isolates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Scenario 4.2 — catching a 16-bit overflow with a message constraint.
+
+The RW implementation declares its per-neighbor walker counters as Java
+shorts "to optimize the memory and network I/O"; past 32767 walkers the
+counter wraps negative. Following the paper: run RW with the constraint
+"message values are non-negative", see the M icon turn red, open the
+Violations and Exceptions view, and generate a test from a violating
+vertex to diagnose the overflow.
+
+Run:  python examples/scenario_random_walk.py
+"""
+
+from repro import DebugConfig, debug_run
+from repro.algorithms import BuggyRandomWalk
+from repro.datasets import load_dataset
+from repro.pregel import Short16
+
+
+class RWDebugConfig(DebugConfig):
+    """Figure 2, lines 4-5: messages must be non-negative."""
+
+    def message_value_constraint(self, message, source_id, target_id, superstep):
+        return not (message < 0)
+
+
+REDIRECT_PAGE = 999_999
+
+
+def main():
+    # The web-BS stand-in. Real web crawls contain redirect/aggregator
+    # pages — URLs half the web links to that link out to exactly one
+    # place. Walkers funnel through such a page, and its single outgoing
+    # counter is exactly where a 16-bit short first overflows.
+    graph = load_dataset("web-BS", num_vertices=1000, seed=7)
+    for hub in range(100):
+        graph.add_edge(hub, REDIRECT_PAGE)
+    graph.add_edge(REDIRECT_PAGE, 0)
+    print(f"input: web-BS stand-in + redirect page, {graph.num_vertices} vertices")
+    print(f"Short16.max_value() = {Short16.max_value()}")
+
+    run = debug_run(
+        lambda: BuggyRandomWalk(steps=10, initial_walkers=400),
+        graph,
+        RWDebugConfig(),
+        num_workers=4,
+        seed=7,
+    )
+    print(run.summary())
+    print()
+
+    violations = run.violations_view()
+    red = violations.supersteps_with_violations()
+    if not red:
+        raise SystemExit(
+            "no overflow at this scale - increase initial_walkers and rerun"
+        )
+
+    print(f"== The M icon is red in supersteps {red} ==")
+    boxes = run.node_link_view(superstep=red[0]).status_boxes()
+    print(f"status boxes at superstep {red[0]}: {boxes}")
+    print()
+
+    print("== Violations and Exceptions view ==")
+    print(violations.render(limit=5))
+    print()
+
+    first = violations.first_violation()
+    record = run.captured(first.vertex_id, first.superstep)
+    arrived = sum(int(value) for _source, value in record.incoming)
+    true_count = int(record.value_before) + arrived
+    print(
+        f"vertex {first.vertex_id} held {true_count} walkers but sent "
+        f"{first.details['message']!r} to {first.details['target']} — "
+        f"{true_count} wraps to {Short16(true_count).value} in 16 bits"
+    )
+    print()
+
+    print("== Generated test reproducing the overflowing compute() call ==")
+    print(run.generate_test_code(first.vertex_id, first.superstep))
+
+
+if __name__ == "__main__":
+    main()

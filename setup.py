@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The environment this repository targets may lack the ``wheel`` package that
+PEP 660 editable installs require; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) works everywhere. All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

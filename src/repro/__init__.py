@@ -1,0 +1,55 @@
+"""repro: a Python reproduction of Graft, the Apache Giraph debugger.
+
+Graft (Salihoglu, Shin, Khanna, Truong, Widom — SIGMOD 2015) supports the
+capture / visualize / reproduce debugging cycle for Pregel-style
+vertex-centric programs. This library rebuilds the whole stack from
+scratch:
+
+- :mod:`repro.pregel` — a Giraph-compatible BSP engine (simulated workers);
+- :mod:`repro.graft` — the debugger itself (DebugConfig, instrumenter,
+  trace store, the three GUI views, the context reproducer and test
+  generation);
+- :mod:`repro.graph`, :mod:`repro.datasets`, :mod:`repro.simfs` — graph
+  substrate, dataset stand-ins, and the simulated distributed file system;
+- :mod:`repro.algorithms` — the paper's scenario algorithms (with their
+  deliberate bugs) and the standard Pregel repertoire;
+- :mod:`repro.bench` — the harness regenerating the paper's tables and
+  figures.
+
+Quickstart::
+
+    from repro import debug_run, DebugConfig
+    from repro.algorithms import BuggyGraphColoring, GCMaster
+    from repro.datasets import load_dataset
+
+    class TenRandom(DebugConfig):
+        def num_random_vertices_to_capture(self):
+            return 10
+        def capture_neighbors_of_vertices(self):
+            return True
+
+    graph = load_dataset("bipartite-1M-3M", num_vertices=300)
+    run = debug_run(BuggyGraphColoring, graph, TenRandom(),
+                    master=GCMaster(), seed=3)
+    print(run.node_link_view().last().render())
+    print(run.generate_test_code(*run.reader.vertex_records[0].key))
+"""
+
+from repro.graft import DebugConfig, DebugRun, debug_run
+from repro.graph import Graph, GraphBuilder
+from repro.pregel import Computation, MasterComputation, PregelEngine, run_computation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DebugConfig",
+    "DebugRun",
+    "debug_run",
+    "Graph",
+    "GraphBuilder",
+    "Computation",
+    "MasterComputation",
+    "PregelEngine",
+    "run_computation",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""Vertex-centric algorithms.
+
+Contains the three algorithms of the paper's demo scenarios — graph
+coloring (GC), random walk simulation (RW), and approximate maximum-weight
+matching (MWM) — each in a correct version and, for GC and RW, the buggy
+version the scenario debugs. Connected components, PageRank, and
+single-source shortest paths round out the standard Pregel repertoire
+(connected components is the algorithm behind the paper's Figure 5
+screenshot).
+"""
+
+from repro.algorithms.coloring import (
+    BuggyGraphColoring,
+    GCMaster,
+    GCMessage,
+    GCValue,
+    GraphColoring,
+    color_counts,
+    find_coloring_conflicts,
+)
+from repro.algorithms.components import (
+    ConnectedComponents,
+    component_sizes,
+)
+from repro.algorithms.kcore import KCore, KCoreValue, core_members
+from repro.algorithms.label_propagation import LabelPropagation, communities
+from repro.algorithms.matching import (
+    MaximumWeightMatching,
+    MWMValue,
+    extract_matching,
+    matching_weight,
+)
+from repro.algorithms.pagerank import PageRank, TolerancePageRank, TolerancePRMaster
+from repro.algorithms.random_walk import (
+    BuggyRandomWalk,
+    RandomWalk,
+    total_walkers,
+)
+from repro.algorithms.shortest_paths import (
+    BreadthFirstSearch,
+    ShortestPaths,
+)
+from repro.algorithms.triangles import TriangleCount, total_triangles
+
+__all__ = [
+    "GraphColoring",
+    "BuggyGraphColoring",
+    "GCMaster",
+    "GCValue",
+    "GCMessage",
+    "color_counts",
+    "find_coloring_conflicts",
+    "ConnectedComponents",
+    "component_sizes",
+    "MaximumWeightMatching",
+    "MWMValue",
+    "extract_matching",
+    "matching_weight",
+    "PageRank",
+    "TolerancePageRank",
+    "TolerancePRMaster",
+    "RandomWalk",
+    "BuggyRandomWalk",
+    "total_walkers",
+    "ShortestPaths",
+    "BreadthFirstSearch",
+    "TriangleCount",
+    "total_triangles",
+    "KCore",
+    "KCoreValue",
+    "core_members",
+    "LabelPropagation",
+    "communities",
+]

@@ -1,0 +1,246 @@
+"""Graph coloring by iterated maximal independent sets (the paper's GC).
+
+Following Gebremedhin–Manne and the Pregel formulation in Salihoglu &
+Widom, the algorithm repeatedly finds a maximal independent set (MIS) of
+the still-uncolored graph with a Luby-style randomized procedure, assigns
+every MIS member the current round's color, removes them, and repeats until
+no uncolored vertex remains. A master computation drives the phases through
+a ``phase`` aggregator — the exact multi-phase pattern the paper describes
+(and whose JUnit example in Figure 6 shows a ``CONFLICT-RESOLUTION`` phase
+and ``TENTATIVELY_IN_SET`` / ``NBR_IN_SET`` artifacts).
+
+Phases within one color round:
+
+- ``SELECT``: every still-``UNKNOWN`` vertex draws a random priority and
+  sends it (with its id) to all neighbors.
+- ``DECIDE``: an ``UNKNOWN`` vertex whose (priority, id) beats every
+  neighboring ``UNKNOWN`` priority it heard enters the MIS
+  (``IN_SET``) and announces ``NBR_IN_SET`` to its neighbors.
+- ``DISCOVER``: ``UNKNOWN`` vertices hearing ``NBR_IN_SET`` drop out of
+  this round (``NOT_IN_SET``); remaining ``UNKNOWN`` vertices are counted
+  through an aggregator. The master loops back to ``SELECT`` while any
+  remain, then runs ``ASSIGN``.
+- ``ASSIGN``: ``IN_SET`` vertices take the round's color and halt
+  (``COLORED``); ``NOT_IN_SET`` vertices reset to ``UNKNOWN`` for the next
+  round. Uncolored vertices are counted; the master halts at zero.
+
+:class:`BuggyGraphColoring` reproduces the paper's Scenario 4.1 defect: its
+MIS decision compares coarse integer priorities with ``<=`` and no id
+tie-break, so two adjacent vertices that draw the same priority *both*
+enter the MIS and end up with the same color.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.common.serialization import register_value_type
+from repro.pregel.aggregators import OverwriteAggregator, SumAggregator
+from repro.pregel.computation import Computation
+from repro.pregel.master import MasterComputation
+
+# Vertex states.
+UNKNOWN = "UNKNOWN"
+IN_SET = "IN_SET"
+NOT_IN_SET = "NOT_IN_SET"
+COLORED = "COLORED"
+
+# Phases (broadcast by the master through the `phase` aggregator).
+SELECT = "SELECT"
+DECIDE = "DECIDE"
+DISCOVER = "DISCOVER"
+ASSIGN = "ASSIGN"
+
+PHASE_AGG = "phase"
+ROUND_AGG = "round"
+UNKNOWN_COUNT_AGG = "unknown_count"
+UNCOLORED_COUNT_AGG = "uncolored_count"
+
+#: Priority space for the randomized MIS draw. Coarse on purpose: the buggy
+#: variant's missing tie-break only misbehaves when ties actually occur.
+PRIORITY_SPACE = 1 << 16
+
+
+@register_value_type
+@dataclass(frozen=True)
+class GCValue:
+    """Vertex value: assigned color (None until colored), state, priority."""
+
+    color: object = None
+    state: str = UNKNOWN
+    priority: int = -1
+
+
+@register_value_type
+@dataclass(frozen=True)
+class GCMessage:
+    """Messages: ``PRIORITY`` carries (priority, sender id); ``NBR_IN_SET``
+    announces the sender joined the MIS."""
+
+    kind: str
+    sender: object = None
+    priority: int = -1
+
+
+class GraphColoring(Computation):
+    """The correct GC implementation (ties broken by vertex id)."""
+
+    def initial_value(self, vertex_id, input_value):
+        return GCValue()
+
+    def compute(self, ctx, messages):
+        phase = ctx.aggregated_value(PHASE_AGG)
+        value = ctx.value
+        if value.state == COLORED:
+            ctx.vote_to_halt()
+            return
+        if phase == SELECT:
+            self._select(ctx, value)
+        elif phase == DECIDE:
+            self._decide(ctx, value, messages)
+        elif phase == DISCOVER:
+            self._discover(ctx, value, messages)
+        elif phase == ASSIGN:
+            self._assign(ctx, value)
+
+    def _select(self, ctx, value):
+        if value.state != UNKNOWN:
+            return
+        priority = ctx.rng.randrange(PRIORITY_SPACE)
+        ctx.set_value(replace(value, priority=priority))
+        ctx.send_message_to_all_neighbors(
+            GCMessage(kind="PRIORITY", sender=ctx.vertex_id, priority=priority)
+        )
+
+    def _decide(self, ctx, value, messages):
+        if value.state != UNKNOWN:
+            return
+        if self._enters_mis(ctx, value, messages):
+            ctx.set_value(replace(value, state=IN_SET))
+            ctx.send_message_to_all_neighbors(
+                GCMessage(kind="NBR_IN_SET", sender=ctx.vertex_id)
+            )
+
+    def _enters_mis(self, ctx, value, messages):
+        """MIS test: my (priority, id) must beat every UNKNOWN neighbor's."""
+        mine = (value.priority, repr(ctx.vertex_id))
+        for message in messages:
+            if message.kind != "PRIORITY":
+                continue
+            theirs = (message.priority, repr(message.sender))
+            if theirs < mine:
+                return False
+        return True
+
+    def _discover(self, ctx, value, messages):
+        if value.state != UNKNOWN:
+            return
+        if any(m.kind == "NBR_IN_SET" for m in messages):
+            ctx.set_value(replace(value, state=NOT_IN_SET))
+        else:
+            ctx.aggregate(UNKNOWN_COUNT_AGG, 1)
+
+    def _assign(self, ctx, value):
+        if value.state == IN_SET:
+            round_number = ctx.aggregated_value(ROUND_AGG)
+            ctx.set_value(GCValue(color=round_number, state=COLORED))
+            ctx.vote_to_halt()
+            return
+        ctx.set_value(replace(value, state=UNKNOWN, priority=-1))
+        ctx.aggregate(UNCOLORED_COUNT_AGG, 1)
+
+
+class BuggyGraphColoring(GraphColoring):
+    """The paper's buggy GC: adjacent vertices can join the same MIS.
+
+    The decision uses ``<=`` against the smallest neighbor priority and
+    ignores vertex ids, so a priority *tie* between adjacent vertices admits
+    both — they then receive the same color. With a 4-bit priority space
+    ties are common enough that a random capture of ~10 vertices usually
+    shows the conflict, as in Scenario 4.1.
+    """
+
+    BUGGY_PRIORITY_SPACE = 1 << 4
+
+    def _select(self, ctx, value):
+        if value.state != UNKNOWN:
+            return
+        priority = ctx.rng.randrange(self.BUGGY_PRIORITY_SPACE)
+        ctx.set_value(replace(value, priority=priority))
+        ctx.send_message_to_all_neighbors(
+            GCMessage(kind="PRIORITY", sender=ctx.vertex_id, priority=priority)
+        )
+
+    def _enters_mis(self, ctx, value, messages):
+        # BUG: `<=` with no id tie-break lets both ends of a tie enter.
+        neighbor_priorities = [
+            m.priority for m in messages if m.kind == "PRIORITY"
+        ]
+        if not neighbor_priorities:
+            return True
+        return value.priority <= min(neighbor_priorities)
+
+
+class GCMaster(MasterComputation):
+    """Drives the SELECT → DECIDE → DISCOVER → (SELECT | ASSIGN) cycle."""
+
+    def initialize(self, registry):
+        registry.register(PHASE_AGG, OverwriteAggregator())
+        registry.register(ROUND_AGG, OverwriteAggregator(0))
+        registry.register(UNKNOWN_COUNT_AGG, SumAggregator(0))
+        registry.register(UNCOLORED_COUNT_AGG, SumAggregator(0))
+
+    def master_compute(self, master_ctx):
+        previous = master_ctx.aggregated_value(PHASE_AGG)
+        if previous is None:
+            master_ctx.set_aggregated_value(PHASE_AGG, SELECT)
+            master_ctx.set_aggregated_value(ROUND_AGG, 0)
+        elif previous == SELECT:
+            master_ctx.set_aggregated_value(PHASE_AGG, DECIDE)
+        elif previous == DECIDE:
+            master_ctx.set_aggregated_value(PHASE_AGG, DISCOVER)
+        elif previous == DISCOVER:
+            still_unknown = master_ctx.aggregated_value(UNKNOWN_COUNT_AGG)
+            # Reset after reading: an untouched aggregator keeps its visible
+            # value across barriers, so a stale count must not leak into the
+            # next DISCOVER round.
+            master_ctx.set_aggregated_value(UNKNOWN_COUNT_AGG, 0)
+            next_phase = SELECT if still_unknown else ASSIGN
+            master_ctx.set_aggregated_value(PHASE_AGG, next_phase)
+        elif previous == ASSIGN:
+            uncolored = master_ctx.aggregated_value(UNCOLORED_COUNT_AGG)
+            master_ctx.set_aggregated_value(UNCOLORED_COUNT_AGG, 0)
+            if not uncolored:
+                master_ctx.halt_computation()
+                return
+            round_number = master_ctx.aggregated_value(ROUND_AGG)
+            master_ctx.set_aggregated_value(ROUND_AGG, round_number + 1)
+            master_ctx.set_aggregated_value(PHASE_AGG, SELECT)
+
+
+def color_counts(vertex_values):
+    """Histogram ``{color: count}`` over colored vertices."""
+    counts = {}
+    for value in vertex_values.values():
+        counts[value.color] = counts.get(value.color, 0) + 1
+    return counts
+
+
+def find_coloring_conflicts(graph, vertex_values):
+    """Adjacent pairs sharing a color: ``[(u, v, color), ...]``, each once.
+
+    An empty result certifies a proper coloring; a non-empty one is exactly
+    what the Scenario 4.1 user notices in the final superstep of the GUI.
+    """
+    conflicts = []
+    seen = set()
+    for source, target, _value in graph.edges():
+        if source == target:
+            continue
+        key = (source, target) if repr(source) <= repr(target) else (target, source)
+        if key in seen:
+            continue
+        seen.add(key)
+        source_color = vertex_values[source].color
+        target_color = vertex_values[target].color
+        if source_color is not None and source_color == target_color:
+            conflicts.append((key[0], key[1], source_color))
+    return conflicts

@@ -1,0 +1,38 @@
+"""Connected components by label propagation (HashMin).
+
+Every vertex starts labeled with its own id and adopts the minimum label it
+hears; converged labels identify weakly/undirectedly connected components.
+This is the algorithm behind the paper's Figure 5 (the GUI screenshot
+"from a connected components algorithm, where the values are vertex IDs").
+"""
+
+from collections import Counter
+
+from repro.pregel.computation import Computation
+
+
+class ConnectedComponents(Computation):
+    """HashMin label propagation; run on an undirected (symmetrized) graph."""
+
+    def initial_value(self, vertex_id, input_value):
+        return vertex_id
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(ctx.value)
+            ctx.vote_to_halt()
+            return
+        best = min(messages) if messages else ctx.value
+        if best < ctx.value:
+            ctx.set_value(best)
+            ctx.send_message_to_all_neighbors(best)
+        ctx.vote_to_halt()
+
+
+def component_sizes(vertex_values):
+    """Histogram ``{component_label: size}`` from a result's vertex values.
+
+    >>> component_sizes({1: 1, 2: 1, 3: 3})
+    {1: 2, 3: 1}
+    """
+    return dict(Counter(vertex_values.values()))

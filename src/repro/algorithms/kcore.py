@@ -1,0 +1,65 @@
+"""k-core decomposition by iterative peeling.
+
+A vertex survives in the k-core iff it has at least ``k`` neighbors that
+also survive. Vertices with too few remaining neighbors remove themselves
+and announce it; survivors decrement their remaining-degree counts as
+removal notices arrive, possibly cascading. The computation converges when
+no vertex changes — the classic peeling algorithm, message-driven.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.common.serialization import register_value_type
+from repro.pregel.computation import Computation
+
+
+@register_value_type
+@dataclass(frozen=True)
+class KCoreValue:
+    """``in_core``: still surviving; ``remaining``: surviving neighbors."""
+
+    in_core: bool
+    remaining: int
+
+
+class KCore(Computation):
+    """Marks each vertex with whether it belongs to the k-core."""
+
+    def __init__(self, k):
+        self.k = k
+
+    def initial_value(self, vertex_id, input_value):
+        return KCoreValue(in_core=True, remaining=0)
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            degree = ctx.out_degree
+            if degree < self.k:
+                ctx.set_value(KCoreValue(in_core=False, remaining=degree))
+                ctx.send_message_to_all_neighbors("REMOVED")
+            else:
+                ctx.set_value(KCoreValue(in_core=True, remaining=degree))
+            ctx.vote_to_halt()
+            return
+        value = ctx.value
+        if not value.in_core:
+            ctx.vote_to_halt()
+            return
+        remaining = value.remaining - len(messages)
+        if remaining < self.k:
+            ctx.set_value(KCoreValue(in_core=False, remaining=remaining))
+            ctx.send_message_to_all_neighbors("REMOVED")
+        else:
+            ctx.set_value(replace(value, remaining=remaining))
+        ctx.vote_to_halt()
+
+
+def core_members(vertex_values):
+    """Ids of the vertices that survived, sorted by repr.
+
+    >>> core_members({1: KCoreValue(True, 3), 2: KCoreValue(False, 1)})
+    [1]
+    """
+    return sorted(
+        (v for v, value in vertex_values.items() if value.in_core), key=repr
+    )

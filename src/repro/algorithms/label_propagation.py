@@ -1,0 +1,49 @@
+"""Synchronous label propagation (community detection).
+
+Every vertex starts labeled with its own id and repeatedly adopts the most
+frequent label among its neighbors (ties break toward the smaller label).
+Synchronous LPA can oscillate on symmetric structures, so the computation
+runs a fixed number of iterations — the standard Pregel formulation.
+"""
+
+from collections import Counter
+
+from repro.pregel.computation import Computation
+
+
+class LabelPropagation(Computation):
+    """Vertex value converges to a community label."""
+
+    def __init__(self, iterations=10):
+        self.iterations = iterations
+
+    def initial_value(self, vertex_id, input_value):
+        return vertex_id
+
+    def compute(self, ctx, messages):
+        if ctx.superstep > 0 and messages:
+            counts = Counter(messages)
+            best_count = max(counts.values())
+            candidates = [
+                label for label, count in counts.items() if count == best_count
+            ]
+            ctx.set_value(min(candidates, key=repr))
+        if ctx.superstep < self.iterations:
+            ctx.send_message_to_all_neighbors(ctx.value)
+        else:
+            ctx.vote_to_halt()
+
+
+def communities(vertex_values):
+    """Group vertices by final label: ``{label: sorted members}``.
+
+    >>> communities({1: "a", 2: "a", 3: "b"})
+    {'a': [1, 2], 'b': [3]}
+    """
+    groups = {}
+    for vertex_id, label in vertex_values.items():
+        groups.setdefault(label, []).append(vertex_id)
+    return {
+        label: sorted(members, key=repr)
+        for label, members in sorted(groups.items(), key=lambda kv: repr(kv[0]))
+    }

@@ -1,0 +1,129 @@
+"""Approximate maximum-weight matching (the paper's MWM, after Preis).
+
+The handshake formulation used on Pregel-like systems: in each round every
+unmatched vertex points at (proposes to) its maximum-weight remaining
+neighbor, ties broken toward the smaller id; two vertices pointing at each
+other match, announce it, and leave the graph (with all incident edges);
+rounds repeat until no vertices with edges remain.
+
+Rounds alternate over superstep parity:
+
+- even supersteps (PROPOSE): drop edges to neighbors announced as matched,
+  then propose to the best remaining neighbor (or halt if no edges remain);
+- odd supersteps (MATCH): a vertex whose chosen neighbor proposed back is
+  matched; it announces ``MATCHED`` to all remaining neighbors and halts.
+
+With *symmetric* edge weights every round matches at least the globally
+heaviest remaining edge's endpoints, so the computation always terminates.
+The paper's Scenario 4.3 feeds it a corrupted "undirected" graph whose two
+directions disagree on some weights; preference cycles then never resolve
+and the computation runs forever — the infinite loop the Graft user
+diagnoses by capturing all active vertices late in the run.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.common.serialization import register_value_type
+from repro.pregel.computation import Computation
+
+UNMATCHED = "UNMATCHED"
+MATCHED = "MATCHED"
+
+
+@register_value_type
+@dataclass(frozen=True)
+class MWMValue:
+    """state, current proposal target, and final partner (or None)."""
+
+    state: str = UNMATCHED
+    proposed_to: object = None
+    matched_to: object = None
+
+
+@register_value_type
+@dataclass(frozen=True)
+class MWMMessage:
+    """``PROPOSE`` carries the proposer's id; ``MATCHED`` the leaver's id."""
+
+    kind: str
+    sender: object
+
+
+class MaximumWeightMatching(Computation):
+    """Preis-style 1/2-approximate MWM over symmetric positive weights."""
+
+    def initial_value(self, vertex_id, input_value):
+        return MWMValue()
+
+    def compute(self, ctx, messages):
+        if ctx.value.state == MATCHED:
+            ctx.vote_to_halt()
+            return
+        if ctx.superstep % 2 == 0:
+            self._propose(ctx, messages)
+        else:
+            self._match(ctx, messages)
+
+    def _propose(self, ctx, messages):
+        for message in messages:
+            if message.kind == "MATCHED":
+                ctx.remove_edge(message.sender)
+        best = self._best_neighbor(ctx)
+        if best is None:
+            # No remaining edges: this vertex can never match.
+            ctx.vote_to_halt()
+            return
+        ctx.set_value(replace(ctx.value, proposed_to=best))
+        ctx.send_message(best, MWMMessage(kind="PROPOSE", sender=ctx.vertex_id))
+
+    def _best_neighbor(self, ctx):
+        """Max-weight neighbor; ties break toward the smaller id."""
+        best = None
+        best_key = None
+        for target, weight in ctx.out_edges():
+            key = (-(weight if weight is not None else 1.0), repr(target))
+            if best_key is None or key < best_key:
+                best = target
+                best_key = key
+        return best
+
+    def _match(self, ctx, messages):
+        proposers = {m.sender for m in messages if m.kind == "PROPOSE"}
+        if ctx.value.proposed_to in proposers:
+            partner = ctx.value.proposed_to
+            ctx.set_value(MWMValue(state=MATCHED, matched_to=partner))
+            for target in ctx.neighbor_ids():
+                if target != partner:
+                    ctx.send_message(
+                        target, MWMMessage(kind="MATCHED", sender=ctx.vertex_id)
+                    )
+            ctx.vote_to_halt()
+        # Otherwise stay unmatched and propose again next (even) superstep.
+
+
+def extract_matching(vertex_values):
+    """The matched pairs as a set of frozensets ``{u, v}``.
+
+    >>> pairs = extract_matching({
+    ...     1: MWMValue(state=MATCHED, matched_to=2),
+    ...     2: MWMValue(state=MATCHED, matched_to=1),
+    ...     3: MWMValue(),
+    ... })
+    >>> pairs == {frozenset({1, 2})}
+    True
+    """
+    pairs = set()
+    for vertex_id, value in vertex_values.items():
+        if value.state == MATCHED and value.matched_to is not None:
+            pairs.add(frozenset((vertex_id, value.matched_to)))
+    return pairs
+
+
+def matching_weight(graph, pairs):
+    """Total weight of a matching's edges (None-valued edges weigh 1)."""
+    total = 0.0
+    for pair in pairs:
+        u, v = tuple(pair)
+        weight = graph.edge_value(u, v)
+        total += 1.0 if weight is None else weight
+    return total

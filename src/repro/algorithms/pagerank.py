@@ -1,0 +1,72 @@
+"""PageRank, in fixed-iteration and tolerance-driven forms.
+
+The fixed-iteration version is the classic Pregel example. The
+tolerance-driven version shows the master/aggregator pattern the paper's
+Section 2 describes: vertices aggregate their rank deltas, and the master
+halts the computation once the summed delta falls below a threshold.
+"""
+
+from repro.pregel.aggregators import SumAggregator
+from repro.pregel.computation import Computation
+from repro.pregel.master import MasterComputation
+
+DAMPING = 0.85
+
+
+class PageRank(Computation):
+    """Fixed-iteration PageRank.
+
+    Vertex values converge toward ``(1 - d) + d * sum(in_ranks)``; dangling
+    vertices simply stop contributing (the usual simplified Pregel variant).
+    """
+
+    def __init__(self, iterations=20):
+        self.iterations = iterations
+
+    def initial_value(self, vertex_id, input_value):
+        return 1.0
+
+    def compute(self, ctx, messages):
+        if ctx.superstep > 0:
+            ctx.set_value((1.0 - DAMPING) + DAMPING * sum(messages))
+        if ctx.superstep < self.iterations:
+            if ctx.out_degree:
+                share = ctx.value / ctx.out_degree
+                ctx.send_message_to_all_neighbors(share)
+        else:
+            ctx.vote_to_halt()
+
+
+DELTA_AGGREGATOR = "pr_total_delta"
+
+
+class TolerancePageRank(Computation):
+    """PageRank that reports per-vertex deltas through an aggregator."""
+
+    def initial_value(self, vertex_id, input_value):
+        return 1.0
+
+    def compute(self, ctx, messages):
+        if ctx.superstep > 0:
+            new_value = (1.0 - DAMPING) + DAMPING * sum(messages)
+            ctx.aggregate(DELTA_AGGREGATOR, abs(new_value - ctx.value))
+            ctx.set_value(new_value)
+        if ctx.out_degree:
+            ctx.send_message_to_all_neighbors(ctx.value / ctx.out_degree)
+
+
+class TolerancePRMaster(MasterComputation):
+    """Halts once the summed rank delta drops below ``tolerance``."""
+
+    def __init__(self, tolerance=1e-3, min_supersteps=2):
+        self.tolerance = tolerance
+        self.min_supersteps = min_supersteps
+
+    def initialize(self, registry):
+        registry.register(DELTA_AGGREGATOR, SumAggregator(0.0))
+
+    def master_compute(self, master_ctx):
+        if master_ctx.superstep < self.min_supersteps:
+            return
+        if master_ctx.aggregated_value(DELTA_AGGREGATOR) < self.tolerance:
+            master_ctx.halt_computation()

@@ -1,0 +1,83 @@
+"""Random walk simulation (the paper's RW, from the GPS paper).
+
+Every vertex starts with ``initial_walkers`` walkers. Each superstep, a
+vertex "declares a local counter for each of its neighbors, randomly
+increments one of the counters by one for each of its walkers, then sends
+the counters as messages to its neighbors" (Section 4.2). The vertex value
+is the number of walkers currently sitting on it.
+
+:class:`BuggyRandomWalk` reproduces the scenario's defect exactly as the
+paper describes it: "to optimize the memory and network I/O, our
+implementation declares the counters and messages as 16-bit short primitive
+types" — so once more than 32767 walkers flow from one vertex to one
+neighbor, the counter wraps and the vertex sends a *negative* number of
+walkers. The correct version uses unbounded integers.
+
+Randomness comes from the per-(vertex, superstep) context RNG, so runs are
+reproducible and Graft can replay the exact walker distribution.
+"""
+
+from collections import Counter
+
+from repro.pregel.computation import Computation
+from repro.pregel.value_types import Short16
+
+DEFAULT_INITIAL_WALKERS = 100
+
+
+class RandomWalk(Computation):
+    """Correct RW: walker counters are plain (unbounded) integers."""
+
+    def __init__(self, steps=10, initial_walkers=DEFAULT_INITIAL_WALKERS):
+        self.steps = steps
+        self.initial_walkers = initial_walkers
+
+    def initial_value(self, vertex_id, input_value):
+        return self.initial_walkers
+
+    def _make_counter(self, count):
+        """How this variant represents one per-neighbor walker counter."""
+        return count
+
+    def compute(self, ctx, messages):
+        if ctx.superstep > 0:
+            arrived = 0
+            for count in messages:
+                arrived += int(count)
+            if arrived:
+                # Walkers already parked here (a sink kept them) plus the
+                # newly arrived ones; senders zeroed themselves last step.
+                ctx.set_value(int(ctx.value) + arrived)
+        if ctx.superstep >= self.steps:
+            ctx.vote_to_halt()
+            return
+        walkers = int(ctx.value)
+        neighbors = list(ctx.neighbor_ids())
+        if walkers <= 0 or not neighbors:
+            # Walkers on a sink vertex stay put; value already reflects them.
+            return
+        counters = Counter(ctx.rng.choices(neighbors, k=walkers))
+        for target, count in counters.items():
+            ctx.send_message(target, self._make_counter(count))
+        ctx.set_value(0)
+
+
+class BuggyRandomWalk(RandomWalk):
+    """RW with the 16-bit short counters of Scenario 4.2.
+
+    A counter above ``Short16.max_value()`` (32767) silently wraps negative,
+    and the neighbor receives a negative walker count — the violation a
+    Graft message-value constraint ``msg >= 0`` catches.
+    """
+
+    def _make_counter(self, count):
+        return Short16(count)
+
+
+def total_walkers(vertex_values):
+    """Total walkers across vertices (conserved by the correct variant).
+
+    >>> total_walkers({1: 40, 2: 60})
+    100
+    """
+    return sum(int(value) for value in vertex_values.values())

@@ -1,0 +1,49 @@
+"""Single-source shortest paths and BFS.
+
+The canonical Pregel relaxation: the source starts at distance 0, every
+improvement propagates ``distance + edge_weight`` to neighbors, everyone
+halts between improvements. Use :class:`~repro.pregel.MinCombiner` to cut
+message volume.
+"""
+
+import math
+
+from repro.pregel.computation import Computation
+
+
+class ShortestPaths(Computation):
+    """Weighted SSSP from ``source``; unreachable vertices end at ``inf``.
+
+    Edge values are the weights; a None edge value means weight 1.
+    """
+
+    def __init__(self, source):
+        self.source = source
+
+    def initial_value(self, vertex_id, input_value):
+        return 0.0 if vertex_id == self.source else math.inf
+
+    def compute(self, ctx, messages):
+        best = min(messages) if messages else math.inf
+        if ctx.superstep == 0 and ctx.vertex_id == self.source:
+            best = 0.0
+        if best < ctx.value or (ctx.superstep == 0 and ctx.vertex_id == self.source):
+            if best < ctx.value:
+                ctx.set_value(best)
+            for target, weight in ctx.out_edges():
+                ctx.send_message(target, ctx.value + (1 if weight is None else weight))
+        ctx.vote_to_halt()
+
+
+class BreadthFirstSearch(ShortestPaths):
+    """Hop-count BFS: SSSP where every edge weighs 1."""
+
+    def compute(self, ctx, messages):
+        best = min(messages) if messages else math.inf
+        if ctx.superstep == 0 and ctx.vertex_id == self.source:
+            best = 0.0
+        if best < ctx.value or (ctx.superstep == 0 and ctx.vertex_id == self.source):
+            if best < ctx.value:
+                ctx.set_value(best)
+            ctx.send_message_to_all_neighbors(ctx.value + 1)
+        ctx.vote_to_halt()

@@ -1,0 +1,40 @@
+"""Triangle counting, the classic two-superstep Pregel pattern.
+
+Superstep 0: every vertex sends its neighbor-id set to all neighbors.
+Superstep 1: a vertex intersects each received set with its own neighbor
+set; each triangle through vertex ``v`` is seen twice (once via each of the
+other two corners), so the per-vertex count is the sum halved, and the
+global count is the per-vertex total divided by three.
+
+Run on an undirected (symmetric directed) graph without self-loops.
+"""
+
+from repro.pregel.computation import Computation
+
+
+class TriangleCount(Computation):
+    """Vertex value ends as the number of triangles through that vertex."""
+
+    def initial_value(self, vertex_id, input_value):
+        return 0
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            neighborhood = frozenset(ctx.neighbor_ids())
+            ctx.send_message_to_all_neighbors(neighborhood)
+            return
+        mine = set(ctx.neighbor_ids())
+        seen_twice = 0
+        for neighborhood in messages:
+            seen_twice += len(mine & neighborhood)
+        ctx.set_value(seen_twice // 2)
+        ctx.vote_to_halt()
+
+
+def total_triangles(vertex_values):
+    """Global triangle count from a result's per-vertex counts.
+
+    >>> total_triangles({0: 1, 1: 1, 2: 1})
+    1
+    """
+    return sum(vertex_values.values()) // 3

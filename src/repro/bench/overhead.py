@@ -1,0 +1,140 @@
+"""The Figure 7/8 experiment: Graft's runtime overhead per DebugConfig.
+
+For each (algorithm, dataset) cluster, the experiment runs the computation
+without Graft ("no-debug") and under each DebugConfig of Table 3, reports
+the total runtime normalized against no-debug (1.0), and annotates each bar
+with the total number of vertex captures — exactly the figure's layout.
+"""
+
+from dataclasses import dataclass
+
+from repro.bench.sweep import repeat_timed
+from repro.graft.debug_run import debug_run
+from repro.pregel.engine import PregelEngine
+
+NO_DEBUG = "no-debug"
+
+
+@dataclass
+class OverheadCell:
+    """One bar of the figure."""
+
+    algorithm: str
+    dataset: str
+    config_name: str
+    mean_seconds: float
+    std_seconds: float
+    normalized: float
+    captures: int
+    trace_bytes: int
+
+    @property
+    def overhead_percent(self):
+        return (self.normalized - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One (algorithm, dataset) cluster of the grid.
+
+    ``computation_factory`` builds the vertex program;
+    ``engine_kwargs_factory`` builds fresh per-run engine keyword arguments
+    (master instances and similar per-run state must not be shared between
+    runs).
+    """
+
+    algorithm: str
+    dataset: str
+    graph: object
+    computation_factory: object
+    engine_kwargs_factory: object = None
+
+    def engine_kwargs(self):
+        if self.engine_kwargs_factory is None:
+            return {}
+        return dict(self.engine_kwargs_factory())
+
+
+def _run_plain(spec, seed):
+    def once():
+        engine = PregelEngine(
+            spec.computation_factory, spec.graph, seed=seed, **spec.engine_kwargs()
+        )
+        return engine.run()
+
+    return once
+
+
+def _run_debug(spec, config_factory, seed):
+    def once():
+        return debug_run(
+            spec.computation_factory,
+            spec.graph,
+            config_factory(),
+            seed=seed,
+            **spec.engine_kwargs(),
+        )
+
+    return once
+
+
+def run_overhead_grid(specs, config_factories, repetitions=3, seed=0, warmup=1):
+    """Run the full grid and return the figure's cells in display order.
+
+    ``specs`` is a list of :class:`ExperimentSpec`; ``config_factories``
+    maps DebugConfig name -> zero-argument factory (fresh config per run).
+    Every cluster leads with its no-debug baseline (normalized 1.0).
+    """
+    cells = []
+    for spec in specs:
+        baseline_stats, baseline_result = repeat_timed(
+            _run_plain(spec, seed), repetitions, warmup
+        )
+        del baseline_result
+        baseline = baseline_stats.mean
+        cells.append(
+            OverheadCell(
+                algorithm=spec.algorithm,
+                dataset=spec.dataset,
+                config_name=NO_DEBUG,
+                mean_seconds=baseline,
+                std_seconds=baseline_stats.std,
+                normalized=1.0,
+                captures=0,
+                trace_bytes=0,
+            )
+        )
+        for config_name, config_factory in config_factories.items():
+            stats, run = repeat_timed(
+                _run_debug(spec, config_factory, seed), repetitions, warmup
+            )
+            if run.failure is not None:
+                raise run.failure
+            cells.append(
+                OverheadCell(
+                    algorithm=spec.algorithm,
+                    dataset=spec.dataset,
+                    config_name=config_name,
+                    mean_seconds=stats.mean,
+                    std_seconds=stats.std,
+                    normalized=stats.mean / baseline if baseline else float("inf"),
+                    captures=run.capture_count,
+                    trace_bytes=run.trace_bytes,
+                )
+            )
+    return cells
+
+
+def max_overhead_by_config(cells):
+    """The paper's headline numbers: worst overhead per config across the grid.
+
+    Returns ``{config_name: max overhead fraction}`` (e.g. 0.16 for "<16%"),
+    excluding the no-debug baselines.
+    """
+    worst = {}
+    for cell in cells:
+        if cell.config_name == NO_DEBUG:
+            continue
+        previous = worst.get(cell.config_name, 0.0)
+        worst[cell.config_name] = max(previous, cell.normalized - 1.0)
+    return worst

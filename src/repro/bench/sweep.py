@@ -1,0 +1,60 @@
+"""Repetition sweeps with summary statistics.
+
+The paper ran each experiment five times and reported averages with small
+variances (the error bars of Figure 7/8); :func:`repeat_timed` does the
+same for any callable.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.common.timing import Timer
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Mean/stddev/min/max of one repeated measurement, in seconds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    repetitions: int
+
+    @classmethod
+    def from_samples(cls, samples):
+        n = len(samples)
+        if n == 0:
+            raise ValueError("no samples")
+        mean = sum(samples) / n
+        variance = sum((s - mean) ** 2 for s in samples) / n
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(samples),
+            maximum=max(samples),
+            repetitions=n,
+        )
+
+    def summary(self):
+        return f"{self.mean * 1e3:.1f}ms ± {self.std * 1e3:.1f}ms (n={self.repetitions})"
+
+
+def repeat_timed(fn, repetitions=3, warmup=1):
+    """Call ``fn()`` ``warmup + repetitions`` times; time the last ``repetitions``.
+
+    Returns ``(stats, last_result)`` — the last call's return value is kept
+    so callers can report run-specific outputs (capture counts, trace
+    bytes) alongside the timing.
+    """
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    samples = []
+    for _ in range(repetitions):
+        with Timer() as timer:
+            result = fn()
+        samples.append(timer.elapsed)
+    return SweepStats.from_samples(samples), result

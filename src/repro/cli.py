@@ -1,0 +1,401 @@
+"""Command-line interface.
+
+The workflows a Giraph user would drive from a terminal::
+
+    python -m repro datasets                      # Table 1/2 stand-ins
+    python -m repro premade                       # offline-mode graph menu
+    python -m repro run --algorithm pagerank --dataset web-BS --vertices 500
+    python -m repro debug --algorithm gc-buggy --dataset bipartite-1M-3M \\
+        --capture-random 10 --neighbors --view tabular --superstep last
+    python -m repro debug --algorithm rw-buggy --dataset web-BS \\
+        --nonneg-messages --view violations
+    python -m repro validate --dataset soc-Epinions --vertices 500
+
+Exit status is 0 on success, 1 on a failed computation or invalid input.
+"""
+
+import argparse
+import sys
+
+from repro.algorithms import (
+    BuggyGraphColoring,
+    BuggyRandomWalk,
+    ConnectedComponents,
+    GCMaster,
+    GraphColoring,
+    KCore,
+    LabelPropagation,
+    MaximumWeightMatching,
+    PageRank,
+    RandomWalk,
+    ShortestPaths,
+    TriangleCount,
+)
+from repro.bench import render_table
+from repro.datasets import (
+    DEMO_DATASETS,
+    PERF_DATASETS,
+    load_dataset,
+    premade_graph,
+    premade_menu,
+    random_symmetric_weights,
+)
+from repro.graft import DebugConfig, debug_run
+from repro.graph import compute_stats, to_undirected, validate_graph
+from repro.pregel import run_computation
+
+
+def _algorithm_registry():
+    """name -> (description, factory builder, engine kwargs builder)."""
+    return {
+        "pagerank": (
+            "fixed-iteration PageRank",
+            lambda args: (lambda: PageRank(iterations=args.iterations)),
+            lambda args: {},
+        ),
+        "components": (
+            "connected components (HashMin)",
+            lambda args: ConnectedComponents,
+            lambda args: {},
+        ),
+        "sssp": (
+            "single-source shortest paths (source = first vertex)",
+            lambda args: (lambda: ShortestPaths(args.source)),
+            lambda args: {},
+        ),
+        "gc": (
+            "graph coloring by iterated MIS (paper GC, correct)",
+            lambda args: GraphColoring,
+            lambda args: {"master": GCMaster()},
+        ),
+        "gc-buggy": (
+            "graph coloring with the Scenario 4.1 MIS tie bug",
+            lambda args: BuggyGraphColoring,
+            lambda args: {"master": GCMaster()},
+        ),
+        "rw": (
+            "random walk simulation (paper RW, correct)",
+            lambda args: (
+                lambda: RandomWalk(steps=args.steps, initial_walkers=args.walkers)
+            ),
+            lambda args: {},
+        ),
+        "rw-buggy": (
+            "random walk with the Scenario 4.2 short-overflow bug",
+            lambda args: (
+                lambda: BuggyRandomWalk(steps=args.steps, initial_walkers=args.walkers)
+            ),
+            lambda args: {},
+        ),
+        "mwm": (
+            "approximate maximum-weight matching (paper MWM)",
+            lambda args: MaximumWeightMatching,
+            lambda args: {},
+        ),
+        "triangles": (
+            "triangle counting",
+            lambda args: TriangleCount,
+            lambda args: {},
+        ),
+        "kcore": (
+            "k-core decomposition (--k)",
+            lambda args: (lambda: KCore(args.k)),
+            lambda args: {},
+        ),
+        "label-prop": (
+            "label propagation communities (--iterations)",
+            lambda args: (lambda: LabelPropagation(iterations=args.iterations)),
+            lambda args: {},
+        ),
+    }
+
+
+def _build_graph(args):
+    if getattr(args, "input", None):
+        from repro.graph.io import read_adjacency_file
+
+        graph = read_adjacency_file(args.input, directed=not args.undirected)
+    else:
+        graph = load_dataset(
+            args.dataset, seed=args.seed, num_vertices=args.vertices
+        )
+    if args.algorithm == "mwm":
+        graph = to_undirected(random_symmetric_weights(graph, seed=args.seed))
+    elif args.algorithm in ("triangles", "kcore", "label-prop", "components"):
+        # These expect the undirected (symmetric) encoding.
+        graph = to_undirected(graph)
+    return graph
+
+
+def _engine_kwargs(args, registry_kwargs):
+    kwargs = dict(registry_kwargs)
+    kwargs["seed"] = args.seed
+    kwargs["num_workers"] = args.workers
+    if args.max_supersteps is not None:
+        kwargs["max_supersteps"] = args.max_supersteps
+    return kwargs
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def cmd_datasets(args, out):
+    rows = []
+    for spec in DEMO_DATASETS + PERF_DATASETS:
+        graph = spec.generate(seed=args.seed)
+        stats = compute_stats(graph)
+        rows.append(
+            [
+                spec.name,
+                spec.table,
+                spec.paper_vertices,
+                stats.num_vertices,
+                stats.num_directed_edges,
+                spec.description,
+            ]
+        )
+    out(
+        render_table(
+            ["name", "paper table", "paper |V|", "stand-in |V|",
+             "stand-in |E|(d)", "description"],
+            rows,
+            title="Registered datasets (paper originals and generated stand-ins)",
+        )
+    )
+    return 0
+
+
+def cmd_premade(args, out):
+    rows = []
+    for name in premade_menu():
+        graph = premade_graph(name)
+        rows.append([name, graph.num_vertices, graph.num_edges])
+    out(render_table(["name", "|V|", "|E|(d)"], rows,
+                     title="Premade graphs (offline-mode menu)"))
+    return 0
+
+
+def cmd_run(args, out):
+    registry = _algorithm_registry()
+    description, factory_builder, kwargs_builder = registry[args.algorithm]
+    graph = _build_graph(args)
+    out(f"running {args.algorithm} ({description}) on {args.dataset} "
+        f"[{graph.num_vertices} vertices, {graph.num_edges} directed edges]")
+    result = run_computation(
+        factory_builder(args), graph, **_engine_kwargs(args, kwargs_builder(args))
+    )
+    out(result.summary())
+    if args.show_values:
+        for vertex_id in list(result.vertex_values)[: args.show_values]:
+            out(f"  {vertex_id!r}: {result.vertex_values[vertex_id]!r}")
+    return 0
+
+
+class _CliDebugConfig(DebugConfig):
+    """DebugConfig assembled from command-line flags."""
+
+    def __init__(self, args):
+        self._args = args
+        self._ids = tuple(args.capture_ids or ())
+
+    def vertices_to_capture(self):
+        return self._ids
+
+    def num_random_vertices_to_capture(self):
+        return self._args.capture_random
+
+    def capture_neighbors_of_vertices(self):
+        return self._args.neighbors
+
+    def capture_all_active(self):
+        return self._args.capture_all_active
+
+    def should_capture_superstep(self, superstep):
+        return superstep >= self._args.from_superstep
+
+    def max_captures(self):
+        return self._args.max_captures
+
+
+class _CliDebugConfigWithMessages(_CliDebugConfig):
+    def message_value_constraint(self, message, source_id, target_id, superstep):
+        try:
+            return not (message < 0)
+        except TypeError:
+            return True
+
+
+class _CliDebugConfigWithValues(_CliDebugConfig):
+    def vertex_value_constraint(self, value, vertex_id, superstep):
+        try:
+            return not (value < 0)
+        except TypeError:
+            return True
+
+
+class _CliDebugConfigFull(_CliDebugConfigWithMessages):
+    def vertex_value_constraint(self, value, vertex_id, superstep):
+        try:
+            return not (value < 0)
+        except TypeError:
+            return True
+
+
+def _config_for(args):
+    if args.nonneg_messages and args.nonneg_values:
+        return _CliDebugConfigFull(args)
+    if args.nonneg_messages:
+        return _CliDebugConfigWithMessages(args)
+    if args.nonneg_values:
+        return _CliDebugConfigWithValues(args)
+    return _CliDebugConfig(args)
+
+
+def cmd_debug(args, out):
+    registry = _algorithm_registry()
+    _description, factory_builder, kwargs_builder = registry[args.algorithm]
+    graph = _build_graph(args)
+    run = debug_run(
+        factory_builder(args),
+        graph,
+        _config_for(args),
+        **_engine_kwargs(args, kwargs_builder(args)),
+    )
+    out(run.summary())
+    if not run.ok:
+        out(f"computation FAILED: {run.failure}")
+    if run.capture_count == 0:
+        out("nothing captured (adjust the capture flags)")
+        return 0 if run.ok else 1
+
+    superstep = args.superstep
+    if args.view in ("nodelink", "tabular"):
+        view = (
+            run.node_link_view() if args.view == "nodelink" else run.tabular_view()
+        )
+        if superstep == "last":
+            view.last()
+        elif superstep is not None:
+            view.goto(int(superstep))
+        out(view.render())
+    elif args.view == "violations":
+        out(run.violations_view().render(limit=20))
+
+    if args.html_report:
+        out(f"wrote {run.export_html_report(args.html_report)}")
+
+    if args.reproduce:
+        vertex_token, step_token = args.reproduce
+        try:
+            vertex_id = int(vertex_token)
+        except ValueError:
+            vertex_id = vertex_token
+        report = run.reproduce(vertex_id, int(step_token))
+        out(report.summary())
+        out(run.generate_test_code(vertex_id, int(step_token)))
+    return 0 if run.ok else 1
+
+
+def cmd_validate(args, out):
+    graph = load_dataset(args.dataset, seed=args.seed, num_vertices=args.vertices)
+    if args.weighted:
+        graph = to_undirected(random_symmetric_weights(graph, seed=args.seed))
+    report = validate_graph(graph, expect_undirected=not graph.directed)
+    out(f"{args.dataset}: {report.summary()}")
+    return 0 if report.ok else 1
+
+
+# -- parser ---------------------------------------------------------------
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graft (SIGMOD 2015) reproduction: Pregel engine + debugger",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = sub.add_parser(
+        "datasets", help="list the paper's datasets and stand-ins"
+    )
+    datasets_parser.add_argument("--seed", type=int, default=0)
+    sub.add_parser("premade", help="list the offline-mode premade graphs")
+
+    def add_common(p):
+        p.add_argument("--algorithm", required=True,
+                       choices=sorted(_algorithm_registry()))
+        p.add_argument("--input", default=None,
+                       help="adjacency-list file to load instead of --dataset")
+        p.add_argument("--undirected", action="store_true",
+                       help="treat --input as undirected")
+        p.add_argument("--dataset", default="web-BS")
+        p.add_argument("--vertices", type=int, default=None,
+                       help="stand-in size override")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--workers", type=int, default=4)
+        p.add_argument("--max-supersteps", type=int, default=None)
+        p.add_argument("--iterations", type=int, default=10,
+                       help="pagerank iterations")
+        p.add_argument("--steps", type=int, default=8, help="random-walk steps")
+        p.add_argument("--walkers", type=int, default=100,
+                       help="random-walk initial walkers per vertex")
+        p.add_argument("--source", default=0, help="sssp source vertex id")
+        p.add_argument("--k", type=int, default=2, help="k for kcore")
+
+    run_parser = sub.add_parser("run", help="run an algorithm without Graft")
+    add_common(run_parser)
+    run_parser.add_argument("--show-values", type=int, default=0,
+                            help="print the first N final vertex values")
+
+    debug_parser = sub.add_parser("debug", help="run an algorithm under Graft")
+    add_common(debug_parser)
+    debug_parser.add_argument("--capture-ids", type=int, nargs="*",
+                              help="category 1: capture these vertex ids")
+    debug_parser.add_argument("--capture-random", type=int, default=0,
+                              help="category 2: capture N random vertices")
+    debug_parser.add_argument("--neighbors", action="store_true",
+                              help="also capture neighbors of selected vertices")
+    debug_parser.add_argument("--capture-all-active", action="store_true")
+    debug_parser.add_argument("--from-superstep", type=int, default=0)
+    debug_parser.add_argument("--max-captures", type=int, default=100_000)
+    debug_parser.add_argument("--nonneg-messages", action="store_true",
+                              help="category 4: message values must be >= 0")
+    debug_parser.add_argument("--nonneg-values", action="store_true",
+                              help="category 3: vertex values must be >= 0")
+    debug_parser.add_argument("--view",
+                              choices=("nodelink", "tabular", "violations"),
+                              default="tabular")
+    debug_parser.add_argument("--superstep", default=None,
+                              help='superstep to display, or "last"')
+    debug_parser.add_argument("--reproduce", nargs=2,
+                              metavar=("VERTEX", "SUPERSTEP"),
+                              help="print the generated test for one context")
+    debug_parser.add_argument("--html-report", metavar="PATH",
+                              help="write the whole run as an HTML report")
+
+    validate_parser = sub.add_parser("validate", help="validate an input graph")
+    validate_parser.add_argument("--dataset", default="soc-Epinions")
+    validate_parser.add_argument("--vertices", type=int, default=None)
+    validate_parser.add_argument("--seed", type=int, default=0)
+    validate_parser.add_argument("--weighted", action="store_true",
+                                 help="validate the weighted-undirected encoding")
+    return parser
+
+
+_COMMANDS = {
+    "datasets": cmd_datasets,
+    "premade": cmd_premade,
+    "run": cmd_run,
+    "debug": cmd_debug,
+    "validate": cmd_validate,
+}
+
+
+def main(argv=None, out=print):
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Shared low-level utilities used by every subsystem.
+
+This package holds the pieces that must behave identically everywhere:
+the exception hierarchy, stable (run-to-run reproducible) hashing, seeded
+RNG derivation, value serialization for trace files, and timing helpers.
+"""
+
+from repro.common.errors import (
+    CaptureLimitExceeded,
+    GraftError,
+    GraphError,
+    PregelError,
+    ReproError,
+    SerializationError,
+    SimFsError,
+)
+from repro.common.hashing import stable_hash, stable_hash_bytes
+from repro.common.rng import derive_rng, derive_seed
+from repro.common.serialization import (
+    ValueCodec,
+    decode_value,
+    default_codec,
+    encode_value,
+    register_value_type,
+)
+from repro.common.timing import Timer, format_duration
+
+__all__ = [
+    "CaptureLimitExceeded",
+    "GraftError",
+    "GraphError",
+    "PregelError",
+    "ReproError",
+    "SerializationError",
+    "SimFsError",
+    "stable_hash",
+    "stable_hash_bytes",
+    "derive_rng",
+    "derive_seed",
+    "ValueCodec",
+    "decode_value",
+    "default_codec",
+    "encode_value",
+    "register_value_type",
+    "Timer",
+    "format_duration",
+]

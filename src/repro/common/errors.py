@@ -1,0 +1,146 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised intentionally by ``repro`` derives from :class:`ReproError`,
+so callers can catch one base class at an API boundary. Subsystem bases
+(:class:`GraphError`, :class:`PregelError`, :class:`GraftError`,
+:class:`SimFsError`) group errors by the package that raises them.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Errors in graph construction, validation, or I/O."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex id was referenced that does not exist in the graph."""
+
+    def __init__(self, vertex_id):
+        super().__init__(f"vertex {vertex_id!r} not found in graph")
+        self.vertex_id = vertex_id
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge was referenced that does not exist in the graph."""
+
+    def __init__(self, source, target):
+        super().__init__(f"edge ({source!r} -> {target!r}) not found in graph")
+        self.source = source
+        self.target = target
+
+
+class GraphFormatError(GraphError):
+    """A graph text file is malformed."""
+
+    def __init__(self, message, line_number=None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class PregelError(ReproError):
+    """Errors raised by the Pregel engine."""
+
+
+class ComputeError(PregelError):
+    """A user ``compute()`` function raised an exception.
+
+    Wraps the original exception and records which vertex and superstep it
+    occurred on so the failure can be located (and captured by Graft).
+    """
+
+    def __init__(self, vertex_id, superstep, original):
+        super().__init__(
+            f"compute() failed for vertex {vertex_id!r} "
+            f"in superstep {superstep}: {original!r}"
+        )
+        self.vertex_id = vertex_id
+        self.superstep = superstep
+        self.original = original
+
+
+class MasterComputeError(PregelError):
+    """A user ``master_compute()`` function raised an exception."""
+
+    def __init__(self, superstep, original):
+        super().__init__(
+            f"master_compute() failed in superstep {superstep}: {original!r}"
+        )
+        self.superstep = superstep
+        self.original = original
+
+
+class AggregatorError(PregelError):
+    """An aggregator was misused (unknown name, bad merge, re-registration)."""
+
+
+class EngineStateError(PregelError):
+    """The engine was driven through an invalid state transition."""
+
+
+class GraftError(ReproError):
+    """Errors raised by the Graft debugger."""
+
+
+class CaptureLimitExceeded(GraftError):
+    """The safety-net maximum number of captures was reached.
+
+    Mirrors the paper's adjustable threshold after which Graft stops
+    capturing. The capture machinery enforces the limit *silently* (the
+    run continues, ``DebugRun.capture_limit_hit`` is set); this exception
+    exists for callers who want to escalate that condition themselves::
+
+        if run.capture_limit_hit:
+            raise CaptureLimitExceeded(config.max_captures())
+    """
+
+    def __init__(self, limit):
+        super().__init__(f"capture limit of {limit} reached; capturing stopped")
+        self.limit = limit
+
+
+class TraceError(GraftError):
+    """A trace file is missing, unreadable, or malformed."""
+
+
+class ReplayMismatchError(GraftError):
+    """Replay of a captured context diverged from the recorded outcome."""
+
+    def __init__(self, vertex_id, superstep, field, recorded, replayed):
+        super().__init__(
+            f"replay mismatch for vertex {vertex_id!r} superstep {superstep} "
+            f"on {field}: recorded {recorded!r}, replayed {replayed!r}"
+        )
+        self.vertex_id = vertex_id
+        self.superstep = superstep
+        self.field = field
+        self.recorded = recorded
+        self.replayed = replayed
+
+
+class SimFsError(ReproError):
+    """Errors raised by the simulated distributed file system."""
+
+
+class SimFsFileNotFound(SimFsError):
+    """A path was opened for reading that does not exist."""
+
+    def __init__(self, path):
+        super().__init__(f"no such file: {path!r}")
+        self.path = path
+
+
+class SimFsFileExists(SimFsError):
+    """A path was created exclusively but already exists."""
+
+    def __init__(self, path):
+        super().__init__(f"file exists: {path!r}")
+        self.path = path
+
+
+class SerializationError(ReproError):
+    """A value could not be encoded to, or decoded from, trace format."""

@@ -1,0 +1,192 @@
+"""Value serialization for trace files.
+
+Graft's trace records contain arbitrary user values: vertex values, edge
+values, message payloads, aggregator values. Those must round-trip through
+the (simulated) distributed file system as text. This module provides a
+small, explicit codec:
+
+- JSON-native scalars (None, bool, int, float, str) pass through unchanged.
+- Containers (list, tuple, dict, set, frozenset) are encoded recursively,
+  with non-JSON shapes wrapped in a ``{"__t__": ...}`` envelope.
+- User value types are registered with :func:`register_value_type`.
+  Dataclasses register automatically from their fields; other classes may
+  supply ``to_payload()`` / ``from_payload()`` methods.
+
+The codec is intentionally *not* pickle: trace files must stay readable,
+diffable text (the paper stresses small, inspectable log files), and decoding
+must never execute arbitrary code.
+"""
+
+import dataclasses
+import json
+import math
+
+from repro.common.errors import SerializationError
+
+_TYPE_KEY = "__t__"
+
+
+class ValueCodec:
+    """Encodes and decodes user values to JSON-compatible structures."""
+
+    def __init__(self):
+        self._types_by_name = {}
+        self._names_by_type = {}
+
+    def register(self, cls, name=None):
+        """Register a value type so instances can round-trip through traces.
+
+        ``cls`` must either be a dataclass or define both ``to_payload()``
+        (returning a dict of encodable fields) and a classmethod
+        ``from_payload(payload)``. Registration is idempotent for the same
+        class; registering a *different* class under an existing name is an
+        error.
+        """
+        name = name or cls.__qualname__
+        existing = self._types_by_name.get(name)
+        if existing is cls:
+            return cls
+        if existing is not None:
+            raise SerializationError(
+                f"value type name {name!r} already registered to {existing!r}"
+            )
+        is_dataclass = dataclasses.is_dataclass(cls)
+        has_methods = hasattr(cls, "to_payload") and hasattr(cls, "from_payload")
+        if not (is_dataclass or has_methods):
+            raise SerializationError(
+                f"{cls!r} must be a dataclass or define to_payload/from_payload"
+            )
+        self._types_by_name[name] = cls
+        self._names_by_type[cls] = name
+        return cls
+
+    def is_registered(self, cls):
+        return cls in self._names_by_type
+
+    def encode(self, value):
+        """Encode ``value`` into a JSON-serializable structure."""
+        if value is None or isinstance(value, (bool, str)):
+            return value
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float):
+            if math.isnan(value) or math.isinf(value):
+                return {_TYPE_KEY: "float", "repr": repr(value)}
+            return value
+        if isinstance(value, list):
+            return [self.encode(item) for item in value]
+        if isinstance(value, tuple):
+            return {_TYPE_KEY: "tuple", "items": [self.encode(i) for i in value]}
+        if isinstance(value, (set, frozenset)):
+            tag = "frozenset" if isinstance(value, frozenset) else "set"
+            try:
+                items = sorted(value, key=repr)
+            except TypeError:
+                items = list(value)
+            return {_TYPE_KEY: tag, "items": [self.encode(i) for i in items]}
+        if isinstance(value, dict):
+            if all(isinstance(k, str) for k in value) and _TYPE_KEY not in value:
+                return {k: self.encode(v) for k, v in value.items()}
+            return {
+                _TYPE_KEY: "dict",
+                "items": [[self.encode(k), self.encode(v)] for k, v in value.items()],
+            }
+        if isinstance(value, bytes):
+            return {_TYPE_KEY: "bytes", "hex": value.hex()}
+        name = self._names_by_type.get(type(value))
+        if name is not None:
+            return {_TYPE_KEY: "obj", "type": name, "fields": self._fields_of(value)}
+        raise SerializationError(
+            f"cannot encode value of unregistered type {type(value).__name__}: "
+            f"{value!r}; call register_value_type() on the class first"
+        )
+
+    def _fields_of(self, value):
+        if dataclasses.is_dataclass(value):
+            return {
+                field.name: self.encode(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            }
+        return {k: self.encode(v) for k, v in value.to_payload().items()}
+
+    def decode(self, data):
+        """Decode a structure produced by :meth:`encode`."""
+        if isinstance(data, list):
+            return [self.decode(item) for item in data]
+        if not isinstance(data, dict):
+            return data
+        tag = data.get(_TYPE_KEY)
+        if tag is None:
+            return {k: self.decode(v) for k, v in data.items()}
+        if tag == "tuple":
+            return tuple(self.decode(i) for i in data["items"])
+        if tag == "set":
+            return {self.decode(i) for i in data["items"]}
+        if tag == "frozenset":
+            return frozenset(self.decode(i) for i in data["items"])
+        if tag == "dict":
+            return {self.decode(k): self.decode(v) for k, v in data["items"]}
+        if tag == "bytes":
+            return bytes.fromhex(data["hex"])
+        if tag == "float":
+            return float(data["repr"])
+        if tag == "obj":
+            return self._decode_obj(data)
+        raise SerializationError(f"unknown type tag {tag!r} in trace data")
+
+    def _decode_obj(self, data):
+        name = data["type"]
+        cls = self._types_by_name.get(name)
+        if cls is None:
+            raise SerializationError(
+                f"trace references unregistered value type {name!r}; "
+                f"import the module defining it before reading this trace"
+            )
+        fields = {k: self.decode(v) for k, v in data["fields"].items()}
+        if dataclasses.is_dataclass(cls):
+            return cls(**fields)
+        return cls.from_payload(fields)
+
+    def dumps(self, value):
+        """Encode ``value`` to a compact one-line JSON string."""
+        return json.dumps(self.encode(value), separators=(",", ":"), sort_keys=True)
+
+    def loads(self, text):
+        """Decode a JSON string produced by :meth:`dumps`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"malformed trace line: {exc}") from exc
+        return self.decode(data)
+
+
+#: Process-wide default codec. Algorithm modules register their value types
+#: against this at import time, so any trace written by the library can be
+#: read back after importing the same modules.
+default_codec = ValueCodec()
+
+
+def register_value_type(cls=None, *, name=None):
+    """Register ``cls`` with the default codec. Usable as a decorator.
+
+    >>> import dataclasses
+    >>> @register_value_type
+    ... @dataclasses.dataclass
+    ... class Probe:
+    ...     x: int
+    >>> decode_value(encode_value(Probe(3)))
+    Probe(x=3)
+    """
+    if cls is None:
+        return lambda c: default_codec.register(c, name)
+    return default_codec.register(cls, name)
+
+
+def encode_value(value):
+    """Encode with the default codec."""
+    return default_codec.encode(value)
+
+
+def decode_value(data):
+    """Decode with the default codec."""
+    return default_codec.decode(data)

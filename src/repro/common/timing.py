@@ -1,0 +1,53 @@
+"""Timing helpers for engine metrics and the benchmark harness."""
+
+import time
+
+
+class Timer:
+    """Context manager measuring wall-clock duration with a monotonic clock.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+    def start(self):
+        """Start (or restart) the timer outside a ``with`` block."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self):
+        """Stop the timer and return the elapsed seconds."""
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+
+def format_duration(seconds):
+    """Render a duration in a compact human unit.
+
+    >>> format_duration(0.000002)
+    '2.0us'
+    >>> format_duration(1.5)
+    '1.50s'
+    """
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{secs:04.1f}s"

@@ -1,0 +1,45 @@
+"""Synthetic dataset generators standing in for the paper's graphs.
+
+The paper runs its demo on web-BS, soc-Epinions, and bipartite-1M-3M
+(Table 1) and its performance study on sk-2005, twitter, and bipartite-2B-6B
+(Table 2). Those graphs are either large downloads or (at 2B vertices) far
+beyond a laptop. The generators here reproduce their structural character —
+heavy-tailed degrees for the web/social graphs, exact 3-regularity for the
+bipartite graphs, directed vs. undirected encodings — at laptop scale, with
+every generator fully determined by a seed.
+"""
+
+from repro.datasets.generators import (
+    bipartite_regular,
+    corrupt_asymmetric_weights,
+    erdos_renyi,
+    follower_network,
+    power_law_graph,
+    random_symmetric_weights,
+    trust_network,
+)
+from repro.datasets.premade import premade_graph, premade_menu
+from repro.datasets.registry import (
+    DEMO_DATASETS,
+    PERF_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+
+__all__ = [
+    "bipartite_regular",
+    "corrupt_asymmetric_weights",
+    "erdos_renyi",
+    "follower_network",
+    "power_law_graph",
+    "random_symmetric_weights",
+    "trust_network",
+    "premade_graph",
+    "premade_menu",
+    "DEMO_DATASETS",
+    "PERF_DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+]

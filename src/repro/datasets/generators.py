@@ -1,0 +1,207 @@
+"""Seeded random graph generators.
+
+All generators take an explicit ``seed`` and are deterministic given it.
+Vertex ids are consecutive integers starting at 0 (like SNAP exports of the
+paper's datasets).
+"""
+
+import bisect
+import itertools
+
+from repro.common.errors import GraphError
+from repro.common.rng import derive_rng
+from repro.graph.graph import Graph
+
+
+class _WeightedSampler:
+    """Samples indices proportionally to fixed weights in O(log n)."""
+
+    def __init__(self, weights):
+        self._cumulative = list(itertools.accumulate(weights))
+        if not self._cumulative or self._cumulative[-1] <= 0:
+            raise GraphError("weighted sampler needs positive total weight")
+
+    def sample(self, rng):
+        point = rng.random() * self._cumulative[-1]
+        return bisect.bisect_right(self._cumulative, point)
+
+
+def _zipf_weights(num_vertices, exponent):
+    """Chung–Lu style expected-degree weights with a power-law tail."""
+    return [(rank + 1) ** (-1.0 / (exponent - 1.0)) for rank in range(num_vertices)]
+
+
+def power_law_graph(
+    num_vertices,
+    mean_out_degree,
+    exponent=2.3,
+    seed=0,
+    directed=True,
+    id_offset=0,
+):
+    """Web-like graph with heavy-tailed in-degrees (sk-2005 / web-BS stand-in).
+
+    Each vertex draws its out-degree around ``mean_out_degree`` (geometric-ish
+    spread) and picks targets with probability proportional to a Zipf weight
+    of exponent ``exponent`` — high-weight vertices become hubs, giving the
+    skewed in-degree distribution real web crawls show.
+    """
+    if num_vertices <= 1:
+        raise GraphError("power_law_graph needs at least 2 vertices")
+    rng = derive_rng(seed, "power_law", num_vertices, mean_out_degree)
+    sampler = _WeightedSampler(_zipf_weights(num_vertices, exponent))
+    graph = Graph(directed=directed)
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex + id_offset)
+    for source in range(num_vertices):
+        out_degree = min(num_vertices - 1, _draw_degree(rng, mean_out_degree))
+        chosen = set()
+        attempts = 0
+        while len(chosen) < out_degree and attempts < out_degree * 20:
+            target = sampler.sample(rng)
+            attempts += 1
+            if target != source:
+                chosen.add(target)
+        for target in sorted(chosen):
+            if directed:
+                graph.add_edge(source + id_offset, target + id_offset)
+            else:
+                graph.add_undirected_edge(source + id_offset, target + id_offset)
+    return graph
+
+
+def _draw_degree(rng, mean):
+    """Draw a non-negative degree with the given mean and geometric spread."""
+    if mean <= 0:
+        return 0
+    # Geometric distribution with success probability 1/(mean+1) has mean `mean`.
+    p = 1.0 / (mean + 1.0)
+    degree = 0
+    while rng.random() > p:
+        degree += 1
+        if degree > mean * 50:
+            break
+    return degree
+
+
+def trust_network(num_vertices, mean_degree=7, reciprocity=0.4, seed=0):
+    """Directed who-trusts-whom graph (soc-Epinions stand-in).
+
+    Trust networks show moderate degree skew plus substantial edge
+    reciprocity; each generated edge is mirrored with probability
+    ``reciprocity``.
+    """
+    rng = derive_rng(seed, "trust", num_vertices, mean_degree)
+    graph = power_law_graph(
+        num_vertices, mean_degree, exponent=2.1, seed=derive_seed_for(seed, "base")
+    )
+    for source, target, _value in list(graph.edges()):
+        if not graph.has_edge(target, source) and rng.random() < reciprocity:
+            graph.add_edge(target, source)
+    return graph
+
+
+def follower_network(num_vertices, mean_degree=12, seed=0):
+    """Directed follower graph with extreme hubs (twitter stand-in)."""
+    return power_law_graph(
+        num_vertices,
+        mean_degree,
+        exponent=1.9,
+        seed=derive_seed_for(seed, "follower"),
+    )
+
+
+def derive_seed_for(seed, label):
+    """Stable child seed so composed generators stay independent."""
+    from repro.common.rng import derive_seed
+
+    return derive_seed(seed, "datasets", label)
+
+
+def bipartite_regular(side_size, degree=3, seed=0):
+    """Exactly ``degree``-regular bipartite graph (bipartite-* stand-in).
+
+    Left side ids are ``0 .. side_size-1``, right side ids are
+    ``side_size .. 2*side_size-1``. Every vertex on both sides has exactly
+    ``degree`` neighbors; edges are undirected (symmetric directed pairs),
+    matching the paper's "(u)" encoding. A seeded permutation of the right
+    side randomizes which vertices pair up while preserving regularity.
+    """
+    if degree >= side_size:
+        raise GraphError(
+            f"degree {degree} must be below side size {side_size} "
+            f"for a simple bipartite graph"
+        )
+    rng = derive_rng(seed, "bipartite", side_size, degree)
+    permutation = list(range(side_size))
+    rng.shuffle(permutation)
+    graph = Graph(directed=False)
+    for left in range(side_size):
+        for offset in range(degree):
+            right = side_size + permutation[(left + offset) % side_size]
+            graph.add_undirected_edge(left, right)
+    return graph
+
+
+def erdos_renyi(num_vertices, edge_probability, seed=0, directed=True):
+    """Uniform random graph, mostly for tests and property checks."""
+    rng = derive_rng(seed, "gnp", num_vertices, edge_probability)
+    graph = Graph(directed=directed)
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    for source in range(num_vertices):
+        for target in range(num_vertices):
+            if source != target and rng.random() < edge_probability:
+                if directed:
+                    graph.add_edge(source, target)
+                elif source < target:
+                    graph.add_undirected_edge(source, target)
+    return graph
+
+
+def random_symmetric_weights(graph, low=1.0, high=100.0, seed=0, precision=2):
+    """Assign each adjacency pair one random weight, symmetric by construction.
+
+    Returns a new graph; the input is untouched. This produces the *correct*
+    weighted-undirected encoding that MWM expects.
+    """
+    rng = derive_rng(seed, "weights", low, high)
+    weights = {}
+    result = Graph(directed=graph.directed)
+    for vertex_id in graph.vertex_ids():
+        result.add_vertex(vertex_id, graph.vertex_value(vertex_id))
+    for source, target, _value in graph.edges():
+        key = (source, target) if repr(source) <= repr(target) else (target, source)
+        if key not in weights:
+            weights[key] = round(rng.uniform(low, high), precision)
+        result.add_edge(source, target, weights[key])
+    return result
+
+
+def corrupt_asymmetric_weights(graph, fraction=0.01, seed=0):
+    """Inject the paper's Scenario 4.3 input bug.
+
+    A ``fraction`` of adjacency pairs get their *reverse* edge weight
+    replaced by a strictly smaller value, so the two directions disagree —
+    and, crucially for reproducing the scenario, one endpoint of a heavy
+    edge no longer sees it as heavy. That breaks the mutual-preference
+    guarantee maximum-weight matching relies on and lets preference cycles
+    (and hence non-termination) form. Returns ``(corrupted_graph,
+    corrupted_pairs)``.
+    """
+    rng = derive_rng(seed, "corrupt", fraction)
+    result = graph.copy()
+    corrupted = []
+    seen = set()
+    for source, target, value in graph.edges():
+        key = (source, target) if repr(source) <= repr(target) else (target, source)
+        if key in seen or not graph.has_edge(target, source):
+            continue
+        seen.add(key)
+        if value is not None and rng.random() < fraction:
+            shrunken = round(value * rng.uniform(0.05, 0.6), 4)
+            if shrunken == value:
+                shrunken = value / 2.0
+            result.set_edge_value(target, source, shrunken)
+            corrupted.append((source, target))
+    return result, corrupted

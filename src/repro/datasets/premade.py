@@ -1,0 +1,96 @@
+"""Premade small graphs (the Graft GUI's offline-mode menu).
+
+Section 3.4: "Users can also select premade graphs from a menu." These are
+the canonical tiny graphs users pick when constructing end-to-end tests.
+"""
+
+from repro.common.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+def _triangle():
+    return GraphBuilder(directed=False).cycle(0, 1, 2).build()
+
+
+def _path(n=5):
+    return GraphBuilder(directed=False).path(*range(n)).build()
+
+
+def _cycle(n=6):
+    return GraphBuilder(directed=False).cycle(*range(n)).build()
+
+
+def _star(n=6):
+    builder = GraphBuilder(directed=False)
+    for leaf in range(1, n):
+        builder.edge(0, leaf)
+    return builder.build()
+
+
+def _complete(n=5):
+    return GraphBuilder(directed=False).clique(*range(n)).build()
+
+
+def _binary_tree(depth=3):
+    builder = GraphBuilder(directed=False)
+    last = 2 ** (depth + 1) - 1
+    for child in range(1, last):
+        builder.edge((child - 1) // 2, child)
+    return builder.build()
+
+
+def _two_triangles():
+    """Two disconnected triangles — handy for connected-components tests."""
+    return GraphBuilder(directed=False).cycle(0, 1, 2).cycle(3, 4, 5).build()
+
+
+def _petersen():
+    builder = GraphBuilder(directed=False).cycle(0, 1, 2, 3, 4)
+    for outer in range(5):
+        builder.edge(outer, outer + 5)
+    for inner in range(5):
+        builder.edge(5 + inner, 5 + (inner + 2) % 5)
+    return builder.build()
+
+
+def _weighted_square():
+    """4-cycle with distinct symmetric weights (a tiny MWM fixture)."""
+    return (
+        GraphBuilder(directed=False)
+        .edge(0, 1, value=4.0)
+        .edge(1, 2, value=1.0)
+        .edge(2, 3, value=5.0)
+        .edge(3, 0, value=2.0)
+        .build()
+    )
+
+
+_MENU = {
+    "triangle": _triangle,
+    "path5": _path,
+    "cycle6": _cycle,
+    "star6": _star,
+    "complete5": _complete,
+    "binary-tree3": _binary_tree,
+    "two-triangles": _two_triangles,
+    "petersen": _petersen,
+    "weighted-square": _weighted_square,
+}
+
+
+def premade_menu():
+    """Names of the premade graphs, as the GUI menu lists them."""
+    return sorted(_MENU)
+
+
+def premade_graph(name):
+    """Build a premade graph by menu name.
+
+    >>> premade_graph("triangle").num_vertices
+    3
+    """
+    if name not in _MENU:
+        raise GraphError(
+            f"no premade graph {name!r}; menu: {', '.join(premade_menu())}"
+        )
+    return _MENU[name]()

@@ -1,0 +1,154 @@
+"""Capture records: what Graft writes to trace files.
+
+A :class:`VertexContextRecord` is the full context of one ``compute()``
+call — the five pieces of Giraph data the paper lists (id, outgoing edges,
+incoming messages, aggregators, global data) as they stood *before* the
+call, plus the observed outcome (post-value, post-edges, sent messages,
+halt decision), any constraint violations or exception, and the reasons the
+vertex was captured. The pre-state is what replay rebuilds; the outcome is
+what replay is verified against.
+
+A :class:`MasterContextRecord` is the master's context for one superstep —
+"just the aggregator values" (Section 3.4) plus the halt decision.
+
+Records serialize to single JSON lines through the value codec, keeping
+trace files small, textual, and diffable.
+"""
+
+from dataclasses import dataclass, field, fields
+
+from repro.common.serialization import register_value_type
+
+# Capture reasons (the paper's five DebugConfig categories + all-active).
+REASON_SPECIFIED = "specified"
+REASON_RANDOM = "random"
+REASON_NEIGHBOR = "neighbor"
+REASON_VERTEX_VALUE = "vertex_value_violation"
+REASON_MESSAGE = "message_violation"
+REASON_EXCEPTION = "exception"
+REASON_ALL_ACTIVE = "all_active"
+REASON_NEIGHBORHOOD = "neighborhood_violation"
+
+
+@register_value_type
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation.
+
+    ``kind`` is ``"message"``, ``"vertex_value"``, or ``"neighborhood"``;
+    ``details`` carries the offending data (message value and endpoints, or
+    the bad vertex value, or the clashing neighbor).
+    """
+
+    kind: str
+    vertex_id: object
+    superstep: int
+    details: dict
+
+
+@register_value_type
+@dataclass(frozen=True)
+class ExceptionRecord:
+    """A captured exception from a user ``compute()`` call."""
+
+    type_name: str
+    message: str
+    traceback_text: str
+
+    def summary(self):
+        return f"{self.type_name}: {self.message}"
+
+
+@dataclass
+class VertexContextRecord:
+    """Full captured context of one ``compute()`` call."""
+
+    vertex_id: object
+    superstep: int
+    worker_id: int
+    # The five pieces of pre-call context:
+    value_before: object
+    edges_before: dict
+    incoming: list           # [(source_id, message_value), ...]
+    aggregators: dict        # visible aggregator values this superstep
+    num_vertices: int
+    num_edges: int
+    run_seed: object
+    # Observed outcome:
+    value_after: object = None
+    edges_after: dict = field(default_factory=dict)
+    sent: list = field(default_factory=list)   # [(target_id, value), ...]
+    halted: bool = False
+    # Why it was captured, and what went wrong:
+    reasons: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+    exception: object = None
+
+    @property
+    def key(self):
+        """Index key ``(vertex_id, superstep)``."""
+        return (self.vertex_id, self.superstep)
+
+    @property
+    def active(self):
+        """Whether the vertex stayed active after this superstep."""
+        return not self.halted
+
+    def summary(self):
+        flags = ",".join(self.reasons)
+        return (
+            f"vertex {self.vertex_id!r} @ superstep {self.superstep} "
+            f"[{flags}] value {self.value_before!r} -> {self.value_after!r}, "
+            f"{len(self.incoming)} in / {len(self.sent)} out"
+        )
+
+
+@dataclass
+class MasterContextRecord:
+    """Captured master context for one superstep.
+
+    ``aggregators_before`` is the merged state master_compute() saw when it
+    started (what replay rebuilds); ``aggregators`` is the state after it
+    ran — what the vertices of this superstep observed (what the GUI's
+    aggregator panel shows).
+    """
+
+    superstep: int
+    aggregators: dict
+    aggregators_before: dict = field(default_factory=dict)
+    halted: bool = False
+
+    def summary(self):
+        halt = " HALT" if self.halted else ""
+        return f"master @ superstep {self.superstep}: {self.aggregators!r}{halt}"
+
+
+# -- serialization -----------------------------------------------------------
+
+_VERTEX_KIND = "vertex"
+_MASTER_KIND = "master"
+
+
+def record_to_line(record, codec):
+    """Serialize a capture record to one JSON line."""
+    if isinstance(record, VertexContextRecord):
+        kind = _VERTEX_KIND
+    elif isinstance(record, MasterContextRecord):
+        kind = _MASTER_KIND
+    else:
+        raise TypeError(f"not a capture record: {record!r}")
+    payload = {"kind": kind}
+    for field_info in fields(record):
+        payload[field_info.name] = getattr(record, field_info.name)
+    return codec.dumps(payload)
+
+
+def record_from_line(line, codec):
+    """Deserialize one trace line back into a record."""
+    payload = codec.loads(line)
+    kind = payload.pop("kind")
+    if kind == _VERTEX_KIND:
+        return VertexContextRecord(**payload)
+    if kind == _MASTER_KIND:
+        return MasterContextRecord(**payload)
+    raise ValueError(f"unknown trace record kind {kind!r}")

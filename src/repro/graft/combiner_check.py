@@ -1,0 +1,74 @@
+"""Combiner safety checking: a debugging tool for a classic Pregel bug.
+
+A message combiner must be commutative and associative, and the algorithm
+must not depend on message multiplicity or ordering — otherwise adding the
+combiner silently changes results. This checker runs a computation with
+and without the combiner under identical seeds and diffs the final vertex
+values, superstep counts, and halt reasons; any difference means the
+combiner is unsafe for this algorithm.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.pregel.engine import PregelEngine
+
+
+@dataclass
+class CombinerCheckReport:
+    """Outcome of a combiner safety check."""
+
+    safe: bool
+    differing_vertices: list = field(default_factory=list)
+    supersteps_without: int = 0
+    supersteps_with: int = 0
+    messages_saved: int = 0
+
+    def summary(self):
+        if self.safe:
+            return (
+                f"combiner safe: identical results, "
+                f"{self.messages_saved} messages eliminated"
+            )
+        return (
+            f"combiner UNSAFE: {len(self.differing_vertices)} vertices differ "
+            f"(supersteps {self.supersteps_without} vs {self.supersteps_with})"
+        )
+
+
+def check_combiner_safety(
+    computation_factory, graph, combiner, sample_limit=20, **engine_kwargs
+):
+    """Compare a run with and without ``combiner``; returns a report.
+
+    ``engine_kwargs`` must describe the run deterministically (the same
+    seed is used for both runs).
+    """
+    without = PregelEngine(computation_factory, graph, **engine_kwargs).run()
+    with_combiner = PregelEngine(
+        computation_factory, graph, combiner=combiner, **engine_kwargs
+    ).run()
+
+    differing = [
+        vertex_id
+        for vertex_id in without.vertex_values
+        if without.vertex_values[vertex_id]
+        != with_combiner.vertex_values.get(vertex_id)
+    ]
+    extra = [
+        vertex_id
+        for vertex_id in with_combiner.vertex_values
+        if vertex_id not in without.vertex_values
+    ]
+    differing.extend(extra)
+    safe = (
+        not differing
+        and without.num_supersteps == with_combiner.num_supersteps
+        and without.halt_reason == with_combiner.halt_reason
+    )
+    return CombinerCheckReport(
+        safe=safe,
+        differing_vertices=sorted(differing, key=repr)[:sample_limit],
+        supersteps_without=without.num_supersteps,
+        supersteps_with=with_combiner.num_supersteps,
+        messages_saved=with_combiner.metrics.total_messages_combined,
+    )

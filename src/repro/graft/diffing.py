@@ -1,0 +1,110 @@
+"""Differential debugging: compare two captured runs.
+
+A natural extension of the Graft workflow (and of its future-work
+direction): after fixing a bug, run the old and the new implementation
+under capture-all-active with the same seed and diff the traces. The first
+superstep at which a vertex's value or messages diverge is where the two
+implementations' behaviour splits — usually the bug's first observable
+effect.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first difference found for one vertex."""
+
+    vertex_id: object
+    superstep: int
+    field_name: str          # "value_after", "sent", "halted", or "presence"
+    left: object
+    right: object
+
+    def summary(self):
+        return (
+            f"vertex {self.vertex_id!r} first diverges at superstep "
+            f"{self.superstep} on {self.field_name}: "
+            f"{self.left!r} vs {self.right!r}"
+        )
+
+
+@dataclass
+class DiffReport:
+    """All first-divergences between two runs, plus quick accessors."""
+
+    divergences: list = field(default_factory=list)
+    compared_keys: int = 0
+
+    @property
+    def identical(self):
+        return not self.divergences
+
+    def earliest(self):
+        """The overall first divergence, or None."""
+        if not self.divergences:
+            return None
+        return min(
+            self.divergences, key=lambda d: (d.superstep, repr(d.vertex_id))
+        )
+
+    def by_superstep(self):
+        """Histogram ``{superstep: number of vertices first diverging}``."""
+        counts = {}
+        for divergence in self.divergences:
+            counts[divergence.superstep] = counts.get(divergence.superstep, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary(self):
+        if self.identical:
+            return f"runs identical across {self.compared_keys} captured contexts"
+        earliest = self.earliest()
+        return (
+            f"{len(self.divergences)} vertices diverge "
+            f"(earliest: {earliest.summary()})"
+        )
+
+
+_COMPARED_FIELDS = ("value_after", "sent", "halted")
+
+
+def diff_runs(left_run, right_run):
+    """Diff two debug runs' traces; returns a :class:`DiffReport`.
+
+    Both runs should capture the same vertices (typically
+    capture-all-active) and use the same input graph and seed — then any
+    divergence is attributable to the code difference alone.
+    """
+    report = DiffReport()
+    left_keys = {r.key for r in left_run.reader.vertex_records}
+    right_keys = {r.key for r in right_run.reader.vertex_records}
+    first_divergence = {}
+
+    def note(vertex_id, superstep, field_name, left, right):
+        existing = first_divergence.get(vertex_id)
+        if existing is None or superstep < existing.superstep:
+            first_divergence[vertex_id] = Divergence(
+                vertex_id, superstep, field_name, left, right
+            )
+
+    for key in sorted(left_keys & right_keys, key=lambda k: (k[1], repr(k[0]))):
+        vertex_id, superstep = key
+        report.compared_keys += 1
+        left_record = left_run.reader.get(vertex_id, superstep)
+        right_record = right_run.reader.get(vertex_id, superstep)
+        for field_name in _COMPARED_FIELDS:
+            left_value = getattr(left_record, field_name)
+            right_value = getattr(right_record, field_name)
+            if left_value != right_value:
+                note(vertex_id, superstep, field_name, left_value, right_value)
+                break
+
+    for key in left_keys ^ right_keys:
+        vertex_id, superstep = key
+        present = "left" if key in left_keys else "right"
+        note(vertex_id, superstep, "presence", present == "left", present == "right")
+
+    report.divergences = sorted(
+        first_divergence.values(), key=lambda d: (d.superstep, repr(d.vertex_id))
+    )
+    return report

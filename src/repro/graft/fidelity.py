@@ -1,0 +1,57 @@
+"""Replay fidelity: the debugger's core guarantee, made checkable.
+
+Graft's promise is that the captured context suffices to reproduce exactly
+what ``compute()`` did for a vertex and superstep. :func:`verify_run_fidelity`
+replays *every* captured record of a debug run and compares against the
+recorded outcomes; the library's property tests drive this across
+algorithms, seeds, and worker counts.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.graft.reproducer import replay_record
+
+
+@dataclass
+class FidelityReport:
+    """Outcome of replaying every captured record of one run."""
+
+    total: int = 0
+    faithful: int = 0
+    unfaithful: list = field(default_factory=list)   # ReplayReports that diverged
+
+    @property
+    def ok(self):
+        return self.total == self.faithful
+
+    def summary(self):
+        if self.ok:
+            return f"all {self.total} captured contexts replay faithfully"
+        return (
+            f"{self.faithful}/{self.total} faithful; divergent: "
+            + ", ".join(
+                f"{r.record.vertex_id!r}@{r.record.superstep}"
+                for r in self.unfaithful[:10]
+            )
+        )
+
+
+def verify_run_fidelity(run, computation_factory=None, limit=None):
+    """Replay every captured context of ``run`` and verify the outcomes.
+
+    ``computation_factory`` defaults to the one the run used. ``limit``
+    caps how many records to replay (useful for very large capture sets).
+    """
+    factory = computation_factory or run.computation_factory
+    report = FidelityReport()
+    records = run.reader.vertex_records
+    if limit is not None:
+        records = records[:limit]
+    for record in records:
+        replay = replay_record(record, factory, verify=True, trace_lines=False)
+        report.total += 1
+        if replay.faithful:
+            report.faithful += 1
+        else:
+            report.unfaithful.append(replay)
+    return report

@@ -1,0 +1,219 @@
+"""The Graft Instrumenter.
+
+The paper's instrumenter uses Javassist to wrap the user's
+``vertex.compute()`` inside an instrumented one "which is the final program
+that is submitted to Giraph". Here :func:`instrument` wraps the user's
+:class:`~repro.pregel.Computation` factory in one producing
+:class:`InstrumentedComputation` objects — the engine runs those, none the
+wiser, and the user's class is untouched.
+
+Per ``compute()`` call the wrapper:
+
+1. notes the pre-call context (value, incoming messages, and — when the
+   vertex is already known to be captured — an eager copy of its edges);
+2. attaches a send observer that checks the message-value constraint at
+   each send, before any combining (so the constraint sees the source id,
+   per the paper's signature);
+3. invokes the user's ``compute()``;
+4. afterwards checks the vertex-value constraint on the final value and
+   decides whether to capture (any of the five categories, or
+   all-active), honoring the superstep filter and the max-captures
+   safety net;
+5. on an exception, captures the context with the error and traceback,
+   then either re-raises (failing the job, Giraph-style) or — with
+   ``continue_on_exception()`` — halts just that vertex and keeps going.
+
+A caveat the library shares with Giraph's object-reuse conventions: vertex
+values and messages are treated as immutable; a ``compute()`` that mutates
+a value object *in place* (rather than ``ctx.set_value(new)``) can make the
+recorded pre-value wrong. Edge maps are only eagerly copied for vertices
+known in advance to be captured; constraint-triggered captures of a
+``compute()`` that also mutated its edges record the *post* edges (noted in
+DESIGN.md; no scenario algorithm does this).
+"""
+
+import traceback
+
+from repro.graft.capture import (
+    REASON_ALL_ACTIVE,
+    REASON_EXCEPTION,
+    REASON_MESSAGE,
+    REASON_VERTEX_VALUE,
+    ExceptionRecord,
+    VertexContextRecord,
+    Violation,
+)
+from repro.pregel.computation import Computation
+
+
+def instrument(computation_factory, session):
+    """Wrap ``computation_factory`` for a Graft session.
+
+    Returns a factory the engine can use directly; each call produces an
+    instrumented computation bound to the next worker id (the engine
+    instantiates one per worker, in worker order).
+    """
+
+    def instrumented_factory():
+        worker_id = session.allocate_worker_id()
+        return InstrumentedComputation(computation_factory(), session, worker_id)
+
+    return instrumented_factory
+
+
+class _SendObserver:
+    """Intercepts sends for one compute() call; checks message constraints."""
+
+    def __init__(self, session, check_now):
+        self._session = session
+        self._check_now = check_now
+        self.violations = []
+        self.deferred_sends = []
+
+    def on_send(self, ctx, target, value):
+        config = self._session.config
+        if self._check_now and not config.message_value_constraint(
+            value, ctx.vertex_id, target, ctx.superstep
+        ):
+            self.violations.append(
+                Violation(
+                    kind="message",
+                    vertex_id=ctx.vertex_id,
+                    superstep=ctx.superstep,
+                    details={
+                        "message": value,
+                        "source": ctx.vertex_id,
+                        "target": target,
+                    },
+                )
+            )
+        if self._session.checks_messages_with_target:
+            self.deferred_sends.append((target, value))
+
+    def on_set_value(self, ctx, old, new):
+        """Value updates are validated once, after compute() returns."""
+
+
+class InstrumentedComputation(Computation):
+    """The wrapped computation the engine actually runs."""
+
+    def __init__(self, inner, session, worker_id):
+        self._inner = inner
+        self._session = session
+        self._worker_id = worker_id
+
+    # Delegate the non-compute hooks untouched.
+
+    def initial_value(self, vertex_id, input_value):
+        return self._inner.initial_value(vertex_id, input_value)
+
+    def default_vertex_value(self, vertex_id):
+        return self._inner.default_vertex_value(vertex_id)
+
+    def pre_superstep(self, worker_info):
+        self._inner.pre_superstep(worker_info)
+
+    def post_superstep(self, worker_info):
+        self._inner.post_superstep(worker_info)
+
+    def compute(self, ctx, messages):
+        session = self._session
+        if not session.tracking(ctx.superstep):
+            self._inner.compute(ctx, messages)
+            return
+
+        config = session.config
+        static_reasons = session.static_reasons(ctx.vertex_id)
+        all_active = session.captures_all_active
+        eager = bool(static_reasons) or all_active
+
+        value_before = ctx.value
+        edges_before = ctx.edges_snapshot() if eager else None
+
+        observer = None
+        if session.checks_messages or session.checks_messages_with_target:
+            observer = _SendObserver(session, session.checks_messages)
+            ctx.attach_observer(observer)
+
+        try:
+            self._inner.compute(ctx, messages)
+        except Exception as exc:  # noqa: BLE001 - captured, then policy decides
+            if config.capture_exceptions():
+                self._capture_exception(ctx, exc, value_before, edges_before, observer)
+                if config.continue_on_exception():
+                    ctx.vote_to_halt()
+                    return
+            raise
+
+        reasons = list(static_reasons)
+        if all_active:
+            reasons.append(REASON_ALL_ACTIVE)
+        violations = list(observer.violations) if observer else []
+        if violations:
+            reasons.append(REASON_MESSAGE)
+        if session.checks_vertex_values and not config.vertex_value_constraint(
+            ctx.value, ctx.vertex_id, ctx.superstep
+        ):
+            violations.append(
+                Violation(
+                    kind="vertex_value",
+                    vertex_id=ctx.vertex_id,
+                    superstep=ctx.superstep,
+                    details={"value": ctx.value},
+                )
+            )
+            reasons.append(REASON_VERTEX_VALUE)
+
+        needs_deferral = session.has_deferred_checks
+        if not reasons and not needs_deferral:
+            return
+        record = self._build_record(
+            ctx, value_before, edges_before, reasons, violations
+        )
+        if observer is not None:
+            session.note_deferred_sends(record, observer.deferred_sends)
+        if needs_deferral:
+            session.buffer_record(record)
+        elif reasons:
+            session.emit_record(record)
+
+    def _build_record(self, ctx, value_before, edges_before, reasons, violations):
+        # The inbox is immutable during compute(), so the incoming list can
+        # be materialized lazily here — only captured vertices pay for it.
+        incoming = [(e.source, e.value) for e in ctx.message_envelopes()]
+        return VertexContextRecord(
+            vertex_id=ctx.vertex_id,
+            superstep=ctx.superstep,
+            worker_id=self._worker_id,
+            value_before=value_before,
+            edges_before=(
+                edges_before if edges_before is not None else ctx.edges_snapshot()
+            ),
+            incoming=incoming,
+            aggregators=self._session.aggregator_snapshot(),
+            num_vertices=ctx.num_vertices,
+            num_edges=ctx.num_edges,
+            run_seed=self._session.run_seed,
+            value_after=ctx.value,
+            edges_after=ctx.edges_snapshot(),
+            sent=[(e.target, e.value) for e in ctx.sent_envelopes],
+            halted=ctx.halted,
+            reasons=reasons,
+            violations=violations,
+        )
+
+    def _capture_exception(self, ctx, exc, value_before, edges_before, observer):
+        violations = list(observer.violations) if observer else []
+        record = self._build_record(
+            ctx,
+            value_before,
+            edges_before,
+            reasons=[REASON_EXCEPTION],
+            violations=violations,
+        )
+        record.exception = ExceptionRecord(
+            type_name=type(exc).__name__,
+            message=str(exc),
+            traceback_text=traceback.format_exc(),
+        )
+        self._session.emit_record(record)

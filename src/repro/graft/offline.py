@@ -1,0 +1,67 @@
+"""Offline mode: small-graph construction for end-to-end tests.
+
+Section 3.4 of the paper: the Node-link View has an "offline" mode where
+users add vertices, draw edges, edit values, or pick premade graphs from a
+menu, then obtain either the graph's adjacency-list text file or an
+end-to-end test code template. :class:`OfflineGraphBuilder` is that mode as
+a library object.
+"""
+
+from repro.datasets.premade import premade_graph, premade_menu
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import render_adjacency_text
+from repro.graft.reproducer import generate_end_to_end_test
+
+
+class OfflineGraphBuilder(GraphBuilder):
+    """GraphBuilder plus the offline mode's export actions.
+
+    >>> builder = OfflineGraphBuilder(directed=False).edge(1, 2).edge(2, 3)
+    >>> builder.to_adjacency_text().split("\\n")
+    ['1\\t\\t2:', '2\\t\\t1:\\t3:', '3\\t\\t2:']
+    """
+
+    @classmethod
+    def menu(cls):
+        """Names of the premade graphs (the GUI's dropdown)."""
+        return premade_menu()
+
+    @classmethod
+    def from_premade(cls, name):
+        """Start from a premade graph, ready for further editing."""
+        graph = premade_graph(name)
+        builder = cls(directed=graph.directed)
+        for vertex_id in graph.vertex_ids():
+            builder.vertex(vertex_id, graph.vertex_value(vertex_id))
+        seen = set()
+        for source, target, value in graph.edges():
+            if graph.directed:
+                builder.edge(source, target, value)
+                continue
+            key = (
+                (source, target) if repr(source) <= repr(target) else (target, source)
+            )
+            if key not in seen:
+                seen.add(key)
+                builder.edge(source, target, value)
+        return builder
+
+    def to_adjacency_text(self):
+        """The graph as adjacency-list text for an end-to-end test's input."""
+        return render_adjacency_text(self.build())
+
+    def to_end_to_end_test(
+        self,
+        computation_factory,
+        test_name="test_end_to_end",
+        expected_values=None,
+        engine_kwargs=None,
+    ):
+        """An end-to-end pytest file exercising this graph (Section 3.4)."""
+        return generate_end_to_end_test(
+            self.build(),
+            computation_factory,
+            test_name=test_name,
+            expected_values=expected_values,
+            engine_kwargs=engine_kwargs,
+        )

@@ -1,0 +1,144 @@
+"""Self-contained HTML report for a whole debug run.
+
+The paper's GUI is a browser application over the trace files; this module
+renders the same information — per-superstep captured vertices with their
+contexts, the M/V/E status strip, violations and exceptions, and the
+master's aggregator history — into one static HTML file a user can open,
+archive, or attach to a bug report.
+"""
+
+import html
+
+_STYLE = """
+body { font-family: monospace; margin: 2em; }
+h2 { border-bottom: 1px solid #999; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+td, th { border: 1px solid #bbb; padding: 2px 8px; text-align: left; }
+.red { background: #fbb; }
+.green { background: #bfb; }
+.inactive { opacity: 0.45; }
+details { margin: 0.3em 0; }
+pre { background: #f4f4f4; padding: 4px; }
+"""
+
+
+def _esc(value):
+    return html.escape(repr(value))
+
+
+def _status_strip(reader, superstep):
+    violations = reader.violations(superstep)
+    message_bad = any(v.kind in ("message", "message_target") for v in violations)
+    value_bad = any(v.kind in ("vertex_value", "neighborhood") for v in violations)
+    exception_bad = bool(reader.exceptions(superstep))
+    cells = []
+    for label, bad in (("M", message_bad), ("V", value_bad), ("E", exception_bad)):
+        klass = "red" if bad else "green"
+        cells.append(f'<span class="{klass}">[{label}]</span>')
+    return " ".join(cells)
+
+
+def _vertex_details(record):
+    incoming = "".join(
+        f"<li>from {_esc(source)}: {_esc(value)}</li>"
+        for source, value in record.incoming
+    )
+    outgoing = "".join(
+        f"<li>to {_esc(target)}: {_esc(value)}</li>"
+        for target, value in record.sent
+    )
+    violations = "".join(
+        f"<li>{html.escape(v.kind)}: {_esc(v.details)}</li>"
+        for v in record.violations
+    )
+    exception = ""
+    if record.exception is not None:
+        exception = (
+            f"<p>exception: {html.escape(record.exception.summary())}</p>"
+            f"<pre>{html.escape(record.exception.traceback_text)}</pre>"
+        )
+    state = "" if record.active else ' class="inactive"'
+    return (
+        f"<details{state}><summary>vertex {_esc(record.vertex_id)} "
+        f"— value {_esc(record.value_after)} "
+        f"({html.escape(', '.join(record.reasons))})</summary>"
+        f"<p>value: {_esc(record.value_before)} → {_esc(record.value_after)}; "
+        f"halted: {record.halted}; worker {record.worker_id}</p>"
+        f"<p>edges: {_esc(record.edges_after)}</p>"
+        f"<p>aggregators: {_esc(record.aggregators)}</p>"
+        f"<ul>incoming: {incoming or '<li>(none)</li>'}</ul>"
+        f"<ul>outgoing: {outgoing or '<li>(none)</li>'}</ul>"
+        + (f"<ul>violations: {violations}</ul>" if violations else "")
+        + exception
+        + "</details>"
+    )
+
+
+def render_html_report(run, max_vertices_per_superstep=200):
+    """Render one :class:`~repro.graft.DebugRun` as a standalone HTML page."""
+    reader = run.reader
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>Graft report — {html.escape(run.session.job_id)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>Graft report — job {html.escape(run.session.job_id)}</h1>",
+        f"<p>{html.escape(run.summary())}</p>",
+    ]
+
+    parts.append("<h2>Master contexts (aggregators per superstep)</h2>")
+    parts.append("<table><tr><th>superstep</th><th>aggregators</th>"
+                 "<th>halted</th></tr>")
+    for master in reader.master_records:
+        parts.append(
+            f"<tr><td>{master.superstep}</td>"
+            f"<td>{_esc(master.aggregators)}</td>"
+            f"<td>{master.halted}</td></tr>"
+        )
+    parts.append("</table>")
+
+    violations = reader.violations()
+    exceptions = reader.exceptions()
+    parts.append("<h2>Violations and exceptions</h2>")
+    if not violations and not exceptions:
+        parts.append("<p>none</p>")
+    else:
+        parts.append("<table><tr><th>kind</th><th>vertex</th>"
+                     "<th>superstep</th><th>details</th></tr>")
+        for violation in violations:
+            parts.append(
+                f"<tr class='red'><td>{html.escape(violation.kind)}</td>"
+                f"<td>{_esc(violation.vertex_id)}</td>"
+                f"<td>{violation.superstep}</td>"
+                f"<td>{_esc(violation.details)}</td></tr>"
+            )
+        for record, exception in exceptions:
+            parts.append(
+                f"<tr class='red'><td>exception</td>"
+                f"<td>{_esc(record.vertex_id)}</td>"
+                f"<td>{record.superstep}</td>"
+                f"<td>{html.escape(exception.summary())}</td></tr>"
+            )
+        parts.append("</table>")
+
+    for superstep in reader.supersteps():
+        records = reader.at_superstep(superstep)
+        parts.append(
+            f"<h2>Superstep {superstep} {_status_strip(reader, superstep)} "
+            f"({len(records)} captured)</h2>"
+        )
+        for record in records[:max_vertices_per_superstep]:
+            parts.append(_vertex_details(record))
+        if len(records) > max_vertices_per_superstep:
+            parts.append(
+                f"<p>... {len(records) - max_vertices_per_superstep} more</p>"
+            )
+
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def export_html_report(run, path):
+    """Write the HTML report to a local file; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_html_report(run))
+    return path

@@ -1,0 +1,175 @@
+"""Trace files: how captures reach, and are read back from, the file system.
+
+Layout under one job directory (mirroring Graft's per-worker HDFS files)::
+
+    /graft/<job_id>/worker-<i>.trace   one JSON line per vertex capture
+    /graft/<job_id>/master.trace       one JSON line per master capture
+
+:class:`TraceStore` is the write side, owned by the Graft session while the
+job runs; :class:`TraceReader` is the read side, used by the GUI views and
+the Context Reproducer after (or during) the run. Reading only needs the
+file system and codec — a different process (the paper's "copy into your
+IDE" step) can do it, provided the modules defining the value types are
+imported.
+"""
+
+from repro.common.errors import TraceError
+from repro.common.serialization import default_codec
+from repro.graft.capture import (
+    MasterContextRecord,
+    VertexContextRecord,
+    record_from_line,
+    record_to_line,
+)
+from repro.simfs.writers import LineWriter
+
+DEFAULT_ROOT = "/graft"
+
+
+def job_directory(job_id, root=DEFAULT_ROOT):
+    return f"{root}/{job_id}"
+
+
+def worker_trace_path(job_id, worker_id, root=DEFAULT_ROOT):
+    return f"{job_directory(job_id, root)}/worker-{worker_id}.trace"
+
+
+def master_trace_path(job_id, root=DEFAULT_ROOT):
+    return f"{job_directory(job_id, root)}/master.trace"
+
+
+class TraceStore:
+    """Write side: per-worker appenders plus the master appender."""
+
+    def __init__(self, filesystem, job_id, num_workers, codec=None):
+        self._fs = filesystem
+        self.job_id = job_id
+        self._codec = codec or default_codec
+        self._worker_writers = [
+            LineWriter(filesystem, worker_trace_path(job_id, worker_id))
+            for worker_id in range(num_workers)
+        ]
+        self._master_writer = LineWriter(filesystem, master_trace_path(job_id))
+        self.records_written = 0
+
+    def write_vertex_record(self, record):
+        """Append one vertex capture to its worker's trace file."""
+        writer = self._worker_writers[record.worker_id]
+        writer.write_line(record_to_line(record, self._codec))
+        self.records_written += 1
+
+    def write_master_record(self, record):
+        """Append one master capture to the master trace file."""
+        self._master_writer.write_line(record_to_line(record, self._codec))
+        self.records_written += 1
+
+    def flush(self):
+        """Flush all writers (the session does this at superstep barriers)."""
+        for writer in self._worker_writers:
+            writer.flush()
+        self._master_writer.flush()
+
+    def close(self):
+        for writer in self._worker_writers:
+            writer.close()
+        self._master_writer.close()
+
+    def total_bytes(self):
+        """Bytes currently stored for this job's traces."""
+        return self._fs.total_bytes(job_directory(self.job_id))
+
+
+class TraceReader:
+    """Read side: loads a job's trace files and indexes the records.
+
+    Indexes: by ``(vertex_id, superstep)``, by superstep, violations, and
+    exceptions — everything the three GUI views and the reproducer query.
+    """
+
+    def __init__(self, filesystem, job_id, codec=None, root=DEFAULT_ROOT):
+        self._codec = codec or default_codec
+        self.job_id = job_id
+        self._by_key = {}
+        self._master_by_superstep = {}
+        directory = job_directory(job_id, root)
+        if not filesystem.is_dir(directory):
+            raise TraceError(f"no trace directory for job {job_id!r}")
+        for path in filesystem.glob_files(directory, suffix=".trace"):
+            for line in filesystem.read_lines(path):
+                self._add(record_from_line(line, self._codec))
+        # Failure recovery re-executes supersteps, appending a second record
+        # for the same (vertex, superstep); the indexes above keep the
+        # latest, and the derived views below are built from them.
+        self.vertex_records = sorted(
+            self._by_key.values(), key=lambda r: (r.superstep, repr(r.vertex_id))
+        )
+        self.master_records = sorted(
+            self._master_by_superstep.values(), key=lambda r: r.superstep
+        )
+        self._by_superstep = {}
+        for record in self.vertex_records:
+            self._by_superstep.setdefault(record.superstep, []).append(record)
+
+    def _add(self, record):
+        if isinstance(record, VertexContextRecord):
+            self._by_key[record.key] = record
+        elif isinstance(record, MasterContextRecord):
+            self._master_by_superstep[record.superstep] = record
+        else:
+            raise TraceError(f"unexpected record type {type(record).__name__}")
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, vertex_id, superstep):
+        """The capture record for one (vertex, superstep), or raise."""
+        key = (vertex_id, superstep)
+        if key not in self._by_key:
+            raise TraceError(
+                f"vertex {vertex_id!r} was not captured in superstep {superstep}"
+            )
+        return self._by_key[key]
+
+    def has(self, vertex_id, superstep):
+        return (vertex_id, superstep) in self._by_key
+
+    def at_superstep(self, superstep):
+        """All vertex captures for one superstep, id-ordered."""
+        records = self._by_superstep.get(superstep, [])
+        return sorted(records, key=lambda r: repr(r.vertex_id))
+
+    def history(self, vertex_id):
+        """One vertex's captures across supersteps, in superstep order."""
+        return [r for r in self.vertex_records if r.vertex_id == vertex_id]
+
+    def supersteps(self):
+        """Sorted superstep numbers that have at least one vertex capture."""
+        return sorted(self._by_superstep)
+
+    def captured_vertex_ids(self):
+        """All distinct captured vertex ids."""
+        return sorted({r.vertex_id for r in self.vertex_records}, key=repr)
+
+    def violations(self, superstep=None):
+        """All violations, optionally limited to one superstep."""
+        found = []
+        for record in self.vertex_records:
+            if superstep is not None and record.superstep != superstep:
+                continue
+            found.extend(record.violations)
+        return found
+
+    def exceptions(self, superstep=None):
+        """All (record, exception) pairs, optionally for one superstep."""
+        return [
+            (record, record.exception)
+            for record in self.vertex_records
+            if record.exception is not None
+            and (superstep is None or record.superstep == superstep)
+        ]
+
+    def master_at(self, superstep):
+        """The master capture for one superstep, or None."""
+        return self._master_by_superstep.get(superstep)
+
+    def __len__(self):
+        return len(self.vertex_records)

@@ -1,0 +1,202 @@
+"""The Node-link View (paper Figure 3).
+
+Shows the vertices captured by id or random selection as a node-link
+diagram for one superstep: ids and values on the nodes, edge values on the
+links, inactive vertices dimmed, uncaptured neighbors as small id-only
+nodes, the aggregator panel in the corner, and the M/V/E (message /
+vertex-value / exception) status boxes that turn red when a violation or
+exception occurred in the displayed superstep. ``next()`` / ``previous()``
+replay the run superstep by superstep, exactly like the GUI's buttons.
+"""
+
+from repro.common.errors import GraftError
+
+
+class NodeLinkView:
+    """Node-link rendering of one superstep's captured vertices."""
+
+    def __init__(self, reader, graph, superstep=None):
+        self._reader = reader
+        self._graph = graph
+        steps = reader.supersteps()
+        if not steps:
+            raise GraftError("nothing was captured in this run")
+        self._steps = steps
+        self.superstep = steps[0] if superstep is None else superstep
+
+    # -- stepping (the GUI's Next / Previous superstep buttons) -----------
+
+    def next(self):
+        """Advance to the next superstep that has captures."""
+        later = [s for s in self._steps if s > self.superstep]
+        if later:
+            self.superstep = later[0]
+        return self
+
+    def previous(self):
+        """Go back to the previous superstep that has captures."""
+        earlier = [s for s in self._steps if s < self.superstep]
+        if earlier:
+            self.superstep = earlier[-1]
+        return self
+
+    def goto(self, superstep):
+        self.superstep = superstep
+        return self
+
+    def last(self):
+        """Jump to the final captured superstep (Scenario 4.1's first move)."""
+        self.superstep = self._steps[-1]
+        return self
+
+    # -- status boxes -----------------------------------------------------
+
+    def status_boxes(self):
+        """The M/V/E boxes: ``{"M": "green"|"red", "V": ..., "E": ...}``."""
+        violations = self._reader.violations(self.superstep)
+        message_bad = any(v.kind in ("message", "message_target") for v in violations)
+        value_bad = any(
+            v.kind in ("vertex_value", "neighborhood") for v in violations
+        )
+        exception_bad = bool(self._reader.exceptions(self.superstep))
+        return {
+            "M": "red" if message_bad else "green",
+            "V": "red" if value_bad else "green",
+            "E": "red" if exception_bad else "green",
+        }
+
+    # -- the diagram data ----------------------------------------------------
+
+    def nodes(self):
+        """Captured nodes plus small uncaptured-neighbor nodes.
+
+        Returns ``(captured, small)``: ``captured`` is the superstep's
+        records; ``small`` is the sorted ids of their neighbors that were
+        not captured this superstep (shown id-only, as in the paper).
+        """
+        captured = self._reader.at_superstep(self.superstep)
+        captured_ids = {record.vertex_id for record in captured}
+        small = set()
+        for record in captured:
+            for neighbor in record.edges_after:
+                if neighbor not in captured_ids:
+                    small.add(neighbor)
+        return captured, sorted(small, key=repr)
+
+    def edges(self):
+        """Displayed links: ``(source, target, edge_value)`` triples."""
+        captured, _small = self.nodes()
+        links = []
+        for record in captured:
+            for target, value in sorted(record.edges_after.items(), key=lambda e: repr(e[0])):
+                links.append((record.vertex_id, target, value))
+        return links
+
+    def aggregator_panel(self):
+        """Aggregators and default global data for the displayed superstep."""
+        master = self._reader.master_at(self.superstep)
+        aggregators = dict(master.aggregators) if master else {}
+        sample = self._reader.at_superstep(self.superstep)
+        globals_data = {}
+        if sample:
+            globals_data = {
+                "superstep": self.superstep,
+                "num_vertices": sample[0].num_vertices,
+                "num_edges": sample[0].num_edges,
+            }
+        return aggregators, globals_data
+
+    def messages_of(self, vertex_id):
+        """Incoming and outgoing messages of one captured vertex (the GUI's
+        click-to-expand)."""
+        record = self._reader.get(vertex_id, self.superstep)
+        return {"incoming": list(record.incoming), "outgoing": list(record.sent)}
+
+    # -- renderers ------------------------------------------------------------
+
+    def render(self):
+        """Plain-text node-link diagram for the current superstep."""
+        captured, small = self.nodes()
+        boxes = self.status_boxes()
+        aggregators, globals_data = self.aggregator_panel()
+        lines = [
+            f"=== Node-link View — superstep {self.superstep} ===",
+            "  ".join(f"[{name}:{color}]" for name, color in boxes.items()),
+            f"aggregators: {aggregators!r}",
+            f"global data: {globals_data!r}",
+            "",
+        ]
+        for record in captured:
+            state = "ACTIVE" if record.active else "inactive (dimmed)"
+            lines.append(
+                f"({record.vertex_id!r}) value={record.value_after!r} [{state}]"
+            )
+            for target, value in sorted(
+                record.edges_after.items(), key=lambda e: repr(e[0])
+            ):
+                label = "" if value is None else f" ={value!r}"
+                lines.append(f"    --{label}--> {target!r}")
+        if small:
+            lines.append("")
+            lines.append(
+                "small nodes (uncaptured neighbors): "
+                + ", ".join(repr(v) for v in small)
+            )
+        return "\n".join(lines)
+
+    def to_dot(self):
+        """Graphviz DOT output for the current superstep."""
+
+        def quote(value):
+            text = (
+                str(value)
+                .replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+            )
+            return f'"{text}"'
+
+        captured, small = self.nodes()
+        lines = [f"digraph superstep_{self.superstep} {{"]
+        for record in captured:
+            style = "solid" if record.active else "dashed"
+            label = quote(f"{record.vertex_id}\n{record.value_after!r}")
+            lines.append(
+                f"  {quote(record.vertex_id)} [label={label}, style={style}];"
+            )
+        for vertex_id in small:
+            lines.append(
+                f"  {quote(vertex_id)} [label={quote(vertex_id)}, shape=point];"
+            )
+        for source, target, value in self.edges():
+            attr = "" if value is None else f" [label={quote(value)}]"
+            lines.append(f"  {quote(source)} -> {quote(target)}{attr};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_html(self):
+        """A minimal self-contained HTML rendering (the browser GUI's data)."""
+        captured, small = self.nodes()
+        boxes = self.status_boxes()
+        aggregators, globals_data = self.aggregator_panel()
+        rows = "\n".join(
+            f"<li class={'active' if r.active else 'inactive'!r}>"
+            f"<b>{r.vertex_id!r}</b>: {r.value_after!r} "
+            f"(in={len(r.incoming)}, out={len(r.sent)})</li>"
+            for r in captured
+        )
+        box_html = " ".join(
+            f'<span class="box {color}">{name}</span>'
+            for name, color in boxes.items()
+        )
+        return (
+            "<html><head><style>"
+            ".red{color:red}.green{color:green}.inactive{opacity:0.4}"
+            "</style></head><body>"
+            f"<h2>Superstep {self.superstep}</h2>"
+            f"<div>{box_html}</div>"
+            f"<pre>aggregators: {aggregators!r}\nglobals: {globals_data!r}</pre>"
+            f"<ul>{rows}</ul>"
+            f"<p>small nodes: {', '.join(repr(v) for v in small)}</p>"
+            "</body></html>"
+        )

@@ -1,0 +1,132 @@
+"""The Tabular View (paper Figure 4).
+
+For larger capture sets the node-link diagram becomes unusable; the tabular
+view shows one summary row per captured vertex, expandable to the full
+context, with the paper's search feature: find vertices by their ids or
+their neighbors' ids, by their values, or by messages they sent and/or
+received. Superstep stepping matches the node-link view.
+"""
+
+from repro.common.errors import GraftError
+
+
+class TabularView:
+    """Row-per-vertex rendering of one superstep's captures."""
+
+    def __init__(self, reader, superstep=None):
+        self._reader = reader
+        steps = reader.supersteps()
+        if not steps:
+            raise GraftError("nothing was captured in this run")
+        self._steps = steps
+        self.superstep = steps[0] if superstep is None else superstep
+
+    # -- stepping -----------------------------------------------------------
+
+    def next(self):
+        later = [s for s in self._steps if s > self.superstep]
+        if later:
+            self.superstep = later[0]
+        return self
+
+    def previous(self):
+        earlier = [s for s in self._steps if s < self.superstep]
+        if earlier:
+            self.superstep = earlier[-1]
+        return self
+
+    def goto(self, superstep):
+        self.superstep = superstep
+        return self
+
+    def last(self):
+        self.superstep = self._steps[-1]
+        return self
+
+    # -- rows --------------------------------------------------------------
+
+    def rows(self):
+        """This superstep's records, one per table row."""
+        return self._reader.at_superstep(self.superstep)
+
+    def row_summary(self, record):
+        """The collapsed one-line row for a record."""
+        state = "A" if record.active else "h"
+        flags = ",".join(record.reasons)
+        return (
+            f"{record.vertex_id!r:>12} [{state}] "
+            f"value={record.value_after!r} "
+            f"in={len(record.incoming)} out={len(record.sent)} "
+            f"({flags})"
+        )
+
+    def expand(self, vertex_id):
+        """The full context of one row (the GUI's row expansion)."""
+        record = self._reader.get(vertex_id, self.superstep)
+        lines = [
+            f"vertex {record.vertex_id!r} @ superstep {record.superstep} "
+            f"(worker {record.worker_id})",
+            f"  reasons:     {', '.join(record.reasons)}",
+            f"  value:       {record.value_before!r} -> {record.value_after!r}",
+            f"  halted:      {record.halted}",
+            f"  edges:       {record.edges_after!r}",
+            f"  aggregators: {record.aggregators!r}",
+            f"  global data: superstep={record.superstep}, "
+            f"|V|={record.num_vertices}, |E|={record.num_edges}",
+        ]
+        lines.append("  incoming:")
+        for source, value in record.incoming:
+            lines.append(f"    from {source!r}: {value!r}")
+        lines.append("  outgoing:")
+        for target, value in record.sent:
+            lines.append(f"    to   {target!r}: {value!r}")
+        if record.violations:
+            lines.append("  violations:")
+            for violation in record.violations:
+                lines.append(f"    {violation.kind}: {violation.details!r}")
+        if record.exception is not None:
+            lines.append(f"  exception: {record.exception.summary()}")
+        return "\n".join(lines)
+
+    # -- search ----------------------------------------------------------------
+
+    def search(self, query):
+        """Find rows matching ``query`` in this superstep.
+
+        A record matches when the query string appears in its id, one of
+        its neighbors' ids, its value (before or after), or any message it
+        sent or received — the four search axes the paper lists.
+        """
+        needle = str(query)
+        return [r for r in self.rows() if self._matches(r, needle)]
+
+    @staticmethod
+    def _matches(record, needle):
+        if needle in str(record.vertex_id):
+            return True
+        if any(needle in str(neighbor) for neighbor in record.edges_after):
+            return True
+        if needle in repr(record.value_before) or needle in repr(record.value_after):
+            return True
+        for _source, value in record.incoming:
+            if needle in repr(value):
+                return True
+        for _target, value in record.sent:
+            if needle in repr(value):
+                return True
+        return False
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self, limit=None):
+        """Plain-text table for the current superstep."""
+        rows = self.rows()
+        shown = rows if limit is None else rows[:limit]
+        lines = [
+            f"=== Tabular View — superstep {self.superstep} "
+            f"({len(rows)} captured) ===",
+        ]
+        lines.extend(self.row_summary(record) for record in shown)
+        if limit is not None and len(rows) > limit:
+            lines.append(f"... {len(rows) - limit} more rows")
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""The Violations and Exceptions View (paper Figure 5).
+
+A tabular view of the vertices that violated a vertex-value or message
+constraint or raised an exception, showing the offending value or the error
+message and stack trace. The red M/V/E boxes in the other views link here.
+"""
+
+
+class ViolationsView:
+    """All violations and exceptions of a run, filterable by superstep."""
+
+    def __init__(self, reader):
+        self._reader = reader
+
+    def violation_rows(self, superstep=None, kind=None):
+        """Violations as ``(vertex_id, superstep, kind, details)`` rows."""
+        rows = []
+        for violation in self._reader.violations(superstep):
+            if kind is not None and violation.kind != kind:
+                continue
+            rows.append(
+                (
+                    violation.vertex_id,
+                    violation.superstep,
+                    violation.kind,
+                    violation.details,
+                )
+            )
+        return rows
+
+    def exception_rows(self, superstep=None):
+        """Exceptions as ``(vertex_id, superstep, summary, traceback)`` rows."""
+        return [
+            (
+                record.vertex_id,
+                record.superstep,
+                exception.summary(),
+                exception.traceback_text,
+            )
+            for record, exception in self._reader.exceptions(superstep)
+        ]
+
+    def supersteps_with_violations(self):
+        """Supersteps whose M or V box is red somewhere."""
+        return sorted({v.superstep for v in self._reader.violations()})
+
+    def first_violation(self):
+        """The earliest violation, or None (where a user starts digging)."""
+        violations = self._reader.violations()
+        if not violations:
+            return None
+        return min(violations, key=lambda v: (v.superstep, repr(v.vertex_id)))
+
+    def render(self, superstep=None, limit=None, include_tracebacks=False):
+        """Plain-text table of violations and exceptions."""
+        violation_rows = self.violation_rows(superstep)
+        exception_rows = self.exception_rows(superstep)
+        scope = "all supersteps" if superstep is None else f"superstep {superstep}"
+        lines = [
+            f"=== Violations and Exceptions View — {scope} ===",
+            f"{len(violation_rows)} violations, {len(exception_rows)} exceptions",
+        ]
+        shown = violation_rows if limit is None else violation_rows[:limit]
+        for vertex_id, step, kind, details in shown:
+            lines.append(
+                f"  [{kind}] vertex {vertex_id!r} @ superstep {step}: {details!r}"
+            )
+        if limit is not None and len(violation_rows) > limit:
+            lines.append(f"  ... {len(violation_rows) - limit} more violations")
+        for vertex_id, step, summary, traceback_text in exception_rows:
+            lines.append(
+                f"  [exception] vertex {vertex_id!r} @ superstep {step}: {summary}"
+            )
+            if include_tracebacks:
+                lines.extend("      " + t for t in traceback_text.splitlines())
+        return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""In-memory graph structures, construction, I/O, statistics, transforms.
+
+This is the input substrate of the engine: the directed adjacency structure
+Giraph would load from HDFS. Undirected graphs follow the paper's encoding —
+symmetric directed edges between each pair of adjacent vertices.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    parse_adjacency_text,
+    read_adjacency_file,
+    read_adjacency_simfs,
+    render_adjacency_text,
+    write_adjacency_file,
+    write_adjacency_simfs,
+)
+from repro.graph.stats import GraphStats, compute_stats
+from repro.graph.transforms import (
+    relabel_vertices,
+    subgraph,
+    to_undirected,
+    with_edge_values,
+)
+from repro.graph.validation import (
+    find_asymmetric_edges,
+    find_dangling_edges,
+    find_self_loops,
+    validate_graph,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "parse_adjacency_text",
+    "read_adjacency_file",
+    "read_adjacency_simfs",
+    "render_adjacency_text",
+    "write_adjacency_file",
+    "write_adjacency_simfs",
+    "GraphStats",
+    "compute_stats",
+    "relabel_vertices",
+    "subgraph",
+    "to_undirected",
+    "with_edge_values",
+    "find_asymmetric_edges",
+    "find_dangling_edges",
+    "find_self_loops",
+    "validate_graph",
+]

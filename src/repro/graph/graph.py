@@ -1,0 +1,189 @@
+"""The core directed graph structure.
+
+A :class:`Graph` is a directed multigraph-without-parallel-edges: each
+vertex has an id (any hashable, stably-hashable value — ints and strings in
+practice), an optional initial vertex value, and outgoing edges to target
+ids, each with an optional edge value. Undirected graphs are represented as
+symmetric directed edges, exactly as the paper's datasets encode them.
+"""
+
+from repro.common.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+
+class Graph:
+    """Directed graph with vertex values and edge values.
+
+    >>> g = Graph()
+    >>> g.add_vertex(1, value=0.5)
+    >>> g.add_vertex(2)
+    >>> g.add_edge(1, 2, value=3.0)
+    >>> g.out_degree(1), g.num_vertices, g.num_edges
+    (1, 2, 1)
+    """
+
+    def __init__(self, directed=True):
+        self.directed = directed
+        self._values = {}
+        self._out = {}
+        self._edge_count = 0
+
+    # -- vertices -----------------------------------------------------------
+
+    @property
+    def num_vertices(self):
+        return len(self._out)
+
+    @property
+    def num_edges(self):
+        """Number of *directed* edges stored."""
+        return self._edge_count
+
+    def vertex_ids(self):
+        """Iterate vertex ids in insertion order."""
+        return iter(self._out)
+
+    def has_vertex(self, vertex_id):
+        return vertex_id in self._out
+
+    def add_vertex(self, vertex_id, value=None):
+        """Add a vertex. Re-adding an existing vertex updates its value only
+        when an explicit value is given."""
+        if vertex_id not in self._out:
+            self._out[vertex_id] = {}
+            self._values[vertex_id] = value
+        elif value is not None:
+            self._values[vertex_id] = value
+
+    def remove_vertex(self, vertex_id):
+        """Remove a vertex and all edges touching it."""
+        if vertex_id not in self._out:
+            raise VertexNotFoundError(vertex_id)
+        self._edge_count -= len(self._out[vertex_id])
+        del self._out[vertex_id]
+        del self._values[vertex_id]
+        for targets in self._out.values():
+            if vertex_id in targets:
+                del targets[vertex_id]
+                self._edge_count -= 1
+
+    def vertex_value(self, vertex_id):
+        if vertex_id not in self._values:
+            raise VertexNotFoundError(vertex_id)
+        return self._values[vertex_id]
+
+    def set_vertex_value(self, vertex_id, value):
+        if vertex_id not in self._values:
+            raise VertexNotFoundError(vertex_id)
+        self._values[vertex_id] = value
+
+    # -- edges --------------------------------------------------------------
+
+    def add_edge(self, source, target, value=None, add_vertices=True):
+        """Add a directed edge; vertices are created on demand by default."""
+        if add_vertices:
+            self.add_vertex(source)
+            self.add_vertex(target)
+        else:
+            if source not in self._out:
+                raise VertexNotFoundError(source)
+            if target not in self._out:
+                raise VertexNotFoundError(target)
+        targets = self._out[source]
+        if target not in targets:
+            self._edge_count += 1
+        targets[target] = value
+
+    def add_undirected_edge(self, u, v, value=None):
+        """Add symmetric directed edges (u, v) and (v, u) with one value."""
+        self.add_edge(u, v, value)
+        self.add_edge(v, u, value)
+
+    def remove_edge(self, source, target):
+        if source not in self._out:
+            raise VertexNotFoundError(source)
+        if target not in self._out[source]:
+            raise EdgeNotFoundError(source, target)
+        del self._out[source][target]
+        self._edge_count -= 1
+
+    def has_edge(self, source, target):
+        return source in self._out and target in self._out[source]
+
+    def edge_value(self, source, target):
+        if source not in self._out:
+            raise VertexNotFoundError(source)
+        if target not in self._out[source]:
+            raise EdgeNotFoundError(source, target)
+        return self._out[source][target]
+
+    def set_edge_value(self, source, target, value):
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        self._out[source][target] = value
+
+    def out_edges(self, vertex_id):
+        """Iterate ``(target, edge_value)`` pairs for one vertex."""
+        if vertex_id not in self._out:
+            raise VertexNotFoundError(vertex_id)
+        return iter(self._out[vertex_id].items())
+
+    def neighbors(self, vertex_id):
+        """Iterate out-neighbor ids of one vertex."""
+        if vertex_id not in self._out:
+            raise VertexNotFoundError(vertex_id)
+        return iter(self._out[vertex_id])
+
+    def out_degree(self, vertex_id):
+        if vertex_id not in self._out:
+            raise VertexNotFoundError(vertex_id)
+        return len(self._out[vertex_id])
+
+    def edges(self):
+        """Iterate all ``(source, target, value)`` triples."""
+        for source, targets in self._out.items():
+            for target, value in targets.items():
+                yield source, target, value
+
+    # -- conveniences -------------------------------------------------------
+
+    def copy(self):
+        """Structural copy (values are shared, not deep-copied)."""
+        clone = Graph(directed=self.directed)
+        for vertex_id in self._out:
+            clone.add_vertex(vertex_id, self._values[vertex_id])
+        for source, target, value in self.edges():
+            clone.add_edge(source, target, value)
+        return clone
+
+    def __contains__(self, vertex_id):
+        return vertex_id in self._out
+
+    def __len__(self):
+        return len(self._out)
+
+    def __eq__(self, other):
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.directed == other.directed
+            and self._values == other._values
+            and self._out == other._out
+        )
+
+    def __repr__(self):
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"Graph({kind}, vertices={self.num_vertices}, edges={self.num_edges})"
+        )
+
+
+def merge_graphs(first, second):
+    """Union of two graphs; the second graph's values win on conflicts."""
+    if first.directed != second.directed:
+        raise GraphError("cannot merge directed with undirected graph")
+    merged = first.copy()
+    for vertex_id in second.vertex_ids():
+        merged.add_vertex(vertex_id, second.vertex_value(vertex_id))
+    for source, target, value in second.edges():
+        merged.add_edge(source, target, value)
+    return merged

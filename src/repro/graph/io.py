@@ -1,0 +1,119 @@
+"""Adjacency-list text format (the Giraph-style input/output format).
+
+One vertex per line, tab-separated::
+
+    <vertex_id>\t<vertex_value>\t<target>:<edge_value>\t<target>:<edge_value>...
+
+``vertex_id``, ``vertex_value`` and ``edge_value`` are JSON encodings via
+the default value codec, so ids and values of any registered type
+round-trip (including string ids containing spaces — fields are separated
+by tabs, never spaces). A missing value is the empty string. Lines starting
+with ``#`` and blank/whitespace-only lines are skipped.
+
+Readers/writers exist for plain strings, local files, and the simulated
+distributed file system (the substrate Giraph would actually load from).
+"""
+
+from repro.common.errors import GraphFormatError, SerializationError
+from repro.common.serialization import default_codec
+from repro.graph.graph import Graph
+
+
+def _encode_token(value, codec):
+    if value is None:
+        return ""
+    return codec.dumps(value)
+
+
+def _decode_token(token, codec, line_number, what):
+    if token == "":
+        return None
+    try:
+        return codec.loads(token)
+    except SerializationError as exc:
+        raise GraphFormatError(f"bad {what} {token!r}: {exc}", line_number) from exc
+
+
+def render_adjacency_text(graph, codec=None):
+    """Render a graph to adjacency-list text.
+
+    >>> from repro.graph import GraphBuilder
+    >>> g = GraphBuilder().vertex(1, value=9).edge(1, 2).build()
+    >>> render_adjacency_text(g).split("\\n")
+    ['1\\t9\\t2:', '2\\t']
+    """
+    codec = codec or default_codec
+    lines = []
+    for vertex_id in graph.vertex_ids():
+        fields = [
+            codec.dumps(vertex_id),
+            _encode_token(graph.vertex_value(vertex_id), codec),
+        ]
+        fields.extend(
+            f"{codec.dumps(target)}:{_encode_token(value, codec)}"
+            for target, value in graph.out_edges(vertex_id)
+        )
+        lines.append("\t".join(fields))
+    return "\n".join(lines)
+
+
+def parse_adjacency_text(text, directed=True, codec=None):
+    """Parse adjacency-list text into a :class:`Graph`."""
+    codec = codec or default_codec
+    graph = Graph(directed=directed)
+    pending_edges = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip("\n")
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) < 2:
+            raise GraphFormatError(
+                f"expected at least 2 tab-separated fields, got {len(parts)}",
+                line_number,
+            )
+        id_token, value_token, edge_tokens = parts[0], parts[1], parts[2:]
+        vertex_id = _decode_token(id_token, codec, line_number, "vertex id")
+        if vertex_id is None:
+            raise GraphFormatError("empty vertex id", line_number)
+        value = _decode_token(value_token, codec, line_number, "vertex value")
+        graph.add_vertex(vertex_id, value)
+        for edge_token in edge_tokens:
+            if not edge_token:
+                continue
+            target_token, sep, edge_value_token = edge_token.rpartition(":")
+            if not sep:
+                raise GraphFormatError(
+                    f"edge token {edge_token!r} missing ':'", line_number
+                )
+            target = _decode_token(target_token, codec, line_number, "edge target")
+            edge_value = _decode_token(
+                edge_value_token, codec, line_number, "edge value"
+            )
+            pending_edges.append((vertex_id, target, edge_value))
+    for source, target, edge_value in pending_edges:
+        graph.add_edge(source, target, edge_value)
+    return graph
+
+
+def write_adjacency_file(graph, path, codec=None):
+    """Write a graph to a local file in adjacency-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_adjacency_text(graph, codec))
+        handle.write("\n")
+
+
+def read_adjacency_file(path, directed=True, codec=None):
+    """Read a graph from a local adjacency-list file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_adjacency_text(handle.read(), directed, codec)
+
+
+def write_adjacency_simfs(graph, filesystem, path, codec=None):
+    """Write a graph to the simulated distributed file system."""
+    filesystem.write_text(path, render_adjacency_text(graph, codec) + "\n")
+
+
+def read_adjacency_simfs(filesystem, path, directed=True, codec=None):
+    """Read a graph back from the simulated distributed file system."""
+    return parse_adjacency_text(filesystem.read_text(path), directed, codec)

@@ -1,0 +1,99 @@
+"""Graph statistics, including the rows of the paper's dataset tables.
+
+Tables 1 and 2 of the paper report each dataset's vertex count and its edge
+count both as directed edges and as undirected adjacency pairs. The
+``GraphStats`` record computes both views plus degree summaries.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics for one graph."""
+
+    num_vertices: int
+    num_directed_edges: int
+    num_undirected_edges: int
+    min_out_degree: int
+    max_out_degree: int
+    mean_out_degree: float
+    num_isolated_vertices: int
+
+    def table_row(self, name, description=""):
+        """Render one row in the shape of the paper's Table 1 / Table 2."""
+        return (
+            f"{name:<22} {_format_count(self.num_vertices):>8} "
+            f"{_format_count(self.num_directed_edges):>9} (d), "
+            f"{_format_count(self.num_undirected_edges):>9} (u)  {description}"
+        )
+
+
+def _format_count(count):
+    """Format a count the way the paper's tables do (685K, 7.6M, 1.9B).
+
+    >>> _format_count(685230)
+    '685K'
+    >>> _format_count(7600000)
+    '7.6M'
+    """
+    if count >= 1_000_000_000:
+        value = count / 1_000_000_000
+        suffix = "B"
+    elif count >= 1_000_000:
+        value = count / 1_000_000
+        suffix = "M"
+    elif count >= 1_000:
+        value = count / 1_000
+        suffix = "K"
+    else:
+        return str(count)
+    if value >= 100 or value == int(value):
+        return f"{value:.0f}{suffix}"
+    return f"{value:.1f}{suffix}"
+
+
+def compute_stats(graph):
+    """Compute :class:`GraphStats` for ``graph``.
+
+    The undirected edge count is the number of distinct unordered adjacency
+    pairs (a symmetric pair of directed edges counts once; a one-way directed
+    edge also forms one adjacency pair).
+    """
+    degrees = [graph.out_degree(v) for v in graph.vertex_ids()]
+    num_vertices = len(degrees)
+    pairs = set()
+    for source, target, _value in graph.edges():
+        pairs.add((source, target) if repr(source) <= repr(target) else (target, source))
+    return GraphStats(
+        num_vertices=num_vertices,
+        num_directed_edges=graph.num_edges,
+        num_undirected_edges=len(pairs),
+        min_out_degree=min(degrees) if degrees else 0,
+        max_out_degree=max(degrees) if degrees else 0,
+        mean_out_degree=(sum(degrees) / num_vertices) if num_vertices else 0.0,
+        num_isolated_vertices=sum(1 for d in degrees if d == 0),
+    )
+
+
+def degree_histogram(graph, num_buckets=10):
+    """Bucketed out-degree histogram as ``[(low, high, count), ...]``."""
+    degrees = sorted(graph.out_degree(v) for v in graph.vertex_ids())
+    if not degrees:
+        return []
+    low, high = degrees[0], degrees[-1]
+    if low == high:
+        return [(low, high, len(degrees))]
+    width = max(1, (high - low + 1) // num_buckets)
+    buckets = []
+    start = low
+    index = 0
+    while start <= high:
+        end = min(high, start + width - 1)
+        count = 0
+        while index < len(degrees) and degrees[index] <= end:
+            count += 1
+            index += 1
+        buckets.append((start, end, count))
+        start = end + 1
+    return buckets

@@ -1,0 +1,82 @@
+"""Graph transforms: symmetrization, reweighting, subgraphs, relabeling."""
+
+from repro.common.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def to_undirected(graph, merge_values=None):
+    """Symmetrize a directed graph into the paper's undirected encoding.
+
+    For every directed edge (u, v) the result contains both (u, v) and
+    (v, u). When both directions exist with different edge values,
+    ``merge_values(a, b)`` resolves them (default: keep the first seen).
+    """
+    result = Graph(directed=False)
+    for vertex_id in graph.vertex_ids():
+        result.add_vertex(vertex_id, graph.vertex_value(vertex_id))
+    for source, target, value in graph.edges():
+        if result.has_edge(source, target):
+            existing = result.edge_value(source, target)
+            if merge_values is not None and existing != value:
+                value = merge_values(existing, value)
+            else:
+                value = existing
+        result.add_edge(source, target, value)
+        result.add_edge(target, source, value)
+    return result
+
+
+def with_edge_values(graph, value_fn):
+    """Copy of ``graph`` with each edge value replaced by ``value_fn(u, v)``.
+
+    For undirected graphs pass a symmetric function to keep weights
+    consistent across the two directions of each adjacency pair.
+    """
+    result = Graph(directed=graph.directed)
+    for vertex_id in graph.vertex_ids():
+        result.add_vertex(vertex_id, graph.vertex_value(vertex_id))
+    for source, target, _old in graph.edges():
+        result.add_edge(source, target, value_fn(source, target))
+    return result
+
+
+def subgraph(graph, vertex_ids):
+    """Induced subgraph on ``vertex_ids`` (ids absent from the graph error)."""
+    keep = set(vertex_ids)
+    missing = [v for v in keep if not graph.has_vertex(v)]
+    if missing:
+        raise GraphError(f"subgraph references missing vertices: {missing!r}")
+    result = Graph(directed=graph.directed)
+    for vertex_id in graph.vertex_ids():
+        if vertex_id in keep:
+            result.add_vertex(vertex_id, graph.vertex_value(vertex_id))
+    for source, target, value in graph.edges():
+        if source in keep and target in keep:
+            result.add_edge(source, target, value)
+    return result
+
+
+def relabel_vertices(graph, mapping):
+    """Copy of ``graph`` with vertex ids renamed through ``mapping``.
+
+    ``mapping`` may be a dict or a callable; ids it does not cover are kept.
+    Collisions after renaming are an error.
+    """
+    if callable(mapping):
+        rename = mapping
+    else:
+        rename = lambda v: mapping.get(v, v)  # noqa: E731 - tiny adapter
+    result = Graph(directed=graph.directed)
+    seen = {}
+    for vertex_id in graph.vertex_ids():
+        new_id = rename(vertex_id)
+        if new_id in seen and seen[new_id] != vertex_id:
+            raise GraphError(
+                f"relabeling collides: {seen[new_id]!r} and {vertex_id!r} "
+                f"both map to {new_id!r}"
+            )
+        seen[new_id] = vertex_id
+        result.add_vertex(new_id, graph.vertex_value(vertex_id))
+    for source, target, value in graph.edges():
+        result.add_edge(rename(source), rename(target), value)
+    return result

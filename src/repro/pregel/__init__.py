@@ -1,0 +1,87 @@
+"""A Pregel/Giraph-compatible BSP graph-processing engine.
+
+This is the substrate the Graft debugger instruments. It reproduces the
+Giraph execution model the paper depends on:
+
+- vertex-centric ``compute()`` called once per active vertex per superstep,
+  with access to exactly the five pieces of Giraph context data (vertex id,
+  outgoing edges, incoming messages, aggregators, default global data);
+- ``vote_to_halt()`` / message-wakeup halting semantics;
+- an optional ``master_compute()`` run at the beginning of each superstep;
+- aggregators merged at superstep barriers;
+- messages routed between hash-partitioned workers, optionally combined;
+- graph mutations (edge edits, vertex add/remove requests, message-to-
+  missing-vertex vertex creation) resolved at barriers.
+
+The "cluster" is simulated: workers are in-process objects executed in a
+deterministic order, which leaves every API and every superstep boundary
+identical to the distributed original while making runs exactly
+reproducible from a seed.
+"""
+
+from repro.pregel.aggregators import (
+    Aggregator,
+    AggregatorRegistry,
+    AndAggregator,
+    MaxAggregator,
+    MinAggregator,
+    OrAggregator,
+    OverwriteAggregator,
+    SumAggregator,
+)
+from repro.pregel.combiners import (
+    MaxCombiner,
+    MessageCombiner,
+    MinCombiner,
+    SumCombiner,
+)
+from repro.pregel.checkpoint import CheckpointConfig, WorkerFailure
+from repro.pregel.computation import Computation, WorkerInfo
+from repro.pregel.context import ComputeContext
+from repro.pregel.engine import PregelEngine, PregelResult, run_computation
+from repro.pregel.job import JobResult, read_output, run_job, write_output
+from repro.pregel.master import MasterComputation, MasterContext
+from repro.pregel.metrics import RunMetrics, SuperstepMetrics
+from repro.pregel.partition import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    Partitioner,
+)
+from repro.pregel.value_types import Int32, Long64, Short16
+
+__all__ = [
+    "Aggregator",
+    "AggregatorRegistry",
+    "AndAggregator",
+    "MaxAggregator",
+    "MinAggregator",
+    "OrAggregator",
+    "OverwriteAggregator",
+    "SumAggregator",
+    "MessageCombiner",
+    "MinCombiner",
+    "MaxCombiner",
+    "SumCombiner",
+    "CheckpointConfig",
+    "WorkerFailure",
+    "Computation",
+    "WorkerInfo",
+    "ComputeContext",
+    "PregelEngine",
+    "PregelResult",
+    "run_computation",
+    "JobResult",
+    "read_output",
+    "run_job",
+    "write_output",
+    "MasterComputation",
+    "MasterContext",
+    "RunMetrics",
+    "SuperstepMetrics",
+    "Partitioner",
+    "HashPartitioner",
+    "ExplicitPartitioner",
+    "Short16",
+    "Int32",
+    "Long64",
+]

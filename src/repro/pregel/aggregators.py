@@ -1,0 +1,192 @@
+"""Aggregators: Pregel's global coordination objects.
+
+Vertices fold local contributions into named aggregators during a
+superstep; the system merges worker partials at the barrier; the merged
+value is visible to ``master_compute()`` at the beginning of the next
+superstep and to every vertex during it. Regular aggregators reset to
+their initial value each superstep; persistent ones keep accumulating
+(both kinds exist in Giraph).
+"""
+
+from repro.common.errors import AggregatorError
+
+
+class Aggregator:
+    """Base aggregator: an initial value and an associative merge."""
+
+    def initial_value(self):
+        """The identity element contributions merge into."""
+        raise NotImplementedError
+
+    def merge(self, current, contribution):
+        """Fold one contribution into the running value."""
+        raise NotImplementedError
+
+
+class SumAggregator(Aggregator):
+    """Sums numeric contributions; identity is ``zero`` (default 0)."""
+
+    def __init__(self, zero=0):
+        self._zero = zero
+
+    def initial_value(self):
+        return self._zero
+
+    def merge(self, current, contribution):
+        return current + contribution
+
+
+class MinAggregator(Aggregator):
+    """Keeps the minimum contribution; identity is None (no contribution)."""
+
+    def initial_value(self):
+        return None
+
+    def merge(self, current, contribution):
+        if current is None:
+            return contribution
+        return contribution if contribution < current else current
+
+
+class MaxAggregator(Aggregator):
+    """Keeps the maximum contribution; identity is None (no contribution)."""
+
+    def initial_value(self):
+        return None
+
+    def merge(self, current, contribution):
+        if current is None:
+            return contribution
+        return contribution if contribution > current else current
+
+
+class AndAggregator(Aggregator):
+    """Logical AND of boolean contributions; identity is True."""
+
+    def initial_value(self):
+        return True
+
+    def merge(self, current, contribution):
+        return bool(current) and bool(contribution)
+
+
+class OrAggregator(Aggregator):
+    """Logical OR of boolean contributions; identity is False."""
+
+    def initial_value(self):
+        return False
+
+    def merge(self, current, contribution):
+        return bool(current) or bool(contribution)
+
+
+class OverwriteAggregator(Aggregator):
+    """Last contribution wins (Giraph's store-and-broadcast pattern).
+
+    Typically only the master writes it, to broadcast a value — the
+    computation *phase* in multi-phase algorithms like the paper's graph
+    coloring — so ordering among multiple writers is not relied upon.
+    """
+
+    def __init__(self, default=None):
+        self._default = default
+
+    def initial_value(self):
+        return self._default
+
+    def merge(self, current, contribution):
+        return contribution
+
+
+class AggregatorRegistry:
+    """Named aggregators plus their per-superstep lifecycle.
+
+    The registry owns three layers of state:
+
+    - ``visible``: merged values from the previous superstep, readable by
+      vertices and master this superstep;
+    - ``partials``: contributions accumulated during the current superstep;
+    - the persistent flag deciding whether a barrier resets the value.
+    """
+
+    def __init__(self):
+        self._aggregators = {}
+        self._persistent = {}
+        self._visible = {}
+        self._partials = {}
+        self._touched = set()
+
+    def register(self, name, aggregator, persistent=False):
+        """Register an aggregator before the computation starts."""
+        if name in self._aggregators:
+            raise AggregatorError(f"aggregator {name!r} already registered")
+        if not isinstance(aggregator, Aggregator):
+            raise AggregatorError(
+                f"aggregator {name!r} must be an Aggregator, got {aggregator!r}"
+            )
+        self._aggregators[name] = aggregator
+        self._persistent[name] = persistent
+        self._visible[name] = aggregator.initial_value()
+        self._partials[name] = aggregator.initial_value()
+
+    def names(self):
+        return sorted(self._aggregators)
+
+    def _require(self, name):
+        if name not in self._aggregators:
+            raise AggregatorError(
+                f"unknown aggregator {name!r}; registered: {self.names()}"
+            )
+
+    def aggregate(self, name, contribution):
+        """Fold a contribution into the current superstep's partial."""
+        self._require(name)
+        self._partials[name] = self._aggregators[name].merge(
+            self._partials[name], contribution
+        )
+        self._touched.add(name)
+
+    def visible_value(self, name):
+        """The merged value from the previous superstep."""
+        self._require(name)
+        return self._visible[name]
+
+    def visible_snapshot(self):
+        """Dict of every aggregator's visible value (captured by Graft)."""
+        return dict(self._visible)
+
+    def set_visible(self, name, value):
+        """Master-side direct write, effective immediately (broadcast)."""
+        self._require(name)
+        self._visible[name] = value
+
+    def barrier(self):
+        """End-of-superstep merge: publish partials, reset non-persistent ones.
+
+        An aggregator nobody contributed to this superstep keeps its visible
+        value — so a value the master broadcast (e.g. a phase marker in an
+        :class:`OverwriteAggregator`) stays visible until overwritten, which
+        is how multi-phase Giraph algorithms rely on it behaving.
+        """
+        for name, aggregator in self._aggregators.items():
+            if name in self._touched:
+                self._visible[name] = self._partials[name]
+            if not self._persistent[name]:
+                self._partials[name] = aggregator.initial_value()
+        self._touched.clear()
+
+    def restore_snapshot(self, snapshot):
+        """Overwrite visible values from a snapshot (replay and recovery).
+
+        Persistent aggregators also restore their running partial, since
+        their accumulation continues from the visible value.
+        """
+        for name, value in snapshot.items():
+            if name not in self._aggregators:
+                raise AggregatorError(
+                    f"snapshot references unregistered aggregator {name!r}"
+                )
+            self._visible[name] = value
+            if self._persistent[name]:
+                self._partials[name] = value
+        self._touched.clear()

@@ -1,0 +1,42 @@
+"""Message combiners.
+
+A combiner folds the messages headed to one destination vertex into a
+single message before they cross the (simulated) network, exactly as in
+Pregel/Giraph. Combining is an optimization the algorithm must opt into
+and must be correct under: the combine function has to be commutative and
+associative, and the algorithm must not depend on message multiplicity.
+
+Note for Graft users: combined messages lose their per-source identity, so
+message-value constraints are checked by the instrumenter at *send* time,
+before combining — matching the paper's ``messageValueConstraint(msg,
+srcID, dstID, superstep)`` signature, which still sees the source id.
+"""
+
+
+class MessageCombiner:
+    """Base combiner; subclasses define the binary fold."""
+
+    def combine(self, first, second):
+        """Fold two message values headed to the same vertex into one."""
+        raise NotImplementedError
+
+
+class SumCombiner(MessageCombiner):
+    """Adds message values (PageRank-style contributions)."""
+
+    def combine(self, first, second):
+        return first + second
+
+
+class MinCombiner(MessageCombiner):
+    """Keeps the smaller message value (shortest-paths, components)."""
+
+    def combine(self, first, second):
+        return second if second < first else first
+
+
+class MaxCombiner(MessageCombiner):
+    """Keeps the larger message value."""
+
+    def combine(self, first, second):
+        return second if second > first else first

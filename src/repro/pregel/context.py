@@ -1,0 +1,213 @@
+"""The per-vertex compute context: everything Giraph exposes to a vertex.
+
+One :class:`ComputeContext` is created for each ``compute()`` call. It
+exposes exactly the five pieces of data the paper lists (Section 2) —
+
+1. the vertex id,
+2. its outgoing edges,
+3. its incoming messages,
+4. the aggregators, and
+5. the default global data (superstep number, total vertex and edge counts)
+
+— plus ``vote_to_halt()``, Pregel graph-mutation requests, and a seeded
+per-vertex RNG (randomness is derived from ``(run_seed, vertex_id,
+superstep)``, so it is part of the reproducible context rather than hidden
+state; this is what lets Graft replay the paper's random-walk scenario
+exactly).
+
+The context is deliberately constructible from plain data plus a small
+``services`` object, so the Graft Context Reproducer can rebuild one from a
+trace record without any engine or cluster — the Python analogue of the
+paper's Mockito mocks.
+"""
+
+from repro.common.errors import PregelError
+from repro.common.rng import derive_rng
+from repro.pregel.messages import Envelope
+
+
+class ComputeServices:
+    """What a context needs from its host (worker, or replay harness)."""
+
+    def aggregated_value(self, name):
+        """Merged aggregator value visible this superstep."""
+        raise NotImplementedError
+
+    def aggregate(self, name, contribution):
+        """Fold a contribution into an aggregator."""
+        raise NotImplementedError
+
+    def emit(self, envelope):
+        """Accept an outgoing message envelope."""
+        raise NotImplementedError
+
+    def request_add_vertex(self, vertex_id, value):
+        """Request vertex creation at the coming barrier."""
+        raise NotImplementedError
+
+    def request_remove_vertex(self, vertex_id):
+        """Request vertex removal at the coming barrier."""
+        raise NotImplementedError
+
+
+class ComputeContext:
+    """The object handed to ``Computation.compute()``.
+
+    Attributes populated by the call are inspected afterwards by the worker
+    (and by Graft's instrumentation): ``sent_envelopes``, ``halted``, and
+    the possibly-updated ``value``.
+    """
+
+    def __init__(
+        self,
+        vertex_id,
+        value,
+        edges,
+        incoming,
+        superstep,
+        num_vertices,
+        num_edges,
+        services,
+        run_seed=0,
+        observer=None,
+    ):
+        self.vertex_id = vertex_id
+        self._value = value
+        self._edges = edges
+        self._incoming = incoming
+        self.superstep = superstep
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self._services = services
+        self._run_seed = run_seed
+        self._observer = observer
+        self._rng = None
+        self.halted = False
+        self.sent_envelopes = []
+
+    def attach_observer(self, observer):
+        """Attach an interception observer (Graft's instrumentation point).
+
+        The observer's ``on_set_value(ctx, old, new)`` and ``on_send(ctx,
+        target, value)`` hooks fire before each value update and message
+        send. This is the Python analogue of the paper's Javassist wrap:
+        user code is untouched; the wrapper injects observation.
+        """
+        self._observer = observer
+
+    # -- vertex value ---------------------------------------------------
+
+    @property
+    def value(self):
+        """Current vertex value."""
+        return self._value
+
+    def set_value(self, new_value):
+        """Update the vertex value (Giraph's ``vertex.setValue``)."""
+        if self._observer is not None:
+            self._observer.on_set_value(self, self._value, new_value)
+        self._value = new_value
+
+    # -- edges ------------------------------------------------------------
+
+    def out_edges(self):
+        """Iterate ``(target_id, edge_value)`` pairs."""
+        return iter(self._edges.items())
+
+    def neighbor_ids(self):
+        """Iterate target ids of outgoing edges."""
+        return iter(self._edges)
+
+    @property
+    def out_degree(self):
+        return len(self._edges)
+
+    def has_edge(self, target):
+        return target in self._edges
+
+    def edge_value(self, target):
+        if target not in self._edges:
+            raise PregelError(
+                f"vertex {self.vertex_id!r} has no edge to {target!r}"
+            )
+        return self._edges[target]
+
+    def set_edge_value(self, target, value):
+        """Mutate a local edge value, effective immediately (Pregel rules)."""
+        if target not in self._edges:
+            raise PregelError(
+                f"vertex {self.vertex_id!r} has no edge to {target!r}"
+            )
+        self._edges[target] = value
+
+    def add_edge(self, target, value=None):
+        """Add a local outgoing edge, effective immediately."""
+        self._edges[target] = value
+
+    def remove_edge(self, target):
+        """Remove a local outgoing edge, effective immediately."""
+        self._edges.pop(target, None)
+
+    # -- messages -----------------------------------------------------------
+
+    def message_envelopes(self):
+        """Incoming messages with their source ids (debugger-facing view)."""
+        return list(self._incoming)
+
+    def send_message(self, target, value):
+        """Send a message for delivery in the next superstep."""
+        if self._observer is not None:
+            self._observer.on_send(self, target, value)
+        envelope = Envelope(source=self.vertex_id, target=target, value=value)
+        self.sent_envelopes.append(envelope)
+        self._services.emit(envelope)
+
+    def send_message_to_all_neighbors(self, value):
+        """Send the same message along every outgoing edge."""
+        for target in list(self._edges):
+            self.send_message(target, value)
+
+    # -- aggregators ----------------------------------------------------------
+
+    def aggregated_value(self, name):
+        """Read an aggregator's merged value from the previous superstep."""
+        return self._services.aggregated_value(name)
+
+    def aggregate(self, name, contribution):
+        """Contribute to an aggregator, visible next superstep."""
+        self._services.aggregate(name, contribution)
+
+    # -- halting & mutations --------------------------------------------------
+
+    def vote_to_halt(self):
+        """Declare this vertex inactive (re-activated by incoming messages)."""
+        self.halted = True
+
+    def add_vertex_request(self, vertex_id, value=None):
+        """Request creation of a vertex at the coming barrier."""
+        self._services.request_add_vertex(vertex_id, value)
+
+    def remove_vertex_request(self, vertex_id):
+        """Request removal of a vertex at the coming barrier."""
+        self._services.request_remove_vertex(vertex_id)
+
+    # -- randomness -------------------------------------------------------
+
+    @property
+    def rng(self):
+        """Per-(vertex, superstep) seeded RNG; identical on replay."""
+        if self._rng is None:
+            self._rng = derive_rng(
+                self._run_seed, "vertex", self.vertex_id, self.superstep
+            )
+        return self._rng
+
+    def random(self):
+        """Convenience for ``ctx.rng.random()``."""
+        return self.rng.random()
+
+    # -- snapshots (used by Graft capture) ---------------------------------
+
+    def edges_snapshot(self):
+        """Copy of the current outgoing-edge map."""
+        return dict(self._edges)

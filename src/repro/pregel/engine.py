@@ -1,0 +1,383 @@
+"""The BSP engine: superstep loop, barriers, routing, mutations, halting.
+
+:class:`PregelEngine` wires the pieces together exactly in Giraph's order:
+
+1. at the beginning of each superstep, ``master_compute()`` runs against
+   the aggregator values merged at the previous barrier and may rewrite
+   them or halt;
+2. every worker runs ``compute()`` for its active vertices (active = not
+   halted, or woken by an incoming message; everyone is active in
+   superstep 0);
+3. the barrier routes emitted messages (optionally through a combiner),
+   applies graph mutations (explicit requests plus Giraph's
+   create-vertex-on-message default resolver), merges aggregator partials,
+   and checks termination.
+
+Listeners observe superstep boundaries — this is where Graft hooks in its
+master-context capture and per-superstep trace flushing without the engine
+knowing anything about the debugger.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import EngineStateError, PregelError
+from repro.common.timing import Timer
+from repro.pregel import halting
+from repro.pregel.aggregators import AggregatorRegistry
+from repro.pregel.checkpoint import (
+    WorkerFailure,
+    latest_checkpoint_path,
+    read_checkpoint,
+    restore_workers,
+    write_checkpoint,
+)
+from repro.pregel.master import MasterContext, ensure_master, run_master
+from repro.pregel.messages import MessageStore
+from repro.pregel.metrics import RunMetrics, SuperstepMetrics
+from repro.pregel.partition import HashPartitioner
+from repro.pregel.worker import Worker
+
+DEFAULT_MAX_SUPERSTEPS = 10_000
+
+
+@dataclass
+class PregelResult:
+    """Outcome of one engine run."""
+
+    vertex_values: dict
+    num_supersteps: int
+    halt_reason: str
+    metrics: RunMetrics
+    aggregator_values: dict
+    compute_errors: list = field(default_factory=list)
+    recoveries: int = 0
+
+    @property
+    def converged(self):
+        return self.halt_reason == halting.CONVERGED
+
+    def summary(self):
+        return (
+            f"halt={self.halt_reason} after {self.num_supersteps} supersteps; "
+            f"{self.metrics.summary()}"
+        )
+
+
+class PregelEngine:
+    """Runs one vertex program over one input graph.
+
+    Parameters
+    ----------
+    computation_factory:
+        The user's :class:`~repro.pregel.Computation` subclass (or any
+        zero-argument factory). One instance is created per worker, as
+        Giraph creates one per worker thread.
+    graph:
+        The input :class:`~repro.graph.Graph`. The engine copies adjacency
+        into workers; the input graph is never mutated.
+    num_workers, partitioner:
+        Cluster shape. Default: 4 workers, hash partitioning.
+    master:
+        Optional :class:`~repro.pregel.MasterComputation` instance.
+    combiner:
+        Optional :class:`~repro.pregel.MessageCombiner`.
+    aggregators:
+        Optional dict ``name -> Aggregator`` registered before superstep 0
+        (in addition to whatever ``master.initialize`` registers).
+    seed:
+        Root seed for all per-vertex randomness.
+    max_supersteps:
+        Superstep budget; hitting it sets halt reason ``max_supersteps``
+        (how a user notices the paper's MWM infinite loop).
+    on_error:
+        ``"raise"`` (default) propagates a failing ``compute()`` as
+        :class:`~repro.common.errors.ComputeError`; ``"halt_vertex"``
+        records it and keeps going (used with Graft exception capture).
+    listeners:
+        Objects whose optional hooks ``on_start(engine)``,
+        ``on_master_computed(superstep, master_ctx)``,
+        ``on_superstep_end(superstep, metrics)``, ``on_finish(result)``
+        are called at the matching points.
+    checkpoint_config:
+        Optional :class:`~repro.pregel.CheckpointConfig`; enables periodic
+        checkpoints to the simulated DFS and failure recovery.
+    failure_injections:
+        Optional list of ``(superstep, worker_id)`` simulated machine
+        failures. With checkpointing enabled, each triggers a Pregel-style
+        rollback to the last checkpoint; without it, the job fails with
+        :class:`~repro.pregel.WorkerFailure`.
+    """
+
+    def __init__(
+        self,
+        computation_factory,
+        graph,
+        num_workers=4,
+        seed=0,
+        master=None,
+        combiner=None,
+        aggregators=None,
+        partitioner=None,
+        max_supersteps=DEFAULT_MAX_SUPERSTEPS,
+        on_error="raise",
+        listeners=None,
+        checkpoint_config=None,
+        failure_injections=None,
+        on_message_to_missing="create",
+    ):
+        if max_supersteps <= 0:
+            raise PregelError(f"max_supersteps must be positive, got {max_supersteps}")
+        if on_error not in ("raise", "halt_vertex"):
+            raise PregelError(f"unknown on_error policy {on_error!r}")
+        if on_message_to_missing not in ("create", "drop"):
+            raise PregelError(
+                f"unknown on_message_to_missing policy {on_message_to_missing!r}"
+            )
+        self._computation_factory = computation_factory
+        self._graph = graph
+        self._partitioner = partitioner or HashPartitioner(num_workers)
+        self._num_workers = self._partitioner.num_workers
+        self._seed = seed
+        self._master = ensure_master(master)
+        self._combiner = combiner
+        self._extra_aggregators = dict(aggregators or {})
+        self._max_supersteps = max_supersteps
+        self._on_error = on_error
+        self._listeners = list(listeners or [])
+        self._on_message_to_missing = on_message_to_missing
+        self._checkpoint_config = checkpoint_config
+        self._pending_failures = {
+            superstep: worker_id
+            for superstep, worker_id in (failure_injections or [])
+        }
+        self._ran = False
+        # Populated by run():
+        self.workers = []
+        self.aggregators = AggregatorRegistry()
+        self._locations = {}
+
+    # -- listener plumbing -----------------------------------------------
+
+    def add_listener(self, listener):
+        """Attach a listener before run() (Graft uses this)."""
+        self._listeners.append(listener)
+
+    def _notify(self, hook_name, *args):
+        for listener in self._listeners:
+            hook = getattr(listener, hook_name, None)
+            if hook is not None:
+                hook(*args)
+
+    # -- setup ------------------------------------------------------------
+
+    def _load(self):
+        self.workers = [
+            Worker(worker_id, self._seed) for worker_id in range(self._num_workers)
+        ]
+        self._computations = [
+            self._computation_factory() for _ in range(self._num_workers)
+        ]
+        for vertex_id in self._graph.vertex_ids():
+            worker_index = self._partitioner.worker_for(vertex_id)
+            computation = self._computations[worker_index]
+            initial = computation.initial_value(
+                vertex_id, self._graph.vertex_value(vertex_id)
+            )
+            edge_map = dict(self._graph.out_edges(vertex_id))
+            self.workers[worker_index].load_vertex(vertex_id, initial, edge_map)
+            self._locations[vertex_id] = worker_index
+        for name, aggregator in self._extra_aggregators.items():
+            self.aggregators.register(name, aggregator)
+        if self._master is not None:
+            self._master.initialize(self.aggregators)
+
+    def vertex_value(self, vertex_id):
+        """Current value of a vertex (live engine state; used by debuggers)."""
+        worker_index = self._locations.get(vertex_id)
+        if worker_index is None:
+            raise PregelError(f"vertex {vertex_id!r} not in the computation")
+        return self.workers[worker_index].values[vertex_id]
+
+    def has_vertex(self, vertex_id):
+        return vertex_id in self._locations
+
+    def vertex_edges(self, vertex_id):
+        """Current outgoing-edge map of a vertex (live engine state)."""
+        worker_index = self._locations.get(vertex_id)
+        if worker_index is None:
+            raise PregelError(f"vertex {vertex_id!r} not in the computation")
+        return dict(self.workers[worker_index].edges[vertex_id])
+
+    @property
+    def num_vertices(self):
+        return sum(worker.num_vertices for worker in self.workers)
+
+    @property
+    def num_edges(self):
+        return sum(worker.num_edges for worker in self.workers)
+
+    # -- the BSP loop -------------------------------------------------------
+
+    def run(self):
+        """Execute the computation to completion and return a result."""
+        if self._ran:
+            raise EngineStateError("engine instances are single-use; build a new one")
+        self._ran = True
+        self._load()
+        self._notify("on_start", self)
+
+        metrics = RunMetrics()
+        compute_errors = []
+        incoming = MessageStore()
+        halt_reason = halting.MAX_SUPERSTEPS
+        supersteps_run = 0
+        recoveries = 0
+
+        if self._checkpoint_config is not None:
+            write_checkpoint(
+                self._checkpoint_config, 0, self.workers, self.aggregators, incoming
+            )
+
+        with Timer() as total_timer:
+            superstep = 0
+            while superstep < self._max_supersteps:
+                failed_worker = self._pending_failures.pop(superstep, None)
+                if failed_worker is not None:
+                    if self._checkpoint_config is None:
+                        raise WorkerFailure(failed_worker, superstep)
+                    superstep, incoming = self._recover(superstep)
+                    recoveries += 1
+                    continue
+                num_vertices = self.num_vertices
+                num_edges = self.num_edges
+                master_ctx = MasterContext(
+                    superstep, num_vertices, num_edges, self.aggregators
+                )
+                if self._master is not None:
+                    run_master(self._master, master_ctx)
+                self._notify("on_master_computed", superstep, master_ctx)
+                if master_ctx.halted:
+                    halt_reason = halting.MASTER_HALT
+                    break
+
+                superstep_metrics = SuperstepMetrics(superstep)
+                for worker, computation in zip(self.workers, self._computations):
+                    worker.prepare_superstep(self.aggregators)
+                    with Timer() as worker_timer:
+                        worker.run_superstep(
+                            computation,
+                            superstep,
+                            incoming,
+                            num_vertices,
+                            num_edges,
+                            on_error=self._on_error,
+                        )
+                    superstep_metrics.compute_seconds += worker_timer.elapsed
+                    superstep_metrics.compute_calls += worker.compute_calls
+                    superstep_metrics.active_vertices += worker.compute_calls
+                    superstep_metrics.messages_sent += worker.messages_sent
+                    superstep_metrics.bytes_sent += worker.bytes_sent
+                    compute_errors.extend(worker.compute_errors)
+
+                outgoing = self._barrier(superstep_metrics)
+                metrics.add_superstep(superstep_metrics)
+                self._notify("on_superstep_end", superstep, superstep_metrics)
+                supersteps_run = superstep + 1
+
+                config = self._checkpoint_config
+                if config is not None and (superstep + 1) % config.every_n_supersteps == 0:
+                    write_checkpoint(
+                        config, superstep + 1, self.workers, self.aggregators, outgoing
+                    )
+
+                if halting.should_stop_after_barrier(self.workers, outgoing):
+                    halt_reason = halting.CONVERGED
+                    break
+                incoming = outgoing
+                superstep += 1
+        metrics.total_seconds = total_timer.elapsed
+
+        result = PregelResult(
+            vertex_values=self._collect_values(),
+            num_supersteps=supersteps_run,
+            halt_reason=halt_reason,
+            metrics=metrics,
+            aggregator_values=self.aggregators.visible_snapshot(),
+            compute_errors=compute_errors,
+            recoveries=recoveries,
+        )
+        self._notify("on_finish", result)
+        return result
+
+    def _recover(self, failed_superstep):
+        """Roll every worker back to the last checkpoint (Pregel recovery)."""
+        config = self._checkpoint_config
+        path = latest_checkpoint_path(config, before_superstep=failed_superstep)
+        checkpoint = read_checkpoint(config, path)
+        self._locations = restore_workers(self.workers, checkpoint)
+        self.aggregators.restore_snapshot(checkpoint["aggregators"])
+        return checkpoint["superstep"], checkpoint["incoming"]
+
+    def _barrier(self, superstep_metrics):
+        """Route messages, apply mutations, merge aggregators."""
+        outgoing = MessageStore()
+        for worker in self.workers:
+            outgoing.deliver_all(worker.outbox)
+        if self._combiner is not None:
+            superstep_metrics.messages_combined = outgoing.combine(self._combiner)
+        self._apply_mutations(outgoing)
+        self.aggregators.barrier()
+        return outgoing
+
+    def _apply_mutations(self, outgoing):
+        """Removals, then additions, then message-driven vertex creation."""
+        for worker in self.workers:
+            for vertex_id in worker.remove_vertex_requests:
+                location = self._locations.pop(vertex_id, None)
+                if location is not None:
+                    self.workers[location].remove_vertex(vertex_id)
+        for worker in self.workers:
+            for vertex_id, value in worker.add_vertex_requests:
+                if vertex_id not in self._locations:
+                    self._create_vertex(vertex_id, value)
+        if self._on_message_to_missing == "create":
+            # Giraph's default vertex resolver: a message to a missing id
+            # creates the vertex. The "drop" policy silently discards such
+            # messages instead (the other standard resolver behaviour).
+            for target in outgoing.targets():
+                if target not in self._locations:
+                    worker_index = self._partitioner.worker_for(target)
+                    default = self._computations[worker_index].default_vertex_value(
+                        target
+                    )
+                    self._create_vertex(target, default)
+        else:
+            for target in list(outgoing.targets()):
+                if target not in self._locations:
+                    outgoing.drop_inbox(target)
+
+    def _create_vertex(self, vertex_id, value):
+        worker_index = self._partitioner.worker_for(vertex_id)
+        self.workers[worker_index].load_vertex(vertex_id, value, {})
+        self._locations[vertex_id] = worker_index
+
+    def _collect_values(self):
+        values = {}
+        for worker in self.workers:
+            values.update(worker.vertex_values())
+        return values
+
+
+def run_computation(computation_factory, graph, **engine_kwargs):
+    """One-shot convenience: build an engine, run it, return the result.
+
+    >>> from repro.pregel import Computation
+    >>> from repro.graph import GraphBuilder
+    >>> class Noop(Computation):
+    ...     def compute(self, ctx, messages):
+    ...         ctx.vote_to_halt()
+    >>> g = GraphBuilder().vertices(1, 2).build()
+    >>> run_computation(Noop, g).num_supersteps
+    1
+    """
+    return PregelEngine(computation_factory, graph, **engine_kwargs).run()

@@ -1,0 +1,19 @@
+"""Halting decisions for the BSP loop.
+
+A Pregel computation terminates when (a) every vertex has voted to halt and
+no messages are in flight, (b) the master calls ``halt_computation()``, or
+(c) a configured superstep budget runs out. The engine records which one
+ended the run; the paper's MWM scenario (an input bug causing an infinite
+loop) is exactly the case where (c) fires and the user reaches for Graft.
+"""
+
+CONVERGED = "converged"
+MASTER_HALT = "master_halt"
+MAX_SUPERSTEPS = "max_supersteps"
+
+
+def should_stop_after_barrier(workers, outgoing_store):
+    """True when every vertex is halted and nothing is in flight."""
+    if outgoing_store.has_messages():
+        return False
+    return all(worker.all_halted() for worker in workers)

@@ -1,0 +1,75 @@
+"""The optional Master computation.
+
+``master_compute()`` runs once at the *beginning* of each superstep (the
+paper, Section 2), sees the aggregator values merged at the previous
+barrier, may overwrite them before they broadcast to vertices, and may halt
+the whole computation. Multi-phase algorithms (like the paper's graph
+coloring) drive their phase transitions here — and the paper notes the most
+common master bug is setting the phase wrong, which Graft's master capture
+is built to expose.
+"""
+
+from repro.common.errors import PregelError
+
+
+class MasterContext:
+    """What ``master_compute()`` sees and can do."""
+
+    def __init__(self, superstep, num_vertices, num_edges, aggregators):
+        self.superstep = superstep
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+        self._aggregators = aggregators
+        self.halted = False
+        # Snapshot before master_compute() runs: what replay must rebuild.
+        self._initial_snapshot = aggregators.visible_snapshot()
+
+    def aggregated_value(self, name):
+        """Merged value of an aggregator from the previous superstep."""
+        return self._aggregators.visible_value(name)
+
+    def set_aggregated_value(self, name, value):
+        """Overwrite an aggregator before it broadcasts to vertices."""
+        self._aggregators.set_visible(name, value)
+
+    def halt_computation(self):
+        """Terminate the whole computation before this superstep runs."""
+        self.halted = True
+
+    def aggregator_snapshot(self):
+        """All visible aggregator values (what Graft captures for the master)."""
+        return self._aggregators.visible_snapshot()
+
+    def initial_aggregator_snapshot(self):
+        """Aggregator values as they stood before master_compute() ran."""
+        return dict(self._initial_snapshot)
+
+
+class MasterComputation:
+    """Base class for master programs."""
+
+    def initialize(self, registry):
+        """Register aggregators before superstep 0 (Giraph's initialize())."""
+
+    def master_compute(self, master_ctx):
+        """Run at the beginning of each superstep."""
+        raise NotImplementedError
+
+
+def run_master(master, master_ctx):
+    """Invoke ``master_compute`` translating failures to engine errors."""
+    from repro.common.errors import MasterComputeError
+
+    try:
+        master.master_compute(master_ctx)
+    except Exception as exc:  # noqa: BLE001 - rewrapped with superstep info
+        raise MasterComputeError(master_ctx.superstep, exc) from exc
+
+
+def ensure_master(master):
+    """Validate the engine's ``master`` argument."""
+    if master is not None and not isinstance(master, MasterComputation):
+        raise PregelError(
+            f"master must be a MasterComputation instance, got {master!r}"
+        )
+    return master

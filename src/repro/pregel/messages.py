@@ -1,0 +1,79 @@
+"""Message envelopes and per-superstep message stores.
+
+Messages internally carry their source vertex id: Graft's message-value
+constraints are defined over ``(message, source_id, destination_id,
+superstep)`` and the GUI displays the incoming/outgoing messages of a
+captured vertex with their endpoints. The plain Giraph ``compute()`` API
+still sees only message *values*; envelopes surface through
+``ctx.message_envelopes()`` and the debugger.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message in flight: value plus endpoints.
+
+    ``source`` is None for combined messages (per-source identity is folded
+    away) and for engine-synthesized messages.
+    """
+
+    source: object
+    target: object
+    value: object
+
+
+class MessageStore:
+    """Messages grouped by destination vertex for one superstep."""
+
+    def __init__(self):
+        self._by_target = {}
+        self.total_messages = 0
+
+    def deliver(self, envelope):
+        """Add one envelope to its destination's inbox."""
+        self._by_target.setdefault(envelope.target, []).append(envelope)
+        self.total_messages += 1
+
+    def deliver_all(self, envelopes):
+        for envelope in envelopes:
+            self.deliver(envelope)
+
+    def inbox(self, vertex_id):
+        """The envelopes destined for ``vertex_id`` (possibly empty)."""
+        return self._by_target.get(vertex_id, [])
+
+    def targets(self):
+        """Vertex ids that have at least one incoming message."""
+        return self._by_target.keys()
+
+    def has_messages(self):
+        return bool(self._by_target)
+
+    def drop_inbox(self, vertex_id):
+        """Discard all messages destined for one vertex (resolver 'drop')."""
+        dropped = self._by_target.pop(vertex_id, [])
+        self.total_messages -= len(dropped)
+        return len(dropped)
+
+    def combine(self, combiner):
+        """Fold each inbox with ``combiner``, in delivery order.
+
+        Returns the number of messages eliminated. Combined envelopes lose
+        their source id (set to None), as on a real cluster where combining
+        happens before the network.
+        """
+        eliminated = 0
+        for target, envelopes in self._by_target.items():
+            if len(envelopes) <= 1:
+                continue
+            folded = envelopes[0].value
+            for envelope in envelopes[1:]:
+                folded = combiner.combine(folded, envelope.value)
+            eliminated += len(envelopes) - 1
+            self._by_target[target] = [
+                Envelope(source=None, target=target, value=folded)
+            ]
+        self.total_messages -= eliminated
+        return eliminated

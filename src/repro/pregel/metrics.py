@@ -1,0 +1,72 @@
+"""Run metrics: what the benchmark harness measures.
+
+The paper's performance section reports total run time with and without
+Graft, plus capture counts. :class:`RunMetrics` records wall-clock time and
+per-superstep counters so overhead and its sources (extra compute work,
+trace bytes) are all observable.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.timing import format_duration
+
+
+@dataclass
+class SuperstepMetrics:
+    """Counters for one superstep across all workers."""
+
+    superstep: int
+    active_vertices: int = 0
+    compute_calls: int = 0
+    messages_sent: int = 0
+    messages_combined: int = 0
+    bytes_sent: int = 0
+    compute_seconds: float = 0.0
+
+    def row(self):
+        return (
+            f"superstep {self.superstep:>4}: active={self.active_vertices:>8} "
+            f"msgs={self.messages_sent:>9} combined={self.messages_combined:>8} "
+            f"bytes={self.bytes_sent:>11} "
+            f"time={format_duration(self.compute_seconds)}"
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated counters for one whole run."""
+
+    supersteps: list = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    def add_superstep(self, metrics):
+        self.supersteps.append(metrics)
+
+    @property
+    def num_supersteps(self):
+        return len(self.supersteps)
+
+    @property
+    def total_messages(self):
+        return sum(s.messages_sent for s in self.supersteps)
+
+    @property
+    def total_compute_calls(self):
+        return sum(s.compute_calls for s in self.supersteps)
+
+    @property
+    def total_bytes_sent(self):
+        return sum(s.bytes_sent for s in self.supersteps)
+
+    @property
+    def total_messages_combined(self):
+        return sum(s.messages_combined for s in self.supersteps)
+
+    def summary(self):
+        return (
+            f"{self.num_supersteps} supersteps, "
+            f"{self.total_compute_calls} compute calls, "
+            f"{self.total_messages} messages "
+            f"({self.total_bytes_sent} bytes), "
+            f"{format_duration(self.total_seconds)} total"
+        )

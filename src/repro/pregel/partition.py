@@ -1,0 +1,61 @@
+"""Vertex-to-worker partitioning.
+
+Giraph assigns vertices to workers by hashing their ids; the same
+stable hash used everywhere in this library makes the assignment
+deterministic across runs and processes.
+"""
+
+from repro.common.errors import PregelError
+from repro.common.hashing import stable_hash
+
+
+class Partitioner:
+    """Maps a vertex id to a worker index in ``range(num_workers)``."""
+
+    def __init__(self, num_workers):
+        if num_workers <= 0:
+            raise PregelError(f"need at least one worker, got {num_workers}")
+        self.num_workers = num_workers
+
+    def worker_for(self, vertex_id):
+        raise NotImplementedError
+
+    def partition(self, vertex_ids):
+        """Group ``vertex_ids`` into per-worker lists, preserving order."""
+        groups = [[] for _ in range(self.num_workers)]
+        for vertex_id in vertex_ids:
+            groups[self.worker_for(vertex_id)].append(vertex_id)
+        return groups
+
+
+class HashPartitioner(Partitioner):
+    """Giraph's default: stable hash of the vertex id modulo worker count.
+
+    >>> p = HashPartitioner(4)
+    >>> p.worker_for("v1") == p.worker_for("v1")
+    True
+    """
+
+    def worker_for(self, vertex_id):
+        return stable_hash("partition", vertex_id) % self.num_workers
+
+
+class ExplicitPartitioner(Partitioner):
+    """Fixed assignment from a mapping; unmapped ids fall back to hashing.
+
+    Used by tests that need to place specific vertices on specific workers
+    (e.g. to prove traces merge correctly across worker files).
+    """
+
+    def __init__(self, num_workers, assignment):
+        super().__init__(num_workers)
+        bad = {v: w for v, w in assignment.items() if not 0 <= w < num_workers}
+        if bad:
+            raise PregelError(f"assignments out of range: {bad!r}")
+        self._assignment = dict(assignment)
+        self._fallback = HashPartitioner(num_workers)
+
+    def worker_for(self, vertex_id):
+        if vertex_id in self._assignment:
+            return self._assignment[vertex_id]
+        return self._fallback.worker_for(vertex_id)

@@ -1,0 +1,167 @@
+"""A simulated Giraph worker.
+
+Each worker owns the values, adjacency, and halt flags of the vertices its
+partition assigned to it, and executes ``compute()`` for its active
+vertices each superstep. Workers are plain objects run in a deterministic
+order by the engine; everything a distributed worker would do at the API
+level — message emission, aggregator partials, mutation requests, metrics —
+happens here, so Graft's per-worker trace files come out exactly as they
+would on a cluster.
+"""
+
+from repro.common.errors import ComputeError
+from repro.pregel.context import ComputeContext, ComputeServices
+
+
+class _WorkerServices(ComputeServices):
+    """Bridges contexts to the worker's per-superstep state."""
+
+    def __init__(self, worker):
+        self._worker = worker
+
+    def aggregated_value(self, name):
+        return self._worker._aggregators.visible_value(name)
+
+    def aggregate(self, name, contribution):
+        self._worker._aggregators.aggregate(name, contribution)
+
+    def emit(self, envelope):
+        self._worker.outbox.append(envelope)
+        self._worker.messages_sent += 1
+        self._worker.bytes_sent += _estimate_bytes(envelope.value)
+
+    def request_add_vertex(self, vertex_id, value):
+        self._worker.add_vertex_requests.append((vertex_id, value))
+
+    def request_remove_vertex(self, vertex_id):
+        self._worker.remove_vertex_requests.append(vertex_id)
+
+
+def _estimate_bytes(value):
+    """Cheap serialized-size estimate for network accounting."""
+    return 16 + len(str(value))
+
+
+class Worker:
+    """One simulated worker: vertex state plus superstep execution."""
+
+    def __init__(self, worker_id, run_seed):
+        self.worker_id = worker_id
+        self.run_seed = run_seed
+        self.values = {}
+        self.edges = {}
+        self.halted = {}
+        self._services = _WorkerServices(self)
+        self._aggregators = None
+        # Per-superstep outputs, reset by prepare_superstep():
+        self.outbox = []
+        self.add_vertex_requests = []
+        self.remove_vertex_requests = []
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.compute_calls = 0
+        self.compute_errors = []
+
+    # -- loading & mutation ------------------------------------------------
+
+    def load_vertex(self, vertex_id, value, edge_map):
+        """Place a vertex on this worker (initial load or barrier creation)."""
+        self.values[vertex_id] = value
+        self.edges[vertex_id] = dict(edge_map)
+        self.halted[vertex_id] = False
+
+    def remove_vertex(self, vertex_id):
+        self.values.pop(vertex_id, None)
+        self.edges.pop(vertex_id, None)
+        self.halted.pop(vertex_id, None)
+
+    def has_vertex(self, vertex_id):
+        return vertex_id in self.values
+
+    @property
+    def num_vertices(self):
+        return len(self.values)
+
+    @property
+    def num_edges(self):
+        return sum(len(edge_map) for edge_map in self.edges.values())
+
+    # -- superstep execution -------------------------------------------------
+
+    def prepare_superstep(self, aggregators):
+        """Reset per-superstep outputs and bind the aggregator registry."""
+        self._aggregators = aggregators
+        self.outbox = []
+        self.add_vertex_requests = []
+        self.remove_vertex_requests = []
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.compute_calls = 0
+        self.compute_errors = []
+
+    def active_vertices(self, superstep, message_store):
+        """Ids this worker must run compute() on this superstep, in order."""
+        if superstep == 0:
+            return list(self.values)
+        return [
+            vertex_id
+            for vertex_id in self.values
+            if not self.halted[vertex_id] or message_store.inbox(vertex_id)
+        ]
+
+    def run_superstep(
+        self,
+        computation,
+        superstep,
+        message_store,
+        num_vertices,
+        num_edges,
+        on_error="raise",
+    ):
+        """Execute one superstep over this worker's active vertices.
+
+        ``on_error`` controls what a raising ``compute()`` does: ``raise``
+        propagates a :class:`ComputeError` (a failed Giraph job); with
+        ``halt_vertex`` the vertex is marked halted, the error recorded, and
+        the superstep continues — the mode Graft's exception capture uses to
+        keep collecting context after a failure.
+        """
+        from repro.pregel.computation import WorkerInfo
+
+        worker_info = WorkerInfo(
+            self.worker_id, superstep, num_vertices, num_edges
+        )
+        computation.pre_superstep(worker_info)
+        for vertex_id in self.active_vertices(superstep, message_store):
+            inbox = message_store.inbox(vertex_id)
+            ctx = ComputeContext(
+                vertex_id=vertex_id,
+                value=self.values[vertex_id],
+                edges=self.edges[vertex_id],
+                incoming=inbox,
+                superstep=superstep,
+                num_vertices=num_vertices,
+                num_edges=num_edges,
+                services=self._services,
+                run_seed=self.run_seed,
+            )
+            self.compute_calls += 1
+            try:
+                computation.compute(ctx, [envelope.value for envelope in inbox])
+            except Exception as exc:  # noqa: BLE001 - policy decides below
+                error = ComputeError(vertex_id, superstep, exc)
+                if on_error == "raise":
+                    raise error from exc
+                self.compute_errors.append(error)
+                self.halted[vertex_id] = True
+                continue
+            self.values[vertex_id] = ctx.value
+            self.halted[vertex_id] = ctx.halted
+        computation.post_superstep(worker_info)
+
+    def all_halted(self):
+        return all(self.halted.values())
+
+    def vertex_values(self):
+        """Iterate ``(vertex_id, value)`` pairs owned by this worker."""
+        return iter(self.values.items())

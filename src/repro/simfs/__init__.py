@@ -1,0 +1,13 @@
+"""A simulated distributed file system (the repository's HDFS stand-in).
+
+Giraph workers write Graft trace files to HDFS; the GUI and Context
+Reproducer read them back. :class:`SimFileSystem` reproduces the slice of
+HDFS behaviour those paths depend on: a hierarchical namespace, append-only
+writers, atomic-rename, listing, and byte/block accounting (the paper's
+"small log files" claim is measured against these counters).
+"""
+
+from repro.simfs.filesystem import FileStat, SimFileSystem
+from repro.simfs.writers import LineWriter
+
+__all__ = ["FileStat", "SimFileSystem", "LineWriter"]

@@ -1,0 +1,229 @@
+"""In-memory hierarchical file system with HDFS-like semantics.
+
+Paths are ``/``-separated absolute strings. Directories exist implicitly
+once a file lives under them (HDFS also allows explicit empty directories,
+which ``mkdirs`` provides). Files are append-only byte sequences — exactly
+the write pattern of a log/trace producer — with whole-file reads, listing,
+rename, and deletion.
+
+The class also keeps counters (files created, bytes written, append calls,
+block counts) that the benchmark harness reports when reproducing the
+paper's trace-size observations.
+"""
+
+import posixpath
+from dataclasses import dataclass
+
+from repro.common.errors import SimFsError, SimFsFileExists, SimFsFileNotFound
+
+DEFAULT_BLOCK_SIZE = 64 * 1024
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Metadata for one file, in the spirit of ``hdfs dfs -stat``."""
+
+    path: str
+    size: int
+    blocks: int
+
+
+def normalize_path(path):
+    """Normalize ``path`` to a canonical absolute form.
+
+    >>> normalize_path("graft//traces/../traces/w0.trace")
+    '/graft/traces/w0.trace'
+    """
+    if not path or path in (".", "/"):
+        return "/"
+    if not path.startswith("/"):
+        path = "/" + path
+    # normpath clamps leading ".." at the root, so an absolute path can
+    # never escape the namespace.
+    return posixpath.normpath(path)
+
+
+class SimFileSystem:
+    """The simulated distributed file system.
+
+    >>> fs = SimFileSystem()
+    >>> fs.write_text("/a/b.txt", "hello")
+    >>> fs.read_text("/a/b.txt")
+    'hello'
+    >>> fs.list_dir("/a")
+    ['/a/b.txt']
+    """
+
+    def __init__(self, block_size=DEFAULT_BLOCK_SIZE):
+        if block_size <= 0:
+            raise SimFsError(f"block size must be positive, got {block_size}")
+        self.block_size = block_size
+        self._files = {}
+        self._dirs = {"/"}
+        self.files_created = 0
+        self.bytes_written = 0
+        self.append_calls = 0
+
+    # -- namespace ----------------------------------------------------------
+
+    def exists(self, path):
+        """True if ``path`` is an existing file or directory."""
+        path = normalize_path(path)
+        return path in self._files or self.is_dir(path)
+
+    def is_file(self, path):
+        return normalize_path(path) in self._files
+
+    def is_dir(self, path):
+        path = normalize_path(path)
+        if path in self._dirs:
+            return True
+        prefix = path if path.endswith("/") else path + "/"
+        return any(existing.startswith(prefix) for existing in self._files)
+
+    def mkdirs(self, path):
+        """Create a directory (and ancestors), like ``hdfs dfs -mkdir -p``."""
+        path = normalize_path(path)
+        if path in self._files:
+            raise SimFsFileExists(path)
+        while path != "/":
+            self._dirs.add(path)
+            path = posixpath.dirname(path)
+
+    def list_dir(self, path):
+        """Return sorted child paths (files and directories) of ``path``."""
+        path = normalize_path(path)
+        if not self.is_dir(path):
+            raise SimFsFileNotFound(path)
+        prefix = path if path.endswith("/") else path + "/"
+        children = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                remainder = candidate[len(prefix):]
+                children.add(prefix + remainder.split("/", 1)[0])
+        return sorted(children)
+
+    def glob_files(self, directory, suffix=""):
+        """Return sorted file paths under ``directory`` ending with ``suffix``."""
+        directory = normalize_path(directory)
+        prefix = directory if directory.endswith("/") else directory + "/"
+        return sorted(
+            path
+            for path in self._files
+            if path.startswith(prefix) and path.endswith(suffix)
+        )
+
+    # -- file data ----------------------------------------------------------
+
+    def create(self, path, overwrite=False):
+        """Create an empty file; with ``overwrite=False`` an existing file errors."""
+        path = normalize_path(path)
+        if self.is_dir(path) and path in self._dirs:
+            raise SimFsFileExists(path)
+        if path in self._files and not overwrite:
+            raise SimFsFileExists(path)
+        self._files[path] = bytearray()
+        self.files_created += 1
+        self.mkdirs(posixpath.dirname(path))
+
+    def append_bytes(self, path, data):
+        """Append ``data`` to ``path``, creating the file if needed."""
+        path = normalize_path(path)
+        if path not in self._files:
+            self.create(path)
+        self._files[path] += data
+        self.bytes_written += len(data)
+        self.append_calls += 1
+
+    def append_text(self, path, text):
+        self.append_bytes(path, text.encode("utf-8"))
+
+    def write_text(self, path, text):
+        """Create-or-truncate ``path`` with ``text`` as its full contents."""
+        self.create(path, overwrite=True)
+        self.append_text(path, text)
+
+    def read_bytes(self, path):
+        path = normalize_path(path)
+        if path not in self._files:
+            raise SimFsFileNotFound(path)
+        return bytes(self._files[path])
+
+    def read_text(self, path):
+        return self.read_bytes(path).decode("utf-8")
+
+    def read_lines(self, path):
+        """Yield the lines of a text file without trailing newlines.
+
+        Lines are framed by ``\\n`` only — unlike ``str.splitlines()``,
+        which also splits on exotic Unicode boundaries (``\\x1e``, ``\\x85``,
+        ...) and would corrupt records containing such characters.
+        """
+        text = self.read_text(path)
+        if not text:
+            return
+        if text.endswith("\n"):
+            text = text[:-1]
+        for line in text.split("\n"):
+            yield line
+
+    def delete(self, path, recursive=False):
+        """Delete a file, or a directory tree when ``recursive`` is set."""
+        path = normalize_path(path)
+        if path in self._files:
+            del self._files[path]
+            return
+        if self.is_dir(path):
+            if not recursive:
+                raise SimFsError(f"cannot delete directory {path!r} without recursive")
+            prefix = path if path.endswith("/") else path + "/"
+            for file_path in [p for p in self._files if p.startswith(prefix)]:
+                del self._files[file_path]
+            self._dirs = {
+                d for d in self._dirs if d != path and not d.startswith(prefix)
+            }
+            return
+        raise SimFsFileNotFound(path)
+
+    def rename(self, source, destination):
+        """Atomically move a file, like HDFS rename."""
+        source = normalize_path(source)
+        destination = normalize_path(destination)
+        if source not in self._files:
+            raise SimFsFileNotFound(source)
+        if destination in self._files:
+            raise SimFsFileExists(destination)
+        self._files[destination] = self._files.pop(source)
+        self.mkdirs(posixpath.dirname(destination))
+
+    # -- accounting ---------------------------------------------------------
+
+    def stat(self, path):
+        path = normalize_path(path)
+        if path not in self._files:
+            raise SimFsFileNotFound(path)
+        size = len(self._files[path])
+        blocks = max(1, -(-size // self.block_size)) if size else 0
+        return FileStat(path=path, size=size, blocks=blocks)
+
+    def total_bytes(self, directory="/"):
+        """Total stored bytes under ``directory``."""
+        directory = normalize_path(directory)
+        prefix = directory if directory.endswith("/") else directory + "/"
+        if directory == "/":
+            return sum(len(data) for data in self._files.values())
+        return sum(
+            len(data)
+            for path, data in self._files.items()
+            if path.startswith(prefix)
+        )
+
+    def export_to_directory(self, local_directory):
+        """Copy every file to a real directory on local disk for inspection."""
+        import os
+
+        for path, data in self._files.items():
+            target = os.path.join(local_directory, path.lstrip("/"))
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            with open(target, "wb") as handle:
+                handle.write(bytes(data))

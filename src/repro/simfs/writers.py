@@ -1,0 +1,71 @@
+"""Buffered line-oriented writers over the simulated file system.
+
+Each Graft-instrumented worker holds one :class:`LineWriter` for its trace
+file and appends one record per line. Buffering batches small appends into
+larger file-system writes, mirroring how real trace producers buffer before
+hitting HDFS.
+"""
+
+from repro.common.errors import SimFsError
+
+DEFAULT_BUFFER_LINES = 256
+
+
+class LineWriter:
+    """Appends text lines to one file, flushing every ``buffer_lines`` lines.
+
+    Usable as a context manager; closing flushes.
+
+    >>> from repro.simfs import SimFileSystem
+    >>> fs = SimFileSystem()
+    >>> with LineWriter(fs, "/t/w0.trace") as w:
+    ...     w.write_line("record-1")
+    ...     w.write_line("record-2")
+    >>> list(fs.read_lines("/t/w0.trace"))
+    ['record-1', 'record-2']
+    """
+
+    def __init__(self, filesystem, path, buffer_lines=DEFAULT_BUFFER_LINES):
+        if buffer_lines <= 0:
+            raise SimFsError(f"buffer_lines must be positive, got {buffer_lines}")
+        self._fs = filesystem
+        self.path = path
+        self._buffer = []
+        self._buffer_lines = buffer_lines
+        self._closed = False
+        self.lines_written = 0
+        filesystem.create(path, overwrite=True)
+
+    def write_line(self, line):
+        """Append one line (a newline is added; the line must not contain one)."""
+        if self._closed:
+            raise SimFsError(f"writer for {self.path!r} is closed")
+        if "\n" in line:
+            raise SimFsError("write_line() takes a single line without newlines")
+        self._buffer.append(line)
+        self.lines_written += 1
+        if len(self._buffer) >= self._buffer_lines:
+            self.flush()
+
+    def flush(self):
+        """Push buffered lines to the file system."""
+        if self._buffer:
+            self._fs.append_text(self.path, "".join(l + "\n" for l in self._buffer))
+            self._buffer = []
+
+    def close(self):
+        """Flush and prevent further writes. Idempotent."""
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

@@ -1,0 +1,136 @@
+"""Integration edge cases across the whole stack.
+
+The unusual inputs a real deployment eventually meets: empty graphs,
+single vertices, unicode and tuple vertex ids, zero-capture runs, and
+views pointed at supersteps with no captures.
+"""
+
+import pytest
+
+from repro.algorithms import ConnectedComponents, PageRank
+from repro.graft import CaptureAllActiveConfig, DebugConfig, debug_run
+from repro.graph import Graph, GraphBuilder
+from repro.pregel import run_computation
+
+
+class TestUnusualGraphs:
+    def test_empty_graph_converges_immediately(self):
+        result = run_computation(ConnectedComponents, Graph())
+        assert result.vertex_values == {}
+        assert result.converged
+        assert result.num_supersteps <= 1
+
+    def test_empty_graph_under_graft(self):
+        run = debug_run(ConnectedComponents, Graph(), CaptureAllActiveConfig())
+        assert run.ok
+        assert run.capture_count == 0
+
+    def test_single_vertex(self):
+        g = GraphBuilder(directed=False).vertex("only").build()
+        result = run_computation(ConnectedComponents, g)
+        assert result.vertex_values == {"only": "only"}
+
+    def test_self_loop_graph(self):
+        g = Graph(directed=False)
+        g.add_edge("a", "a")
+        result = run_computation(ConnectedComponents, g)
+        assert result.vertex_values["a"] == "a"
+
+    def test_unicode_and_tuple_ids_full_cycle(self):
+        # HashMin needs comparable ids, so keep each graph homogeneous —
+        # but unicode strings and tuples both flow through the whole stack.
+        g = GraphBuilder(directed=False).edge("héllo", "wörld").build()
+        g.add_undirected_edge(("t", 1), ("t", 2))
+        run = debug_run(ConnectedComponents, g, CaptureAllActiveConfig(), seed=1)
+        assert run.ok
+        # Trace round-trip preserved exotic ids.
+        assert set(run.reader.captured_vertex_ids()) == {
+            "héllo", "wörld", ("t", 1), ("t", 2)
+        }
+        record = run.reader.vertex_records[0]
+        report = run.reproduce(record.vertex_id, record.superstep)
+        assert report.faithful
+        # Codegen stays eval-able for these ids.
+        code = run.generate_test_code(record.vertex_id, record.superstep)
+        namespace = {"__name__": "generated"}
+        exec(compile(code, "<generated>", "exec"), namespace)
+        for name, test in namespace.items():
+            if name.startswith("test_"):
+                test()
+
+    def test_huge_integer_ids(self):
+        g = GraphBuilder(directed=False).edge(10**30, 10**30 + 1).build()
+        run = debug_run(ConnectedComponents, g, CaptureAllActiveConfig())
+        assert run.ok
+        assert run.result.vertex_values[10**30 + 1] == 10**30
+
+
+class TestViewsOnSparseCaptures:
+    def test_goto_superstep_without_captures(self):
+        class FirstOnly(DebugConfig):
+            def capture_all_active(self):
+                return True
+
+            def should_capture_superstep(self, superstep):
+                return superstep == 0
+
+        g = GraphBuilder(directed=False).cycle(0, 1, 2).build()
+        run = debug_run(lambda: PageRank(iterations=3), g, FirstOnly(), seed=1)
+        view = run.node_link_view().goto(2)  # nothing captured there
+        rendered = view.render()
+        assert "superstep 2" in rendered
+        captured, small = view.nodes()
+        assert captured == [] and small == []
+        table = run.tabular_view().goto(2)
+        assert "(0 captured)" in table.render()
+
+    def test_stepping_skips_uncaptured_supersteps(self):
+        class EveryOther(DebugConfig):
+            def capture_all_active(self):
+                return True
+
+            def should_capture_superstep(self, superstep):
+                return superstep % 2 == 0
+
+        g = GraphBuilder(directed=False).cycle(0, 1, 2).build()
+        run = debug_run(lambda: PageRank(iterations=4), g, EveryOther(), seed=1)
+        view = run.node_link_view()
+        assert view.superstep == 0
+        assert view.next().superstep == 2
+        assert view.next().superstep == 4
+
+
+class TestZeroCaptureRuns:
+    def test_report_renders_without_captures(self):
+        g = GraphBuilder(directed=False).edge(0, 1).build()
+        run = debug_run(ConnectedComponents, g, DebugConfig(), seed=1)
+        html = run.html_report()
+        assert "Graft report" in html
+        assert run.capture_count == 0
+
+    def test_fidelity_of_empty_run(self):
+        from repro.graft import verify_run_fidelity
+
+        g = GraphBuilder(directed=False).edge(0, 1).build()
+        run = debug_run(ConnectedComponents, g, DebugConfig(), seed=1)
+        report = verify_run_fidelity(run)
+        assert report.ok
+        assert report.total == 0
+
+
+class TestCliReportFlag:
+    def test_html_report_written(self, tmp_path):
+        from repro.cli import main
+
+        lines = []
+        path = str(tmp_path / "run.html")
+        status = main(
+            [
+                "debug", "--algorithm", "components", "--dataset",
+                "bipartite-1M-3M", "--vertices", "40", "--capture-ids", "0",
+                "--html-report", path,
+            ],
+            out=lines.append,
+        )
+        assert status == 0
+        assert (tmp_path / "run.html").exists()

@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example runs green, end to end.
+
+Examples rot silently unless executed; each one here runs as a subprocess
+exactly as a user would run it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+_RESULTS = {}
+
+
+def run_example(example):
+    """Run one example once per test session; cache the result."""
+    if example not in _RESULTS:
+        _RESULTS[example] = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / example)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+    return _RESULTS[example]
+
+
+def test_all_examples_enumerated():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example):
+    completed = run_example(example)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate what they do"
+
+
+@pytest.mark.parametrize(
+    "example, expected",
+    [
+        ("quickstart.py", "Reproduce"),
+        ("scenario_graph_coloring.py", "BUG VISIBLE"),
+        ("scenario_random_walk.py", "wraps to"),
+        ("scenario_mwm_input_bug.py", "asymmetric"),
+        ("end_to_end_testing.py", "PASSED"),
+        ("differential_debugging.py", "diverge"),
+    ],
+)
+def test_example_reaches_its_punchline(example, expected):
+    completed = run_example(example)
+    assert completed.returncode == 0
+    assert expected in completed.stdout

@@ -1,0 +1,97 @@
+"""Integration test: the whole stack in one user journey.
+
+A user stages an input graph on the (simulated) DFS, validates it, runs a
+job DFS-to-DFS, debugs the same job with Graft, exports the HTML report
+and raw traces to disk, generates a regression test, and finally diffs a
+fixed implementation against the buggy one — every subsystem in one flow.
+"""
+
+from repro.algorithms import BuggyGraphColoring, GCMaster, GraphColoring
+from repro.algorithms.coloring import COLORED
+from repro.datasets import load_dataset
+from repro.graft import CaptureAllActiveConfig, debug_job, diff_runs
+from repro.graph import validate_graph, write_adjacency_simfs
+from repro.pregel import run_job
+from repro.simfs import SimFileSystem
+
+
+def test_stage_validate_run_debug_export_diff(tmp_path):
+    fs = SimFileSystem()
+
+    # 1. Stage the input graph on the DFS.
+    graph = load_dataset("bipartite-1M-3M", num_vertices=80, seed=4)
+    write_adjacency_simfs(graph, fs, "/data/bipartite.adj")
+    assert fs.is_file("/data/bipartite.adj")
+
+    # 2. Validate the staged input.
+    report = validate_graph(graph)
+    assert report.ok
+
+    # 3. Run the (buggy) job DFS-to-DFS, like a normal Giraph submission.
+    job = run_job(
+        fs,
+        "/data/bipartite.adj",
+        "/output/coloring",
+        BuggyGraphColoring,
+        directed=False,
+        master=GCMaster(),
+        seed=4,
+        max_supersteps=300,
+    )
+    assert job.result.converged or job.result.halt_reason == "master_halt"
+    assert fs.glob_files("/output/coloring", suffix=".out")
+
+    # 4. Re-submit under Graft, traces land on the same DFS.
+    buggy = debug_job(
+        fs,
+        "/data/bipartite.adj",
+        BuggyGraphColoring,
+        CaptureAllActiveConfig(),
+        directed=False,
+        master=GCMaster(),
+        seed=4,
+        max_supersteps=300,
+        job_id="buggy-gc",
+    )
+    assert buggy.ok
+    assert buggy.capture_count > 0
+    assert fs.is_dir("/graft/buggy-gc")
+
+    # 5. Inspect: every vertex ends colored; the GUI views render.
+    final_view = buggy.node_link_view().last()
+    assert "COLORED" in final_view.render()
+    assert all(
+        record.value_after.state == COLORED
+        for record in buggy.captures_at(buggy.reader.supersteps()[-1])
+    )
+
+    # 6. Export the report and the raw traces to real disk.
+    report_path = buggy.export_html_report(str(tmp_path / "report.html"))
+    assert (tmp_path / "report.html").exists(), report_path
+    buggy.export_traces(str(tmp_path / "traces"))
+    assert (tmp_path / "traces" / "graft" / "buggy-gc").is_dir()
+
+    # 7. Generate a regression test from a captured context and run it.
+    record = buggy.reader.vertex_records[0]
+    code = buggy.generate_test_code(record.vertex_id, record.superstep)
+    namespace = {"__name__": "generated"}
+    exec(compile(code, "<generated>", "exec"), namespace)
+    for name, value in namespace.items():
+        if name.startswith("test_"):
+            value()
+
+    # 8. Differential debugging: the fixed implementation against the bug.
+    fixed = debug_job(
+        fs,
+        "/data/bipartite.adj",
+        GraphColoring,
+        CaptureAllActiveConfig(),
+        directed=False,
+        master=GCMaster(),
+        seed=4,
+        max_supersteps=300,
+        job_id="fixed-gc",
+    )
+    diff = diff_runs(fixed, buggy)
+    assert not diff.identical
+    assert diff.earliest().superstep >= 0

@@ -1,0 +1,101 @@
+"""Integration test: debugging master.compute() (paper Section 3.4).
+
+"The most common bug inside master.compute() is setting the phase of the
+computation incorrectly, which generally leads to infinite superstep
+executions or premature termination." This test plants exactly that bug,
+observes the infinite loop, and uses the captured master contexts plus
+master replay to locate it.
+"""
+
+from repro.algorithms import GraphColoring
+from repro.algorithms.coloring import (
+    ASSIGN,
+    DECIDE,
+    DISCOVER,
+    GCMaster,
+    PHASE_AGG,
+    SELECT,
+    UNKNOWN_COUNT_AGG,
+)
+from repro.datasets import premade_graph
+from repro.graft import DebugConfig, debug_run
+from repro.graft.reproducer import replay_master_record
+from repro.pregel.halting import MAX_SUPERSTEPS
+
+
+class BuggyGCMaster(GCMaster):
+    """Never advances from DISCOVER to ASSIGN: the classic phase bug."""
+
+    def master_compute(self, master_ctx):
+        previous = master_ctx.aggregated_value(PHASE_AGG)
+        if previous == DISCOVER:
+            # BUG: loops back to SELECT even when no UNKNOWN vertices remain.
+            master_ctx.set_aggregated_value(UNKNOWN_COUNT_AGG, 0)
+            master_ctx.set_aggregated_value(PHASE_AGG, SELECT)
+            return
+        super().master_compute(master_ctx)
+
+
+class TestMasterDebugging:
+    def test_phase_bug_causes_infinite_supersteps(self, petersen):
+        run = debug_run(
+            GraphColoring,
+            petersen,
+            DebugConfig(),
+            master=BuggyGCMaster(),
+            seed=1,
+            max_supersteps=60,
+        )
+        assert run.result.halt_reason == MAX_SUPERSTEPS
+
+    def test_master_trace_reveals_missing_assign_phase(self, petersen):
+        run = debug_run(
+            GraphColoring,
+            petersen,
+            DebugConfig(),
+            master=BuggyGCMaster(),
+            seed=1,
+            max_supersteps=60,
+        )
+        phases = {m.aggregators.get(PHASE_AGG) for m in run.master_contexts()}
+        assert ASSIGN not in phases  # the smoking gun in the master trace
+        assert {SELECT, DECIDE, DISCOVER} <= phases
+
+    def test_master_replay_pinpoints_wrong_transition(self, petersen):
+        run = debug_run(
+            GraphColoring,
+            petersen,
+            DebugConfig(),
+            master=BuggyGCMaster(),
+            seed=1,
+            max_supersteps=60,
+        )
+        # Find a superstep where DISCOVER ended with zero UNKNOWN vertices:
+        # the correct master would transition to ASSIGN there.
+        suspicious = next(
+            m
+            for m in run.master_contexts()
+            if m.aggregators_before.get(PHASE_AGG) == DISCOVER
+            and not m.aggregators_before.get(UNKNOWN_COUNT_AGG)
+        )
+        buggy_outcome = replay_master_record(suspicious, BuggyGCMaster)
+        fixed_outcome = replay_master_record(suspicious, GCMaster)
+        assert buggy_outcome.aggregators[PHASE_AGG] == SELECT   # wrong
+        assert fixed_outcome.aggregators[PHASE_AGG] == ASSIGN   # right
+
+    def test_generated_master_test_documents_the_fix(self, petersen):
+        run = debug_run(
+            GraphColoring,
+            petersen,
+            DebugConfig(),
+            master=GCMaster(),
+            seed=1,
+            max_supersteps=200,
+        )
+        final = run.master_contexts()[-1]
+        code = run.generate_master_test_code(final.superstep, GCMaster)
+        namespace = {"__name__": "generated"}
+        exec(compile(code, "<generated>", "exec"), namespace)
+        for name, value in namespace.items():
+            if name.startswith("test_"):
+                value()

@@ -1,0 +1,103 @@
+"""Integration test: the paper's Scenario 4.3 (MWM input bug), end to end.
+
+A weighted soc-Epinions-like graph, encoded as symmetric directed edges,
+has a fraction of pairs with asymmetric weights. MWM never converges. The
+user runs MWM with Graft capturing all active vertices after a late
+superstep, inspects the small remaining active graph, and spots the
+asymmetric weights.
+"""
+
+import pytest
+
+from repro.algorithms import MaximumWeightMatching
+from repro.datasets import (
+    corrupt_asymmetric_weights,
+    load_dataset,
+    random_symmetric_weights,
+)
+from repro.graft import CaptureAllActiveConfig, debug_run
+from repro.graph import find_asymmetric_edges, to_undirected
+from repro.pregel.halting import MAX_SUPERSTEPS
+
+LATE_SUPERSTEP = 60
+SUPERSTEP_CAP = 80
+
+
+@pytest.fixture(scope="module")
+def corrupted_graph():
+    base = to_undirected(
+        random_symmetric_weights(
+            load_dataset("soc-Epinions", num_vertices=120, seed=1), seed=2
+        )
+    )
+    corrupted, pairs = corrupt_asymmetric_weights(base, fraction=0.25, seed=3)
+    assert pairs
+    return corrupted
+
+
+@pytest.fixture(scope="module")
+def scenario_run(corrupted_graph):
+    return debug_run(
+        MaximumWeightMatching,
+        corrupted_graph,
+        CaptureAllActiveConfig(from_superstep=LATE_SUPERSTEP),
+        seed=0,
+        num_workers=4,
+        max_supersteps=SUPERSTEP_CAP,
+    )
+
+
+class TestScenario:
+    def test_computation_appears_stuck(self, scenario_run):
+        assert scenario_run.ok
+        assert scenario_run.result.halt_reason == MAX_SUPERSTEPS
+
+    def test_captures_limited_to_late_supersteps(self, scenario_run):
+        assert min(scenario_run.reader.supersteps()) >= LATE_SUPERSTEP
+
+    def test_active_remaining_graph_is_small(self, scenario_run, corrupted_graph):
+        captured = scenario_run.captures_at(scenario_run.reader.supersteps()[0])
+        assert 0 < len(captured) < corrupted_graph.num_vertices / 2
+
+    def test_remaining_vertices_show_asymmetric_weights(
+        self, scenario_run, corrupted_graph
+    ):
+        # The user inspects the captured contexts' edges: some adjacency
+        # pair among the stuck vertices disagrees on its two weights.
+        superstep = scenario_run.reader.supersteps()[0]
+        records = {r.vertex_id: r for r in scenario_run.captures_at(superstep)}
+        asymmetric = []
+        for vertex_id, record in records.items():
+            for target, weight in record.edges_after.items():
+                peer = records.get(target)
+                if peer is None:
+                    continue
+                back = peer.edges_after.get(vertex_id)
+                if back is not None and back != weight:
+                    asymmetric.append((vertex_id, target, weight, back))
+        assert asymmetric, "the stuck subgraph must expose the input bug"
+        # Cross-check against direct validation of the input file.
+        known_bad = {
+            frozenset((u, v)) for u, v, _a, _b in find_asymmetric_edges(corrupted_graph)
+        }
+        assert any(frozenset((u, v)) in known_bad for u, v, _a, _b in asymmetric)
+
+    def test_validation_tool_confirms_diagnosis(self, corrupted_graph):
+        assert find_asymmetric_edges(corrupted_graph)
+
+    def test_fixed_input_converges(self):
+        base = to_undirected(
+            random_symmetric_weights(
+                load_dataset("soc-Epinions", num_vertices=120, seed=1), seed=2
+            )
+        )
+        run = debug_run(
+            MaximumWeightMatching,
+            base,
+            CaptureAllActiveConfig(from_superstep=LATE_SUPERSTEP),
+            seed=0,
+            num_workers=4,
+            max_supersteps=SUPERSTEP_CAP,
+        )
+        assert run.result.halt_reason != MAX_SUPERSTEPS
+        assert run.capture_count == 0  # converged before the capture window

@@ -1,0 +1,106 @@
+"""Integration test: the paper's Scenario 4.2 (random walk), end to end.
+
+The RW implementation uses 16-bit short counters; once a vertex funnels
+more than 32767 walkers over one edge the counter wraps negative. The
+scenario: run with a message-value constraint ``msg >= 0``, see the M box
+turn red, find the offending vertices in the Violations view, reproduce one
+and diagnose the overflow.
+"""
+
+import pytest
+
+from repro.algorithms import BuggyRandomWalk, RandomWalk
+from repro.graft import DebugConfig, debug_run
+from repro.pregel import Short16
+
+
+class NonNegativeMessages(DebugConfig):
+    """The scenario's message value constraint (paper Figure 2 lines 4-5)."""
+
+    def message_value_constraint(self, message, source_id, target_id, superstep):
+        return not (message < 0)
+
+
+@pytest.fixture(scope="module")
+def scenario_run(request):
+    graph = request.getfixturevalue("funnel_graph")
+    run = debug_run(
+        lambda: BuggyRandomWalk(steps=8, initial_walkers=800),
+        graph,
+        NonNegativeMessages(),
+        seed=1,
+        num_workers=4,
+    )
+    assert run.ok
+    return run
+
+
+# Rebuild the funnel fixture at module scope.
+@pytest.fixture(scope="module")
+def funnel_graph():
+    from repro.graph import GraphBuilder
+
+    builder = GraphBuilder(directed=True)
+    for leaf in range(1, 60):
+        builder.edge(leaf, 0)
+    builder.edge(0, 99)
+    builder.edge(99, 0)
+    return builder.build()
+
+
+class TestScenario:
+    def test_message_box_red_in_violating_superstep(self, scenario_run):
+        violations_view = scenario_run.violations_view()
+        red_supersteps = violations_view.supersteps_with_violations()
+        assert red_supersteps
+        node_link = scenario_run.node_link_view(superstep=red_supersteps[0])
+        assert node_link.status_boxes()["M"] == "red"
+
+    def test_violations_view_identifies_negative_senders(self, scenario_run):
+        first = scenario_run.violations_view().first_violation()
+        assert first.kind == "message"
+        assert first.details["message"] < 0
+        assert isinstance(first.details["message"], Short16)
+
+    def test_reproduce_shows_overflow(self, scenario_run):
+        first = scenario_run.violations_view().first_violation()
+        report = scenario_run.reproduce(first.vertex_id, first.superstep)
+        assert report.faithful
+        # The replayed call re-sends the same wrapped counter.
+        negative_sends = [v for _t, v in report.outcome.sent if v < 0]
+        assert negative_sends
+        # Diagnosis: the true walker count (parked + arrived) exceeds the
+        # short range, and the sent message is its two's-complement wrap.
+        record = scenario_run.captured(first.vertex_id, first.superstep)
+        true_count = int(record.value_before) + sum(
+            int(value) for _source, value in record.incoming
+        )
+        assert true_count > Short16.max_value()
+        assert negative_sends[0] == Short16(true_count)
+
+    def test_generated_test_reproduces_negative_send(self, scenario_run):
+        first = scenario_run.violations_view().first_violation()
+        code = scenario_run.generate_test_code(first.vertex_id, first.superstep)
+        assert "Short16" in code
+        namespace = {"__name__": "generated"}
+        exec(compile(code, "<generated>", "exec"), namespace)
+        for name, value in namespace.items():
+            if name.startswith("test_"):
+                value()
+
+    def test_fixed_implementation_is_clean(self, funnel_graph):
+        run = debug_run(
+            lambda: RandomWalk(steps=8, initial_walkers=800),
+            funnel_graph,
+            NonNegativeMessages(),
+            seed=1,
+            num_workers=4,
+        )
+        assert run.ok
+        assert run.violations() == []
+        assert run.capture_count == 0
+
+    def test_capture_counts_small_relative_to_compute(self, scenario_run):
+        # Graft is a lightweight debugger: few captures, small traces.
+        assert scenario_run.capture_count < 20
+        assert scenario_run.trace_bytes < 100_000

@@ -1,0 +1,83 @@
+"""Property tests: aggregator merges are order-insensitive folds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pregel import (
+    AndAggregator,
+    MaxAggregator,
+    MinAggregator,
+    OrAggregator,
+    SumAggregator,
+)
+
+
+def fold(aggregator, contributions):
+    value = aggregator.initial_value()
+    for contribution in contributions:
+        value = aggregator.merge(value, contribution)
+    return value
+
+
+numbers = st.lists(st.integers(-1000, 1000), min_size=1, max_size=20)
+booleans = st.lists(st.booleans(), min_size=1, max_size=20)
+
+
+class TestOrderInsensitivity:
+    @given(numbers, st.randoms())
+    @settings(max_examples=60)
+    def test_sum_order_free(self, contributions, rng):
+        shuffled = list(contributions)
+        rng.shuffle(shuffled)
+        assert fold(SumAggregator(), contributions) == fold(
+            SumAggregator(), shuffled
+        )
+
+    @given(numbers, st.randoms())
+    @settings(max_examples=60)
+    def test_min_order_free(self, contributions, rng):
+        shuffled = list(contributions)
+        rng.shuffle(shuffled)
+        assert fold(MinAggregator(), contributions) == fold(
+            MinAggregator(), shuffled
+        )
+
+    @given(numbers, st.randoms())
+    @settings(max_examples=60)
+    def test_max_order_free(self, contributions, rng):
+        shuffled = list(contributions)
+        rng.shuffle(shuffled)
+        assert fold(MaxAggregator(), contributions) == fold(
+            MaxAggregator(), shuffled
+        )
+
+    @given(booleans, st.randoms())
+    @settings(max_examples=40)
+    def test_and_or_order_free(self, contributions, rng):
+        shuffled = list(contributions)
+        rng.shuffle(shuffled)
+        assert fold(AndAggregator(), contributions) == fold(
+            AndAggregator(), shuffled
+        )
+        assert fold(OrAggregator(), contributions) == fold(
+            OrAggregator(), shuffled
+        )
+
+
+class TestCorrectness:
+    @given(numbers)
+    @settings(max_examples=60)
+    def test_sum_equals_builtin(self, contributions):
+        assert fold(SumAggregator(), contributions) == sum(contributions)
+
+    @given(numbers)
+    @settings(max_examples=60)
+    def test_min_max_equal_builtins(self, contributions):
+        assert fold(MinAggregator(), contributions) == min(contributions)
+        assert fold(MaxAggregator(), contributions) == max(contributions)
+
+    @given(booleans)
+    @settings(max_examples=40)
+    def test_and_or_equal_builtins(self, contributions):
+        assert fold(AndAggregator(), contributions) == all(contributions)
+        assert fold(OrAggregator(), contributions) == any(contributions)

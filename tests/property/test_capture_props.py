@@ -1,0 +1,88 @@
+"""Property tests: capture decisions are exactly what the config asks for.
+
+For arbitrary specified-id sets and random-capture counts, every produced
+record's reasons must be justified by the config, and every justified
+vertex must appear — no over- or under-capture.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import erdos_renyi
+from repro.graft import DebugConfig, debug_run
+from repro.graft.capture import REASON_NEIGHBOR, REASON_RANDOM, REASON_SPECIFIED
+from repro.pregel import Computation
+
+GRAPH = erdos_renyi(14, 0.25, seed=6)
+
+
+class TwoStep(Computation):
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(ctx.vertex_id)
+        else:
+            ctx.vote_to_halt()
+
+
+class ParamConfig(DebugConfig):
+    def __init__(self, ids, random_count, neighbors):
+        self._ids = tuple(ids)
+        self._random = random_count
+        self._neighbors = neighbors
+
+    def vertices_to_capture(self):
+        return self._ids
+
+    def num_random_vertices_to_capture(self):
+        return self._random
+
+    def capture_neighbors_of_vertices(self):
+        return self._neighbors
+
+
+class TestCaptureSelection:
+    @given(
+        st.sets(st.integers(0, 13), max_size=4),
+        st.integers(0, 4),
+        st.booleans(),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_reasons_justified_and_complete(self, ids, random_count, neighbors, seed):
+        config = ParamConfig(sorted(ids), random_count, neighbors)
+        run = debug_run(TwoStep, GRAPH, config, seed=seed)
+
+        random_ids = {
+            r.vertex_id
+            for r in run.reader.vertex_records
+            if REASON_RANDOM in r.reasons
+        }
+        assert len(random_ids) == random_count
+
+        selected = set(ids) | random_ids
+        expected_neighbors = set()
+        if neighbors:
+            for vertex_id in selected:
+                expected_neighbors.update(GRAPH.neighbors(vertex_id))
+        expected = selected | expected_neighbors
+
+        captured = set(run.reader.captured_vertex_ids())
+        assert captured == expected
+
+        for record in run.reader.vertex_records:
+            for reason in record.reasons:
+                if reason == REASON_SPECIFIED:
+                    assert record.vertex_id in ids
+                elif reason == REASON_RANDOM:
+                    assert record.vertex_id in random_ids
+                elif reason == REASON_NEIGHBOR:
+                    assert record.vertex_id in expected_neighbors
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_every_capture_has_every_superstep(self, seed):
+        config = ParamConfig((0, 1), 0, False)
+        run = debug_run(TwoStep, GRAPH, config, seed=seed)
+        for vertex_id in (0, 1):
+            supersteps = [r.superstep for r in run.history(vertex_id)]
+            assert supersteps == [0, 1]

@@ -1,0 +1,96 @@
+"""Property tests over graph structures, I/O, and transforms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    parse_adjacency_text,
+    render_adjacency_text,
+    subgraph,
+    to_undirected,
+)
+from repro.graph.stats import compute_stats
+
+
+@st.composite
+def graphs(draw, max_vertices=8):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    graph = Graph()
+    values = draw(
+        st.lists(
+            st.one_of(st.none(), st.integers(-9, 9), st.text(max_size=4)),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    for vertex, value in enumerate(values):
+        graph.add_vertex(vertex, value)
+    edge_count = draw(st.integers(min_value=0, max_value=n * 2))
+    for _ in range(edge_count):
+        source = draw(st.integers(0, n - 1))
+        target = draw(st.integers(0, n - 1))
+        weight = draw(st.one_of(st.none(), st.floats(-10, 10)))
+        graph.add_edge(source, target, weight)
+    return graph
+
+
+class TestIoProperties:
+    @given(graphs())
+    @settings(max_examples=60)
+    def test_adjacency_text_roundtrip(self, graph):
+        assert parse_adjacency_text(render_adjacency_text(graph)) == graph
+
+
+class TestTransformProperties:
+    @given(graphs())
+    @settings(max_examples=60)
+    def test_to_undirected_is_symmetric(self, graph):
+        undirected = to_undirected(graph)
+        for source, target, _value in undirected.edges():
+            assert undirected.has_edge(target, source)
+
+    @given(graphs())
+    @settings(max_examples=40)
+    def test_to_undirected_idempotent_on_structure(self, graph):
+        once = to_undirected(graph)
+        twice = to_undirected(once)
+        assert set(
+            (s, t) for s, t, _v in once.edges()
+        ) == set((s, t) for s, t, _v in twice.edges())
+
+    @given(graphs(), st.integers(0, 7))
+    @settings(max_examples=60)
+    def test_subgraph_is_induced(self, graph, cutoff):
+        keep = [v for v in graph.vertex_ids() if v <= cutoff]
+        sub = subgraph(graph, keep)
+        assert set(sub.vertex_ids()) == set(keep)
+        for source, target, value in sub.edges():
+            assert graph.edge_value(source, target) == value
+        for source, target, _value in graph.edges():
+            if source in set(keep) and target in set(keep):
+                assert sub.has_edge(source, target)
+
+
+class TestStatsProperties:
+    @given(graphs())
+    @settings(max_examples=60)
+    def test_degree_sum_equals_edge_count(self, graph):
+        stats = compute_stats(graph)
+        assert (
+            sum(graph.out_degree(v) for v in graph.vertex_ids())
+            == stats.num_directed_edges
+        )
+
+    @given(graphs())
+    @settings(max_examples=60)
+    def test_undirected_pairs_at_most_directed_edges(self, graph):
+        stats = compute_stats(graph)
+        assert stats.num_undirected_edges <= max(stats.num_directed_edges, 0)
+        # And at least half (each pair collapses at most two directed edges).
+        assert stats.num_undirected_edges * 2 >= stats.num_directed_edges
+
+    @given(graphs())
+    @settings(max_examples=40)
+    def test_copy_equality(self, graph):
+        assert graph.copy() == graph

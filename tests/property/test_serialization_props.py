@@ -1,0 +1,85 @@
+"""Property tests: the trace codec round-trips its whole value domain."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import stable_hash
+from repro.common.serialization import default_codec
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+
+def containers(children):
+    return st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+        st.dictionaries(
+            st.integers(min_value=-100, max_value=100), children, max_size=4
+        ),
+        st.frozensets(
+            st.integers(min_value=-100, max_value=100) | st.text(max_size=5),
+            max_size=4,
+        ),
+    )
+
+
+values = st.recursive(scalars, containers, max_leaves=12)
+
+
+class TestCodecProperties:
+    @given(values)
+    @settings(max_examples=80)
+    def test_roundtrip_identity(self, value):
+        assert default_codec.loads(default_codec.dumps(value)) == value
+
+    @given(values)
+    @settings(max_examples=40)
+    def test_dumps_deterministic(self, value):
+        assert default_codec.dumps(value) == default_codec.dumps(value)
+
+    @given(values)
+    @settings(max_examples=40)
+    def test_single_line_output(self, value):
+        assert "\n" not in default_codec.dumps(value)
+
+
+hashables = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(),
+        st.floats(allow_nan=False),
+        st.text(max_size=10),
+        st.binary(max_size=10),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4), st.tuples(children, children)
+    ),
+    max_leaves=8,
+)
+
+
+class TestStableHashProperties:
+    @given(hashables)
+    @settings(max_examples=60)
+    def test_deterministic(self, value):
+        assert stable_hash(value) == stable_hash(value)
+
+    @given(hashables)
+    @settings(max_examples=60)
+    def test_in_64_bit_range(self, value):
+        assert 0 <= stable_hash(value) < 2**64
+
+    @given(st.integers(), st.integers())
+    @settings(max_examples=60)
+    def test_distinct_ints_rarely_collide(self, a, b):
+        if a != b:
+            assert stable_hash(a) != stable_hash(b)

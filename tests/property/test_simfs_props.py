@@ -1,0 +1,58 @@
+"""Property tests: the simulated file system behaves like a file system."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simfs import LineWriter, SimFileSystem
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=6
+)
+paths = st.builds(lambda parts: "/" + "/".join(parts), st.lists(names, min_size=1, max_size=3))
+payloads = st.text(max_size=50)
+
+
+class TestFileSemantics:
+    @given(st.dictionaries(paths, payloads, min_size=1, max_size=6))
+    @settings(max_examples=40)
+    def test_write_then_read_everything(self, files):
+        fs = SimFileSystem()
+        written = {}
+        for path, payload in files.items():
+            try:
+                fs.write_text(path, payload)
+                written[path] = payload
+            except Exception:
+                # A path may collide with a directory implied by another
+                # file (e.g. /a and /a/b); those writes legitimately fail.
+                continue
+        for path, payload in written.items():
+            if fs.is_file(path):
+                assert fs.read_text(path) in {payload, files[path]}
+
+    @given(st.lists(payloads.filter(lambda s: "\n" not in s), max_size=20),
+           st.integers(1, 7))
+    @settings(max_examples=40)
+    def test_line_writer_preserves_lines(self, lines, buffer_lines):
+        fs = SimFileSystem()
+        with LineWriter(fs, "/log", buffer_lines=buffer_lines) as writer:
+            for line in lines:
+                writer.write_line(line)
+        # splitlines() on read must give back exactly what went in, except
+        # that empty trailing entries survive because each line got its \n.
+        assert list(fs.read_lines("/log")) == lines
+
+    @given(st.lists(st.tuples(paths, payloads), min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_total_bytes_is_sum_of_files(self, writes):
+        fs = SimFileSystem()
+        for path, payload in writes:
+            try:
+                fs.write_text(path, payload)
+            except Exception:
+                continue
+        total = sum(
+            fs.stat(path).size
+            for path in fs.glob_files("/")
+        )
+        assert fs.total_bytes() == total

@@ -1,0 +1,64 @@
+"""Property tests: fixed-width integers behave exactly like Java's."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.serialization import decode_value, encode_value
+from repro.pregel import Int32, Short16
+
+ints = st.integers(min_value=-(2**20), max_value=2**20)
+shorts = st.integers(min_value=-(2**15), max_value=2**15 - 1)
+
+
+def java_short(value):
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+class TestShort16Properties:
+    @given(ints)
+    @settings(max_examples=100)
+    def test_construction_matches_java_semantics(self, value):
+        assert Short16(value).value == java_short(value)
+
+    @given(shorts, shorts)
+    @settings(max_examples=100)
+    def test_addition_matches_java(self, a, b):
+        assert (Short16(a) + Short16(b)).value == java_short(a + b)
+
+    @given(shorts, shorts)
+    @settings(max_examples=100)
+    def test_multiplication_matches_java(self, a, b):
+        assert (Short16(a) * Short16(b)).value == java_short(a * b)
+
+    @given(shorts, shorts)
+    @settings(max_examples=60)
+    def test_addition_commutative(self, a, b):
+        assert Short16(a) + Short16(b) == Short16(b) + Short16(a)
+
+    @given(shorts, shorts, shorts)
+    @settings(max_examples=60)
+    def test_addition_associative(self, a, b, c):
+        left = (Short16(a) + Short16(b)) + Short16(c)
+        right = Short16(a) + (Short16(b) + Short16(c))
+        assert left == right
+
+    @given(shorts)
+    @settings(max_examples=60)
+    def test_negation_involution(self, a):
+        assert (-(-Short16(a))) == Short16(a)
+
+    @given(shorts)
+    @settings(max_examples=60)
+    def test_codec_roundtrip(self, a):
+        assert decode_value(encode_value(Short16(a))) == Short16(a)
+
+    @given(shorts, shorts)
+    @settings(max_examples=60)
+    def test_ordering_consistent_with_values(self, a, b):
+        assert (Short16(a) < Short16(b)) == (a < b)
+
+    @given(shorts)
+    @settings(max_examples=60)
+    def test_int32_widens_short_losslessly(self, a):
+        assert Int32(Short16(a)).value == a

@@ -1,0 +1,160 @@
+"""Unit tests for graph coloring (correct and buggy variants)."""
+
+import pytest
+
+from repro.algorithms import (
+    BuggyGraphColoring,
+    GCMaster,
+    GraphColoring,
+    color_counts,
+    find_coloring_conflicts,
+)
+from repro.algorithms.coloring import COLORED, GCValue
+from repro.datasets import load_dataset, premade_graph
+from repro.pregel import run_computation
+from repro.pregel.halting import MAX_SUPERSTEPS
+
+
+def run_gc(graph, computation=GraphColoring, seed=0, max_supersteps=500):
+    return run_computation(
+        computation,
+        graph,
+        master=GCMaster(),
+        seed=seed,
+        max_supersteps=max_supersteps,
+    )
+
+
+class TestCorrectColoring:
+    def test_triangle_needs_three_colors(self, triangle):
+        result = run_gc(triangle)
+        values = result.vertex_values
+        assert all(v.state == COLORED for v in values.values())
+        assert len({v.color for v in values.values()}) == 3
+
+    def test_no_conflicts_on_bipartite(self, small_bipartite):
+        result = run_gc(small_bipartite, seed=2)
+        assert find_coloring_conflicts(small_bipartite, result.vertex_values) == []
+
+    def test_no_conflicts_on_petersen(self, petersen):
+        result = run_gc(petersen, seed=1)
+        assert find_coloring_conflicts(petersen, result.vertex_values) == []
+
+    def test_every_vertex_colored(self, small_bipartite):
+        result = run_gc(small_bipartite)
+        assert all(
+            value.state == COLORED and value.color is not None
+            for value in result.vertex_values.values()
+        )
+
+    def test_colors_are_consecutive_rounds(self, petersen):
+        result = run_gc(petersen)
+        colors = sorted(color_counts(result.vertex_values))
+        assert colors == list(range(len(colors)))
+
+    def test_terminates_well_before_cap(self, small_bipartite):
+        result = run_gc(small_bipartite, max_supersteps=500)
+        assert result.halt_reason != MAX_SUPERSTEPS
+
+    def test_deterministic_given_seed(self, small_bipartite):
+        first = run_gc(small_bipartite, seed=4)
+        second = run_gc(small_bipartite, seed=4)
+        assert first.vertex_values == second.vertex_values
+
+    def test_isolated_vertex_gets_first_color(self):
+        from repro.graph import GraphBuilder
+
+        g = GraphBuilder(directed=False).vertex("lonely").build()
+        result = run_gc(g)
+        assert result.vertex_values["lonely"].color == 0
+
+
+class TestBuggyColoring:
+    def test_produces_adjacent_same_color_conflicts(self, small_bipartite):
+        # The defining symptom of Scenario 4.1 — with coarse priorities and
+        # the <= comparison, ties put both neighbors in the same MIS.
+        conflicts = []
+        for seed in range(5):
+            result = run_gc(small_bipartite, BuggyGraphColoring, seed=seed)
+            conflicts.extend(
+                find_coloring_conflicts(small_bipartite, result.vertex_values)
+            )
+        assert conflicts, "the buggy variant should miscolor at least one pair"
+
+    def test_still_terminates(self, small_bipartite):
+        result = run_gc(small_bipartite, BuggyGraphColoring, seed=1)
+        assert result.halt_reason != MAX_SUPERSTEPS
+
+    def test_correct_variant_is_conflict_free_same_seeds(self, small_bipartite):
+        for seed in range(5):
+            result = run_gc(small_bipartite, GraphColoring, seed=seed)
+            assert find_coloring_conflicts(small_bipartite, result.vertex_values) == []
+
+
+class TestConflictFinder:
+    def test_reports_pairs_once_with_color(self):
+        values = {
+            0: GCValue(color=1, state=COLORED),
+            1: GCValue(color=1, state=COLORED),
+            2: GCValue(color=2, state=COLORED),
+        }
+        conflicts = find_coloring_conflicts(premade_graph("triangle"), values)
+        assert conflicts == [(0, 1, 1)]
+
+    def test_uncolored_vertices_ignored(self):
+        values = {
+            0: GCValue(color=None),
+            1: GCValue(color=None),
+            2: GCValue(color=None),
+        }
+        assert find_coloring_conflicts(premade_graph("triangle"), values) == []
+
+
+class TestColorCounts:
+    def test_histogram(self):
+        values = {
+            "a": GCValue(color=0, state=COLORED),
+            "b": GCValue(color=0, state=COLORED),
+            "c": GCValue(color=1, state=COLORED),
+        }
+        assert color_counts(values) == {0: 2, 1: 1}
+
+
+class TestPhaseMachine:
+    def test_phase_cycle_in_master_traces(self, petersen):
+        phases = []
+
+        class Spy:
+            def on_master_computed(self, superstep, master_ctx):
+                phases.append(master_ctx.aggregator_snapshot().get("phase"))
+
+        run_computation(
+            GraphColoring,
+            petersen,
+            master=GCMaster(),
+            listeners=[Spy()],
+            max_supersteps=200,
+        )
+        assert phases[0] == "SELECT"
+        assert "DECIDE" in phases
+        assert "DISCOVER" in phases
+        assert "ASSIGN" in phases
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_round_counter_grows_monotonically(self, petersen, seed):
+        rounds = []
+
+        class Spy:
+            def on_master_computed(self, superstep, master_ctx):
+                rounds.append(master_ctx.aggregator_snapshot().get("round"))
+
+        run_computation(
+            GraphColoring,
+            petersen,
+            master=GCMaster(),
+            seed=seed,
+            listeners=[Spy()],
+            max_supersteps=200,
+        )
+        numeric = [r for r in rounds if isinstance(r, int)]
+        assert numeric == sorted(numeric)

@@ -1,0 +1,54 @@
+"""Unit tests for connected components."""
+
+from repro.algorithms import ConnectedComponents, component_sizes
+from repro.datasets import premade_graph
+from repro.graph import GraphBuilder
+from repro.pregel import MinCombiner, run_computation
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle):
+        result = run_computation(ConnectedComponents, triangle)
+        assert set(result.vertex_values.values()) == {0}
+
+    def test_two_components(self):
+        g = premade_graph("two-triangles")
+        result = run_computation(ConnectedComponents, g)
+        assert component_sizes(result.vertex_values) == {0: 3, 3: 3}
+
+    def test_isolated_vertex_is_own_component(self):
+        g = GraphBuilder(directed=False).edge(1, 2).vertex(9).build()
+        result = run_computation(ConnectedComponents, g)
+        assert result.vertex_values[9] == 9
+        assert result.vertex_values[1] == result.vertex_values[2] == 1
+
+    def test_long_path_converges_to_min(self):
+        g = GraphBuilder(directed=False).path(*range(9, -1, -1)).build()
+        result = run_computation(ConnectedComponents, g)
+        assert set(result.vertex_values.values()) == {0}
+
+    def test_combiner_equivalence(self, petersen):
+        plain = run_computation(ConnectedComponents, petersen)
+        combined = run_computation(
+            ConnectedComponents, petersen, combiner=MinCombiner()
+        )
+        assert plain.vertex_values == combined.vertex_values
+
+    def test_labels_are_component_minima(self):
+        g = GraphBuilder(directed=False).edge(5, 3).edge(3, 8).edge(10, 11).build()
+        result = run_computation(ConnectedComponents, g)
+        assert result.vertex_values[8] == 3
+        assert result.vertex_values[10] == 10
+
+    def test_string_ids(self):
+        g = GraphBuilder(directed=False).edge("b", "a").edge("a", "c").build()
+        result = run_computation(ConnectedComponents, g)
+        assert set(result.vertex_values.values()) == {"a"}
+
+
+class TestComponentSizes:
+    def test_histogram(self):
+        assert component_sizes({1: "x", 2: "x", 3: "y"}) == {"x": 2, "y": 1}
+
+    def test_empty(self):
+        assert component_sizes({}) == {}

@@ -1,0 +1,56 @@
+"""Unit tests for k-core decomposition."""
+
+from repro.algorithms import KCore, core_members
+from repro.datasets import premade_graph
+from repro.graph import GraphBuilder
+from repro.pregel import run_computation
+
+
+class TestKCore:
+    def test_whole_cycle_is_its_own_2core(self):
+        result = run_computation(lambda: KCore(2), premade_graph("cycle6"))
+        assert core_members(result.vertex_values) == list(range(6))
+
+    def test_path_has_no_2core(self):
+        result = run_computation(lambda: KCore(2), premade_graph("path5"))
+        assert core_members(result.vertex_values) == []
+
+    def test_star_collapses_entirely_at_k2(self):
+        # Leaves die (degree 1); the hub then has no survivors.
+        result = run_computation(lambda: KCore(2), premade_graph("star6"))
+        assert core_members(result.vertex_values) == []
+
+    def test_cascading_peel(self):
+        # Triangle with a pendant path: the path peels away hop by hop,
+        # the triangle survives as the 2-core.
+        g = (
+            GraphBuilder(directed=False)
+            .cycle(0, 1, 2)
+            .path(2, 3, 4, 5)
+            .build()
+        )
+        result = run_computation(lambda: KCore(2), g)
+        assert core_members(result.vertex_values) == [0, 1, 2]
+
+    def test_k1_keeps_everything_with_an_edge(self):
+        g = GraphBuilder(directed=False).edge(0, 1).vertex(9).build()
+        result = run_computation(lambda: KCore(1), g)
+        assert core_members(result.vertex_values) == [0, 1]
+
+    def test_k4_on_petersen_empty(self, petersen):
+        result = run_computation(lambda: KCore(4), petersen)
+        assert core_members(result.vertex_values) == []
+
+    def test_k3_on_petersen_full(self, petersen):
+        result = run_computation(lambda: KCore(3), petersen)
+        assert len(core_members(result.vertex_values)) == 10
+
+    def test_core_invariant_every_member_has_k_member_neighbors(self):
+        g = premade_graph("complete5")
+        result = run_computation(lambda: KCore(3), g)
+        members = set(core_members(result.vertex_values))
+        for member in members:
+            neighbor_members = sum(
+                1 for target in g.neighbors(member) if target in members
+            )
+            assert neighbor_members >= 3

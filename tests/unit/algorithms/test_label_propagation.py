@@ -1,0 +1,50 @@
+"""Unit tests for label propagation."""
+
+from repro.algorithms import LabelPropagation, communities
+from repro.datasets import premade_graph
+from repro.graph import GraphBuilder
+from repro.pregel import run_computation
+
+
+class TestLabelPropagation:
+    def test_disconnected_cliques_get_distinct_labels(self):
+        g = GraphBuilder(directed=False).clique(0, 1, 2).clique(10, 11, 12).build()
+        result = run_computation(lambda: LabelPropagation(iterations=6), g)
+        groups = communities(result.vertex_values)
+        assert sorted(map(sorted, groups.values())) == [[0, 1, 2], [10, 11, 12]]
+
+    def test_clique_converges_to_min_label(self):
+        g = GraphBuilder(directed=False).clique(5, 6, 7, 8).build()
+        result = run_computation(lambda: LabelPropagation(iterations=6), g)
+        # A vertex never counts its own label, so the clique settles on one
+        # of the two smallest labels; all members agree.
+        assert len(set(result.vertex_values.values())) == 1
+
+    def test_two_cliques_with_weak_bridge(self):
+        builder = GraphBuilder(directed=False)
+        builder.clique(0, 1, 2, 3)
+        builder.clique(10, 11, 12, 13)
+        builder.edge(3, 10)
+        result = run_computation(lambda: LabelPropagation(iterations=8), builder.build())
+        groups = communities(result.vertex_values)
+        # The bridge must not merge the cliques into one community.
+        assert len(groups) >= 2
+
+    def test_isolated_vertex_keeps_own_label(self):
+        g = GraphBuilder(directed=False).vertex(42).clique(0, 1, 2).build()
+        result = run_computation(lambda: LabelPropagation(iterations=4), g)
+        assert result.vertex_values[42] == 42
+
+    def test_fixed_iteration_termination(self, petersen):
+        result = run_computation(lambda: LabelPropagation(iterations=5), petersen)
+        assert result.num_supersteps == 6
+
+    def test_deterministic(self, petersen):
+        first = run_computation(lambda: LabelPropagation(6), petersen, num_workers=2)
+        second = run_computation(lambda: LabelPropagation(6), petersen, num_workers=5)
+        assert first.vertex_values == second.vertex_values
+
+
+class TestCommunitiesHelper:
+    def test_groups_and_sorts(self):
+        assert communities({3: "a", 1: "a", 2: "b"}) == {"a": [1, 3], "b": [2]}

@@ -1,0 +1,133 @@
+"""Unit tests for maximum-weight matching."""
+
+from repro.algorithms import (
+    MaximumWeightMatching,
+    MWMValue,
+    extract_matching,
+    matching_weight,
+)
+from repro.algorithms.matching import MATCHED
+from repro.datasets import (
+    corrupt_asymmetric_weights,
+    load_dataset,
+    premade_graph,
+    random_symmetric_weights,
+)
+from repro.graph import GraphBuilder
+from repro.pregel import run_computation
+from repro.pregel.halting import MAX_SUPERSTEPS
+
+
+def run_mwm(graph, max_supersteps=300, seed=0):
+    return run_computation(
+        MaximumWeightMatching, graph, seed=seed, max_supersteps=max_supersteps
+    )
+
+
+class TestMatchingCorrectness:
+    def test_single_edge_matches(self):
+        g = GraphBuilder(directed=False).edge(1, 2, value=5.0).build()
+        result = run_mwm(g)
+        assert extract_matching(result.vertex_values) == {frozenset({1, 2})}
+
+    def test_weighted_square_takes_heavy_edges(self):
+        # weights: (0,1)=4 (1,2)=1 (2,3)=5 (3,0)=2 -> best matching {2,3},{0,1}
+        g = premade_graph("weighted-square")
+        result = run_mwm(g)
+        pairs = extract_matching(result.vertex_values)
+        assert pairs == {frozenset({2, 3}), frozenset({0, 1})}
+        assert matching_weight(g, pairs) == 9.0
+
+    def test_matching_is_valid(self):
+        g = random_symmetric_weights(
+            load_dataset("bipartite-1M-3M", num_vertices=100, seed=1), seed=2
+        )
+        result = run_mwm(g)
+        pairs = extract_matching(result.vertex_values)
+        used = [v for pair in pairs for v in pair]
+        assert len(used) == len(set(used)), "a vertex matched twice"
+        for pair in pairs:
+            u, v = tuple(pair)
+            assert g.has_edge(u, v)
+
+    def test_matching_consistency_both_sides_agree(self):
+        g = random_symmetric_weights(
+            load_dataset("bipartite-1M-3M", num_vertices=60, seed=3), seed=4
+        )
+        values = run_mwm(g).vertex_values
+        for vertex, value in values.items():
+            if value.state == MATCHED:
+                partner = values[value.matched_to]
+                assert partner.state == MATCHED
+                assert partner.matched_to == vertex
+
+    def test_half_approximation_on_small_graph(self):
+        g = premade_graph("weighted-square")
+        pairs = extract_matching(run_mwm(g).vertex_values)
+        # Optimal here is 9.0; the 1/2-approximation guarantees >= 4.5.
+        assert matching_weight(g, pairs) >= 4.5
+
+    def test_terminates_on_symmetric_weights(self):
+        g = random_symmetric_weights(
+            load_dataset("soc-Epinions", num_vertices=150, seed=5), seed=6
+        )
+        from repro.graph import to_undirected
+
+        result = run_mwm(to_undirected(g), max_supersteps=400)
+        assert result.halt_reason != MAX_SUPERSTEPS
+
+    def test_triangle_leaves_one_unmatched(self, triangle):
+        from repro.graph import with_edge_values
+
+        g = with_edge_values(triangle, lambda u, v: float(u + v))
+        values = run_mwm(g).vertex_values
+        unmatched = [v for v in values.values() if v.state != MATCHED]
+        assert len(unmatched) == 1
+
+    def test_deterministic(self):
+        g = random_symmetric_weights(
+            load_dataset("bipartite-1M-3M", num_vertices=80, seed=7), seed=8
+        )
+        assert run_mwm(g).vertex_values == run_mwm(g).vertex_values
+
+
+class TestScenario43InfiniteLoop:
+    def test_preference_cycle_never_terminates(self, asymmetric_triangle):
+        result = run_mwm(asymmetric_triangle, max_supersteps=100)
+        assert result.halt_reason == MAX_SUPERSTEPS
+
+    def test_active_set_in_loop_is_the_cycle(self, asymmetric_triangle):
+        result = run_mwm(asymmetric_triangle, max_supersteps=100)
+        unmatched = {
+            v for v, value in result.vertex_values.items() if value.state != MATCHED
+        }
+        assert unmatched == {"u", "v", "w"}
+
+    def test_corrupted_epinions_enters_infinite_loop(self):
+        # The full Scenario 4.3 shape: a clean weighted soc-Epinions
+        # converges quickly; the same graph with asymmetric weights on a
+        # fraction of its pairs never terminates.
+        from repro.graph import to_undirected
+
+        base = to_undirected(
+            random_symmetric_weights(
+                load_dataset("soc-Epinions", num_vertices=120, seed=1), seed=2
+            )
+        )
+        clean_result = run_mwm(base, max_supersteps=400)
+        assert clean_result.halt_reason != MAX_SUPERSTEPS
+        corrupted, pairs = corrupt_asymmetric_weights(base, fraction=0.25, seed=3)
+        assert pairs
+        corrupted_result = run_mwm(corrupted, max_supersteps=400)
+        assert corrupted_result.halt_reason == MAX_SUPERSTEPS
+
+
+class TestHelpers:
+    def test_extract_matching_skips_unmatched(self):
+        values = {1: MWMValue(), 2: MWMValue(state=MATCHED, matched_to=3),
+                  3: MWMValue(state=MATCHED, matched_to=2)}
+        assert extract_matching(values) == {frozenset({2, 3})}
+
+    def test_matching_weight_none_counts_one(self):
+        g = GraphBuilder(directed=False).edge(1, 2).build()
+        assert matching_weight(g, {frozenset({1, 2})}) == 1.0

@@ -1,0 +1,75 @@
+"""Unit tests for PageRank variants."""
+
+import pytest
+
+from repro.algorithms import PageRank, TolerancePageRank, TolerancePRMaster
+from repro.datasets import load_dataset, premade_graph
+from repro.graph import GraphBuilder
+from repro.pregel import SumCombiner, run_computation
+from repro.pregel.halting import MASTER_HALT
+
+
+class TestFixedIterations:
+    def test_regular_graph_keeps_uniform_rank(self, petersen):
+        result = run_computation(lambda: PageRank(iterations=8), petersen)
+        assert all(abs(v - 1.0) < 1e-9 for v in result.vertex_values.values())
+
+    def test_rank_mass_conserved_without_dangling(self, petersen):
+        result = run_computation(lambda: PageRank(iterations=8), petersen)
+        assert sum(result.vertex_values.values()) == pytest.approx(10.0)
+
+    def test_hub_outranks_leaf(self):
+        g = GraphBuilder(directed=False)
+        for leaf in range(1, 8):
+            g.edge(0, leaf)
+        result = run_computation(lambda: PageRank(iterations=20), g.build())
+        assert result.vertex_values[0] > result.vertex_values[1]
+
+    def test_runs_expected_superstep_count(self, petersen):
+        result = run_computation(lambda: PageRank(iterations=5), petersen)
+        assert result.num_supersteps == 6  # iterations + final halt pass
+
+    def test_combiner_equivalence(self):
+        g = load_dataset("soc-Epinions", num_vertices=150, seed=2)
+        plain = run_computation(lambda: PageRank(10), g)
+        combined = run_computation(lambda: PageRank(10), g, combiner=SumCombiner())
+        for vertex in plain.vertex_values:
+            assert plain.vertex_values[vertex] == pytest.approx(
+                combined.vertex_values[vertex]
+            )
+
+
+class TestToleranceDriven:
+    def test_master_halts_on_convergence(self, petersen):
+        result = run_computation(
+            TolerancePageRank,
+            petersen,
+            master=TolerancePRMaster(tolerance=1e-6),
+            max_supersteps=100,
+        )
+        assert result.halt_reason == MASTER_HALT
+        assert result.num_supersteps < 100
+
+    def test_converged_ranks_close_to_fixed_iteration(self):
+        g = premade_graph("star6")
+        tolerant = run_computation(
+            TolerancePageRank, g, master=TolerancePRMaster(tolerance=1e-9),
+            max_supersteps=200,
+        )
+        fixed = run_computation(lambda: PageRank(iterations=100), g)
+        for vertex in fixed.vertex_values:
+            assert tolerant.vertex_values[vertex] == pytest.approx(
+                fixed.vertex_values[vertex], abs=1e-4
+            )
+
+    def test_tighter_tolerance_takes_longer(self):
+        g = load_dataset("web-BS", num_vertices=200, seed=1)
+        loose = run_computation(
+            TolerancePageRank, g, master=TolerancePRMaster(tolerance=1e-1),
+            max_supersteps=100,
+        )
+        tight = run_computation(
+            TolerancePageRank, g, master=TolerancePRMaster(tolerance=1e-6),
+            max_supersteps=100,
+        )
+        assert tight.num_supersteps > loose.num_supersteps

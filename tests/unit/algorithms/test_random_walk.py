@@ -1,0 +1,92 @@
+"""Unit tests for the random walk algorithm (correct and buggy variants)."""
+
+from repro.algorithms import BuggyRandomWalk, RandomWalk, total_walkers
+from repro.datasets import load_dataset
+from repro.graph import GraphBuilder
+from repro.pregel import Short16, run_computation
+
+
+class TestCorrectRandomWalk:
+    def test_walkers_conserved(self, petersen):
+        result = run_computation(
+            lambda: RandomWalk(steps=6, initial_walkers=50), petersen, seed=3
+        )
+        assert total_walkers(result.vertex_values) == 50 * 10
+
+    def test_walkers_conserved_on_skewed_graph(self):
+        g = load_dataset("web-BS", num_vertices=300, seed=1)
+        # Count walkers that can still move plus those stuck on sinks.
+        result = run_computation(
+            lambda: RandomWalk(steps=5, initial_walkers=20), g, seed=2
+        )
+        assert total_walkers(result.vertex_values) == 20 * 300
+
+    def test_values_never_negative(self, petersen):
+        result = run_computation(
+            lambda: RandomWalk(steps=8, initial_walkers=100), petersen, seed=1
+        )
+        assert all(v >= 0 for v in result.vertex_values.values())
+
+    def test_deterministic_given_seed(self, petersen):
+        first = run_computation(lambda: RandomWalk(5, 30), petersen, seed=9)
+        second = run_computation(lambda: RandomWalk(5, 30), petersen, seed=9)
+        assert first.vertex_values == second.vertex_values
+
+    def test_different_seed_moves_walkers_differently(self, petersen):
+        first = run_computation(lambda: RandomWalk(5, 30), petersen, seed=1)
+        second = run_computation(lambda: RandomWalk(5, 30), petersen, seed=2)
+        assert first.vertex_values != second.vertex_values
+
+    def test_sink_vertices_accumulate(self):
+        g = GraphBuilder(directed=True).edge(1, 0).edge(2, 0).build()
+        result = run_computation(lambda: RandomWalk(3, 10), g, seed=1)
+        assert result.vertex_values[0] == 30  # everyone funnels into the sink
+
+    def test_terminates_after_steps(self, petersen):
+        result = run_computation(lambda: RandomWalk(steps=4), petersen)
+        assert result.num_supersteps == 5
+
+
+class TestBuggyRandomWalk:
+    def test_counters_are_shorts(self, funnel_graph):
+        sent_types = set()
+
+        class Probe(BuggyRandomWalk):
+            def _make_counter(self, count):
+                counter = super()._make_counter(count)
+                sent_types.add(type(counter))
+                return counter
+
+        run_computation(lambda: Probe(steps=2, initial_walkers=5), funnel_graph, seed=1)
+        assert sent_types == {Short16}
+
+    def test_overflow_sends_negative_counts(self, funnel_graph):
+        # 59 leaves x 800 walkers pile onto the hub, which forwards them all
+        # over a single edge: the short counter must wrap.
+        result = run_computation(
+            lambda: BuggyRandomWalk(steps=6, initial_walkers=800),
+            funnel_graph,
+            seed=1,
+        )
+        assert any(int(v) < 0 for v in result.vertex_values.values())
+
+    def test_walkers_lost_after_overflow(self, funnel_graph):
+        result = run_computation(
+            lambda: BuggyRandomWalk(steps=6, initial_walkers=800),
+            funnel_graph,
+            seed=1,
+        )
+        expected = 800 * funnel_graph.num_vertices
+        assert total_walkers(result.vertex_values) != expected
+
+    def test_no_overflow_at_small_scale_matches_correct(self, petersen):
+        buggy = run_computation(lambda: BuggyRandomWalk(4, 10), petersen, seed=5)
+        correct = run_computation(lambda: RandomWalk(4, 10), petersen, seed=5)
+        assert {k: int(v) for k, v in buggy.vertex_values.items()} == (
+            correct.vertex_values
+        )
+
+
+class TestTotalWalkers:
+    def test_counts_mixed_int_types(self):
+        assert total_walkers({1: Short16(5), 2: 7}) == 12

@@ -1,0 +1,63 @@
+"""Unit tests for SSSP and BFS."""
+
+import math
+
+from repro.algorithms import BreadthFirstSearch, ShortestPaths
+from repro.datasets import premade_graph
+from repro.graph import GraphBuilder
+from repro.pregel import MinCombiner, run_computation
+
+
+class TestShortestPaths:
+    def test_path_distances(self):
+        g = premade_graph("path5")
+        result = run_computation(lambda: ShortestPaths(0), g)
+        assert result.vertex_values == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+    def test_weighted_shortcut_preferred(self):
+        g = (
+            GraphBuilder(directed=True)
+            .edge("s", "a", 1.0).edge("a", "t", 1.0)
+            .edge("s", "t", 5.0)
+            .build()
+        )
+        result = run_computation(lambda: ShortestPaths("s"), g)
+        assert result.vertex_values["t"] == 2.0
+
+    def test_unreachable_stays_infinite(self):
+        g = GraphBuilder(directed=True).edge(0, 1).vertex(9).build()
+        result = run_computation(lambda: ShortestPaths(0), g)
+        assert result.vertex_values[9] == math.inf
+
+    def test_none_edge_weight_counts_as_one(self):
+        g = GraphBuilder(directed=True).edge(0, 1).build()
+        result = run_computation(lambda: ShortestPaths(0), g)
+        assert result.vertex_values[1] == 1
+
+    def test_combiner_equivalence(self, petersen):
+        plain = run_computation(lambda: ShortestPaths(0), petersen)
+        combined = run_computation(
+            lambda: ShortestPaths(0), petersen, combiner=MinCombiner()
+        )
+        assert plain.vertex_values == combined.vertex_values
+
+    def test_directed_edges_respected(self):
+        g = GraphBuilder(directed=True).edge(0, 1).edge(2, 1).build()
+        result = run_computation(lambda: ShortestPaths(0), g)
+        assert result.vertex_values[2] == math.inf
+
+
+class TestBFS:
+    def test_hop_counts_ignore_weights(self):
+        g = (
+            GraphBuilder(directed=True)
+            .edge("s", "a", 100.0).edge("a", "t", 100.0)
+            .edge("s", "t", 1.0)
+            .build()
+        )
+        result = run_computation(lambda: BreadthFirstSearch("s"), g)
+        assert result.vertex_values["t"] == 1
+
+    def test_petersen_diameter_two(self, petersen):
+        result = run_computation(lambda: BreadthFirstSearch(0), petersen)
+        assert max(result.vertex_values.values()) == 2

@@ -1,0 +1,43 @@
+"""Unit tests for triangle counting."""
+
+from repro.algorithms import TriangleCount, total_triangles
+from repro.datasets import premade_graph
+from repro.graph import GraphBuilder
+from repro.pregel import run_computation
+
+
+class TestTriangleCount:
+    def test_single_triangle(self, triangle):
+        result = run_computation(TriangleCount, triangle)
+        assert result.vertex_values == {0: 1, 1: 1, 2: 1}
+        assert total_triangles(result.vertex_values) == 1
+
+    def test_complete_graph_k5(self):
+        result = run_computation(TriangleCount, premade_graph("complete5"))
+        # Each vertex of K5 sits in C(4,2) = 6 triangles; total C(5,3) = 10.
+        assert all(v == 6 for v in result.vertex_values.values())
+        assert total_triangles(result.vertex_values) == 10
+
+    def test_triangle_free_graphs(self):
+        for name in ("path5", "cycle6", "star6", "petersen"):
+            result = run_computation(TriangleCount, premade_graph(name))
+            assert total_triangles(result.vertex_values) == 0, name
+
+    def test_bipartite_graphs_have_no_triangles(self, small_bipartite):
+        result = run_computation(TriangleCount, small_bipartite)
+        assert total_triangles(result.vertex_values) == 0
+
+    def test_two_disjoint_triangles(self):
+        result = run_computation(TriangleCount, premade_graph("two-triangles"))
+        assert total_triangles(result.vertex_values) == 2
+
+    def test_shared_edge_triangles(self):
+        # Two triangles sharing edge (0, 1): 0 and 1 are in 2 each.
+        g = GraphBuilder(directed=False).cycle(0, 1, 2).cycle(0, 1, 3).build()
+        result = run_computation(TriangleCount, g)
+        assert result.vertex_values[0] == 2
+        assert result.vertex_values[2] == 1
+        assert total_triangles(result.vertex_values) == 2
+
+    def test_runs_in_two_supersteps(self, triangle):
+        assert run_computation(TriangleCount, triangle).num_supersteps == 2

@@ -1,0 +1,79 @@
+"""Unit tests for the Figure 7/8 overhead grid runner."""
+
+from repro.bench import (
+    ExperimentSpec,
+    max_overhead_by_config,
+    run_overhead_grid,
+)
+from repro.bench.overhead import NO_DEBUG, OverheadCell
+from repro.graft import CaptureAllActiveConfig, DebugConfig
+from repro.graph import GraphBuilder
+from repro.pregel import Computation
+
+
+class Tick(Computation):
+    def compute(self, ctx, messages):
+        if ctx.superstep >= 2:
+            ctx.vote_to_halt()
+            return
+        ctx.send_message_to_all_neighbors(1)
+
+
+def spec():
+    graph = GraphBuilder(directed=False).cycle(*range(8)).build()
+    return ExperimentSpec("Tick", "ring", graph, Tick)
+
+
+class TestRunOverheadGrid:
+    def test_grid_shape(self):
+        cells = run_overhead_grid(
+            [spec()],
+            {"all": CaptureAllActiveConfig, "none": DebugConfig},
+            repetitions=1,
+            warmup=0,
+        )
+        assert [c.config_name for c in cells] == [NO_DEBUG, "all", "none"]
+
+    def test_baseline_normalized_to_one(self):
+        cells = run_overhead_grid([spec()], {}, repetitions=1, warmup=0)
+        assert cells[0].normalized == 1.0
+        assert cells[0].captures == 0
+
+    def test_capture_counts_attached(self):
+        cells = run_overhead_grid(
+            [spec()], {"all": CaptureAllActiveConfig}, repetitions=1, warmup=0
+        )
+        all_cell = cells[1]
+        assert all_cell.captures == 8 * 3
+        assert all_cell.trace_bytes > 0
+
+    def test_overhead_percent(self):
+        cell = OverheadCell("a", "d", "c", 0.2, 0.0, 1.25, 1, 1)
+        assert cell.overhead_percent == 25.0
+
+    def test_engine_kwargs_factory_called_per_run(self):
+        calls = []
+
+        def kwargs_factory():
+            calls.append(1)
+            return {"num_workers": 2}
+
+        grid_spec = ExperimentSpec(
+            "Tick", "ring", spec().graph, Tick, engine_kwargs_factory=kwargs_factory
+        )
+        run_overhead_grid([grid_spec], {"none": DebugConfig}, repetitions=2, warmup=0)
+        assert len(calls) == 4  # 2 baseline runs + 2 debug runs
+
+
+class TestHeadlines:
+    def test_max_overhead_excludes_baseline(self):
+        cells = [
+            OverheadCell("a", "d", NO_DEBUG, 0.1, 0, 1.0, 0, 0),
+            OverheadCell("a", "d", "DC-sp", 0.1, 0, 1.10, 5, 1),
+            OverheadCell("a", "e", "DC-sp", 0.1, 0, 1.30, 5, 1),
+        ]
+        import pytest
+
+        worst = max_overhead_by_config(cells)
+        assert set(worst) == {"DC-sp"}
+        assert worst["DC-sp"] == pytest.approx(0.30)

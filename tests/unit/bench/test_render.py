@@ -1,0 +1,55 @@
+"""Unit tests for benchmark rendering."""
+
+from repro.bench import render_headlines, render_overhead_bars, render_table
+from repro.bench.overhead import NO_DEBUG, OverheadCell
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(["name", "n"], [["x", 1], ["longer", 23]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_title_included(self):
+        assert render_table(["a"], [["b"]], title="Table 1").startswith("Table 1")
+
+
+class TestRenderBars:
+    def _cells(self):
+        return [
+            OverheadCell("GC", "web", NO_DEBUG, 0.1, 0.001, 1.0, 0, 0),
+            OverheadCell("GC", "web", "DC-sp", 0.11, 0.001, 1.1, 5, 100),
+            OverheadCell("RW", "web", NO_DEBUG, 0.2, 0.001, 1.0, 0, 0),
+            OverheadCell("RW", "web", "DC-full", 0.26, 0.002, 1.3, 24213, 900),
+        ]
+
+    def test_clusters_grouped(self):
+        text = render_overhead_bars(self._cells())
+        assert "GC-web" in text
+        assert "RW-web" in text
+
+    def test_capture_counts_on_debug_bars_only(self):
+        text = render_overhead_bars(self._cells())
+        assert "captures=24213" in text
+        lines = [l for l in text.splitlines() if NO_DEBUG in l]
+        assert all("captures=" not in l for l in lines)
+
+    def test_bar_lengths_scale_with_normalized(self):
+        text = render_overhead_bars(self._cells())
+        sp = next(l for l in text.splitlines() if "DC-sp" in l)
+        full = next(l for l in text.splitlines() if "DC-full" in l)
+        assert full.count("#") > sp.count("#")
+
+    def test_title(self):
+        assert render_overhead_bars(self._cells(), title="Figure 7").startswith(
+            "Figure 7"
+        )
+
+
+class TestHeadlines:
+    def test_percent_rendering(self):
+        text = render_headlines({"DC-sp": 0.16, "DC-full": 0.29})
+        assert "DC-sp" in text
+        assert "16.0%" in text
+        assert "29.0%" in text

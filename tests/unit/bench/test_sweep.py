@@ -1,0 +1,50 @@
+"""Unit tests for the sweep utilities."""
+
+import pytest
+
+from repro.bench import SweepStats, repeat_timed
+
+
+class TestSweepStats:
+    def test_from_samples(self):
+        stats = SweepStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.repetitions == 3
+        assert stats.std == pytest.approx(0.8164965, abs=1e-5)
+
+    def test_single_sample(self):
+        stats = SweepStats.from_samples([0.5])
+        assert stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SweepStats.from_samples([])
+
+    def test_summary_format(self):
+        assert "±" in SweepStats.from_samples([0.001, 0.002]).summary()
+
+
+class TestRepeatTimed:
+    def test_runs_warmup_plus_repetitions(self):
+        calls = []
+        stats, result = repeat_timed(lambda: calls.append(1) or len(calls), 3, warmup=2)
+        assert len(calls) == 5
+        assert result == 5
+        assert stats.repetitions == 3
+
+    def test_zero_warmup(self):
+        calls = []
+        repeat_timed(lambda: calls.append(1), repetitions=2, warmup=0)
+        assert len(calls) == 2
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            repeat_timed(lambda: None, repetitions=0)
+
+    def test_timing_positive(self):
+        import time
+
+        stats, _result = repeat_timed(lambda: time.sleep(0.002), repetitions=2)
+        assert stats.mean >= 0.002

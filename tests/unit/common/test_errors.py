@@ -1,0 +1,91 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    AggregatorError,
+    CaptureLimitExceeded,
+    ComputeError,
+    EdgeNotFoundError,
+    GraftError,
+    GraphError,
+    MasterComputeError,
+    PregelError,
+    ReplayMismatchError,
+    ReproError,
+    SerializationError,
+    SimFsError,
+    SimFsFileNotFound,
+    TraceError,
+    VertexNotFoundError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass, base",
+        [
+            (GraphError, ReproError),
+            (PregelError, ReproError),
+            (GraftError, ReproError),
+            (SimFsError, ReproError),
+            (SerializationError, ReproError),
+            (VertexNotFoundError, GraphError),
+            (EdgeNotFoundError, GraphError),
+            (ComputeError, PregelError),
+            (MasterComputeError, PregelError),
+            (AggregatorError, PregelError),
+            (CaptureLimitExceeded, GraftError),
+            (TraceError, GraftError),
+            (ReplayMismatchError, GraftError),
+            (SimFsFileNotFound, SimFsError),
+        ],
+    )
+    def test_subclass_relationships(self, subclass, base):
+        assert issubclass(subclass, base)
+        assert issubclass(subclass, ReproError)
+
+
+class TestPayloads:
+    def test_vertex_not_found_carries_id(self):
+        error = VertexNotFoundError(("v", 7))
+        assert error.vertex_id == ("v", 7)
+        assert "('v', 7)" in str(error)
+
+    def test_edge_not_found_carries_endpoints(self):
+        error = EdgeNotFoundError(1, 2)
+        assert (error.source, error.target) == (1, 2)
+
+    def test_compute_error_carries_location_and_cause(self):
+        original = ValueError("inner")
+        error = ComputeError("v9", 12, original)
+        assert error.vertex_id == "v9"
+        assert error.superstep == 12
+        assert error.original is original
+        assert "superstep 12" in str(error)
+
+    def test_master_error_carries_superstep(self):
+        error = MasterComputeError(4, KeyError("phase"))
+        assert error.superstep == 4
+
+    def test_capture_limit_carries_limit(self):
+        error = CaptureLimitExceeded(500)
+        assert error.limit == 500
+        assert "500" in str(error)
+
+    def test_replay_mismatch_fields(self):
+        error = ReplayMismatchError("v", 3, "sent", [1], [2])
+        assert error.field == "sent"
+        assert error.recorded == [1]
+        assert error.replayed == [2]
+
+    def test_one_base_catches_everything(self):
+        for error in (
+            VertexNotFoundError(1),
+            ComputeError(1, 0, ValueError()),
+            CaptureLimitExceeded(1),
+            SimFsFileNotFound("/x"),
+            SerializationError("bad"),
+        ):
+            with pytest.raises(ReproError):
+                raise error

@@ -1,0 +1,40 @@
+"""Unit tests for repro.common.rng."""
+
+from repro.common.rng import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_same_path_same_seed(self):
+        assert derive_seed(7, "v", 1) == derive_seed(7, "v", 1)
+
+    def test_different_root_different_seed(self):
+        assert derive_seed(7, "v", 1) != derive_seed(8, "v", 1)
+
+    def test_different_component_different_seed(self):
+        assert derive_seed(7, "v", 1) != derive_seed(7, "v", 2)
+
+    def test_component_order_matters(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+
+class TestDeriveRng:
+    def test_reproducible_stream(self):
+        first = [derive_rng(3, "x", 0).random() for _ in range(5)]
+        second = [derive_rng(3, "x", 0).random() for _ in range(5)]
+        assert first == second
+
+    def test_independent_streams_differ(self):
+        a = derive_rng(3, "vertex", 1, 0)
+        b = derive_rng(3, "vertex", 2, 0)
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+    def test_string_vertex_ids_supported(self):
+        assert derive_rng(0, "vertex", "v-17", 3).random() == (
+            derive_rng(0, "vertex", "v-17", 3).random()
+        )
+
+    def test_sample_reproducible(self):
+        population = list(range(100))
+        first = derive_rng(1, "s").sample(population, 10)
+        second = derive_rng(1, "s").sample(population, 10)
+        assert first == second

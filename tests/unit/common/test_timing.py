@@ -1,0 +1,40 @@
+"""Unit tests for repro.common.timing."""
+
+import time
+
+from repro.common.timing import Timer, format_duration
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_start_stop(self):
+        timer = Timer().start()
+        elapsed = timer.stop()
+        assert elapsed >= 0.0
+        assert timer.elapsed == elapsed
+
+    def test_restart_resets(self):
+        timer = Timer().start()
+        time.sleep(0.005)
+        first = timer.stop()
+        timer.start()
+        second = timer.stop()
+        assert second < first
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(2e-6) == "2.0us"
+
+    def test_milliseconds(self):
+        assert format_duration(0.0123) == "12.3ms"
+
+    def test_seconds(self):
+        assert format_duration(1.5) == "1.50s"
+
+    def test_minutes(self):
+        assert format_duration(75.0) == "1m15.0s"

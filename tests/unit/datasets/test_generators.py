@@ -1,0 +1,134 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.datasets import (
+    bipartite_regular,
+    corrupt_asymmetric_weights,
+    erdos_renyi,
+    follower_network,
+    power_law_graph,
+    random_symmetric_weights,
+    trust_network,
+)
+from repro.graph import compute_stats, find_asymmetric_edges
+
+
+class TestPowerLaw:
+    def test_deterministic_given_seed(self):
+        a = power_law_graph(200, mean_out_degree=5, seed=4)
+        b = power_law_graph(200, mean_out_degree=5, seed=4)
+        assert a == b
+
+    def test_different_seed_different_graph(self):
+        a = power_law_graph(200, mean_out_degree=5, seed=4)
+        b = power_law_graph(200, mean_out_degree=5, seed=5)
+        assert a != b
+
+    def test_mean_degree_approximate(self):
+        g = power_law_graph(1000, mean_out_degree=8, seed=1)
+        stats = compute_stats(g)
+        assert 5 <= stats.mean_out_degree <= 11
+
+    def test_heavy_tail_in_degrees(self):
+        g = power_law_graph(1000, mean_out_degree=8, seed=1)
+        in_degrees = {}
+        for _source, target, _v in g.edges():
+            in_degrees[target] = in_degrees.get(target, 0) + 1
+        assert max(in_degrees.values()) > 8 * compute_stats(g).mean_out_degree / 2
+
+    def test_no_self_loops(self):
+        g = power_law_graph(100, mean_out_degree=6, seed=2)
+        assert all(s != t for s, t, _v in g.edges())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            power_law_graph(1, mean_out_degree=2)
+
+    def test_undirected_variant_symmetric(self):
+        g = power_law_graph(60, mean_out_degree=4, seed=1, directed=False)
+        for source, target, _v in g.edges():
+            assert g.has_edge(target, source)
+
+
+class TestBipartiteRegular:
+    def test_exact_regularity(self):
+        g = bipartite_regular(50, degree=3, seed=1)
+        assert all(g.out_degree(v) == 3 for v in g.vertex_ids())
+
+    def test_bipartiteness(self):
+        side = 40
+        g = bipartite_regular(side, degree=3, seed=2)
+        for source, target, _v in g.edges():
+            assert (source < side) != (target < side)
+
+    def test_vertex_and_edge_counts(self):
+        g = bipartite_regular(30, degree=3, seed=0)
+        assert g.num_vertices == 60
+        assert g.num_edges == 30 * 3 * 2  # symmetric directed pairs
+
+    def test_deterministic(self):
+        assert bipartite_regular(25, seed=9) == bipartite_regular(25, seed=9)
+
+    def test_degree_must_fit(self):
+        with pytest.raises(GraphError):
+            bipartite_regular(3, degree=3)
+
+
+class TestSocialNetworks:
+    def test_trust_network_has_reciprocity(self):
+        g = trust_network(400, mean_degree=6, reciprocity=0.5, seed=1)
+        reciprocal = sum(
+            1 for s, t, _v in g.edges() if g.has_edge(t, s)
+        )
+        assert reciprocal / g.num_edges > 0.2
+
+    def test_zero_reciprocity_adds_nothing(self):
+        base_edges = trust_network(200, mean_degree=5, reciprocity=0.0, seed=1).num_edges
+        some_edges = trust_network(200, mean_degree=5, reciprocity=0.9, seed=1).num_edges
+        assert some_edges > base_edges
+
+    def test_follower_network_deterministic(self):
+        assert follower_network(150, seed=3) == follower_network(150, seed=3)
+
+
+class TestErdosRenyi:
+    def test_edge_probability_controls_density(self):
+        sparse = erdos_renyi(80, 0.01, seed=1)
+        dense = erdos_renyi(80, 0.3, seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_undirected_symmetric(self):
+        g = erdos_renyi(40, 0.2, seed=2, directed=False)
+        for source, target, _v in g.edges():
+            assert g.has_edge(target, source)
+
+
+class TestWeights:
+    def test_symmetric_weights_consistent(self):
+        g = bipartite_regular(15, seed=1)
+        weighted = random_symmetric_weights(g, low=1, high=10, seed=2)
+        assert find_asymmetric_edges(weighted) == []
+
+    def test_weights_in_range(self):
+        g = bipartite_regular(15, seed=1)
+        weighted = random_symmetric_weights(g, low=2.0, high=3.0, seed=2)
+        assert all(2.0 <= v <= 3.0 for _s, _t, v in weighted.edges())
+
+    def test_original_graph_untouched(self):
+        g = bipartite_regular(10, seed=1)
+        random_symmetric_weights(g, seed=2)
+        assert all(v is None for _s, _t, v in g.edges())
+
+    def test_corruption_reports_pairs(self):
+        g = random_symmetric_weights(bipartite_regular(30, seed=1), seed=2)
+        corrupted, pairs = corrupt_asymmetric_weights(g, fraction=0.5, seed=3)
+        assert pairs
+        assert len(find_asymmetric_edges(corrupted)) == len(pairs)
+
+    def test_zero_fraction_corrupts_nothing(self):
+        g = random_symmetric_weights(bipartite_regular(20, seed=1), seed=2)
+        corrupted, pairs = corrupt_asymmetric_weights(g, fraction=0.0, seed=3)
+        assert pairs == []
+        assert corrupted == g

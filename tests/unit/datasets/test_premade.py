@@ -1,0 +1,65 @@
+"""Unit tests for the premade graphs menu (GUI offline mode)."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.datasets import premade_graph, premade_menu
+from repro.graph import compute_stats, validate_graph
+
+
+class TestMenu:
+    def test_menu_is_sorted_and_nonempty(self):
+        menu = premade_menu()
+        assert menu == sorted(menu)
+        assert len(menu) >= 8
+
+    def test_every_menu_item_builds(self):
+        for name in premade_menu():
+            graph = premade_graph(name)
+            assert graph.num_vertices > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GraphError, match="menu"):
+            premade_graph("dodecahedron")
+
+
+class TestShapes:
+    def test_triangle(self):
+        g = premade_graph("triangle")
+        assert g.num_vertices == 3
+        assert g.num_edges == 6
+
+    def test_path5(self):
+        g = premade_graph("path5")
+        stats = compute_stats(g)
+        assert stats.num_vertices == 5
+        assert stats.num_undirected_edges == 4
+
+    def test_star6_center_degree(self):
+        g = premade_graph("star6")
+        assert g.out_degree(0) == 5
+
+    def test_petersen_is_3_regular(self):
+        g = premade_graph("petersen")
+        assert g.num_vertices == 10
+        assert all(g.out_degree(v) == 3 for v in g.vertex_ids())
+
+    def test_two_triangles_disconnected(self):
+        g = premade_graph("two-triangles")
+        assert not g.has_edge(0, 3)
+        assert g.num_vertices == 6
+
+    def test_binary_tree(self):
+        g = premade_graph("binary-tree3")
+        assert g.num_vertices == 15
+
+    def test_weighted_square_symmetric(self):
+        g = premade_graph("weighted-square")
+        assert validate_graph(g).ok
+        assert g.edge_value(2, 3) == 5.0
+
+    def test_all_undirected_and_valid(self):
+        for name in premade_menu():
+            graph = premade_graph(name)
+            assert not graph.directed
+            assert validate_graph(graph).ok, name

@@ -1,0 +1,59 @@
+"""Unit tests for the dataset registry (Tables 1 and 2 stand-ins)."""
+
+import pytest
+
+from repro.datasets import DEMO_DATASETS, PERF_DATASETS, dataset_names, load_dataset
+from repro.datasets.registry import get_spec
+from repro.graph import compute_stats
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        names = dataset_names()
+        for expected in (
+            "web-BS",
+            "soc-Epinions",
+            "bipartite-1M-3M",
+            "sk-2005",
+            "twitter",
+            "bipartite-2B-6B",
+        ):
+            assert expected in names
+
+    def test_table_assignment(self):
+        assert all(spec.table == "Table 1" for spec in DEMO_DATASETS)
+        assert all(spec.table == "Table 2" for spec in PERF_DATASETS)
+
+    def test_paper_counts_recorded(self):
+        spec = get_spec("web-BS")
+        assert spec.paper_vertices == "685K"
+        assert "7.6M" in spec.paper_edges
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("imaginary")
+
+    def test_load_respects_size_override(self):
+        g = load_dataset("twitter", num_vertices=123)
+        assert g.num_vertices == 123
+
+    def test_bipartite_standins_are_3_regular(self):
+        for name in ("bipartite-1M-3M", "bipartite-2B-6B"):
+            g = load_dataset(name, num_vertices=40)
+            assert all(g.out_degree(v) == 3 for v in g.vertex_ids())
+            assert not g.directed
+
+    def test_web_graphs_are_directed_and_skewed(self):
+        g = load_dataset("sk-2005", num_vertices=500, seed=1)
+        assert g.directed
+        stats = compute_stats(g)
+        assert stats.max_out_degree > 2 * stats.mean_out_degree
+
+    def test_deterministic_per_seed(self):
+        assert load_dataset("web-BS", seed=4, num_vertices=200) == load_dataset(
+            "web-BS", seed=4, num_vertices=200
+        )
+
+    def test_default_scales_are_laptop_sized(self):
+        for spec in DEMO_DATASETS + PERF_DATASETS:
+            assert spec.default_scale_vertices <= 10_000

@@ -1,0 +1,108 @@
+"""Unit tests for capture records and their serialization."""
+
+import pytest
+
+from repro.common.serialization import default_codec
+from repro.graft.capture import (
+    ExceptionRecord,
+    MasterContextRecord,
+    VertexContextRecord,
+    Violation,
+    record_from_line,
+    record_to_line,
+)
+
+
+def sample_record(**overrides):
+    defaults = dict(
+        vertex_id=672,
+        superstep=41,
+        worker_id=2,
+        value_before={"state": "UNKNOWN"},
+        edges_before={671: None, 673: None},
+        incoming=[(671, "m1"), (673, "m2")],
+        aggregators={"phase": "CONFLICT-RESOLUTION"},
+        num_vertices=10**9,
+        num_edges=3 * 10**9,
+        run_seed=7,
+        value_after={"state": "IN_SET"},
+        edges_after={671: None, 673: None},
+        sent=[(671, "out")],
+        halted=False,
+        reasons=["specified"],
+        violations=[],
+    )
+    defaults.update(overrides)
+    return VertexContextRecord(**defaults)
+
+
+class TestVertexContextRecord:
+    def test_key(self):
+        assert sample_record().key == (672, 41)
+
+    def test_active_flag(self):
+        assert sample_record(halted=False).active
+        assert not sample_record(halted=True).active
+
+    def test_summary_mentions_essentials(self):
+        summary = sample_record().summary()
+        assert "672" in summary
+        assert "41" in summary
+        assert "specified" in summary
+
+    def test_roundtrip_through_trace_line(self):
+        record = sample_record()
+        line = record_to_line(record, default_codec)
+        assert "\n" not in line
+        back = record_from_line(line, default_codec)
+        assert back == record
+
+    def test_roundtrip_with_violations(self):
+        violation = Violation(
+            kind="message",
+            vertex_id=672,
+            superstep=41,
+            details={"message": -5, "source": 672, "target": 1},
+        )
+        record = sample_record(violations=[violation], reasons=["message_violation"])
+        back = record_from_line(record_to_line(record, default_codec), default_codec)
+        assert back.violations == [violation]
+
+    def test_roundtrip_with_exception(self):
+        exception = ExceptionRecord(
+            type_name="ValueError", message="boom", traceback_text="Trace..."
+        )
+        record = sample_record(exception=exception, reasons=["exception"])
+        back = record_from_line(record_to_line(record, default_codec), default_codec)
+        assert back.exception == exception
+        assert back.exception.summary() == "ValueError: boom"
+
+    def test_non_string_ids_roundtrip(self):
+        record = sample_record(vertex_id=("compound", 3), incoming=[((1, 2), "m")])
+        back = record_from_line(record_to_line(record, default_codec), default_codec)
+        assert back.vertex_id == ("compound", 3)
+        assert back.incoming == [((1, 2), "m")]
+
+
+class TestMasterContextRecord:
+    def test_roundtrip(self):
+        record = MasterContextRecord(
+            superstep=3, aggregators={"phase": "ASSIGN", "round": 2}, halted=False
+        )
+        back = record_from_line(record_to_line(record, default_codec), default_codec)
+        assert back == record
+
+    def test_summary_shows_halt(self):
+        record = MasterContextRecord(superstep=9, aggregators={}, halted=True)
+        assert "HALT" in record.summary()
+
+
+class TestWireErrors:
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(TypeError, match="not a capture record"):
+            record_to_line("a string", default_codec)
+
+    def test_unknown_kind_rejected(self):
+        line = default_codec.dumps({"kind": "mystery"})
+        with pytest.raises(ValueError, match="unknown trace record kind"):
+            record_from_line(line, default_codec)

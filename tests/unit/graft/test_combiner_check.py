@@ -1,0 +1,85 @@
+"""Unit tests for the combiner safety checker."""
+
+from repro.algorithms import ConnectedComponents, PageRank
+from repro.datasets import premade_graph
+from repro.graft import check_combiner_safety
+from repro.pregel import Computation, MessageCombiner, MinCombiner, SumCombiner
+
+
+class CountMessages(Computation):
+    """Depends on message *multiplicity* — unsafe under any combiner."""
+
+    def initial_value(self, vertex_id, input_value):
+        return 0
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(1)
+        else:
+            ctx.set_value(len(messages))
+        ctx.vote_to_halt()
+
+
+class FirstMessageWins(MessageCombiner):
+    """Not commutative over delivery order — unsafe for most algorithms."""
+
+    def combine(self, first, second):
+        return first
+
+
+class TestCombinerSafety:
+    def test_min_combiner_safe_for_components(self, petersen):
+        report = check_combiner_safety(
+            ConnectedComponents, petersen, MinCombiner(), seed=1
+        )
+        assert report.safe
+        assert report.messages_saved > 0
+        assert "safe" in report.summary()
+
+    def test_sum_combiner_safe_for_pagerank(self, petersen):
+        report = check_combiner_safety(
+            lambda: PageRank(iterations=6), petersen, SumCombiner(), seed=1
+        )
+        assert report.safe
+
+    def test_multiplicity_dependence_detected(self, petersen):
+        report = check_combiner_safety(
+            CountMessages, petersen, SumCombiner(), seed=1
+        )
+        assert not report.safe
+        assert report.differing_vertices
+        assert "UNSAFE" in report.summary()
+
+    def test_wrong_fold_detected(self):
+        # SSSP requires a MIN fold; a MAX combiner keeps the worse of two
+        # candidate distances arriving at t in the same superstep.
+        from repro.algorithms import ShortestPaths
+        from repro.graph import GraphBuilder
+        from repro.pregel import MaxCombiner
+
+        diamond = (
+            GraphBuilder(directed=True)
+            .edge("s", "a", 1.0).edge("s", "b", 5.0)
+            .edge("a", "t", 1.0).edge("b", "t", 1.0)
+            .build()
+        )
+        report = check_combiner_safety(
+            lambda: ShortestPaths("s"), diamond, MaxCombiner(), seed=1
+        )
+        assert not report.safe
+        assert "t" in report.differing_vertices
+
+    def test_first_wins_combiner_runs(self, petersen):
+        # Order-dependent folds are the classic subtle bug; the checker at
+        # least must execute them deterministically.
+        report = check_combiner_safety(
+            ConnectedComponents, petersen, FirstMessageWins(), seed=1
+        )
+        assert report.supersteps_without >= 1
+        assert isinstance(report.safe, bool)
+
+    def test_superstep_counts_reported(self, petersen):
+        report = check_combiner_safety(
+            ConnectedComponents, petersen, MinCombiner(), seed=1
+        )
+        assert report.supersteps_without == report.supersteps_with

@@ -1,0 +1,147 @@
+"""Unit tests for DebugConfig and the Table 3 standard configurations."""
+
+import pytest
+
+from repro.common.errors import GraftError
+from repro.graft import CaptureAllActiveConfig, DebugConfig, standard_configs
+from repro.graft.config import STANDARD_CONFIG_DESCRIPTIONS
+from repro.pregel import Short16
+
+
+class TestDefaults:
+    def test_nothing_selected_by_default(self):
+        config = DebugConfig()
+        assert tuple(config.vertices_to_capture()) == ()
+        assert config.num_random_vertices_to_capture() == 0
+        assert not config.capture_neighbors_of_vertices()
+        assert not config.capture_all_active()
+
+    def test_constraints_pass_by_default(self):
+        config = DebugConfig()
+        assert config.vertex_value_constraint(-1, "v", 0)
+        assert config.message_value_constraint(-1, "s", "t", 0)
+
+    def test_exception_capture_on_by_default(self):
+        assert DebugConfig().capture_exceptions()
+        assert not DebugConfig().continue_on_exception()
+
+    def test_all_supersteps_captured_by_default(self):
+        assert DebugConfig().should_capture_superstep(12345)
+
+    def test_default_checks_disabled(self):
+        config = DebugConfig()
+        assert not config.checks_messages()
+        assert not config.checks_vertex_values()
+        assert not config.checks_messages_with_target()
+        assert not config.checks_neighborhoods()
+
+
+class TestOverrideDetection:
+    def test_overridden_constraint_detected(self):
+        class WithMessageCheck(DebugConfig):
+            def message_value_constraint(self, message, source_id, target_id, superstep):
+                return message >= 0
+
+        config = WithMessageCheck()
+        assert config.checks_messages()
+        assert not config.checks_vertex_values()
+
+    def test_extended_constraints_detected(self):
+        class Extended(DebugConfig):
+            def neighborhood_constraint(self, value, neighbor_values, vertex_id, superstep):
+                return True
+
+        assert Extended().checks_neighborhoods()
+
+
+class TestValidation:
+    def test_valid_config_returns_self(self):
+        config = DebugConfig()
+        assert config.validate() is config
+
+    def test_negative_random_count_rejected(self):
+        class Bad(DebugConfig):
+            def num_random_vertices_to_capture(self):
+                return -1
+
+        with pytest.raises(GraftError):
+            Bad().validate()
+
+    def test_nonpositive_max_captures_rejected(self):
+        class Bad(DebugConfig):
+            def max_captures(self):
+                return 0
+
+        with pytest.raises(GraftError):
+            Bad().validate()
+
+
+class TestCaptureAllActiveConfig:
+    def test_superstep_window(self):
+        config = CaptureAllActiveConfig(from_superstep=10, to_superstep=20)
+        assert not config.should_capture_superstep(9)
+        assert config.should_capture_superstep(10)
+        assert config.should_capture_superstep(20)
+        assert not config.should_capture_superstep(21)
+
+    def test_open_ended_window(self):
+        config = CaptureAllActiveConfig(from_superstep=500)
+        assert config.should_capture_superstep(10_000)
+
+    def test_captures_all_active(self):
+        assert CaptureAllActiveConfig().capture_all_active()
+
+    def test_custom_max_captures(self):
+        assert CaptureAllActiveConfig(max_captures=5).max_captures() == 5
+
+
+class TestStandardConfigs:
+    def test_table3_names(self):
+        configs = standard_configs(range(10))
+        assert sorted(configs) == sorted(STANDARD_CONFIG_DESCRIPTIONS)
+
+    def test_dc_sp_captures_five_ids(self):
+        configs = standard_configs(range(10))
+        assert list(configs["DC-sp"].vertices_to_capture()) == [0, 1, 2, 3, 4]
+        assert not configs["DC-sp"].capture_neighbors_of_vertices()
+
+    def test_dc_sp_nbr_adds_neighbors(self):
+        configs = standard_configs(range(10))
+        assert configs["DC-sp+nbr"].capture_neighbors_of_vertices()
+
+    def test_dc_msg_checks_messages_only(self):
+        configs = standard_configs(range(10))
+        config = configs["DC-msg"]
+        assert config.checks_messages()
+        assert not config.checks_vertex_values()
+        assert not config.message_value_constraint(-3, "s", "t", 0)
+        assert config.message_value_constraint(3, "s", "t", 0)
+
+    def test_dc_vv_checks_vertex_values_only(self):
+        configs = standard_configs(range(10))
+        config = configs["DC-vv"]
+        assert config.checks_vertex_values()
+        assert not config.checks_messages()
+        assert not config.vertex_value_constraint(-1, "v", 0)
+
+    def test_dc_full_combines_everything(self):
+        configs = standard_configs(range(10))
+        config = configs["DC-full"]
+        assert len(list(config.vertices_to_capture())) == 10
+        assert config.capture_neighbors_of_vertices()
+        assert config.checks_messages()
+        assert config.checks_vertex_values()
+        assert config.capture_exceptions()
+
+    def test_constraints_tolerate_fixed_width_ints(self):
+        config = standard_configs(range(10))["DC-msg"]
+        assert not config.message_value_constraint(Short16(-5), "s", "t", 0)
+        assert config.message_value_constraint(Short16(5), "s", "t", 0)
+
+    def test_constraints_tolerate_non_numeric_values(self):
+        config = standard_configs(range(10))["DC-vv"]
+        assert config.vertex_value_constraint("not a number", "v", 0)
+
+    def test_too_few_ids_rejected(self):
+        with pytest.raises(GraftError, match="at least 10"):
+            standard_configs(range(3))

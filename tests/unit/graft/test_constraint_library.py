@@ -1,0 +1,167 @@
+"""Unit tests for the ready-made constraint configs."""
+
+from repro.algorithms import (
+    BuggyGraphColoring,
+    ConnectedComponents,
+    GCMaster,
+    GraphColoring,
+    ShortestPaths,
+)
+from repro.datasets import load_dataset, premade_graph
+from repro.graft import (
+    BoundedValues,
+    DistinctNeighborValues,
+    MonotoneValues,
+    NonNegativeMessages,
+    NonNegativeValues,
+    NoSelfMessages,
+    debug_run,
+)
+from repro.graph import GraphBuilder
+from repro.pregel import Computation, Short16
+
+
+class SendOwnValue(Computation):
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(ctx.value)
+        ctx.vote_to_halt()
+
+
+class TestNonNegativeConfigs:
+    def test_negative_message_flagged(self):
+        g = GraphBuilder(directed=False).edge(0, 1).build()
+        g.set_vertex_value(0, -3)
+        g.set_vertex_value(1, 3)
+        run = debug_run(SendOwnValue, g, NonNegativeMessages(), seed=1)
+        assert [v.details["message"] for v in run.violations()] == [-3]
+
+    def test_short16_messages_checked(self):
+        g = GraphBuilder(directed=False).edge(0, 1).build()
+        g.set_vertex_value(0, Short16(-1))
+        g.set_vertex_value(1, Short16(1))
+        run = debug_run(SendOwnValue, g, NonNegativeMessages(), seed=1)
+        assert len(run.violations()) == 1
+
+    def test_non_numeric_messages_ignored(self):
+        g = GraphBuilder(directed=False).edge(0, 1).build()
+        g.set_vertex_value(0, "text")
+        g.set_vertex_value(1, ("a", 1))
+        run = debug_run(SendOwnValue, g, NonNegativeMessages(), seed=1)
+        assert run.violations() == []
+
+    def test_negative_value_flagged(self):
+        g = GraphBuilder(directed=False).edge(0, 1).build()
+        g.set_vertex_value(0, -1)
+
+        class Keep(Computation):
+            def compute(self, ctx, messages):
+                ctx.vote_to_halt()
+
+        run = debug_run(Keep, g, NonNegativeValues(), seed=1)
+        assert {v.vertex_id for v in run.violations()} == {0}
+
+
+class TestBoundedValues:
+    def test_out_of_range_detected(self, petersen):
+        from repro.algorithms import PageRank
+
+        # Ranks hover near 1.0 on a regular graph; a tight band is clean,
+        # an absurd one flags everything.
+        clean = debug_run(
+            lambda: PageRank(iterations=4), petersen, BoundedValues(0.0, 10.0),
+            seed=1,
+        )
+        assert clean.violations() == []
+        strict = debug_run(
+            lambda: PageRank(iterations=4), petersen, BoundedValues(2.0, 3.0),
+            seed=1,
+        )
+        assert strict.violations()
+
+    def test_open_ended_bounds(self):
+        config = BoundedValues(low=0)
+        assert config.vertex_value_constraint(5, "v", 0)
+        assert not config.vertex_value_constraint(-5, "v", 0)
+        assert BoundedValues(high=10).vertex_value_constraint(-99, "v", 0)
+
+
+class TestMonotoneValues:
+    def test_decreasing_algorithms_clean(self, petersen):
+        run = debug_run(
+            ConnectedComponents, petersen, MonotoneValues("decreasing"), seed=1
+        )
+        assert run.violations() == []
+
+    def test_sssp_distances_only_decrease(self):
+        g = premade_graph("cycle6")
+        run = debug_run(
+            lambda: ShortestPaths(0), g, MonotoneValues("decreasing"), seed=1
+        )
+        assert run.violations() == []
+
+    def test_regression_detected(self):
+        class Bouncy(Computation):
+            def initial_value(self, vertex_id, input_value):
+                return 10
+
+            def compute(self, ctx, messages):
+                ctx.set_value(5 if ctx.superstep == 0 else 7)  # goes back up
+                if ctx.superstep >= 1:
+                    ctx.vote_to_halt()
+
+        g = GraphBuilder(directed=False).edge(0, 1).build()
+        run = debug_run(Bouncy, g, MonotoneValues("decreasing"), seed=1)
+        assert run.violations()
+        assert all(v.superstep == 1 for v in run.violations())
+
+    def test_increasing_direction(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MonotoneValues("sideways")
+        config = MonotoneValues("increasing")
+        assert config.vertex_value_constraint(1, "v", 0)
+        assert config.vertex_value_constraint(2, "v", 1)
+        assert not config.vertex_value_constraint(1, "v", 2)
+
+
+class TestNoSelfMessages:
+    def test_self_message_flagged(self):
+        class Selfie(Computation):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.send_message(ctx.vertex_id, "hi me")
+                ctx.vote_to_halt()
+
+        g = GraphBuilder(directed=False).edge(0, 1).build()
+        run = debug_run(Selfie, g, NoSelfMessages(), seed=1)
+        assert len(run.violations()) == 2  # both vertices messaged themselves
+
+
+class TestDistinctNeighborValues:
+    def test_catches_the_coloring_bug(self, small_bipartite):
+        config = DistinctNeighborValues(key=lambda value: value.color)
+        run = debug_run(
+            BuggyGraphColoring,
+            small_bipartite,
+            config,
+            master=GCMaster(),
+            seed=0,
+            max_supersteps=400,
+        )
+        # The buggy MIS assigns adjacent vertices one color; the paper's
+        # Section 7 example constraint flags it without any manual stepping.
+        assert any(v.kind == "neighborhood" for v in run.violations())
+
+    def test_correct_coloring_clean(self, small_bipartite):
+        config = DistinctNeighborValues(key=lambda value: value.color)
+        run = debug_run(
+            GraphColoring,
+            small_bipartite,
+            config,
+            master=GCMaster(),
+            seed=0,
+            max_supersteps=400,
+        )
+        assert run.violations() == []

@@ -1,0 +1,129 @@
+"""Unit tests for differential debugging (diff_runs)."""
+
+from repro.graft import CaptureAllActiveConfig, debug_run, diff_runs
+from repro.graph import GraphBuilder
+from repro.pregel import Computation
+
+
+class CountUp(Computation):
+    def initial_value(self, vertex_id, input_value):
+        return 0
+
+    def compute(self, ctx, messages):
+        ctx.set_value(ctx.value + 1)
+        if ctx.superstep >= 2:
+            ctx.vote_to_halt()
+        else:
+            ctx.send_message_to_all_neighbors("tick")
+
+
+class CountUpWrongAfterOne(CountUp):
+    """Behaves identically in superstep 0, diverges from superstep 1 on."""
+
+    def compute(self, ctx, messages):
+        if ctx.superstep >= 1:
+            ctx.set_value(ctx.value + 100)
+            if ctx.superstep >= 2:
+                ctx.vote_to_halt()
+            else:
+                ctx.send_message_to_all_neighbors("tick")
+            return
+        super().compute(ctx, messages)
+
+
+def ring():
+    return GraphBuilder(directed=False).cycle(*range(5)).build()
+
+
+def capture_everything(computation):
+    return debug_run(computation, ring(), CaptureAllActiveConfig(), seed=3)
+
+
+class TestDiffRuns:
+    def test_identical_runs_have_no_divergence(self):
+        report = diff_runs(capture_everything(CountUp), capture_everything(CountUp))
+        assert report.identical
+        assert report.compared_keys == 15  # 5 vertices x 3 supersteps
+        assert "identical" in report.summary()
+
+    def test_first_divergence_located(self):
+        report = diff_runs(
+            capture_everything(CountUp), capture_everything(CountUpWrongAfterOne)
+        )
+        assert not report.identical
+        earliest = report.earliest()
+        assert earliest.superstep == 1
+        assert earliest.field_name == "value_after"
+        # Every vertex diverges exactly once, at its first bad superstep.
+        assert len(report.divergences) == 5
+        assert all(d.superstep == 1 for d in report.divergences)
+
+    def test_by_superstep_histogram(self):
+        report = diff_runs(
+            capture_everything(CountUp), capture_everything(CountUpWrongAfterOne)
+        )
+        assert report.by_superstep() == {1: 5}
+
+    def test_message_divergence_detected(self):
+        class LoudCountUp(CountUp):
+            def compute(self, ctx, messages):
+                ctx.set_value(ctx.value + 1)
+                if ctx.superstep >= 2:
+                    ctx.vote_to_halt()
+                else:
+                    ctx.send_message_to_all_neighbors("BOOM")
+
+        report = diff_runs(
+            capture_everything(CountUp), capture_everything(LoudCountUp)
+        )
+        earliest = report.earliest()
+        assert earliest.superstep == 0
+        assert earliest.field_name == "sent"
+
+    def test_presence_divergence_for_missing_keys(self):
+        # Same computation, but the right run is cut short: its shared
+        # records match, so the only differences are missing keys.
+        full = capture_everything(CountUp)
+        truncated = debug_run(
+            CountUp, ring(), CaptureAllActiveConfig(), seed=3, max_supersteps=2
+        )
+        report = diff_runs(full, truncated)
+        assert not report.identical
+        assert {d.field_name for d in report.divergences} == {"presence"}
+        assert all(d.superstep == 2 for d in report.divergences)
+
+    def test_early_halt_diverges_on_first_superstep_outcome(self):
+        class HaltEarly(CountUp):
+            def compute(self, ctx, messages):
+                ctx.vote_to_halt()
+
+        report = diff_runs(
+            capture_everything(CountUp), capture_everything(HaltEarly)
+        )
+        earliest = report.earliest()
+        assert earliest.superstep == 0
+        assert earliest.field_name in ("value_after", "sent", "halted")
+
+    def test_buggy_vs_fixed_coloring_diverges_at_a_decide_step(self):
+        from repro.algorithms import BuggyGraphColoring, GCMaster, GraphColoring
+        from repro.datasets import load_dataset
+
+        graph = load_dataset("bipartite-1M-3M", num_vertices=60, seed=5)
+
+        def run(computation):
+            return debug_run(
+                computation,
+                graph,
+                CaptureAllActiveConfig(),
+                master=GCMaster(),
+                seed=5,
+                max_supersteps=300,
+            )
+
+        report = diff_runs(run(GraphColoring), run(BuggyGraphColoring))
+        assert not report.identical
+        earliest = report.earliest()
+        # The two variants first part ways when priorities differ (SELECT,
+        # superstep 0 onward) — always at a well-defined first superstep.
+        assert earliest.superstep >= 0
+        assert "diverge" in report.summary()

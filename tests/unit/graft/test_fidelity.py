@@ -1,0 +1,70 @@
+"""Unit tests for the replay fidelity checker."""
+
+from repro.graft import CaptureAllActiveConfig, debug_run, verify_run_fidelity
+from repro.graph import GraphBuilder
+from repro.pregel import Computation
+
+
+class Stable(Computation):
+    def initial_value(self, vertex_id, input_value):
+        return 0
+
+    def compute(self, ctx, messages):
+        ctx.set_value(ctx.value + len(messages))
+        if ctx.superstep < 2:
+            ctx.send_message_to_all_neighbors("m")
+        else:
+            ctx.vote_to_halt()
+
+
+class Unstable(Computation):
+    """Depends on hidden instance state — the Section 7 limitation."""
+
+    def __init__(self):
+        self.hidden_calls = 0
+
+    def initial_value(self, vertex_id, input_value):
+        return 0
+
+    def compute(self, ctx, messages):
+        self.hidden_calls += 1
+        ctx.set_value(self.hidden_calls)
+        ctx.vote_to_halt()
+
+
+def ring():
+    return GraphBuilder(directed=False).cycle(*range(5)).build()
+
+
+class TestFidelity:
+    def test_clean_run_fully_faithful(self):
+        run = debug_run(Stable, ring(), CaptureAllActiveConfig(), seed=1)
+        report = verify_run_fidelity(run)
+        assert report.ok
+        assert report.total == run.capture_count
+        assert "replay faithfully" in report.summary()
+
+    def test_limit_caps_work(self):
+        run = debug_run(Stable, ring(), CaptureAllActiveConfig(), seed=1)
+        report = verify_run_fidelity(run, limit=3)
+        assert report.total == 3
+
+    def test_hidden_state_detected_as_unfaithful(self):
+        # Each worker instance counts calls across vertices; a fresh replay
+        # instance starts at zero, so most records diverge — exactly the
+        # external-data limitation the paper discusses in Section 7.
+        run = debug_run(Unstable, ring(), CaptureAllActiveConfig(), seed=1)
+        report = verify_run_fidelity(run)
+        assert not report.ok
+        assert report.unfaithful
+        assert "divergent" in report.summary()
+
+    def test_alternate_factory_used(self):
+        class Rewritten(Computation):
+            def compute(self, ctx, messages):
+                ctx.set_value("other")
+                ctx.vote_to_halt()
+
+        run = debug_run(Stable, ring(), CaptureAllActiveConfig(), seed=1)
+        report = verify_run_fidelity(run, computation_factory=Rewritten)
+        assert not report.ok

@@ -1,0 +1,219 @@
+"""Unit tests for instrumentation mechanics (the Javassist-wrap analogue)."""
+
+from repro.graft import CaptureAllActiveConfig, DebugConfig, debug_run
+from repro.graft.debug_run import GraftSession
+from repro.graft.instrumenter import instrument
+from repro.graph import GraphBuilder
+from repro.pregel import Computation, PregelEngine
+from repro.simfs import SimFileSystem
+
+
+class Probe(Computation):
+    """Records which of its hooks were called, to prove delegation."""
+
+    calls = []
+
+    def initial_value(self, vertex_id, input_value):
+        Probe.calls.append(("initial", vertex_id))
+        return 100
+
+    def default_vertex_value(self, vertex_id):
+        Probe.calls.append(("default", vertex_id))
+        return -1
+
+    def compute(self, ctx, messages):
+        Probe.calls.append(("compute", ctx.vertex_id, ctx.superstep))
+        if ctx.superstep == 0 and ctx.vertex_id == 0:
+            ctx.send_message("spawned", 1)
+        ctx.vote_to_halt()
+
+
+def small_graph():
+    return GraphBuilder(directed=False).edge(0, 1).build()
+
+
+def make_session(config, graph, num_workers=2):
+    return GraftSession(
+        config, graph, SimFileSystem(), "job-t", num_workers=num_workers
+    )
+
+
+class TestWrapping:
+    def test_user_class_is_untouched(self):
+        original_compute = Probe.compute
+        session = make_session(DebugConfig(), small_graph())
+        factory = instrument(Probe, session)
+        wrapped = factory()
+        assert type(wrapped).__name__ == "InstrumentedComputation"
+        assert Probe.compute is original_compute
+
+    def test_worker_ids_allocated_in_order(self):
+        session = make_session(DebugConfig(), small_graph())
+        factory = instrument(Probe, session)
+        first, second = factory(), factory()
+        assert first._worker_id == 0
+        assert second._worker_id == 1
+
+    def test_lifecycle_hooks_delegate(self):
+        Probe.calls = []
+        session = make_session(DebugConfig(), small_graph())
+        engine = PregelEngine(
+            instrument(Probe, session), small_graph(), listeners=[session],
+            num_workers=2,
+        )
+        result = engine.run()
+        session.finalize()
+        kinds = {call[0] for call in Probe.calls}
+        assert "initial" in kinds
+        assert "compute" in kinds
+        assert "default" in kinds  # the 'spawned' vertex was auto-created
+        assert result.vertex_values["spawned"] == -1
+
+    def test_initial_values_flow_through_wrapper(self):
+        Probe.calls = []
+        run = debug_run(Probe, small_graph(), DebugConfig(), num_workers=2)
+        assert run.result.vertex_values[0] == 100
+
+
+class TestCapturedContextContents:
+    def test_record_has_the_five_pieces_plus_outcome(self):
+        class Talk(Computation):
+            def initial_value(self, vertex_id, input_value):
+                return f"init-{vertex_id}"
+
+            def compute(self, ctx, messages):
+                ctx.set_value(f"new-{ctx.vertex_id}")
+                ctx.send_message_to_all_neighbors("hi")
+                if ctx.superstep >= 1:
+                    ctx.vote_to_halt()
+
+        run = debug_run(
+            Talk, small_graph(), CaptureAllActiveConfig(), seed=4, num_workers=2
+        )
+        record = run.captured(0, 1)
+        # Pre-call context (the paper's five pieces):
+        assert record.vertex_id == 0
+        assert record.value_before == "new-0"  # from superstep 0
+        assert record.edges_before == {1: None}
+        assert record.incoming == [(1, "hi")]
+        assert record.aggregators == {}
+        assert record.num_vertices == 2 and record.num_edges == 2
+        # Outcome:
+        assert record.value_after == "new-0"
+        assert record.sent == [(1, "hi")]
+        assert record.halted is True
+        assert record.worker_id in (0, 1)
+        assert record.run_seed == 4
+
+    def test_edge_mutations_reflected_in_before_after(self):
+        class DropEdge(Computation):
+            def compute(self, ctx, messages):
+                ctx.remove_edge(1)
+                ctx.vote_to_halt()
+
+        run = debug_run(DropEdge, small_graph(), CaptureAllActiveConfig())
+        record = run.captured(0, 0)
+        assert record.edges_before == {1: None}
+        assert record.edges_after == {}
+
+    def test_incoming_messages_carry_sources(self):
+        class SendThenLook(Computation):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.send_message_to_all_neighbors(f"from-{ctx.vertex_id}")
+                else:
+                    ctx.vote_to_halt()
+
+        run = debug_run(SendThenLook, small_graph(), CaptureAllActiveConfig())
+        record = run.captured(0, 1)
+        assert record.incoming == [(1, "from-1")]
+
+
+class TestConstraintInterceptionPoints:
+    def test_message_constraint_sees_send_time_values(self):
+        seen = []
+
+        class SpyConfig(DebugConfig):
+            def message_value_constraint(self, message, source_id, target_id, superstep):
+                seen.append((message, source_id, target_id, superstep))
+                return True
+
+        class SendOnce(Computation):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.send_message(1 - ctx.vertex_id, f"m{ctx.vertex_id}")
+                ctx.vote_to_halt()
+
+        debug_run(SendOnce, small_graph(), SpyConfig())
+        assert ("m0", 0, 1, 0) in seen
+        assert ("m1", 1, 0, 0) in seen
+
+    def test_message_constraint_checked_before_combining(self):
+        from repro.pregel import SumCombiner
+
+        violations_seen = []
+
+        class NegativeCheck(DebugConfig):
+            def message_value_constraint(self, message, source_id, target_id, superstep):
+                if message < 0:
+                    violations_seen.append((source_id, message))
+                    return False
+                return True
+
+        class MixedSends(Computation):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    # -5 and +3 combine to -2 at the barrier, but the
+                    # constraint must see each send individually.
+                    ctx.send_message(1 - ctx.vertex_id, -5 if ctx.vertex_id == 0 else 3)
+                    ctx.send_message(1 - ctx.vertex_id, 2)
+                ctx.vote_to_halt()
+
+        debug_run(MixedSends, small_graph(), NegativeCheck(), combiner=SumCombiner())
+        assert (0, -5) in violations_seen
+
+    def test_vertex_constraint_checked_after_compute(self):
+        checked = []
+
+        class SpyConfig(DebugConfig):
+            def vertex_value_constraint(self, value, vertex_id, superstep):
+                checked.append(value)
+                return True
+
+        class TwoUpdates(Computation):
+            def compute(self, ctx, messages):
+                ctx.set_value("intermediate")
+                ctx.set_value("final")
+                ctx.vote_to_halt()
+
+        debug_run(TwoUpdates, small_graph(), SpyConfig())
+        # Only the post-compute value is checked (the paper's semantics).
+        assert checked == ["final", "final"]
+
+
+class TestTrackingScope:
+    def test_no_capture_outside_superstep_window(self):
+        class WindowedConfig(DebugConfig):
+            def capture_all_active(self):
+                return True
+
+            def should_capture_superstep(self, superstep):
+                return superstep == 1
+
+        class ThreeSteps(Computation):
+            def compute(self, ctx, messages):
+                if ctx.superstep >= 2:
+                    ctx.vote_to_halt()
+                    return
+                ctx.send_message_to_all_neighbors(0)
+
+        run = debug_run(ThreeSteps, small_graph(), WindowedConfig())
+        assert run.reader.supersteps() == [1]
+
+    def test_capture_stops_at_limit_mid_superstep(self):
+        run = debug_run(
+            Probe,
+            GraphBuilder(directed=False).cycle(*range(9)).build(),
+            CaptureAllActiveConfig(max_captures=4),
+        )
+        assert run.capture_count == 4

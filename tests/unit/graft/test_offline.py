@@ -1,0 +1,57 @@
+"""Unit tests for offline mode (small-graph construction, Section 3.4)."""
+
+from repro.graft import OfflineGraphBuilder
+from repro.graph import parse_adjacency_text
+from repro.pregel import Computation
+
+
+class Halt(Computation):
+    def compute(self, ctx, messages):
+        ctx.vote_to_halt()
+
+
+class TestOfflineBuilder:
+    def test_menu_matches_premade(self):
+        from repro.datasets import premade_menu
+
+        assert OfflineGraphBuilder.menu() == premade_menu()
+
+    def test_from_premade_then_edit(self):
+        builder = OfflineGraphBuilder.from_premade("triangle")
+        graph = builder.edge(2, 3).build()
+        assert graph.num_vertices == 4
+        assert graph.has_edge(3, 2)  # undirected edit
+
+    def test_from_premade_preserves_weights(self):
+        graph = OfflineGraphBuilder.from_premade("weighted-square").build()
+        assert graph.edge_value(2, 3) == 5.0
+        assert graph.edge_value(3, 2) == 5.0
+
+    def test_from_premade_equals_original(self):
+        from repro.datasets import premade_graph
+
+        rebuilt = OfflineGraphBuilder.from_premade("petersen").build()
+        assert rebuilt == premade_graph("petersen")
+
+    def test_adjacency_text_export_parses_back(self):
+        builder = OfflineGraphBuilder(directed=False).edge(1, 2).edge(2, 3)
+        text = builder.to_adjacency_text()
+        assert parse_adjacency_text(text, directed=False) == builder.build()
+
+    def test_end_to_end_template_generated(self):
+        builder = OfflineGraphBuilder(directed=False).edge(1, 2)
+        code = builder.to_end_to_end_test(Halt)
+        assert "def test_end_to_end():" in code
+        assert "run_computation(Halt, graph" in code
+        namespace = {"__name__": "generated"}
+        exec(compile(code, "<generated>", "exec"), namespace)
+        namespace["test_end_to_end"]()
+
+    def test_end_to_end_with_expectations(self):
+        builder = OfflineGraphBuilder(directed=False).vertex(1, value=5).edge(1, 2)
+        code = builder.to_end_to_end_test(
+            Halt, expected_values={1: 5, 2: None}, test_name="test_small"
+        )
+        namespace = {"__name__": "generated"}
+        exec(compile(code, "<generated>", "exec"), namespace)
+        namespace["test_small"]()

@@ -1,0 +1,91 @@
+"""Unit tests for the HTML report export."""
+
+import os
+
+from repro.graft import CaptureAllActiveConfig, DebugConfig, debug_run
+from repro.graph import GraphBuilder
+from repro.pregel import Computation
+
+
+class Talker(Computation):
+    def initial_value(self, vertex_id, input_value):
+        return vertex_id
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(-1 if ctx.vertex_id == 0 else 1)
+        ctx.vote_to_halt()
+
+
+class NonNegMessages(DebugConfig):
+    def capture_all_active(self):
+        return True
+
+    def message_value_constraint(self, message, source_id, target_id, superstep):
+        return message >= 0
+
+
+def make_run():
+    graph = GraphBuilder(directed=False).cycle(0, 1, 2, 3).build()
+    return debug_run(Talker, graph, NonNegMessages(), seed=1, num_workers=2)
+
+
+class TestHtmlReport:
+    def test_report_is_complete_html(self):
+        report = make_run().html_report()
+        assert report.startswith("<!DOCTYPE html>")
+        assert report.endswith("</html>")
+
+    def test_report_contains_run_summary_and_vertices(self):
+        run = make_run()
+        report = run.html_report()
+        assert run.session.job_id in report
+        assert "Superstep 0" in report
+        assert "vertex 0" in report
+
+    def test_violations_marked_red(self):
+        report = make_run().html_report()
+        assert "class='red'" in report
+        assert "[M]" in report
+
+    def test_master_table_present(self):
+        report = make_run().html_report()
+        assert "Master contexts" in report
+
+    def test_values_escaped(self):
+        class HtmlValue(Computation):
+            def initial_value(self, vertex_id, input_value):
+                return "<script>alert(1)</script>"
+
+            def compute(self, ctx, messages):
+                ctx.vote_to_halt()
+
+        graph = GraphBuilder(directed=False).edge(0, 1).build()
+        run = debug_run(HtmlValue, graph, CaptureAllActiveConfig(), seed=1)
+        report = run.html_report()
+        assert "<script>alert" not in report
+        assert "&lt;script&gt;" in report
+
+    def test_export_to_file(self, tmp_path):
+        run = make_run()
+        path = run.export_html_report(str(tmp_path / "report.html"))
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            assert "Graft report" in handle.read()
+
+    def test_large_capture_sets_truncated(self):
+        from repro.graft.report import render_html_report
+
+        graph = GraphBuilder(directed=False).cycle(*range(12)).build()
+        run = debug_run(Talker, graph, CaptureAllActiveConfig(), seed=1)
+        report = render_html_report(run, max_vertices_per_superstep=5)
+        assert "more</p>" in report
+
+
+class TestTraceExport:
+    def test_traces_exported_to_disk(self, tmp_path):
+        run = make_run()
+        run.export_traces(str(tmp_path))
+        job_dir = tmp_path / "graft" / run.session.job_id
+        assert job_dir.is_dir()
+        assert any(p.suffix == ".trace" for p in job_dir.iterdir())

@@ -1,0 +1,236 @@
+"""Unit tests for the three GUI views."""
+
+import pytest
+
+from repro.common.errors import GraftError
+from repro.graft import CaptureAllActiveConfig, DebugConfig, debug_run
+from repro.graph import GraphBuilder
+from repro.pregel import Computation
+
+
+class ColorLike(Computation):
+    """Tiny stand-in for the coloring run shown in Figures 3 and 4."""
+
+    def initial_value(self, vertex_id, input_value):
+        return f"color-{vertex_id % 2}"
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(ctx.value)
+            return
+        if ctx.vertex_id == 0:
+            ctx.vote_to_halt()  # vertex 0 goes inactive in superstep 1
+        elif ctx.superstep >= 1:
+            ctx.vote_to_halt()
+
+
+class NegativeSender(Computation):
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0 and ctx.vertex_id == 2:
+            ctx.send_message_to_all_neighbors(-9)
+        ctx.vote_to_halt()
+
+
+def chain_graph(n=4):
+    return GraphBuilder(directed=False).path(*range(n)).build()
+
+
+@pytest.fixture
+def captured_run():
+    class TwoSpecified(DebugConfig):
+        def vertices_to_capture(self):
+            return (0, 1)
+
+    return debug_run(ColorLike, chain_graph(), TwoSpecified(), seed=1)
+
+
+@pytest.fixture
+def violation_run():
+    class NonNeg(DebugConfig):
+        def message_value_constraint(self, message, source_id, target_id, superstep):
+            return message >= 0
+
+    return debug_run(NegativeSender, chain_graph(), NonNeg(), seed=1)
+
+
+class TestNodeLinkView:
+    def test_shows_captured_vertices_and_values(self, captured_run):
+        text = captured_run.node_link_view(superstep=0).render()
+        assert "(0)" in text
+        assert "color-0" in text
+
+    def test_inactive_vertices_dimmed(self, captured_run):
+        view = captured_run.node_link_view(superstep=1)
+        text = view.render()
+        assert "inactive (dimmed)" in text
+
+    def test_small_nodes_for_uncaptured_neighbors(self, captured_run):
+        view = captured_run.node_link_view(superstep=0)
+        _captured, small = view.nodes()
+        assert small == [2]
+
+    def test_stepping(self, captured_run):
+        view = captured_run.node_link_view()
+        start = view.superstep
+        assert view.next().superstep > start
+        assert view.previous().superstep == start
+        view.last()
+        assert view.superstep == captured_run.reader.supersteps()[-1]
+
+    def test_stepping_clamps_at_ends(self, captured_run):
+        view = captured_run.node_link_view()
+        first = view.superstep
+        assert view.previous().superstep == first
+        view.last()
+        final = view.superstep
+        assert view.next().superstep == final
+
+    def test_status_boxes_green_without_violations(self, captured_run):
+        boxes = captured_run.node_link_view(superstep=0).status_boxes()
+        assert boxes == {"M": "green", "V": "green", "E": "green"}
+
+    def test_message_box_red_on_violation(self, violation_run):
+        boxes = violation_run.node_link_view(superstep=0).status_boxes()
+        assert boxes["M"] == "red"
+        assert boxes["V"] == "green"
+
+    def test_messages_of_click_through(self, captured_run):
+        messages = captured_run.node_link_view(superstep=1).messages_of(1)
+        assert messages["incoming"]
+        assert all(len(entry) == 2 for entry in messages["incoming"])
+
+    def test_aggregator_panel_includes_global_data(self, captured_run):
+        _aggs, globals_data = captured_run.node_link_view(superstep=0).aggregator_panel()
+        assert globals_data["num_vertices"] == 4
+
+    def test_dot_output_well_formed(self, captured_run):
+        dot = captured_run.node_link_view(superstep=0).to_dot()
+        assert dot.startswith("digraph")
+        assert dot.endswith("}")
+        assert '"0"' in dot
+
+    def test_dot_escapes_quotes_in_ids(self):
+        class Noisy(Computation):
+            def initial_value(self, vertex_id, input_value):
+                return 'va"lue'
+
+            def compute(self, ctx, messages):
+                ctx.vote_to_halt()
+
+        graph = GraphBuilder(directed=False).edge('a"b', "c").build()
+        run = debug_run(Noisy, graph, CaptureAllActiveConfig(), seed=1)
+        dot = run.node_link_view(superstep=0).to_dot()
+        assert '"a\\"b"' in dot
+        # No raw (unescaped) quote may terminate a DOT string early.
+        for line in dot.splitlines():
+            assert line.count('"') % 2 == 0 or "\\\"" in line
+
+    def test_html_output_contains_rows(self, captured_run):
+        html = captured_run.node_link_view(superstep=0).to_html()
+        assert html.startswith("<html>")
+        assert "Superstep 0" in html
+
+    def test_empty_run_rejected(self):
+        run = debug_run(ColorLike, chain_graph(), DebugConfig(), seed=1)
+        with pytest.raises(GraftError, match="nothing was captured"):
+            run.node_link_view()
+
+
+class TestTabularView:
+    def test_rows_and_summaries(self, captured_run):
+        view = captured_run.tabular_view(superstep=0)
+        rows = view.rows()
+        assert len(rows) == 2
+        summary = view.row_summary(rows[0])
+        assert "value=" in summary
+
+    def test_expand_shows_full_context(self, captured_run):
+        text = captured_run.tabular_view(superstep=1).expand(1)
+        assert "incoming:" in text
+        assert "outgoing:" in text
+        assert "aggregators:" in text
+        assert "|V|=4" in text
+
+    def test_search_by_id(self, captured_run):
+        view = captured_run.tabular_view(superstep=0)
+        # "0" matches vertex 0 by id and vertex 1 through its neighbor 0.
+        assert 0 in {r.vertex_id for r in view.search("0")}
+
+    def test_search_by_neighbor_id(self, captured_run):
+        view = captured_run.tabular_view(superstep=0)
+        matches = {r.vertex_id for r in view.search("2")}
+        assert 1 in matches  # vertex 1 has neighbor 2
+
+    def test_search_by_value(self, captured_run):
+        view = captured_run.tabular_view(superstep=0)
+        assert {r.vertex_id for r in view.search("color-1")} == {1}
+
+    def test_search_by_message_content(self, captured_run):
+        view = captured_run.tabular_view(superstep=1)
+        assert view.search("color-0")
+
+    def test_search_no_match(self, captured_run):
+        assert captured_run.tabular_view(superstep=0).search("zzz") == []
+
+    def test_render_limit(self, chain=None):
+        run = debug_run(ColorLike, chain_graph(6), CaptureAllActiveConfig(), seed=1)
+        text = run.tabular_view(superstep=0).render(limit=2)
+        assert "more rows" in text
+
+    def test_stepping(self, captured_run):
+        view = captured_run.tabular_view()
+        start = view.superstep
+        assert view.next().superstep > start
+
+
+class TestViolationsView:
+    def test_violation_rows(self, violation_run):
+        rows = violation_run.violations_view().violation_rows()
+        assert len(rows) == 2  # vertex 2 sent -9 to both neighbors
+        vertex_id, superstep, kind, details = rows[0]
+        assert vertex_id == 2
+        assert kind == "message"
+        assert details["message"] == -9
+
+    def test_filter_by_kind(self, violation_run):
+        view = violation_run.violations_view()
+        assert view.violation_rows(kind="vertex_value") == []
+        assert len(view.violation_rows(kind="message")) == 2
+
+    def test_supersteps_with_violations(self, violation_run):
+        assert violation_run.violations_view().supersteps_with_violations() == [0]
+
+    def test_first_violation(self, violation_run):
+        first = violation_run.violations_view().first_violation()
+        assert first.vertex_id == 2
+        assert first.superstep == 0
+
+    def test_first_violation_none_when_clean(self, captured_run):
+        assert captured_run.violations_view().first_violation() is None
+
+    def test_exception_rows_with_traceback(self):
+        class Boom(Computation):
+            def compute(self, ctx, messages):
+                raise IndexError("off by one")
+
+        run = debug_run(Boom, chain_graph(), DebugConfig(), seed=1)
+        rows = run.violations_view().exception_rows()
+        assert rows
+        _vid, _step, summary, traceback_text = rows[0]
+        assert "IndexError" in summary
+        assert "off by one" in traceback_text
+
+    def test_render_includes_counts(self, violation_run):
+        text = violation_run.violations_view().render()
+        assert "2 violations, 0 exceptions" in text
+
+    def test_render_traceback_opt_in(self):
+        class Boom(Computation):
+            def compute(self, ctx, messages):
+                raise IndexError("off by one")
+
+        run = debug_run(Boom, chain_graph(), DebugConfig(), seed=1)
+        without = run.violations_view().render()
+        with_tb = run.violations_view().render(include_tracebacks=True)
+        assert "Traceback" not in without
+        assert "Traceback" in with_tb

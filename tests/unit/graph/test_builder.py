@@ -1,0 +1,72 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph import GraphBuilder
+
+
+class TestBuilder:
+    def test_vertices_and_edges(self):
+        g = GraphBuilder().vertex(1, value="v").edge(1, 2, value=3).build()
+        assert g.vertex_value(1) == "v"
+        assert g.edge_value(1, 2) == 3
+
+    def test_undirected_builder_symmetrizes(self):
+        g = GraphBuilder(directed=False).edge(1, 2, value=7).build()
+        assert g.edge_value(2, 1) == 7
+
+    def test_vertices_shorthand(self):
+        g = GraphBuilder().vertices(1, 2, 3).build()
+        assert g.num_vertices == 3
+
+    def test_vertices_shorthand_keeps_existing_values(self):
+        g = GraphBuilder().vertex(1, value="keep").vertices(1, 2).build()
+        assert g.vertex_value(1) == "keep"
+
+    def test_path(self):
+        g = GraphBuilder().path(1, 2, 3).build()
+        assert g.has_edge(1, 2) and g.has_edge(2, 3)
+        assert not g.has_edge(1, 3)
+
+    def test_path_too_short_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().path(1)
+
+    def test_cycle(self):
+        g = GraphBuilder().cycle(1, 2, 3).build()
+        assert g.has_edge(3, 1)
+
+    def test_cycle_too_short_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().cycle(1, 2)
+
+    def test_clique_directed_has_both_directions(self):
+        g = GraphBuilder(directed=True).clique(1, 2, 3).build()
+        assert g.num_edges == 6
+
+    def test_clique_undirected(self):
+        g = GraphBuilder(directed=False).clique(1, 2, 3).build()
+        assert g.num_edges == 6  # 3 pairs x 2 symmetric directed edges
+
+    def test_set_value_edits_declared_vertex(self):
+        g = GraphBuilder().vertex(1).set_value(1, 5).build()
+        assert g.vertex_value(1) == 5
+
+    def test_set_value_on_undeclared_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().set_value(1, 5)
+
+    def test_remove_edge(self):
+        g = GraphBuilder().edge(1, 2).edge(2, 3).remove_edge(1, 2).build()
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+
+    def test_remove_missing_edge_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().remove_edge(1, 2)
+
+    def test_chaining_returns_builder(self):
+        builder = GraphBuilder()
+        assert builder.vertex(1) is builder
+        assert builder.edge(1, 2) is builder

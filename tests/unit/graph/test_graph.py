@@ -1,0 +1,183 @@
+"""Unit tests for the core Graph structure."""
+
+import pytest
+
+from repro.common.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph import Graph
+from repro.graph.graph import merge_graphs
+
+
+class TestVertices:
+    def test_add_and_count(self):
+        g = Graph()
+        g.add_vertex(1)
+        g.add_vertex(2, value="x")
+        assert g.num_vertices == 2
+        assert g.vertex_value(2) == "x"
+        assert g.vertex_value(1) is None
+
+    def test_readd_without_value_keeps_value(self):
+        g = Graph()
+        g.add_vertex(1, value="keep")
+        g.add_vertex(1)
+        assert g.vertex_value(1) == "keep"
+
+    def test_readd_with_value_updates(self):
+        g = Graph()
+        g.add_vertex(1, value="old")
+        g.add_vertex(1, value="new")
+        assert g.vertex_value(1) == "new"
+
+    def test_set_value(self):
+        g = Graph()
+        g.add_vertex(1)
+        g.set_vertex_value(1, 9)
+        assert g.vertex_value(1) == 9
+
+    def test_missing_vertex_value_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            Graph().vertex_value(1)
+
+    def test_contains_and_len(self):
+        g = Graph()
+        g.add_vertex("a")
+        assert "a" in g
+        assert "b" not in g
+        assert len(g) == 1
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        g.add_edge(2, 3)
+        g.remove_vertex(2)
+        assert g.num_vertices == 2
+        assert g.num_edges == 0
+        assert not g.has_edge(1, 2)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            Graph().remove_vertex(5)
+
+    def test_insertion_order_preserved(self):
+        g = Graph()
+        for vertex in (3, 1, 2):
+            g.add_vertex(vertex)
+        assert list(g.vertex_ids()) == [3, 1, 2]
+
+
+class TestEdges:
+    def test_add_edge_autocreates_vertices(self):
+        g = Graph()
+        g.add_edge(1, 2, value=5.0)
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.edge_value(1, 2) == 5.0
+        assert g.num_edges == 1
+
+    def test_add_edge_strict_mode(self):
+        g = Graph()
+        g.add_vertex(1)
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(1, 2, add_vertices=False)
+
+    def test_duplicate_edge_updates_value_not_count(self):
+        g = Graph()
+        g.add_edge(1, 2, value=1)
+        g.add_edge(1, 2, value=7)
+        assert g.num_edges == 1
+        assert g.edge_value(1, 2) == 7
+
+    def test_undirected_edge_symmetric(self):
+        g = Graph(directed=False)
+        g.add_undirected_edge(1, 2, value=4.0)
+        assert g.edge_value(1, 2) == 4.0
+        assert g.edge_value(2, 1) == 4.0
+        assert g.num_edges == 2
+
+    def test_remove_edge(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 0
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph()
+        g.add_vertex(1)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 9)
+
+    def test_out_edges_and_neighbors(self):
+        g = Graph()
+        g.add_edge(1, 2, value="a")
+        g.add_edge(1, 3, value="b")
+        assert dict(g.out_edges(1)) == {2: "a", 3: "b"}
+        assert sorted(g.neighbors(1)) == [2, 3]
+        assert g.out_degree(1) == 2
+
+    def test_edges_iterates_all(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3, value=9)
+        assert set(g.edges()) == {(1, 2, None), (2, 3, 9)}
+
+    def test_set_edge_value(self):
+        g = Graph()
+        g.add_edge(1, 2, value=1)
+        g.set_edge_value(1, 2, 2)
+        assert g.edge_value(1, 2) == 2
+
+    def test_set_missing_edge_value_raises(self):
+        g = Graph()
+        g.add_vertex(1)
+        with pytest.raises(EdgeNotFoundError):
+            g.set_edge_value(1, 2, 0)
+
+    def test_self_loop_allowed(self):
+        g = Graph()
+        g.add_edge(1, 1)
+        assert g.has_edge(1, 1)
+
+
+class TestCopyAndEquality:
+    def test_copy_is_equal_but_independent(self):
+        g = Graph()
+        g.add_edge(1, 2, value=3)
+        clone = g.copy()
+        assert clone == g
+        clone.add_edge(2, 3)
+        assert clone != g
+        assert not g.has_edge(2, 3)
+
+    def test_equality_considers_directedness(self):
+        a = Graph(directed=True)
+        b = Graph(directed=False)
+        assert a != b
+
+    def test_repr_mentions_counts(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert "vertices=2" in repr(g)
+        assert "edges=1" in repr(g)
+
+
+class TestMergeGraphs:
+    def test_union_of_structure(self):
+        a = Graph()
+        a.add_edge(1, 2)
+        b = Graph()
+        b.add_edge(2, 3)
+        merged = merge_graphs(a, b)
+        assert merged.num_vertices == 3
+        assert merged.has_edge(1, 2) and merged.has_edge(2, 3)
+
+    def test_second_wins_on_value_conflict(self):
+        a = Graph()
+        a.add_vertex(1, value="a")
+        b = Graph()
+        b.add_vertex(1, value="b")
+        assert merge_graphs(a, b).vertex_value(1) == "b"
+
+    def test_directedness_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            merge_graphs(Graph(directed=True), Graph(directed=False))

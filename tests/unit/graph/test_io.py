@@ -1,0 +1,105 @@
+"""Unit tests for adjacency-list text I/O."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import GraphFormatError
+from repro.common.serialization import register_value_type
+from repro.graph import (
+    Graph,
+    GraphBuilder,
+    parse_adjacency_text,
+    read_adjacency_file,
+    read_adjacency_simfs,
+    render_adjacency_text,
+    write_adjacency_file,
+    write_adjacency_simfs,
+)
+
+
+@register_value_type
+@dataclasses.dataclass(frozen=True)
+class IoValue:
+    label: str
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        g = GraphBuilder().vertex(1, value=9).edge(1, 2, value=0.5).build()
+        assert parse_adjacency_text(render_adjacency_text(g)) == g
+
+    def test_undirected_roundtrip(self, petersen):
+        text = render_adjacency_text(petersen)
+        assert parse_adjacency_text(text, directed=False) == petersen
+
+    def test_string_ids(self):
+        g = GraphBuilder().edge("alpha", "beta gamma").build()
+        assert parse_adjacency_text(render_adjacency_text(g)) == g
+
+    def test_registered_value_types(self):
+        g = GraphBuilder().vertex(1, value=IoValue("x")).edge(1, 2).build()
+        parsed = parse_adjacency_text(render_adjacency_text(g))
+        assert parsed.vertex_value(1) == IoValue("x")
+
+    def test_none_values_render_empty(self):
+        g = GraphBuilder().edge(1, 2).build()
+        text = render_adjacency_text(g)
+        assert "1\t\t2:" in text
+
+    def test_empty_graph(self):
+        assert parse_adjacency_text(render_adjacency_text(Graph())) == Graph()
+
+    def test_isolated_vertex(self):
+        g = GraphBuilder().vertex(7).build()
+        assert parse_adjacency_text(render_adjacency_text(g)) == g
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n1\t\t2:\n2\t\t\n"
+        g = parse_adjacency_text(text)
+        assert g.num_vertices == 2
+        assert g.has_edge(1, 2)
+
+    def test_forward_reference_to_later_vertex(self):
+        text = "1\t\t2:\n2\t5\t\n"
+        g = parse_adjacency_text(text)
+        assert g.vertex_value(2) == 5
+        assert g.has_edge(1, 2)
+
+    def test_edge_to_undeclared_vertex_created(self):
+        g = parse_adjacency_text("1\t\t9:\n")
+        assert g.has_vertex(9)
+
+    def test_single_field_line_rejected(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            parse_adjacency_text("1\n")
+
+    def test_bad_edge_token_rejected(self):
+        with pytest.raises(GraphFormatError, match="missing ':'"):
+            parse_adjacency_text("1\t\tgarbage\n")
+
+    def test_whitespace_only_line_skipped(self):
+        assert parse_adjacency_text("\t\t\n").num_vertices == 0
+
+    def test_empty_vertex_id_rejected(self):
+        with pytest.raises(GraphFormatError, match="empty vertex id"):
+            parse_adjacency_text("\t5\t\n")
+
+    def test_bad_value_json_rejected(self):
+        with pytest.raises(GraphFormatError, match="vertex value"):
+            parse_adjacency_text("1\t{oops\t\n")
+
+
+class TestFileBackends:
+    def test_local_file_roundtrip(self, tmp_path):
+        g = GraphBuilder().edge(1, 2, value=2.0).build()
+        path = tmp_path / "g.adj"
+        write_adjacency_file(g, str(path))
+        assert read_adjacency_file(str(path)) == g
+
+    def test_simfs_roundtrip(self, fs):
+        g = GraphBuilder().edge("a", "b").build()
+        write_adjacency_simfs(g, fs, "/graphs/g.adj")
+        assert read_adjacency_simfs(fs, "/graphs/g.adj") == g

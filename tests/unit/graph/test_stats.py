@@ -1,0 +1,63 @@
+"""Unit tests for graph statistics."""
+
+from repro.graph import GraphBuilder, compute_stats
+from repro.graph.stats import _format_count, degree_histogram
+
+
+class TestComputeStats:
+    def test_directed_counts(self):
+        g = GraphBuilder().edge(1, 2).edge(2, 1).edge(2, 3).build()
+        stats = compute_stats(g)
+        assert stats.num_vertices == 3
+        assert stats.num_directed_edges == 3
+        # (1,2) symmetric pair counts once; (2,3) one-way counts once.
+        assert stats.num_undirected_edges == 2
+
+    def test_degree_summary(self):
+        g = GraphBuilder().edge(1, 2).edge(1, 3).vertex(4).build()
+        stats = compute_stats(g)
+        assert stats.min_out_degree == 0
+        assert stats.max_out_degree == 2
+        assert stats.num_isolated_vertices == 3  # 2, 3, 4 have no out-edges
+
+    def test_empty_graph(self):
+        stats = compute_stats(GraphBuilder().build())
+        assert stats.num_vertices == 0
+        assert stats.mean_out_degree == 0.0
+
+    def test_regular_graph(self, petersen):
+        stats = compute_stats(petersen)
+        assert stats.min_out_degree == stats.max_out_degree == 3
+        assert stats.num_undirected_edges == 15
+
+    def test_table_row_format(self):
+        g = GraphBuilder().edge(1, 2).build()
+        row = compute_stats(g).table_row("tiny", "a test graph")
+        assert "tiny" in row
+        assert "a test graph" in row
+
+
+class TestFormatCount:
+    def test_paper_style_formatting(self):
+        assert _format_count(685_000) == "685K"
+        assert _format_count(7_600_000) == "7.6M"
+        assert _format_count(1_900_000_000) == "1.9B"
+        assert _format_count(42) == "42"
+        assert _format_count(1_000_000) == "1M"
+
+
+class TestDegreeHistogram:
+    def test_uniform_degree_single_bucket(self, petersen):
+        histogram = degree_histogram(petersen)
+        assert histogram == [(3, 3, 10)]
+
+    def test_buckets_cover_all_vertices(self):
+        builder = GraphBuilder()
+        for vertex in range(20):
+            for target in range(vertex):
+                builder.edge(vertex, target)
+        histogram = degree_histogram(builder.build(), num_buckets=5)
+        assert sum(count for _lo, _hi, count in histogram) == 20
+
+    def test_empty_graph(self):
+        assert degree_histogram(GraphBuilder().build()) == []

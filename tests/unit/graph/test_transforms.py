@@ -1,0 +1,86 @@
+"""Unit tests for graph transforms."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph import (
+    GraphBuilder,
+    relabel_vertices,
+    subgraph,
+    to_undirected,
+    with_edge_values,
+)
+
+
+class TestToUndirected:
+    def test_adds_reverse_edges(self):
+        g = GraphBuilder().edge(1, 2, value=5).build()
+        u = to_undirected(g)
+        assert u.edge_value(2, 1) == 5
+        assert not u.directed
+
+    def test_existing_symmetric_values_kept(self):
+        g = GraphBuilder().edge(1, 2, value=5).edge(2, 1, value=5).build()
+        u = to_undirected(g)
+        assert u.edge_value(1, 2) == u.edge_value(2, 1) == 5
+
+    def test_conflicting_values_resolved_by_merge(self):
+        g = GraphBuilder().edge(1, 2, value=5).edge(2, 1, value=9).build()
+        u = to_undirected(g, merge_values=max)
+        assert u.edge_value(1, 2) == u.edge_value(2, 1) == 9
+
+    def test_vertex_values_preserved(self):
+        g = GraphBuilder().vertex(1, value="v").edge(1, 2).build()
+        assert to_undirected(g).vertex_value(1) == "v"
+
+
+class TestWithEdgeValues:
+    def test_function_applied_per_edge(self):
+        g = GraphBuilder().edge(1, 2).edge(2, 3).build()
+        weighted = with_edge_values(g, lambda u, v: u + v)
+        assert weighted.edge_value(1, 2) == 3
+        assert weighted.edge_value(2, 3) == 5
+
+    def test_original_untouched(self):
+        g = GraphBuilder().edge(1, 2, value=0).build()
+        with_edge_values(g, lambda u, v: 99)
+        assert g.edge_value(1, 2) == 0
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        g = GraphBuilder().edge(1, 2).edge(2, 3).edge(3, 1).build()
+        sub = subgraph(g, [1, 2])
+        assert sub.has_edge(1, 2)
+        assert not sub.has_vertex(3)
+        assert sub.num_edges == 1
+
+    def test_missing_vertices_rejected(self):
+        g = GraphBuilder().vertex(1).build()
+        with pytest.raises(GraphError, match="missing"):
+            subgraph(g, [1, 99])
+
+    def test_values_preserved(self):
+        g = GraphBuilder().vertex(1, value="keep").vertex(2).build()
+        assert subgraph(g, [1]).vertex_value(1) == "keep"
+
+
+class TestRelabel:
+    def test_dict_mapping(self):
+        g = GraphBuilder().edge(1, 2).build()
+        renamed = relabel_vertices(g, {1: "one"})
+        assert renamed.has_edge("one", 2)
+
+    def test_callable_mapping(self):
+        g = GraphBuilder().edge(1, 2).build()
+        renamed = relabel_vertices(g, lambda v: v * 10)
+        assert renamed.has_edge(10, 20)
+
+    def test_collision_rejected(self):
+        g = GraphBuilder().vertices(1, 2).build()
+        with pytest.raises(GraphError, match="collides"):
+            relabel_vertices(g, {1: "x", 2: "x"})
+
+    def test_values_follow_rename(self):
+        g = GraphBuilder().vertex(1, value=7).build()
+        assert relabel_vertices(g, {1: "a"}).vertex_value("a") == 7

@@ -1,0 +1,71 @@
+"""Unit tests for input-graph validation (the Scenario 4.3 checks)."""
+
+from repro.datasets import corrupt_asymmetric_weights, random_symmetric_weights
+from repro.datasets.generators import bipartite_regular
+from repro.graph import (
+    GraphBuilder,
+    find_asymmetric_edges,
+    find_self_loops,
+    validate_graph,
+)
+from repro.graph.validation import find_missing_reverse_edges
+
+
+class TestSelfLoops:
+    def test_detects_loop(self):
+        g = GraphBuilder().edge(1, 1, value="w").edge(1, 2).build()
+        assert find_self_loops(g) == [(1, "w")]
+
+    def test_clean_graph(self, triangle):
+        assert find_self_loops(triangle) == []
+
+
+class TestMissingReverse:
+    def test_one_way_edge_detected(self):
+        g = GraphBuilder().edge(1, 2).edge(2, 1).edge(2, 3).build()
+        assert find_missing_reverse_edges(g) == [(2, 3)]
+
+
+class TestAsymmetricWeights:
+    def test_symmetric_weights_clean(self):
+        g = bipartite_regular(10, degree=3, seed=1)
+        weighted = random_symmetric_weights(g, seed=2)
+        assert find_asymmetric_edges(weighted) == []
+
+    def test_corruption_detected_exactly(self):
+        g = bipartite_regular(20, degree=3, seed=1)
+        weighted = random_symmetric_weights(g, seed=2)
+        corrupted, pairs = corrupt_asymmetric_weights(weighted, fraction=0.2, seed=3)
+        assert pairs, "corruption should hit some pairs at 20%"
+        found = find_asymmetric_edges(corrupted)
+        found_pairs = {frozenset((u, v)) for u, v, _a, _b in found}
+        assert found_pairs == {frozenset(p) for p in pairs}
+
+    def test_each_pair_reported_once(self):
+        g = GraphBuilder().edge(1, 2, value=1.0).edge(2, 1, value=2.0).build()
+        assert len(find_asymmetric_edges(g)) == 1
+
+
+class TestValidateGraph:
+    def test_clean_undirected_graph_ok(self, triangle):
+        report = validate_graph(triangle)
+        assert report.ok
+        assert report.summary() == "graph OK"
+
+    def test_summary_lists_problems(self):
+        g = GraphBuilder().edge(1, 1).edge(1, 2, value=3.0).edge(2, 1, value=4.0).build()
+        report = validate_graph(g, expect_undirected=True)
+        assert not report.ok
+        assert "self-loops" in report.summary()
+        assert "asymmetric" in report.summary()
+
+    def test_directed_graph_skips_symmetry_checks(self):
+        g = GraphBuilder().edge(1, 2).build()
+        report = validate_graph(g)
+        assert report.missing_reverse_edges == ()
+        assert report.ok
+
+    def test_expect_undirected_override(self):
+        g = GraphBuilder().edge(1, 2).build()
+        report = validate_graph(g, expect_undirected=True)
+        assert report.missing_reverse_edges == ((1, 2),)

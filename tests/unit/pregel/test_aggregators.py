@@ -1,0 +1,148 @@
+"""Unit tests for aggregators and their superstep lifecycle."""
+
+import pytest
+
+from repro.common.errors import AggregatorError
+from repro.pregel import (
+    AggregatorRegistry,
+    AndAggregator,
+    MaxAggregator,
+    MinAggregator,
+    OrAggregator,
+    OverwriteAggregator,
+    SumAggregator,
+)
+
+
+class TestAggregatorKinds:
+    def test_sum(self):
+        agg = SumAggregator()
+        assert agg.merge(agg.merge(agg.initial_value(), 3), 4) == 7
+
+    def test_sum_custom_zero(self):
+        assert SumAggregator(zero=10).initial_value() == 10
+
+    def test_min_ignores_identity(self):
+        agg = MinAggregator()
+        assert agg.merge(agg.initial_value(), 5) == 5
+        assert agg.merge(5, 3) == 3
+        assert agg.merge(3, 9) == 3
+
+    def test_max(self):
+        agg = MaxAggregator()
+        assert agg.merge(agg.initial_value(), 5) == 5
+        assert agg.merge(5, 9) == 9
+
+    def test_and(self):
+        agg = AndAggregator()
+        assert agg.initial_value() is True
+        assert agg.merge(True, False) is False
+
+    def test_or(self):
+        agg = OrAggregator()
+        assert agg.initial_value() is False
+        assert agg.merge(False, True) is True
+
+    def test_overwrite_last_wins(self):
+        agg = OverwriteAggregator(default="init")
+        assert agg.initial_value() == "init"
+        assert agg.merge("a", "b") == "b"
+
+
+class TestRegistryLifecycle:
+    def test_contributions_visible_after_barrier(self):
+        registry = AggregatorRegistry()
+        registry.register("total", SumAggregator())
+        registry.aggregate("total", 2)
+        registry.aggregate("total", 3)
+        assert registry.visible_value("total") == 0  # not merged yet
+        registry.barrier()
+        assert registry.visible_value("total") == 5
+
+    def test_regular_aggregator_resets_each_superstep(self):
+        registry = AggregatorRegistry()
+        registry.register("total", SumAggregator())
+        registry.aggregate("total", 5)
+        registry.barrier()
+        registry.aggregate("total", 1)
+        registry.barrier()
+        assert registry.visible_value("total") == 1
+
+    def test_persistent_aggregator_accumulates(self):
+        registry = AggregatorRegistry()
+        registry.register("ever", SumAggregator(), persistent=True)
+        registry.aggregate("ever", 5)
+        registry.barrier()
+        registry.aggregate("ever", 2)
+        registry.barrier()
+        assert registry.visible_value("ever") == 7
+
+    def test_untouched_aggregator_keeps_visible_value(self):
+        # Master-broadcast phase markers must survive supersteps where no
+        # vertex contributes.
+        registry = AggregatorRegistry()
+        registry.register("phase", OverwriteAggregator())
+        registry.set_visible("phase", "SELECT")
+        registry.barrier()
+        assert registry.visible_value("phase") == "SELECT"
+
+    def test_contribution_equal_to_identity_still_publishes(self):
+        registry = AggregatorRegistry()
+        registry.register("total", SumAggregator())
+        registry.set_visible("total", 42)
+        registry.aggregate("total", 0)  # sums to the identity value
+        registry.barrier()
+        assert registry.visible_value("total") == 0
+
+    def test_set_visible_effective_immediately(self):
+        registry = AggregatorRegistry()
+        registry.register("phase", OverwriteAggregator())
+        registry.set_visible("phase", "X")
+        assert registry.visible_value("phase") == "X"
+
+    def test_snapshot_is_a_copy(self):
+        registry = AggregatorRegistry()
+        registry.register("a", SumAggregator())
+        snapshot = registry.visible_snapshot()
+        snapshot["a"] = 99
+        assert registry.visible_value("a") == 0
+
+    def test_restore_snapshot(self):
+        registry = AggregatorRegistry()
+        registry.register("a", SumAggregator())
+        registry.restore_snapshot({"a": 7})
+        assert registry.visible_value("a") == 7
+
+    def test_restore_unknown_name_rejected(self):
+        registry = AggregatorRegistry()
+        with pytest.raises(AggregatorError, match="unregistered"):
+            registry.restore_snapshot({"ghost": 1})
+
+
+class TestRegistryErrors:
+    def test_duplicate_registration_rejected(self):
+        registry = AggregatorRegistry()
+        registry.register("a", SumAggregator())
+        with pytest.raises(AggregatorError, match="already registered"):
+            registry.register("a", SumAggregator())
+
+    def test_non_aggregator_rejected(self):
+        registry = AggregatorRegistry()
+        with pytest.raises(AggregatorError, match="must be an Aggregator"):
+            registry.register("a", object())
+
+    def test_unknown_name_on_aggregate(self):
+        registry = AggregatorRegistry()
+        with pytest.raises(AggregatorError, match="unknown aggregator"):
+            registry.aggregate("ghost", 1)
+
+    def test_unknown_name_on_read(self):
+        registry = AggregatorRegistry()
+        with pytest.raises(AggregatorError, match="unknown aggregator"):
+            registry.visible_value("ghost")
+
+    def test_names_sorted(self):
+        registry = AggregatorRegistry()
+        registry.register("b", SumAggregator())
+        registry.register("a", SumAggregator())
+        assert registry.names() == ["a", "b"]

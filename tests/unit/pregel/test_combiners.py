@@ -1,0 +1,56 @@
+"""Unit tests for message combiners."""
+
+from repro.pregel import MaxCombiner, MinCombiner, SumCombiner
+from repro.pregel.messages import Envelope, MessageStore
+
+
+class TestCombinerFolds:
+    def test_sum(self):
+        assert SumCombiner().combine(2, 3) == 5
+
+    def test_min(self):
+        assert MinCombiner().combine(2, 3) == 2
+        assert MinCombiner().combine(3, 2) == 2
+
+    def test_max(self):
+        assert MaxCombiner().combine(2, 3) == 3
+
+
+class TestStoreCombining:
+    def _store_with(self, values, target="t"):
+        store = MessageStore()
+        for index, value in enumerate(values):
+            store.deliver(Envelope(source=index, target=target, value=value))
+        return store
+
+    def test_combine_folds_inbox_to_one(self):
+        store = self._store_with([1, 2, 3])
+        eliminated = store.combine(SumCombiner())
+        assert eliminated == 2
+        inbox = store.inbox("t")
+        assert len(inbox) == 1
+        assert inbox[0].value == 6
+
+    def test_combined_envelope_loses_source(self):
+        store = self._store_with([1, 2])
+        store.combine(SumCombiner())
+        assert store.inbox("t")[0].source is None
+
+    def test_single_message_untouched(self):
+        store = self._store_with([7])
+        assert store.combine(SumCombiner()) == 0
+        assert store.inbox("t")[0].source == 0
+
+    def test_total_message_count_updated(self):
+        store = self._store_with([1, 2, 3])
+        store.combine(MinCombiner())
+        assert store.total_messages == 1
+
+    def test_multiple_targets_combined_independently(self):
+        store = MessageStore()
+        for value in (1, 2):
+            store.deliver(Envelope(source=0, target="a", value=value))
+        store.deliver(Envelope(source=0, target="b", value=9))
+        store.combine(SumCombiner())
+        assert store.inbox("a")[0].value == 3
+        assert store.inbox("b")[0].value == 9

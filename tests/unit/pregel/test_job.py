@@ -1,0 +1,72 @@
+"""Unit tests for DFS-to-DFS jobs."""
+
+import math
+
+from repro.algorithms import ConnectedComponents, ShortestPaths
+from repro.graph import GraphBuilder, write_adjacency_simfs
+from repro.pregel import MinCombiner, read_output, run_job
+
+
+def stage_input(fs, graph, path="/input/graph.adj"):
+    write_adjacency_simfs(graph, fs, path)
+    return path
+
+
+class TestRunJob:
+    def test_components_job_roundtrip(self, fs):
+        graph = GraphBuilder(directed=False).cycle(0, 1, 2).cycle(7, 8, 9).build()
+        input_path = stage_input(fs, graph)
+        job = run_job(
+            fs, input_path, "/output", ConnectedComponents, directed=False,
+            combiner=MinCombiner(),
+        )
+        assert job.result.converged
+        assert read_output(fs, "/output") == {
+            0: 0, 1: 0, 2: 0, 7: 7, 8: 7, 9: 7
+        }
+
+    def test_one_part_file_per_worker(self, fs):
+        graph = GraphBuilder(directed=False).cycle(*range(8)).build()
+        input_path = stage_input(fs, graph)
+        job = run_job(
+            fs, input_path, "/out", ConnectedComponents, directed=False,
+            num_workers=3,
+        )
+        assert len(job.output_files) == 3
+        assert all(path.startswith("/out/part-") for path in job.output_files)
+
+    def test_weighted_job_values_roundtrip(self, fs):
+        graph = (
+            GraphBuilder(directed=True)
+            .edge("s", "a", 2.0).edge("a", "t", 3.0).edge("s", "t", 9.0)
+            .build()
+        )
+        input_path = stage_input(fs, graph)
+        job = run_job(
+            fs, input_path, "/sp", lambda: ShortestPaths("s"), directed=True
+        )
+        values = read_output(fs, "/sp")
+        assert values["t"] == 5.0
+        assert values["a"] == 2.0
+
+    def test_infinity_value_roundtrips(self, fs):
+        graph = GraphBuilder(directed=True).edge("s", "a").vertex("lost").build()
+        input_path = stage_input(fs, graph)
+        run_job(fs, input_path, "/sp", lambda: ShortestPaths("s"))
+        assert read_output(fs, "/sp")["lost"] == math.inf
+
+    def test_summary_mentions_output(self, fs):
+        graph = GraphBuilder(directed=False).edge(0, 1).build()
+        input_path = stage_input(fs, graph)
+        job = run_job(fs, input_path, "/o", ConnectedComponents, directed=False)
+        assert "/o" in job.summary()
+        assert "part files" in job.summary()
+
+    def test_engine_kwargs_forwarded(self, fs):
+        graph = GraphBuilder(directed=False).edge(0, 1).build()
+        input_path = stage_input(fs, graph)
+        job = run_job(
+            fs, input_path, "/o", ConnectedComponents, directed=False,
+            max_supersteps=1,
+        )
+        assert job.result.num_supersteps == 1

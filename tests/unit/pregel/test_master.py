@@ -1,0 +1,75 @@
+"""Unit tests for master computations."""
+
+import pytest
+
+from repro.common.errors import MasterComputeError, PregelError
+from repro.pregel import MasterComputation, MasterContext
+from repro.pregel.aggregators import AggregatorRegistry, OverwriteAggregator
+from repro.pregel.master import ensure_master, run_master
+
+
+def registry_with_phase():
+    registry = AggregatorRegistry()
+    registry.register("phase", OverwriteAggregator("P0"))
+    return registry
+
+
+class TestMasterContext:
+    def test_reads_visible_values(self):
+        ctx = MasterContext(0, 10, 20, registry_with_phase())
+        assert ctx.aggregated_value("phase") == "P0"
+        assert (ctx.num_vertices, ctx.num_edges) == (10, 20)
+
+    def test_writes_broadcast_immediately(self):
+        registry = registry_with_phase()
+        ctx = MasterContext(0, 0, 0, registry)
+        ctx.set_aggregated_value("phase", "P1")
+        assert registry.visible_value("phase") == "P1"
+
+    def test_halt(self):
+        ctx = MasterContext(0, 0, 0, registry_with_phase())
+        assert not ctx.halted
+        ctx.halt_computation()
+        assert ctx.halted
+
+    def test_snapshot(self):
+        ctx = MasterContext(0, 0, 0, registry_with_phase())
+        assert ctx.aggregator_snapshot() == {"phase": "P0"}
+
+
+class TestRunMaster:
+    def test_failure_wrapped_with_superstep(self):
+        class Bad(MasterComputation):
+            def master_compute(self, master_ctx):
+                raise RuntimeError("phase logic broke")
+
+        ctx = MasterContext(7, 0, 0, registry_with_phase())
+        with pytest.raises(MasterComputeError) as info:
+            run_master(Bad(), ctx)
+        assert info.value.superstep == 7
+
+    def test_success_passes_through(self):
+        class Good(MasterComputation):
+            def master_compute(self, master_ctx):
+                master_ctx.set_aggregated_value("phase", "NEXT")
+
+        registry = registry_with_phase()
+        run_master(Good(), MasterContext(0, 0, 0, registry))
+        assert registry.visible_value("phase") == "NEXT"
+
+
+class TestEnsureMaster:
+    def test_none_allowed(self):
+        assert ensure_master(None) is None
+
+    def test_instance_allowed(self):
+        class M(MasterComputation):
+            def master_compute(self, master_ctx):
+                pass
+
+        master = M()
+        assert ensure_master(master) is master
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(PregelError, match="MasterComputation"):
+            ensure_master(object())

@@ -1,0 +1,42 @@
+"""Unit tests for message envelopes and the per-superstep store."""
+
+from repro.pregel.messages import Envelope, MessageStore
+
+
+class TestMessageStore:
+    def test_deliver_and_inbox(self):
+        store = MessageStore()
+        store.deliver(Envelope(source=1, target=2, value="m"))
+        assert [e.value for e in store.inbox(2)] == ["m"]
+
+    def test_empty_inbox_for_unknown_target(self):
+        assert MessageStore().inbox("nobody") == []
+
+    def test_delivery_order_preserved(self):
+        store = MessageStore()
+        for index in range(5):
+            store.deliver(Envelope(source=0, target="t", value=index))
+        assert [e.value for e in store.inbox("t")] == [0, 1, 2, 3, 4]
+
+    def test_targets_and_has_messages(self):
+        store = MessageStore()
+        assert not store.has_messages()
+        store.deliver(Envelope(source=1, target="a", value=None))
+        assert store.has_messages()
+        assert set(store.targets()) == {"a"}
+
+    def test_total_messages_counts_all(self):
+        store = MessageStore()
+        store.deliver_all(
+            Envelope(source=0, target=t, value=0) for t in ("a", "a", "b")
+        )
+        assert store.total_messages == 3
+
+    def test_envelope_is_frozen(self):
+        envelope = Envelope(source=1, target=2, value=3)
+        try:
+            envelope.value = 9
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

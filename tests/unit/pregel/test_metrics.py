@@ -1,0 +1,46 @@
+"""Unit tests for run metrics."""
+
+from repro.pregel import RunMetrics, SuperstepMetrics
+
+
+def step(superstep, **overrides):
+    metrics = SuperstepMetrics(superstep)
+    for name, value in overrides.items():
+        setattr(metrics, name, value)
+    return metrics
+
+
+class TestSuperstepMetrics:
+    def test_row_renders(self):
+        row = step(3, active_vertices=10, messages_sent=20).row()
+        assert "superstep    3" in row
+        assert "msgs=" in row
+
+
+class TestRunMetrics:
+    def test_totals_aggregate_supersteps(self):
+        metrics = RunMetrics()
+        metrics.add_superstep(step(0, messages_sent=5, compute_calls=3, bytes_sent=100))
+        metrics.add_superstep(step(1, messages_sent=7, compute_calls=2, bytes_sent=50))
+        assert metrics.num_supersteps == 2
+        assert metrics.total_messages == 12
+        assert metrics.total_compute_calls == 5
+        assert metrics.total_bytes_sent == 150
+
+    def test_combined_totals(self):
+        metrics = RunMetrics()
+        metrics.add_superstep(step(0, messages_combined=4))
+        assert metrics.total_messages_combined == 4
+
+    def test_summary_mentions_key_numbers(self):
+        metrics = RunMetrics()
+        metrics.add_superstep(step(0, messages_sent=9, compute_calls=4))
+        metrics.total_seconds = 1.0
+        summary = metrics.summary()
+        assert "1 supersteps" in summary
+        assert "9 messages" in summary
+
+    def test_empty_metrics(self):
+        metrics = RunMetrics()
+        assert metrics.total_messages == 0
+        assert metrics.num_supersteps == 0

@@ -1,0 +1,56 @@
+"""Unit tests for vertex partitioning."""
+
+import pytest
+
+from repro.common.errors import PregelError
+from repro.pregel import ExplicitPartitioner, HashPartitioner
+
+
+class TestHashPartitioner:
+    def test_stable_assignment(self):
+        p = HashPartitioner(4)
+        assert p.worker_for("v1") == p.worker_for("v1")
+
+    def test_assignment_in_range(self):
+        p = HashPartitioner(3)
+        for vertex in range(100):
+            assert 0 <= p.worker_for(vertex) < 3
+
+    def test_reasonable_balance(self):
+        p = HashPartitioner(4)
+        counts = [0] * 4
+        for vertex in range(2000):
+            counts[p.worker_for(vertex)] += 1
+        assert min(counts) > 2000 / 4 * 0.7
+
+    def test_partition_groups_preserve_order(self):
+        p = HashPartitioner(2)
+        groups = p.partition(range(10))
+        merged = sorted(v for group in groups for v in group)
+        assert merged == list(range(10))
+        for group in groups:
+            assert group == sorted(group)  # insertion order was ascending
+
+    def test_at_least_one_worker(self):
+        with pytest.raises(PregelError):
+            HashPartitioner(0)
+
+    def test_single_worker_gets_everything(self):
+        p = HashPartitioner(1)
+        assert all(p.worker_for(v) == 0 for v in range(50))
+
+
+class TestExplicitPartitioner:
+    def test_explicit_assignment_honored(self):
+        p = ExplicitPartitioner(3, {"a": 2, "b": 0})
+        assert p.worker_for("a") == 2
+        assert p.worker_for("b") == 0
+
+    def test_unmapped_ids_fall_back_to_hash(self):
+        p = ExplicitPartitioner(3, {"a": 2})
+        fallback = HashPartitioner(3)
+        assert p.worker_for("zzz") == fallback.worker_for("zzz")
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(PregelError, match="out of range"):
+            ExplicitPartitioner(2, {"a": 5})

@@ -1,0 +1,76 @@
+"""Unit tests for the message-to-missing-vertex resolver policies."""
+
+import pytest
+
+from repro.common.errors import PregelError
+from repro.graph import GraphBuilder
+from repro.pregel import Computation, PregelEngine, run_computation
+
+
+class SpawnMessage(Computation):
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0 and ctx.vertex_id == 0:
+            ctx.send_message("ghost", "boo")
+        ctx.vote_to_halt()
+
+    def default_vertex_value(self, vertex_id):
+        return "spawned"
+
+
+def pair():
+    return GraphBuilder(directed=False).edge(0, 1).build()
+
+
+class TestResolverPolicies:
+    def test_create_policy_is_default(self):
+        result = run_computation(SpawnMessage, pair())
+        assert result.vertex_values["ghost"] == "spawned"
+
+    def test_drop_policy_discards_messages(self):
+        result = run_computation(
+            SpawnMessage, pair(), on_message_to_missing="drop"
+        )
+        assert "ghost" not in result.vertex_values
+        assert result.converged
+
+    def test_drop_policy_keeps_messages_to_existing_vertices(self):
+        class MessageBoth(Computation):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0 and ctx.vertex_id == 0:
+                    ctx.send_message(1, "real")
+                    ctx.send_message("ghost", "boo")
+                elif messages:
+                    ctx.set_value(messages[0])
+                ctx.vote_to_halt()
+
+        result = run_computation(
+            MessageBoth, pair(), on_message_to_missing="drop"
+        )
+        assert result.vertex_values[1] == "real"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PregelError, match="on_message_to_missing"):
+            PregelEngine(SpawnMessage, pair(), on_message_to_missing="explode")
+
+
+class TestSuperstepStatsInDebugRun:
+    def test_activity_trend_available(self):
+        from repro.algorithms import MaximumWeightMatching
+        from repro.graft import DebugConfig, debug_run
+
+        triangle = (
+            GraphBuilder(directed=True)
+            .edge("u", "v", 10.0).edge("v", "u", 1.0)
+            .edge("v", "w", 10.0).edge("w", "v", 1.0)
+            .edge("w", "u", 10.0).edge("u", "w", 1.0)
+            .build()
+        )
+        run = debug_run(
+            MaximumWeightMatching, triangle, DebugConfig(), max_supersteps=20
+        )
+        stats = run.superstep_stats()
+        assert len(stats) == 20
+        # The MWM preference cycle keeps all three vertices active forever.
+        assert all(m.active_vertices == 3 for m in stats)
+        table = run.superstep_table(limit=5)
+        assert table.count("\n") == 4

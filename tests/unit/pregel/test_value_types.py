@@ -1,0 +1,104 @@
+"""Unit tests for the Java-style fixed-width integers."""
+
+import pytest
+
+from repro.common.serialization import decode_value, encode_value
+from repro.pregel import Int32, Long64, Short16
+
+
+class TestShort16:
+    def test_max_value_matches_java(self):
+        assert Short16.max_value() == 32767
+        assert Short16.min_value() == -32768
+
+    def test_overflow_wraps_negative(self):
+        assert (Short16(32767) + 1).value == -32768
+
+    def test_the_paper_bug_shape(self):
+        # Accumulating walker counts past the short range goes negative —
+        # exactly the random-walk scenario's defect.
+        count = Short16(30000) + Short16(5000)
+        assert count < 0
+
+    def test_underflow_wraps_positive(self):
+        assert (Short16(-32768) - 1).value == 32767
+
+    def test_multiplication_wraps(self):
+        assert (Short16(256) * 256).value == 0
+        assert (Short16(182) * 182) != 182 * 182
+
+    def test_subtraction(self):
+        assert (Short16(10) - 3).value == 7
+        assert (7 - Short16(3)).value == 4
+
+    def test_radd_with_plain_int(self):
+        assert (5 + Short16(1)).value == 6
+        assert isinstance(5 + Short16(1), Short16)
+
+    def test_negation(self):
+        assert (-Short16(5)).value == -5
+
+    def test_construction_wraps_immediately(self):
+        assert Short16(40000).value == 40000 - 65536
+
+    def test_construction_from_other_fixed_width(self):
+        assert Short16(Int32(70000)).value == Short16(70000).value
+
+
+class TestComparisons:
+    def test_equality_with_int(self):
+        assert Short16(5) == 5
+        assert Short16(5) != 6
+
+    def test_ordering_with_int(self):
+        assert Short16(-1) < 0
+        assert Short16(5) >= 5
+        assert Short16(5) <= 5
+        assert Short16(6) > 5
+
+    def test_ordering_between_instances(self):
+        assert Short16(3) < Short16(4)
+
+    def test_hash_matches_int(self):
+        assert hash(Short16(42)) == hash(42)
+        assert {Short16(1)} == {1}
+
+    def test_incompatible_comparison(self):
+        assert Short16(1) != "1"
+
+    def test_sorting(self):
+        values = [Short16(3), Short16(-1), Short16(2)]
+        assert sorted(values) == [Short16(-1), Short16(2), Short16(3)]
+
+
+class TestConversions:
+    def test_int_and_index(self):
+        assert int(Short16(9)) == 9
+        assert list(range(3))[Short16(1)] == 1
+
+    def test_bool(self):
+        assert Short16(1)
+        assert not Short16(0)
+
+    def test_repr_is_evalable(self):
+        assert eval(repr(Short16(-5))) == Short16(-5)
+
+
+class TestWiderTypes:
+    def test_int32_wraps_at_2_31(self):
+        assert (Int32(2**31 - 1) + 1).value == -(2**31)
+
+    def test_long64_wraps_at_2_63(self):
+        assert (Long64(2**63 - 1) + 1).value == -(2**63)
+
+    def test_int32_normal_arithmetic(self):
+        assert (Int32(1000) * 1000).value == 1_000_000
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("cls", [Short16, Int32, Long64])
+    def test_codec_roundtrip(self, cls):
+        value = cls(-1234)
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert isinstance(decoded, cls)

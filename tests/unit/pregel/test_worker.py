@@ -1,0 +1,148 @@
+"""Unit tests for the simulated worker."""
+
+import pytest
+
+from repro.common.errors import ComputeError
+from repro.pregel import Computation
+from repro.pregel.aggregators import AggregatorRegistry, SumAggregator
+from repro.pregel.messages import Envelope, MessageStore
+from repro.pregel.worker import Worker
+
+
+class Echo(Computation):
+    """Forwards each incoming message value to every neighbor."""
+
+    def compute(self, ctx, messages):
+        for value in messages:
+            ctx.send_message_to_all_neighbors(value)
+        ctx.vote_to_halt()
+
+
+class Crash(Computation):
+    def compute(self, ctx, messages):
+        raise ValueError("boom")
+
+
+def loaded_worker():
+    worker = Worker(worker_id=0, run_seed=1)
+    worker.load_vertex("a", 0, {"b": None})
+    worker.load_vertex("b", 0, {"a": None})
+    return worker
+
+
+class TestVertexState:
+    def test_load_and_counts(self):
+        worker = loaded_worker()
+        assert worker.num_vertices == 2
+        assert worker.num_edges == 2
+        assert worker.has_vertex("a")
+
+    def test_remove_vertex(self):
+        worker = loaded_worker()
+        worker.remove_vertex("a")
+        assert not worker.has_vertex("a")
+        assert worker.num_vertices == 1
+
+    def test_remove_missing_vertex_is_noop(self):
+        loaded_worker().remove_vertex("ghost")
+
+    def test_edge_map_copied_on_load(self):
+        worker = Worker(0, run_seed=0)
+        edges = {"x": 1}
+        worker.load_vertex("v", None, edges)
+        edges["y"] = 2
+        assert "y" not in worker.edges["v"]
+
+
+class TestActivation:
+    def test_all_active_in_superstep_zero(self):
+        worker = loaded_worker()
+        assert worker.active_vertices(0, MessageStore()) == ["a", "b"]
+
+    def test_halted_vertices_skip_later_supersteps(self):
+        worker = loaded_worker()
+        worker.halted["a"] = True
+        assert worker.active_vertices(1, MessageStore()) == ["b"]
+
+    def test_messages_wake_halted_vertices(self):
+        worker = loaded_worker()
+        worker.halted["a"] = True
+        store = MessageStore()
+        store.deliver(Envelope(source="b", target="a", value=1))
+        assert worker.active_vertices(1, store) == ["a", "b"]
+
+
+class TestRunSuperstep:
+    def test_messages_forwarded(self):
+        worker = loaded_worker()
+        worker.prepare_superstep(AggregatorRegistry())
+        store = MessageStore()
+        store.deliver(Envelope(source="b", target="a", value="payload"))
+        worker.run_superstep(Echo(), 1, store, 2, 2)
+        assert len(worker.outbox) == 1
+        assert worker.outbox[0].target == "b"
+        assert worker.messages_sent == 1
+        assert worker.bytes_sent > 0
+
+    def test_halt_state_recorded(self):
+        worker = loaded_worker()
+        worker.prepare_superstep(AggregatorRegistry())
+        worker.run_superstep(Echo(), 0, MessageStore(), 2, 2)
+        assert worker.all_halted()
+
+    def test_value_updates_persisted(self):
+        class SetTo9(Computation):
+            def compute(self, ctx, messages):
+                ctx.set_value(9)
+
+        worker = loaded_worker()
+        worker.prepare_superstep(AggregatorRegistry())
+        worker.run_superstep(SetTo9(), 0, MessageStore(), 2, 2)
+        assert dict(worker.vertex_values()) == {"a": 9, "b": 9}
+
+    def test_compute_calls_counted(self):
+        worker = loaded_worker()
+        worker.prepare_superstep(AggregatorRegistry())
+        worker.run_superstep(Echo(), 0, MessageStore(), 2, 2)
+        assert worker.compute_calls == 2
+
+    def test_aggregation_reaches_registry(self):
+        class Contribute(Computation):
+            def compute(self, ctx, messages):
+                ctx.aggregate("n", 1)
+                ctx.vote_to_halt()
+
+        registry = AggregatorRegistry()
+        registry.register("n", SumAggregator())
+        worker = loaded_worker()
+        worker.prepare_superstep(registry)
+        worker.run_superstep(Contribute(), 0, MessageStore(), 2, 2)
+        registry.barrier()
+        assert registry.visible_value("n") == 2
+
+    def test_raise_policy_wraps_with_location(self):
+        worker = loaded_worker()
+        worker.prepare_superstep(AggregatorRegistry())
+        with pytest.raises(ComputeError) as info:
+            worker.run_superstep(Crash(), 0, MessageStore(), 2, 2)
+        assert info.value.vertex_id == "a"
+        assert info.value.superstep == 0
+        assert isinstance(info.value.original, ValueError)
+
+    def test_halt_vertex_policy_continues(self):
+        worker = loaded_worker()
+        worker.prepare_superstep(AggregatorRegistry())
+        worker.run_superstep(Crash(), 0, MessageStore(), 2, 2, on_error="halt_vertex")
+        assert len(worker.compute_errors) == 2
+        assert worker.all_halted()
+
+    def test_prepare_superstep_resets_outputs(self):
+        worker = loaded_worker()
+        worker.prepare_superstep(AggregatorRegistry())
+        store = MessageStore()
+        store.deliver(Envelope(source="b", target="a", value=1))
+        worker.run_superstep(Echo(), 1, store, 2, 2)
+        worker.prepare_superstep(AggregatorRegistry())
+        assert worker.outbox == []
+        assert worker.messages_sent == 0
+        assert worker.compute_calls == 0

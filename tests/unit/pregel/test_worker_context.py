@@ -1,0 +1,113 @@
+"""Unit tests for the per-worker superstep hooks (WorkerContext)."""
+
+from repro.graph import GraphBuilder
+from repro.pregel import Computation, run_computation
+
+
+class HookSpy(Computation):
+    events = []
+
+    def pre_superstep(self, worker_info):
+        HookSpy.events.append(("pre", worker_info.worker_id, worker_info.superstep))
+
+    def post_superstep(self, worker_info):
+        HookSpy.events.append(("post", worker_info.worker_id, worker_info.superstep))
+
+    def compute(self, ctx, messages):
+        HookSpy.events.append(("compute", ctx.vertex_id, ctx.superstep))
+        ctx.vote_to_halt()
+
+
+def pair():
+    return GraphBuilder(directed=False).edge(0, 1).build()
+
+
+class TestWorkerHooks:
+    def test_hooks_bracket_each_workers_computes(self):
+        HookSpy.events = []
+        run_computation(HookSpy, pair(), num_workers=1)
+        kinds = [event[0] for event in HookSpy.events]
+        assert kinds == ["pre", "compute", "compute", "post"]
+
+    def test_hooks_fire_once_per_worker_per_superstep(self):
+        HookSpy.events = []
+        run_computation(HookSpy, pair(), num_workers=3)
+        pres = [e for e in HookSpy.events if e[0] == "pre"]
+        posts = [e for e in HookSpy.events if e[0] == "post"]
+        # One superstep, three workers (even those with no vertices).
+        assert len(pres) == 3
+        assert len(posts) == 3
+
+    def test_worker_info_contents(self):
+        seen = {}
+
+        class InfoSpy(Computation):
+            def pre_superstep(self, worker_info):
+                seen[worker_info.worker_id] = (
+                    worker_info.superstep,
+                    worker_info.num_vertices,
+                    worker_info.num_edges,
+                )
+
+            def compute(self, ctx, messages):
+                ctx.vote_to_halt()
+
+        run_computation(InfoSpy, pair(), num_workers=2)
+        assert all(info == (0, 2, 2) for info in seen.values())
+
+    def test_worker_local_precomputation_pattern(self):
+        class Precompute(Computation):
+            """The legitimate WorkerContext use: per-superstep scratch that
+            is derived from nothing but the superstep itself."""
+
+            def pre_superstep(self, worker_info):
+                self.bonus = worker_info.superstep * 10
+
+            def initial_value(self, vertex_id, input_value):
+                return 0
+
+            def compute(self, ctx, messages):
+                ctx.set_value(ctx.value + self.bonus)
+                if ctx.superstep >= 1:
+                    ctx.vote_to_halt()
+                else:
+                    ctx.send_message_to_all_neighbors("tick")
+
+        result = run_computation(Precompute, pair())
+        assert all(value == 10 for value in result.vertex_values.values())
+
+    def test_hooks_delegated_through_graft_instrumentation(self):
+        from repro.graft import DebugConfig, debug_run
+
+        HookSpy.events = []
+        run = debug_run(HookSpy, pair(), DebugConfig(), num_workers=1)
+        assert run.ok
+        kinds = [event[0] for event in HookSpy.events]
+        assert kinds[0] == "pre"
+        assert kinds[-1] == "post"
+
+    def test_hidden_hook_state_breaks_fidelity_detectably(self):
+        from repro.graft import CaptureAllActiveConfig, debug_run, verify_run_fidelity
+
+        class HiddenState(Computation):
+            """Consumes worker-accumulated state: the Section 7 trap."""
+
+            def __init__(self):
+                self.counter = 0
+
+            def pre_superstep(self, worker_info):
+                self.counter += 1
+
+            def initial_value(self, vertex_id, input_value):
+                return 0
+
+            def compute(self, ctx, messages):
+                ctx.set_value(self.counter)
+                if ctx.superstep >= 1:
+                    ctx.vote_to_halt()
+                else:
+                    ctx.send_message_to_all_neighbors("tick")
+
+        run = debug_run(HiddenState, pair(), CaptureAllActiveConfig(), num_workers=1)
+        report = verify_run_fidelity(run)
+        assert not report.ok  # replay cannot see the hook-fed counter

@@ -1,0 +1,160 @@
+"""Unit tests for the simulated distributed file system."""
+
+import pytest
+
+from repro.common.errors import SimFsError, SimFsFileExists, SimFsFileNotFound
+from repro.simfs import SimFileSystem
+from repro.simfs.filesystem import normalize_path
+
+
+class TestNormalizePath:
+    def test_relative_becomes_absolute(self):
+        assert normalize_path("a/b") == "/a/b"
+
+    def test_redundant_segments_collapsed(self):
+        assert normalize_path("/a//b/../c") == "/a/c"
+
+    def test_root(self):
+        assert normalize_path("/") == "/"
+        assert normalize_path("") == "/"
+
+    def test_parent_of_root_clamps_to_root(self):
+        assert normalize_path("/../etc") == "/etc"
+        assert normalize_path("/..") == "/"
+
+
+class TestFiles:
+    def test_write_read_roundtrip(self, fs):
+        fs.write_text("/a/b.txt", "hello")
+        assert fs.read_text("/a/b.txt") == "hello"
+
+    def test_append_accumulates(self, fs):
+        fs.append_text("/log", "one\n")
+        fs.append_text("/log", "two\n")
+        assert fs.read_text("/log") == "one\ntwo\n"
+
+    def test_read_lines(self, fs):
+        fs.write_text("/f", "a\nb\nc\n")
+        assert list(fs.read_lines("/f")) == ["a", "b", "c"]
+
+    def test_read_lines_empty_file(self, fs):
+        fs.create("/empty")
+        assert list(fs.read_lines("/empty")) == []
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(SimFsFileNotFound):
+            fs.read_text("/nope")
+
+    def test_exclusive_create_conflicts(self, fs):
+        fs.create("/f")
+        with pytest.raises(SimFsFileExists):
+            fs.create("/f")
+
+    def test_overwrite_create_truncates(self, fs):
+        fs.write_text("/f", "long content")
+        fs.write_text("/f", "x")
+        assert fs.read_text("/f") == "x"
+
+    def test_binary_roundtrip(self, fs):
+        fs.append_bytes("/bin", b"\x00\x01\xfe")
+        assert fs.read_bytes("/bin") == b"\x00\x01\xfe"
+
+    def test_unicode_roundtrip(self, fs):
+        fs.write_text("/u", "héllo ∞")
+        assert fs.read_text("/u") == "héllo ∞"
+
+
+class TestNamespace:
+    def test_implicit_directories(self, fs):
+        fs.write_text("/a/b/c.txt", "x")
+        assert fs.is_dir("/a")
+        assert fs.is_dir("/a/b")
+        assert not fs.is_dir("/a/b/c.txt")
+
+    def test_mkdirs_explicit_empty_dir(self, fs):
+        fs.mkdirs("/x/y")
+        assert fs.is_dir("/x/y")
+        assert fs.exists("/x")
+
+    def test_mkdirs_over_file_rejected(self, fs):
+        fs.write_text("/f", "x")
+        with pytest.raises(SimFsFileExists):
+            fs.mkdirs("/f")
+
+    def test_list_dir_direct_children_only(self, fs):
+        fs.write_text("/d/one.txt", "1")
+        fs.write_text("/d/sub/two.txt", "2")
+        assert fs.list_dir("/d") == ["/d/one.txt", "/d/sub"]
+
+    def test_list_missing_dir_raises(self, fs):
+        with pytest.raises(SimFsFileNotFound):
+            fs.list_dir("/ghost")
+
+    def test_glob_files_by_suffix(self, fs):
+        fs.write_text("/t/w0.trace", "")
+        fs.write_text("/t/w1.trace", "")
+        fs.write_text("/t/notes.md", "")
+        assert fs.glob_files("/t", suffix=".trace") == [
+            "/t/w0.trace",
+            "/t/w1.trace",
+        ]
+
+    def test_rename_moves_content(self, fs):
+        fs.write_text("/src", "payload")
+        fs.rename("/src", "/dst/deep")
+        assert not fs.is_file("/src")
+        assert fs.read_text("/dst/deep") == "payload"
+
+    def test_rename_over_existing_rejected(self, fs):
+        fs.write_text("/a", "1")
+        fs.write_text("/b", "2")
+        with pytest.raises(SimFsFileExists):
+            fs.rename("/a", "/b")
+
+    def test_delete_file(self, fs):
+        fs.write_text("/f", "x")
+        fs.delete("/f")
+        assert not fs.exists("/f")
+
+    def test_delete_dir_requires_recursive(self, fs):
+        fs.write_text("/d/f", "x")
+        with pytest.raises(SimFsError, match="recursive"):
+            fs.delete("/d")
+        fs.delete("/d", recursive=True)
+        assert not fs.exists("/d/f")
+        assert not fs.is_dir("/d")
+
+
+class TestAccounting:
+    def test_stat_size_and_blocks(self):
+        fs = SimFileSystem(block_size=4)
+        fs.write_text("/f", "123456789")
+        stat = fs.stat("/f")
+        assert stat.size == 9
+        assert stat.blocks == 3
+
+    def test_stat_empty_file_zero_blocks(self, fs):
+        fs.create("/f")
+        assert fs.stat("/f").blocks == 0
+
+    def test_total_bytes_scoped(self, fs):
+        fs.write_text("/a/x", "12345")
+        fs.write_text("/b/y", "12")
+        assert fs.total_bytes("/a") == 5
+        assert fs.total_bytes() == 7
+
+    def test_counters_track_writes(self, fs):
+        fs.append_text("/f", "abc")
+        fs.append_text("/f", "d")
+        assert fs.bytes_written == 4
+        assert fs.append_calls == 2
+        assert fs.files_created >= 1
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(SimFsError):
+            SimFileSystem(block_size=0)
+
+    def test_export_to_directory(self, fs, tmp_path):
+        fs.write_text("/out/data.txt", "exported")
+        fs.export_to_directory(str(tmp_path))
+        assert (tmp_path / "out" / "data.txt").read_text() == "exported"

@@ -1,0 +1,66 @@
+"""Unit tests for the buffered line writers."""
+
+import pytest
+
+from repro.common.errors import SimFsError
+from repro.simfs import LineWriter
+
+
+class TestLineWriter:
+    def test_lines_roundtrip(self, fs):
+        with LineWriter(fs, "/t/w.trace") as writer:
+            writer.write_line("one")
+            writer.write_line("two")
+        assert list(fs.read_lines("/t/w.trace")) == ["one", "two"]
+
+    def test_buffering_defers_fs_writes(self, fs):
+        writer = LineWriter(fs, "/t/w.trace", buffer_lines=10)
+        for index in range(5):
+            writer.write_line(str(index))
+        assert fs.read_text("/t/w.trace") == ""
+        writer.flush()
+        assert len(list(fs.read_lines("/t/w.trace"))) == 5
+        writer.close()
+
+    def test_buffer_flushes_at_threshold(self, fs):
+        writer = LineWriter(fs, "/w", buffer_lines=3)
+        writer.write_line("a")
+        writer.write_line("b")
+        writer.write_line("c")
+        assert len(list(fs.read_lines("/w"))) == 3
+        writer.close()
+
+    def test_creation_truncates_existing(self, fs):
+        fs.write_text("/w", "stale\n")
+        with LineWriter(fs, "/w") as writer:
+            writer.write_line("fresh")
+        assert list(fs.read_lines("/w")) == ["fresh"]
+
+    def test_embedded_newline_rejected(self, fs):
+        with LineWriter(fs, "/w") as writer:
+            with pytest.raises(SimFsError, match="single line"):
+                writer.write_line("two\nlines")
+
+    def test_write_after_close_rejected(self, fs):
+        writer = LineWriter(fs, "/w")
+        writer.close()
+        with pytest.raises(SimFsError, match="closed"):
+            writer.write_line("late")
+
+    def test_close_idempotent(self, fs):
+        writer = LineWriter(fs, "/w")
+        writer.write_line("x")
+        writer.close()
+        writer.close()
+        assert writer.closed
+        assert writer.lines_written == 1
+
+    def test_invalid_buffer_size(self, fs):
+        with pytest.raises(SimFsError):
+            LineWriter(fs, "/w", buffer_lines=0)
+
+    def test_counts_lines(self, fs):
+        with LineWriter(fs, "/w") as writer:
+            for index in range(7):
+                writer.write_line(str(index))
+        assert writer.lines_written == 7
