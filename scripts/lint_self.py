@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Run graft-lint over everything this repository ships.
+
+Lints every ``Computation`` subclass exported by :mod:`repro.algorithms`
+(the clean repertoire must be finding-free; the paper-scenario ``*-buggy``
+variants are expected to be flagged) and every file under ``examples/``
+(from source, without importing them — they run jobs on import).
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_self.py [--format text|json]
+
+Exit status: 0 when the clean algorithms and examples are clean and every
+buggy variant is flagged; 1 otherwise.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import repro.algorithms as algorithms                      # noqa: E402
+from repro.analysis import analyze_computation, analyze_path  # noqa: E402
+from repro.pregel import Computation                       # noqa: E402
+
+#: The planted paper-scenario bugs and the rule that must catch each.
+EXPECTED_BUGGY = {
+    "BuggyRandomWalk": "GL007",
+    "BuggyGraphColoring": "GL008",
+}
+
+
+def shipped_computations():
+    for name in sorted(dir(algorithms)):
+        obj = getattr(algorithms, name)
+        if (
+            isinstance(obj, type)
+            and issubclass(obj, Computation)
+            and obj is not Computation
+        ):
+            yield obj
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    args = parser.parse_args(argv)
+
+    reports = []
+    failures = []
+
+    for cls in shipped_computations():
+        report = analyze_computation(cls)
+        reports.append(report)
+        expected = EXPECTED_BUGGY.get(cls.__name__)
+        if expected is not None:
+            if expected not in report.rule_ids():
+                failures.append(
+                    f"{cls.__name__}: expected {expected} to flag the "
+                    f"planted bug, got {report.rule_ids() or 'nothing'}"
+                )
+        elif not report.ok:
+            failures.append(f"{cls.__name__}: unexpected findings")
+
+    for path in sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "*.py"))):
+        for report in analyze_path(path):
+            reports.append(report)
+            if report.has_errors:
+                failures.append(f"{path}: error-severity findings")
+
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in reports], indent=2, default=repr))
+    else:
+        for report in reports:
+            print(report.render_text())
+        print()
+        clean = sum(1 for r in reports if r.ok)
+        print(f"{len(reports)} class(es) linted, {clean} clean")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"SELF-CHECK FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("self-check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

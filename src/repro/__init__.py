@@ -35,6 +35,7 @@ Quickstart::
     print(run.generate_test_code(*run.reader.vertex_records[0].key))
 """
 
+from repro.analysis import AnalysisReport, analyze_computation
 from repro.graft import DebugConfig, DebugRun, debug_run
 from repro.graph import Graph, GraphBuilder
 from repro.pregel import Computation, MasterComputation, PregelEngine, run_computation
@@ -42,6 +43,8 @@ from repro.pregel import Computation, MasterComputation, PregelEngine, run_compu
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisReport",
+    "analyze_computation",
     "DebugConfig",
     "DebugRun",
     "debug_run",

@@ -1,0 +1,65 @@
+"""graft-lint: static analysis for vertex-centric programs.
+
+The paper's Section 7 pitfalls — worker-local state smuggled through
+instance attributes, in-place mutation of captured values, unseeded
+nondeterminism — silently break Graft's capture fidelity and exact replay,
+and an instrumented run only discovers them *after* the fact. This package
+closes that gap the way Palgol's compiler catches vertex-program errors
+ahead of execution: an AST-based analyzer inspects the user's
+``Computation`` class before submission and reports structured findings
+with rule ids, locations, and fix hints.
+
+Usage::
+
+    from repro.analysis import analyze_computation
+
+    report = analyze_computation(MyComputation)
+    if report.has_errors:
+        print(report.render_text())
+
+or from a shell::
+
+    python -m repro lint mypackage.walks:MyComputation --format json
+
+``debug_run`` runs the analyzer automatically as a pre-flight check (warn
+by default; ``strict=True`` refuses error-severity programs before any
+superstep executes), and runtime violations / fidelity divergences report
+the rule id that predicted them (:mod:`repro.analysis.crosslink`).
+"""
+
+from repro.analysis.crosslink import (
+    RUNTIME_LINKS,
+    predicted_findings,
+    prediction_note,
+)
+from repro.analysis.engine import (
+    analyze_computation,
+    analyze_module_source,
+    analyze_path,
+)
+from repro.analysis.findings import (
+    ERROR,
+    INFO,
+    WARNING,
+    AnalysisReport,
+    Finding,
+    GraftLintWarning,
+)
+from repro.analysis.rules import all_rules, rule_catalog
+
+__all__ = [
+    "analyze_computation",
+    "analyze_module_source",
+    "analyze_path",
+    "AnalysisReport",
+    "Finding",
+    "GraftLintWarning",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "all_rules",
+    "rule_catalog",
+    "RUNTIME_LINKS",
+    "predicted_findings",
+    "prediction_note",
+]

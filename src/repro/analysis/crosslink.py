@@ -1,0 +1,56 @@
+"""Cross-linking static findings to runtime evidence.
+
+graft-lint predicts failure classes; the debugger observes their
+instances. This module is the join: given a lint report and a kind of
+runtime evidence — a constraint violation kind, a replay-fidelity
+divergence — it returns the static findings that predicted it, so the
+violations view and the fidelity report can say "GL007 warned about this
+before the run started".
+"""
+
+#: runtime evidence kind -> rule ids whose hazard class produces it.
+RUNTIME_LINKS = {
+    # Replay diverging from the recorded outcome: hidden worker state,
+    # corrupted pre-state, or randomness outside the seeded RNG.
+    "replay_divergence": ("GL001", "GL002", "GL003"),
+    # A message-value constraint violation (e.g. negative walker counts
+    # from a wrapped short, or a send fired after the halt decision).
+    "message": ("GL007", "GL004"),
+    "message_target": ("GL007", "GL004"),
+    # A vertex-value constraint violation: wrapped counters parked on the
+    # vertex, or in-place mutation making the checked value stale.
+    "vertex_value": ("GL007", "GL002"),
+    # A neighborhood constraint violation ("no two adjacent vertices share
+    # a color"): symmetric ties admitted by a non-strict comparison.
+    "neighborhood": ("GL008",),
+    # The engine hitting max_supersteps without convergence.
+    "nontermination": ("GL005",),
+}
+
+
+def predicted_findings(report, evidence_kind):
+    """Findings in ``report`` whose rule predicts ``evidence_kind``.
+
+    ``report`` may be None (no pre-flight analysis ran) — returns ().
+    """
+    if report is None:
+        return ()
+    rule_ids = RUNTIME_LINKS.get(evidence_kind, ())
+    return tuple(f for f in report.findings if f.rule_id in rule_ids)
+
+
+def prediction_note(report, evidence_kind):
+    """One human-readable line linking evidence back to the lint pass.
+
+    Empty string when nothing predicted it.
+    """
+    findings = predicted_findings(report, evidence_kind)
+    if not findings:
+        return ""
+    ids = sorted({f.rule_id for f in findings})
+    locations = ", ".join(
+        f"{f.rule_id}@{f.location()}" for f in findings[:3]
+    )
+    return (
+        f"predicted by static analysis ({', '.join(ids)}): {locations}"
+    )

@@ -1,0 +1,268 @@
+"""The graft-lint rule engine.
+
+Given a ``Computation`` subclass (or raw module source), the engine locates
+the class's AST — following the MRO so inherited ``compute`` methods are
+analyzed with the subclass's overrides in effect — builds one
+:class:`~repro.analysis.scopes.MethodScope` per effective method, resolves
+module- and class-level string constants (aggregator names are usually
+module constants), and runs every registered rule over the resulting
+:class:`ClassContext`. Rules emit :class:`~repro.analysis.findings.Finding`
+objects; the engine returns them as a sorted
+:class:`~repro.analysis.findings.AnalysisReport`.
+
+Two entry points:
+
+- :func:`analyze_computation` — a live class; used by the ``repro lint``
+  CLI on ``module:Class`` targets and by ``debug_run``'s pre-flight check.
+- :func:`analyze_module_source` — raw source text, no import executed;
+  used to lint example scripts (importing them would *run* them).
+"""
+
+import ast
+import inspect
+import sys
+import textwrap
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.scopes import build_method_scope
+
+_REPORT_CACHE = {}
+
+
+class ClassContext:
+    """Everything the rules see about one analyzed class."""
+
+    def __init__(self, class_name, filename, scopes, constants):
+        self.class_name = class_name
+        self.filename = filename
+        #: Effective methods after MRO resolution: name -> MethodScope.
+        self.scopes = scopes
+        #: Resolved string/number constants visible to the class: a merge
+        #: of module-level and class-level simple assignments, name -> value.
+        self.constants = constants
+
+    def scope(self, name):
+        return self.scopes.get(name)
+
+    def iter_scopes(self, include_init=False):
+        for name, scope in self.scopes.items():
+            if name == "__init__" and not include_init:
+                continue
+            yield scope
+
+    def resolve_constant(self, node):
+        """The literal value behind an expression, or None if dynamic.
+
+        Handles ``"phase"`` (a constant) and ``PHASE_AGG`` (a name bound to
+        a constant at module or class level) — the two ways aggregator
+        names are written in practice.
+        """
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.constants.get(node.id)
+        return None
+
+
+def _collect_constants(tree, into):
+    """Record simple ``NAME = <literal>`` assignments from a body."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    into[target.id] = node.value.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.value, ast.Constant
+        ):
+            if isinstance(node.target, ast.Name):
+                into[node.target.id] = node.value.value
+    return into
+
+
+def _class_defs_from_module(tree):
+    return {
+        node.name: node for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+
+
+def _build_context(class_name, mro_class_defs, constants, filename):
+    """Assemble a :class:`ClassContext` from base-to-derived class defs.
+
+    ``mro_class_defs`` is ``[(class_def, defining_name), ...]`` ordered
+    base first, so later (more derived) definitions override earlier ones —
+    exactly Python's attribute resolution.
+    """
+    method_names = set()
+    for class_def, _name in mro_class_defs:
+        for node in class_def.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_names.add(node.name)
+        _collect_constants(class_def, constants)
+
+    scopes = {}
+    for class_def, defining_name in mro_class_defs:
+        for node in class_def.body:
+            if isinstance(node, ast.FunctionDef):
+                scopes[node.name] = build_method_scope(
+                    node, defining_name, filename, method_names
+                )
+    return ClassContext(class_name, filename, scopes, constants)
+
+
+def _run_rules(context, rules=None):
+    from repro.analysis.rules import all_rules
+
+    report = AnalysisReport(class_name=context.class_name,
+                           filename=context.filename)
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(context):
+            report.add(finding)
+    return report.sort()
+
+
+# -- live-class analysis -------------------------------------------------------
+
+
+def analyze_computation(cls, rules=None):
+    """Statically analyze a ``Computation`` subclass; returns a report.
+
+    Inherited methods are included (``BuggyRandomWalk`` is judged with the
+    ``RandomWalk.compute`` it actually runs). Classes whose source cannot
+    be located (built in ``exec``/REPL contexts) come back with
+    ``analyzed=False`` and no findings — the analyzer never blocks a run it
+    cannot see.
+    """
+    if rules is None and cls in _REPORT_CACHE:
+        return _REPORT_CACHE[cls]
+
+    from repro.pregel.computation import Computation
+
+    mro_class_defs = []
+    constants = {}
+    filename = "<unknown>"
+    try:
+        chain = [
+            klass
+            for klass in cls.__mro__
+            if klass not in (Computation, object)
+            and issubclass(klass, Computation)
+        ]
+        for klass in reversed(chain):  # base first, derived overrides last
+            source, start_line = inspect.getsourcelines(klass)
+            tree = ast.parse(textwrap.dedent("".join(source)))
+            class_def = tree.body[0]
+            if not isinstance(class_def, ast.ClassDef):
+                continue
+            ast.increment_lineno(class_def, start_line - 1)
+            klass_file = inspect.getsourcefile(klass) or "<unknown>"
+            filename = klass_file if klass is cls else filename
+            module = sys.modules.get(klass.__module__)
+            if module is not None:
+                _collect_constants(_module_tree(module), constants)
+            mro_class_defs.append((class_def, klass.__name__))
+        if filename == "<unknown>" and mro_class_defs:
+            filename = inspect.getsourcefile(cls) or "<unknown>"
+    except (OSError, TypeError, SyntaxError):
+        return AnalysisReport(class_name=getattr(cls, "__name__", repr(cls)),
+                              analyzed=False)
+    if not mro_class_defs:
+        return AnalysisReport(class_name=cls.__name__, analyzed=False)
+
+    context = _build_context(cls.__name__, mro_class_defs, constants, filename)
+    report = _run_rules(context, rules)
+    if rules is None:
+        _REPORT_CACHE[cls] = report
+    return report
+
+
+_MODULE_TREE_CACHE = {}
+
+
+def _module_tree(module):
+    name = module.__name__
+    if name not in _MODULE_TREE_CACHE:
+        try:
+            _MODULE_TREE_CACHE[name] = ast.parse(inspect.getsource(module))
+        except (OSError, TypeError, SyntaxError):
+            _MODULE_TREE_CACHE[name] = ast.parse("")
+    return _MODULE_TREE_CACHE[name]
+
+
+# -- source-level analysis -----------------------------------------------------
+
+#: Base names that mark a class as a vertex program when analyzing raw
+#: source: the framework base itself plus the shipped algorithm classes
+#: users commonly extend.
+_KNOWN_COMPUTATION_BASES = {"Computation"}
+
+
+def _computation_class_names(tree):
+    """Names of classes in ``tree`` that (transitively) look like vertex
+    programs — they extend ``Computation`` or another such class."""
+    class_defs = _class_defs_from_module(tree)
+    known = set(_KNOWN_COMPUTATION_BASES)
+    try:
+        import repro.algorithms as _algorithms
+        from repro.pregel.computation import Computation
+
+        for name in dir(_algorithms):
+            obj = getattr(_algorithms, name)
+            if isinstance(obj, type) and issubclass(obj, Computation):
+                known.add(name)
+    except ImportError:  # pragma: no cover - algorithms always importable here
+        pass
+
+    found = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, class_def in class_defs.items():
+            if name in found:
+                continue
+            for base in class_def.bases:
+                base_name = base.attr if isinstance(base, ast.Attribute) else (
+                    base.id if isinstance(base, ast.Name) else None
+                )
+                if base_name in known or base_name in found:
+                    found.add(name)
+                    changed = True
+                    break
+    return [name for name in class_defs if name in found], class_defs
+
+
+def analyze_module_source(source, filename="<string>", rules=None):
+    """Analyze every vertex-program class in ``source`` without importing.
+
+    Returns ``[AnalysisReport, ...]``, one per detected class. Inheritance
+    is followed *within the module*; bases defined elsewhere contribute
+    nothing (their methods are not visible in this source).
+    """
+    tree = ast.parse(source, filename=filename)
+    constants_base = _collect_constants(tree, {})
+    names, class_defs = _computation_class_names(tree)
+
+    reports = []
+    for name in names:
+        chain = []
+        cursor = class_defs[name]
+        while cursor is not None:
+            chain.append(cursor)
+            parent = None
+            for base in cursor.bases:
+                if isinstance(base, ast.Name) and base.id in class_defs:
+                    parent = class_defs[base.id]
+                    break
+            cursor = parent
+        mro_class_defs = [(cd, cd.name) for cd in reversed(chain)]
+        context = _build_context(
+            name, mro_class_defs, dict(constants_base), filename
+        )
+        reports.append(_run_rules(context, rules))
+    return reports
+
+
+def analyze_path(path, rules=None):
+    """Analyze a ``.py`` file on disk (see :func:`analyze_module_source`)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return analyze_module_source(handle.read(), filename=str(path),
+                                     rules=rules)

@@ -1,0 +1,129 @@
+"""Findings: what graft-lint reports.
+
+A :class:`Finding` is one rule hit — rule id, severity, location, message,
+and a fix hint — and an :class:`AnalysisReport` is everything the analyzer
+concluded about one ``Computation`` class. Reports render as plain text
+(one ``file:line: [RULE] message`` line per finding, the familiar linter
+shape) or as JSON for CI pipelines.
+"""
+
+import json
+from dataclasses import asdict, dataclass, field
+
+# Severities, most severe first. ``error`` findings are capture/replay
+# correctness hazards (Graft's guarantees silently break); ``warning``
+# findings are strong hints of a vertex-program bug; ``info`` is advice.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+class GraftLintWarning(UserWarning):
+    """Emitted by :func:`repro.graft.debug_run` when the pre-flight static
+    analysis finds error-severity hazards but ``strict`` is off."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis rule hit."""
+
+    rule_id: str          # "GL001" ... "GL008"
+    severity: str         # ERROR / WARNING / INFO
+    message: str          # what is wrong, concretely
+    class_name: str       # the Computation subclass analyzed
+    method: str           # method the finding anchors to
+    filename: str         # source file (or "<string>")
+    line: int             # 1-based line in `filename`
+    hint: str = ""        # how to fix it
+
+    def location(self):
+        return f"{self.filename}:{self.line}"
+
+    def render(self):
+        text = (
+            f"{self.location()}: [{self.rule_id}] {self.severity}: "
+            f"{self.class_name}.{self.method}: {self.message}"
+        )
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class AnalysisReport:
+    """Every finding the analyzer produced for one class."""
+
+    class_name: str
+    filename: str = "<unknown>"
+    findings: list = field(default_factory=list)
+    #: False when the class source could not be located (dynamically built
+    #: classes, exec'd code); such classes are skipped, never failed.
+    analyzed: bool = True
+
+    def add(self, finding):
+        self.findings.append(finding)
+
+    def sort(self):
+        """Order findings by severity, then location — stable output."""
+        self.findings.sort(
+            key=lambda f: (_SEVERITY_ORDER.get(f.severity, 9), f.line, f.rule_id)
+        )
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def ok(self):
+        """True when nothing at all was flagged."""
+        return not self.findings
+
+    @property
+    def errors(self):
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self):
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def has_errors(self):
+        return bool(self.errors)
+
+    def rule_ids(self):
+        """The distinct rule ids hit, sorted."""
+        return sorted({f.rule_id for f in self.findings})
+
+    def by_rule(self, rule_id):
+        return [f for f in self.findings if f.rule_id == rule_id]
+
+    # -- rendering ----------------------------------------------------------
+
+    def summary(self):
+        if not self.analyzed:
+            return f"{self.class_name}: source unavailable, not analyzed"
+        if self.ok:
+            return f"{self.class_name}: clean (no findings)"
+        return (
+            f"{self.class_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) "
+            f"[{', '.join(self.rule_ids())}]"
+        )
+
+    def render_text(self):
+        lines = [self.summary()]
+        lines.extend(finding.render() for finding in self.findings)
+        return "\n".join(lines)
+
+    def to_dict(self):
+        return {
+            "class_name": self.class_name,
+            "filename": self.filename,
+            "analyzed": self.analyzed,
+            "ok": self.ok,
+            "findings": [asdict(f) for f in self.findings],
+        }
+
+    def render_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, default=repr)

@@ -1,0 +1,56 @@
+"""The graft-lint rule pack.
+
+Each rule lives in its own module exposing ``RULE_ID``, ``SEVERITY``,
+``TITLE``, and ``check(context) -> iterable[Finding]``. The catalog (with
+before/after examples) is documented in ``docs/analysis.md``.
+
+Summary:
+
+========  ========  =====================================================
+rule      severity  catches
+========  ========  =====================================================
+GL001     error     worker-local state smuggled through instance attrs
+GL002     error     in-place mutation of a vertex value or message
+GL003     error     unseeded randomness / wall-clock nondeterminism
+GL004     warning   ``send_message`` reachable after ``vote_to_halt``
+GL005     warning   no halt path and no superstep bound (may never end)
+GL006     warning   aggregator read & written in the same ``compute``
+GL007     warning   fixed-width counters that wrap silently (Scenario 4.2)
+GL008     warning   non-strict min/max comparison admits ties (Scenario 4.1)
+========  ========  =====================================================
+"""
+
+from repro.analysis.rules import (
+    gl001_worker_local_state,
+    gl002_inplace_mutation,
+    gl003_unseeded_randomness,
+    gl004_send_after_halt,
+    gl005_no_halt_path,
+    gl006_aggregator_read_write,
+    gl007_fixed_width_overflow,
+    gl008_nonstrict_tiebreak,
+)
+
+_RULE_MODULES = (
+    gl001_worker_local_state,
+    gl002_inplace_mutation,
+    gl003_unseeded_randomness,
+    gl004_send_after_halt,
+    gl005_no_halt_path,
+    gl006_aggregator_read_write,
+    gl007_fixed_width_overflow,
+    gl008_nonstrict_tiebreak,
+)
+
+
+def all_rules():
+    """The registered rule modules, in rule-id order."""
+    return _RULE_MODULES
+
+
+def rule_catalog():
+    """``{rule_id: (severity, title)}`` for docs and reporting."""
+    return {
+        module.RULE_ID: (module.SEVERITY, module.TITLE)
+        for module in _RULE_MODULES
+    }

@@ -1,0 +1,70 @@
+"""GL001: worker-local state smuggled through instance attributes.
+
+One ``Computation`` instance exists per *worker*, not per vertex, so an
+instance attribute written during ``compute`` or a superstep hook and read
+back in ``compute`` is shared, partition-dependent scratch space. It is
+invisible to Graft's capture (the paper's Section 7 limitation): replay
+rebuilds the context but not the attribute, so ``verify_run_fidelity``
+diverges — and results silently depend on worker count and vertex order.
+
+``__init__`` is exempt: ``self.steps = steps`` is how configuration
+arrives, and configuration never changes during a run.
+"""
+
+from repro.analysis.findings import ERROR, Finding
+
+RULE_ID = "GL001"
+SEVERITY = ERROR
+TITLE = "worker-local instance-attribute state breaks capture and replay"
+
+#: Where a write constitutes run-time state (vs. construction-time config).
+_STATEFUL_METHODS = ("compute", "pre_superstep", "post_superstep")
+
+
+def check(context):
+    written = {}   # attr -> (method_name, line) of first run-time write
+    for name in _STATEFUL_METHODS:
+        scope = context.scope(name)
+        if scope is None:
+            continue
+        for attr, lines in scope.attr_writes.items():
+            written.setdefault(attr, (scope, min(lines)))
+
+    # Helper methods are reachable from compute; writes there count too.
+    for scope in context.iter_scopes():
+        if scope.name in _STATEFUL_METHODS or scope.name == "__init__":
+            continue
+        for attr, lines in scope.attr_writes.items():
+            written.setdefault(attr, (scope, min(lines)))
+
+    if not written:
+        return
+
+    for scope in context.iter_scopes():
+        if scope.name == "__init__":
+            continue
+        for attr, lines in scope.attr_reads.items():
+            if attr not in written:
+                continue
+            write_scope, write_line = written[attr]
+            yield Finding(
+                rule_id=RULE_ID,
+                severity=SEVERITY,
+                message=(
+                    f"instance attribute `self.{attr}` is written at "
+                    f"run time ({write_scope.name}:{write_line}) and read in "
+                    f"`{scope.name}`; Computation instances are per-worker, "
+                    "so this state is shared across vertices, invisible to "
+                    "capture, and breaks exact replay"
+                ),
+                class_name=context.class_name,
+                method=scope.name,
+                filename=scope.filename,
+                line=min(lines),
+                hint=(
+                    "keep per-vertex state in the vertex value "
+                    "(ctx.set_value) and cross-vertex state in aggregators; "
+                    "set configuration only in __init__"
+                ),
+            )
+            break  # one finding per attribute-reading method is enough

@@ -1,0 +1,105 @@
+"""GL002: in-place mutation of a vertex value or received message.
+
+Graft records the *pre-compute* vertex value by reference before the user
+code runs (the caveat documented in the instrumenter): a ``compute()`` that
+mutates the value object in place — ``ctx.value.total += 1``,
+``ctx.value.items.append(x)`` — corrupts the recorded pre-state, so the
+capture shows the wrong "before" and replay verifies against garbage.
+Mutating a received message (or the inbox list itself) is the same hazard
+on the sender's recorded outcome. The fix is always the same: build a new
+value and call ``ctx.set_value(new)``.
+"""
+
+import ast
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.scopes import root_path
+
+RULE_ID = "GL002"
+SEVERITY = ERROR
+TITLE = "in-place mutation of a vertex value or message corrupts capture"
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "add", "discard", "update", "setdefault", "popitem",
+}
+
+
+def _mutation_roots(scope):
+    """Dotted prefixes that denote the vertex value or a message."""
+    roots = set()
+    if scope.ctx_name is not None:
+        roots.add(f"{scope.ctx_name}.value")
+    if scope.messages_name is not None:
+        roots.add(scope.messages_name)
+    roots.update(scope.value_aliases)
+    roots.update(scope.message_aliases)
+    return roots
+
+
+def _hits_root(path, roots):
+    if path is None:
+        return None
+    for root in roots:
+        if path == root or path.startswith(root + "."):
+            return root
+    return None
+
+
+def check(context):
+    for scope in context.iter_scopes():
+        roots = _mutation_roots(scope)
+        if not roots:
+            continue
+        for node in ast.walk(scope.node):
+            finding = _check_node(context, scope, roots, node)
+            if finding is not None:
+                yield finding
+
+
+def _check_node(context, scope, roots, node):
+    # ctx.value.attr = x / ctx.value[k] = x / del ctx.value[k], and the
+    # same through aliases and messages.
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+        targets = node.targets if isinstance(node, ast.Assign) else (
+            [node.target] if isinstance(node, ast.AugAssign) else node.targets
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                continue  # rebinding a local is not mutation
+            root = _hits_root(root_path(target), roots)
+            if root is not None:
+                return _finding(context, scope, target.lineno, root,
+                                "assigns into")
+    # ctx.value.items.append(x) and friends.
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATORS:
+            root = _hits_root(root_path(node.func.value), roots)
+            if root is not None:
+                return _finding(context, scope, node.lineno, root,
+                                f"calls .{node.func.attr}() on")
+    return None
+
+
+def _finding(context, scope, line, root, verb):
+    kind = (
+        "the received messages"
+        if root == scope.messages_name or root in scope.message_aliases
+        else "the vertex value"
+    )
+    return Finding(
+        rule_id=RULE_ID,
+        severity=SEVERITY,
+        message=(
+            f"`{scope.name}` {verb} `{root}`, mutating {kind} in place; "
+            "Graft records the pre-compute value by reference, so the "
+            "captured context is corrupted and replay cannot be trusted"
+        ),
+        class_name=context.class_name,
+        method=scope.name,
+        filename=scope.filename,
+        line=line,
+        hint="treat values and messages as immutable: build a new object "
+             "and apply it with ctx.set_value(new_value)",
+    )

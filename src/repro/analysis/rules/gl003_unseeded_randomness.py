@@ -1,0 +1,76 @@
+"""GL003: unseeded randomness or wall-clock reads inside a vertex program.
+
+Graft replays a captured ``compute()`` bit-for-bit only because every
+source of randomness is derived from ``(run_seed, vertex_id, superstep)``
+— the context's seeded ``ctx.rng``. A call into the global ``random``
+module (or ``uuid``, ``secrets``, ``os.urandom``, or the wall clock) is
+outside that derivation: the original run and the replay draw different
+numbers, replay fidelity is gone, and two "identical" runs diverge.
+"""
+
+from repro.analysis.findings import ERROR, Finding
+
+RULE_ID = "GL003"
+SEVERITY = ERROR
+TITLE = "nondeterminism outside the seeded ctx.rng breaks exact replay"
+
+#: module -> banned attributes (None = every attribute is a hazard).
+_BANNED = {
+    "random": None,
+    "uuid": None,
+    "secrets": None,
+    "time": {
+        "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+        "perf_counter_ns", "process_time", "process_time_ns", "clock",
+    },
+    "os": {"urandom", "getrandom"},
+}
+
+#: bare names that resolve to the banned modules' functions when imported
+#: with ``from random import ...`` in user code.
+_BANNED_BARE = {
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "getrandbits", "uuid1", "uuid4",
+    "token_bytes", "token_hex", "urandom", "time_ns",
+}
+
+
+def check(context):
+    for scope in context.iter_scopes():
+        for call in scope.calls:
+            hazard = _hazard(call.target, scope)
+            if hazard is not None:
+                yield Finding(
+                    rule_id=RULE_ID,
+                    severity=SEVERITY,
+                    message=(
+                        f"`{scope.name}` calls `{call.target}()`: {hazard} "
+                        "is outside the seeded per-(vertex, superstep) RNG, "
+                        "so the captured run cannot be replayed exactly"
+                    ),
+                    class_name=context.class_name,
+                    method=scope.name,
+                    filename=scope.filename,
+                    line=call.line,
+                    hint=(
+                        "draw randomness from ctx.rng (seeded from the run "
+                        "seed, vertex id, and superstep) or "
+                        "repro.common.rng.derive_rng; never read the clock "
+                        "in compute()"
+                    ),
+                )
+
+
+def _hazard(target, scope):
+    parts = target.split(".")
+    head = parts[0]
+    # Calls through the context/self are fine (ctx.rng.choice, ctx.random).
+    if head in (scope.ctx_name, scope.self_name):
+        return None
+    if head in _BANNED and len(parts) > 1:
+        banned_attrs = _BANNED[head]
+        if banned_attrs is None or parts[1] in banned_attrs:
+            return f"the global `{head}` module"
+    if len(parts) == 1 and head in _BANNED_BARE:
+        return f"`{head}` (an unseeded stdlib function)"
+    return None

@@ -1,0 +1,102 @@
+"""GL004: ``send_message`` reachable after ``vote_to_halt`` on a path.
+
+Voting to halt and then sending reads like "I am done" followed by more
+work. Pregel does deliver the message (and it will re-activate the
+target), but the pattern almost always means the author believed the halt
+ends the method — the classic source of one-extra-superstep bugs. The
+analysis is path-local: a halt that dominates a later send in the same
+statement sequence (including sends nested in loops or branches below it)
+is flagged; halts inside one branch do not taint the other.
+"""
+
+import ast
+
+from repro.analysis.findings import WARNING, Finding
+
+RULE_ID = "GL004"
+SEVERITY = WARNING
+TITLE = "message send reachable after vote_to_halt on the same path"
+
+_SEND_NAMES = ("send_message", "send_message_to_all_neighbors")
+
+
+def check(context):
+    for scope in context.iter_scopes():
+        if scope.ctx_name is None:
+            continue
+        yield from _scan_block(context, scope, scope.node.body, halted=False)
+
+
+def _scan_block(context, scope, body, halted):
+    """Linear scan of one statement block; returns findings generated.
+
+    ``halted`` is True when every path into this block has already voted to
+    halt. Branch bodies are scanned with the inherited flag; a halt inside
+    a branch does not mark the code after the branch (the other arm may not
+    have halted).
+    """
+    for stmt in body:
+        if halted:
+            for call, name in _calls_in(stmt, scope):
+                if name in _SEND_NAMES:
+                    yield Finding(
+                        rule_id=RULE_ID,
+                        severity=SEVERITY,
+                        message=(
+                            f"`{scope.name}` calls "
+                            f"`{scope.ctx_name}.{name}()` after "
+                            f"`{scope.ctx_name}.vote_to_halt()` on the same "
+                            "path; the message still sends and will "
+                            "re-activate its target next superstep"
+                        ),
+                        class_name=context.class_name,
+                        method=scope.name,
+                        filename=scope.filename,
+                        line=call.lineno,
+                        hint=(
+                            "send first and halt last, or return right "
+                            "after vote_to_halt() if the method is done"
+                        ),
+                    )
+                    halted = False  # one finding per halt..send run
+                    break
+        if _is_halt_stmt(stmt, scope):
+            halted = True
+        elif isinstance(stmt, ast.Return):
+            halted = False
+        elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.Try, ast.With)):
+            for block in _sub_blocks(stmt):
+                yield from _scan_block(context, scope, block, halted)
+
+
+def _sub_blocks(stmt):
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if block:
+            yield block
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body
+
+
+def _is_halt_stmt(stmt, scope):
+    """True for a bare ``ctx.vote_to_halt()`` statement."""
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == "vote_to_halt"
+        and isinstance(stmt.value.func.value, ast.Name)
+        and stmt.value.func.value.id == scope.ctx_name
+    )
+
+
+def _calls_in(stmt, scope):
+    """``(call_node, method_name)`` for ctx-method calls anywhere in stmt."""
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == scope.ctx_name
+        ):
+            yield node, node.func.attr

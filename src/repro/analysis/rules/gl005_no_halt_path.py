@@ -1,0 +1,66 @@
+"""GL005: no reachable halt and no superstep bound — likely runs forever.
+
+A Pregel computation ends when every vertex halts (and no messages are in
+flight) or when something external stops it. A vertex program with no
+``vote_to_halt()`` anywhere, no branch on the superstep number, and no
+aggregator traffic (a master computation can halt the job through
+aggregators, like the tolerance-driven PageRank master) has no visible
+termination mechanism at all — the MWM infinite-loop scenario (Section
+4.3) is exactly what running such a program feels like.
+"""
+
+import ast
+
+from repro.analysis.findings import WARNING, Finding
+
+RULE_ID = "GL005"
+SEVERITY = WARNING
+TITLE = "no vote_to_halt, superstep bound, or aggregator-driven halt"
+
+
+def check(context):
+    compute = context.scope("compute")
+    if compute is None:
+        return
+
+    superstep_bounded = False
+    for scope in context.iter_scopes():
+        if scope.calls_to("vote_to_halt"):
+            return  # some path can halt
+        if scope.ctx_calls("aggregate", "aggregated_value"):
+            return  # a master computation can drive the halt
+        if _compares_superstep(scope):
+            superstep_bounded = True
+    if superstep_bounded:
+        return
+
+    yield Finding(
+        rule_id=RULE_ID,
+        severity=SEVERITY,
+        message=(
+            f"`{context.class_name}` never calls vote_to_halt(), never "
+            "branches on ctx.superstep, and exchanges no aggregator values; "
+            "nothing visible can terminate the computation"
+        ),
+        class_name=context.class_name,
+        method="compute",
+        filename=compute.filename,
+        line=compute.line,
+        hint=(
+            "halt converged vertices with ctx.vote_to_halt(), bound the "
+            "run on ctx.superstep, or have a master computation halt the "
+            "job through an aggregator (and pass max_supersteps= as a "
+            "safety net)"
+        ),
+    )
+
+
+def _compares_superstep(scope):
+    """True when any comparison in the method involves ``.superstep``."""
+    for node in ast.walk(scope.node):
+        if not isinstance(node, ast.Compare):
+            continue
+        for operand in [node.left, *node.comparators]:
+            if isinstance(operand, ast.Attribute) and operand.attr == "superstep":
+                return True
+    return False

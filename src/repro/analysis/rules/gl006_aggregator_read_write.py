@@ -1,0 +1,66 @@
+"""GL006: reading an aggregator the same ``compute`` writes.
+
+Aggregator semantics are barrier-delayed: ``ctx.aggregate(name, x)``
+contributes to the value visible *next* superstep, while
+``ctx.aggregated_value(name)`` reads the merge from the *previous* one.
+Code that does both with the same name in one ``compute`` usually expects
+read-your-write semantics it will never get — the value read is one
+superstep stale, which surfaces as off-by-one phase bugs that look
+nondeterministic under different worker counts.
+"""
+
+from repro.analysis.findings import WARNING, Finding
+
+RULE_ID = "GL006"
+SEVERITY = WARNING
+TITLE = "aggregator read and written in the same compute (stale read)"
+
+
+def _aggregator_names(context, calls):
+    """``{name: first_line}`` for resolvable aggregator-name arguments."""
+    names = {}
+    for call in calls:
+        if not call.node.args:
+            continue
+        name = context.resolve_constant(call.node.args[0])
+        if name is not None and name not in names:
+            names[name] = call.line
+    return names
+
+
+def check(context):
+    reads = {}
+    writes = {}
+    for scope in context.iter_scopes():
+        for name, line in _aggregator_names(
+            context, scope.ctx_calls("aggregated_value")
+        ).items():
+            reads.setdefault(name, (scope, line))
+        for name, line in _aggregator_names(
+            context, scope.ctx_calls("aggregate")
+        ).items():
+            writes.setdefault(name, (scope, line))
+
+    for name in sorted(set(reads) & set(writes), key=repr):
+        read_scope, read_line = reads[name]
+        write_scope, write_line = writes[name]
+        yield Finding(
+            rule_id=RULE_ID,
+            severity=SEVERITY,
+            message=(
+                f"aggregator {name!r} is read "
+                f"({read_scope.name}:{read_line}) and written "
+                f"({write_scope.name}:{write_line}) by the same vertex "
+                "program; the read returns the previous superstep's merge, "
+                "never this superstep's contributions"
+            ),
+            class_name=context.class_name,
+            method=read_scope.name,
+            filename=read_scope.filename,
+            line=read_line,
+            hint=(
+                "split the read and the write across phases (a master "
+                "computation switching a phase aggregator is the standard "
+                "pattern), or accept the one-superstep delay explicitly"
+            ),
+        )

@@ -1,0 +1,51 @@
+"""GL007: fixed-width counters that wrap around silently (Scenario 4.2).
+
+The paper's random-walk bug in one rule: counters and messages declared as
+16-bit shorts "to optimize the memory and network I/O" wrap past 32767 and
+a vertex sends a *negative* number of walkers. Python code using this
+library's Java-semantics types (``Short16``, ``Int32``, ``Long64``) inside
+a vertex program inherits exactly that failure mode — fine when the range
+is provably sufficient, silent corruption when it is not. The rule flags
+each construction site so the bound is a conscious decision.
+"""
+
+from repro.analysis.findings import WARNING, Finding
+
+RULE_ID = "GL007"
+SEVERITY = WARNING
+TITLE = "fixed-width integer values wrap silently past their range"
+
+_FIXED_WIDTH_TYPES = {
+    "Short16": 15,
+    "Int32": 31,
+    "Long64": 63,
+    "Byte8": 7,
+}
+
+
+def check(context):
+    for scope in context.iter_scopes(include_init=True):
+        for call in scope.calls:
+            type_name = call.target.rsplit(".", 1)[-1]
+            if type_name not in _FIXED_WIDTH_TYPES:
+                continue
+            bits = _FIXED_WIDTH_TYPES[type_name]
+            yield Finding(
+                rule_id=RULE_ID,
+                severity=SEVERITY,
+                message=(
+                    f"`{scope.name}` builds a {type_name} (wraps past "
+                    f"2^{bits} - 1 with Java semantics); a counter or "
+                    "message exceeding the range silently turns negative — "
+                    "the paper's Scenario 4.2 bug"
+                ),
+                class_name=context.class_name,
+                method=scope.name,
+                filename=scope.filename,
+                line=call.line,
+                hint=(
+                    "use plain (unbounded) ints unless the range is proven, "
+                    "and guard the run with a non-negative message "
+                    "constraint (NonNegativeMessages) to catch wrap-around"
+                ),
+            )

@@ -1,0 +1,59 @@
+"""GL008: a non-strict min/max comparison admits ties (Scenario 4.1).
+
+Symmetric decisions — "I win if my priority beats every neighbor's" — must
+break ties deterministically, or two adjacent vertices drawing the same
+priority both win. The paper's graph-coloring bug is the canonical case:
+``value.priority <= min(neighbor_priorities)`` lets both endpoints of a
+tie enter the independent set, and they end up with the same color. The
+rule flags ``<=`` / ``>=`` comparisons against a ``min(...)`` / ``max(...)``
+aggregate inside a vertex program; a strict comparison on a
+``(priority, vertex_id)`` tuple is the standard fix.
+"""
+
+import ast
+
+from repro.analysis.findings import WARNING, Finding
+
+RULE_ID = "GL008"
+SEVERITY = WARNING
+TITLE = "non-strict comparison against min()/max() admits symmetric ties"
+
+
+def _is_min_max_call(node):
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("min", "max")
+    )
+
+
+def check(context):
+    for scope in context.iter_scopes():
+        for node in ast.walk(scope.node):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            non_strict = any(
+                isinstance(op, (ast.LtE, ast.GtE)) for op in node.ops
+            )
+            if not non_strict or not any(map(_is_min_max_call, operands)):
+                continue
+            yield Finding(
+                rule_id=RULE_ID,
+                severity=SEVERITY,
+                message=(
+                    f"`{scope.name}` compares with `<=`/`>=` against a "
+                    "min()/max() aggregate; two vertices drawing the same "
+                    "extreme both pass, so a symmetric decision (MIS entry, "
+                    "leader election) admits both endpoints of a tie"
+                ),
+                class_name=context.class_name,
+                method=scope.name,
+                filename=scope.filename,
+                line=node.lineno,
+                hint=(
+                    "compare strictly on a tuple that includes the vertex "
+                    "id, e.g. `(priority, id(self)) < min((p, id) for ...)` "
+                    "— the correct GC breaks ties exactly this way"
+                ),
+            )

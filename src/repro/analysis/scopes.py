@@ -1,0 +1,209 @@
+"""Per-method scopes: the facts rules match against.
+
+The engine walks each method of a ``Computation`` class once and distills a
+:class:`MethodScope` — which parameter is the compute context, which is the
+message list, which ``self.*`` attributes are read and written, every call
+with its dotted target, and which local names alias the vertex value or a
+message. Rules then work on these precomputed scopes instead of re-walking
+raw AST.
+"""
+
+import ast
+from dataclasses import dataclass, field
+
+#: Methods whose bodies the engine analyzes. ``__init__`` is configuration
+#: space (``self.steps = steps`` is how parameters arrive), so it is scoped
+#: but exempt from worker-local-state rules.
+LIFECYCLE_METHODS = (
+    "compute",
+    "pre_superstep",
+    "post_superstep",
+    "initial_value",
+    "default_vertex_value",
+)
+
+#: Parameter names treated as vertex-value / message aliases in helper
+#: methods (the ``self._select(ctx, value)`` idiom the shipped GC uses).
+VALUE_PARAM_NAMES = ("value", "vertex_value", "old_value")
+MESSAGE_PARAM_NAMES = ("message", "msg")
+
+
+def dotted_name(node):
+    """``a.b.c`` for a Name/Attribute chain, or None for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def root_path(node):
+    """The Name/Attribute chain under an lvalue, skipping subscripts.
+
+    ``ctx.value.counts[k]`` -> ``"ctx.value.counts"``; used to decide
+    whether a mutation ultimately lands inside the vertex value or a
+    message.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return dotted_name(node)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a method body."""
+
+    target: str        # dotted target, e.g. "ctx.send_message", "min"
+    node: ast.Call
+    line: int
+
+
+@dataclass
+class MethodScope:
+    """Everything the rules need to know about one method."""
+
+    name: str
+    class_name: str        # the class that *defines* the method
+    node: object           # ast.FunctionDef
+    filename: str
+    self_name: str = "self"
+    ctx_name: str = None
+    messages_name: str = None
+    attr_writes: dict = field(default_factory=dict)   # attr -> [lineno, ...]
+    attr_reads: dict = field(default_factory=dict)    # attr -> [lineno, ...]
+    calls: list = field(default_factory=list)         # [CallSite, ...]
+    value_aliases: set = field(default_factory=set)   # names bound to ctx.value
+    message_aliases: set = field(default_factory=set) # names bound to a message
+
+    @property
+    def line(self):
+        return self.node.lineno
+
+    def calls_to(self, *suffixes):
+        """Call sites whose target is ``ctx.<suffix>`` or ``<suffix>``."""
+        hits = []
+        for call in self.calls:
+            tail = call.target.rsplit(".", 1)[-1]
+            if tail in suffixes:
+                hits.append(call)
+        return hits
+
+    def ctx_calls(self, *names):
+        """Call sites of ``<ctx>.<name>(...)`` for this method's ctx param."""
+        if self.ctx_name is None:
+            return []
+        wanted = {f"{self.ctx_name}.{name}" for name in names}
+        return [call for call in self.calls if call.target in wanted]
+
+
+def _is_ctx_value(node, ctx_name):
+    return (
+        ctx_name is not None
+        and isinstance(node, ast.Attribute)
+        and node.attr == "value"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == ctx_name
+    )
+
+
+def build_method_scope(func_node, class_name, filename, method_names):
+    """Distill one ``ast.FunctionDef`` into a :class:`MethodScope`.
+
+    ``method_names`` is the set of method names defined anywhere on the
+    class (so ``self._helper`` reads are not mistaken for state reads).
+    """
+    args = [a.arg for a in func_node.args.args]
+    scope = MethodScope(
+        name=func_node.name,
+        class_name=class_name,
+        node=func_node,
+        filename=filename,
+        self_name=args[0] if args else "self",
+    )
+    # compute(self, ctx, messages) binds positionally; helpers bind by the
+    # conventional parameter names.
+    if func_node.name == "compute":
+        if len(args) > 1:
+            scope.ctx_name = args[1]
+        if len(args) > 2:
+            scope.messages_name = args[2]
+    else:
+        for arg in args[1:]:
+            if arg == "ctx" and scope.ctx_name is None:
+                scope.ctx_name = arg
+            elif arg == "messages" and scope.messages_name is None:
+                scope.messages_name = arg
+        for arg in args[1:]:
+            if arg in VALUE_PARAM_NAMES:
+                scope.value_aliases.add(arg)
+            elif arg in MESSAGE_PARAM_NAMES:
+                scope.message_aliases.add(arg)
+
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == scope.self_name and node.attr not in method_names:
+                book = (
+                    scope.attr_writes
+                    if isinstance(node.ctx, (ast.Store, ast.Del))
+                    else scope.attr_reads
+                )
+                book.setdefault(node.attr, []).append(node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            # `self.x += 1` stores *and* loads the attribute.
+            target = node.target
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == scope.self_name
+                and target.attr not in method_names
+            ):
+                scope.attr_reads.setdefault(target.attr, []).append(target.lineno)
+        elif isinstance(node, ast.Call):
+            target = dotted_name(node.func)
+            if target is not None:
+                scope.calls.append(CallSite(target, node, node.lineno))
+
+    # Alias tracking needs source order (a rebinding clears the alias), so
+    # it runs over statements in order rather than ast.walk's BFS.
+    for stmt in iter_statements(func_node.body):
+        if isinstance(stmt, ast.Assign):
+            _track_aliases(scope, stmt)
+        elif isinstance(stmt, ast.For):
+            _track_loop_aliases(scope, stmt)
+    return scope
+
+
+def iter_statements(body):
+    """Yield every statement under ``body`` in source order."""
+    for stmt in body:
+        yield stmt
+        for attr in ("body", "orelse", "finalbody"):
+            yield from iter_statements(getattr(stmt, attr, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield from iter_statements(handler.body)
+
+
+def _track_aliases(scope, assign):
+    """``v = ctx.value`` makes ``v`` a value alias; rebinding clears it."""
+    for target in assign.targets:
+        if not isinstance(target, ast.Name):
+            continue
+        if _is_ctx_value(assign.value, scope.ctx_name):
+            scope.value_aliases.add(target.id)
+        else:
+            scope.value_aliases.discard(target.id)
+            scope.message_aliases.discard(target.id)
+
+
+def _track_loop_aliases(scope, for_node):
+    """``for m in messages:`` makes ``m`` a message alias."""
+    if (
+        isinstance(for_node.target, ast.Name)
+        and scope.messages_name is not None
+        and isinstance(for_node.iter, ast.Name)
+        and for_node.iter.id == scope.messages_name
+    ):
+        scope.message_aliases.add(for_node.target.id)

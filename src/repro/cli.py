@@ -9,9 +9,18 @@ The workflows a Giraph user would drive from a terminal::
         --capture-random 10 --neighbors --view tabular --superstep last
     python -m repro debug --algorithm rw-buggy --dataset web-BS \\
         --nonneg-messages --view violations
+    python -m repro lint repro.algorithms:BuggyRandomWalk --format json
+    python -m repro lint repro.algorithms examples/quickstart.py
     python -m repro validate --dataset soc-Epinions --vertices 500
 
-Exit status is 0 on success, 1 on a failed computation or invalid input.
+Exit status (documented for CI gating):
+
+- 0 — success, and (for ``debug``) no constraint violations captured;
+- 1 — failed computation, invalid input, or (for ``lint``) error-severity
+  findings / unresolvable target;
+- 2 — the run or analysis itself succeeded but found problems: ``debug``
+  captured constraint violations, or ``lint`` produced warning-severity
+  findings only.
 """
 
 import argparse
@@ -251,6 +260,13 @@ def _config_for(args):
     return _CliDebugConfig(args)
 
 
+def _debug_status(run):
+    """debug exit code: 0 clean, 1 failed, 2 violations captured (CI gate)."""
+    if not run.ok:
+        return 1
+    return 2 if run.violations() else 0
+
+
 def cmd_debug(args, out):
     registry = _algorithm_registry()
     _description, factory_builder, kwargs_builder = registry[args.algorithm]
@@ -259,6 +275,7 @@ def cmd_debug(args, out):
         factory_builder(args),
         graph,
         _config_for(args),
+        strict=args.strict,
         **_engine_kwargs(args, kwargs_builder(args)),
     )
     out(run.summary())
@@ -266,7 +283,7 @@ def cmd_debug(args, out):
         out(f"computation FAILED: {run.failure}")
     if run.capture_count == 0:
         out("nothing captured (adjust the capture flags)")
-        return 0 if run.ok else 1
+        return _debug_status(run)
 
     superstep = args.superstep
     if args.view in ("nodelink", "tabular"):
@@ -293,7 +310,77 @@ def cmd_debug(args, out):
         report = run.reproduce(vertex_id, int(step_token))
         out(report.summary())
         out(run.generate_test_code(vertex_id, int(step_token)))
-    return 0 if run.ok else 1
+    status = _debug_status(run)
+    if status == 2:
+        out(f"exit 2: {len(run.violations())} constraint violation(s) captured")
+    return status
+
+
+# -- lint -----------------------------------------------------------------
+
+
+def _lint_targets(tokens):
+    """Resolve lint targets into ``(label, [AnalysisReport, ...])`` pairs.
+
+    A target is ``module:Class`` (one class), ``module`` (every Computation
+    subclass the module defines or re-exports), or a ``.py`` path (analyzed
+    from source, never imported — example scripts run jobs on import).
+    """
+    import importlib
+    import os
+
+    from repro.analysis import analyze_computation, analyze_path
+    from repro.pregel.computation import Computation
+
+    for token in tokens:
+        if token.endswith(".py") or os.sep in token:
+            yield token, analyze_path(token)
+        elif ":" in token:
+            module_name, class_name = token.split(":", 1)
+            module = importlib.import_module(module_name)
+            yield token, [analyze_computation(getattr(module, class_name))]
+        else:
+            module = importlib.import_module(token)
+            classes = sorted(
+                {
+                    obj
+                    for obj in vars(module).values()
+                    if isinstance(obj, type)
+                    and issubclass(obj, Computation)
+                    and obj is not Computation
+                    and obj.__module__.startswith(module.__name__)
+                },
+                key=lambda cls: cls.__name__,
+            )
+            yield token, [analyze_computation(cls) for cls in classes]
+
+
+def cmd_lint(args, out):
+    import json
+
+    try:
+        resolved = list(_lint_targets(args.targets))
+    except (ImportError, AttributeError, OSError, SyntaxError) as exc:
+        out(f"lint: cannot resolve target: {exc}")
+        return 1
+
+    reports = [report for _label, target_reports in resolved
+               for report in target_reports]
+    if args.format == "json":
+        out(json.dumps([r.to_dict() for r in reports], indent=2, default=repr))
+    else:
+        for report in reports:
+            out(report.render_text())
+    errors = sum(len(r.errors) for r in reports)
+    findings = sum(len(r.findings) for r in reports)
+    if args.format == "text":
+        out(
+            f"linted {len(reports)} class(es): {errors} error(s), "
+            f"{findings - errors} warning(s)"
+        )
+    if errors:
+        return 1
+    return 2 if findings else 0
 
 
 def cmd_validate(args, out):
@@ -372,6 +459,21 @@ def build_parser():
                               help="print the generated test for one context")
     debug_parser.add_argument("--html-report", metavar="PATH",
                               help="write the whole run as an HTML report")
+    debug_parser.add_argument("--strict", action="store_true",
+                              help="refuse programs with error-severity "
+                                   "graft-lint findings before running")
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically analyze vertex programs (graft-lint, GL001-GL008)",
+    )
+    lint_parser.add_argument(
+        "targets", nargs="+", metavar="TARGET",
+        help="module:Class, a module (all its Computation subclasses), "
+             "or a .py file (analyzed without importing)",
+    )
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text")
 
     validate_parser = sub.add_parser("validate", help="validate an input graph")
     validate_parser.add_argument("--dataset", default="soc-Epinions")
@@ -387,6 +489,7 @@ _COMMANDS = {
     "premade": cmd_premade,
     "run": cmd_run,
     "debug": cmd_debug,
+    "lint": cmd_lint,
     "validate": cmd_validate,
 }
 

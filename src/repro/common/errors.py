@@ -103,6 +103,26 @@ class CaptureLimitExceeded(GraftError):
         self.limit = limit
 
 
+class StaticAnalysisError(GraftError):
+    """graft-lint found error-severity hazards and ``strict`` mode is on.
+
+    Raised by :func:`repro.graft.debug_run` *before* any superstep
+    executes; ``findings`` carries the offending
+    :class:`repro.analysis.Finding` objects.
+    """
+
+    def __init__(self, class_name, findings):
+        rule_ids = sorted({f.rule_id for f in findings})
+        super().__init__(
+            f"static analysis refused {class_name}: "
+            f"{len(findings)} error-severity finding(s) "
+            f"[{', '.join(rule_ids)}]; run `python -m repro lint` for "
+            "details or pass strict=False to run anyway"
+        )
+        self.class_name = class_name
+        self.findings = list(findings)
+
+
 class TraceError(GraftError):
     """A trace file is missing, unreadable, or malformed."""
 

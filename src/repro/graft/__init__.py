@@ -25,6 +25,7 @@ Master contexts are captured automatically every superstep, and the offline
 small-graph builder plus end-to-end test generation round out Section 3.4.
 """
 
+from repro.common.errors import StaticAnalysisError
 from repro.graft.combiner_check import CombinerCheckReport, check_combiner_safety
 from repro.graft.capture import (
     ExceptionRecord,
@@ -62,6 +63,7 @@ from repro.graft.reproducer import (
 from repro.graft.trace import TraceReader, TraceStore
 
 __all__ = [
+    "StaticAnalysisError",
     "Violation",
     "ExceptionRecord",
     "VertexContextRecord",

@@ -20,11 +20,16 @@ from repro.graft.config import DebugConfig
 
 
 def _numeric(value):
-    """The comparable number inside ``value``, or None if there is none."""
+    """The comparable number inside ``value``, or None if there is none.
+
+    ``bool`` is excluded in both places — a bare ``True`` and a wrapper
+    whose ``.value`` is ``True`` are flags, not magnitudes, and must not be
+    range- or monotonicity-checked as 0/1.
+    """
     if isinstance(value, (int, float)) and not isinstance(value, bool):
         return value
     inner = getattr(value, "value", None)
-    if isinstance(inner, (int, float)):
+    if isinstance(inner, (int, float)) and not isinstance(inner, bool):
         return inner
     return None
 

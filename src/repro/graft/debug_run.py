@@ -17,8 +17,14 @@ final program that is submitted to Giraph".
 """
 
 import itertools
+import warnings
 
-from repro.common.errors import GraftError, PregelError, ReproError
+from repro.common.errors import (
+    GraftError,
+    PregelError,
+    ReproError,
+    StaticAnalysisError,
+)
 from repro.common.rng import derive_rng
 from repro.graft.capture import (
     REASON_MESSAGE,
@@ -222,12 +228,16 @@ class GraftSession:
 class DebugRun:
     """Everything a user does after (or about) one debugged run."""
 
-    def __init__(self, session, computation_factory, graph, result, failure):
+    def __init__(self, session, computation_factory, graph, result, failure,
+                 lint_report=None):
         self.session = session
         self.computation_factory = computation_factory
         self.graph = graph
         self.result = result
         self.failure = failure
+        #: The pre-flight graft-lint report (None when linting was skipped
+        #: or the class source was unavailable).
+        self.lint_report = lint_report
         self.reader = TraceReader(session.filesystem, session.job_id)
 
     # -- outcome ------------------------------------------------------------
@@ -307,7 +317,18 @@ class DebugRun:
     def violations_view(self):
         from repro.graft.views.violations import ViolationsView
 
-        return ViolationsView(self.reader)
+        return ViolationsView(self.reader, lint_report=self.lint_report)
+
+    def explain_violation(self, violation):
+        """Static findings that predicted ``violation``'s kind, if any.
+
+        The cross-link from runtime evidence back to the pre-flight lint
+        pass: a negative-message violation from a wrapped Short16 comes
+        back annotated with the GL007 finding that warned about it.
+        """
+        from repro.analysis import predicted_findings
+
+        return predicted_findings(self.lint_report, violation.kind)
 
     def html_report(self):
         """The whole run as one self-contained HTML page (the GUI artifact)."""
@@ -389,12 +410,49 @@ def debug_job(
     )
 
 
+def _preflight_lint(computation_factory, lint, strict):
+    """Run graft-lint on the computation class before instrumenting.
+
+    Returns the :class:`~repro.analysis.AnalysisReport` (or None when
+    linting is off or the class cannot be analyzed). ``strict=True`` turns
+    error-severity findings into a :class:`StaticAnalysisError` — the
+    program is refused before any superstep executes; otherwise errors are
+    surfaced as a :class:`~repro.analysis.GraftLintWarning`.
+    """
+    if lint is False:
+        return None
+    try:
+        from repro.analysis import GraftLintWarning, analyze_computation
+
+        cls = computation_factory
+        if not isinstance(cls, type):
+            cls = type(computation_factory())
+        report = analyze_computation(cls)
+    except StaticAnalysisError:
+        raise
+    except Exception:  # noqa: BLE001 - lint must never break a debug run
+        return None
+    if report.has_errors:
+        if strict:
+            raise StaticAnalysisError(report.class_name, report.errors)
+        warnings.warn(
+            f"graft-lint: {report.summary()} — the captured run may not "
+            "replay faithfully (pass strict=True to refuse such programs, "
+            "or lint=False to silence this)",
+            GraftLintWarning,
+            stacklevel=3,
+        )
+    return report
+
+
 def debug_run(
     computation_factory,
     graph,
     config,
     filesystem=None,
     job_id=None,
+    lint=True,
+    strict=False,
     **engine_kwargs,
 ):
     """Run a computation under Graft and return a :class:`DebugRun`.
@@ -406,10 +464,20 @@ def debug_run(
     the failure is returned on ``DebugRun.failure`` rather than raised — the
     traces collected up to the failure are exactly what the user wants to
     inspect.
+
+    Before instrumenting, the computation class goes through graft-lint
+    (:mod:`repro.analysis`). Error-severity findings — hazards that break
+    capture fidelity or exact replay — warn by default
+    (:class:`~repro.analysis.GraftLintWarning`); with ``strict=True`` the
+    program is refused with :class:`StaticAnalysisError` before any
+    superstep executes. ``lint=False`` skips the analysis entirely. The
+    report is kept on ``DebugRun.lint_report`` and cross-linked to runtime
+    violations and fidelity checks.
     """
     from repro.graft.instrumenter import instrument
     from repro.simfs.filesystem import SimFileSystem
 
+    lint_report = _preflight_lint(computation_factory, lint, strict)
     if filesystem is None:
         filesystem = SimFileSystem()
     if job_id is None:
@@ -434,4 +502,7 @@ def debug_run(
         failure = exc
     finally:
         session.finalize()
-    return DebugRun(session, computation_factory, graph, result, failure)
+    return DebugRun(
+        session, computation_factory, graph, result, failure,
+        lint_report=lint_report,
+    )

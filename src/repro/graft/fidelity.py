@@ -19,6 +19,9 @@ class FidelityReport:
     total: int = 0
     faithful: int = 0
     unfaithful: list = field(default_factory=list)   # ReplayReports that diverged
+    #: Static findings (graft-lint) that predicted the divergence class —
+    #: GL001/GL002/GL003 are exactly the hazards that break replay.
+    predicted_by: tuple = ()
 
     @property
     def ok(self):
@@ -27,13 +30,17 @@ class FidelityReport:
     def summary(self):
         if self.ok:
             return f"all {self.total} captured contexts replay faithfully"
-        return (
+        text = (
             f"{self.faithful}/{self.total} faithful; divergent: "
             + ", ".join(
                 f"{r.record.vertex_id!r}@{r.record.superstep}"
                 for r in self.unfaithful[:10]
             )
         )
+        if self.predicted_by:
+            rule_ids = sorted({f.rule_id for f in self.predicted_by})
+            text += f" — predicted by static analysis: {', '.join(rule_ids)}"
+        return text
 
 
 def verify_run_fidelity(run, computation_factory=None, limit=None):
@@ -54,4 +61,11 @@ def verify_run_fidelity(run, computation_factory=None, limit=None):
             report.faithful += 1
         else:
             report.unfaithful.append(replay)
+    if report.unfaithful:
+        # Cross-link: did the pre-flight lint pass predict this hazard?
+        from repro.analysis import predicted_findings
+
+        report.predicted_by = predicted_findings(
+            getattr(run, "lint_report", None), "replay_divergence"
+        )
     return report

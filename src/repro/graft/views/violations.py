@@ -7,10 +7,16 @@ message and stack trace. The red M/V/E boxes in the other views link here.
 
 
 class ViolationsView:
-    """All violations and exceptions of a run, filterable by superstep."""
+    """All violations and exceptions of a run, filterable by superstep.
 
-    def __init__(self, reader):
+    When the run carried a pre-flight graft-lint report, each violation
+    kind that a static rule predicted is annotated with the rule id — the
+    view answers "could I have known this before running?" directly.
+    """
+
+    def __init__(self, reader, lint_report=None):
         self._reader = reader
+        self._lint_report = lint_report
 
     def violation_rows(self, superstep=None, kind=None):
         """Violations as ``(vertex_id, superstep, kind, details)`` rows."""
@@ -73,4 +79,18 @@ class ViolationsView:
             )
             if include_tracebacks:
                 lines.extend("      " + t for t in traceback_text.splitlines())
+        lines.extend(self._lint_predictions(violation_rows))
         return "\n".join(lines)
+
+    def _lint_predictions(self, violation_rows):
+        """Footer lines linking observed kinds to the static findings."""
+        if self._lint_report is None:
+            return []
+        from repro.analysis import prediction_note
+
+        lines = []
+        for kind in sorted({kind for _v, _s, kind, _d in violation_rows}):
+            note = prediction_note(self._lint_report, kind)
+            if note:
+                lines.append(f"  [{kind}] {note}")
+        return lines

@@ -1,0 +1,191 @@
+"""Unit tests for the graft-lint engine (scopes, MRO handling, reports)."""
+
+from repro.analysis import analyze_computation, analyze_module_source
+from repro.analysis.engine import ClassContext
+from repro.pregel import Computation
+
+
+class Quiet(Computation):
+    """A minimal clean program used throughout."""
+
+    def compute(self, ctx, messages):
+        ctx.vote_to_halt()
+
+
+class TestAnalyzeComputation:
+    def test_clean_class_reports_clean(self):
+        report = analyze_computation(Quiet)
+        assert report.analyzed
+        assert report.ok
+        assert report.findings == []
+        assert "clean" in report.summary()
+
+    def test_filename_and_class_name_recorded(self):
+        report = analyze_computation(Quiet)
+        assert report.class_name == "Quiet"
+        assert report.filename.endswith("test_engine.py")
+
+    def test_inherited_methods_analyzed(self):
+        import random
+
+        class Base(Computation):
+            def compute(self, ctx, messages):
+                ctx.set_value(self._draw(ctx))
+                ctx.vote_to_halt()
+
+            def _draw(self, ctx):
+                return ctx.random()
+
+        class Derived(Base):
+            def _draw(self, ctx):
+                return random.random()   # the override introduces the bug
+
+        assert analyze_computation(Base).ok
+        derived = analyze_computation(Derived)
+        assert derived.rule_ids() == ["GL003"]
+
+    def test_source_unavailable_is_skipped_not_failed(self):
+        namespace = {}
+        exec(
+            "from repro.pregel import Computation\n"
+            "class Ghost(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n",
+            namespace,
+        )
+        report = analyze_computation(namespace["Ghost"])
+        assert not report.analyzed
+        assert report.ok
+        assert "not analyzed" in report.summary()
+
+    def test_reports_are_cached_per_class(self):
+        assert analyze_computation(Quiet) is analyze_computation(Quiet)
+
+
+class TestAnalyzeModuleSource:
+    SOURCE = """
+from repro.pregel import Computation
+
+LIMIT = 3
+
+class Local(Computation):
+    def compute(self, ctx, messages):
+        ctx.vote_to_halt()
+
+class Child(Local):
+    def compute(self, ctx, messages):
+        self.count = ctx.superstep     # run-time instance state
+        ctx.set_value(self.count)
+        ctx.vote_to_halt()
+
+class NotAProgram:
+    def compute(self, ctx, messages):
+        pass
+"""
+
+    def test_detects_computation_classes_only(self):
+        reports = analyze_module_source(self.SOURCE, "snippet.py")
+        assert sorted(r.class_name for r in reports) == ["Child", "Local"]
+
+    def test_inheritance_within_module_followed(self):
+        reports = {
+            r.class_name: r
+            for r in analyze_module_source(self.SOURCE, "snippet.py")
+        }
+        assert reports["Local"].ok
+        assert "GL001" in reports["Child"].rule_ids()
+
+    def test_findings_carry_the_given_filename(self):
+        reports = analyze_module_source(self.SOURCE, "snippet.py")
+        for report in reports:
+            assert report.filename == "snippet.py"
+            for finding in report.findings:
+                assert finding.filename == "snippet.py"
+                assert finding.location().startswith("snippet.py:")
+
+    def test_shipped_algorithm_bases_recognized(self):
+        source = (
+            "from repro.algorithms import RandomWalk\n"
+            "from repro.pregel.value_types import Short16\n"
+            "class MyWalk(RandomWalk):\n"
+            "    def _make_counter(self, count):\n"
+            "        return Short16(count)\n"
+        )
+        reports = analyze_module_source(source, "walk.py")
+        assert [r.class_name for r in reports] == ["MyWalk"]
+        assert reports[0].rule_ids() == ["GL007"]
+
+
+class TestReportRendering:
+    def test_json_round_trips(self):
+        import json
+
+        source = (
+            "from repro.pregel import Computation\n"
+            "import random\n"
+            "class R(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(random.random())\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        (report,) = analyze_module_source(source, "r.py")
+        payload = json.loads(report.render_json())
+        assert payload["class_name"] == "R"
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule_id"] == "GL003"
+        assert payload["findings"][0]["severity"] == "error"
+
+    def test_text_rendering_lists_location_and_hint(self):
+        source = (
+            "from repro.pregel import Computation\n"
+            "import random\n"
+            "class R(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(random.random())\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        (report,) = analyze_module_source(source, "r.py")
+        text = report.render_text()
+        assert "[GL003]" in text
+        assert "r.py:5" in text
+        assert "hint:" in text
+
+    def test_findings_sorted_errors_first(self):
+        source = (
+            "from repro.pregel import Computation\n"
+            "import random\n"
+            "class R(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n"
+            "        ctx.send_message(0, 1)\n"       # GL004 warning, line 6
+            "        ctx.set_value(random.random())\n"  # GL003 error, line 7
+        )
+        (report,) = analyze_module_source(source, "r.py")
+        severities = [f.severity for f in report.findings]
+        assert severities == sorted(
+            severities, key=lambda s: {"error": 0, "warning": 1}[s]
+        )
+
+
+class TestConstantResolution:
+    def test_module_constant_resolved_for_aggregators(self):
+        source = (
+            "from repro.pregel import Computation\n"
+            "PHASE = 'phase'\n"
+            "class P(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.aggregated_value(PHASE) == 'go':\n"
+            "            ctx.aggregate(PHASE, 1)\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        (report,) = analyze_module_source(source, "p.py")
+        (finding,) = report.by_rule("GL006")
+        assert "'phase'" in finding.message
+
+    def test_context_helpers(self):
+        context = ClassContext("X", "<x>", {}, {"NAME": "n"})
+        import ast
+
+        assert context.resolve_constant(ast.parse("NAME", mode="eval").body) == "n"
+        assert context.resolve_constant(ast.parse("'lit'", mode="eval").body) == "lit"
+        assert context.resolve_constant(ast.parse("f()", mode="eval").body) is None

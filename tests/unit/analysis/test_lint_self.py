@@ -1,0 +1,69 @@
+"""Self-check: graft-lint over everything this repo ships.
+
+Clean algorithms must produce zero findings (no false positives); the
+paper-scenario buggy variants are positive fixtures — each must be flagged
+with the rule that matches its planted bug. The examples are linted from
+source (never imported: they run jobs at import time).
+"""
+
+import glob
+import os
+
+import pytest
+
+import repro.algorithms as algorithms
+from repro.analysis import analyze_computation, analyze_path
+from repro.pregel import Computation
+
+pytestmark = pytest.mark.lint_self
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..", "..")
+
+BUGGY = {
+    "BuggyRandomWalk": "GL007",       # Short16 wrap-around (Scenario 4.2)
+    "BuggyGraphColoring": "GL008",    # non-strict <= vs min() (Scenario 4.1)
+}
+
+
+def shipped_computations():
+    classes = []
+    for name in sorted(dir(algorithms)):
+        obj = getattr(algorithms, name)
+        if (
+            isinstance(obj, type)
+            and issubclass(obj, Computation)
+            and obj is not Computation
+        ):
+            classes.append(obj)
+    return classes
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [c for c in shipped_computations() if c.__name__ not in BUGGY],
+    ids=lambda c: c.__name__,
+)
+def test_clean_shipped_algorithms_have_zero_findings(cls):
+    report = analyze_computation(cls)
+    assert report.analyzed
+    assert report.ok, report.render_text()
+
+
+@pytest.mark.parametrize("name,expected_rule", sorted(BUGGY.items()))
+def test_buggy_variants_are_flagged_with_their_rule(name, expected_rule):
+    report = analyze_computation(getattr(algorithms, name))
+    assert expected_rule in report.rule_ids(), report.render_text()
+
+
+def test_at_least_the_papers_two_buggy_scenarios_are_covered():
+    assert len(shipped_computations()) >= 10
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "*.py"))),
+    ids=os.path.basename,
+)
+def test_examples_lint_without_errors(path):
+    for report in analyze_path(path):
+        assert not report.has_errors, report.render_text()

@@ -1,0 +1,96 @@
+"""The pre-flight lint hook in debug_run: warn by default, refuse on strict."""
+
+import warnings
+
+import pytest
+
+from repro.analysis import GraftLintWarning
+from repro.common.errors import StaticAnalysisError
+from repro.graft import DebugConfig, debug_run
+from repro.graph import GraphBuilder
+from repro.pregel import Computation
+
+
+class Clean(Computation):
+    def compute(self, ctx, messages):
+        if ctx.superstep >= 1:
+            ctx.vote_to_halt()
+            return
+        ctx.send_message_to_all_neighbors(1)
+
+
+class Hoarder(Computation):
+    """Keeps worker-local state (GL001) — the Section 7 replay hazard."""
+
+    def compute(self, ctx, messages):
+        self.best = max([ctx.value] + list(messages))
+        ctx.set_value(self.best)
+        ctx.vote_to_halt()
+
+
+class CaptureZero(DebugConfig):
+    def vertices_to_capture(self):
+        return (0,)
+
+
+def triangle():
+    builder = GraphBuilder(directed=False)
+    builder.cycle(0, 1, 2)
+    return builder.build()
+
+
+class TestStrictMode:
+    def test_strict_refuses_before_any_superstep(self):
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            debug_run(Hoarder, triangle(), CaptureZero(), strict=True)
+        assert excinfo.value.class_name == "Hoarder"
+        assert any(f.rule_id == "GL001" for f in excinfo.value.findings)
+        assert "strict=False" in str(excinfo.value)
+
+    def test_strict_passes_clean_programs(self):
+        run = debug_run(Clean, triangle(), CaptureZero(), strict=True, seed=1)
+        assert run.lint_report is not None
+        assert run.lint_report.ok
+
+
+class TestWarnByDefault:
+    def test_hazardous_program_warns_but_runs(self):
+        with pytest.warns(GraftLintWarning, match="GL001"):
+            run = debug_run(Hoarder, triangle(), CaptureZero(), seed=1)
+        assert run.lint_report.has_errors
+        assert "GL001" in run.lint_report.rule_ids()
+
+    def test_clean_program_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", GraftLintWarning)
+            run = debug_run(Clean, triangle(), CaptureZero(), seed=1)
+        assert run.lint_report.ok
+
+    def test_lint_false_skips_the_pass_entirely(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", GraftLintWarning)
+            run = debug_run(Hoarder, triangle(), CaptureZero(), lint=False, seed=1)
+        assert run.lint_report is None
+
+
+class TestCrosslinks:
+    def test_explain_violation_maps_kind_to_rules(self):
+        from repro.graft.capture import Violation
+
+        with pytest.warns(GraftLintWarning):
+            run = debug_run(Hoarder, triangle(), CaptureZero(), seed=1)
+        # GL001 predicts replay divergence, not message-level violations.
+        divergence = Violation("replay_divergence", 0, 0, {})
+        message = Violation("message", 0, 0, {})
+        assert [f.rule_id for f in run.explain_violation(divergence)] == ["GL001"]
+        assert run.explain_violation(message) == ()
+
+    def test_fidelity_report_carries_prediction(self):
+        from repro.graft import verify_run_fidelity
+
+        with pytest.warns(GraftLintWarning):
+            run = debug_run(Hoarder, triangle(), CaptureZero(), seed=1)
+        report = verify_run_fidelity(run)
+        if not report.faithful:
+            assert "GL001" in {f.rule_id for f in report.predicted_by}
+            assert "predicted by static analysis" in report.summary()

@@ -1,0 +1,256 @@
+"""Per-rule positive and negative cases for the GL001-GL008 rule pack."""
+
+from repro.analysis import ERROR, WARNING, analyze_module_source
+
+PRELUDE = "from repro.pregel import Computation\n"
+
+
+def lint(source, filename="prog.py"):
+    reports = analyze_module_source(PRELUDE + source, filename)
+    assert len(reports) == 1, [r.class_name for r in reports]
+    return reports[0]
+
+
+def rule_ids(source):
+    return lint(source).rule_ids()
+
+
+class TestGL001WorkerLocalState:
+    def test_instance_attribute_round_trip_flagged(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self.total = sum(messages)\n"
+            "        ctx.set_value(self.total)\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert "GL001" in report.rule_ids()
+        assert all(f.severity == ERROR for f in report.by_rule("GL001"))
+
+    def test_augassign_counts_as_read_and_write(self):
+        assert "GL001" in rule_ids(
+            "class C(Computation):\n"
+            "    def __init__(self):\n"
+            "        self.seen = 0\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self.seen += 1\n"
+            "        ctx.vote_to_halt()\n"
+        )
+
+    def test_write_across_helper_read_in_compute(self):
+        assert "GL001" in rule_ids(
+            "class C(Computation):\n"
+            "    def pre_superstep(self, ctx):\n"
+            "        self.cache = {}\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(len(self.cache))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+
+    def test_init_only_constants_allowed(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def __init__(self, damping=0.85):\n"
+            "        self.damping = damping\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(self.damping * sum(messages))\n"
+            "        ctx.vote_to_halt()\n"
+        ) == []
+
+
+class TestGL002InPlaceMutation:
+    def test_subscript_store_into_value_flagged(self):
+        assert "GL002" in rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.value['count'] = 1\n"
+            "        ctx.vote_to_halt()\n"
+        )
+
+    def test_mutator_call_through_alias_flagged(self):
+        assert "GL002" in rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        path = ctx.value\n"
+            "        path.append(ctx.vertex_id)\n"
+            "        ctx.vote_to_halt()\n"
+        )
+
+    def test_mutating_a_message_flagged(self):
+        assert "GL002" in rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        for m in messages:\n"
+            "            m.sort()\n"
+            "        ctx.vote_to_halt()\n"
+        )
+
+    def test_copy_then_set_value_is_clean(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        path = list(ctx.value)\n"
+            "        path.append(ctx.vertex_id)\n"
+            "        ctx.set_value(path)\n"
+            "        ctx.vote_to_halt()\n"
+        ) == []
+
+
+class TestGL003UnseededRandomness:
+    def test_global_random_flagged(self):
+        report = lint(
+            "import random\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(random.random())\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert report.rule_ids() == ["GL003"]
+        assert report.has_errors
+
+    def test_time_and_uuid_flagged(self):
+        report = lint(
+            "import time, uuid\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value((time.time(), uuid.uuid4()))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert len(report.by_rule("GL003")) == 2
+
+    def test_ctx_random_is_the_blessed_path(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(ctx.random())\n"
+            "        ctx.vote_to_halt()\n"
+        ) == []
+
+
+class TestGL004SendAfterHalt:
+    def test_send_after_halt_flagged(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n"
+            "        ctx.send_message(0, 1)\n"
+        )
+        assert report.rule_ids() == ["GL004"]
+        assert all(f.severity == WARNING for f in report.findings)
+
+    def test_halt_then_return_then_send_is_clean(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep > 3:\n"
+            "            ctx.vote_to_halt()\n"
+            "            return\n"
+            "        ctx.send_message(0, 1)\n"
+        ) == []
+
+    def test_halt_inside_branch_does_not_taint_after(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if not messages:\n"
+            "            ctx.vote_to_halt()\n"
+            "        else:\n"
+            "            ctx.send_message(0, 1)\n"
+        ) == []
+
+
+class TestGL005NoHaltPath:
+    def test_never_halting_flagged(self):
+        assert rule_ids(
+            "class Forever(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(ctx.vertex_id, 1)\n"
+        ) == ["GL005"]
+
+    def test_superstep_bound_exempts(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep < 30:\n"
+            "            ctx.send_message(ctx.vertex_id, 1)\n"
+        ) == []
+
+    def test_aggregator_driven_halt_exempts(self):
+        # TolerancePageRank-style: the master halts the job off an
+        # aggregate; the vertex never calls vote_to_halt itself.
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.aggregate('delta', abs(sum(messages)))\n"
+            "        ctx.send_message(ctx.vertex_id, 1)\n"
+        ) == []
+
+
+class TestGL006AggregatorReadWrite:
+    def test_read_and_write_same_superstep_flagged(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        seen = ctx.aggregated_value('count')\n"
+            "        ctx.aggregate('count', 1)\n"
+            "        ctx.vote_to_halt()\n"
+        ) == ["GL006"]
+
+    def test_disjoint_aggregators_clean(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        phase = ctx.aggregated_value('phase')\n"
+            "        ctx.aggregate('count', 1)\n"
+            "        ctx.vote_to_halt()\n"
+        ) == []
+
+
+class TestGL007FixedWidthOverflow:
+    def test_short16_constructor_flagged(self):
+        report = lint(
+            "from repro.pregel.value_types import Short16\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(0, Short16(sum(messages)))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert report.rule_ids() == ["GL007"]
+        (finding,) = report.findings
+        assert "Short16" in finding.message
+        assert finding.severity == WARNING
+
+    def test_plain_ints_clean(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(0, sum(messages))\n"
+            "    def post_superstep(self, ctx):\n"
+            "        ctx.vote_to_halt()\n"
+        ) == []
+
+
+class TestGL008NonStrictTiebreak:
+    def test_lte_against_min_flagged(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.value <= min(messages):\n"
+            "            ctx.vote_to_halt()\n"
+        ) == ["GL008"]
+
+    def test_strict_lt_against_min_clean(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.value < min(messages):\n"
+            "            ctx.vote_to_halt()\n"
+        ) == []
+
+    def test_lte_against_constant_clean(self):
+        assert rule_ids(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.value <= 0.001:\n"
+            "            ctx.vote_to_halt()\n"
+        ) == []

@@ -81,9 +81,13 @@ class TestDebugCommand:
             "--vertices", "12", "--walkers", "110000", "--steps", "2",
             "--nonneg-messages", "--view", "violations",
         )
-        assert status == 0
+        # Captured violations gate CI pipelines: documented exit code 2.
+        assert status == 2
         assert "violations" in output
         assert "Short16" in output
+        # The violations view cross-links to the static rule that predicted
+        # the negative messages (GL007: fixed-width wrap-around).
+        assert "predicted by static analysis (GL007)" in output
 
     def test_capture_ids_nodelink_last(self):
         status, output = run_cli(

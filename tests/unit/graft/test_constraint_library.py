@@ -17,8 +17,48 @@ from repro.graft import (
     NoSelfMessages,
     debug_run,
 )
+from repro.graft.constraint_library import _numeric
 from repro.graph import GraphBuilder
 from repro.pregel import Computation, Short16
+
+
+class TestNumericCoercion:
+    def test_plain_numbers_pass_through(self):
+        assert _numeric(3) == 3
+        assert _numeric(-2.5) == -2.5
+
+    def test_wrapped_numbers_unwrap(self):
+        assert _numeric(Short16(7)) == 7
+
+    def test_bools_are_flags_not_magnitudes(self):
+        assert _numeric(True) is None
+        assert _numeric(False) is None
+
+    def test_wrapped_bools_are_flags_too(self):
+        # Regression: a wrapper whose .value is a bool (a halted/active flag,
+        # a visited marker) used to be range-checked as 0/1.
+        class Flag:
+            def __init__(self, value):
+                self.value = value
+
+        assert _numeric(Flag(True)) is None
+        assert _numeric(Flag(False)) is None
+        assert _numeric(Flag(4)) == 4
+
+    def test_non_numeric_rejected(self):
+        assert _numeric("text") is None
+        assert _numeric(None) is None
+
+    def test_bool_valued_wrapper_not_flagged_by_nonneg(self):
+        class Flag:
+            def __init__(self, value):
+                self.value = value
+
+        config = NonNegativeValues()
+        assert config.vertex_value_constraint(Flag(False), "v", 0)
+        monotone = MonotoneValues("decreasing")
+        assert monotone.vertex_value_constraint(Flag(True), "v", 0)
+        assert monotone.vertex_value_constraint(Flag(False), "v", 1)
 
 
 class SendOwnValue(Computation):
@@ -126,7 +166,37 @@ class TestMonotoneValues:
         assert not config.vertex_value_constraint(1, "v", 2)
 
 
+class TestMonotoneValuesDirect:
+    def test_first_observation_always_passes(self):
+        config = MonotoneValues("decreasing")
+        assert config.vertex_value_constraint(99, "v", 0)
+
+    def test_history_is_per_vertex(self):
+        config = MonotoneValues("decreasing")
+        assert config.vertex_value_constraint(5, "a", 0)
+        assert config.vertex_value_constraint(9, "b", 0)  # b's first, not a's next
+        assert not config.vertex_value_constraint(6, "a", 1)
+
+    def test_equal_values_are_monotone(self):
+        config = MonotoneValues("decreasing")
+        assert config.vertex_value_constraint(5, "v", 0)
+        assert config.vertex_value_constraint(5, "v", 1)
+
+    def test_non_numeric_interlude_ignored(self):
+        config = MonotoneValues("decreasing")
+        assert config.vertex_value_constraint(5, "v", 0)
+        assert config.vertex_value_constraint("resetting", "v", 1)
+        assert not config.vertex_value_constraint(6, "v", 2)
+
+
 class TestNoSelfMessages:
+    def test_constraint_is_a_pure_endpoint_check(self):
+        config = NoSelfMessages()
+        assert config.message_value_constraint("hello", 0, 1, 0)
+        assert not config.message_value_constraint("hello", 2, 2, 0)
+        # Message payload and superstep are irrelevant to the check.
+        assert not config.message_value_constraint(None, "x", "x", 7)
+
     def test_self_message_flagged(self):
         class Selfie(Computation):
             def compute(self, ctx, messages):
@@ -137,6 +207,34 @@ class TestNoSelfMessages:
         g = GraphBuilder(directed=False).edge(0, 1).build()
         run = debug_run(Selfie, g, NoSelfMessages(), seed=1)
         assert len(run.violations()) == 2  # both vertices messaged themselves
+
+
+class TestDistinctNeighborValuesDirect:
+    def test_default_key_compares_raw_values(self):
+        config = DistinctNeighborValues()
+        assert not config.neighborhood_constraint(3, {"n1": 3}, "v", 0)
+        assert config.neighborhood_constraint(3, {"n1": 4, "n2": 5}, "v", 0)
+
+    def test_none_key_means_not_yet_assigned(self):
+        config = DistinctNeighborValues()
+        # An uncolored vertex cannot conflict, even with uncolored neighbors.
+        assert config.neighborhood_constraint(None, {"n1": None}, "v", 0)
+
+    def test_custom_key_extracts_the_compared_field(self):
+        class Painted:
+            def __init__(self, color):
+                self.color = color
+
+        config = DistinctNeighborValues(key=lambda value: value.color)
+        assert not config.neighborhood_constraint(
+            Painted("red"), {"n1": Painted("red")}, "v", 0
+        )
+        assert config.neighborhood_constraint(
+            Painted("red"), {"n1": Painted("blue")}, "v", 0
+        )
+
+    def test_empty_neighborhood_is_clean(self):
+        assert DistinctNeighborValues().neighborhood_constraint(1, {}, "v", 0)
 
 
 class TestDistinctNeighborValues:

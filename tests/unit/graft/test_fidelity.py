@@ -58,6 +58,10 @@ class TestFidelity:
         assert not report.ok
         assert report.unfaithful
         assert "divergent" in report.summary()
+        # The pre-flight lint pass saw this coming: GL001 (worker-local
+        # state) predicts exactly this replay divergence.
+        assert "GL001" in {f.rule_id for f in report.predicted_by}
+        assert "predicted by static analysis" in report.summary()
 
     def test_alternate_factory_used(self):
         class Rewritten(Computation):
