@@ -51,7 +51,7 @@ from repro.datasets import (
 )
 from repro.graft import DebugConfig, debug_run
 from repro.graph import compute_stats, to_undirected, validate_graph
-from repro.pregel import run_computation
+from repro.pregel import EXECUTOR_NAMES, run_computation
 
 
 def _algorithm_registry():
@@ -140,6 +140,7 @@ def _engine_kwargs(args, registry_kwargs):
     kwargs = dict(registry_kwargs)
     kwargs["seed"] = args.seed
     kwargs["num_workers"] = args.workers
+    kwargs["executor"] = args.executor
     if args.max_supersteps is not None:
         kwargs["max_supersteps"] = args.max_supersteps
     return kwargs
@@ -189,7 +190,8 @@ def cmd_run(args, out):
     description, factory_builder, kwargs_builder = registry[args.algorithm]
     graph = _build_graph(args)
     out(f"running {args.algorithm} ({description}) on {args.dataset} "
-        f"[{graph.num_vertices} vertices, {graph.num_edges} directed edges]")
+        f"[{graph.num_vertices} vertices, {graph.num_edges} directed edges] "
+        f"executor={args.executor} workers={args.workers}")
     result = run_computation(
         factory_builder(args), graph, **_engine_kwargs(args, kwargs_builder(args))
     )
@@ -420,6 +422,11 @@ def build_parser():
                        help="stand-in size override")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--workers", type=int, default=4)
+        p.add_argument("--num-workers", type=int, dest="workers",
+                       help="alias for --workers")
+        p.add_argument("--executor", choices=EXECUTOR_NAMES, default="serial",
+                       help="superstep execution backend (results and traces "
+                            "are identical across backends)")
         p.add_argument("--max-supersteps", type=int, default=None)
         p.add_argument("--iterations", type=int, default=10,
                        help="pagerank iterations")

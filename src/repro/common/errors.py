@@ -62,6 +62,15 @@ class ComputeError(PregelError):
         self.superstep = superstep
         self.original = original
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with *args (the
+        # formatted message), which doesn't match this signature; the
+        # process execution backend needs these to cross a pipe intact.
+        return (
+            self.__class__,
+            (self.vertex_id, self.superstep, self.original),
+        )
+
 
 class MasterComputeError(PregelError):
     """A user ``master_compute()`` function raised an exception."""

@@ -32,6 +32,24 @@ class ValueCodec:
     def __init__(self):
         self._types_by_name = {}
         self._names_by_type = {}
+        # Exact-class dispatch memo: encoding is dominated by repeated values
+        # of a handful of types (every message value in a trace line, every
+        # aggregator snapshot entry), so the common path is one dict lookup
+        # instead of an isinstance chain. Subclasses miss the memo and fall
+        # back to the original chain, preserving its semantics.
+        self._dispatch = {
+            type(None): self._encode_identity,
+            bool: self._encode_identity,
+            str: self._encode_identity,
+            int: self._encode_identity,
+            float: self._encode_float,
+            list: self._encode_list,
+            tuple: self._encode_tuple,
+            set: self._encode_set,
+            frozenset: self._encode_frozenset,
+            dict: self._encode_dict,
+            bytes: self._encode_bytes,
+        }
 
     def register(self, cls, name=None):
         """Register a value type so instances can round-trip through traces.
@@ -58,6 +76,7 @@ class ValueCodec:
             )
         self._types_by_name[name] = cls
         self._names_by_type[cls] = name
+        self._dispatch[cls] = self._encode_registered
         return cls
 
     def is_registered(self, cls):
@@ -65,37 +84,81 @@ class ValueCodec:
 
     def encode(self, value):
         """Encode ``value`` into a JSON-serializable structure."""
-        if value is None or isinstance(value, (bool, str)):
+        encoder = self._dispatch.get(value.__class__)
+        if encoder is not None:
+            return encoder(value)
+        return self._encode_fallback(value)
+
+    # Per-type encoders, reached through the dispatch memo.
+
+    @staticmethod
+    def _encode_identity(value):
+        return value
+
+    @staticmethod
+    def _encode_float(value):
+        if math.isnan(value) or math.isinf(value):
+            return {_TYPE_KEY: "float", "repr": repr(value)}
+        return value
+
+    def _encode_list(self, value):
+        return [self.encode(item) for item in value]
+
+    def _encode_tuple(self, value):
+        return {_TYPE_KEY: "tuple", "items": [self.encode(i) for i in value]}
+
+    def _encode_set(self, value, tag="set"):
+        try:
+            items = sorted(value, key=repr)
+        except TypeError:
+            items = list(value)
+        return {_TYPE_KEY: tag, "items": [self.encode(i) for i in items]}
+
+    def _encode_frozenset(self, value):
+        return self._encode_set(value, tag="frozenset")
+
+    def _encode_dict(self, value):
+        if all(isinstance(k, str) for k in value) and _TYPE_KEY not in value:
+            return {k: self.encode(v) for k, v in value.items()}
+        return {
+            _TYPE_KEY: "dict",
+            "items": [[self.encode(k), self.encode(v)] for k, v in value.items()],
+        }
+
+    @staticmethod
+    def _encode_bytes(value):
+        return {_TYPE_KEY: "bytes", "hex": value.hex()}
+
+    def _encode_registered(self, value):
+        return {
+            _TYPE_KEY: "obj",
+            "type": self._names_by_type[type(value)],
+            "fields": self._fields_of(value),
+        }
+
+    def _encode_fallback(self, value):
+        """Subclasses of the built-in encodable types (memo misses)."""
+        if isinstance(value, (bool, str)):
             return value
         if isinstance(value, int):
             return value
         if isinstance(value, float):
-            if math.isnan(value) or math.isinf(value):
-                return {_TYPE_KEY: "float", "repr": repr(value)}
-            return value
+            return self._encode_float(value)
         if isinstance(value, list):
-            return [self.encode(item) for item in value]
+            return self._encode_list(value)
         if isinstance(value, tuple):
-            return {_TYPE_KEY: "tuple", "items": [self.encode(i) for i in value]}
-        if isinstance(value, (set, frozenset)):
-            tag = "frozenset" if isinstance(value, frozenset) else "set"
-            try:
-                items = sorted(value, key=repr)
-            except TypeError:
-                items = list(value)
-            return {_TYPE_KEY: tag, "items": [self.encode(i) for i in items]}
+            return self._encode_tuple(value)
+        if isinstance(value, frozenset):
+            return self._encode_frozenset(value)
+        if isinstance(value, set):
+            return self._encode_set(value)
         if isinstance(value, dict):
-            if all(isinstance(k, str) for k in value) and _TYPE_KEY not in value:
-                return {k: self.encode(v) for k, v in value.items()}
-            return {
-                _TYPE_KEY: "dict",
-                "items": [[self.encode(k), self.encode(v)] for k, v in value.items()],
-            }
+            return self._encode_dict(value)
         if isinstance(value, bytes):
-            return {_TYPE_KEY: "bytes", "hex": value.hex()}
+            return self._encode_bytes(value)
         name = self._names_by_type.get(type(value))
         if name is not None:
-            return {_TYPE_KEY: "obj", "type": name, "fields": self._fields_of(value)}
+            return self._encode_registered(value)
         raise SerializationError(
             f"cannot encode value of unregistered type {type(value).__name__}: "
             f"{value!r}; call register_value_type() on the class first"

@@ -128,6 +128,18 @@ class MasterContextRecord:
 _VERTEX_KIND = "vertex"
 _MASTER_KIND = "master"
 
+# fields() walks the dataclass machinery on every call; records are encoded
+# in bulk on the capture hot path, so cache the names per record class.
+_FIELD_NAME_CACHE = {}
+
+
+def _field_names(cls):
+    names = _FIELD_NAME_CACHE.get(cls)
+    if names is None:
+        names = tuple(f.name for f in fields(cls))
+        _FIELD_NAME_CACHE[cls] = names
+    return names
+
 
 def record_to_line(record, codec):
     """Serialize a capture record to one JSON line."""
@@ -138,8 +150,8 @@ def record_to_line(record, codec):
     else:
         raise TypeError(f"not a capture record: {record!r}")
     payload = {"kind": kind}
-    for field_info in fields(record):
-        payload[field_info.name] = getattr(record, field_info.name)
+    for name in _field_names(record.__class__):
+        payload[name] = getattr(record, name)
     return codec.dumps(payload)
 
 

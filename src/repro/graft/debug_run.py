@@ -49,12 +49,17 @@ class GraftSession:
         self._graph = graph
         self.filesystem = filesystem
         self.job_id = job_id
+        self.num_workers = num_workers
         self.store = TraceStore(filesystem, job_id, num_workers, codec)
         self._worker_ids = itertools.count()
         self._static_reasons = {}
         self._current_aggregators = {}
-        self._deferred = []
-        self._deferred_sends = {}
+        # Per-worker capture buffers. During a superstep each worker's step
+        # appends only to its own list (no locks needed under concurrent
+        # backends); the barrier drains them to the trace files in
+        # worker-id order — the order a serial run would have written.
+        self._buffers = {wid: [] for wid in range(num_workers)}
+        self._deferred = {wid: [] for wid in range(num_workers)}
         self._engine = None
         self.run_seed = None
         self.superstep_metrics = []
@@ -90,7 +95,20 @@ class GraftSession:
         return self._current_aggregators
 
     def emit_record(self, record):
-        """Write a capture, enforcing the safety-net threshold."""
+        """Queue a capture in its worker's buffer for the barrier drain.
+
+        Called from inside worker steps (possibly concurrently — each
+        worker touches only its own buffer). The max-captures safety net
+        is enforced at drain time, where the global write order is known.
+        """
+        self._buffers[record.worker_id].append(record)
+
+    def buffer_record(self, record, deferred_sends=()):
+        """Hold a record until barrier-time extended checks run."""
+        self._deferred[record.worker_id].append((record, tuple(deferred_sends)))
+
+    def _write_record(self, record):
+        """Write one capture immediately, enforcing the safety net."""
         if self.capture_limit_hit:
             return
         if self.capture_count >= self.config.max_captures():
@@ -99,13 +117,46 @@ class GraftSession:
         self.store.write_vertex_record(record)
         self.capture_count += 1
 
-    def buffer_record(self, record):
-        """Hold a record until barrier-time extended checks run."""
-        self._deferred.append(record)
+    def _drain_buffers(self):
+        """Flush per-worker capture buffers to the store in worker-id order.
 
-    def note_deferred_sends(self, record, sends):
-        if sends:
-            self._deferred_sends[id(record)] = sends
+        Reproduces a serial run's write order exactly: worker 0's records
+        (in compute order), then worker 1's, and so on — which also makes
+        the max-captures cutoff land on the same record regardless of the
+        execution backend.
+        """
+        max_captures = self.config.max_captures()
+        for worker_id in sorted(self._buffers):
+            records = self._buffers[worker_id]
+            if not records:
+                continue
+            self._buffers[worker_id] = []
+            if self.capture_limit_hit:
+                continue
+            allowed = max_captures - self.capture_count
+            if len(records) > allowed:
+                self.capture_limit_hit = True
+                records = records[:allowed]
+            if records:
+                self.store.write_vertex_records(records)
+                self.capture_count += len(records)
+
+    # -- process-backend payload transfer ---------------------------------
+    # Under executor="processes" each step runs in a forked child, so the
+    # records it buffered live in the child's memory. The engine calls
+    # collect_step_payload inside the child and absorb_step_payload in the
+    # parent at the barrier, after which draining proceeds as usual.
+
+    def collect_step_payload(self, worker_id):
+        return (
+            self._buffers.get(worker_id, []),
+            self._deferred.get(worker_id, []),
+        )
+
+    def absorb_step_payload(self, worker_id, payload):
+        records, deferred = payload
+        self._buffers[worker_id] = list(records)
+        self._deferred[worker_id] = list(deferred)
 
     # -- engine listener hooks -------------------------------------------------
 
@@ -126,9 +177,27 @@ class GraftSession:
         )
 
     def on_superstep_end(self, superstep, metrics):
-        if self._deferred:
+        self._drain_buffers()
+        if any(self._deferred.values()):
             self._evaluate_deferred(superstep)
         self.superstep_metrics.append(metrics)
+        self.store.flush()
+
+    def on_superstep_aborted(self, superstep, worker_id):
+        """A step's fatal error is about to propagate; persist like serial.
+
+        A serial engine never runs workers after the failing one, so their
+        buffered captures (which concurrent backends *did* produce) are
+        discarded; everything up to and including the failing worker is
+        drained. Deferred records are dropped — their barrier-time checks
+        never ran in a failing serial superstep either.
+        """
+        for wid in self._buffers:
+            if wid > worker_id:
+                self._buffers[wid] = []
+        for wid in self._deferred:
+            self._deferred[wid] = []
+        self._drain_buffers()
         self.store.flush()
 
     def on_finish(self, result):
@@ -137,6 +206,7 @@ class GraftSession:
     def finalize(self):
         """Flush and close trace writers; idempotent."""
         if not self._finalized:
+            self._drain_buffers()
             self.store.close()
             self._finalized = True
 
@@ -163,19 +233,26 @@ class GraftSession:
         self._static_reasons = {v: tuple(r) for v, r in reasons.items()}
 
     def _evaluate_deferred(self, superstep):
-        """Barrier-time extended constraints (Section 7 future work)."""
-        for record in self._deferred:
-            if self.checks_messages_with_target:
-                self._check_target_constraints(record, superstep)
-            if self.checks_neighborhoods:
-                self._check_neighborhood(record, superstep)
-            if record.reasons:
-                self.emit_record(record)
-        self._deferred = []
-        self._deferred_sends = {}
+        """Barrier-time extended constraints (Section 7 future work).
 
-    def _check_target_constraints(self, record, superstep):
-        sends = self._deferred_sends.get(id(record), ())
+        Runs after the immediate buffers drained, in worker-id order then
+        per-worker compute order — the order a serial run evaluated (and
+        wrote) them in.
+        """
+        for worker_id in sorted(self._deferred):
+            pending = self._deferred[worker_id]
+            if not pending:
+                continue
+            self._deferred[worker_id] = []
+            for record, sends in pending:
+                if self.checks_messages_with_target:
+                    self._check_target_constraints(record, sends, superstep)
+                if self.checks_neighborhoods:
+                    self._check_neighborhood(record, superstep)
+                if record.reasons:
+                    self._write_record(record)
+
+    def _check_target_constraints(self, record, sends, superstep):
         for target, value in sends:
             try:
                 target_value = self._engine.vertex_value(target)

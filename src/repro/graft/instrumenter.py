@@ -170,10 +170,9 @@ class InstrumentedComputation(Computation):
         record = self._build_record(
             ctx, value_before, edges_before, reasons, violations
         )
-        if observer is not None:
-            session.note_deferred_sends(record, observer.deferred_sends)
         if needs_deferral:
-            session.buffer_record(record)
+            sends = observer.deferred_sends if observer is not None else ()
+            session.buffer_record(record, sends)
         elif reasons:
             session.emit_record(record)
 

@@ -11,7 +11,19 @@ the Context Reproducer after (or during) the run. Reading only needs the
 file system and codec — a different process (the paper's "copy into your
 IDE" step) can do it, provided the modules defining the value types are
 imported.
+
+:func:`canonical_trace_lines` / :func:`canonical_trace_digest` provide the
+*deterministic trace merge*: a single canonical view of a job's captures
+that is byte-identical regardless of execution backend **and** worker
+count. Raw per-worker files are already byte-identical across backends at
+the same worker count; the canonical merge additionally normalizes the two
+partition-dependent artifacts (which file a record landed in, and the
+``worker_id`` field inside it) and imposes a content-based total order, so
+two runs of the same job can be compared with a single hash even when one
+used 1 worker and the other 8.
 """
+
+import hashlib
 
 from repro.common.errors import TraceError
 from repro.common.serialization import default_codec
@@ -57,6 +69,27 @@ class TraceStore:
         writer = self._worker_writers[record.worker_id]
         writer.write_line(record_to_line(record, self._codec))
         self.records_written += 1
+
+    def write_vertex_records(self, records):
+        """Bulk-append vertex captures (the session's barrier drain path).
+
+        Records are encoded in one pass and handed to each worker file's
+        writer as a batch, so a drain of N records costs one buffered
+        append per touched file instead of N per-line threshold checks.
+        Order within each worker's file follows the order of ``records``.
+        """
+        codec = self._codec
+        lines_by_worker = {}
+        count = 0
+        for record in records:
+            lines = lines_by_worker.get(record.worker_id)
+            if lines is None:
+                lines = lines_by_worker[record.worker_id] = []
+            lines.append(record_to_line(record, codec))
+            count += 1
+        for worker_id, lines in lines_by_worker.items():
+            self._worker_writers[worker_id].write_lines(lines)
+        self.records_written += count
 
     def write_master_record(self, record):
         """Append one master capture to the master trace file."""
@@ -173,3 +206,50 @@ class TraceReader:
 
     def __len__(self):
         return len(self.vertex_records)
+
+
+# -- deterministic trace merge ------------------------------------------------
+
+_NORMALIZED_WORKER_ID = 0
+
+
+def canonical_trace_lines(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
+    """One job's captures as a canonical, partition-independent line list.
+
+    Every record from every trace file is decoded, its ``worker_id``
+    normalized (vertex placement is an artifact of partitioning, not of
+    the computation), re-encoded with the canonical codec (sorted keys,
+    compact separators), and totally ordered by ``(kind, superstep,
+    repr(vertex_id), line_text)``. Two runs of the same job produce equal
+    lists — and equal :func:`canonical_trace_digest` hashes — whatever
+    backend or worker count executed them.
+    """
+    codec = codec or default_codec
+    directory = job_directory(job_id, root)
+    if not filesystem.is_dir(directory):
+        raise TraceError(f"no trace directory for job {job_id!r}")
+    keyed = []
+    for path in filesystem.glob_files(directory, suffix=".trace"):
+        for line in filesystem.read_lines(path):
+            record = record_from_line(line, codec)
+            if isinstance(record, VertexContextRecord):
+                record.worker_id = _NORMALIZED_WORKER_ID
+                key = (0, record.superstep, repr(record.vertex_id))
+            else:
+                key = (1, record.superstep, "")
+            keyed.append((key, record_to_line(record, codec)))
+    keyed.sort(key=lambda pair: (pair[0], pair[1]))
+    return [text for _, text in keyed]
+
+
+def canonical_trace_digest(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
+    """SHA-256 over the canonical merged trace (hex string).
+
+    The one-number answer to "did these two runs capture the same thing?"
+    — byte-identical across execution backends and worker counts.
+    """
+    digest = hashlib.sha256()
+    for line in canonical_trace_lines(filesystem, job_id, codec, root):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -21,6 +21,7 @@ reproducible from a seed.
 
 from repro.pregel.aggregators import (
     Aggregator,
+    AggregatorBuffer,
     AggregatorRegistry,
     AndAggregator,
     MaxAggregator,
@@ -47,10 +48,20 @@ from repro.pregel.partition import (
     HashPartitioner,
     Partitioner,
 )
+from repro.pregel.runtime import (
+    EXECUTOR_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    StepOutcome,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.pregel.value_types import Int32, Long64, Short16
 
 __all__ = [
     "Aggregator",
+    "AggregatorBuffer",
     "AggregatorRegistry",
     "AndAggregator",
     "MaxAggregator",
@@ -81,6 +92,13 @@ __all__ = [
     "Partitioner",
     "HashPartitioner",
     "ExplicitPartitioner",
+    "EXECUTOR_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "StepOutcome",
+    "resolve_backend",
     "Short16",
     "Int32",
     "Long64",

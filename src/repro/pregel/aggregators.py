@@ -98,6 +98,48 @@ class OverwriteAggregator(Aggregator):
         return contribution
 
 
+class AggregatorBuffer:
+    """Worker-local aggregator partials for one superstep.
+
+    Parallel backends give each worker one of these instead of sharing the
+    registry: vertices fold contributions into the buffer without locking,
+    and the engine merges every buffer's partials back into the registry in
+    worker-id order at the barrier (:meth:`AggregatorRegistry.merge_partials`).
+    Because aggregator merges are associative with an identity element (the
+    base-class contract), folding per worker and then across workers in a
+    fixed order yields the same value as the serial registry fold — so
+    aggregator results are identical across backends and worker counts.
+
+    Reads (``visible_value``) go straight to the registry's previous-superstep
+    values, which are frozen during a superstep and safe to share.
+    """
+
+    def __init__(self, registry):
+        self._registry = registry
+        self._partials = {}
+
+    def visible_value(self, name):
+        return self._registry.visible_value(name)
+
+    def aggregate(self, name, contribution):
+        """Fold a contribution into this worker's local partial."""
+        partials = self._partials
+        if name in partials:
+            aggregator = self._registry._aggregators[name]
+            partials[name] = aggregator.merge(partials[name], contribution)
+        else:
+            self._registry._require(name)
+            aggregator = self._registry._aggregators[name]
+            partials[name] = aggregator.merge(
+                aggregator.initial_value(), contribution
+            )
+
+    @property
+    def partials(self):
+        """This worker's ``{name: partial}`` contributions (touched only)."""
+        return self._partials
+
+
 class AggregatorRegistry:
     """Named aggregators plus their per-superstep lifecycle.
 
@@ -159,6 +201,30 @@ class AggregatorRegistry:
         """Master-side direct write, effective immediately (broadcast)."""
         self._require(name)
         self._visible[name] = value
+
+    def buffer(self):
+        """A fresh worker-local :class:`AggregatorBuffer` bound to this registry."""
+        return AggregatorBuffer(self)
+
+    def merge_partials(self, partials):
+        """Fold one worker's buffered partials into the superstep partials.
+
+        Called once per worker, in worker-id order, at the barrier. The
+        first worker to touch an aggregator this superstep contributes its
+        partial wholesale (it was folded from the aggregator's identity);
+        later workers merge on top. With associative merges this reproduces
+        the serial fold exactly. Persistent aggregators always merge into
+        their carried-over partial, which keeps accumulating across
+        supersteps.
+        """
+        for name, partial in partials.items():
+            if name in self._touched or self._persistent[name]:
+                self._partials[name] = self._aggregators[name].merge(
+                    self._partials[name], partial
+                )
+            else:
+                self._partials[name] = partial
+            self._touched.add(name)
 
     def barrier(self):
         """End-of-superstep merge: publish partials, reset non-persistent ones.

@@ -70,8 +70,10 @@ def write_checkpoint(config, superstep, workers, aggregators, incoming, codec=No
             }
             for worker in workers
         ],
+        # The inbox key is the authoritative target (shared broadcast
+        # envelopes carry a placeholder in their target field).
         "messages": [
-            [envelope.source, envelope.target, envelope.value]
+            [envelope.source, target, envelope.value]
             for target in incoming.targets()
             for envelope in incoming.inbox(target)
         ],

@@ -21,9 +21,24 @@ trace record without any engine or cluster — the Python analogue of the
 paper's Mockito mocks.
 """
 
+from typing import NamedTuple
+
 from repro.common.errors import PregelError
 from repro.common.rng import derive_rng
 from repro.pregel.messages import Envelope
+
+
+class _BroadcastSend(NamedTuple):
+    """Compact sent-message record for one broadcast fan-out.
+
+    The fast broadcast path must not allocate one envelope per neighbor
+    just for bookkeeping; it notes the value and a snapshot of the targets
+    instead, and :attr:`ComputeContext.sent_envelopes` expands it only when
+    somebody (Graft's capture, the reproducer) actually reads the sends.
+    """
+
+    value: object
+    targets: tuple
 
 
 class ComputeServices:
@@ -40,6 +55,17 @@ class ComputeServices:
     def emit(self, envelope):
         """Accept an outgoing message envelope."""
         raise NotImplementedError
+
+    def emit_broadcast(self, source, targets, value):
+        """Accept one value sent from ``source`` to every id in ``targets``.
+
+        Hosts may override this to route the whole fan-out with a single
+        shared envelope (the worker's broadcast fast path); the default
+        keeps simple hosts — like the Context Reproducer's replay services
+        — working with only ``emit`` implemented.
+        """
+        for target in targets:
+            self.emit(Envelope(source=source, target=target, value=value))
 
     def request_add_vertex(self, vertex_id, value):
         """Request vertex creation at the coming barrier."""
@@ -83,7 +109,7 @@ class ComputeContext:
         self._observer = observer
         self._rng = None
         self.halted = False
-        self.sent_envelopes = []
+        self._sends = []
 
     def attach_observer(self, observer):
         """Attach an interception observer (Graft's instrumentation point).
@@ -154,18 +180,51 @@ class ComputeContext:
         """Incoming messages with their source ids (debugger-facing view)."""
         return list(self._incoming)
 
+    @property
+    def sent_envelopes(self):
+        """Envelopes sent during this compute(), in send order.
+
+        Materialized on read: broadcasts are stored compactly (one record
+        per fan-out) and expanded to per-target envelopes only here, so
+        only readers of the send log — Graft capture, the reproducer's
+        fidelity check — pay for the envelope objects.
+        """
+        source = self.vertex_id
+        envelopes = []
+        for entry in self._sends:
+            if entry.__class__ is _BroadcastSend:
+                envelopes.extend(
+                    Envelope(source=source, target=target, value=entry.value)
+                    for target in entry.targets
+                )
+            else:
+                envelopes.append(entry)
+        return envelopes
+
     def send_message(self, target, value):
         """Send a message for delivery in the next superstep."""
         if self._observer is not None:
             self._observer.on_send(self, target, value)
         envelope = Envelope(source=self.vertex_id, target=target, value=value)
-        self.sent_envelopes.append(envelope)
+        self._sends.append(envelope)
         self._services.emit(envelope)
 
     def send_message_to_all_neighbors(self, value):
-        """Send the same message along every outgoing edge."""
-        for target in list(self._edges):
-            self.send_message(target, value)
+        """Send the same message along every outgoing edge.
+
+        Without an observer attached this takes a fast path: the fan-out is
+        handed to the services as ``(source, targets, value)`` so the host
+        can route one shared envelope instead of building one per neighbor.
+        With an observer (Graft's message-constraint hook needs to see each
+        send) it falls back to per-message ``send_message``.
+        """
+        if self._observer is not None:
+            for target in list(self._edges):
+                self.send_message(target, value)
+            return
+        targets = tuple(self._edges)
+        self._sends.append(_BroadcastSend(value, targets))
+        self._services.emit_broadcast(self.vertex_id, targets, value)
 
     # -- aggregators ----------------------------------------------------------
 

@@ -13,14 +13,32 @@
    create-vertex-on-message default resolver), merges aggregator partials,
    and checks termination.
 
+Superstep execution is split into two layers. Each worker's share of a
+superstep is packaged as a *step*: a closure that prepares the worker,
+runs ``compute()`` over its active vertices against a private grouped
+outbox and aggregator buffer, and returns a
+:class:`~repro.pregel.runtime.StepOutcome`. An
+:class:`~repro.pregel.runtime.ExecutionBackend` (``executor="serial" |
+"threads" | "processes"``) schedules the steps; the engine then reduces
+all outcomes at the barrier **in worker-id order** — message merge,
+aggregator partial fold, mutation application, error selection — so
+results, aggregator values, and Graft trace files are identical whichever
+backend ran the steps.
+
 Listeners observe superstep boundaries — this is where Graft hooks in its
 master-context capture and per-superstep trace flushing without the engine
-knowing anything about the debugger.
+knowing anything about the debugger. Listeners that buffer per-worker data
+during steps may implement two extra hooks used by state-transferring
+backends (``processes``): ``collect_step_payload(worker_id)`` runs inside
+the step's address space and returns picklable data;
+``absorb_step_payload(worker_id, payload)`` replays it in the parent at
+the barrier. ``on_superstep_aborted(superstep, worker_id)`` fires when a
+step's fatal error is about to propagate.
 """
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import EngineStateError, PregelError
+from repro.common.errors import ComputeError, EngineStateError, PregelError
 from repro.common.timing import Timer
 from repro.pregel import halting
 from repro.pregel.aggregators import AggregatorRegistry
@@ -35,6 +53,7 @@ from repro.pregel.master import MasterContext, ensure_master, run_master
 from repro.pregel.messages import MessageStore
 from repro.pregel.metrics import RunMetrics, SuperstepMetrics
 from repro.pregel.partition import HashPartitioner
+from repro.pregel.runtime import StepOutcome, resolve_backend
 from repro.pregel.worker import Worker
 
 DEFAULT_MAX_SUPERSTEPS = 10_000
@@ -77,6 +96,12 @@ class PregelEngine:
         into workers; the input graph is never mutated.
     num_workers, partitioner:
         Cluster shape. Default: 4 workers, hash partitioning.
+    executor:
+        Execution backend for worker steps: ``"serial"`` (default),
+        ``"threads"``, ``"processes"``, or an
+        :class:`~repro.pregel.runtime.ExecutionBackend` instance. Results
+        and Graft traces are identical across backends; see
+        ``docs/performance.md``.
     master:
         Optional :class:`~repro.pregel.MasterComputation` instance.
     combiner:
@@ -93,11 +118,14 @@ class PregelEngine:
         ``"raise"`` (default) propagates a failing ``compute()`` as
         :class:`~repro.common.errors.ComputeError`; ``"halt_vertex"``
         records it and keeps going (used with Graft exception capture).
+        Under parallel backends with ``"raise"``, concurrent steps run to
+        completion and the error from the lowest-numbered worker wins.
     listeners:
         Objects whose optional hooks ``on_start(engine)``,
         ``on_master_computed(superstep, master_ctx)``,
-        ``on_superstep_end(superstep, metrics)``, ``on_finish(result)``
-        are called at the matching points.
+        ``on_superstep_end(superstep, metrics)``, ``on_finish(result)``,
+        ``on_superstep_aborted(superstep, worker_id)`` are called at the
+        matching points.
     checkpoint_config:
         Optional :class:`~repro.pregel.CheckpointConfig`; enables periodic
         checkpoints to the simulated DFS and failure recovery.
@@ -124,6 +152,7 @@ class PregelEngine:
         checkpoint_config=None,
         failure_injections=None,
         on_message_to_missing="create",
+        executor="serial",
     ):
         if max_supersteps <= 0:
             raise PregelError(f"max_supersteps must be positive, got {max_supersteps}")
@@ -137,6 +166,7 @@ class PregelEngine:
         self._graph = graph
         self._partitioner = partitioner or HashPartitioner(num_workers)
         self._num_workers = self._partitioner.num_workers
+        self._backend = resolve_backend(executor, self._num_workers)
         self._seed = seed
         self._master = ensure_master(master)
         self._combiner = combiner
@@ -155,6 +185,11 @@ class PregelEngine:
         self.workers = []
         self.aggregators = AggregatorRegistry()
         self._locations = {}
+
+    @property
+    def executor_name(self):
+        """Name of the execution backend scheduling worker steps."""
+        return self._backend.name
 
     # -- listener plumbing -----------------------------------------------
 
@@ -216,6 +251,63 @@ class PregelEngine:
     def num_edges(self):
         return sum(worker.num_edges for worker in self.workers)
 
+    # -- worker steps -------------------------------------------------------
+
+    def _make_step(self, worker, computation, superstep, incoming,
+                   num_vertices, num_edges, payload_collectors):
+        """Package one worker's share of a superstep as a pure step function.
+
+        The step touches only the worker's own state, a fresh aggregator
+        buffer, and the immutable ``incoming`` store, so backends may run
+        steps concurrently without locks. Fatal compute errors are returned
+        in the outcome (not raised) so sibling steps aren't torn down
+        mid-superstep; the engine re-raises deterministically afterwards.
+        """
+        transfers_state = self._backend.transfers_state
+        on_error = self._on_error
+
+        def step():
+            buffer = self.aggregators.buffer()
+            worker.prepare_superstep(buffer)
+            error = None
+            with Timer() as timer:
+                try:
+                    worker.run_superstep(
+                        computation,
+                        superstep,
+                        incoming,
+                        num_vertices,
+                        num_edges,
+                        on_error=on_error,
+                    )
+                except ComputeError as exc:
+                    error = exc
+            payloads = None
+            state = None
+            if transfers_state:
+                payloads = [
+                    collector(worker.worker_id)
+                    for collector in payload_collectors
+                ]
+                state = (worker.values, worker.edges, worker.halted)
+            return StepOutcome(
+                worker_id=worker.worker_id,
+                elapsed=timer.elapsed,
+                outbox=worker.outbox,
+                agg_partials=buffer.partials,
+                add_vertex_requests=worker.add_vertex_requests,
+                remove_vertex_requests=worker.remove_vertex_requests,
+                messages_sent=worker.messages_sent,
+                bytes_sent=worker.bytes_sent,
+                compute_calls=worker.compute_calls,
+                compute_errors=worker.compute_errors,
+                error=error,
+                state=state,
+                payloads=payloads,
+            )
+
+        return step
+
     # -- the BSP loop -------------------------------------------------------
 
     def run(self):
@@ -223,8 +315,22 @@ class PregelEngine:
         if self._ran:
             raise EngineStateError("engine instances are single-use; build a new one")
         self._ran = True
+        try:
+            return self._run()
+        finally:
+            self._backend.close()
+
+    def _run(self):
         self._load()
         self._notify("on_start", self)
+        payload_collectors = [
+            listener
+            for listener in self._listeners
+            if hasattr(listener, "collect_step_payload")
+        ]
+        collector_hooks = [
+            listener.collect_step_payload for listener in payload_collectors
+        ]
 
         metrics = RunMetrics()
         compute_errors = []
@@ -260,26 +366,37 @@ class PregelEngine:
                     halt_reason = halting.MASTER_HALT
                     break
 
-                superstep_metrics = SuperstepMetrics(superstep)
-                for worker, computation in zip(self.workers, self._computations):
-                    worker.prepare_superstep(self.aggregators)
-                    with Timer() as worker_timer:
-                        worker.run_superstep(
-                            computation,
-                            superstep,
-                            incoming,
-                            num_vertices,
-                            num_edges,
-                            on_error=self._on_error,
-                        )
-                    superstep_metrics.compute_seconds += worker_timer.elapsed
-                    superstep_metrics.compute_calls += worker.compute_calls
-                    superstep_metrics.active_vertices += worker.compute_calls
-                    superstep_metrics.messages_sent += worker.messages_sent
-                    superstep_metrics.bytes_sent += worker.bytes_sent
-                    compute_errors.extend(worker.compute_errors)
+                steps = [
+                    self._make_step(
+                        worker,
+                        computation,
+                        superstep,
+                        incoming,
+                        num_vertices,
+                        num_edges,
+                        collector_hooks,
+                    )
+                    for worker, computation in zip(
+                        self.workers, self._computations
+                    )
+                ]
+                with Timer() as wall_timer:
+                    outcomes = self._backend.run_superstep(steps)
+                self._raise_if_step_failed(superstep, outcomes)
 
-                outgoing = self._barrier(superstep_metrics)
+                superstep_metrics = SuperstepMetrics(superstep)
+                superstep_metrics.wall_seconds = wall_timer.elapsed
+                for outcome in outcomes:
+                    superstep_metrics.compute_seconds += outcome.elapsed
+                    superstep_metrics.compute_calls += outcome.compute_calls
+                    superstep_metrics.active_vertices += outcome.compute_calls
+                    superstep_metrics.messages_sent += outcome.messages_sent
+                    superstep_metrics.bytes_sent += outcome.bytes_sent
+                    compute_errors.extend(outcome.compute_errors)
+
+                outgoing = self._barrier(
+                    outcomes, superstep_metrics, payload_collectors
+                )
                 metrics.add_superstep(superstep_metrics)
                 self._notify("on_superstep_end", superstep, superstep_metrics)
                 supersteps_run = superstep + 1
@@ -309,6 +426,25 @@ class PregelEngine:
         self._notify("on_finish", result)
         return result
 
+    def _raise_if_step_failed(self, superstep, outcomes):
+        """Propagate a fatal step error deterministically.
+
+        Concurrent backends run every step even when one fails, so several
+        outcomes may carry errors; the lowest worker id wins regardless of
+        completion order. Listeners get ``on_superstep_aborted`` first so
+        Graft can persist exactly the captures a serial run would have
+        produced (workers after the failing one never ran serially).
+        """
+        failed = None
+        for outcome in outcomes:
+            if outcome.error is not None:
+                failed = outcome
+                break
+        if failed is None:
+            return
+        self._notify("on_superstep_aborted", superstep, failed.worker_id)
+        raise failed.error
+
     def _recover(self, failed_superstep):
         """Roll every worker back to the last checkpoint (Pregel recovery)."""
         config = self._checkpoint_config
@@ -318,26 +454,43 @@ class PregelEngine:
         self.aggregators.restore_snapshot(checkpoint["aggregators"])
         return checkpoint["superstep"], checkpoint["incoming"]
 
-    def _barrier(self, superstep_metrics):
-        """Route messages, apply mutations, merge aggregators."""
+    def _barrier(self, outcomes, superstep_metrics, payload_collectors):
+        """Reduce step outcomes in worker-id order.
+
+        Every reduction here is a deterministic fold over ``outcomes``
+        (already ordered by worker id): absorb transferred state, merge
+        grouped outboxes, canonicalize inbox order, combine, apply
+        mutations, fold aggregator partials. No step result is consumed in
+        completion order, which is what makes the barrier
+        backend-independent.
+        """
+        if self._backend.transfers_state:
+            for outcome in outcomes:
+                worker = self.workers[outcome.worker_id]
+                worker.values, worker.edges, worker.halted = outcome.state
+                for listener, payload in zip(payload_collectors, outcome.payloads):
+                    listener.absorb_step_payload(outcome.worker_id, payload)
         outgoing = MessageStore()
-        for worker in self.workers:
-            outgoing.deliver_all(worker.outbox)
+        for outcome in outcomes:
+            outgoing.merge_grouped(outcome.outbox)
+        outgoing.canonicalize()
         if self._combiner is not None:
             superstep_metrics.messages_combined = outgoing.combine(self._combiner)
-        self._apply_mutations(outgoing)
+        self._apply_mutations(outcomes, outgoing)
+        for outcome in outcomes:
+            self.aggregators.merge_partials(outcome.agg_partials)
         self.aggregators.barrier()
         return outgoing
 
-    def _apply_mutations(self, outgoing):
+    def _apply_mutations(self, outcomes, outgoing):
         """Removals, then additions, then message-driven vertex creation."""
-        for worker in self.workers:
-            for vertex_id in worker.remove_vertex_requests:
+        for outcome in outcomes:
+            for vertex_id in outcome.remove_vertex_requests:
                 location = self._locations.pop(vertex_id, None)
                 if location is not None:
                     self.workers[location].remove_vertex(vertex_id)
-        for worker in self.workers:
-            for vertex_id, value in worker.add_vertex_requests:
+        for outcome in outcomes:
+            for vertex_id, value in outcome.add_vertex_requests:
                 if vertex_id not in self._locations:
                     self._create_vertex(vertex_id, value)
         if self._on_message_to_missing == "create":

@@ -6,22 +6,84 @@ superstep)`` and the GUI displays the incoming/outgoing messages of a
 captured vertex with their endpoints. The plain Giraph ``compute()`` API
 still sees only message *values*; envelopes surface through
 ``ctx.message_envelopes()`` and the debugger.
+
+Hot-path notes
+--------------
+Workers emit into *grouped outboxes* (``{target: [envelopes]}``) so the
+barrier merge is one ``extend`` per ``(worker, target)`` batch instead of
+one dict operation per envelope, and the first worker to reach a target
+hands its batch over without copying. After merging every worker's outbox
+the store is :meth:`canonicalized <MessageStore.canonicalize>`: each inbox
+is stably sorted by the repr of the source id, which makes inbox order —
+and therefore combiner folds, ``sum(messages)`` float reductions, and
+Graft's captured ``incoming`` lists — independent of how vertices were
+partitioned across workers. That ordering is what lets trace files merge
+byte-identically across execution backends and worker counts.
 """
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class Envelope:
+class _BroadcastTargetType:
+    """Placeholder target of a shared broadcast envelope.
+
+    A broadcast (``send_message_to_all_neighbors``) builds *one* envelope
+    and files it into every neighbor's outbox batch; the real target is
+    the batch key. A dedicated singleton (rather than None) keeps the
+    placeholder distinguishable from a user vertex id, and ``__reduce__``
+    preserves identity across the process backend's pickle pipe.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<broadcast>"
+
+    def __reduce__(self):
+        return (_broadcast_target, ())
+
+
+BROADCAST_TARGET = _BroadcastTargetType()
+
+
+def _broadcast_target():
+    return BROADCAST_TARGET
+
+
+class Envelope(NamedTuple):
     """One message in flight: value plus endpoints.
 
     ``source`` is None for combined messages (per-source identity is folded
-    away) and for engine-synthesized messages.
+    away) and for engine-synthesized messages. ``target`` is
+    :data:`BROADCAST_TARGET` for envelopes shared across a broadcast
+    fan-out — there the authoritative target is the outbox/inbox key the
+    envelope is filed under, never the field.
+
+    A ``NamedTuple`` rather than a dataclass: envelope construction is the
+    single hottest allocation in the engine, and tuple ``__new__`` avoids
+    the per-field ``object.__setattr__`` cost of a frozen dataclass.
     """
 
     source: object
     target: object
     value: object
+
+
+def _canonical_source_key(envelope):
+    """Partition-independent sort key for inbox ordering."""
+    return repr(envelope.source)
+
+
+def group_by_target(envelopes):
+    """Group an iterable of envelopes into ``{target: [envelopes]}``."""
+    grouped = {}
+    for envelope in envelopes:
+        batch = grouped.get(envelope.target)
+        if batch is None:
+            grouped[envelope.target] = [envelope]
+        else:
+            batch.append(envelope)
+    return grouped
 
 
 class MessageStore:
@@ -39,6 +101,40 @@ class MessageStore:
     def deliver_all(self, envelopes):
         for envelope in envelopes:
             self.deliver(envelope)
+
+    def merge_grouped(self, grouped):
+        """Merge a grouped outbox (``{target: [envelopes]}``) in one pass.
+
+        The batch list is adopted directly when the target has no inbox yet
+        (the common case: each worker is the only sender to most of its
+        targets), so routing a message costs one dict lookup per *batch*,
+        not per envelope. Callers hand over ownership of the batch lists.
+        Returns the number of envelopes merged.
+        """
+        by_target = self._by_target
+        merged = 0
+        for target, batch in grouped.items():
+            existing = by_target.get(target)
+            if existing is None:
+                by_target[target] = batch
+            else:
+                existing.extend(batch)
+            merged += len(batch)
+        self.total_messages += merged
+        return merged
+
+    def canonicalize(self):
+        """Stably sort each inbox into partition-independent order.
+
+        After the per-worker merge, inbox order reflects which worker sent
+        first — an artifact of the partitioning. Sorting by the source id's
+        repr (stable, so one source's messages keep their emission order)
+        makes delivery order a pure function of the computation, identical
+        across execution backends and worker counts.
+        """
+        for envelopes in self._by_target.values():
+            if len(envelopes) > 1:
+                envelopes.sort(key=_canonical_source_key)
 
     def inbox(self, vertex_id):
         """The envelopes destined for ``vertex_id`` (possibly empty)."""

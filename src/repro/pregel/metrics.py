@@ -4,6 +4,13 @@ The paper's performance section reports total run time with and without
 Graft, plus capture counts. :class:`RunMetrics` records wall-clock time and
 per-superstep counters so overhead and its sources (extra compute work,
 trace bytes) are all observable.
+
+With the pluggable execution backends, each superstep distinguishes
+*wall-clock* time (barrier to barrier, as a user experiences it) from
+*aggregate compute* time (the sum of every worker's step time, as the
+cluster pays for it). Their ratio is the superstep's parallelism
+efficiency: 1.0 means perfectly serial execution, ``num_workers`` means
+ideal speedup.
 """
 
 from dataclasses import dataclass, field
@@ -22,13 +29,29 @@ class SuperstepMetrics:
     messages_combined: int = 0
     bytes_sent: int = 0
     compute_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def parallel_efficiency(self):
+        """Aggregate compute seconds per wall-clock second.
+
+        1.0 = serial; approaches the worker count under ideal parallel
+        speedup. None when the superstep was too fast to time.
+        """
+        if self.wall_seconds <= 0.0:
+            return None
+        return self.compute_seconds / self.wall_seconds
 
     def row(self):
+        efficiency = self.parallel_efficiency
+        parallel = (
+            f" parallel={efficiency:.2f}x" if efficiency is not None else ""
+        )
         return (
             f"superstep {self.superstep:>4}: active={self.active_vertices:>8} "
             f"msgs={self.messages_sent:>9} combined={self.messages_combined:>8} "
             f"bytes={self.bytes_sent:>11} "
-            f"time={format_duration(self.compute_seconds)}"
+            f"time={format_duration(self.compute_seconds)}{parallel}"
         )
 
 
@@ -62,11 +85,31 @@ class RunMetrics:
     def total_messages_combined(self):
         return sum(s.messages_combined for s in self.supersteps)
 
+    @property
+    def total_compute_seconds(self):
+        return sum(s.compute_seconds for s in self.supersteps)
+
+    @property
+    def total_wall_seconds(self):
+        return sum(s.wall_seconds for s in self.supersteps)
+
+    @property
+    def parallel_efficiency(self):
+        """Run-wide compute-seconds / wall-seconds ratio (None if untimed)."""
+        wall = self.total_wall_seconds
+        if wall <= 0.0:
+            return None
+        return self.total_compute_seconds / wall
+
     def summary(self):
+        efficiency = self.parallel_efficiency
+        parallel = (
+            f", parallelism {efficiency:.2f}x" if efficiency is not None else ""
+        )
         return (
             f"{self.num_supersteps} supersteps, "
             f"{self.total_compute_calls} compute calls, "
             f"{self.total_messages} messages "
             f"({self.total_bytes_sent} bytes), "
-            f"{format_duration(self.total_seconds)} total"
+            f"{format_duration(self.total_seconds)} total{parallel}"
         )

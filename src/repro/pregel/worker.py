@@ -2,15 +2,20 @@
 
 Each worker owns the values, adjacency, and halt flags of the vertices its
 partition assigned to it, and executes ``compute()`` for its active
-vertices each superstep. Workers are plain objects run in a deterministic
-order by the engine; everything a distributed worker would do at the API
-level — message emission, aggregator partials, mutation requests, metrics —
-happens here, so Graft's per-worker trace files come out exactly as they
-would on a cluster.
+vertices each superstep. Workers are plain objects scheduled by the
+engine's execution backend (serially or concurrently); everything a
+distributed worker would do at the API level — message emission,
+aggregator partials, mutation requests, metrics — happens here, so Graft's
+per-worker trace files come out exactly as they would on a cluster.
+
+A worker's per-superstep outputs are written only by its own step, so the
+parallel backends need no locks: the engine hands each worker a private
+aggregator buffer and reads all outputs back at the barrier.
 """
 
 from repro.common.errors import ComputeError
 from repro.pregel.context import ComputeContext, ComputeServices
+from repro.pregel.messages import BROADCAST_TARGET, Envelope
 
 
 class _WorkerServices(ComputeServices):
@@ -26,9 +31,32 @@ class _WorkerServices(ComputeServices):
         self._worker._aggregators.aggregate(name, contribution)
 
     def emit(self, envelope):
-        self._worker.outbox.append(envelope)
-        self._worker.messages_sent += 1
-        self._worker.bytes_sent += _estimate_bytes(envelope.value)
+        worker = self._worker
+        outbox = worker.outbox
+        batch = outbox.get(envelope.target)
+        if batch is None:
+            outbox[envelope.target] = [envelope]
+        else:
+            batch.append(envelope)
+        worker.messages_sent += 1
+        worker.bytes_sent += _estimate_bytes(envelope.value)
+
+    def emit_broadcast(self, source, targets, value):
+        # Broadcast fast path: one shared envelope, one size estimate, and
+        # one counter update for the whole fan-out. The envelope is filed
+        # under every target's batch — immutable, so sharing is safe — and
+        # its authoritative target is the batch key, not its target field.
+        worker = self._worker
+        outbox = worker.outbox
+        shared = Envelope(source=source, target=BROADCAST_TARGET, value=value)
+        for target in targets:
+            batch = outbox.get(target)
+            if batch is None:
+                outbox[target] = [shared]
+            else:
+                batch.append(shared)
+        worker.messages_sent += len(targets)
+        worker.bytes_sent += len(targets) * _estimate_bytes(value)
 
     def request_add_vertex(self, vertex_id, value):
         self._worker.add_vertex_requests.append((vertex_id, value))
@@ -37,9 +65,42 @@ class _WorkerServices(ComputeServices):
         self._worker.remove_vertex_requests.append(vertex_id)
 
 
+# Fixed estimates for types whose size doesn't depend on content enough to
+# matter for accounting. Exact-class keys so bool doesn't fall into int via
+# isinstance checks.
+_FIXED_SIZES = {type(None): 1, bool: 1, int: 8, float: 8}
+_CONTAINER_TYPES = (list, tuple, set, frozenset, dict)
+# First-instance size estimate per unknown type, so repeated messages of a
+# user value class cost one dict lookup instead of a repr each.
+_LEARNED_SIZES = {}
+
+
 def _estimate_bytes(value):
-    """Cheap serialized-size estimate for network accounting."""
-    return 16 + len(str(value))
+    """Cheap serialized-size estimate for network accounting.
+
+    O(1) in the size of the value: scalars use fixed sizes, strings/bytes
+    their length, containers a shallow per-slot estimate, and unknown types
+    the repr length of the first instance seen (cached per type). Byte
+    counts are an accounting signal, not a codec — they must never cost
+    more than the send itself, which the old ``len(str(value))`` did for
+    large nested payloads.
+    """
+    cls = value.__class__
+    fixed = _FIXED_SIZES.get(cls)
+    if fixed is not None:
+        return 16 + fixed
+    if cls is str or cls is bytes:
+        return 16 + len(value)
+    if cls in _CONTAINER_TYPES or isinstance(value, _CONTAINER_TYPES):
+        return 32 + 8 * len(value)
+    learned = _LEARNED_SIZES.get(cls)
+    if learned is None:
+        try:
+            learned = len(repr(value))
+        except Exception:  # noqa: BLE001 - estimation must never raise
+            learned = 64
+        _LEARNED_SIZES[cls] = learned
+    return 16 + learned
 
 
 class Worker:
@@ -54,7 +115,7 @@ class Worker:
         self._services = _WorkerServices(self)
         self._aggregators = None
         # Per-superstep outputs, reset by prepare_superstep():
-        self.outbox = []
+        self.outbox = {}
         self.add_vertex_requests = []
         self.remove_vertex_requests = []
         self.messages_sent = 0
@@ -89,15 +150,36 @@ class Worker:
     # -- superstep execution -------------------------------------------------
 
     def prepare_superstep(self, aggregators):
-        """Reset per-superstep outputs and bind the aggregator registry."""
+        """Reset per-superstep outputs and bind the aggregator sink.
+
+        ``aggregators`` is anything with ``visible_value``/``aggregate`` —
+        the shared :class:`~repro.pregel.aggregators.AggregatorRegistry`
+        (serial semantics) or a worker-local
+        :class:`~repro.pregel.aggregators.AggregatorBuffer` (what the
+        engine's backends hand out so steps never share mutable state).
+        """
         self._aggregators = aggregators
-        self.outbox = []
+        self.outbox = {}
         self.add_vertex_requests = []
         self.remove_vertex_requests = []
         self.messages_sent = 0
         self.bytes_sent = 0
         self.compute_calls = 0
         self.compute_errors = []
+
+    def outbox_envelopes(self):
+        """All envelopes emitted this superstep, in emission order per target.
+
+        Shared broadcast envelopes are rewritten with the batch's real
+        target, so callers see fully-addressed envelopes.
+        """
+        return [
+            envelope
+            if envelope.target is not BROADCAST_TARGET
+            else Envelope(envelope.source, target, envelope.value)
+            for target, batch in self.outbox.items()
+            for envelope in batch
+        ]
 
     def active_vertices(self, superstep, message_store):
         """Ids this worker must run compute() on this superstep, in order."""

@@ -4,17 +4,27 @@ Each Graft-instrumented worker holds one :class:`LineWriter` for its trace
 file and appends one record per line. Buffering batches small appends into
 larger file-system writes, mirroring how real trace producers buffer before
 hitting HDFS.
+
+Flushing is adaptive: a flush happens when *either* the line-count
+threshold or the byte threshold is reached, so many tiny records batch up
+into large appends while a few huge records don't pin megabytes in memory.
 """
 
 from repro.common.errors import SimFsError
 
-DEFAULT_BUFFER_LINES = 256
+DEFAULT_BUFFER_LINES = 1024
+DEFAULT_BUFFER_BYTES = 256 * 1024
 
 
 class LineWriter:
-    """Appends text lines to one file, flushing every ``buffer_lines`` lines.
+    """Appends text lines to one file with adaptive buffering.
 
-    Usable as a context manager; closing flushes.
+    Flushes when ``buffer_lines`` lines or ``buffer_bytes`` buffered
+    characters accumulate, whichever comes first. Usable as a context
+    manager; leaving the ``with`` block closes the writer, flushing
+    buffered lines even when the block is exiting with an exception (so a
+    failing job never loses already-captured trace records). ``close()``
+    and ``flush()`` are idempotent.
 
     >>> from repro.simfs import SimFileSystem
     >>> fs = SimFileSystem()
@@ -25,13 +35,23 @@ class LineWriter:
     ['record-1', 'record-2']
     """
 
-    def __init__(self, filesystem, path, buffer_lines=DEFAULT_BUFFER_LINES):
+    def __init__(
+        self,
+        filesystem,
+        path,
+        buffer_lines=DEFAULT_BUFFER_LINES,
+        buffer_bytes=DEFAULT_BUFFER_BYTES,
+    ):
         if buffer_lines <= 0:
             raise SimFsError(f"buffer_lines must be positive, got {buffer_lines}")
+        if buffer_bytes <= 0:
+            raise SimFsError(f"buffer_bytes must be positive, got {buffer_bytes}")
         self._fs = filesystem
         self.path = path
         self._buffer = []
+        self._buffered_chars = 0
         self._buffer_lines = buffer_lines
+        self._buffer_bytes = buffer_bytes
         self._closed = False
         self.lines_written = 0
         filesystem.create(path, overwrite=True)
@@ -43,15 +63,51 @@ class LineWriter:
         if "\n" in line:
             raise SimFsError("write_line() takes a single line without newlines")
         self._buffer.append(line)
+        self._buffered_chars += len(line) + 1
         self.lines_written += 1
-        if len(self._buffer) >= self._buffer_lines:
+        if (
+            len(self._buffer) >= self._buffer_lines
+            or self._buffered_chars >= self._buffer_bytes
+        ):
             self.flush()
 
+    def write_lines(self, lines):
+        """Append many lines with one threshold check at the end.
+
+        The bulk path for trace drains: per-line flush checks are skipped
+        while the batch is buffered, then the usual thresholds apply once.
+        """
+        if self._closed:
+            raise SimFsError(f"writer for {self.path!r} is closed")
+        count = 0
+        chars = 0
+        for line in lines:
+            if "\n" in line:
+                raise SimFsError(
+                    "write_lines() takes single lines without newlines"
+                )
+            self._buffer.append(line)
+            chars += len(line) + 1
+            count += 1
+        self._buffered_chars += chars
+        self.lines_written += count
+        if (
+            len(self._buffer) >= self._buffer_lines
+            or self._buffered_chars >= self._buffer_bytes
+        ):
+            self.flush()
+
+    @property
+    def pending_lines(self):
+        """Lines buffered but not yet pushed to the file system."""
+        return len(self._buffer)
+
     def flush(self):
-        """Push buffered lines to the file system."""
+        """Push buffered lines to the file system. Idempotent."""
         if self._buffer:
             self._fs.append_text(self.path, "".join(l + "\n" for l in self._buffer))
             self._buffer = []
+            self._buffered_chars = 0
 
     def close(self):
         """Flush and prevent further writes. Idempotent."""
@@ -67,5 +123,7 @@ class LineWriter:
         return self
 
     def __exit__(self, exc_type, exc, tb):
+        # Flush-before-propagate: buffered records survive an exception in
+        # the with block; the original exception continues unwinding.
         self.close()
         return False

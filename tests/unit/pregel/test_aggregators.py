@@ -119,6 +119,59 @@ class TestRegistryLifecycle:
             registry.restore_snapshot({"ghost": 1})
 
 
+class TestAggregatorBuffer:
+    def test_buffered_contributions_merge_at_barrier(self):
+        registry = AggregatorRegistry()
+        registry.register("total", SumAggregator())
+        buffer_a = registry.buffer()
+        buffer_b = registry.buffer()
+        buffer_a.aggregate("total", 2)
+        buffer_b.aggregate("total", 3)
+        registry.merge_partials(buffer_a.partials)
+        registry.merge_partials(buffer_b.partials)
+        registry.barrier()
+        assert registry.visible_value("total") == 5
+
+    def test_buffer_sees_visible_values(self):
+        registry = AggregatorRegistry()
+        registry.register("phase", OverwriteAggregator())
+        registry.set_visible("phase", "SELECT")
+        assert registry.buffer().visible_value("phase") == "SELECT"
+
+    def test_buffer_rejects_unknown_name(self):
+        buffer = AggregatorRegistry().buffer()
+        with pytest.raises(AggregatorError, match="unknown aggregator"):
+            buffer.aggregate("ghost", 1)
+
+    def test_merge_order_is_worker_order_not_arrival_order(self):
+        # OverwriteAggregator is order-sensitive: folding buffers in worker
+        # order must win regardless of which worker finished first.
+        registry = AggregatorRegistry()
+        registry.register("last", OverwriteAggregator())
+        partials = []
+        for worker_id in range(3):
+            buffer = registry.buffer()
+            buffer.aggregate("last", f"worker-{worker_id}")
+            partials.append(buffer.partials)
+        for partial in partials:  # the engine folds in worker-id order
+            registry.merge_partials(partial)
+        registry.barrier()
+        assert registry.visible_value("last") == "worker-2"
+
+    def test_persistent_partial_not_lost_when_buffered(self):
+        # A persistent aggregator's carried partial must merge with (not be
+        # replaced by) the first buffered contribution of a superstep.
+        registry = AggregatorRegistry()
+        registry.register("ever", SumAggregator(), persistent=True)
+        registry.aggregate("ever", 5)
+        registry.barrier()
+        buffer = registry.buffer()
+        buffer.aggregate("ever", 2)
+        registry.merge_partials(buffer.partials)
+        registry.barrier()
+        assert registry.visible_value("ever") == 7
+
+
 class TestRegistryErrors:
     def test_duplicate_registration_rejected(self):
         registry = AggregatorRegistry()

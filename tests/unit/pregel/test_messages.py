@@ -1,6 +1,6 @@
 """Unit tests for message envelopes and the per-superstep store."""
 
-from repro.pregel.messages import Envelope, MessageStore
+from repro.pregel.messages import Envelope, MessageStore, group_by_target
 
 
 class TestMessageStore:
@@ -40,3 +40,58 @@ class TestMessageStore:
         except AttributeError:
             raised = True
         assert raised
+
+    def test_merge_grouped_adopts_and_extends(self):
+        store = MessageStore()
+        first = {
+            "a": [Envelope(source=0, target="a", value=1)],
+            "b": [Envelope(source=0, target="b", value=2)],
+        }
+        second = {"a": [Envelope(source=1, target="a", value=3)]}
+        assert store.merge_grouped(first) == 2
+        assert store.merge_grouped(second) == 1
+        assert [e.value for e in store.inbox("a")] == [1, 3]
+        assert [e.value for e in store.inbox("b")] == [2]
+        assert store.total_messages == 3
+
+    def test_group_by_target(self):
+        grouped = group_by_target(
+            [
+                Envelope(source=0, target="a", value=1),
+                Envelope(source=0, target="b", value=2),
+                Envelope(source=1, target="a", value=3),
+            ]
+        )
+        assert set(grouped) == {"a", "b"}
+        assert [e.value for e in grouped["a"]] == [1, 3]
+
+    def test_canonicalize_orders_inbox_by_source(self):
+        """Delivery order becomes partition-independent after canonicalize().
+
+        Whatever worker-merge order produced the inbox, the barrier sort by
+        repr(source) leaves every inbox in the same order — the property
+        the deterministic trace merge relies on.
+        """
+        forward = MessageStore()
+        backward = MessageStore()
+        envelopes = [
+            Envelope(source=source, target="t", value=source * 10)
+            for source in (3, 1, 2)
+        ]
+        forward.deliver_all(envelopes)
+        backward.deliver_all(reversed(envelopes))
+        forward.canonicalize()
+        backward.canonicalize()
+        assert [e.source for e in forward.inbox("t")] == [1, 2, 3]
+        assert forward.inbox("t") == backward.inbox("t")
+
+    def test_canonicalize_is_stable_for_equal_sources(self):
+        store = MessageStore()
+        store.deliver_all(
+            [
+                Envelope(source=7, target="t", value="first"),
+                Envelope(source=7, target="t", value="second"),
+            ]
+        )
+        store.canonicalize()
+        assert [e.value for e in store.inbox("t")] == ["first", "second"]

@@ -6,7 +6,7 @@ from repro.common.errors import ComputeError
 from repro.pregel import Computation
 from repro.pregel.aggregators import AggregatorRegistry, SumAggregator
 from repro.pregel.messages import Envelope, MessageStore
-from repro.pregel.worker import Worker
+from repro.pregel.worker import _LEARNED_SIZES, Worker, _estimate_bytes
 
 
 class Echo(Computation):
@@ -28,6 +28,63 @@ def loaded_worker():
     worker.load_vertex("a", 0, {"b": None})
     worker.load_vertex("b", 0, {"a": None})
     return worker
+
+
+class TestEstimateBytes:
+    """Regression tests: byte accounting must be O(1), never O(payload)."""
+
+    def test_scalar_sizes_are_fixed(self):
+        assert _estimate_bytes(0) == _estimate_bytes(10**100)
+        assert _estimate_bytes(0.5) == _estimate_bytes(1e300)
+        assert _estimate_bytes(None) == 17
+        assert _estimate_bytes(True) == _estimate_bytes(False)
+
+    def test_strings_scale_with_length(self):
+        assert _estimate_bytes("abcd") == _estimate_bytes("") + 4
+        assert _estimate_bytes(b"abcd") == _estimate_bytes(b"") + 4
+
+    def test_containers_use_shallow_estimate(self):
+        # A list of huge strings must cost the same as a list of ints of
+        # equal length: the estimate never walks the elements (the old
+        # len(str(value)) implementation did, and dominated send time for
+        # large payloads).
+        big = ["x" * 100_000] * 8
+        small = [1] * 8
+        assert _estimate_bytes(big) == _estimate_bytes(small)
+        assert _estimate_bytes({i: big for i in range(4)}) == _estimate_bytes(
+            {i: 0 for i in range(4)}
+        )
+
+    def test_container_subclasses_take_container_path(self):
+        class MyList(list):
+            def __repr__(self):  # pragma: no cover - must never be called
+                raise AssertionError("estimator stringified a container")
+
+        assert _estimate_bytes(MyList([1, 2, 3])) == 32 + 8 * 3
+
+    def test_unknown_type_repr_cached_per_type(self):
+        calls = []
+
+        class Payload:
+            def __repr__(self):
+                calls.append(1)
+                return "Payload()"
+
+        _LEARNED_SIZES.pop(Payload, None)
+        first = _estimate_bytes(Payload())
+        second = _estimate_bytes(Payload())
+        assert first == second == 16 + len("Payload()")
+        assert len(calls) == 1  # repr ran once; later instances hit the cache
+        _LEARNED_SIZES.pop(Payload, None)
+
+    def test_unreprable_value_falls_back(self):
+        class Broken:
+            def __repr__(self):
+                raise RuntimeError("no repr")
+
+        _LEARNED_SIZES.pop(Broken, None)
+        assert _estimate_bytes(Broken()) == 16 + 64
+        _LEARNED_SIZES.pop(Broken, None)
 
 
 class TestVertexState:
@@ -79,8 +136,9 @@ class TestRunSuperstep:
         store = MessageStore()
         store.deliver(Envelope(source="b", target="a", value="payload"))
         worker.run_superstep(Echo(), 1, store, 2, 2)
-        assert len(worker.outbox) == 1
-        assert worker.outbox[0].target == "b"
+        envelopes = worker.outbox_envelopes()
+        assert len(envelopes) == 1
+        assert envelopes[0].target == "b"
         assert worker.messages_sent == 1
         assert worker.bytes_sent > 0
 
@@ -143,6 +201,7 @@ class TestRunSuperstep:
         store.deliver(Envelope(source="b", target="a", value=1))
         worker.run_superstep(Echo(), 1, store, 2, 2)
         worker.prepare_superstep(AggregatorRegistry())
-        assert worker.outbox == []
+        assert worker.outbox == {}
+        assert worker.outbox_envelopes() == []
         assert worker.messages_sent == 0
         assert worker.compute_calls == 0

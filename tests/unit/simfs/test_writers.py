@@ -58,6 +58,43 @@ class TestLineWriter:
     def test_invalid_buffer_size(self, fs):
         with pytest.raises(SimFsError):
             LineWriter(fs, "/w", buffer_lines=0)
+        with pytest.raises(SimFsError):
+            LineWriter(fs, "/w2", buffer_bytes=0)
+
+    def test_byte_threshold_flushes_before_line_threshold(self, fs):
+        writer = LineWriter(fs, "/w", buffer_lines=1000, buffer_bytes=64)
+        writer.write_line("x" * 100)
+        assert writer.pending_lines == 0
+        assert len(list(fs.read_lines("/w"))) == 1
+        writer.close()
+
+    def test_write_lines_bulk(self, fs):
+        writer = LineWriter(fs, "/w", buffer_lines=10)
+        writer.write_lines([str(index) for index in range(4)])
+        assert writer.pending_lines == 4
+        assert writer.lines_written == 4
+        writer.write_lines([str(index) for index in range(4, 12)])
+        # Crossing the line threshold inside the batch flushes once at the end.
+        assert writer.pending_lines == 0
+        assert list(fs.read_lines("/w")) == [str(index) for index in range(12)]
+        writer.close()
+
+    def test_write_lines_rejects_newlines_and_closed(self, fs):
+        writer = LineWriter(fs, "/w")
+        with pytest.raises(SimFsError, match="single line"):
+            writer.write_lines(["ok", "bad\nline"])
+        writer.close()
+        with pytest.raises(SimFsError, match="closed"):
+            writer.write_lines(["late"])
+
+    def test_buffered_lines_survive_exception_in_with_block(self, fs):
+        with pytest.raises(RuntimeError, match="job died"):
+            with LineWriter(fs, "/t/w.trace", buffer_lines=100) as writer:
+                writer.write_line("captured-before-crash")
+                raise RuntimeError("job died")
+        # __exit__ flushed the buffer before letting the exception propagate.
+        assert list(fs.read_lines("/t/w.trace")) == ["captured-before-crash"]
+        assert writer.closed
 
     def test_counts_lines(self, fs):
         with LineWriter(fs, "/w") as writer:
