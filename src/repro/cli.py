@@ -11,6 +11,7 @@ The workflows a Giraph user would drive from a terminal::
         --nonneg-messages --view violations
     python -m repro lint repro.algorithms:BuggyRandomWalk --format json
     python -m repro lint repro.algorithms examples/quickstart.py
+    python -m repro trace stats job-0 --dir ./exported-traces
     python -m repro validate --dataset soc-Epinions --vertices 500
 
 Exit status (documented for CI gating):
@@ -303,6 +304,12 @@ def cmd_debug(args, out):
     if args.html_report:
         out(f"wrote {run.export_html_report(args.html_report)}")
 
+    if args.export_traces:
+        run.export_traces(args.export_traces)
+        out(f"exported traces to {args.export_traces} "
+            f"(inspect with: repro trace stats {run.session.job_id} "
+            f"--dir {args.export_traces})")
+
     if args.reproduce:
         vertex_token, step_token = args.reproduce
         try:
@@ -383,6 +390,50 @@ def cmd_lint(args, out):
     if errors:
         return 1
     return 2 if findings else 0
+
+
+def cmd_trace(args, out):
+    from repro.common.errors import TraceError
+    from repro.graft.trace import trace_stats
+    from repro.simfs import SimFileSystem
+
+    fs = SimFileSystem()
+    try:
+        fs.import_from_directory(args.dir)
+    except OSError as exc:
+        out(f"trace: cannot load {args.dir}: {exc}")
+        return 1
+    try:
+        stats = trace_stats(fs, args.job_id, root=args.root)
+    except TraceError as exc:
+        out(f"trace: {exc}")
+        return 1
+    rows = []
+    for info in stats["files"]:
+        rows.append([
+            info["path"].rsplit("/", 1)[-1],
+            info["format"],
+            info["records"],
+            info["bytes"],
+            info["index_bytes"],
+            f"{info['index_coverage'] * 100:.1f}%",
+            f"{info['compression_ratio']:.2f}x",
+            "-" if info["violations"] is None else info["violations"],
+            "-" if info["exceptions"] is None else info["exceptions"],
+        ])
+    totals = stats["totals"]
+    rows.append([
+        "TOTAL", "", totals["records"], totals["bytes"],
+        totals["index_bytes"], f"{totals['index_coverage'] * 100:.1f}%",
+        f"{totals['compression_ratio']:.2f}x", "", "",
+    ])
+    out(render_table(
+        ["file", "fmt", "records", "bytes", "idx bytes", "indexed",
+         "compression", "violations", "exceptions"],
+        rows,
+        title=f"Trace storage for job {args.job_id}",
+    ))
+    return 0
 
 
 def cmd_validate(args, out):
@@ -466,6 +517,9 @@ def build_parser():
                               help="print the generated test for one context")
     debug_parser.add_argument("--html-report", metavar="PATH",
                               help="write the whole run as an HTML report")
+    debug_parser.add_argument("--export-traces", metavar="DIR",
+                              help="copy the run's trace files (and index "
+                                   "sidecars) into a local directory")
     debug_parser.add_argument("--strict", action="store_true",
                               help="refuse programs with error-severity "
                                    "graft-lint findings before running")
@@ -482,6 +536,26 @@ def build_parser():
     lint_parser.add_argument("--format", choices=("text", "json"),
                              default="text")
 
+    trace_parser = sub.add_parser(
+        "trace", help="inspect exported trace directories"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    stats_parser = trace_sub.add_parser(
+        "stats",
+        help="per-worker storage stats (records, bytes, index coverage, "
+             "compression) for one job's traces",
+    )
+    stats_parser.add_argument("job_id", help="job id the traces were written under")
+    stats_parser.add_argument(
+        "--dir", required=True,
+        help="local directory holding exported traces "
+             "(DebugRun.export_traces output)",
+    )
+    stats_parser.add_argument(
+        "--root", default="/graft",
+        help="trace root inside the exported tree (default: /graft)",
+    )
+
     validate_parser = sub.add_parser("validate", help="validate an input graph")
     validate_parser.add_argument("--dataset", default="soc-Epinions")
     validate_parser.add_argument("--vertices", type=int, default=None)
@@ -497,6 +571,7 @@ _COMMANDS = {
     "run": cmd_run,
     "debug": cmd_debug,
     "lint": cmd_lint,
+    "trace": cmd_trace,
     "validate": cmd_validate,
 }
 

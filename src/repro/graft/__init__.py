@@ -58,9 +58,20 @@ from repro.graft.reproducer import (
     generate_end_to_end_test,
     generate_master_test_code,
     generate_test_code,
+    replay_from_trace,
     replay_record,
 )
-from repro.graft.trace import TraceReader, TraceStore
+from repro.graft.trace import (
+    TRACE_FORMAT_V1,
+    TRACE_FORMAT_V2,
+    TraceReader,
+    TraceStore,
+    canonical_trace_digest,
+    canonical_trace_lines,
+    iter_canonical_trace_lines,
+    iter_file_records,
+    trace_stats,
+)
 
 __all__ = [
     "StaticAnalysisError",
@@ -94,9 +105,17 @@ __all__ = [
     "ReplayOutcome",
     "ReplayReport",
     "replay_record",
+    "replay_from_trace",
     "generate_test_code",
     "generate_master_test_code",
     "generate_end_to_end_test",
     "TraceReader",
     "TraceStore",
+    "TRACE_FORMAT_V1",
+    "TRACE_FORMAT_V2",
+    "canonical_trace_digest",
+    "canonical_trace_lines",
+    "iter_canonical_trace_lines",
+    "iter_file_records",
+    "trace_stats",
 ]

@@ -164,3 +164,61 @@ def record_from_line(line, codec):
     if kind == _MASTER_KIND:
         return MasterContextRecord(**payload)
     raise ValueError(f"unknown trace record kind {kind!r}")
+
+
+# -- compact row form (the v2 trace format) -----------------------------------
+#
+# The v1 line above repeats every field name in every record. The v2 trace
+# format instead interns the field names once, in the file header, and
+# stores each record as a positional JSON array ``[kind_code, field_0,
+# field_1, ...]`` — same codec-encoded values, no keys. Both forms decode
+# to identical record objects, which is what keeps
+# ``canonical_trace_digest`` byte-stable across the two encodings.
+
+KIND_VERTEX = 0
+KIND_MASTER = 1
+
+
+def vertex_field_names():
+    """The VertexContextRecord field order the v2 row form relies on."""
+    return _field_names(VertexContextRecord)
+
+
+def master_field_names():
+    """The MasterContextRecord field order the v2 row form relies on."""
+    return _field_names(MasterContextRecord)
+
+
+def record_to_row(record, codec):
+    """Serialize a capture record to its compact positional row."""
+    if isinstance(record, VertexContextRecord):
+        kind = KIND_VERTEX
+    elif isinstance(record, MasterContextRecord):
+        kind = KIND_MASTER
+    else:
+        raise TypeError(f"not a capture record: {record!r}")
+    row = [kind]
+    encode = codec.encode
+    for name in _field_names(record.__class__):
+        row.append(encode(getattr(record, name)))
+    return row
+
+
+def record_from_row(row, codec, vertex_fields=None, master_fields=None):
+    """Deserialize a compact positional row back into a record.
+
+    ``vertex_fields`` / ``master_fields`` are the field-name tables from
+    the trace file header; they default to the current classes' fields, so
+    files written by the same library version decode without a header.
+    """
+    kind = row[0]
+    if kind == KIND_VERTEX:
+        names = vertex_fields or _field_names(VertexContextRecord)
+        cls = VertexContextRecord
+    elif kind == KIND_MASTER:
+        names = master_fields or _field_names(MasterContextRecord)
+        cls = MasterContextRecord
+    else:
+        raise ValueError(f"unknown trace record kind code {kind!r}")
+    decode = codec.decode
+    return cls(**{name: decode(value) for name, value in zip(names, row[1:])})

@@ -35,7 +35,7 @@ from repro.graft.capture import (
     MasterContextRecord,
     Violation,
 )
-from repro.graft.trace import TraceReader, TraceStore
+from repro.graft.trace import TRACE_FORMAT_V2, TraceReader, TraceStore
 from repro.pregel.engine import PregelEngine
 
 _JOB_COUNTER = itertools.count()
@@ -44,13 +44,16 @@ _JOB_COUNTER = itertools.count()
 class GraftSession:
     """Run-time capture machinery; also an engine listener."""
 
-    def __init__(self, config, graph, filesystem, job_id, num_workers, codec=None):
+    def __init__(self, config, graph, filesystem, job_id, num_workers, codec=None,
+                 trace_format=TRACE_FORMAT_V2):
         self.config = config.validate()
         self._graph = graph
         self.filesystem = filesystem
         self.job_id = job_id
         self.num_workers = num_workers
-        self.store = TraceStore(filesystem, job_id, num_workers, codec)
+        self.store = TraceStore(
+            filesystem, job_id, num_workers, codec, format=trace_format
+        )
         self._worker_ids = itertools.count()
         self._static_reasons = {}
         self._current_aggregators = {}
@@ -306,7 +309,7 @@ class DebugRun:
     """Everything a user does after (or about) one debugged run."""
 
     def __init__(self, session, computation_factory, graph, result, failure,
-                 lint_report=None):
+                 lint_report=None, reader_mode="lazy"):
         self.session = session
         self.computation_factory = computation_factory
         self.graph = graph
@@ -315,7 +318,11 @@ class DebugRun:
         #: The pre-flight graft-lint report (None when linting was skipped
         #: or the class source was unavailable).
         self.lint_report = lint_report
-        self.reader = TraceReader(session.filesystem, session.job_id)
+        #: Index-backed by default: opening the reader parses only the
+        #: sidecars; records decode as the views ask for them.
+        self.reader = TraceReader(
+            session.filesystem, session.job_id, mode=reader_mode
+        )
 
     # -- outcome ------------------------------------------------------------
 
@@ -530,6 +537,8 @@ def debug_run(
     job_id=None,
     lint=True,
     strict=False,
+    trace_format=TRACE_FORMAT_V2,
+    reader_mode="lazy",
     **engine_kwargs,
 ):
     """Run a computation under Graft and return a :class:`DebugRun`.
@@ -550,6 +559,11 @@ def debug_run(
     superstep executes. ``lint=False`` skips the analysis entirely. The
     report is kept on ``DebugRun.lint_report`` and cross-linked to runtime
     violations and fidelity checks.
+
+    ``trace_format`` picks the storage encoding (``"v2"`` framed+indexed,
+    the default, or ``"v1"`` JSON lines); ``reader_mode`` picks how
+    ``DebugRun.reader`` answers queries (``"lazy"`` index-backed, the
+    default, or ``"eager"`` decode-everything). See docs/trace-format.md.
     """
     from repro.graft.instrumenter import instrument
     from repro.simfs.filesystem import SimFileSystem
@@ -564,7 +578,10 @@ def debug_run(
     if partitioner is not None:
         num_workers = partitioner.num_workers
 
-    session = GraftSession(config, graph, filesystem, job_id, num_workers)
+    session = GraftSession(
+        config, graph, filesystem, job_id, num_workers,
+        trace_format=trace_format,
+    )
     engine = PregelEngine(
         instrument(computation_factory, session),
         graph,
@@ -581,5 +598,5 @@ def debug_run(
         session.finalize()
     return DebugRun(
         session, computation_factory, graph, result, failure,
-        lint_report=lint_report,
+        lint_report=lint_report, reader_mode=reader_mode,
     )

@@ -324,6 +324,37 @@ def _compare(record, outcome):
     return mismatches
 
 
+def replay_from_trace(
+    filesystem,
+    job_id,
+    computation_factory,
+    vertex_id,
+    superstep,
+    codec=None,
+    root=None,
+    verify=True,
+    trace_lines=True,
+):
+    """Replay one ``(vertex, superstep)`` straight from a job's trace files.
+
+    The "copy the trace into your IDE" path: no :class:`DebugRun` object is
+    needed, only the file system holding the traces (possibly imported from
+    an exported directory) and the computation class. The record is pulled
+    with a lazy :class:`~repro.graft.trace.TraceReader` — one index lookup
+    and one ranged read, however large the trace — then handed to
+    :func:`replay_record`.
+    """
+    from repro.graft.trace import DEFAULT_ROOT, TraceReader
+
+    reader = TraceReader(
+        filesystem, job_id, codec=codec, root=root or DEFAULT_ROOT, mode="lazy"
+    )
+    record = reader.get(vertex_id, superstep)
+    return replay_record(
+        record, computation_factory, verify=verify, trace_lines=trace_lines
+    )
+
+
 # -- master replay -------------------------------------------------------------
 
 

@@ -2,8 +2,10 @@
 
 Layout under one job directory (mirroring Graft's per-worker HDFS files)::
 
-    /graft/<job_id>/worker-<i>.trace   one JSON line per vertex capture
-    /graft/<job_id>/master.trace       one JSON line per master capture
+    /graft/<job_id>/worker-<i>.trace       vertex captures for worker i
+    /graft/<job_id>/worker-<i>.trace.idx   index sidecar (v2 format only)
+    /graft/<job_id>/master.trace           master captures
+    /graft/<job_id>/master.trace.idx       index sidecar (v2 format only)
 
 :class:`TraceStore` is the write side, owned by the Graft session while the
 job runs; :class:`TraceReader` is the read side, used by the GUI views and
@@ -12,30 +14,84 @@ file system and codec — a different process (the paper's "copy into your
 IDE" step) can do it, provided the modules defining the value types are
 imported.
 
+Two storage formats exist (see docs/trace-format.md):
+
+- ``"v1"`` — one JSON line per record; human-greppable, but any read
+  decodes the entire file.
+- ``"v2"`` (default) — framed records with interned field keys, optional
+  zlib block compression, and an index sidecar built incrementally at
+  flush boundaries. The sidecar maps ``(superstep, repr(vertex_id))`` to
+  a byte extent plus violation/exception posting data, which is what
+  makes the default ``mode="lazy"`` reader's open and point queries
+  O(result) instead of O(trace).
+
+:class:`TraceReader` accepts ``mode="lazy"`` (index-backed, decode on
+demand, LRU-bounded memory) or ``mode="eager"`` (decode everything up
+front — the v1 behaviour, kept as a fallback and as the oracle for the
+equivalence tests). Both modes answer every query identically, for both
+storage formats; index-less or corrupted v2 sidecars are recovered by
+rescanning the unindexed tail of the trace file.
+
 :func:`canonical_trace_lines` / :func:`canonical_trace_digest` provide the
 *deterministic trace merge*: a single canonical view of a job's captures
-that is byte-identical regardless of execution backend **and** worker
-count. Raw per-worker files are already byte-identical across backends at
-the same worker count; the canonical merge additionally normalizes the two
-partition-dependent artifacts (which file a record landed in, and the
-``worker_id`` field inside it) and imposes a content-based total order, so
-two runs of the same job can be compared with a single hash even when one
-used 1 worker and the other 8.
+that is byte-identical regardless of execution backend, worker count,
+**and storage format**. Raw per-worker files are already byte-identical
+across backends at the same worker count; the canonical merge additionally
+normalizes the two partition-dependent artifacts (which file a record
+landed in, and the ``worker_id`` field inside it) and imposes a
+content-based total order, so two runs of the same job can be compared
+with a single hash even when one used 1 worker and the other 8 — or one
+wrote v1 files and the other v2.
 """
 
 import hashlib
+import json
+import posixpath
 
 from repro.common.errors import TraceError
 from repro.common.serialization import default_codec
 from repro.graft.capture import (
+    KIND_MASTER,
+    KIND_VERTEX,
     MasterContextRecord,
     VertexContextRecord,
     record_from_line,
+    record_from_row,
     record_to_line,
+    record_to_row,
 )
-from repro.simfs.writers import LineWriter
+from repro.graft.traceformat import (
+    TRACE_MAGIC,
+    VFLAG_EXCEPTION,
+    VFLAG_VIOLATIONS,
+    build_header,
+    encode_header,
+    format_idx_header,
+    format_idx_line,
+    is_v2_file,
+    iter_v2_records,
+    load_index,
+    pack_records,
+    read_block_payload,
+    record_entry,
+    summarize_entries,
+)
+from repro.simfs.writers import (
+    DEFAULT_BUFFER_BYTES,
+    DEFAULT_BUFFER_LINES,
+    BlockWriter,
+    LineWriter,
+)
 
 DEFAULT_ROOT = "/graft"
+
+TRACE_FORMAT_V1 = "v1"
+TRACE_FORMAT_V2 = "v2"
+
+#: Default LRU sizes for the lazy reader: decoded records and decompressed
+#: block payloads kept hot. Both bound memory; misses just re-read.
+DEFAULT_RECORD_CACHE = 1024
+DEFAULT_BLOCK_CACHE = 16
 
 
 def job_directory(job_id, root=DEFAULT_ROOT):
@@ -50,54 +106,209 @@ def master_trace_path(job_id, root=DEFAULT_ROOT):
     return f"{job_directory(job_id, root)}/master.trace"
 
 
+def iter_file_records(filesystem, path, codec=None):
+    """Decode every record of one trace file, v1 or v2, in file order."""
+    codec = codec or default_codec
+    if is_v2_file(filesystem, path):
+        return iter_v2_records(filesystem, path, codec)
+    return (
+        record_from_line(line, codec) for line in filesystem.read_lines(path)
+    )
+
+
+# -- write side ---------------------------------------------------------------
+
+
+class _V2FileWriter:
+    """One v2 trace file plus its index sidecar.
+
+    Records buffer in encoded form; a flush packs them into one framed
+    (optionally compressed) block and appends the matching index line, so
+    index granularity == flush granularity == superstep barriers (plus
+    threshold flushes inside huge supersteps).
+    """
+
+    def __init__(
+        self,
+        filesystem,
+        path,
+        codec,
+        buffer_records=DEFAULT_BUFFER_LINES,
+        buffer_bytes=DEFAULT_BUFFER_BYTES,
+        compression=True,
+    ):
+        self._fs = filesystem
+        self._codec = codec
+        self.path = path
+        self._block_writer = BlockWriter(filesystem, path, compression=compression)
+        self._block_writer.write_prelude(TRACE_MAGIC + encode_header(build_header()))
+        self._idx_path = path + ".idx"
+        filesystem.create(self._idx_path, overwrite=True)
+        filesystem.append_text(
+            self._idx_path,
+            format_idx_header(posixpath.basename(path)) + "\n",
+        )
+        self._buffer_records = buffer_records
+        self._buffer_bytes = buffer_bytes
+        self._encoded = []
+        self._metas = []
+        self._buffered_bytes = 0
+        self.records_written = 0
+
+    def _encode(self, record):
+        row = record_to_row(record, self._codec)
+        rec_bytes = json.dumps(
+            row, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        if isinstance(record, MasterContextRecord):
+            meta = (KIND_MASTER, record.superstep, None, 0)
+        else:
+            vflags = 0
+            if record.violations:
+                vflags |= VFLAG_VIOLATIONS
+            if record.exception is not None:
+                vflags |= VFLAG_EXCEPTION
+            meta = (KIND_VERTEX, record.superstep, repr(record.vertex_id), vflags)
+        return rec_bytes, meta
+
+    def write_record(self, record):
+        rec_bytes, meta = self._encode(record)
+        self._encoded.append(rec_bytes)
+        self._metas.append(meta)
+        self._buffered_bytes += len(rec_bytes)
+        self.records_written += 1
+        self._maybe_flush()
+
+    def write_records(self, records):
+        """Bulk append with a single threshold check at the end."""
+        for record in records:
+            rec_bytes, meta = self._encode(record)
+            self._encoded.append(rec_bytes)
+            self._metas.append(meta)
+            self._buffered_bytes += len(rec_bytes)
+            self.records_written += 1
+        self._maybe_flush()
+
+    def _maybe_flush(self):
+        if (
+            len(self._encoded) >= self._buffer_records
+            or self._buffered_bytes >= self._buffer_bytes
+        ):
+            self.flush()
+
+    def flush(self):
+        """Write one block + one index line for the buffered records."""
+        if not self._encoded:
+            return
+        payload, extents = pack_records(self._encoded)
+        offset, length, flags = self._block_writer.write_block(payload)
+        entries = [
+            record_entry(kind, superstep, vid_repr, inner_off, inner_len, vflags)
+            for (kind, superstep, vid_repr, vflags), (inner_off, inner_len)
+            in zip(self._metas, extents)
+        ]
+        meta = summarize_entries(offset, length, flags, entries)
+        self._fs.append_text(self._idx_path, format_idx_line(meta, entries) + "\n")
+        self._encoded = []
+        self._metas = []
+        self._buffered_bytes = 0
+
+    def close(self):
+        self.flush()
+        self._block_writer.close()
+
+
+class _V1FileWriter:
+    """Legacy JSON-lines writer, kept for compatibility tooling and tests."""
+
+    def __init__(self, filesystem, path, codec):
+        self._writer = LineWriter(filesystem, path)
+        self._codec = codec
+        self.path = path
+
+    def write_record(self, record):
+        self._writer.write_line(record_to_line(record, self._codec))
+
+    def write_records(self, records):
+        codec = self._codec
+        self._writer.write_lines(record_to_line(r, codec) for r in records)
+
+    def flush(self):
+        self._writer.flush()
+
+    def close(self):
+        self._writer.close()
+
+
 class TraceStore:
     """Write side: per-worker appenders plus the master appender."""
 
-    def __init__(self, filesystem, job_id, num_workers, codec=None):
+    def __init__(
+        self,
+        filesystem,
+        job_id,
+        num_workers,
+        codec=None,
+        format=TRACE_FORMAT_V2,
+        compression=True,
+    ):
+        if format not in (TRACE_FORMAT_V1, TRACE_FORMAT_V2):
+            raise TraceError(f"unknown trace format {format!r}")
         self._fs = filesystem
         self.job_id = job_id
+        self.format = format
         self._codec = codec or default_codec
+
+        def make_writer(path):
+            if format == TRACE_FORMAT_V2:
+                return _V2FileWriter(
+                    filesystem, path, self._codec, compression=compression
+                )
+            return _V1FileWriter(filesystem, path, self._codec)
+
         self._worker_writers = [
-            LineWriter(filesystem, worker_trace_path(job_id, worker_id))
+            make_writer(worker_trace_path(job_id, worker_id))
             for worker_id in range(num_workers)
         ]
-        self._master_writer = LineWriter(filesystem, master_trace_path(job_id))
+        self._master_writer = make_writer(master_trace_path(job_id))
         self.records_written = 0
 
     def write_vertex_record(self, record):
         """Append one vertex capture to its worker's trace file."""
-        writer = self._worker_writers[record.worker_id]
-        writer.write_line(record_to_line(record, self._codec))
+        self._worker_writers[record.worker_id].write_record(record)
         self.records_written += 1
 
     def write_vertex_records(self, records):
         """Bulk-append vertex captures (the session's barrier drain path).
 
-        Records are encoded in one pass and handed to each worker file's
+        Records are grouped per worker file and handed to each file's
         writer as a batch, so a drain of N records costs one buffered
-        append per touched file instead of N per-line threshold checks.
+        append per touched file instead of N per-record threshold checks.
         Order within each worker's file follows the order of ``records``.
         """
-        codec = self._codec
-        lines_by_worker = {}
+        by_worker = {}
         count = 0
         for record in records:
-            lines = lines_by_worker.get(record.worker_id)
-            if lines is None:
-                lines = lines_by_worker[record.worker_id] = []
-            lines.append(record_to_line(record, codec))
+            group = by_worker.get(record.worker_id)
+            if group is None:
+                group = by_worker[record.worker_id] = []
+            group.append(record)
             count += 1
-        for worker_id, lines in lines_by_worker.items():
-            self._worker_writers[worker_id].write_lines(lines)
+        for worker_id, group in by_worker.items():
+            self._worker_writers[worker_id].write_records(group)
         self.records_written += count
 
     def write_master_record(self, record):
         """Append one master capture to the master trace file."""
-        self._master_writer.write_line(record_to_line(record, self._codec))
+        self._master_writer.write_record(record)
         self.records_written += 1
 
     def flush(self):
-        """Flush all writers (the session does this at superstep barriers)."""
+        """Flush all writers (the session does this at superstep barriers).
+
+        For v2 files each flush is also an index boundary: the buffered
+        records become one block and one sidecar line.
+        """
         for writer in self._worker_writers:
             writer.flush()
         self._master_writer.flush()
@@ -108,86 +319,473 @@ class TraceStore:
         self._master_writer.close()
 
     def total_bytes(self):
-        """Bytes currently stored for this job's traces."""
+        """Bytes currently stored for this job's traces (sidecars included)."""
         return self._fs.total_bytes(job_directory(self.job_id))
 
 
-class TraceReader:
-    """Read side: loads a job's trace files and indexes the records.
+# -- read side: sources -------------------------------------------------------
+#
+# A *source* wraps one trace file and yields uniform index entries
+# ``(kind, superstep, vid_repr, ref, vflags)``; ``fetch(ref)`` decodes one
+# record. _IndexedSource is the lazy v2 path (sidecar-backed, ranged
+# reads); _FallbackSource is the compatibility path for v1 files (decoded
+# up front, which is all a keyless format allows).
 
-    Indexes: by ``(vertex_id, superstep)``, by superstep, violations, and
-    exceptions — everything the three GUI views and the reproducer query.
+
+class _LRUCache:
+    """A tiny LRU map; ``maxsize=0`` disables caching entirely."""
+
+    def __init__(self, maxsize):
+        from collections import OrderedDict
+
+        self._maxsize = maxsize
+        self._data = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            self.hits += 1
+            return data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key, value):
+        if self._maxsize <= 0:
+            return
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        while len(data) > self._maxsize:
+            data.popitem(last=False)
+
+
+class _FallbackSource:
+    """v1 (or otherwise index-less) file: decode once, serve from memory."""
+
+    def __init__(self, filesystem, path, codec):
+        self.path = path
+        self._records = []
+        self._entries = []
+        for record in iter_file_records(filesystem, path, codec):
+            ref = len(self._records)
+            self._records.append(record)
+            if isinstance(record, MasterContextRecord):
+                entry = (KIND_MASTER, record.superstep, None, ref, 0)
+            elif isinstance(record, VertexContextRecord):
+                vflags = 0
+                if record.violations:
+                    vflags |= VFLAG_VIOLATIONS
+                if record.exception is not None:
+                    vflags |= VFLAG_EXCEPTION
+                entry = (
+                    KIND_VERTEX, record.superstep, repr(record.vertex_id),
+                    ref, vflags,
+                )
+            else:
+                raise TraceError(
+                    f"unexpected record type {type(record).__name__}"
+                )
+            self._entries.append(entry)
+        self.index_stats = {"indexed_blocks": 0, "recovered_blocks": 0}
+
+    def iter_entries(self):
+        return iter(self._entries)
+
+    def entries_for_superstep(self, superstep):
+        for entry in self._entries:
+            if entry[0] == KIND_VERTEX and entry[1] == superstep:
+                yield entry
+
+    def supersteps(self):
+        return {e[1] for e in self._entries if e[0] == KIND_VERTEX}
+
+    def flagged_supersteps(self, vflag):
+        return {
+            e[1]
+            for e in self._entries
+            if e[0] == KIND_VERTEX and e[4] & vflag
+        }
+
+    def master_entries(self):
+        return [e for e in self._entries if e[0] == KIND_MASTER]
+
+    def fetch(self, ref):
+        return self._records[ref]
+
+
+class _IndexedSource:
+    """v2 file behind its sidecar: block directory now, records on demand."""
+
+    def __init__(self, filesystem, path, codec, record_cache, block_cache):
+        self.path = path
+        self._fs = filesystem
+        self._codec = codec
+        self._record_cache = record_cache
+        self._block_cache = block_cache
+        self._blocks, header, self.index_stats = load_index(
+            filesystem, path, codec
+        )
+        fields = header.get("fields", {})
+        self._vertex_fields = fields.get("vertex")
+        self._master_fields = fields.get("master")
+
+    # Entries come out of sidecar lines as raw lists
+    # [kind, ss, vid_repr, inner_off, inner_len, vflags]; refs address
+    # (block_index, inner_off, inner_len).
+
+    def _entry_tuple(self, block_index, raw):
+        return (raw[0], raw[1], raw[2], (block_index, raw[3], raw[4]), raw[5])
+
+    def iter_entries(self):
+        for block_index, meta in enumerate(self._blocks):
+            for raw in meta.entries():
+                yield self._entry_tuple(block_index, raw)
+
+    def entries_for_superstep(self, superstep):
+        for block_index, meta in enumerate(self._blocks):
+            if not meta.covers_superstep(superstep):
+                continue
+            if meta.num_masters == meta.num_records:
+                continue
+            for raw in meta.entries():
+                if raw[0] == KIND_VERTEX and raw[1] == superstep:
+                    yield self._entry_tuple(block_index, raw)
+
+    def supersteps(self):
+        found = set()
+        for meta in self._blocks:
+            if meta.num_masters == meta.num_records:
+                continue  # pure master block contributes no vertex steps
+            if meta.min_superstep == meta.max_superstep:
+                found.add(meta.min_superstep)
+            else:
+                for raw in meta.entries():
+                    if raw[0] == KIND_VERTEX:
+                        found.add(raw[1])
+        return found
+
+    def flagged_supersteps(self, vflag):
+        counter = (
+            "num_violations" if vflag == VFLAG_VIOLATIONS else "num_exceptions"
+        )
+        found = set()
+        for meta in self._blocks:
+            if not getattr(meta, counter):
+                continue
+            for raw in meta.entries():
+                if raw[0] == KIND_VERTEX and raw[5] & vflag:
+                    found.add(raw[1])
+        return found
+
+    def master_entries(self):
+        entries = []
+        for block_index, meta in enumerate(self._blocks):
+            if not meta.num_masters:
+                continue
+            for raw in meta.entries():
+                if raw[0] == KIND_MASTER:
+                    entries.append(self._entry_tuple(block_index, raw))
+        return entries
+
+    def _payload(self, block_index):
+        key = (self.path, block_index)
+        payload = self._block_cache.get(key)
+        if payload is None:
+            payload = read_block_payload(
+                self._fs, self.path, self._blocks[block_index]
+            )
+            self._block_cache.put(key, payload)
+        return payload
+
+    def fetch(self, ref):
+        block_index, inner_off, inner_len = ref
+        key = (self.path, block_index, inner_off)
+        record = self._record_cache.get(key)
+        if record is None:
+            payload = self._payload(block_index)
+            rec_bytes = payload[inner_off:inner_off + inner_len]
+            row = json.loads(rec_bytes.decode("utf-8"))
+            record = record_from_row(
+                row, self._codec, self._vertex_fields, self._master_fields
+            )
+            self._record_cache.put(key, record)
+        return record
+
+
+def _trace_sources(filesystem, job_id, codec, root,
+                   record_cache=None, block_cache=None):
+    """One source per trace file of a job, in sorted path order."""
+    directory = job_directory(job_id, root)
+    if not filesystem.is_dir(directory):
+        raise TraceError(f"no trace directory for job {job_id!r}")
+    record_cache = record_cache or _LRUCache(0)
+    block_cache = block_cache or _LRUCache(DEFAULT_BLOCK_CACHE)
+    sources = []
+    for path in filesystem.glob_files(directory, suffix=".trace"):
+        if is_v2_file(filesystem, path):
+            sources.append(
+                _IndexedSource(filesystem, path, codec, record_cache, block_cache)
+            )
+        else:
+            sources.append(_FallbackSource(filesystem, path, codec))
+    return sources
+
+
+# -- read side: the reader ----------------------------------------------------
+
+
+class TraceReader:
+    """Read side: answers the queries the GUI views and reproducer make.
+
+    Queries: by ``(vertex_id, superstep)``, by superstep, per-vertex
+    history, violations, exceptions, and master contexts.
+
+    ``mode="lazy"`` (default) keeps only the block directory in memory and
+    decodes records on demand — one index lookup + one ranged read + one
+    decode per point query, with an LRU bounding what stays decoded.
+    ``mode="eager"`` decodes every file up front (the historical
+    behaviour); it remains the oracle for equivalence testing and the
+    right choice when a caller will touch every record anyway.
+
+    Failure recovery re-executes supersteps, appending a second record for
+    the same (vertex, superstep); both modes keep the latest.
     """
 
-    def __init__(self, filesystem, job_id, codec=None, root=DEFAULT_ROOT):
+    def __init__(
+        self,
+        filesystem,
+        job_id,
+        codec=None,
+        root=DEFAULT_ROOT,
+        mode="lazy",
+        cache_records=DEFAULT_RECORD_CACHE,
+        cache_blocks=DEFAULT_BLOCK_CACHE,
+    ):
+        if mode not in ("lazy", "eager"):
+            raise TraceError(f"unknown TraceReader mode {mode!r}")
         self._codec = codec or default_codec
         self.job_id = job_id
-        self._by_key = {}
-        self._master_by_superstep = {}
+        self.mode = mode
         directory = job_directory(job_id, root)
         if not filesystem.is_dir(directory):
             raise TraceError(f"no trace directory for job {job_id!r}")
+        if mode == "eager":
+            self._load_eager(filesystem, directory)
+        else:
+            self._open_lazy(filesystem, root, cache_records, cache_blocks)
+
+    # -- eager construction --------------------------------------------------
+
+    def _load_eager(self, filesystem, directory):
+        by_key = {}
+        master_by_superstep = {}
         for path in filesystem.glob_files(directory, suffix=".trace"):
-            for line in filesystem.read_lines(path):
-                self._add(record_from_line(line, self._codec))
-        # Failure recovery re-executes supersteps, appending a second record
-        # for the same (vertex, superstep); the indexes above keep the
-        # latest, and the derived views below are built from them.
-        self.vertex_records = sorted(
-            self._by_key.values(), key=lambda r: (r.superstep, repr(r.vertex_id))
+            for record in iter_file_records(filesystem, path, self._codec):
+                if isinstance(record, VertexContextRecord):
+                    by_key[record.key] = record
+                elif isinstance(record, MasterContextRecord):
+                    master_by_superstep[record.superstep] = record
+                else:
+                    raise TraceError(
+                        f"unexpected record type {type(record).__name__}"
+                    )
+        self._by_key = by_key
+        self._master_by_superstep = master_by_superstep
+        self._vertex_records = sorted(
+            by_key.values(), key=lambda r: (r.superstep, repr(r.vertex_id))
         )
         self.master_records = sorted(
-            self._master_by_superstep.values(), key=lambda r: r.superstep
+            master_by_superstep.values(), key=lambda r: r.superstep
         )
-        self._by_superstep = {}
-        for record in self.vertex_records:
-            self._by_superstep.setdefault(record.superstep, []).append(record)
+        # Derived views, each built exactly once: per-superstep tuples
+        # (already id-ordered — no re-sort per call) and per-vertex
+        # posting lists (history is O(captures of that vertex)).
+        by_superstep = {}
+        history = {}
+        for record in self._vertex_records:
+            by_superstep.setdefault(record.superstep, []).append(record)
+            history.setdefault(record.vertex_id, []).append(record)
+        self._by_superstep = {
+            step: tuple(records) for step, records in by_superstep.items()
+        }
+        self._history = history
+        self._supersteps = sorted(self._by_superstep)
 
-    def _add(self, record):
-        if isinstance(record, VertexContextRecord):
-            self._by_key[record.key] = record
-        elif isinstance(record, MasterContextRecord):
-            self._master_by_superstep[record.superstep] = record
-        else:
-            raise TraceError(f"unexpected record type {type(record).__name__}")
+    # -- lazy construction ---------------------------------------------------
+
+    def _open_lazy(self, filesystem, root, cache_records, cache_blocks):
+        self._record_cache = _LRUCache(cache_records)
+        self._block_cache = _LRUCache(cache_blocks)
+        self._sources = _trace_sources(
+            filesystem, self.job_id, self._codec, root,
+            record_cache=self._record_cache, block_cache=self._block_cache,
+        )
+        # Master contexts are one record per superstep — always cheap
+        # enough to pin eagerly, and every view's aggregator panel wants
+        # them.
+        master_by_superstep = {}
+        for source in self._sources:
+            for entry in source.master_entries():
+                master_by_superstep[entry[1]] = source.fetch(entry[3])
+        self._master_by_superstep = master_by_superstep
+        self.master_records = sorted(
+            master_by_superstep.values(), key=lambda r: r.superstep
+        )
+        self._superstep_maps = {}
+        self._at_cache = {}
+        self._supersteps = None
+        self._postings = None
+        self._vertex_records = None
+
+    # -- lazy internals ------------------------------------------------------
+
+    def _superstep_map(self, superstep):
+        """``{vid_repr: (source, entry)}`` for one superstep, last write wins."""
+        found = self._superstep_maps.get(superstep)
+        if found is None:
+            found = {}
+            for source in self._sources:
+                for entry in source.entries_for_superstep(superstep):
+                    found[entry[2]] = (source, entry)
+            self._superstep_maps[superstep] = found
+        return found
+
+    def _vertex_postings(self):
+        """``{vid_repr: {superstep: (source, entry)}}`` over the whole job."""
+        if self._postings is None:
+            postings = {}
+            for source in self._sources:
+                for entry in source.iter_entries():
+                    if entry[0] != KIND_VERTEX:
+                        continue
+                    postings.setdefault(entry[2], {})[entry[1]] = (source, entry)
+            self._postings = postings
+        return self._postings
+
+    def _lazy_lookup(self, vertex_id, superstep):
+        hit = self._superstep_map(superstep).get(repr(vertex_id))
+        if hit is None:
+            return None
+        source, entry = hit
+        record = source.fetch(entry[3])
+        # The index keys on repr(); confirm the decoded id really matches.
+        return record if record.vertex_id == vertex_id else None
+
+    def _flagged(self, vflag, superstep=None):
+        """Decoded records carrying ``vflag``, in (superstep, id) order."""
+        if self.mode == "eager":
+            for record in self._vertex_records:
+                if superstep is not None and record.superstep != superstep:
+                    continue
+                wanted = (
+                    record.violations
+                    if vflag == VFLAG_VIOLATIONS
+                    else record.exception is not None
+                )
+                if wanted:
+                    yield record
+            return
+        steps = set()
+        for source in self._sources:
+            steps |= source.flagged_supersteps(vflag)
+        if superstep is not None:
+            steps &= {superstep}
+        for step in sorted(steps):
+            step_map = self._superstep_map(step)
+            for vid_repr in sorted(step_map):
+                source, entry = step_map[vid_repr]
+                if entry[4] & vflag:
+                    yield source.fetch(entry[3])
 
     # -- queries ------------------------------------------------------------
 
     def get(self, vertex_id, superstep):
         """The capture record for one (vertex, superstep), or raise."""
-        key = (vertex_id, superstep)
-        if key not in self._by_key:
+        if self.mode == "eager":
+            key = (vertex_id, superstep)
+            record = self._by_key.get(key)
+        else:
+            record = self._lazy_lookup(vertex_id, superstep)
+        if record is None:
             raise TraceError(
                 f"vertex {vertex_id!r} was not captured in superstep {superstep}"
             )
-        return self._by_key[key]
+        return record
 
     def has(self, vertex_id, superstep):
-        return (vertex_id, superstep) in self._by_key
+        if self.mode == "eager":
+            return (vertex_id, superstep) in self._by_key
+        return self._lazy_lookup(vertex_id, superstep) is not None
 
     def at_superstep(self, superstep):
-        """All vertex captures for one superstep, id-ordered."""
-        records = self._by_superstep.get(superstep, [])
-        return sorted(records, key=lambda r: repr(r.vertex_id))
+        """All vertex captures for one superstep, id-ordered.
+
+        Returns a cached tuple: built (and sorted) once per superstep, not
+        re-sorted per call.
+        """
+        if self.mode == "eager":
+            return self._by_superstep.get(superstep, ())
+        cached = self._at_cache.get(superstep)
+        if cached is None:
+            step_map = self._superstep_map(superstep)
+            cached = tuple(
+                source.fetch(entry[3])
+                for _vid_repr, (source, entry) in sorted(step_map.items())
+            )
+            self._at_cache[superstep] = cached
+        return cached
 
     def history(self, vertex_id):
-        """One vertex's captures across supersteps, in superstep order."""
-        return [r for r in self.vertex_records if r.vertex_id == vertex_id]
+        """One vertex's captures across supersteps, in superstep order.
+
+        Backed by a per-vertex posting list: O(captures of that vertex),
+        not O(all records).
+        """
+        if self.mode == "eager":
+            return list(self._history.get(vertex_id, ()))
+        chain = self._vertex_postings().get(repr(vertex_id))
+        if not chain:
+            return []
+        records = []
+        for superstep in sorted(chain):
+            source, entry = chain[superstep]
+            record = source.fetch(entry[3])
+            if record.vertex_id == vertex_id:
+                records.append(record)
+        return records
 
     def supersteps(self):
         """Sorted superstep numbers that have at least one vertex capture."""
-        return sorted(self._by_superstep)
+        if self._supersteps is None:
+            found = set()
+            for source in self._sources:
+                found |= source.supersteps()
+            self._supersteps = sorted(found)
+        return self._supersteps
 
     def captured_vertex_ids(self):
         """All distinct captured vertex ids."""
-        return sorted({r.vertex_id for r in self.vertex_records}, key=repr)
+        if self.mode == "eager":
+            return sorted({r.vertex_id for r in self._vertex_records}, key=repr)
+        ids = []
+        postings = self._vertex_postings()
+        for vid_repr in sorted(postings):
+            chain = postings[vid_repr]
+            source, entry = chain[min(chain)]
+            ids.append(source.fetch(entry[3]).vertex_id)
+        return ids
 
     def violations(self, superstep=None):
-        """All violations, optionally limited to one superstep."""
+        """All violations, optionally limited to one superstep.
+
+        Lazy mode touches only blocks whose index line advertises
+        violations — a posting-list walk, not a table scan.
+        """
         found = []
-        for record in self.vertex_records:
-            if superstep is not None and record.superstep != superstep:
-                continue
+        for record in self._flagged(VFLAG_VIOLATIONS, superstep):
             found.extend(record.violations)
         return found
 
@@ -195,17 +793,32 @@ class TraceReader:
         """All (record, exception) pairs, optionally for one superstep."""
         return [
             (record, record.exception)
-            for record in self.vertex_records
-            if record.exception is not None
-            and (superstep is None or record.superstep == superstep)
+            for record in self._flagged(VFLAG_EXCEPTION, superstep)
         ]
 
     def master_at(self, superstep):
         """The master capture for one superstep, or None."""
         return self._master_by_superstep.get(superstep)
 
+    @property
+    def vertex_records(self):
+        """Every vertex capture, (superstep, id)-ordered.
+
+        In lazy mode this materializes the whole trace on first use — the
+        escape hatch for callers (fidelity sweeps, diffing) that genuinely
+        visit everything.
+        """
+        if self._vertex_records is None:
+            records = []
+            for superstep in self.supersteps():
+                records.extend(self.at_superstep(superstep))
+            self._vertex_records = records
+        return self._vertex_records
+
     def __len__(self):
-        return len(self.vertex_records)
+        if self.mode == "eager":
+            return len(self._by_key)
+        return sum(len(c) for c in self._vertex_postings().values())
 
 
 # -- deterministic trace merge ------------------------------------------------
@@ -213,43 +826,158 @@ class TraceReader:
 _NORMALIZED_WORKER_ID = 0
 
 
-def canonical_trace_lines(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
-    """One job's captures as a canonical, partition-independent line list.
+def iter_canonical_trace_lines(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
+    """Stream one job's captures as canonical, partition-independent lines.
 
-    Every record from every trace file is decoded, its ``worker_id``
-    normalized (vertex placement is an artifact of partitioning, not of
-    the computation), re-encoded with the canonical codec (sorted keys,
-    compact separators), and totally ordered by ``(kind, superstep,
-    repr(vertex_id), line_text)``. Two runs of the same job produce equal
-    lists — and equal :func:`canonical_trace_digest` hashes — whatever
-    backend or worker count executed them.
+    Every record from every trace file — duplicates included — is decoded,
+    its ``worker_id`` normalized (vertex placement is an artifact of
+    partitioning, not of the computation), re-encoded with the canonical
+    codec (v1 line form: sorted keys, compact separators), and totally
+    ordered by ``(kind, superstep, repr(vertex_id), line_text)``. Two runs
+    of the same job produce equal streams — and equal
+    :func:`canonical_trace_digest` hashes — whatever backend, worker
+    count, or storage format produced them.
+
+    Only the sort keys (plus, for v1 files, their decoded records) are
+    held in memory; the re-encoded lines themselves stream out one
+    equal-key group at a time.
     """
     codec = codec or default_codec
-    directory = job_directory(job_id, root)
-    if not filesystem.is_dir(directory):
-        raise TraceError(f"no trace directory for job {job_id!r}")
+    sources = _trace_sources(filesystem, job_id, codec, root)
     keyed = []
-    for path in filesystem.glob_files(directory, suffix=".trace"):
-        for line in filesystem.read_lines(path):
-            record = record_from_line(line, codec)
+    for source_index, source in enumerate(sources):
+        for entry in source.iter_entries():
+            if entry[0] == KIND_VERTEX:
+                key = (0, entry[1], entry[2])
+            else:
+                key = (1, entry[1], "")
+            keyed.append((key, source_index, entry[3]))
+    keyed.sort(key=lambda item: item[0])
+    total = len(keyed)
+    start = 0
+    while start < total:
+        stop = start
+        key = keyed[start][0]
+        while stop < total and keyed[stop][0] == key:
+            stop += 1
+        lines = []
+        for _key, source_index, ref in keyed[start:stop]:
+            record = sources[source_index].fetch(ref)
             if isinstance(record, VertexContextRecord):
                 record.worker_id = _NORMALIZED_WORKER_ID
-                key = (0, record.superstep, repr(record.vertex_id))
-            else:
-                key = (1, record.superstep, "")
-            keyed.append((key, record_to_line(record, codec)))
-    keyed.sort(key=lambda pair: (pair[0], pair[1]))
-    return [text for _, text in keyed]
+            lines.append(record_to_line(record, codec))
+        if len(lines) > 1:
+            lines.sort()  # content tiebreak inside one (kind, ss, id) key
+        for line in lines:
+            yield line
+        start = stop
+
+
+def canonical_trace_lines(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
+    """One job's captures as a canonical line list (see the iterator form)."""
+    return list(iter_canonical_trace_lines(filesystem, job_id, codec, root))
 
 
 def canonical_trace_digest(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
     """SHA-256 over the canonical merged trace (hex string).
 
     The one-number answer to "did these two runs capture the same thing?"
-    — byte-identical across execution backends and worker counts.
+    — byte-identical across execution backends, worker counts, and the
+    v1/v2 storage formats. Computed streamingly: no full line list is ever
+    materialized.
     """
     digest = hashlib.sha256()
-    for line in canonical_trace_lines(filesystem, job_id, codec, root):
+    for line in iter_canonical_trace_lines(filesystem, job_id, codec, root):
         digest.update(line.encode("utf-8"))
         digest.update(b"\n")
     return digest.hexdigest()
+
+
+# -- stats --------------------------------------------------------------------
+
+
+def trace_stats(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
+    """Per-file storage statistics for one job's traces.
+
+    Returns a dict with one row per trace file (format, bytes, index
+    bytes, record counts, index coverage, compression ratio) plus totals —
+    what the ``repro trace stats`` subcommand renders.
+    """
+    codec = codec or default_codec
+    directory = job_directory(job_id, root)
+    if not filesystem.is_dir(directory):
+        raise TraceError(f"no trace directory for job {job_id!r}")
+    files = []
+    for path in filesystem.glob_files(directory, suffix=".trace"):
+        size = filesystem.stat(path).size
+        idx_path = path + ".idx"
+        idx_bytes = (
+            filesystem.stat(idx_path).size if filesystem.is_file(idx_path) else 0
+        )
+        if is_v2_file(filesystem, path):
+            blocks, _header, index_stats = load_index(filesystem, path, codec)
+            indexed_blocks = index_stats["indexed_blocks"]
+            records = sum(meta.num_records for meta in blocks)
+            indexed_records = sum(
+                meta.num_records for meta in blocks[:indexed_blocks]
+            )
+            raw = stored = 0
+            for meta in blocks:
+                raw += len(read_block_payload(filesystem, path, meta))
+                stored += meta.length
+            files.append({
+                "path": path,
+                "format": TRACE_FORMAT_V2,
+                "bytes": size,
+                "index_bytes": idx_bytes,
+                "records": records,
+                "indexed_records": indexed_records,
+                "recovered_records": records - indexed_records,
+                "index_coverage": (
+                    round(indexed_records / records, 4) if records else 1.0
+                ),
+                "violations": sum(meta.num_violations for meta in blocks),
+                "exceptions": sum(meta.num_exceptions for meta in blocks),
+                "raw_payload_bytes": raw,
+                "stored_payload_bytes": stored,
+                "compression_ratio": round(raw / stored, 3) if stored else 1.0,
+            })
+        else:
+            records = sum(1 for _ in filesystem.read_lines(path))
+            files.append({
+                "path": path,
+                "format": TRACE_FORMAT_V1,
+                "bytes": size,
+                "index_bytes": idx_bytes,
+                "records": records,
+                "indexed_records": 0,
+                "recovered_records": 0,
+                "index_coverage": 0.0,
+                "violations": None,
+                "exceptions": None,
+                "raw_payload_bytes": size,
+                "stored_payload_bytes": size,
+                "compression_ratio": 1.0,
+            })
+    total_records = sum(f["records"] for f in files)
+    total_bytes = sum(f["bytes"] for f in files)
+    total_idx = sum(f["index_bytes"] for f in files)
+    total_raw = sum(f["raw_payload_bytes"] for f in files)
+    total_stored = sum(f["stored_payload_bytes"] for f in files)
+    indexed = sum(f["indexed_records"] for f in files)
+    return {
+        "job_id": job_id,
+        "files": files,
+        "totals": {
+            "files": len(files),
+            "records": total_records,
+            "bytes": total_bytes,
+            "index_bytes": total_idx,
+            "index_coverage": (
+                round(indexed / total_records, 4) if total_records else 1.0
+            ),
+            "compression_ratio": (
+                round(total_raw / total_stored, 3) if total_stored else 1.0
+            ),
+        },
+    }

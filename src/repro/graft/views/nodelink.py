@@ -23,6 +23,7 @@ class NodeLinkView:
             raise GraftError("nothing was captured in this run")
         self._steps = steps
         self.superstep = steps[0] if superstep is None else superstep
+        self._nodes_cache = {}
 
     # -- stepping (the GUI's Next / Previous superstep buttons) -----------
 
@@ -73,15 +74,24 @@ class NodeLinkView:
         Returns ``(captured, small)``: ``captured`` is the superstep's
         records; ``small`` is the sorted ids of their neighbors that were
         not captured this superstep (shown id-only, as in the paper).
+
+        Memoized per superstep: ``render()`` needs this both directly and
+        through :meth:`edges`, and the diagram data doesn't change between
+        those calls.
         """
-        captured = self._reader.at_superstep(self.superstep)
+        cached = self._nodes_cache.get(self.superstep)
+        if cached is not None:
+            return cached
+        captured = list(self._reader.at_superstep(self.superstep))
         captured_ids = {record.vertex_id for record in captured}
         small = set()
         for record in captured:
             for neighbor in record.edges_after:
                 if neighbor not in captured_ids:
                     small.add(neighbor)
-        return captured, sorted(small, key=repr)
+        result = (captured, sorted(small, key=repr))
+        self._nodes_cache[self.superstep] = result
+        return result
 
     def edges(self):
         """Displayed links: ``(source, target, edge_value)`` triples."""

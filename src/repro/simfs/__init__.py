@@ -8,6 +8,6 @@ writers, atomic-rename, listing, and byte/block accounting (the paper's
 """
 
 from repro.simfs.filesystem import FileStat, SimFileSystem
-from repro.simfs.writers import LineWriter
+from repro.simfs.writers import BlockWriter, LineWriter
 
-__all__ = ["FileStat", "SimFileSystem", "LineWriter"]
+__all__ = ["FileStat", "SimFileSystem", "LineWriter", "BlockWriter"]

@@ -6,9 +6,13 @@ which ``mkdirs`` provides). Files are append-only byte sequences — exactly
 the write pattern of a log/trace producer — with whole-file reads, listing,
 rename, and deletion.
 
-The class also keeps counters (files created, bytes written, append calls,
-block counts) that the benchmark harness reports when reproducing the
-paper's trace-size observations.
+The class also keeps counters (files created, bytes written/read, append
+and read calls, block counts) that the benchmark harness reports when
+reproducing the paper's trace-size observations. Read accounting mirrors
+the write accounting: whole-file reads, ranged reads, and streamed line
+iteration all charge ``bytes_read`` / ``read_calls``, so a benchmark can
+show that an index-backed trace reader touches O(result) bytes instead of
+the whole file.
 """
 
 import posixpath
@@ -63,6 +67,8 @@ class SimFileSystem:
         self.files_created = 0
         self.bytes_written = 0
         self.append_calls = 0
+        self.bytes_read = 0
+        self.read_calls = 0
 
     # -- namespace ----------------------------------------------------------
 
@@ -147,25 +153,76 @@ class SimFileSystem:
         path = normalize_path(path)
         if path not in self._files:
             raise SimFsFileNotFound(path)
-        return bytes(self._files[path])
+        data = bytes(self._files[path])
+        self.bytes_read += len(data)
+        self.read_calls += 1
+        return data
+
+    def read_range(self, path, offset, length):
+        """Read ``length`` bytes starting at ``offset`` (a positioned read).
+
+        Like ``pread``: reads past end-of-file are truncated to the
+        available bytes (possibly empty) rather than raising, so a reader
+        recovering from a truncated file can probe safely. A negative
+        offset or length is an error.
+        """
+        path = normalize_path(path)
+        if path not in self._files:
+            raise SimFsFileNotFound(path)
+        if offset < 0 or length < 0:
+            raise SimFsError(
+                f"read_range needs offset >= 0 and length >= 0, "
+                f"got ({offset}, {length})"
+            )
+        data = bytes(self._files[path][offset:offset + length])
+        self.bytes_read += len(data)
+        self.read_calls += 1
+        return data
 
     def read_text(self, path):
         return self.read_bytes(path).decode("utf-8")
 
+    def iter_lines(self, path, chunk_size=None):
+        """Stream a text file's lines without materializing the whole file.
+
+        Reads ``chunk_size`` bytes at a time (default: the file system
+        block size) through :meth:`read_range`, so read accounting shows
+        block-sized accesses; lines are framed by ``\\n`` at the *byte*
+        level before UTF-8 decoding, which keeps multi-byte characters
+        intact across chunk boundaries.
+        """
+        path = normalize_path(path)
+        if path not in self._files:
+            raise SimFsFileNotFound(path)
+        chunk_size = chunk_size or self.block_size
+        size = len(self._files[path])
+        offset = 0
+        pending = b""
+        while offset < size:
+            chunk = self.read_range(path, offset, chunk_size)
+            offset += len(chunk)
+            pending += chunk
+            start = 0
+            while True:
+                newline = pending.find(b"\n", start)
+                if newline < 0:
+                    break
+                yield pending[start:newline].decode("utf-8")
+                start = newline + 1
+            pending = pending[start:]
+        if pending:
+            yield pending.decode("utf-8")
+
     def read_lines(self, path):
         """Yield the lines of a text file without trailing newlines.
 
+        A generator: lines stream chunk by chunk through
+        :meth:`iter_lines` instead of materializing the full file first.
         Lines are framed by ``\\n`` only — unlike ``str.splitlines()``,
         which also splits on exotic Unicode boundaries (``\\x1e``, ``\\x85``,
         ...) and would corrupt records containing such characters.
         """
-        text = self.read_text(path)
-        if not text:
-            return
-        if text.endswith("\n"):
-            text = text[:-1]
-        for line in text.split("\n"):
-            yield line
+        return self.iter_lines(path)
 
     def delete(self, path, recursive=False):
         """Delete a file, or a directory tree when ``recursive`` is set."""
@@ -227,3 +284,29 @@ class SimFileSystem:
             os.makedirs(os.path.dirname(target), exist_ok=True)
             with open(target, "wb") as handle:
                 handle.write(bytes(data))
+
+    def import_from_directory(self, local_directory, prefix="/"):
+        """Load a real directory tree (an earlier export) back into the fs.
+
+        The inverse of :meth:`export_to_directory`: every file under
+        ``local_directory`` appears at ``prefix`` + its relative path. This
+        is how the CLI's ``trace`` subcommands inspect traces that a
+        ``DebugRun.export_traces()`` call wrote to local disk — the
+        paper's "copy into your IDE" hand-off.
+        """
+        import os
+
+        if not os.path.isdir(local_directory):
+            raise FileNotFoundError(
+                f"not a directory: {local_directory!r}"
+            )
+        prefix = normalize_path(prefix)
+        for dirpath, _dirnames, filenames in os.walk(local_directory):
+            for filename in filenames:
+                source = os.path.join(dirpath, filename)
+                relative = os.path.relpath(source, local_directory)
+                target = posixpath.join(prefix, *relative.split(os.sep))
+                with open(source, "rb") as handle:
+                    self.create(target, overwrite=True)
+                    self.append_bytes(target, handle.read())
+        return self

@@ -1,14 +1,24 @@
-"""Buffered line-oriented writers over the simulated file system.
+"""Buffered writers over the simulated file system.
 
-Each Graft-instrumented worker holds one :class:`LineWriter` for its trace
-file and appends one record per line. Buffering batches small appends into
-larger file-system writes, mirroring how real trace producers buffer before
+Each Graft-instrumented worker holds one writer for its trace file and
+appends one record at a time. Buffering batches small appends into larger
+file-system writes, mirroring how real trace producers buffer before
 hitting HDFS.
 
-Flushing is adaptive: a flush happens when *either* the line-count
-threshold or the byte threshold is reached, so many tiny records batch up
-into large appends while a few huge records don't pin megabytes in memory.
+Two writers live here:
+
+- :class:`LineWriter` — plain text lines (the v1 trace format and job
+  output files). Flushing is adaptive: a flush happens when *either* the
+  line-count threshold or the byte threshold is reached, so many tiny
+  records batch up into large appends while a few huge records don't pin
+  megabytes in memory.
+- :class:`BlockWriter` — length-prefixed, optionally zlib-compressed
+  binary frames (the v2 trace format's block layer). The caller hands it
+  whole payloads; it reports back exactly where each block landed so an
+  index sidecar can point at it.
 """
+
+import zlib
 
 from repro.common.errors import SimFsError
 
@@ -127,3 +137,84 @@ class LineWriter:
         # the with block; the original exception continues unwinding.
         self.close()
         return False
+
+
+#: Block flag bit: the payload is zlib-compressed.
+BLOCK_FLAG_ZLIB = 0x01
+
+#: Payloads below this size are never worth compressing.
+DEFAULT_MIN_COMPRESS_BYTES = 256
+
+
+class BlockWriter:
+    """Appends framed binary blocks to one file.
+
+    Each block is stored as ``u32be stored_length | u8 flags | stored
+    bytes``; with compression enabled, payloads at least
+    ``min_compress_bytes`` long are zlib-compressed when that actually
+    shrinks them (flag bit :data:`BLOCK_FLAG_ZLIB`). :meth:`write_block`
+    returns ``(offset, length, flags)`` — the absolute extent of the whole
+    frame — which is exactly what an index sidecar records so a reader can
+    fetch the block back with one ranged read.
+
+    Unlike :class:`LineWriter` this class does not buffer: the trace layer
+    above it owns record buffering and decides the flush boundaries (block
+    boundaries double as index granularity).
+    """
+
+    def __init__(
+        self,
+        filesystem,
+        path,
+        compression=True,
+        compress_level=6,
+        min_compress_bytes=DEFAULT_MIN_COMPRESS_BYTES,
+    ):
+        self._fs = filesystem
+        self.path = path
+        self._compression = compression
+        self._compress_level = compress_level
+        self._min_compress_bytes = min_compress_bytes
+        self._closed = False
+        self.offset = 0
+        self.blocks_written = 0
+        self.raw_payload_bytes = 0
+        self.stored_payload_bytes = 0
+        filesystem.create(path, overwrite=True)
+
+    def write_prelude(self, data):
+        """Append raw unframed bytes (file magic + header), before any block."""
+        if self._closed:
+            raise SimFsError(f"writer for {self.path!r} is closed")
+        if self.blocks_written:
+            raise SimFsError("prelude must be written before any block")
+        self._fs.append_bytes(self.path, data)
+        self.offset += len(data)
+        return self.offset
+
+    def write_block(self, payload):
+        """Append one framed block; returns ``(offset, length, flags)``."""
+        if self._closed:
+            raise SimFsError(f"writer for {self.path!r} is closed")
+        flags = 0
+        stored = payload
+        if self._compression and len(payload) >= self._min_compress_bytes:
+            compressed = zlib.compress(payload, self._compress_level)
+            if len(compressed) < len(payload):
+                stored = compressed
+                flags |= BLOCK_FLAG_ZLIB
+        frame = len(stored).to_bytes(4, "big") + bytes([flags]) + stored
+        offset = self.offset
+        self._fs.append_bytes(self.path, frame)
+        self.offset += len(frame)
+        self.blocks_written += 1
+        self.raw_payload_bytes += len(payload)
+        self.stored_payload_bytes += len(stored)
+        return offset, len(frame), flags
+
+    def close(self):
+        self._closed = True
+
+    @property
+    def closed(self):
+        return self._closed

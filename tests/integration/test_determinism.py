@@ -56,7 +56,7 @@ def _run(algorithm, executor, workers):
         fs = run.session.filesystem
         file_hashes = {
             worker_id: hashlib.sha256(
-                fs.read_text(worker_trace_path("det", worker_id)).encode()
+                fs.read_bytes(worker_trace_path("det", worker_id))
             ).hexdigest()
             for worker_id in range(workers)
         }

@@ -161,3 +161,41 @@ class TestValidateCommand:
             "validate", "--dataset", "soc-Epinions", "--vertices", "60",
         )
         assert status == 0  # directed graphs skip symmetry checks
+
+
+class TestTraceCommand:
+    def test_export_then_stats(self, tmp_path):
+        export_dir = str(tmp_path / "traces")
+        status, output = run_cli(
+            "debug", "--algorithm", "pagerank", "--dataset", "web-BS",
+            "--vertices", "50", "--iterations", "2", "--capture-all-active",
+            "--export-traces", export_dir,
+        )
+        assert status == 0
+        assert "exported traces" in output
+        # The job id is printed in the hint; recover it.
+        job_id = output.split("repro trace stats ")[1].split()[0]
+        status, output = run_cli(
+            "trace", "stats", job_id, "--dir", export_dir,
+        )
+        assert status == 0
+        assert "worker-0.trace" in output
+        assert "master.trace" in output
+        assert "TOTAL" in output
+        assert "100.0%" in output  # fully indexed
+        assert "v2" in output
+
+    def test_stats_missing_directory(self):
+        status, output = run_cli(
+            "trace", "stats", "job-0", "--dir", "/nonexistent/definitely",
+        )
+        assert status == 1
+        assert "cannot load" in output
+
+    def test_stats_unknown_job(self, tmp_path):
+        (tmp_path / "stray.txt").write_text("not a trace tree")
+        status, output = run_cli(
+            "trace", "stats", "ghost", "--dir", str(tmp_path),
+        )
+        assert status == 1
+        assert "no trace directory" in output

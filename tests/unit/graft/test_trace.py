@@ -7,6 +7,7 @@ from repro.graft.capture import MasterContextRecord, Violation
 from repro.graft.trace import (
     TraceReader,
     TraceStore,
+    iter_file_records,
     master_trace_path,
     worker_trace_path,
 )
@@ -32,9 +33,9 @@ class TestTraceStore:
 
     def test_records_land_in_worker_file(self, fs):
         store_with_records(fs, [sample_record(worker_id=1)])
-        lines = list(fs.read_lines(worker_trace_path("jobX", 1)))
-        assert len(lines) == 1
-        assert not list(fs.read_lines(worker_trace_path("jobX", 0)))
+        records = list(iter_file_records(fs, worker_trace_path("jobX", 1)))
+        assert len(records) == 1
+        assert not list(iter_file_records(fs, worker_trace_path("jobX", 0)))
 
     def test_total_bytes_counts_job_directory(self, fs):
         store = store_with_records(fs, [sample_record()])

@@ -1,0 +1,327 @@
+"""Unit tests for the v2 trace format: framing, index, lazy reader, recovery."""
+
+import json
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.graft.capture import (
+    ExceptionRecord,
+    MasterContextRecord,
+    Violation,
+)
+from repro.graft.trace import (
+    TraceReader,
+    TraceStore,
+    canonical_trace_digest,
+    canonical_trace_lines,
+    iter_canonical_trace_lines,
+    iter_file_records,
+    master_trace_path,
+    trace_stats,
+    worker_trace_path,
+)
+from repro.graft.traceformat import IDX_MAGIC, TRACE_MAGIC
+from tests.unit.graft.test_capture import sample_record
+
+JOB = "jobV2"
+
+
+def build_store(fs, fmt="v2", vertices=12, supersteps=4, workers=3):
+    """A small trace with violations, an exception, and per-step flushes."""
+    store = TraceStore(fs, JOB, workers, format=fmt)
+    for step in range(supersteps):
+        for vid in range(vertices):
+            violations = (
+                [Violation("message", vid, step, {"bad": True})]
+                if vid == 2 and step == 1 else []
+            )
+            exception = (
+                ExceptionRecord("ValueError", "boom", "tb")
+                if vid == 5 and step == 2 else None
+            )
+            store.write_vertex_record(sample_record(
+                vertex_id=vid, superstep=step, worker_id=vid % workers,
+                violations=violations, exception=exception,
+            ))
+        store.write_master_record(
+            MasterContextRecord(step, {"agg": step * 1.5})
+        )
+        store.flush()
+    store.close()
+    return store
+
+
+def readers(fs):
+    return (
+        TraceReader(fs, JOB, mode="lazy"),
+        TraceReader(fs, JOB, mode="eager"),
+    )
+
+
+class TestV2FileLayout:
+    def test_magic_and_sidecar(self, fs):
+        build_store(fs)
+        path = worker_trace_path(JOB, 0)
+        assert fs.read_range(path, 0, len(TRACE_MAGIC)) == TRACE_MAGIC
+        idx_lines = list(fs.iter_lines(path + ".idx"))
+        assert idx_lines[0].startswith(IDX_MAGIC)
+        # One index line per flush that had records for this worker.
+        assert all(line.startswith("B ") for line in idx_lines[1:])
+        assert len(idx_lines) == 5  # header + 4 superstep flushes
+
+    def test_index_prefix_is_json_free(self, fs):
+        build_store(fs)
+        line = list(fs.iter_lines(worker_trace_path(JOB, 0) + ".idx"))[1]
+        prefix = line.partition("|")[0].split()
+        assert prefix[0] == "B"
+        assert all(token.lstrip("-").isdigit() for token in prefix[1:])
+        entries = json.loads(line.partition("|")[2])
+        assert len(entries) == int(prefix[6])
+
+    def test_iter_file_records_both_formats(self, fs):
+        build_store(fs, fmt="v2")
+        v2 = list(iter_file_records(fs, worker_trace_path(JOB, 1)))
+        fs1 = type(fs)()
+        build_store(fs1, fmt="v1")
+        v1 = list(iter_file_records(fs1, worker_trace_path(JOB, 1)))
+        assert [r.key for r in v2] == [r.key for r in v1]
+        assert v2[0].value_before == v1[0].value_before
+
+    def test_unknown_format_rejected(self, fs):
+        with pytest.raises(TraceError, match="unknown trace format"):
+            TraceStore(fs, JOB, 1, format="v3")
+
+    def test_unknown_reader_mode_rejected(self, fs):
+        build_store(fs)
+        with pytest.raises(TraceError, match="unknown TraceReader mode"):
+            TraceReader(fs, JOB, mode="sometimes")
+
+
+class TestLazyEagerEquivalence:
+    def test_all_queries_agree(self, fs):
+        build_store(fs)
+        lazy, eager = readers(fs)
+        assert len(lazy) == len(eager) == 48
+        assert lazy.supersteps() == eager.supersteps() == [0, 1, 2, 3]
+        for vid in range(12):
+            for step in range(4):
+                assert lazy.has(vid, step) and eager.has(vid, step)
+                a, b = lazy.get(vid, step), eager.get(vid, step)
+                assert a.key == b.key
+                assert a.value_before == b.value_before
+                assert a.violations == b.violations
+        assert not lazy.has(99, 0) and not eager.has(99, 0)
+        for step in range(4):
+            assert [r.key for r in lazy.at_superstep(step)] == \
+                [r.key for r in eager.at_superstep(step)]
+        for vid in (0, 5, 11):
+            assert [r.superstep for r in lazy.history(vid)] == \
+                [r.superstep for r in eager.history(vid)]
+        assert lazy.captured_vertex_ids() == eager.captured_vertex_ids()
+        assert [(v.vertex_id, v.superstep) for v in lazy.violations()] == \
+            [(v.vertex_id, v.superstep) for v in eager.violations()]
+        assert [(r.key, e.type_name) for r, e in lazy.exceptions()] == \
+            [(r.key, e.type_name) for r, e in eager.exceptions()]
+        assert [r.key for r in lazy.vertex_records] == \
+            [r.key for r in eager.vertex_records]
+        assert [m.superstep for m in lazy.master_records] == \
+            [m.superstep for m in eager.master_records]
+        assert lazy.master_at(2).aggregators == eager.master_at(2).aggregators
+
+    def test_get_missing_raises_not_captured(self, fs):
+        build_store(fs)
+        for reader in readers(fs):
+            with pytest.raises(TraceError, match="not captured"):
+                reader.get(99, 0)
+            with pytest.raises(TraceError, match="not captured"):
+                reader.get(0, 99)
+
+    def test_duplicate_records_last_wins_in_both_modes(self, fs):
+        """Failure recovery appends a second record for the same key."""
+        store = TraceStore(fs, JOB, 1)
+        store.write_vertex_record(sample_record(
+            vertex_id=1, superstep=0, worker_id=0, value_after="first"))
+        store.flush()
+        store.write_vertex_record(sample_record(
+            vertex_id=1, superstep=0, worker_id=0, value_after="retry"))
+        store.close()
+        lazy, eager = readers(fs)
+        assert lazy.get(1, 0).value_after == "retry"
+        assert eager.get(1, 0).value_after == "retry"
+        assert len(lazy) == len(eager) == 1
+
+    def test_superseded_violation_not_reported(self, fs):
+        """A re-executed vertex whose retry is clean hides the old violation."""
+        store = TraceStore(fs, JOB, 1)
+        store.write_vertex_record(sample_record(
+            vertex_id=1, superstep=0, worker_id=0,
+            violations=[Violation("message", 1, 0, {})]))
+        store.flush()
+        store.write_vertex_record(sample_record(
+            vertex_id=1, superstep=0, worker_id=0))
+        store.close()
+        lazy, eager = readers(fs)
+        assert lazy.violations() == [] == eager.violations()
+
+    def test_at_superstep_returns_cached_tuple(self, fs):
+        build_store(fs)
+        lazy, eager = readers(fs)
+        assert lazy.at_superstep(1) is lazy.at_superstep(1)
+        assert eager.at_superstep(1) is eager.at_superstep(1)
+        assert eager.at_superstep(99) == ()
+
+    def test_repeated_get_uses_record_cache(self, fs):
+        build_store(fs)
+        lazy = TraceReader(fs, JOB, mode="lazy")
+        lazy.get(3, 2)
+        calls_after_first = fs.read_calls
+        lazy.get(3, 2)
+        assert fs.read_calls == calls_after_first
+
+    def test_point_query_reads_one_block_not_the_trace(self, fs):
+        build_store(fs, vertices=300, supersteps=6)
+        trace_total = sum(
+            fs.stat(worker_trace_path(JOB, w)).size for w in range(3)
+        ) + fs.stat(master_trace_path(JOB)).size
+        idx_total = sum(
+            fs.stat(worker_trace_path(JOB, w) + ".idx").size for w in range(3)
+        ) + fs.stat(master_trace_path(JOB) + ".idx").size
+        before = fs.bytes_read
+        reader = TraceReader(fs, JOB, mode="lazy")
+        reader.get(7, 3)
+        lazy_cost = fs.bytes_read - before
+        # Beyond the sidecars, open + one point query touches only the
+        # file headers, the (tiny) master file, and ONE data block — never
+        # whole worker trace files.
+        assert lazy_cost - idx_total < trace_total / 2
+        before = fs.bytes_read
+        TraceReader(fs, JOB, mode="eager").get(7, 3)
+        eager_cost = fs.bytes_read - before
+        assert lazy_cost - idx_total < eager_cost / 2
+
+
+class TestRecovery:
+    def test_truncated_idx_recovers_all_records(self, fs):
+        build_store(fs)
+        idx = worker_trace_path(JOB, 0) + ".idx"
+        data = fs.read_bytes(idx)
+        fs.create(idx, overwrite=True)
+        fs.append_bytes(idx, data[: len(data) // 2])
+        lazy, eager = readers(fs)
+        assert len(lazy) == len(eager) == 48
+        assert lazy.get(0, 3).key == (0, 3)
+        stats = trace_stats(fs, JOB)
+        assert 0 < stats["totals"]["index_coverage"] < 1.0
+        worker0 = next(
+            f for f in stats["files"] if f["path"].endswith("worker-0.trace")
+        )
+        assert worker0["recovered_records"] > 0
+
+    def test_missing_idx_recovers_all_records(self, fs):
+        build_store(fs)
+        fs.delete(worker_trace_path(JOB, 1) + ".idx")
+        lazy, eager = readers(fs)
+        assert len(lazy) == len(eager) == 48
+        assert [r.key for r in lazy.at_superstep(2)] == \
+            [r.key for r in eager.at_superstep(2)]
+
+    def test_garbage_idx_recovers_all_records(self, fs):
+        build_store(fs)
+        idx = worker_trace_path(JOB, 2) + ".idx"
+        fs.create(idx, overwrite=True)
+        fs.append_bytes(idx, b"\x00\xff not an index\n")
+        lazy = TraceReader(fs, JOB, mode="lazy")
+        assert len(lazy) == 48
+
+    def test_torn_final_trace_frame_is_dropped(self, fs):
+        """A crash mid-append leaves a partial frame; reads ignore it."""
+        build_store(fs)
+        path = worker_trace_path(JOB, 0)
+        fs.delete(path + ".idx")
+        data = fs.read_bytes(path)
+        fs.create(path, overwrite=True)
+        fs.append_bytes(path, data + b"\x00\x00\x01\x00\x01trunc")
+        records = list(iter_file_records(fs, path))
+        assert [r.key for r in records] == \
+            [r.key for r in iter_file_records(fs, path)]
+        lazy = TraceReader(fs, JOB, mode="lazy")
+        assert len(lazy) == 48  # the torn frame contributed nothing
+
+    def test_digest_unchanged_by_idx_loss(self, fs):
+        build_store(fs)
+        want = canonical_trace_digest(fs, JOB)
+        fs.delete(worker_trace_path(JOB, 0) + ".idx")
+        assert canonical_trace_digest(fs, JOB) == want
+
+
+class TestV1Fallback:
+    def test_lazy_reader_reads_v1_files(self, fs):
+        build_store(fs, fmt="v1")
+        lazy, eager = readers(fs)
+        assert len(lazy) == len(eager) == 48
+        assert lazy.get(2, 1).violations == eager.get(2, 1).violations
+        assert [r.key for r in lazy.vertex_records] == \
+            [r.key for r in eager.vertex_records]
+
+    def test_digest_identical_across_formats(self, fs):
+        build_store(fs, fmt="v2")
+        fs1 = type(fs)()
+        build_store(fs1, fmt="v1")
+        assert canonical_trace_digest(fs, JOB) == \
+            canonical_trace_digest(fs1, JOB)
+
+
+class TestCanonicalStreaming:
+    def test_iterator_matches_list_form(self, fs):
+        build_store(fs)
+        assert list(iter_canonical_trace_lines(fs, JOB)) == \
+            canonical_trace_lines(fs, JOB)
+
+    def test_duplicates_are_preserved(self, fs):
+        store = TraceStore(fs, JOB, 1)
+        store.write_vertex_record(sample_record(
+            vertex_id=1, superstep=0, worker_id=0, value_after="first"))
+        store.write_vertex_record(sample_record(
+            vertex_id=1, superstep=0, worker_id=0, value_after="retry"))
+        store.close()
+        lines = canonical_trace_lines(fs, JOB)
+        assert len(lines) == 2  # the merge never dedups
+
+    def test_worker_id_normalized(self, fs):
+        build_store(fs)
+        for line in canonical_trace_lines(fs, JOB):
+            payload = json.loads(line)
+            if payload.get("kind") == "vertex":
+                assert payload["worker_id"] == 0
+
+    def test_missing_job_raises(self, fs):
+        with pytest.raises(TraceError, match="no trace directory"):
+            canonical_trace_lines(fs, "ghost")
+
+
+class TestTraceStats:
+    def test_totals_and_per_file_fields(self, fs):
+        build_store(fs)
+        stats = trace_stats(fs, JOB)
+        assert stats["totals"]["records"] == 52  # 48 vertex + 4 master
+        assert stats["totals"]["files"] == 4
+        assert stats["totals"]["index_coverage"] == 1.0
+        for info in stats["files"]:
+            assert info["format"] == "v2"
+            assert info["bytes"] > 0
+            assert info["index_bytes"] > 0
+        worker0 = next(
+            f for f in stats["files"] if f["path"].endswith("worker-2.trace")
+        )
+        assert worker0["violations"] == 1
+
+    def test_v1_files_reported(self, fs):
+        build_store(fs, fmt="v1")
+        stats = trace_stats(fs, JOB)
+        assert all(f["format"] == "v1" for f in stats["files"])
+        assert stats["totals"]["records"] == 52
+
+    def test_missing_job_raises(self, fs):
+        with pytest.raises(TraceError, match="no trace directory"):
+            trace_stats(fs, "ghost")

@@ -158,3 +158,66 @@ class TestAccounting:
         fs.write_text("/out/data.txt", "exported")
         fs.export_to_directory(str(tmp_path))
         assert (tmp_path / "out" / "data.txt").read_text() == "exported"
+
+
+class TestRangedReads:
+    def test_read_range_slices(self, fs):
+        fs.write_text("/f", "0123456789")
+        assert fs.read_range("/f", 2, 4) == b"2345"
+        assert fs.read_range("/f", 0, 10) == b"0123456789"
+
+    def test_read_range_clamps_at_eof(self, fs):
+        fs.write_text("/f", "abc")
+        assert fs.read_range("/f", 1, 100) == b"bc"
+        assert fs.read_range("/f", 3, 5) == b""
+        assert fs.read_range("/f", 50, 5) == b""
+
+    def test_read_range_rejects_negative(self, fs):
+        fs.write_text("/f", "abc")
+        with pytest.raises(SimFsError):
+            fs.read_range("/f", -1, 2)
+        with pytest.raises(SimFsError):
+            fs.read_range("/f", 0, -2)
+
+    def test_read_range_missing_file(self, fs):
+        with pytest.raises(SimFsFileNotFound):
+            fs.read_range("/nope", 0, 1)
+
+    def test_iter_lines_streams_across_chunks(self):
+        fs = SimFileSystem(block_size=8)  # tiny blocks force chunk seams
+        lines = [f"line-{index}-padding" for index in range(20)]
+        fs.write_text("/f", "\n".join(lines) + "\n")
+        assert list(fs.iter_lines("/f")) == lines
+
+    def test_iter_lines_handles_missing_trailing_newline(self, fs):
+        fs.write_text("/f", "a\nb\nc")
+        assert list(fs.iter_lines("/f")) == ["a", "b", "c"]
+
+    def test_iter_lines_multibyte_on_chunk_boundary(self):
+        fs = SimFileSystem(block_size=4)
+        text = "héllo wörld ünïcode\nsecond\n"
+        fs.write_text("/f", text)
+        assert list(fs.iter_lines("/f")) == ["héllo wörld ünïcode", "second"]
+
+    def test_read_lines_is_lazy(self, fs):
+        fs.write_text("/f", "a\nb\n")
+        result = fs.read_lines("/f")
+        assert iter(result) is iter(result)  # a generator, not a list
+        assert list(result) == ["a", "b"]
+
+    def test_read_accounting(self, fs):
+        fs.write_text("/f", "0123456789")
+        before_bytes, before_calls = fs.bytes_read, fs.read_calls
+        fs.read_range("/f", 0, 4)
+        fs.read_bytes("/f")
+        assert fs.bytes_read == before_bytes + 4 + 10
+        assert fs.read_calls == before_calls + 2
+
+    def test_import_from_directory_roundtrip(self, fs, tmp_path):
+        fs.write_text("/graft/job/worker-0.trace", "text-data")
+        fs.append_bytes("/graft/job/worker-0.trace.idx", b"\x00binary")
+        fs.export_to_directory(str(tmp_path))
+        loaded = SimFileSystem()
+        loaded.import_from_directory(str(tmp_path))
+        assert loaded.read_text("/graft/job/worker-0.trace") == "text-data"
+        assert loaded.read_bytes("/graft/job/worker-0.trace.idx") == b"\x00binary"

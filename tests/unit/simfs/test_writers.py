@@ -1,9 +1,13 @@
 """Unit tests for the buffered line writers."""
 
+import random
+import zlib
+
 import pytest
 
 from repro.common.errors import SimFsError
-from repro.simfs import LineWriter
+from repro.simfs import BlockWriter, LineWriter
+from repro.simfs.writers import BLOCK_FLAG_ZLIB
 
 
 class TestLineWriter:
@@ -101,3 +105,62 @@ class TestLineWriter:
             for index in range(7):
                 writer.write_line(str(index))
         assert writer.lines_written == 7
+
+
+class TestBlockWriter:
+    def test_frame_roundtrip_uncompressed(self, fs):
+        writer = BlockWriter(fs, "/b", compression=False)
+        payload = b"0123456789"
+        offset, length, flags = writer.write_block(payload)
+        assert (offset, flags) == (0, 0)
+        assert length == 5 + len(payload)
+        frame = fs.read_range("/b", offset, length)
+        assert int.from_bytes(frame[:4], "big") == len(payload)
+        assert frame[4] == 0
+        assert frame[5:] == payload
+
+    def test_large_payload_compresses(self, fs):
+        writer = BlockWriter(fs, "/b")
+        payload = b"abcdefgh" * 200
+        offset, length, flags = writer.write_block(payload)
+        assert flags & BLOCK_FLAG_ZLIB
+        assert length < len(payload)
+        frame = fs.read_range("/b", offset, length)
+        assert zlib.decompress(frame[5:]) == payload
+
+    def test_small_payload_stays_raw(self, fs):
+        writer = BlockWriter(fs, "/b")
+        _offset, _length, flags = writer.write_block(b"tiny")
+        assert flags == 0
+
+    def test_incompressible_payload_stays_raw(self, fs):
+        writer = BlockWriter(fs, "/b")
+        payload = random.Random(5).randbytes(512)
+        _offset, _length, flags = writer.write_block(payload)
+        assert flags == 0  # zlib would not shrink it
+
+    def test_prelude_precedes_blocks(self, fs):
+        writer = BlockWriter(fs, "/b", compression=False)
+        writer.write_prelude(b"#MAGIC\n")
+        offset, _length, _flags = writer.write_block(b"payload-data")
+        assert offset == len(b"#MAGIC\n")
+        assert fs.read_range("/b", 0, 7) == b"#MAGIC\n"
+        writer.write_block(b"second-block")
+        with pytest.raises(SimFsError, match="before any block"):
+            writer.write_prelude(b"late")
+
+    def test_counters_and_offsets_chain(self, fs):
+        writer = BlockWriter(fs, "/b", compression=False)
+        first = writer.write_block(b"a" * 10)
+        second = writer.write_block(b"b" * 20)
+        assert second[0] == first[0] + first[1]
+        assert writer.blocks_written == 2
+        assert writer.raw_payload_bytes == 30
+        assert writer.offset == fs.stat("/b").size
+
+    def test_write_after_close_rejected(self, fs):
+        writer = BlockWriter(fs, "/b")
+        writer.close()
+        assert writer.closed
+        with pytest.raises(SimFsError, match="closed"):
+            writer.write_block(b"late")
