@@ -1,0 +1,58 @@
+"""repro.chaos — deterministic fault injection and recovery verification.
+
+The debugger's claims only matter if they survive failure: the paper's
+Giraph jobs run on clusters where workers die, HDFS writes tear, and
+checkpoints rot. This package manufactures exactly those failures —
+deterministically, from a declarative :class:`FaultPlan` seeded purely by
+``(run_seed, superstep, target)`` — and then *proves* recovery worked:
+after rollback and re-execution, final vertex values, aggregator state,
+and the canonical trace digest must be bit-identical to an undisturbed
+run, on every execution backend.
+
+Entry points:
+
+- :func:`run_chaos` / :func:`run_chaos_matrix` — the verification harness
+  (also behind ``repro chaos run`` on the CLI);
+- :data:`PRESET_PLANS` / :func:`load_fault_plan` — shipped failure
+  scenarios and JSON plan loading;
+- :class:`FaultInjector` + :class:`ChaosFileSystem` — the machinery, for
+  wiring faults into a custom engine setup (``fault_injector=`` /
+  ``filesystem=``).
+
+See docs/fault-tolerance.md for the checkpoint format, plan schema, and
+recovery semantics.
+"""
+
+from repro.chaos.faults import (
+    FAULT_KINDS,
+    PRESET_PLANS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    load_fault_plan,
+    preset_names,
+)
+from repro.chaos.injection import ChaosFileSystem, FaultEvent, FaultInjector
+from repro.chaos.orchestrator import (
+    DEFAULT_CHECKPOINT_EVERY,
+    ChaosReport,
+    run_chaos,
+    run_chaos_matrix,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PRESET_PLANS",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "load_fault_plan",
+    "preset_names",
+    "ChaosFileSystem",
+    "FaultEvent",
+    "FaultInjector",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "ChaosReport",
+    "run_chaos",
+    "run_chaos_matrix",
+]

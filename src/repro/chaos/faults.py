@@ -1,0 +1,308 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a named, serializable list of :class:`FaultSpec`
+entries. Each spec describes one kind of failure at a coordinate in the
+run — a superstep, a worker, a file-path suffix — plus how often it fires.
+Nothing in a plan references wall-clock time or a global RNG: every
+probabilistic decision is derived from ``(run_seed, spec index, superstep,
+target)`` through :func:`~repro.common.rng.derive_rng`, so the same plan
+against the same seed injects byte-identical failures on every machine,
+every backend, and every re-run. That determinism is what lets the
+recovery harness assert bit-identical results instead of "usually works".
+
+Fault kinds
+-----------
+
+``worker_crash``
+    A worker machine dies at the barrier entering a superstep (Pregel's
+    classic failure model). The engine rolls back to the latest checkpoint.
+``step_crash``
+    A worker dies *mid-superstep*, after ``after_calls`` ``compute()``
+    calls — the partially-executed superstep is torn down and rolled back.
+``slow_worker``
+    One worker sleeps ``delay_ms`` before computing (straggler skew). No
+    failure; exists to shake out barrier races between fast and slow
+    workers under the concurrent backends.
+``transient_io``
+    An append to a matching file fails once with
+    :class:`~repro.common.errors.SimFsTransientError`, leaving the file
+    unchanged; writers retry bounded.
+``torn_write``
+    An append to a matching file crashes halfway: a prefix of the data
+    lands, then :class:`~repro.common.errors.InjectedWriteCrash` is
+    raised. This is how torn trace frames and stale index sidecars are
+    manufactured from real writes rather than handcrafted corruption.
+``checkpoint_corrupt``
+    A just-written checkpoint file is truncated to half its length, so
+    recovery must detect the damage via the checksum header and fall back
+    to an older checkpoint.
+
+Plans are loaded by preset name (``load_fault_plan("worker-crash")``) or
+from a JSON file with the same shape ``to_dict`` emits.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.common.errors import GraftError
+
+#: Every fault kind a spec may carry, in documentation order.
+FAULT_KINDS = (
+    "worker_crash",
+    "step_crash",
+    "slow_worker",
+    "transient_io",
+    "torn_write",
+    "checkpoint_corrupt",
+)
+
+_WORKER_KINDS = ("worker_crash", "step_crash", "slow_worker")
+_WRITE_KINDS = ("transient_io", "torn_write")
+
+
+class FaultPlanError(GraftError):
+    """A fault plan or spec is malformed or cannot be loaded."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned failure.
+
+    ``superstep=None`` matches every superstep (bounded by ``times``).
+    ``worker_id`` addresses worker-scoped kinds; write-scoped kinds match
+    files by ``path_suffix`` instead. ``probability`` below 1.0 makes the
+    firing a deterministic pseudo-random choice (seeded, not global).
+    ``times`` caps how often the spec fires across the whole run; ``None``
+    means unbounded.
+    """
+
+    kind: str
+    superstep: int = None
+    worker_id: int = None
+    path_suffix: str = ".trace"
+    after_calls: int = None
+    delay_ms: float = None
+    probability: float = 1.0
+    times: int = 1
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.kind in _WORKER_KINDS and self.worker_id is None:
+            raise FaultPlanError(f"{self.kind} spec needs a worker_id")
+        if self.kind == "step_crash" and self.after_calls is None:
+            raise FaultPlanError("step_crash spec needs after_calls")
+        if self.kind == "slow_worker" and self.delay_ms is None:
+            raise FaultPlanError("slow_worker spec needs delay_ms")
+        if self.kind in _WRITE_KINDS and not self.path_suffix:
+            raise FaultPlanError(f"{self.kind} spec needs a path_suffix")
+        if not (0.0 < self.probability <= 1.0):
+            raise FaultPlanError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+        if self.times is not None and self.times < 1:
+            raise FaultPlanError(f"times must be >= 1 or None, got {self.times}")
+        if self.superstep is not None and self.superstep < 0:
+            raise FaultPlanError(f"superstep must be >= 0, got {self.superstep}")
+
+    def matches_superstep(self, superstep):
+        return self.superstep is None or self.superstep == superstep
+
+    def to_dict(self):
+        out = {"kind": self.kind}
+        for name in (
+            "superstep", "worker_id", "after_calls", "delay_ms", "times",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.times is None:
+            out["times"] = None
+        if self.kind in _WRITE_KINDS:
+            out["path_suffix"] = self.path_suffix
+        if self.probability != 1.0:
+            out["probability"] = self.probability
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict) or "kind" not in data:
+            raise FaultPlanError(f"fault spec must be a dict with a kind: {data!r}")
+        allowed = {
+            "kind", "superstep", "worker_id", "path_suffix",
+            "after_calls", "delay_ms", "probability", "times",
+        }
+        unknown = set(data) - allowed
+        if unknown:
+            raise FaultPlanError(f"unknown fault spec fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs.setdefault("times", 1)
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named bundle of fault specs, serializable to/from JSON."""
+
+    name: str
+    faults: tuple
+    description: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if not self.name:
+            raise FaultPlanError("fault plan needs a name")
+        for spec in self.faults:
+            if not isinstance(spec, FaultSpec):
+                raise FaultPlanError(f"plan faults must be FaultSpec, got {spec!r}")
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "description": self.description,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be a dict, got {data!r}")
+        try:
+            faults = tuple(
+                FaultSpec.from_dict(spec) for spec in data.get("faults", ())
+            )
+            return cls(
+                name=data["name"],
+                faults=faults,
+                description=data.get("description", ""),
+            )
+        except KeyError as exc:
+            raise FaultPlanError(f"fault plan is missing {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text):
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _build_presets():
+    """The shipped plans: one per failure mode the harness certifies."""
+    plans = [
+        FaultPlan(
+            name="worker-crash",
+            description=(
+                "Worker 1 dies at the barrier entering superstep 3; worker 0 "
+                "dies mid-superstep 5 after two compute() calls."
+            ),
+            faults=(
+                FaultSpec(kind="worker_crash", superstep=3, worker_id=1),
+                FaultSpec(
+                    kind="step_crash", superstep=5, worker_id=0, after_calls=2
+                ),
+            ),
+        ),
+        FaultPlan(
+            name="torn-trace-tail",
+            description=(
+                "A trace-file append at the superstep-4 barrier crashes "
+                "halfway, leaving a torn frame for recovery to truncate."
+            ),
+            faults=(
+                FaultSpec(
+                    kind="torn_write", superstep=4, path_suffix=".trace"
+                ),
+            ),
+        ),
+        FaultPlan(
+            name="stale-sidecar",
+            description=(
+                "An index-sidecar append at the superstep-4 barrier crashes "
+                "halfway: the data block landed but its index line is torn."
+            ),
+            faults=(
+                FaultSpec(
+                    kind="torn_write", superstep=4, path_suffix=".trace.idx"
+                ),
+            ),
+        ),
+        FaultPlan(
+            name="transient-io",
+            description=(
+                "Appends at the superstep-2 barrier fail once each with a "
+                "transient error (writers retry); worker 0 then dies at "
+                "superstep 4."
+            ),
+            faults=(
+                FaultSpec(
+                    kind="transient_io", superstep=2, path_suffix=".trace",
+                    times=None,
+                ),
+                FaultSpec(kind="worker_crash", superstep=4, worker_id=0),
+            ),
+        ),
+        FaultPlan(
+            name="checkpoint-corruption",
+            description=(
+                "The checkpoint written at superstep 4 is truncated after "
+                "the write; worker 2 dies at superstep 5, forcing recovery "
+                "to reject the corrupt checkpoint and fall back to an "
+                "older one."
+            ),
+            faults=(
+                FaultSpec(kind="checkpoint_corrupt", superstep=4, times=1),
+                FaultSpec(kind="worker_crash", superstep=5, worker_id=2),
+            ),
+        ),
+        FaultPlan(
+            name="slow-worker",
+            description=(
+                "Worker 0 straggles (2 ms skew) for three supersteps while "
+                "worker 1 dies at superstep 3 — recovery under skewed "
+                "barriers."
+            ),
+            faults=(
+                FaultSpec(
+                    kind="slow_worker", worker_id=0, delay_ms=2.0, times=3
+                ),
+                FaultSpec(kind="worker_crash", superstep=3, worker_id=1),
+            ),
+        ),
+    ]
+    return {plan.name: plan for plan in plans}
+
+
+#: name -> FaultPlan for every shipped preset.
+PRESET_PLANS = _build_presets()
+
+
+def preset_names():
+    return sorted(PRESET_PLANS)
+
+
+def load_fault_plan(token):
+    """Resolve a plan from a preset name or a local JSON file path.
+
+    Preset names win; anything else is treated as a path. A token that is
+    neither raises :class:`FaultPlanError` listing the presets.
+    """
+    if isinstance(token, FaultPlan):
+        return token
+    plan = PRESET_PLANS.get(token)
+    if plan is not None:
+        return plan
+    if os.path.isfile(token):
+        with open(token, "r", encoding="utf-8") as handle:
+            return FaultPlan.from_json(handle.read())
+    raise FaultPlanError(
+        f"{token!r} is neither a preset plan nor a readable JSON file; "
+        f"presets: {', '.join(preset_names())}"
+    )

@@ -12,13 +12,18 @@ The workflows a Giraph user would drive from a terminal::
     python -m repro lint repro.algorithms:BuggyRandomWalk --format json
     python -m repro lint repro.algorithms examples/quickstart.py
     python -m repro trace stats job-0 --dir ./exported-traces
+    python -m repro chaos presets
+    python -m repro chaos run --plan worker-crash --algorithm pagerank
+    python -m repro debug --algorithm pagerank --chaos torn-trace-tail \\
+        --capture-all-active
     python -m repro validate --dataset soc-Epinions --vertices 500
 
 Exit status (documented for CI gating):
 
 - 0 — success, and (for ``debug``) no constraint violations captured;
-- 1 — failed computation, invalid input, or (for ``lint``) error-severity
-  findings / unresolvable target;
+- 1 — failed computation, invalid input, a ``chaos run`` whose recovery
+  verification failed, or (for ``lint``) error-severity findings /
+  unresolvable target;
 - 2 — the run or analysis itself succeeded but found problems: ``debug``
   captured constraint violations, or ``lint`` produced warning-severity
   findings only.
@@ -270,18 +275,56 @@ def _debug_status(run):
     return 2 if run.violations() else 0
 
 
+def _chaos_debug_kwargs(args, out):
+    """Extra debug_run kwargs for ``debug --chaos``; (kwargs, injector)."""
+    if not getattr(args, "chaos", None):
+        return {}, None
+    from repro.chaos import ChaosFileSystem, FaultInjector, load_fault_plan
+    from repro.pregel import CheckpointConfig
+
+    plan = load_fault_plan(args.chaos)
+    injector = FaultInjector(plan)
+    filesystem = ChaosFileSystem(injector)
+    out(f"chaos: injecting plan {plan.name!r} "
+        f"({len(plan.faults)} fault spec(s)), "
+        f"checkpoint every {args.checkpoint_every} superstep(s)")
+    kwargs = {
+        "filesystem": filesystem,
+        "fault_injector": injector,
+        "checkpoint_config": CheckpointConfig(
+            filesystem=filesystem,
+            every_n_supersteps=args.checkpoint_every,
+        ),
+    }
+    return kwargs, injector
+
+
 def cmd_debug(args, out):
+    from repro.chaos.faults import FaultPlanError
+
     registry = _algorithm_registry()
     _description, factory_builder, kwargs_builder = registry[args.algorithm]
     graph = _build_graph(args)
+    try:
+        chaos_kwargs, injector = _chaos_debug_kwargs(args, out)
+    except FaultPlanError as exc:
+        out(f"debug: {exc}")
+        return 1
     run = debug_run(
         factory_builder(args),
         graph,
         _config_for(args),
         strict=args.strict,
+        **chaos_kwargs,
         **_engine_kwargs(args, kwargs_builder(args)),
     )
     out(run.summary())
+    if injector is not None:
+        for event in injector.events:
+            out(f"chaos: superstep {event.superstep}: {event.kind} "
+                f"on {event.target} ({event.detail})")
+        if not injector.events:
+            out("chaos: no faults fired (plan coordinates never matched)")
     if not run.ok:
         out(f"computation FAILED: {run.failure}")
     if run.capture_count == 0:
@@ -392,6 +435,52 @@ def cmd_lint(args, out):
     return 2 if findings else 0
 
 
+def cmd_chaos(args, out):
+    import json
+
+    from repro.chaos import PRESET_PLANS, load_fault_plan, run_chaos
+    from repro.chaos.faults import FaultPlanError
+
+    if args.chaos_command == "presets":
+        rows = [
+            [plan.name, len(plan.faults), plan.description]
+            for _name, plan in sorted(PRESET_PLANS.items())
+        ]
+        out(render_table(
+            ["preset", "faults", "description"], rows,
+            title="Shipped fault plans (repro chaos run --plan <preset>)",
+        ))
+        return 0
+
+    registry = _algorithm_registry()
+    description, factory_builder, kwargs_builder = registry[args.algorithm]
+    graph = _build_graph(args)
+    try:
+        plan = load_fault_plan(args.plan)
+    except FaultPlanError as exc:
+        out(f"chaos: {exc}")
+        return 1
+    kwargs = _engine_kwargs(args, kwargs_builder(args))
+    out(f"chaos-running {args.algorithm} ({description}) on {args.dataset} "
+        f"[{graph.num_vertices} vertices] under plan {plan.name!r} "
+        f"executor={args.executor} workers={args.workers}")
+    report = run_chaos(
+        factory_builder(args),
+        graph,
+        plan,
+        seed=kwargs.pop("seed"),
+        num_workers=kwargs.pop("num_workers"),
+        executor=kwargs.pop("executor"),
+        checkpoint_every=args.checkpoint_every,
+        **kwargs,
+    )
+    if args.format == "json":
+        out(json.dumps(report.to_dict(), indent=2, default=repr))
+    else:
+        out(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args, out):
     from repro.common.errors import TraceError
     from repro.graft.trace import trace_stats
@@ -408,6 +497,9 @@ def cmd_trace(args, out):
     except TraceError as exc:
         out(f"trace: {exc}")
         return 1
+    for skip in stats.get("skipped", ()):
+        out(f"trace: warning: skipping unreadable trace file "
+            f"{skip['path']}: {skip['error']}")
     rows = []
     for info in stats["files"]:
         rows.append([
@@ -523,6 +615,37 @@ def build_parser():
     debug_parser.add_argument("--strict", action="store_true",
                               help="refuse programs with error-severity "
                                    "graft-lint findings before running")
+    debug_parser.add_argument("--chaos", metavar="PLAN", default=None,
+                              help="inject a fault plan (preset name or JSON "
+                                   "file) with checkpointing and recovery "
+                                   "enabled; see 'repro chaos presets'")
+    debug_parser.add_argument("--checkpoint-every", type=int, default=2,
+                              help="checkpoint cadence for --chaos runs "
+                                   "(supersteps; default 2)")
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection and recovery verification",
+    )
+    chaos_sub = chaos_parser.add_subparsers(dest="chaos_command", required=True)
+    chaos_sub.add_parser("presets", help="list the shipped fault plans")
+    chaos_run_parser = chaos_sub.add_parser(
+        "run",
+        help="run an algorithm twice (clean + injected) and verify that "
+             "recovery reproduces the fault-free results bit-identically",
+    )
+    add_common(chaos_run_parser)
+    chaos_run_parser.add_argument(
+        "--plan", required=True,
+        help="fault plan: a preset name ('repro chaos presets') or a "
+             "JSON plan file",
+    )
+    chaos_run_parser.add_argument(
+        "--checkpoint-every", type=int, default=2,
+        help="checkpoint cadence in supersteps (default 2)",
+    )
+    chaos_run_parser.add_argument("--format", choices=("text", "json"),
+                                  default="text")
 
     lint_parser = sub.add_parser(
         "lint",
@@ -570,6 +693,7 @@ _COMMANDS = {
     "premade": cmd_premade,
     "run": cmd_run,
     "debug": cmd_debug,
+    "chaos": cmd_chaos,
     "lint": cmd_lint,
     "trace": cmd_trace,
     "validate": cmd_validate,

@@ -87,6 +87,64 @@ class AggregatorError(PregelError):
     """An aggregator was misused (unknown name, bad merge, re-registration)."""
 
 
+class CheckpointError(PregelError):
+    """A checkpoint file is missing a header, fails its checksum, or does
+    not decode back into engine state. Recovery skips such checkpoints and
+    falls back to the next-newest usable one."""
+
+
+class InjectedFault(PregelError):
+    """Base class for failures planted by ``repro.chaos``.
+
+    The engine treats any :class:`InjectedFault` escaping a superstep as a
+    machine failure: with checkpointing enabled it rolls back and
+    re-executes; without it the fault propagates to the caller.
+    """
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """A worker process died mid-superstep (after some compute() calls)."""
+
+    def __init__(self, worker_id, superstep, after_calls=None):
+        detail = (
+            f" after {after_calls} compute call(s)"
+            if after_calls is not None
+            else ""
+        )
+        super().__init__(
+            f"injected crash of worker {worker_id} "
+            f"in superstep {superstep}{detail}"
+        )
+        self.worker_id = worker_id
+        self.superstep = superstep
+        self.after_calls = after_calls
+
+    def __reduce__(self):
+        # Like ComputeError: must survive the process backend's pipe.
+        return (self.__class__, (self.worker_id, self.superstep, self.after_calls))
+
+
+class InjectedWriteCrash(InjectedFault):
+    """The writing process died mid-append: part of the data landed.
+
+    Models a trace/checkpoint producer crashing between the bytes reaching
+    the file and the write completing — the failure that leaves torn frames
+    and stale index sidecars behind.
+    """
+
+    def __init__(self, path, written, requested):
+        super().__init__(
+            f"injected crash while appending to {path!r} "
+            f"({written} of {requested} bytes landed)"
+        )
+        self.path = path
+        self.written = written
+        self.requested = requested
+
+    def __reduce__(self):
+        return (self.__class__, (self.path, self.written, self.requested))
+
+
 class EngineStateError(PregelError):
     """The engine was driven through an invalid state transition."""
 
@@ -168,6 +226,19 @@ class SimFsFileExists(SimFsError):
 
     def __init__(self, path):
         super().__init__(f"file exists: {path!r}")
+        self.path = path
+
+
+class SimFsTransientError(SimFsError):
+    """A write failed but left the file unchanged; retrying may succeed.
+
+    The simulated analogue of a transient HDFS ``IOError`` (datanode
+    hiccup, lease timeout). Writers retry these a bounded number of times
+    before giving up.
+    """
+
+    def __init__(self, path):
+        super().__init__(f"transient I/O error appending to {path!r}")
         self.path = path
 
 

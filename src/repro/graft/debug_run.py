@@ -203,6 +203,22 @@ class GraftSession:
         self._drain_buffers()
         self.store.flush()
 
+    def on_rollback(self, failed_superstep, restored_superstep):
+        """The engine is rolling back to a checkpoint; discard torn state.
+
+        Buffered and deferred captures belong to the superstep that
+        failed — it will re-execute, re-capturing them — and the trace
+        files may carry a torn frame or stale sidecar from a crash during
+        a write. Repairing here means re-execution appends to structurally
+        sound files; re-captured records duplicate already-persisted ones,
+        which the canonical trace merge deduplicates.
+        """
+        for wid in self._buffers:
+            self._buffers[wid] = []
+        for wid in self._deferred:
+            self._deferred[wid] = []
+        self.store.repair()
+
     def on_finish(self, result):
         self.finalize()
 

@@ -22,14 +22,28 @@ class FidelityReport:
     #: Static findings (graft-lint) that predicted the divergence class —
     #: GL001/GL002/GL003 are exactly the hazards that break replay.
     predicted_by: tuple = ()
+    #: Recovery history of the verified run: checkpoint rollbacks the
+    #: engine performed and how many superstep executions were re-runs.
+    #: Fidelity across a recovered run is the stronger claim — the records
+    #: replayed faithfully even though some were captured twice.
+    rollback_count: int = 0
+    recovered_supersteps: int = 0
 
     @property
     def ok(self):
         return self.total == self.faithful
 
     def summary(self):
+        recovery = (
+            f" (run recovered from {self.rollback_count} rollback(s); "
+            f"{self.recovered_supersteps} supersteps re-executed)"
+            if self.rollback_count
+            else ""
+        )
         if self.ok:
-            return f"all {self.total} captured contexts replay faithfully"
+            return (
+                f"all {self.total} captured contexts replay faithfully{recovery}"
+            )
         text = (
             f"{self.faithful}/{self.total} faithful; divergent: "
             + ", ".join(
@@ -40,7 +54,7 @@ class FidelityReport:
         if self.predicted_by:
             rule_ids = sorted({f.rule_id for f in self.predicted_by})
             text += f" — predicted by static analysis: {', '.join(rule_ids)}"
-        return text
+        return text + recovery
 
 
 def verify_run_fidelity(run, computation_factory=None, limit=None):
@@ -51,6 +65,10 @@ def verify_run_fidelity(run, computation_factory=None, limit=None):
     """
     factory = computation_factory or run.computation_factory
     report = FidelityReport()
+    result = getattr(run, "result", None)
+    if result is not None:
+        report.rollback_count = result.metrics.rollback_count
+        report.recovered_supersteps = result.metrics.recovered_supersteps
     records = run.reader.vertex_records
     if limit is not None:
         records = records[:limit]

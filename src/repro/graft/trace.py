@@ -47,8 +47,9 @@ wrote v1 files and the other v2.
 import hashlib
 import json
 import posixpath
+import zlib
 
-from repro.common.errors import TraceError
+from repro.common.errors import SerializationError, SimFsError, TraceError
 from repro.common.serialization import default_codec
 from repro.graft.capture import (
     KIND_MASTER,
@@ -81,6 +82,7 @@ from repro.simfs.writers import (
     DEFAULT_BUFFER_LINES,
     BlockWriter,
     LineWriter,
+    append_retrying,
 )
 
 DEFAULT_ROOT = "/graft"
@@ -141,13 +143,18 @@ class _V2FileWriter:
         self._codec = codec
         self.path = path
         self._block_writer = BlockWriter(filesystem, path, compression=compression)
-        self._block_writer.write_prelude(TRACE_MAGIC + encode_header(build_header()))
+        self._data_start = self._block_writer.write_prelude(
+            TRACE_MAGIC + encode_header(build_header())
+        )
         self._idx_path = path + ".idx"
         filesystem.create(self._idx_path, overwrite=True)
-        filesystem.append_text(
-            self._idx_path,
-            format_idx_header(posixpath.basename(path)) + "\n",
-        )
+        idx_header = format_idx_header(posixpath.basename(path)) + "\n"
+        filesystem.append_text(self._idx_path, idx_header)
+        # Every line successfully represented in the sidecar, header
+        # included. repair() rewrites the sidecar from this list, so a
+        # crash that tears an index append (or lands between the block
+        # append and its index line) never leaves a stale sidecar behind.
+        self._idx_lines = [idx_header]
         self._buffer_records = buffer_records
         self._buffer_bytes = buffer_bytes
         self._encoded = []
@@ -208,10 +215,38 @@ class _V2FileWriter:
             in zip(self._metas, extents)
         ]
         meta = summarize_entries(offset, length, flags, entries)
-        self._fs.append_text(self._idx_path, format_idx_line(meta, entries) + "\n")
+        line = format_idx_line(meta, entries) + "\n"
+        # Remember the line before attempting the append: the block is
+        # already durable, so if the index append crashes the line can be
+        # restored by repair()'s sidecar rewrite.
+        self._idx_lines.append(line)
+        append_retrying(self._fs, self._idx_path, line)
         self._encoded = []
         self._metas = []
         self._buffered_bytes = 0
+
+    def repair(self):
+        """Restore file/sidecar consistency after a crash-induced rollback.
+
+        Buffered records are discarded (they belong to the superstep being
+        rolled back and will be re-captured on re-execution), a torn block
+        frame is truncated away, and the index sidecar is rewritten from
+        the known-good line list whenever the on-disk bytes disagree —
+        covering both a torn index append and an index line that was never
+        written because the crash hit between block and sidecar.
+        """
+        self.records_written -= len(self._encoded)
+        self._encoded = []
+        self._metas = []
+        self._buffered_bytes = 0
+        self._block_writer.repair()
+        expected = "".join(self._idx_lines)
+        try:
+            current = self._fs.read_bytes(self._idx_path).decode("utf-8")
+        except (SimFsError, UnicodeDecodeError):
+            current = None
+        if current != expected:
+            self._fs.write_text(self._idx_path, expected)
 
     def close(self):
         self.flush()
@@ -235,6 +270,9 @@ class _V1FileWriter:
 
     def flush(self):
         self._writer.flush()
+
+    def repair(self):
+        self._writer.repair()
 
     def close(self):
         self._writer.close()
@@ -312,6 +350,18 @@ class TraceStore:
         for writer in self._worker_writers:
             writer.flush()
         self._master_writer.flush()
+
+    def repair(self):
+        """Restore every trace file after a crash-induced rollback.
+
+        Called by the Graft session when the engine rolls back to a
+        checkpoint: torn frames are truncated, stale sidecars rewritten,
+        and buffered records of the torn superstep discarded so
+        re-execution appends to structurally sound files.
+        """
+        for writer in self._worker_writers:
+            writer.repair()
+        self._master_writer.repair()
 
     def close(self):
         for writer in self._worker_writers:
@@ -829,14 +879,19 @@ _NORMALIZED_WORKER_ID = 0
 def iter_canonical_trace_lines(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
     """Stream one job's captures as canonical, partition-independent lines.
 
-    Every record from every trace file — duplicates included — is decoded,
-    its ``worker_id`` normalized (vertex placement is an artifact of
-    partitioning, not of the computation), re-encoded with the canonical
-    codec (v1 line form: sorted keys, compact separators), and totally
-    ordered by ``(kind, superstep, repr(vertex_id), line_text)``. Two runs
-    of the same job produce equal streams — and equal
-    :func:`canonical_trace_digest` hashes — whatever backend, worker
-    count, or storage format produced them.
+    Every record from every trace file is decoded, its ``worker_id``
+    normalized (vertex placement is an artifact of partitioning, not of
+    the computation), re-encoded with the canonical codec (v1 line form:
+    sorted keys, compact separators), and totally ordered by ``(kind,
+    superstep, repr(vertex_id), line_text)``. Byte-identical lines within
+    one key collapse to a single line: a superstep re-executed after a
+    checkpoint rollback re-captures exactly the records the first attempt
+    already persisted, and deduplication makes the canonical stream — and
+    :func:`canonical_trace_digest` — invariant under such recoveries.
+    Genuinely different records sharing a key are all preserved. Two runs
+    of the same job produce equal streams — and equal digest hashes —
+    whatever backend, worker count, storage format, or fault/recovery
+    history produced them.
 
     Only the sort keys (plus, for v1 files, their decoded records) are
     held in memory; the re-encoded lines themselves stream out one
@@ -867,7 +922,9 @@ def iter_canonical_trace_lines(filesystem, job_id, codec=None, root=DEFAULT_ROOT
                 record.worker_id = _NORMALIZED_WORKER_ID
             lines.append(record_to_line(record, codec))
         if len(lines) > 1:
-            lines.sort()  # content tiebreak inside one (kind, ss, id) key
+            # Content tiebreak inside one (kind, ss, id) key; identical
+            # lines (rollback re-captures) collapse to one.
+            lines = sorted(set(lines))
         for line in lines:
             yield line
         start = stop
@@ -901,64 +958,31 @@ def trace_stats(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
 
     Returns a dict with one row per trace file (format, bytes, index
     bytes, record counts, index coverage, compression ratio) plus totals —
-    what the ``repro trace stats`` subcommand renders.
+    what the ``repro trace stats`` subcommand renders. A ``*.trace`` file
+    that is not actually a readable trace (foreign bytes someone parked
+    under the job directory, undecodable garbage) is skipped rather than
+    failing the whole report: it lands in the returned ``skipped`` list as
+    ``{"path", "error"}`` so callers can warn about it.
     """
     codec = codec or default_codec
     directory = job_directory(job_id, root)
     if not filesystem.is_dir(directory):
         raise TraceError(f"no trace directory for job {job_id!r}")
     files = []
+    skipped = []
     for path in filesystem.glob_files(directory, suffix=".trace"):
-        size = filesystem.stat(path).size
-        idx_path = path + ".idx"
-        idx_bytes = (
-            filesystem.stat(idx_path).size if filesystem.is_file(idx_path) else 0
-        )
-        if is_v2_file(filesystem, path):
-            blocks, _header, index_stats = load_index(filesystem, path, codec)
-            indexed_blocks = index_stats["indexed_blocks"]
-            records = sum(meta.num_records for meta in blocks)
-            indexed_records = sum(
-                meta.num_records for meta in blocks[:indexed_blocks]
-            )
-            raw = stored = 0
-            for meta in blocks:
-                raw += len(read_block_payload(filesystem, path, meta))
-                stored += meta.length
-            files.append({
-                "path": path,
-                "format": TRACE_FORMAT_V2,
-                "bytes": size,
-                "index_bytes": idx_bytes,
-                "records": records,
-                "indexed_records": indexed_records,
-                "recovered_records": records - indexed_records,
-                "index_coverage": (
-                    round(indexed_records / records, 4) if records else 1.0
-                ),
-                "violations": sum(meta.num_violations for meta in blocks),
-                "exceptions": sum(meta.num_exceptions for meta in blocks),
-                "raw_payload_bytes": raw,
-                "stored_payload_bytes": stored,
-                "compression_ratio": round(raw / stored, 3) if stored else 1.0,
-            })
-        else:
-            records = sum(1 for _ in filesystem.read_lines(path))
-            files.append({
-                "path": path,
-                "format": TRACE_FORMAT_V1,
-                "bytes": size,
-                "index_bytes": idx_bytes,
-                "records": records,
-                "indexed_records": 0,
-                "recovered_records": 0,
-                "index_coverage": 0.0,
-                "violations": None,
-                "exceptions": None,
-                "raw_payload_bytes": size,
-                "stored_payload_bytes": size,
-                "compression_ratio": 1.0,
-            })
+        try:
+            files.append(_file_stats(filesystem, path, codec))
+        except (
+            TraceError,
+            SerializationError,
+            SimFsError,
+            UnicodeDecodeError,
+            ValueError,
+            KeyError,
+            zlib.error,
+        ) as exc:
+            skipped.append({"path": path, "error": str(exc)})
     total_records = sum(f["records"] for f in files)
     total_bytes = sum(f["bytes"] for f in files)
     total_idx = sum(f["index_bytes"] for f in files)
@@ -968,6 +992,7 @@ def trace_stats(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
     return {
         "job_id": job_id,
         "files": files,
+        "skipped": skipped,
         "totals": {
             "files": len(files),
             "records": total_records,
@@ -980,4 +1005,63 @@ def trace_stats(filesystem, job_id, codec=None, root=DEFAULT_ROOT):
                 round(total_raw / total_stored, 3) if total_stored else 1.0
             ),
         },
+    }
+
+
+def _file_stats(filesystem, path, codec):
+    """Stats row for one trace file; raises when the file is unreadable."""
+    size = filesystem.stat(path).size
+    idx_path = path + ".idx"
+    idx_bytes = (
+        filesystem.stat(idx_path).size if filesystem.is_file(idx_path) else 0
+    )
+    if is_v2_file(filesystem, path):
+        blocks, _header, index_stats = load_index(filesystem, path, codec)
+        indexed_blocks = index_stats["indexed_blocks"]
+        records = sum(meta.num_records for meta in blocks)
+        indexed_records = sum(
+            meta.num_records for meta in blocks[:indexed_blocks]
+        )
+        raw = stored = 0
+        for meta in blocks:
+            raw += len(read_block_payload(filesystem, path, meta))
+            stored += meta.length
+        return {
+            "path": path,
+            "format": TRACE_FORMAT_V2,
+            "bytes": size,
+            "index_bytes": idx_bytes,
+            "records": records,
+            "indexed_records": indexed_records,
+            "recovered_records": records - indexed_records,
+            "index_coverage": (
+                round(indexed_records / records, 4) if records else 1.0
+            ),
+            "violations": sum(meta.num_violations for meta in blocks),
+            "exceptions": sum(meta.num_exceptions for meta in blocks),
+            "raw_payload_bytes": raw,
+            "stored_payload_bytes": stored,
+            "compression_ratio": round(raw / stored, 3) if stored else 1.0,
+        }
+    # v1 has no magic line, so *any* text file reaches this branch: parse
+    # every line with the real record decoder so foreign files raise (and
+    # get skipped with a warning) instead of masquerading as empty traces.
+    records = 0
+    for line in filesystem.read_lines(path):
+        record_from_line(line, codec)
+        records += 1
+    return {
+        "path": path,
+        "format": TRACE_FORMAT_V1,
+        "bytes": size,
+        "index_bytes": idx_bytes,
+        "records": records,
+        "indexed_records": 0,
+        "recovered_records": 0,
+        "index_coverage": 0.0,
+        "violations": None,
+        "exceptions": None,
+        "raw_payload_bytes": size,
+        "stored_payload_bytes": size,
+        "compression_ratio": 1.0,
     }

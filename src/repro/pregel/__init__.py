@@ -36,7 +36,12 @@ from repro.pregel.combiners import (
     MinCombiner,
     SumCombiner,
 )
-from repro.pregel.checkpoint import CheckpointConfig, WorkerFailure
+from repro.pregel.checkpoint import (
+    CheckpointConfig,
+    WorkerFailure,
+    checkpoint_candidates,
+)
+from repro.common.errors import CheckpointError
 from repro.pregel.computation import Computation, WorkerInfo
 from repro.pregel.context import ComputeContext
 from repro.pregel.engine import PregelEngine, PregelResult, run_computation
@@ -74,7 +79,9 @@ __all__ = [
     "MaxCombiner",
     "SumCombiner",
     "CheckpointConfig",
+    "CheckpointError",
     "WorkerFailure",
+    "checkpoint_candidates",
     "Computation",
     "WorkerInfo",
     "ComputeContext",

@@ -13,11 +13,20 @@ next superstep. Everything goes through the trace codec, so checkpoints
 are text files on the simulated DFS like Graft's traces.
 """
 
+import hashlib
 from dataclasses import dataclass
 
-from repro.common.errors import PregelError
+from repro.common.errors import CheckpointError, PregelError
 from repro.common.serialization import default_codec
 from repro.pregel.messages import Envelope, MessageStore
+from repro.simfs.writers import append_retrying
+
+#: First line of every checkpoint file: magic + integrity header. Reads
+#: verify the digest before trusting the payload, so a corrupted (or torn)
+#: checkpoint is detected and recovery falls back to an older one instead
+#: of restoring garbage state. Header-less files (written before this
+#: format) still load, unverified.
+CHECKPOINT_MAGIC = "#CKPT1"
 
 
 @dataclass(frozen=True)
@@ -78,13 +87,59 @@ def write_checkpoint(config, superstep, workers, aggregators, incoming, codec=No
             for envelope in incoming.inbox(target)
         ],
     }
-    config.filesystem.write_text(config.path_for(superstep), codec.dumps(payload))
+    body = codec.dumps(payload)
+    digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    path = config.path_for(superstep)
+    # create + retrying append: a transient fs error mid-write is retried
+    # from a fresh empty file, so no half-old half-new content can exist.
+    config.filesystem.create(path, overwrite=True)
+    append_retrying(
+        config.filesystem, path, f"{CHECKPOINT_MAGIC} sha256={digest}\n{body}"
+    )
+    return path
 
 
 def read_checkpoint(config, path, codec=None):
-    """Load a checkpoint payload back into plain engine-state structures."""
+    """Load a checkpoint payload back into plain engine-state structures.
+
+    Raises :class:`~repro.common.errors.CheckpointError` when the file is
+    corrupt: undecodable bytes, a checksum mismatch against the integrity
+    header, or a payload that no longer parses. Recovery treats that as
+    "this checkpoint does not exist" and falls back to an older one.
+    """
     codec = codec or default_codec
-    payload = codec.loads(config.filesystem.read_text(path))
+    try:
+        text = config.filesystem.read_bytes(path).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CheckpointError(f"checkpoint {path!r} is not text: {exc}") from exc
+    if text.startswith(CHECKPOINT_MAGIC):
+        header, sep, body = text.partition("\n")
+        if not sep:
+            raise CheckpointError(f"checkpoint {path!r} truncated after header")
+        expected = None
+        for token in header.split()[1:]:
+            if token.startswith("sha256="):
+                expected = token[len("sha256="):]
+        if expected is None:
+            raise CheckpointError(f"checkpoint {path!r} header has no digest")
+        actual = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if actual != expected:
+            raise CheckpointError(
+                f"checkpoint {path!r} fails its checksum "
+                f"(expected {expected[:12]}..., got {actual[:12]}...)"
+            )
+    else:
+        body = text  # pre-header checkpoint: load unverified
+    try:
+        payload = codec.loads(body)
+    except Exception as exc:  # noqa: BLE001 - any decode failure is corruption
+        raise CheckpointError(
+            f"checkpoint {path!r} payload unreadable: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or not (
+        {"superstep", "aggregators", "workers", "messages"} <= set(payload)
+    ):
+        raise CheckpointError(f"checkpoint {path!r} is missing required keys")
     store = MessageStore()
     for source, target, value in payload["messages"]:
         store.deliver(Envelope(source=source, target=target, value=value))
@@ -96,8 +151,13 @@ def read_checkpoint(config, path, codec=None):
     }
 
 
-def latest_checkpoint_path(config, before_superstep=None):
-    """The newest checkpoint file, optionally only those <= a superstep."""
+def checkpoint_candidates(config, before_superstep=None):
+    """Checkpoint paths newest-first, optionally only those <= a superstep.
+
+    Recovery walks this list and restores from the first checkpoint that
+    passes verification, so one corrupt file costs one fallback step, not
+    the whole job.
+    """
     files = config.filesystem.glob_files(config.directory, suffix=".ckpt")
     if before_superstep is not None:
         files = [
@@ -105,9 +165,15 @@ def latest_checkpoint_path(config, before_superstep=None):
             for path in files
             if _superstep_of(path) <= before_superstep
         ]
+    return sorted(files, key=_superstep_of, reverse=True)
+
+
+def latest_checkpoint_path(config, before_superstep=None):
+    """The newest checkpoint file, optionally only those <= a superstep."""
+    files = checkpoint_candidates(config, before_superstep)
     if not files:
         raise PregelError("no checkpoint available to recover from")
-    return max(files, key=_superstep_of)
+    return files[0]
 
 
 def _superstep_of(path):

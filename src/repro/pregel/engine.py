@@ -36,15 +36,23 @@ the barrier. ``on_superstep_aborted(superstep, worker_id)`` fires when a
 step's fatal error is about to propagate.
 """
 
+import time
 from dataclasses import dataclass, field
 
-from repro.common.errors import ComputeError, EngineStateError, PregelError
+from repro.common.errors import (
+    CheckpointError,
+    ComputeError,
+    EngineStateError,
+    InjectedFault,
+    PregelError,
+    SimFsError,
+)
 from repro.common.timing import Timer
 from repro.pregel import halting
 from repro.pregel.aggregators import AggregatorRegistry
 from repro.pregel.checkpoint import (
     WorkerFailure,
-    latest_checkpoint_path,
+    checkpoint_candidates,
     read_checkpoint,
     restore_workers,
     write_checkpoint,
@@ -134,6 +142,15 @@ class PregelEngine:
         failures. With checkpointing enabled, each triggers a Pregel-style
         rollback to the last checkpoint; without it, the job fails with
         :class:`~repro.pregel.WorkerFailure`.
+    fault_injector:
+        Optional :class:`~repro.chaos.FaultInjector` (or anything with its
+        hook methods). Consulted at deterministic points — superstep start,
+        step packaging, after each checkpoint write — so injected faults
+        (crashes, slow workers, checkpoint corruption) fire identically
+        whatever execution backend runs the steps. Any
+        :class:`~repro.common.errors.InjectedFault` that escapes a
+        superstep is handled like a machine failure: rollback and
+        re-execute when checkpointing is on, propagate otherwise.
     """
 
     def __init__(
@@ -151,6 +168,7 @@ class PregelEngine:
         listeners=None,
         checkpoint_config=None,
         failure_injections=None,
+        fault_injector=None,
         on_message_to_missing="create",
         executor="serial",
     ):
@@ -176,6 +194,7 @@ class PregelEngine:
         self._listeners = list(listeners or [])
         self._on_message_to_missing = on_message_to_missing
         self._checkpoint_config = checkpoint_config
+        self._fault_injector = fault_injector
         self._pending_failures = {
             superstep: worker_id
             for superstep, worker_id in (failure_injections or [])
@@ -254,7 +273,7 @@ class PregelEngine:
     # -- worker steps -------------------------------------------------------
 
     def _make_step(self, worker, computation, superstep, incoming,
-                   num_vertices, num_edges, payload_collectors):
+                   num_vertices, num_edges, payload_collectors, fault=None):
         """Package one worker's share of a superstep as a pure step function.
 
         The step touches only the worker's own state, a fresh aggregator
@@ -262,14 +281,25 @@ class PregelEngine:
         steps concurrently without locks. Fatal compute errors are returned
         in the outcome (not raised) so sibling steps aren't torn down
         mid-superstep; the engine re-raises deterministically afterwards.
+
+        ``fault`` is a chaos decision made in the parent *before* the step
+        is scheduled (so it is backend-independent): an optional
+        ``{"delay": seconds, "crash_after": calls}`` dict. A crash raises
+        :class:`~repro.common.errors.InjectedWorkerCrash` out of the step —
+        deliberately not caught here, because it models the machine dying,
+        not user code failing.
         """
         transfers_state = self._backend.transfers_state
         on_error = self._on_error
+        delay = fault.get("delay") if fault else None
+        crash_after = fault.get("crash_after") if fault else None
 
         def step():
             buffer = self.aggregators.buffer()
             worker.prepare_superstep(buffer)
             error = None
+            if delay:
+                time.sleep(delay)
             with Timer() as timer:
                 try:
                     worker.run_superstep(
@@ -279,6 +309,7 @@ class PregelEngine:
                         num_vertices,
                         num_edges,
                         on_error=on_error,
+                        crash_after_calls=crash_after,
                     )
                 except ComputeError as exc:
                     error = exc
@@ -337,7 +368,12 @@ class PregelEngine:
         incoming = MessageStore()
         halt_reason = halting.MAX_SUPERSTEPS
         supersteps_run = 0
-        recoveries = 0
+        injector = self._fault_injector
+        if injector is not None:
+            injector.bind(self._seed, self._num_workers)
+        # Highest superstep that has completed its barrier; any execution
+        # at or below it is a post-rollback re-run (marked in metrics).
+        max_completed = -1
 
         if self._checkpoint_config is not None:
             write_checkpoint(
@@ -347,12 +383,15 @@ class PregelEngine:
         with Timer() as total_timer:
             superstep = 0
             while superstep < self._max_supersteps:
+                if injector is not None:
+                    injector.begin_superstep(superstep)
                 failed_worker = self._pending_failures.pop(superstep, None)
+                if failed_worker is None and injector is not None:
+                    failed_worker = injector.barrier_crash(superstep)
                 if failed_worker is not None:
                     if self._checkpoint_config is None:
                         raise WorkerFailure(failed_worker, superstep)
-                    superstep, incoming = self._recover(superstep)
-                    recoveries += 1
+                    superstep, incoming = self._rollback(superstep, metrics)
                     continue
                 num_vertices = self.num_vertices
                 num_edges = self.num_edges
@@ -375,37 +414,61 @@ class PregelEngine:
                         num_vertices,
                         num_edges,
                         collector_hooks,
+                        fault=(
+                            injector.step_fault(superstep, worker.worker_id)
+                            if injector is not None
+                            else None
+                        ),
                     )
                     for worker, computation in zip(
                         self.workers, self._computations
                     )
                 ]
-                with Timer() as wall_timer:
-                    outcomes = self._backend.run_superstep(steps)
-                self._raise_if_step_failed(superstep, outcomes)
+                try:
+                    with Timer() as wall_timer:
+                        outcomes = self._backend.run_superstep(steps)
+                    self._raise_if_step_failed(superstep, outcomes)
 
-                superstep_metrics = SuperstepMetrics(superstep)
-                superstep_metrics.wall_seconds = wall_timer.elapsed
-                for outcome in outcomes:
-                    superstep_metrics.compute_seconds += outcome.elapsed
-                    superstep_metrics.compute_calls += outcome.compute_calls
-                    superstep_metrics.active_vertices += outcome.compute_calls
-                    superstep_metrics.messages_sent += outcome.messages_sent
-                    superstep_metrics.bytes_sent += outcome.bytes_sent
-                    compute_errors.extend(outcome.compute_errors)
-
-                outgoing = self._barrier(
-                    outcomes, superstep_metrics, payload_collectors
-                )
-                metrics.add_superstep(superstep_metrics)
-                self._notify("on_superstep_end", superstep, superstep_metrics)
-                supersteps_run = superstep + 1
-
-                config = self._checkpoint_config
-                if config is not None and (superstep + 1) % config.every_n_supersteps == 0:
-                    write_checkpoint(
-                        config, superstep + 1, self.workers, self.aggregators, outgoing
+                    superstep_metrics = SuperstepMetrics(
+                        superstep, recovered=superstep <= max_completed
                     )
+                    superstep_metrics.wall_seconds = wall_timer.elapsed
+                    for outcome in outcomes:
+                        superstep_metrics.compute_seconds += outcome.elapsed
+                        superstep_metrics.compute_calls += outcome.compute_calls
+                        superstep_metrics.active_vertices += outcome.compute_calls
+                        superstep_metrics.messages_sent += outcome.messages_sent
+                        superstep_metrics.bytes_sent += outcome.bytes_sent
+                        compute_errors.extend(outcome.compute_errors)
+
+                    outgoing = self._barrier(
+                        outcomes, superstep_metrics, payload_collectors
+                    )
+                    metrics.add_superstep(superstep_metrics)
+                    self._notify("on_superstep_end", superstep, superstep_metrics)
+                    supersteps_run = max(supersteps_run, superstep + 1)
+                    max_completed = max(max_completed, superstep)
+
+                    config = self._checkpoint_config
+                    if config is not None and (superstep + 1) % config.every_n_supersteps == 0:
+                        path = write_checkpoint(
+                            config, superstep + 1, self.workers,
+                            self.aggregators, outgoing,
+                        )
+                        if injector is not None:
+                            injector.after_checkpoint(
+                                config.filesystem, path, superstep + 1
+                            )
+                except InjectedFault:
+                    # A planted machine failure escaped the superstep (a
+                    # mid-step worker crash or a crash during a write).
+                    # With checkpointing on, this is exactly the failure
+                    # Pregel recovery exists for; without it, the job
+                    # fails the way a real cluster loss would.
+                    if self._checkpoint_config is None:
+                        raise
+                    superstep, incoming = self._rollback(superstep, metrics)
+                    continue
 
                 if halting.should_stop_after_barrier(self.workers, outgoing):
                     halt_reason = halting.CONVERGED
@@ -421,7 +484,7 @@ class PregelEngine:
             metrics=metrics,
             aggregator_values=self.aggregators.visible_snapshot(),
             compute_errors=compute_errors,
-            recoveries=recoveries,
+            recoveries=metrics.rollback_count,
         )
         self._notify("on_finish", result)
         return result
@@ -445,14 +508,50 @@ class PregelEngine:
         self._notify("on_superstep_aborted", superstep, failed.worker_id)
         raise failed.error
 
+    def _rollback(self, failed_superstep, metrics):
+        """Recover from a failure at ``failed_superstep``; record the event.
+
+        Restores state via :meth:`_recover`, accounts the rollback in the
+        run metrics, and tells listeners (``on_rollback(failed, restored)``)
+        so Graft can discard capture state belonging to the torn superstep
+        and repair its trace files before re-execution appends to them.
+        """
+        restored_superstep, incoming, skipped = self._recover(failed_superstep)
+        metrics.rollback_count += 1
+        metrics.checkpoints_skipped += len(skipped)
+        metrics.recovery_events.append({
+            "failed_superstep": failed_superstep,
+            "restored_superstep": restored_superstep,
+            "skipped_checkpoints": skipped,
+        })
+        self._notify("on_rollback", failed_superstep, restored_superstep)
+        return restored_superstep, incoming
+
     def _recover(self, failed_superstep):
-        """Roll every worker back to the last checkpoint (Pregel recovery)."""
+        """Roll every worker back to the newest usable checkpoint.
+
+        Candidates are tried newest-first; one that fails verification
+        (torn write, injected corruption) is skipped and the next-older
+        one is tried, so a single bad checkpoint file costs extra re-run
+        supersteps rather than the whole job.
+        """
         config = self._checkpoint_config
-        path = latest_checkpoint_path(config, before_superstep=failed_superstep)
-        checkpoint = read_checkpoint(config, path)
-        self._locations = restore_workers(self.workers, checkpoint)
-        self.aggregators.restore_snapshot(checkpoint["aggregators"])
-        return checkpoint["superstep"], checkpoint["incoming"]
+        skipped = []
+        for path in checkpoint_candidates(
+            config, before_superstep=failed_superstep
+        ):
+            try:
+                checkpoint = read_checkpoint(config, path)
+            except (CheckpointError, SimFsError) as exc:
+                skipped.append({"path": path, "error": str(exc)})
+                continue
+            self._locations = restore_workers(self.workers, checkpoint)
+            self.aggregators.restore_snapshot(checkpoint["aggregators"])
+            return checkpoint["superstep"], checkpoint["incoming"], skipped
+        raise PregelError(
+            "no usable checkpoint to recover from"
+            + (f" (skipped {len(skipped)} corrupt candidate(s))" if skipped else "")
+        )
 
     def _barrier(self, outcomes, superstep_metrics, payload_collectors):
         """Reduce step outcomes in worker-id order.

@@ -30,6 +30,9 @@ class SuperstepMetrics:
     bytes_sent: int = 0
     compute_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: True when this row re-executes a superstep after a rollback (the
+    #: superstep had already completed once before a failure).
+    recovered: bool = False
 
     @property
     def parallel_efficiency(self):
@@ -47,11 +50,12 @@ class SuperstepMetrics:
         parallel = (
             f" parallel={efficiency:.2f}x" if efficiency is not None else ""
         )
+        recovered = " [recovered]" if self.recovered else ""
         return (
             f"superstep {self.superstep:>4}: active={self.active_vertices:>8} "
             f"msgs={self.messages_sent:>9} combined={self.messages_combined:>8} "
             f"bytes={self.bytes_sent:>11} "
-            f"time={format_duration(self.compute_seconds)}{parallel}"
+            f"time={format_duration(self.compute_seconds)}{parallel}{recovered}"
         )
 
 
@@ -61,9 +65,21 @@ class RunMetrics:
 
     supersteps: list = field(default_factory=list)
     total_seconds: float = 0.0
+    #: How many times the engine rolled back to a checkpoint.
+    rollback_count: int = 0
+    #: How many superstep executions were re-runs after a rollback.
+    recovered_supersteps: int = 0
+    #: Checkpoint files skipped during recovery because they failed
+    #: verification (corrupt/torn).
+    checkpoints_skipped: int = 0
+    #: One dict per rollback: failed/restored supersteps plus any corrupt
+    #: checkpoints that had to be skipped on the way down.
+    recovery_events: list = field(default_factory=list)
 
     def add_superstep(self, metrics):
         self.supersteps.append(metrics)
+        if metrics.recovered:
+            self.recovered_supersteps += 1
 
     @property
     def num_supersteps(self):
@@ -106,10 +122,16 @@ class RunMetrics:
         parallel = (
             f", parallelism {efficiency:.2f}x" if efficiency is not None else ""
         )
+        recovery = ""
+        if self.rollback_count:
+            recovery = (
+                f", {self.rollback_count} rollback(s) "
+                f"({self.recovered_supersteps} supersteps re-executed)"
+            )
         return (
             f"{self.num_supersteps} supersteps, "
             f"{self.total_compute_calls} compute calls, "
             f"{self.total_messages} messages "
             f"({self.total_bytes_sent} bytes), "
-            f"{format_duration(self.total_seconds)} total{parallel}"
+            f"{format_duration(self.total_seconds)} total{parallel}{recovery}"
         )

@@ -122,7 +122,21 @@ class ThreadBackend(ExecutionBackend):
                 thread_name_prefix="pregel-worker",
             )
         futures = [self._pool.submit(step) for step in steps]
-        return [future.result() for future in futures]
+        # Wait for EVERY step before raising: a raised step (an injected
+        # worker crash) must not leave sibling threads still mutating
+        # worker state while the engine rolls back to a checkpoint. The
+        # lowest step index wins, matching the outcome-error policy.
+        outcomes = []
+        first_error = None
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return outcomes
 
     def close(self):
         if self._pool is not None:

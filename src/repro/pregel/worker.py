@@ -13,7 +13,7 @@ parallel backends need no locks: the engine hands each worker a private
 aggregator buffer and reads all outputs back at the barrier.
 """
 
-from repro.common.errors import ComputeError
+from repro.common.errors import ComputeError, InjectedWorkerCrash
 from repro.pregel.context import ComputeContext, ComputeServices
 from repro.pregel.messages import BROADCAST_TARGET, Envelope
 
@@ -199,6 +199,7 @@ class Worker:
         num_vertices,
         num_edges,
         on_error="raise",
+        crash_after_calls=None,
     ):
         """Execute one superstep over this worker's active vertices.
 
@@ -207,6 +208,12 @@ class Worker:
         ``halt_vertex`` the vertex is marked halted, the error recorded, and
         the superstep continues — the mode Graft's exception capture uses to
         keep collecting context after a failure.
+
+        ``crash_after_calls`` is the chaos subsystem's mid-superstep fault
+        hook: after that many ``compute()`` calls this superstep, the
+        worker dies with :class:`InjectedWorkerCrash` — which is *not* a
+        ComputeError, so it escapes the step as a machine failure rather
+        than a user-code bug, and the engine rolls back to a checkpoint.
         """
         from repro.pregel.computation import WorkerInfo
 
@@ -215,6 +222,13 @@ class Worker:
         )
         computation.pre_superstep(worker_info)
         for vertex_id in self.active_vertices(superstep, message_store):
+            if (
+                crash_after_calls is not None
+                and self.compute_calls >= crash_after_calls
+            ):
+                raise InjectedWorkerCrash(
+                    self.worker_id, superstep, crash_after_calls
+                )
             inbox = message_store.inbox(vertex_id)
             ctx = ComputeContext(
                 vertex_id=vertex_id,

@@ -224,6 +224,39 @@ class SimFileSystem:
         """
         return self.iter_lines(path)
 
+    def truncate(self, path, size):
+        """Cut a file back to its first ``size`` bytes.
+
+        Recovery support: rollback repair uses this to drop a torn tail
+        (bytes a crashed writer appended past its last complete frame).
+        Growing a file is not supported — appends are the only way to add
+        bytes.
+        """
+        path = normalize_path(path)
+        if path not in self._files:
+            raise SimFsFileNotFound(path)
+        current = len(self._files[path])
+        if size < 0 or size > current:
+            raise SimFsError(
+                f"cannot truncate {path!r} to {size} bytes (file has {current})"
+            )
+        del self._files[path][size:]
+
+    def snapshot(self):
+        """A deep copy of the current namespace as a plain SimFileSystem.
+
+        Used by the chaos harness to freeze the exact on-disk state at a
+        crash instant (torn frames, stale sidecars) so readers can be
+        exercised against it while the live run recovers and moves on.
+        Accounting counters start fresh in the copy.
+        """
+        clone = SimFileSystem(block_size=self.block_size)
+        clone._files = {
+            path: bytearray(data) for path, data in self._files.items()
+        }
+        clone._dirs = set(self._dirs)
+        return clone
+
     def delete(self, path, recursive=False):
         """Delete a file, or a directory tree when ``recursive`` is set."""
         path = normalize_path(path)

@@ -20,10 +20,34 @@ Two writers live here:
 
 import zlib
 
-from repro.common.errors import SimFsError
+from repro.common.errors import SimFsError, SimFsTransientError
 
 DEFAULT_BUFFER_LINES = 1024
 DEFAULT_BUFFER_BYTES = 256 * 1024
+
+#: How many times an append is attempted when the file system reports a
+#: transient error (which leaves the file unchanged). Real trace producers
+#: retry transient HDFS write failures the same bounded way.
+TRANSIENT_RETRY_ATTEMPTS = 3
+
+
+def append_retrying(filesystem, path, data, attempts=TRANSIENT_RETRY_ATTEMPTS):
+    """Append bytes or text, retrying bounded :class:`SimFsTransientError`.
+
+    A transient error means nothing landed, so retrying is safe; any other
+    failure (including an injected mid-append crash) propagates untouched.
+    """
+    append = (
+        filesystem.append_text if isinstance(data, str)
+        else filesystem.append_bytes
+    )
+    for attempt in range(attempts):
+        try:
+            append(path, data)
+            return
+        except SimFsTransientError:
+            if attempt == attempts - 1:
+                raise
 
 
 class LineWriter:
@@ -64,6 +88,8 @@ class LineWriter:
         self._buffer_bytes = buffer_bytes
         self._closed = False
         self.lines_written = 0
+        #: Bytes known to be durably flushed; repair() truncates back here.
+        self.offset = 0
         filesystem.create(path, overwrite=True)
 
     def write_line(self, line):
@@ -113,11 +139,33 @@ class LineWriter:
         return len(self._buffer)
 
     def flush(self):
-        """Push buffered lines to the file system. Idempotent."""
+        """Push buffered lines to the file system. Idempotent.
+
+        Transient file-system errors are retried (nothing landed); a
+        mid-append crash propagates with the buffer intact so
+        :meth:`repair` can discard the torn tail.
+        """
         if self._buffer:
-            self._fs.append_text(self.path, "".join(l + "\n" for l in self._buffer))
+            payload = "".join(l + "\n" for l in self._buffer)
+            append_retrying(self._fs, self.path, payload)
+            self.offset += len(payload.encode("utf-8"))
             self._buffer = []
             self._buffered_chars = 0
+
+    def repair(self):
+        """Restore file/writer consistency after a crash-induced rollback.
+
+        Truncates the file back to the last fully flushed byte (dropping a
+        torn partial append) and discards buffered lines — they belong to
+        the superstep being rolled back and will be re-captured when it
+        re-executes.
+        """
+        dropped = len(self._buffer)
+        self._buffer = []
+        self._buffered_chars = 0
+        self.lines_written -= dropped
+        if self._fs.stat(self.path).size > self.offset:
+            self._fs.truncate(self.path, self.offset)
 
     def close(self):
         """Flush and prevent further writes. Idempotent."""
@@ -188,7 +236,7 @@ class BlockWriter:
             raise SimFsError(f"writer for {self.path!r} is closed")
         if self.blocks_written:
             raise SimFsError("prelude must be written before any block")
-        self._fs.append_bytes(self.path, data)
+        append_retrying(self._fs, self.path, data)
         self.offset += len(data)
         return self.offset
 
@@ -205,12 +253,22 @@ class BlockWriter:
                 flags |= BLOCK_FLAG_ZLIB
         frame = len(stored).to_bytes(4, "big") + bytes([flags]) + stored
         offset = self.offset
-        self._fs.append_bytes(self.path, frame)
+        append_retrying(self._fs, self.path, frame)
         self.offset += len(frame)
         self.blocks_written += 1
         self.raw_payload_bytes += len(payload)
         self.stored_payload_bytes += len(stored)
         return offset, len(frame), flags
+
+    def repair(self):
+        """Truncate the file back to the last complete frame.
+
+        After a mid-append crash (``offset`` was not advanced) the file may
+        carry a torn partial frame; cutting back to ``offset`` restores the
+        invariant that every byte on disk belongs to a complete frame.
+        """
+        if self._fs.stat(self.path).size > self.offset:
+            self._fs.truncate(self.path, self.offset)
 
     def close(self):
         self._closed = True

@@ -1,0 +1,129 @@
+"""Unit tests for fault plans and specs (repro.chaos.faults)."""
+
+import pytest
+
+from repro.chaos import (
+    FAULT_KINDS,
+    PRESET_PLANS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    load_fault_plan,
+    preset_names,
+)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike")
+
+    def test_worker_kinds_need_worker_id(self):
+        with pytest.raises(FaultPlanError, match="worker_id"):
+            FaultSpec(kind="worker_crash", superstep=2)
+
+    def test_step_crash_needs_after_calls(self):
+        with pytest.raises(FaultPlanError, match="after_calls"):
+            FaultSpec(kind="step_crash", superstep=2, worker_id=0)
+
+    def test_slow_worker_needs_delay(self):
+        with pytest.raises(FaultPlanError, match="delay_ms"):
+            FaultSpec(kind="slow_worker", worker_id=0)
+
+    def test_write_kinds_need_path_suffix(self):
+        with pytest.raises(FaultPlanError, match="path_suffix"):
+            FaultSpec(kind="torn_write", superstep=1, path_suffix="")
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultSpec(kind="torn_write", superstep=1, probability=0.0)
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultSpec(kind="torn_write", superstep=1, probability=1.5)
+
+    def test_times_bounds(self):
+        with pytest.raises(FaultPlanError, match="times"):
+            FaultSpec(kind="torn_write", superstep=1, times=0)
+        # None means unbounded and is legal.
+        FaultSpec(kind="transient_io", superstep=1, times=None)
+
+    def test_negative_superstep_rejected(self):
+        with pytest.raises(FaultPlanError, match="superstep"):
+            FaultSpec(kind="worker_crash", superstep=-1, worker_id=0)
+
+    def test_superstep_none_matches_everything(self):
+        spec = FaultSpec(kind="slow_worker", worker_id=0, delay_ms=1.0)
+        assert spec.matches_superstep(0)
+        assert spec.matches_superstep(17)
+        pinned = FaultSpec(kind="worker_crash", superstep=3, worker_id=0)
+        assert pinned.matches_superstep(3)
+        assert not pinned.matches_superstep(4)
+
+
+class TestSerialization:
+    def test_spec_round_trip(self):
+        spec = FaultSpec(
+            kind="step_crash", superstep=5, worker_id=1, after_calls=2,
+            probability=0.5, times=3,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unbounded_times_survives_round_trip(self):
+        spec = FaultSpec(kind="transient_io", superstep=2, times=None)
+        data = spec.to_dict()
+        assert data["times"] is None
+        assert FaultSpec.from_dict(data) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault spec fields"):
+            FaultSpec.from_dict({"kind": "worker_crash", "worker": 1})
+
+    def test_plan_json_round_trip(self):
+        for plan in PRESET_PLANS.values():
+            assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_plan_needs_name(self):
+        with pytest.raises(FaultPlanError, match="name"):
+            FaultPlan(name="", faults=())
+
+    def test_plan_faults_must_be_specs(self):
+        with pytest.raises(FaultPlanError, match="FaultSpec"):
+            FaultPlan(name="bad", faults=({"kind": "worker_crash"},))
+
+    def test_plan_from_bad_json(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(FaultPlanError, match="missing"):
+            FaultPlan.from_json('{"faults": []}')
+
+
+class TestPresetsAndLoading:
+    def test_every_preset_has_faults_and_description(self):
+        assert preset_names() == sorted(PRESET_PLANS)
+        for plan in PRESET_PLANS.values():
+            assert plan.faults
+            assert plan.description
+            for spec in plan.faults:
+                assert spec.kind in FAULT_KINDS
+
+    def test_presets_cover_every_fault_kind(self):
+        kinds = {
+            spec.kind
+            for plan in PRESET_PLANS.values()
+            for spec in plan.faults
+        }
+        assert kinds == set(FAULT_KINDS)
+
+    def test_load_passthrough_and_preset(self):
+        plan = PRESET_PLANS["worker-crash"]
+        assert load_fault_plan(plan) is plan
+        assert load_fault_plan("worker-crash") is plan
+
+    def test_load_from_json_file(self, tmp_path):
+        plan = PRESET_PLANS["torn-trace-tail"]
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        assert load_fault_plan(str(path)) == plan
+
+    def test_load_unknown_token_lists_presets(self):
+        with pytest.raises(FaultPlanError, match="worker-crash"):
+            load_fault_plan("no-such-plan")

@@ -1,0 +1,147 @@
+"""Unit tests for the fault injector and the chaos filesystem."""
+
+import pytest
+
+from repro.chaos import ChaosFileSystem, FaultInjector, FaultPlan, FaultSpec
+from repro.common.errors import InjectedWriteCrash, SimFsTransientError
+from repro.simfs.writers import TRANSIENT_RETRY_ATTEMPTS, append_retrying
+
+
+def plan_of(*specs, name="test-plan"):
+    return FaultPlan(name=name, faults=specs)
+
+
+def bound(injector, seed=7, workers=4):
+    injector.bind(seed, workers)
+    return injector
+
+
+class TestFaultInjector:
+    def test_barrier_crash_fires_at_its_superstep_only(self):
+        injector = bound(FaultInjector(plan_of(
+            FaultSpec(kind="worker_crash", superstep=3, worker_id=1),
+        )))
+        assert injector.barrier_crash(2) is None
+        assert injector.barrier_crash(3) == 1
+        # times=1 budget is spent: never again, even at the same superstep.
+        assert injector.barrier_crash(3) is None
+        assert len(injector.events) == 1
+        assert injector.events[0].kind == "worker_crash"
+
+    def test_step_fault_merges_delay_and_crash(self):
+        injector = bound(FaultInjector(plan_of(
+            FaultSpec(kind="slow_worker", superstep=2, worker_id=0,
+                      delay_ms=5.0),
+            FaultSpec(kind="step_crash", superstep=2, worker_id=0,
+                      after_calls=3),
+        )))
+        fault = injector.step_fault(2, 0)
+        assert fault == {"delay": 0.005, "crash_after": 3}
+        assert injector.step_fault(2, 1) is None
+
+    def test_probabilistic_firing_is_deterministic(self):
+        def events_for(seed):
+            injector = FaultInjector(plan_of(
+                FaultSpec(kind="slow_worker", worker_id=0, delay_ms=1.0,
+                          probability=0.5, times=None),
+            ))
+            injector.bind(seed, 4)
+            return [
+                superstep
+                for superstep in range(40)
+                if injector.step_fault(superstep, 0)
+            ]
+
+        first, second = events_for(123), events_for(123)
+        assert first == second          # same seed -> same firings
+        assert first != events_for(99)  # different seed -> different firings
+        assert 0 < len(first) < 40      # p=0.5 actually skips some
+
+    def test_transient_fires_once_per_site_then_retry_succeeds(self):
+        injector = bound(FaultInjector(plan_of(
+            FaultSpec(kind="transient_io", superstep=1, path_suffix=".trace",
+                      times=None),
+        )))
+        fs = ChaosFileSystem(injector)
+        fs.create("/g/a.trace")
+        fs.create("/g/b.trace")
+        injector.begin_superstep(1)
+        append_retrying(fs, "/g/a.trace", "hello\n")
+        append_retrying(fs, "/g/b.trace", "world\n")
+        assert fs.read_text("/g/a.trace") == "hello\n"
+        assert fs.read_text("/g/b.trace") == "world\n"
+        # One transient event per distinct site, not per attempt.
+        assert len(injector.events) == 2
+
+    def test_writes_before_superstep_zero_never_fault(self):
+        injector = bound(FaultInjector(plan_of(
+            FaultSpec(kind="transient_io", path_suffix=".trace", times=None),
+        )))
+        fs = ChaosFileSystem(injector)
+        fs.create("/g/a.trace")
+        fs.append_text("/g/a.trace", "prelude\n")  # begin_superstep not called
+        assert fs.read_text("/g/a.trace") == "prelude\n"
+        assert injector.events == []
+
+    def test_path_suffix_scopes_write_faults(self):
+        injector = bound(FaultInjector(plan_of(
+            FaultSpec(kind="torn_write", superstep=0, path_suffix=".idx"),
+        )))
+        fs = ChaosFileSystem(injector)
+        fs.create("/g/a.trace")
+        fs.create("/g/a.trace.idx")
+        injector.begin_superstep(0)
+        fs.append_text("/g/a.trace", "safe\n")
+        with pytest.raises(InjectedWriteCrash):
+            fs.append_text("/g/a.trace.idx", "torn line\n")
+
+    def test_checkpoint_corruption_truncates(self):
+        injector = bound(FaultInjector(plan_of(
+            FaultSpec(kind="checkpoint_corrupt", superstep=4),
+        )))
+        fs = ChaosFileSystem(injector)
+        fs.write_text("/ckpt/superstep-000004.ckpt", "x" * 100)
+        injector.after_checkpoint(fs, "/ckpt/superstep-000004.ckpt", 4)
+        assert fs.stat("/ckpt/superstep-000004.ckpt").size == 50
+        assert injector.events[0].kind == "checkpoint_corrupt"
+
+
+class TestChaosFileSystem:
+    def test_without_injector_behaves_like_simfs(self):
+        fs = ChaosFileSystem()
+        fs.write_text("/a.txt", "plain")
+        assert fs.read_text("/a.txt") == "plain"
+        assert fs.crash_snapshots == []
+
+    def test_torn_write_leaves_prefix_and_snapshots(self):
+        injector = bound(FaultInjector(plan_of(
+            FaultSpec(kind="torn_write", superstep=0, path_suffix=".trace"),
+        )))
+        fs = ChaosFileSystem(injector)
+        fs.create("/g/a.trace")
+        injector.begin_superstep(0)
+        with pytest.raises(InjectedWriteCrash):
+            fs.append_bytes("/g/a.trace", b"0123456789")
+        # Half the bytes landed: a real torn tail.
+        assert fs.read_bytes("/g/a.trace") == b"01234"
+        [(path, snapshot)] = fs.crash_snapshots
+        assert path == "/g/a.trace"
+        # The snapshot froze the filesystem at the crash moment and stays
+        # frozen while the live filesystem moves on.
+        fs.append_bytes("/g/a.trace", b"recovered")
+        assert snapshot.read_bytes("/g/a.trace") == b"01234"
+
+    def test_transient_leaves_file_untouched(self):
+        injector = bound(FaultInjector(plan_of(
+            FaultSpec(kind="transient_io", superstep=0, path_suffix=".trace"),
+        )))
+        fs = ChaosFileSystem(injector)
+        fs.create("/g/a.trace")
+        injector.begin_superstep(0)
+        with pytest.raises(SimFsTransientError):
+            fs.append_bytes("/g/a.trace", b"data")
+        assert fs.read_bytes("/g/a.trace") == b""
+
+    def test_retry_budget_covers_one_transient(self):
+        # The writers' bounded retry must absorb a single transient blip.
+        assert TRANSIENT_RETRY_ATTEMPTS >= 2
