@@ -1,0 +1,261 @@
+"""Lint performance benchmark: full-corpus dataflow lint, one JSON.
+
+Times a cold ``graft-lint`` pass (pattern rules GL001-GL008 plus the
+CFG/interval dataflow pack GL009-GL015) over the whole shipped corpus —
+every algorithm class, every example script, the combiner library, and a
+synthetic branch-heavy computation that stresses the interval solver —
+and writes ``BENCH_lint.json`` with the numbers CI gates on.
+
+Gates (exit status 1 when violated):
+
+- the best cold full-corpus pass must finish under ``GATE_SECONDS``
+  (2.0 s) — the dataflow pack must stay cheap enough to run as the
+  default pre-flight check inside ``debug_run``;
+- a warm repeat over the live classes must be at least
+  ``WARM_SPEEDUP_FLOOR`` x faster than cold, demonstrating that the
+  source-hashed LRU report cache actually serves hits.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_lint.py [--output BENCH_lint.json]
+    PYTHONPATH=src python scripts/bench_lint.py --quick   # fewer rounds
+
+Also runnable as an opt-in pytest (see tests/integration/test_bench_lint.py).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+
+from repro.analysis import analyze_computation, analyze_module_source, analyze_path
+from repro.analysis import engine as _engine
+from repro.pregel.computation import Computation
+
+#: Wall-clock ceiling for one cold full-corpus dataflow lint pass.
+GATE_SECONDS = 2.0
+
+#: Warm (cache-served) repeat must beat cold by at least this factor.
+#: Hits still pay the key derivation (``inspect.getsource`` + sha1 over
+#: the MRO), so the cache saves the analysis, not the lookup.
+WARM_SPEEDUP_FLOOR = 1.5
+
+ROUNDS = 3
+
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir)
+)
+
+#: Branch count of the synthetic stress computation. Each branch adds an
+#: if/elif arm comparing ``ctx.superstep``, a loop, and a fixed-width
+#: construction — the shapes the dataflow pack spends its time on.
+SYNTHETIC_BRANCHES = 40
+
+
+def _algorithm_classes():
+    import repro.algorithms as algorithms
+
+    return sorted(
+        {
+            obj
+            for obj in vars(algorithms).values()
+            if isinstance(obj, type)
+            and issubclass(obj, Computation)
+            and obj is not Computation
+        },
+        key=lambda cls: cls.__name__,
+    )
+
+
+def _example_paths():
+    return sorted(glob.glob(os.path.join(_REPO_ROOT, "examples", "*.py")))
+
+
+def _synthetic_source(branches=SYNTHETIC_BRANCHES):
+    """A wide, branch-heavy computation that stresses CFG + intervals."""
+    lines = [
+        "from repro.pregel import Computation",
+        "from repro.pregel.value_types import Int32",
+        "",
+        "class SyntheticWide(Computation):",
+        "    def compute(self, ctx, messages):",
+        "        total = 0",
+        "        for m in messages:",
+        "            total = total + m",
+    ]
+    for i in range(branches):
+        keyword = "if" if i == 0 else "elif"
+        lines.extend(
+            [
+                f"        {keyword} ctx.superstep == {i}:",
+                f"            acc_{i} = Int32(total + {i})",
+                f"            for n in range({i} + 1):",
+                f"                acc_{i} = acc_{i} + n",
+                "            ctx.send_message_to_all_neighbors("
+                f"acc_{i})",
+            ]
+        )
+    lines.extend(
+        [
+            "        else:",
+            "            ctx.vote_to_halt()",
+            "",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def _lint_corpus(synthetic, classes, paths, dataflow=True):
+    """One full pass; returns the total finding count (sanity signal)."""
+    findings = 0
+    for cls in classes:
+        findings += len(
+            analyze_computation(cls, dataflow=dataflow).findings
+        )
+    for path in paths:
+        for report in analyze_path(path, dataflow=dataflow):
+            findings += len(report.findings)
+    for report in analyze_module_source(
+        synthetic, "synthetic_wide.py", dataflow=dataflow
+    ):
+        findings += len(report.findings)
+    return findings
+
+
+def _best_seconds(runner, rounds, cold=True):
+    best = None
+    value = None
+    for _ in range(rounds):
+        if cold:
+            _engine._REPORT_CACHE.clear()
+        started = time.perf_counter()
+        value = runner()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, value
+
+
+def run_bench(rounds=ROUNDS):
+    """Run all measurements; return (report dict, list of gate failures)."""
+    synthetic = _synthetic_source()
+    classes = _algorithm_classes()
+    paths = _example_paths()
+
+    def full_pass():
+        return _lint_corpus(synthetic, classes, paths, dataflow=True)
+
+    def pattern_pass():
+        return _lint_corpus(synthetic, classes, paths, dataflow=False)
+
+    cold_seconds, findings = _best_seconds(full_pass, rounds, cold=True)
+    pattern_seconds, _ = _best_seconds(pattern_pass, rounds, cold=True)
+
+    # Warm pass: prime the cache once, then time cache-served repeats of
+    # the live-class portion (source analysis is uncached by design).
+    _engine._REPORT_CACHE.clear()
+    for cls in classes:
+        analyze_computation(cls, dataflow=True)
+    warm_seconds, _ = _best_seconds(
+        lambda: sum(
+            len(analyze_computation(cls, dataflow=True).findings)
+            for cls in classes
+        ),
+        rounds,
+        cold=False,
+    )
+    cold_classes_seconds, _ = _best_seconds(
+        lambda: sum(
+            len(analyze_computation(cls, dataflow=True).findings)
+            for cls in classes
+        ),
+        rounds,
+        cold=True,
+    )
+    warm_speedup = (
+        cold_classes_seconds / warm_seconds if warm_seconds else float("inf")
+    )
+
+    failures = []
+    if cold_seconds >= GATE_SECONDS:
+        failures.append(
+            f"cold full-corpus dataflow lint took {cold_seconds:.3f}s; "
+            f"gate is < {GATE_SECONDS}s"
+        )
+    if warm_speedup < WARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"warm cache-served pass is only {warm_speedup:.1f}x faster "
+            f"than cold; floor is {WARM_SPEEDUP_FLOOR}x"
+        )
+
+    report = {
+        "benchmark": "lint_corpus",
+        "corpus": {
+            "algorithm_classes": len(classes),
+            "example_scripts": len(paths),
+            "synthetic_branches": SYNTHETIC_BRANCHES,
+            "rounds": rounds,
+        },
+        "cold_full_corpus_seconds": round(cold_seconds, 4),
+        "pattern_only_seconds": round(pattern_seconds, 4),
+        "dataflow_overhead_seconds": round(
+            cold_seconds - pattern_seconds, 4
+        ),
+        "warm_classes_seconds": round(warm_seconds, 5),
+        "cold_classes_seconds": round(cold_classes_seconds, 5),
+        "warm_cache_speedup": round(warm_speedup, 1),
+        "total_findings": findings,
+        "gates": {
+            "cold_seconds_ceiling": GATE_SECONDS,
+            "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+            "passed": not failures,
+            "failures": failures,
+        },
+        "notes": (
+            "cold = source-hashed LRU report cache cleared before each "
+            "round; dataflow overhead is the price of the GL009-GL015 "
+            "CFG/interval pack over the pattern rules alone. The gate "
+            "keeps the full pack cheap enough to stay the default "
+            "pre-flight check in debug_run."
+        ),
+    }
+    return report, failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_lint.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer rounds (CI smoke, noisier numbers)",
+    )
+    args = parser.parse_args(argv)
+
+    report, failures = run_bench(rounds=1 if args.quick else ROUNDS)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    print(
+        f"  cold full corpus: {report['cold_full_corpus_seconds']}s "
+        f"(pattern-only {report['pattern_only_seconds']}s, "
+        f"{report['total_findings']} findings)"
+    )
+    print(
+        f"  warm cache speedup: {report['warm_cache_speedup']}x "
+        f"({report['warm_classes_seconds']}s vs "
+        f"{report['cold_classes_seconds']}s)"
+    )
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("  all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,38 +28,55 @@ the rule id that predicted them (:mod:`repro.analysis.crosslink`).
 """
 
 from repro.analysis.crosslink import (
+    PREDICTABLE_KINDS,
     RUNTIME_LINKS,
+    PredictionScore,
     predicted_findings,
     prediction_note,
+    score_predictions,
 )
 from repro.analysis.engine import (
+    analyze_combiner,
     analyze_computation,
     analyze_module_source,
     analyze_path,
+    computation_context,
+    contexts_from_module_source,
 )
 from repro.analysis.findings import (
     ERROR,
     INFO,
+    LIKELY,
+    PROVEN,
     WARNING,
     AnalysisReport,
     Finding,
     GraftLintWarning,
 )
-from repro.analysis.rules import all_rules, rule_catalog
+from repro.analysis.rules import all_rules, dataflow_rules, rule_catalog
 
 __all__ = [
     "analyze_computation",
+    "analyze_combiner",
     "analyze_module_source",
     "analyze_path",
+    "computation_context",
+    "contexts_from_module_source",
     "AnalysisReport",
     "Finding",
     "GraftLintWarning",
     "ERROR",
     "WARNING",
     "INFO",
+    "PROVEN",
+    "LIKELY",
     "all_rules",
+    "dataflow_rules",
     "rule_catalog",
     "RUNTIME_LINKS",
+    "PREDICTABLE_KINDS",
+    "PredictionScore",
     "predicted_findings",
     "prediction_note",
+    "score_predictions",
 ]

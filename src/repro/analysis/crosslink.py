@@ -6,37 +6,60 @@ runtime evidence — a constraint violation kind, a replay-fidelity
 divergence — it returns the static findings that predicted it, so the
 violations view and the fidelity report can say "GL007 warned about this
 before the run started".
+
+The dataflow rules (GL009–GL015) go one step further: a ``proven``
+finding names the exact evidence kind it forecasts in its ``predicts``
+field, and :func:`score_predictions` grades those forecasts against what
+the run actually produced — precision ("did the proven predictions come
+true?") and recall ("was the observed evidence predicted?").
 """
+
+from dataclasses import dataclass
 
 #: runtime evidence kind -> rule ids whose hazard class produces it.
 RUNTIME_LINKS = {
     # Replay diverging from the recorded outcome: hidden worker state,
-    # corrupted pre-state, or randomness outside the seeded RNG.
-    "replay_divergence": ("GL001", "GL002", "GL003"),
+    # corrupted pre-state, randomness outside the seeded RNG, or an
+    # order-dependent message combiner.
+    "replay_divergence": ("GL001", "GL002", "GL003", "GL015"),
     # A message-value constraint violation (e.g. negative walker counts
     # from a wrapped short, or a send fired after the halt decision).
-    "message": ("GL007", "GL004"),
-    "message_target": ("GL007", "GL004"),
+    "message": ("GL007", "GL004", "GL013"),
+    "message_target": ("GL007", "GL004", "GL013"),
     # A vertex-value constraint violation: wrapped counters parked on the
     # vertex, or in-place mutation making the checked value stale.
-    "vertex_value": ("GL007", "GL002"),
+    "vertex_value": ("GL007", "GL002", "GL013"),
     # A neighborhood constraint violation ("no two adjacent vertices share
     # a color"): symmetric ties admitted by a non-strict comparison.
     "neighborhood": ("GL008",),
     # The engine hitting max_supersteps without convergence.
-    "nontermination": ("GL005",),
+    "nontermination": ("GL005", "GL014"),
+    # An exception escaping compute (e.g. a use-before-def UnboundLocalError
+    # or a payload-type TypeError).
+    "exception": ("GL009", "GL011", "GL012"),
 }
+
+#: Evidence kinds any rule can forecast — the recall denominator only
+#: counts observed kinds the analyzer had a chance to predict.
+PREDICTABLE_KINDS = frozenset(RUNTIME_LINKS)
 
 
 def predicted_findings(report, evidence_kind):
     """Findings in ``report`` whose rule predicts ``evidence_kind``.
 
-    ``report`` may be None (no pre-flight analysis ran) — returns ().
+    A finding matches through the static link table *or* through its own
+    ``predicts`` field (dataflow findings carry the exact kind they
+    forecast). ``report`` may be None (no pre-flight analysis ran) —
+    returns ().
     """
     if report is None:
         return ()
     rule_ids = RUNTIME_LINKS.get(evidence_kind, ())
-    return tuple(f for f in report.findings if f.rule_id in rule_ids)
+    return tuple(
+        f
+        for f in report.findings
+        if f.rule_id in rule_ids or getattr(f, "predicts", "") == evidence_kind
+    )
 
 
 def prediction_note(report, evidence_kind):
@@ -53,4 +76,60 @@ def prediction_note(report, evidence_kind):
     )
     return (
         f"predicted by static analysis ({', '.join(ids)}): {locations}"
+    )
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """How the proven static predictions fared against one run."""
+
+    predicted: tuple   # evidence kinds forecast by proven findings, sorted
+    observed: tuple    # evidence kinds the run actually produced, sorted
+    matched: tuple     # kinds both predicted and observed, sorted
+
+    @property
+    def precision(self):
+        """Fraction of proven predictions the run confirmed (1.0 if none)."""
+        if not self.predicted:
+            return 1.0
+        return len(self.matched) / len(self.predicted)
+
+    @property
+    def recall(self):
+        """Fraction of predictable observed evidence that was predicted."""
+        relevant = [k for k in self.observed if k in PREDICTABLE_KINDS]
+        if not relevant:
+            return 1.0
+        return len(self.matched) / len(relevant)
+
+    def summary(self):
+        if not self.predicted and not self.observed:
+            return "predictions: none made, none needed"
+        return (
+            f"predictions: {len(self.matched)}/{len(self.predicted)} proven "
+            f"forecasts confirmed (precision {self.precision:.2f}, "
+            f"recall {self.recall:.2f}); observed evidence: "
+            f"{', '.join(self.observed) if self.observed else 'none'}"
+        )
+
+
+def score_predictions(report, observed_kinds):
+    """Grade a lint report's *proven* forecasts against observed evidence.
+
+    ``observed_kinds`` is an iterable of runtime evidence kinds (constraint
+    violation kinds, "exception", "nontermination", "replay_divergence").
+    Only proven findings with a ``predicts`` field participate — ``likely``
+    findings are hints, not forecasts, and do not cost precision.
+    """
+    predicted = set()
+    if report is not None:
+        for finding in report.findings:
+            if getattr(finding, "proven", False) and finding.predicts:
+                predicted.add(finding.predicts)
+    observed = set(observed_kinds)
+    matched = predicted & observed
+    return PredictionScore(
+        predicted=tuple(sorted(predicted)),
+        observed=tuple(sorted(observed)),
+        matched=tuple(sorted(matched)),
     )

@@ -1,0 +1,205 @@
+"""repro.analysis.dataflow: CFG + dataflow analyses for graft-lint.
+
+:class:`MethodDataflow` bundles everything the dataflow-powered rules
+(GL009–GL015) consume for one method scope:
+
+- a :class:`~repro.analysis.dataflow.cfg.CFG` of the method body,
+- reaching definitions (GL009 use-before-def),
+- liveness (dead stores),
+- an interval abstract interpretation tracking ``ctx.superstep`` (phase
+  inference, GL010/GL013/GL014),
+- :class:`~repro.analysis.dataflow.phases.PhaseFacts` — interval-stamped
+  send/halt/read/aggregator sites.
+
+All passes are lazy: a rule that only needs the CFG never pays for the
+interval fixpoint.
+"""
+
+import ast
+
+from repro.analysis.dataflow.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dataflow.intervals import (
+    NON_NEGATIVE,
+    Interval,
+    IntervalAnalysis,
+)
+from repro.analysis.dataflow.liveness import Liveness
+from repro.analysis.dataflow.phases import PhaseFacts
+from repro.analysis.dataflow.reachdef import (
+    UNDEF,
+    ReachingDefinitions,
+    evaluated_roots,
+    iter_immediate_nodes,
+)
+from repro.analysis.dataflow.solver import solve
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "solve",
+    "Interval",
+    "IntervalAnalysis",
+    "Liveness",
+    "ReachingDefinitions",
+    "UNDEF",
+    "PhaseFacts",
+    "MethodDataflow",
+]
+
+
+class MethodDataflow:
+    """Lazily-computed dataflow facts for one method scope."""
+
+    def __init__(self, scope):
+        self.scope = scope
+        self.cfg = build_cfg(scope.node)
+        self._reaching = None
+        self._liveness = None
+        self._intervals = None
+        self._phases = None
+        self._owners = None
+
+    # -- passes -------------------------------------------------------------
+
+    @property
+    def reaching(self):
+        if self._reaching is None:
+            self._reaching = ReachingDefinitions(self.cfg)
+        return self._reaching
+
+    @property
+    def liveness(self):
+        if self._liveness is None:
+            self._liveness = Liveness(self.cfg)
+        return self._liveness
+
+    @property
+    def intervals(self):
+        if self._intervals is None:
+            self._intervals = IntervalAnalysis(self.cfg, self.scope)
+        return self._intervals
+
+    @property
+    def phases(self):
+        if self._phases is None:
+            self._phases = PhaseFacts(self.scope, self)
+        return self._phases
+
+    # -- node -> statement resolution ---------------------------------------
+
+    def _owner_map(self):
+        """Map every immediately-evaluated AST node to its CFG position.
+
+        Values are ``("stmt", statement)`` or ``("test", block)``. Nodes
+        inside nested function/lambda bodies are deliberately absent —
+        their execution time is unknown.
+        """
+        if self._owners is None:
+            owners = {}
+            for block in self.cfg.blocks:
+                for stmt in block.statements:
+                    for root in evaluated_roots(stmt):
+                        for node in iter_immediate_nodes(root):
+                            owners[id(node)] = ("stmt", stmt)
+                if block.test is not None:
+                    for node in iter_immediate_nodes(block.test):
+                        owners[id(node)] = ("test", block)
+            self._owners = owners
+        return self._owners
+
+    def site_state(self, node):
+        """``(status, state)`` for the program point evaluating ``node``.
+
+        status is "ok" (state is the abstract state there), "dead" (the
+        site can never execute), or "unknown" (the node's position could
+        not be resolved — nested function bodies).
+        """
+        where = self._owner_map().get(id(node))
+        if where is None:
+            return ("unknown", None)
+        kind, anchor = where
+        state = (
+            self.intervals.state_before(anchor)
+            if kind == "stmt"
+            else self.intervals.solution[anchor.index][1]
+        )
+        if state is None:
+            return ("dead", None)
+        return ("ok", state)
+
+    def superstep_at_node(self, node):
+        """Superstep interval when ``node`` evaluates.
+
+        None means the node sits on a statically-dead path (unreachable
+        block, or a branch the interval analysis proved never taken). A
+        node whose position is unknown (nested function bodies) gets the
+        trivially-sound ``[0, +inf]``.
+        """
+        where = self._owner_map().get(id(node))
+        if where is None:
+            return NON_NEGATIVE
+        kind, anchor = where
+        if kind == "stmt":
+            return self.intervals.superstep_at(anchor)
+        state = self.intervals.solution[anchor.index][1]
+        if state is None:
+            return None
+        from repro.analysis.dataflow.intervals import SUPERSTEP_KEY
+
+        return state.get(SUPERSTEP_KEY).meet(NON_NEGATIVE) or NON_NEGATIVE
+
+    def node_reachable(self, node):
+        return self.superstep_at_node(node) is not None
+
+    def message_read_nodes(self):
+        """Every load of the messages parameter (or a message alias)."""
+        names = set(self.scope.message_aliases)
+        if self.scope.messages_name is not None:
+            names.add(self.scope.messages_name)
+        if not names:
+            return []
+        return [
+            node
+            for node in ast.walk(self.scope.node)
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in names
+        ]
+
+    # -- rendering ----------------------------------------------------------
+
+    def explain(self):
+        """Human-readable CFG + phase summary (``--explain-cfg``)."""
+        lines = [f"method {self.scope.class_name}.{self.scope.name}:"]
+        lines.append(_indent(self.cfg.render()))
+        phase_lines = []
+        for label, facts in (
+            ("send", self.phases.sends),
+            ("halt", self.phases.halts),
+            ("read messages", self.phases.message_reads),
+            ("aggregate", [f for _, f in self.phases.aggregate_writes]),
+            ("read aggregator", [f for _, f in self.phases.aggregate_reads]),
+        ):
+            for fact in facts:
+                stamp = (
+                    f"superstep in {fact.interval!r}"
+                    if fact.reachable
+                    else "UNREACHABLE"
+                )
+                phase_lines.append(f"{label} @ line {fact.line}: {stamp}")
+        if phase_lines:
+            lines.append("  phase facts:")
+            lines.extend(f"    {text}" for text in phase_lines)
+        dead = self.cfg.unreachable_statements()
+        if dead:
+            dead_lines = sorted({s.lineno for s in dead if hasattr(s, "lineno")})
+            lines.append(
+                "  unreachable statements at lines: "
+                + ", ".join(str(n) for n in dead_lines)
+            )
+        return "\n".join(lines)
+
+
+def _indent(text):
+    return "\n".join(f"  {line}" for line in text.splitlines())

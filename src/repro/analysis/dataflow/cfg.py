@@ -1,0 +1,383 @@
+"""Control-flow graphs over method ASTs.
+
+A :class:`CFG` decomposes one ``ast.FunctionDef`` body into basic blocks
+connected by labeled edges. Branches (``if``/``while``), loops (``for``
+with zero-iteration exits, ``break``/``continue``), ``try``/``except``
+(every block inside the ``try`` body gets an exceptional edge to each
+handler), ``with``, and early exits (``return``/``raise``) are modeled;
+statements that follow an unconditional jump land in blocks unreachable
+from the entry — :meth:`CFG.reachable_blocks` exposes exactly that.
+
+Two node kinds appear inside ``BasicBlock.statements`` besides plain
+simple statements: an ``ast.For`` marks the loop-variable binding at the
+top of each iteration (its body lives in its own blocks), and an
+``ast.ExceptHandler`` marks the ``except E as name`` binding at a handler
+entry. Transfer functions treat both as definitions, not full statements.
+"""
+
+import ast
+
+#: Edge labels. TRUE/FALSE leave a block whose ``test`` is set; LOOP
+#: enters a ``for`` body (the iterator produced an item); EXCEPT models an
+#: exception escaping a ``try`` body into a handler; ALWAYS is plain fall
+#: through.
+TRUE = "true"
+FALSE = "false"
+LOOP = "loop"
+EXCEPT = "except"
+ALWAYS = ""
+
+
+class Edge:
+    """One directed edge between basic blocks."""
+
+    __slots__ = ("src", "dst", "label")
+
+    def __init__(self, src, dst, label):
+        self.src = src
+        self.dst = dst
+        self.label = label
+
+    def __repr__(self):
+        tag = f" [{self.label}]" if self.label else ""
+        return f"B{self.src.index}->B{self.dst.index}{tag}"
+
+
+class BasicBlock:
+    """A maximal straight-line run of statements."""
+
+    __slots__ = ("index", "statements", "test", "succs", "preds")
+
+    def __init__(self, index):
+        self.index = index
+        self.statements = []
+        #: Branch condition evaluated after ``statements`` (an ast expr);
+        #: set iff the block has TRUE/FALSE successors.
+        self.test = None
+        self.succs = []
+        self.preds = []
+
+    @property
+    def lines(self):
+        """(first, last) source lines covered, or None for empty blocks."""
+        nodes = list(self.statements)
+        if self.test is not None:
+            nodes.append(self.test)
+        linenos = [n.lineno for n in nodes if hasattr(n, "lineno")]
+        if not linenos:
+            return None
+        return (min(linenos), max(linenos))
+
+    def __repr__(self):
+        return f"<B{self.index} stmts={len(self.statements)}>"
+
+
+class CFG:
+    """The control-flow graph of one method body."""
+
+    def __init__(self, func_node, blocks, entry, exit_block):
+        self.func = func_node
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_block
+        self._reachable = None
+
+    def reachable_blocks(self):
+        """Blocks reachable from the entry, as a frozenset."""
+        if self._reachable is None:
+            seen = set()
+            stack = [self.entry]
+            while stack:
+                block = stack.pop()
+                if block.index in seen:
+                    continue
+                seen.add(block.index)
+                stack.extend(edge.dst for edge in block.succs)
+            self._reachable = frozenset(seen)
+        return self._reachable
+
+    def is_reachable(self, block):
+        return block.index in self.reachable_blocks()
+
+    def unreachable_statements(self):
+        """Statements sitting in blocks no path from the entry reaches."""
+        reachable = self.reachable_blocks()
+        dead = []
+        for block in self.blocks:
+            if block.index in reachable:
+                continue
+            dead.extend(
+                s for s in block.statements
+                if not isinstance(s, (ast.For, ast.ExceptHandler))
+            )
+        return dead
+
+    def edges(self):
+        for block in self.blocks:
+            yield from block.succs
+
+    def render(self):
+        """Human-readable block/edge listing (``repro lint --explain-cfg``)."""
+        lines = [
+            f"cfg: {len(self.blocks)} blocks, entry=B{self.entry.index}, "
+            f"exit=B{self.exit.index}"
+        ]
+        reachable = self.reachable_blocks()
+        for block in self.blocks:
+            span = block.lines
+            where = f"lines {span[0]}-{span[1]}" if span else "empty"
+            dead = "" if block.index in reachable else "  (unreachable)"
+            lines.append(f"  B{block.index}: {where}{dead}")
+            if block.test is not None:
+                try:
+                    text = ast.unparse(block.test)
+                except Exception:  # pragma: no cover - unparse is total on 3.9+
+                    text = "<test>"
+                lines.append(f"    test: {text}")
+            for edge in block.succs:
+                tag = f" [{edge.label}]" if edge.label else ""
+                lines.append(f"    -> B{edge.dst.index}{tag}")
+        return "\n".join(lines)
+
+
+_CONST_TRUE = object()
+_CONST_FALSE = object()
+
+
+def _constant_truth(test):
+    """_CONST_TRUE/_CONST_FALSE for literal tests, else None."""
+    if isinstance(test, ast.Constant):
+        return _CONST_TRUE if test.value else _CONST_FALSE
+    return None
+
+
+class _Builder:
+    def __init__(self, func_node):
+        self.func = func_node
+        self.blocks = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        #: (continue_target, break_target) per enclosing loop.
+        self.loop_stack = []
+        #: handler entry-block lists per enclosing ``try`` (for ``raise``).
+        self.handler_stack = []
+
+    def _new_block(self):
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _link(self, src, dst, label=ALWAYS):
+        edge = Edge(src, dst, label)
+        src.succs.append(edge)
+        dst.preds.append(edge)
+
+    def build(self):
+        end = self._visit_body(self.func.body, self.entry)
+        if end is not None:
+            self._link(end, self.exit)
+        return CFG(self.func, self.blocks, self.entry, self.exit)
+
+    # -- statement dispatch -------------------------------------------------
+
+    def _visit_body(self, body, current):
+        """Thread ``body`` through the graph; returns the open end block.
+
+        A ``None`` return means every path out of the body jumped away
+        (returned, raised, broke...); statements after such a jump are
+        placed in a fresh block with no incoming edges so they still show
+        up — as unreachable code.
+        """
+        for stmt in body:
+            if current is None:
+                current = self._new_block()  # unreachable continuation
+            if isinstance(stmt, ast.If):
+                current = self._visit_if(stmt, current)
+            elif isinstance(stmt, ast.While):
+                current = self._visit_while(stmt, current)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                current = self._visit_for(stmt, current)
+            elif isinstance(stmt, ast.Try):
+                current = self._visit_try(stmt, current)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current.statements.append(stmt)
+                current = self._visit_body(stmt.body, current)
+            elif _is_match(stmt):
+                current = self._visit_match(stmt, current)
+            elif isinstance(stmt, ast.Return):
+                current.statements.append(stmt)
+                self._link(current, self.exit)
+                current = None
+            elif isinstance(stmt, ast.Raise):
+                current.statements.append(stmt)
+                self._link_raise(current)
+                current = None
+            elif isinstance(stmt, ast.Break):
+                current.statements.append(stmt)
+                if self.loop_stack:
+                    self._link(current, self.loop_stack[-1][1])
+                else:  # pragma: no cover - syntactically invalid source
+                    self._link(current, self.exit)
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                current.statements.append(stmt)
+                if self.loop_stack:
+                    self._link(current, self.loop_stack[-1][0])
+                else:  # pragma: no cover - syntactically invalid source
+                    self._link(current, self.exit)
+                current = None
+            else:
+                current.statements.append(stmt)
+        return current
+
+    def _link_raise(self, block):
+        """A raise flows to the innermost handlers, else out of the method."""
+        if self.handler_stack:
+            for handler_entry in self.handler_stack[-1]:
+                self._link(block, handler_entry, EXCEPT)
+        else:
+            self._link(block, self.exit, EXCEPT)
+
+    def _visit_if(self, stmt, current):
+        current.test = stmt.test
+        join = None
+        truth = _constant_truth(stmt.test)
+        if truth is not _CONST_FALSE:
+            then_entry = self._new_block()
+            self._link(current, then_entry, TRUE)
+            then_end = self._visit_body(stmt.body, then_entry)
+            if then_end is not None:
+                join = join or self._new_block()
+                self._link(then_end, join)
+        if truth is not _CONST_TRUE:
+            if stmt.orelse:
+                else_entry = self._new_block()
+                self._link(current, else_entry, FALSE)
+                else_end = self._visit_body(stmt.orelse, else_entry)
+                if else_end is not None:
+                    join = join or self._new_block()
+                    self._link(else_end, join)
+            else:
+                join = join or self._new_block()
+                self._link(current, join, FALSE)
+        return join
+
+    def _visit_while(self, stmt, current):
+        header = self._new_block()
+        self._link(current, header)
+        header.test = stmt.test
+        after = self._new_block()
+        truth = _constant_truth(stmt.test)
+        if truth is not _CONST_FALSE:
+            body_entry = self._new_block()
+            self._link(header, body_entry, TRUE)
+            self.loop_stack.append((header, after))
+            body_end = self._visit_body(stmt.body, body_entry)
+            self.loop_stack.pop()
+            if body_end is not None:
+                self._link(body_end, header)
+        if truth is not _CONST_TRUE:
+            if stmt.orelse:
+                else_entry = self._new_block()
+                self._link(header, else_entry, FALSE)
+                else_end = self._visit_body(stmt.orelse, else_entry)
+                if else_end is not None:
+                    self._link(else_end, after)
+            else:
+                self._link(header, after, FALSE)
+        return after
+
+    def _visit_for(self, stmt, current):
+        header = self._new_block()
+        self._link(current, header)
+        after = self._new_block()
+        body_entry = self._new_block()
+        # The For node itself opens the body block: it stands for "bind the
+        # loop target to the next item" on each iteration.
+        body_entry.statements.append(stmt)
+        self._link(header, body_entry, LOOP)
+        self.loop_stack.append((header, after))
+        body_end = self._visit_body(stmt.body, body_entry)
+        self.loop_stack.pop()
+        if body_end is not None:
+            self._link(body_end, header)
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._link(header, else_entry, FALSE)
+            else_end = self._visit_body(stmt.orelse, else_entry)
+            if else_end is not None:
+                self._link(else_end, after)
+        else:
+            self._link(header, after, FALSE)
+        return after
+
+    def _visit_try(self, stmt, current):
+        body_entry = self._new_block()
+        self._link(current, body_entry)
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            # The handler node marks the `except E as name` binding.
+            entry.statements.append(handler)
+
+        first_body_block = len(self.blocks)
+        self.handler_stack.append(handler_entries)
+        body_end = self._visit_body(stmt.body, body_entry)
+        self.handler_stack.pop()
+        # Any statement inside the try may raise: give the entry block and
+        # every block materialized while building the body an edge to each
+        # handler (an over-approximation — more paths, never fewer).
+        body_blocks = [body_entry] + self.blocks[first_body_block:]
+        for block in body_blocks:
+            for entry in handler_entries:
+                if block is not entry:
+                    self._link(block, entry, EXCEPT)
+
+        after = self._new_block()
+        if stmt.orelse:
+            if body_end is not None:
+                else_entry = self._new_block()
+                self._link(body_end, else_entry)
+                else_end = self._visit_body(stmt.orelse, else_entry)
+                if else_end is not None:
+                    self._link(else_end, after)
+        elif body_end is not None:
+            self._link(body_end, after)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_end = self._visit_body(handler.body, entry)
+            if handler_end is not None:
+                self._link(handler_end, after)
+        if stmt.finalbody:
+            final_entry = self._new_block()
+            self._link(after, final_entry)
+            return self._visit_body(stmt.finalbody, final_entry)
+        return after
+
+    def _visit_match(self, stmt, current):
+        current.statements.append(_MatchSubject(stmt))
+        join = self._new_block()
+        for case in stmt.cases:
+            case_entry = self._new_block()
+            self._link(current, case_entry, TRUE)
+            case_end = self._visit_body(case.body, case_entry)
+            if case_end is not None:
+                self._link(case_end, join)
+        self._link(current, join, FALSE)  # no case matched
+        return join
+
+
+class _MatchSubject:
+    """Placeholder statement for a ``match`` subject expression (3.10+)."""
+
+    def __init__(self, node):
+        self.node = node
+        self.lineno = node.lineno
+
+
+def _is_match(stmt):
+    match_type = getattr(ast, "Match", None)
+    return match_type is not None and isinstance(stmt, match_type)
+
+
+def build_cfg(func_node):
+    """Build the :class:`CFG` for one ``ast.FunctionDef``."""
+    return _Builder(func_node).build()

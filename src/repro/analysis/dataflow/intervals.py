@@ -1,0 +1,604 @@
+"""Interval / constant abstract interpretation over a method CFG.
+
+Each local name (and the special key ``$superstep``, standing for
+``ctx.superstep``) maps to an :class:`Interval` over-approximating its
+numeric value. Branch conditions refine intervals along their TRUE/FALSE
+edges — ``if ctx.superstep == 0:`` narrows ``$superstep`` to ``[0, 0]``
+inside the branch, which is how the phase analysis learns *when* a send
+or a message read can execute. Loops are handled with widening, so the
+solver terminates on any CFG.
+
+The domain is deliberately sound-over-precise: anything it cannot model
+evaluates to TOP ``(-inf, +inf)``, and a ``proven`` claim built on these
+intervals (GL013 overflow, GL014 unreachable halt) holds on every real
+execution.
+"""
+
+import ast
+
+from repro.analysis.dataflow.cfg import FALSE, TRUE, _MatchSubject
+from repro.analysis.dataflow.reachdef import _flatten_target
+from repro.analysis.dataflow.solver import solve
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+#: Fixed-width value types and their (min, max) ranges, mirroring
+#: repro.pregel.value_types (Java two's-complement semantics).
+FIXED_WIDTH_RANGES = {
+    "Byte8": (-(2 ** 7), 2 ** 7 - 1),
+    "Short16": (-(2 ** 15), 2 ** 15 - 1),
+    "Int32": (-(2 ** 31), 2 ** 31 - 1),
+    "Long64": (-(2 ** 63), 2 ** 63 - 1),
+}
+
+SUPERSTEP_KEY = "$superstep"
+
+
+class Interval:
+    """A closed numeric interval ``[lo, hi]`` with infinite endpoints."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        self.lo = lo
+        self.hi = hi
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Interval)
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self):
+        return hash((self.lo, self.hi))
+
+    def __repr__(self):
+        lo = "-inf" if self.lo == NEG_INF else repr(self.lo)
+        hi = "+inf" if self.hi == POS_INF else repr(self.hi)
+        return f"[{lo}, {hi}]"
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_top(self):
+        return self.lo == NEG_INF and self.hi == POS_INF
+
+    @property
+    def is_point(self):
+        return self.lo == self.hi
+
+    @property
+    def is_bounded(self):
+        return self.lo != NEG_INF and self.hi != POS_INF
+
+    def contains(self, value):
+        return self.lo <= value <= self.hi
+
+    def intersects(self, other):
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    # -- lattice ------------------------------------------------------------
+
+    def join(self, other):
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other):
+        """Intersection, or None when the intervals do not overlap."""
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def widen(self, newer):
+        return Interval(
+            self.lo if newer.lo >= self.lo else NEG_INF,
+            self.hi if newer.hi <= self.hi else POS_INF,
+        )
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def shift(self, delta):
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def add(self, other):
+        return Interval(_safe_add(self.lo, other.lo), _safe_add(self.hi, other.hi))
+
+    def sub(self, other):
+        return Interval(_safe_add(self.lo, -other.hi), _safe_add(self.hi, -other.lo))
+
+    def neg(self):
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other):
+        corners = [
+            _safe_mul(a, b)
+            for a in (self.lo, self.hi)
+            for b in (other.lo, other.hi)
+        ]
+        return Interval(min(corners), max(corners))
+
+    def abs(self):
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return self.neg()
+        return Interval(0, max(-self.lo, self.hi))
+
+
+def _safe_add(a, b):
+    if a in (NEG_INF, POS_INF):
+        return a
+    if b in (NEG_INF, POS_INF):
+        return b
+    return a + b
+
+
+def _safe_mul(a, b):
+    if a == 0 or b == 0:
+        return 0
+    try:
+        return a * b
+    except OverflowError:  # pragma: no cover - inf * inf stays inf
+        return POS_INF if (a > 0) == (b > 0) else NEG_INF
+
+
+TOP = Interval(NEG_INF, POS_INF)
+NON_NEGATIVE = Interval(0, POS_INF)
+
+
+def const(value):
+    return Interval(value, value)
+
+
+class _State:
+    """values: key -> non-TOP Interval; aliases: local name -> key."""
+
+    __slots__ = ("values", "aliases")
+
+    def __init__(self, values=None, aliases=None):
+        self.values = values if values is not None else {}
+        self.aliases = aliases if aliases is not None else {}
+
+    def copy(self):
+        return _State(dict(self.values), dict(self.aliases))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, _State)
+            and self.values == other.values
+            and self.aliases == other.aliases
+        )
+
+    def get(self, key):
+        return self.values.get(key, TOP)
+
+    def set(self, key, interval):
+        if interval.is_top:
+            self.values.pop(key, None)
+        else:
+            self.values[key] = interval
+
+    def resolve(self, name):
+        """The storage key behind a local name (alias-aware)."""
+        return self.aliases.get(name, name)
+
+
+class IntervalAnalysis:
+    """Forward abstract interpretation of one method scope."""
+
+    def __init__(self, cfg, scope):
+        self.cfg = cfg
+        self.scope = scope
+        self.ctx_name = scope.ctx_name
+        boundary = _State()
+        boundary.set(SUPERSTEP_KEY, NON_NEGATIVE)
+        self.solution = solve(
+            cfg,
+            transfer=self._transfer,
+            join=self._join,
+            boundary=boundary,
+            edge_transfer=self._edge_transfer,
+            widen=self._widen,
+        )
+        self._stmt_states = None
+
+    # -- lattice ------------------------------------------------------------
+
+    def _join(self, states):
+        merged = states[0].copy()
+        for state in states[1:]:
+            keys = set(merged.values) & set(state.values)
+            merged.values = {
+                key: merged.values[key].join(state.values[key]) for key in keys
+            }
+            merged.aliases = {
+                name: key
+                for name, key in merged.aliases.items()
+                if state.aliases.get(name) == key
+            }
+        return merged
+
+    def _widen(self, old, new):
+        widened = _State(aliases={
+            name: key
+            for name, key in new.aliases.items()
+            if old.aliases.get(name) == key
+        })
+        for key, interval in new.values.items():
+            if key in old.values:
+                widened.set(key, old.values[key].widen(interval))
+        return widened
+
+    # -- transfer -----------------------------------------------------------
+
+    def _transfer(self, block, state):
+        state = state.copy()
+        for stmt in block.statements:
+            self._apply(stmt, state)
+        return state
+
+    def _apply(self, stmt, state):
+        if isinstance(stmt, ast.Assign):
+            interval = self.eval(stmt.value, state)
+            for target in stmt.targets:
+                self._bind_target(target, stmt.value, interval, state)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            interval = self.eval(stmt.value, state)
+            self._bind_target(stmt.target, stmt.value, interval, state)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                combined = self._binop_interval(
+                    stmt.op,
+                    self.eval(stmt.target, state),
+                    self.eval(stmt.value, state),
+                )
+                self._havoc_name(stmt.target.id, state)
+                state.set(stmt.target.id, combined)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_loop_target(stmt, state)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for name in _flatten_target(item.optional_vars):
+                        self._havoc_name(name, state)
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                self._havoc_name(stmt.name, state)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                for name in _flatten_target(target):
+                    self._havoc_name(name, state)
+
+    def _bind_target(self, target, value_expr, interval, state):
+        if isinstance(target, ast.Name):
+            self._havoc_name(target.id, state)
+            alias = self._superstep_key_for(value_expr, state)
+            if alias is not None:
+                state.aliases[target.id] = SUPERSTEP_KEY
+            else:
+                state.set(target.id, interval)
+        else:
+            for name in _flatten_target(target):
+                self._havoc_name(name, state)
+
+    def _bind_loop_target(self, for_node, state):
+        names = _flatten_target(for_node.target)
+        for name in names:
+            self._havoc_name(name, state)
+        if len(names) == 1 and isinstance(for_node.iter, ast.Call):
+            func = for_node.iter.func
+            if isinstance(func, ast.Name) and func.id == "range":
+                state.set(names[0], self._range_interval(for_node.iter, state))
+
+    def _range_interval(self, call, state):
+        args = [self.eval(a, state) for a in call.args]
+        if len(args) == 1:
+            return Interval(0, _safe_add(args[0].hi, -1))
+        if len(args) >= 2:
+            return Interval(args[0].lo, _safe_add(args[1].hi, -1))
+        return TOP
+
+    def _havoc_name(self, name, state):
+        state.values.pop(name, None)
+        state.aliases.pop(name, None)
+
+    def _superstep_key_for(self, expr, state):
+        """SUPERSTEP_KEY when ``expr`` is ``ctx.superstep`` or an alias."""
+        if (
+            self.ctx_name is not None
+            and isinstance(expr, ast.Attribute)
+            and expr.attr == "superstep"
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == self.ctx_name
+        ):
+            return SUPERSTEP_KEY
+        if isinstance(expr, ast.Name) and state.resolve(expr.id) == SUPERSTEP_KEY:
+            return SUPERSTEP_KEY
+        return None
+
+    # -- expression evaluation ----------------------------------------------
+
+    def eval(self, expr, state):
+        """Over-approximate ``expr`` as an :class:`Interval`."""
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool):
+                return const(int(expr.value))
+            if isinstance(expr.value, (int, float)):
+                return const(expr.value)
+            return TOP
+        if isinstance(expr, ast.Name):
+            return state.get(state.resolve(expr.id))
+        if isinstance(expr, ast.Attribute):
+            if self._superstep_key_for(expr, state) is not None:
+                return state.get(SUPERSTEP_KEY).meet(NON_NEGATIVE) or NON_NEGATIVE
+            return TOP
+        if isinstance(expr, ast.BinOp):
+            return self._binop_interval(
+                expr.op, self.eval(expr.left, state), self.eval(expr.right, state)
+            )
+        if isinstance(expr, ast.UnaryOp):
+            if isinstance(expr.op, ast.USub):
+                return self.eval(expr.operand, state).neg()
+            if isinstance(expr.op, ast.UAdd):
+                return self.eval(expr.operand, state)
+            if isinstance(expr.op, ast.Not):
+                return Interval(0, 1)
+            return TOP
+        if isinstance(expr, ast.IfExp):
+            return self.eval(expr.body, state).join(self.eval(expr.orelse, state))
+        if isinstance(expr, ast.BoolOp):
+            merged = self.eval(expr.values[0], state)
+            for value in expr.values[1:]:
+                merged = merged.join(self.eval(value, state))
+            return merged
+        if isinstance(expr, ast.Call):
+            return self._call_interval(expr, state)
+        if isinstance(expr, ast.NamedExpr):
+            return self.eval(expr.value, state)
+        if isinstance(expr, ast.Compare):
+            return Interval(0, 1)
+        return TOP
+
+    def _call_interval(self, call, state):
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        args = call.args
+        if name in FIXED_WIDTH_RANGES:
+            lo, hi = FIXED_WIDTH_RANGES[name]
+            width = Interval(lo, hi)
+            if args:
+                ideal = self.eval(args[0], state)
+                # No wrap possible when the argument provably fits.
+                inside = ideal.meet(width)
+                if inside is not None and inside == ideal:
+                    return ideal
+            return width
+        if name in ("int", "round"):
+            return self.eval(args[0], state) if args else const(0)
+        if name == "abs" and args:
+            return self.eval(args[0], state).abs()
+        if name == "len":
+            return NON_NEGATIVE
+        if name in ("out_degree", "num_vertices", "num_edges", "superstep"):
+            return NON_NEGATIVE
+        if name in ("min", "max") and args:
+            intervals = [self.eval(a, state) for a in args]
+            if name == "min":
+                return Interval(
+                    min(i.lo for i in intervals), min(i.hi for i in intervals)
+                )
+            return Interval(
+                max(i.lo for i in intervals), max(i.hi for i in intervals)
+            )
+        return TOP
+
+    def _binop_interval(self, op, left, right):
+        if isinstance(op, ast.Add):
+            return left.add(right)
+        if isinstance(op, ast.Sub):
+            return left.sub(right)
+        if isinstance(op, ast.Mult):
+            return left.mul(right)
+        if isinstance(op, ast.Mod) and right.is_point and right.lo not in (
+            0, NEG_INF, POS_INF
+        ):
+            modulus = abs(right.lo)
+            return Interval(0, modulus - 1)
+        if isinstance(op, (ast.FloorDiv, ast.Div)) and right.is_point:
+            divisor = right.lo
+            if divisor not in (0, NEG_INF, POS_INF) and divisor > 0:
+                return Interval(
+                    _safe_div(left.lo, divisor), _safe_div(left.hi, divisor)
+                )
+        return TOP
+
+    # -- branch refinement --------------------------------------------------
+
+    def _edge_transfer(self, edge, state):
+        test = edge.src.test
+        if test is None or edge.label not in (TRUE, FALSE):
+            return state
+        return self._refine(test, edge.label == TRUE, state.copy())
+
+    def _refine(self, test, sense, state):
+        """Narrow ``state`` assuming ``test`` evaluated to ``sense``.
+
+        Returns None when the assumption is infeasible — the edge carries
+        no executions (interval-proven dead branch).
+        """
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._refine(test.operand, not sense, state)
+        if isinstance(test, ast.BoolOp):
+            conjunctive = isinstance(test.op, ast.And) is sense
+            if conjunctive:
+                # `and` true / `or` false: every clause has that sense.
+                for value in test.values:
+                    state = self._refine(value, sense, state)
+                    if state is None:
+                        return None
+            return state
+        if isinstance(test, ast.Compare):
+            return self._refine_compare(test, sense, state)
+        if isinstance(test, ast.Name):
+            key = state.resolve(test.id)
+            interval = state.get(key)
+            if sense is False:
+                if not interval.contains(0):
+                    return None if not interval.is_top else state
+                if not interval.is_top:
+                    state.set(key, const(0))
+            elif interval == const(0):
+                return None
+            return state
+        return state
+
+    def _refine_compare(self, test, sense, state):
+        operands = [test.left] + list(test.comparators)
+        for (left, op, right) in zip(operands, test.ops, operands[1:]):
+            state = self._refine_pair(left, op, right, sense, state)
+            if state is None:
+                return None
+            if len(test.ops) > 1 and sense is False:
+                # A false chained comparison only negates the conjunction;
+                # per-pair refinement would be unsound. Refine nothing.
+                return state
+        return state
+
+    def _refine_pair(self, left, op, right, sense, state):
+        if sense is False:
+            op = _NEGATED.get(type(op))
+            if op is None:
+                return state
+            op = op()
+        for key_side, other_side, mirrored in (
+            (left, right, False),
+            (right, left, True),
+        ):
+            key = self._key_for(key_side, state)
+            if key is None:
+                continue
+            bound = self.eval(other_side, state)
+            if isinstance(op, ast.NotEq):
+                state = self._exclude_point(key, bound, state)
+                if state is None:
+                    return None
+                continue
+            implied = _implied_interval(op, bound, mirrored)
+            if implied is None:
+                continue
+            current = state.get(key)
+            met = current.meet(implied)
+            if met is None:
+                return None
+            state.set(key, met)
+        return state
+
+    def _exclude_point(self, key, bound, state):
+        """Refine ``key != c``: trim an endpoint equal to the point ``c``."""
+        if not (bound.is_point and isinstance(bound.lo, int)):
+            return state
+        excluded = bound.lo
+        current = state.get(key)
+        lo, hi = current.lo, current.hi
+        if lo == excluded:
+            lo = excluded + 1
+        if hi == excluded:
+            hi = excluded - 1
+        if lo > hi:
+            return None  # interval was exactly [c, c]: branch infeasible
+        state.set(key, Interval(lo, hi))
+        return state
+
+    def _key_for(self, expr, state):
+        if isinstance(expr, ast.Name):
+            return state.resolve(expr.id)
+        if self._superstep_key_for(expr, state) is not None:
+            return SUPERSTEP_KEY
+        return None
+
+    # -- queries ------------------------------------------------------------
+
+    def state_into(self, block):
+        return self.solution[block.index][0]
+
+    def state_before(self, stmt):
+        """The abstract state just before ``stmt``; None if unreachable."""
+        if self._stmt_states is None:
+            self._stmt_states = {}
+            for block in self.cfg.blocks:
+                if not self.cfg.is_reachable(block):
+                    continue
+                state = self.state_into(block)
+                for s in block.statements:
+                    self._stmt_states[id(s)] = (
+                        None if state is None else state.copy()
+                    )
+                    if state is not None:
+                        state = state.copy()
+                        self._apply(s, state)
+        return self._stmt_states.get(id(stmt))
+
+    def superstep_at(self, stmt):
+        """Interval of ``ctx.superstep`` when ``stmt`` runs; None if dead."""
+        state = self.state_before(stmt)
+        if state is None:
+            return None
+        return state.get(SUPERSTEP_KEY).meet(NON_NEGATIVE) or NON_NEGATIVE
+
+    def reachable_stmt(self, stmt):
+        return self.state_before(stmt) is not None
+
+
+_NEGATED = {
+    ast.Lt: ast.GtE,
+    ast.LtE: ast.Gt,
+    ast.Gt: ast.LtE,
+    ast.GtE: ast.Lt,
+    ast.Eq: ast.NotEq,
+    ast.NotEq: ast.Eq,
+}
+
+
+def _implied_interval(op, bound, mirrored):
+    """The interval a key must lie in for ``key op bound`` to hold.
+
+    ``mirrored`` means the key was on the right (``bound op key``).
+    """
+    if mirrored:
+        mirror = {
+            ast.Lt: ast.Gt, ast.Gt: ast.Lt,
+            ast.LtE: ast.GtE, ast.GtE: ast.LtE,
+        }.get(type(op))
+        if mirror is not None:
+            op = mirror()
+    if isinstance(op, ast.Eq):
+        return bound
+    if isinstance(op, ast.Lt):
+        hi = bound.hi
+        if isinstance(hi, int) and not isinstance(hi, bool):
+            hi = hi - 1
+        return Interval(NEG_INF, hi)
+    if isinstance(op, ast.LtE):
+        return Interval(NEG_INF, bound.hi)
+    if isinstance(op, ast.Gt):
+        lo = bound.lo
+        if isinstance(lo, int) and not isinstance(lo, bool):
+            lo = lo + 1
+        return Interval(lo, POS_INF)
+    if isinstance(op, ast.GtE):
+        return Interval(bound.lo, POS_INF)
+    return None  # NotEq / is / in: no useful interval
+
+
+def _safe_div(value, divisor):
+    if value in (NEG_INF, POS_INF):
+        return value
+    return value // divisor if isinstance(value, int) else value / divisor
+
+
+# Re-exported for rules that classify match-subject placeholders.
+MATCH_SUBJECT = _MatchSubject

@@ -1,0 +1,119 @@
+"""Live-variable analysis (backward) over a method CFG.
+
+A local is live at a point when some path from that point reads it before
+writing it. Used by ``repro lint --explain-cfg`` to show which values each
+branch actually carries forward, and by rules to tell a dead store from a
+meaningful one.
+"""
+
+import ast
+
+from repro.analysis.dataflow.reachdef import (
+    _definition_targets,
+    evaluated_roots,
+    iter_immediate_nodes,
+)
+from repro.analysis.dataflow.solver import solve
+
+
+class Liveness:
+    """Backward may-analysis: the set of names live at each block edge."""
+
+    def __init__(self, cfg, tracked=None):
+        self.cfg = cfg
+        if tracked is None:
+            tracked = set()
+            for node in iter_immediate_nodes(cfg.func):
+                if node is cfg.func:
+                    continue
+                tracked.update(_definition_targets(node))
+        self.tracked = set(tracked)
+        self.solution = solve(
+            cfg,
+            direction="backward",
+            transfer=self._transfer,
+            join=self._join,
+            boundary=frozenset(),
+            init=frozenset(),
+        )
+
+    def _join(self, states):
+        merged = frozenset()
+        for state in states:
+            merged |= state
+        return merged
+
+    def _transfer(self, block, live):
+        live = set(live)
+        if block.test is not None:
+            live |= self._uses(block.test)
+        for stmt in reversed(block.statements):
+            live -= set(self._defs(stmt))
+            live |= self._stmt_uses(stmt)
+        return frozenset(live)
+
+    def _defs(self, stmt):
+        return [n for n in _definition_targets(stmt) if n in self.tracked]
+
+    def _stmt_uses(self, stmt):
+        uses = set()
+        if isinstance(stmt, ast.AugAssign):
+            # `x += 1` reads x as well as writing it.
+            uses.update(
+                n for n in _flatten_loadable(stmt.target) if n in self.tracked
+            )
+        for root in evaluated_roots(stmt):
+            uses |= self._uses(root)
+        return uses
+
+    def _uses(self, node):
+        found = set()
+        for child in iter_immediate_nodes(node):
+            if (
+                isinstance(child, ast.Name)
+                and isinstance(child.ctx, ast.Load)
+                and child.id in self.tracked
+            ):
+                found.add(child.id)
+        return found
+
+    # -- queries ------------------------------------------------------------
+
+    def live_out(self, block):
+        """Names live when control leaves ``block`` (execution order)."""
+        state = self.solution[block.index][0]
+        return state if state is not None else frozenset()
+
+    def live_in(self, block):
+        """Names live when control enters ``block`` (execution order)."""
+        state = self.solution[block.index][1]
+        return state if state is not None else frozenset()
+
+    def dead_stores(self):
+        """``(name, lineno)`` for assignments whose value is never read.
+
+        Per-block linear sweep: a store is dead when the name is not live
+        immediately after the storing statement. Augmented assignments are
+        exempt (they read the name themselves).
+        """
+        dead = []
+        for block in self.cfg.blocks:
+            if not self.cfg.is_reachable(block):
+                continue
+            live = set(self.live_out(block))
+            if block.test is not None:
+                live |= self._uses(block.test)
+            for stmt in reversed(block.statements):
+                if isinstance(stmt, ast.Assign):
+                    for name in self._defs(stmt):
+                        if name not in live:
+                            dead.append((name, stmt.lineno))
+                live -= set(self._defs(stmt))
+                live |= self._stmt_uses(stmt)
+        return sorted(dead, key=lambda pair: (pair[1], pair[0]))
+
+
+def _flatten_loadable(target):
+    if isinstance(target, ast.Name):
+        return [target.id]
+    return []

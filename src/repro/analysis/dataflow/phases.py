@@ -1,0 +1,97 @@
+"""Per-phase behavior inferred from superstep intervals.
+
+Vertex programs are usually phased: ``if ctx.superstep == 0: scatter``,
+``else: gather``. The interval analysis knows the possible values of
+``ctx.superstep`` at every statement, so each interesting call site — a
+send, a halt, a message read, aggregator traffic — can be stamped with
+the supersteps at which it can actually execute. Rules compare these
+stamps: a message sent in superstep ``s`` is delivered in ``s + 1``, so a
+send whose shifted interval misses every read interval is dead (GL010); a
+``vote_to_halt`` whose interval is empty sits on a proven-dead path
+(GL014).
+"""
+
+from repro.analysis.dataflow.intervals import NON_NEGATIVE
+
+
+class SiteFact:
+    """One call/read site annotated with its superstep interval.
+
+    ``interval`` is None when the site is statically unreachable (dead
+    code, or an interval-proven dead branch); otherwise an over-
+    approximation of ``ctx.superstep`` whenever the site executes.
+    """
+
+    __slots__ = ("node", "line", "interval")
+
+    def __init__(self, node, line, interval):
+        self.node = node
+        self.line = line
+        self.interval = interval
+
+    @property
+    def reachable(self):
+        return self.interval is not None
+
+    def __repr__(self):
+        return f"<site line={self.line} superstep={self.interval!r}>"
+
+
+class PhaseFacts:
+    """Interval-stamped call sites of one method scope."""
+
+    def __init__(self, scope, dataflow):
+        self.scope = scope
+        self.sends = [
+            _fact(call.node, call.line, dataflow)
+            for call in scope.ctx_calls(
+                "send_message", "send_message_to_all_neighbors"
+            )
+        ]
+        self.halts = [
+            _fact(call.node, call.line, dataflow)
+            for call in scope.ctx_calls("vote_to_halt")
+        ]
+        #: (name_argument_node, SiteFact) pairs — rules resolve the name
+        #: through ClassContext.resolve_constant.
+        self.aggregate_writes = [
+            (call.node.args[0] if call.node.args else None,
+             _fact(call.node, call.line, dataflow))
+            for call in scope.ctx_calls("aggregate")
+        ]
+        self.aggregate_reads = [
+            (call.node.args[0] if call.node.args else None,
+             _fact(call.node, call.line, dataflow))
+            for call in scope.ctx_calls("aggregated_value")
+        ]
+        self.message_reads = [
+            _fact(node, node.lineno, dataflow)
+            for node in dataflow.message_read_nodes()
+        ]
+
+    def send_intervals(self):
+        return [fact.interval for fact in self.sends if fact.reachable]
+
+    def read_intervals(self):
+        return [fact.interval for fact in self.message_reads if fact.reachable]
+
+    def reachable_halts(self):
+        return [fact for fact in self.halts if fact.reachable]
+
+
+def _fact(node, line, dataflow):
+    interval = dataflow.superstep_at_node(node)
+    return SiteFact(node, line, interval)
+
+
+def join_intervals(intervals):
+    """The union hull of several intervals, or None for an empty list."""
+    merged = None
+    for interval in intervals:
+        merged = interval if merged is None else merged.join(interval)
+    return merged
+
+
+def delivery_interval(send_interval):
+    """Messages sent at superstep ``s`` arrive at ``s + 1``."""
+    return send_interval.shift(1).meet(NON_NEGATIVE.shift(1)) or send_interval.shift(1)

@@ -1,0 +1,243 @@
+"""Reaching definitions over a method CFG.
+
+Tracks, for every local name, which definition sites can reach each use.
+A synthetic ``UNDEF`` definition enters at the CFG entry for every local
+that is not a parameter; a use reached *only* by ``UNDEF`` is definitely
+unbound (``UnboundLocalError``), a use reached by ``UNDEF`` among real
+definitions is possibly unbound — the distinction behind GL009's
+``proven`` vs ``likely`` confidence.
+
+Comprehension targets and lambda parameters live in their own Python
+scopes and are excluded from tracking entirely; loads inside nested
+``def``/``lambda`` bodies are deferred to call time and are not treated
+as uses at the definition site.
+"""
+
+import ast
+
+from repro.analysis.dataflow.cfg import _MatchSubject
+from repro.analysis.dataflow.solver import solve
+
+#: The synthetic "never assigned" definition.
+UNDEF = ("<undef>", 0)
+
+
+def _definition_targets(node):
+    """Local names bound by one statement-ish node."""
+    names = []
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            names.extend(_flatten_target(target))
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        names.extend(_flatten_target(node.target))
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            if item.optional_vars is not None:
+                names.extend(_flatten_target(item.optional_vars))
+    elif isinstance(node, ast.ExceptHandler):
+        if node.name:
+            names.append(node.name)
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.append(node.name)
+    elif isinstance(node, (ast.Import, ast.ImportFrom)):
+        for alias in node.names:
+            names.append((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def _flatten_target(target):
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names = []
+        for element in target.elts:
+            names.extend(_flatten_target(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _flatten_target(target.value)
+    return []  # attribute / subscript stores are not local bindings
+
+
+def evaluated_roots(stmt):
+    """The expressions one block-statement evaluates *at its own site*.
+
+    Compound statements carry their bodies in the AST but those bodies
+    occupy their own CFG blocks; only the header expressions count here.
+    """
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, _MatchSubject):
+        return [stmt.node.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return list(stmt.decorator_list)
+    return [stmt]
+
+
+def iter_immediate_nodes(root):
+    """Walk ``root`` skipping nested function/lambda bodies (deferred).
+
+    The nested def/lambda node itself IS yielded — it executes (and binds
+    its name) at the enclosing scope's site — but its body is not.
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node is not root and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _comprehension_scoped_names(func_node):
+    """Names bound as comprehension/lambda targets — separate scopes."""
+    scoped = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            for generator in node.generators:
+                scoped.update(_flatten_target(generator.target))
+        elif isinstance(node, ast.Lambda):
+            scoped.update(a.arg for a in node.args.args)
+    return scoped
+
+
+def _declared_nonlocal(func_node):
+    names = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.update(node.names)
+    return names
+
+
+class ReachingDefinitions:
+    """Forward may-analysis: name -> frozenset of reaching def sites.
+
+    A definition site is ``(lineno, col_offset)`` of the binding node, or
+    ``("<param>", name)`` for parameters, or :data:`UNDEF`.
+    """
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        func = cfg.func
+        escape = _comprehension_scoped_names(func) | _declared_nonlocal(func)
+        params = [
+            a.arg
+            for a in (
+                list(getattr(func.args, "posonlyargs", []))
+                + list(func.args.args)
+                + list(func.args.kwonlyargs)
+            )
+        ]
+        if func.args.vararg:
+            params.append(func.args.vararg.arg)
+        if func.args.kwarg:
+            params.append(func.args.kwarg.arg)
+        self.params = [p for p in params if p not in escape]
+
+        assigned = set()
+        for node in iter_immediate_nodes(func):
+            if node is func:
+                continue  # the method's own def is not one of its locals
+            for name in _definition_targets(node):
+                assigned.add(name)
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                assigned.add(node.target.id)
+        self.locals = (assigned - escape) - set(self.params)
+        self.tracked = self.locals | set(self.params)
+
+        boundary = {name: frozenset([UNDEF]) for name in self.locals}
+        for name in self.params:
+            boundary[name] = frozenset([("<param>", name)])
+        self.solution = solve(
+            cfg,
+            transfer=self._transfer,
+            join=self._join,
+            boundary=boundary,
+        )
+
+    # -- lattice ------------------------------------------------------------
+
+    def _join(self, states):
+        merged = {}
+        for state in states:
+            for name, defs in state.items():
+                merged[name] = merged.get(name, frozenset()) | defs
+        return merged
+
+    def _transfer(self, block, state):
+        state = dict(state)
+        for stmt in block.statements:
+            self._apply(stmt, state)
+        return state
+
+    def _apply(self, stmt, state):
+        for name in self._bindings(stmt):
+            state[name] = frozenset([(stmt.lineno, stmt.col_offset)])
+
+    def _bindings(self, stmt):
+        names = [n for n in _definition_targets(stmt) if n in self.tracked]
+        for root in evaluated_roots(stmt):
+            for node in iter_immediate_nodes(root):
+                if isinstance(node, ast.NamedExpr) and isinstance(
+                    node.target, ast.Name
+                ):
+                    if node.target.id in self.tracked:
+                        names.append(node.target.id)
+        return names
+
+    # -- queries ------------------------------------------------------------
+
+    def state_into(self, block):
+        """The name->defs map entering ``block`` (None if unreachable)."""
+        return self.solution[block.index][0]
+
+    def uses_with_states(self):
+        """Yield ``(name_node, reaching_defs)`` for every local-name load.
+
+        Within a block the state is replayed statement by statement, with
+        a statement's own loads evaluated before its bindings take effect
+        (``x = x + 1`` reads the old ``x``).
+        """
+        for block in self.cfg.blocks:
+            if not self.cfg.is_reachable(block):
+                continue
+            state = self.state_into(block)
+            if state is None:
+                continue
+            state = dict(state)
+            for stmt in block.statements:
+                for node in self._loads_in(stmt):
+                    yield node, state.get(node.id, frozenset())
+                self._apply(stmt, state)
+            if block.test is not None:
+                for node in self._loads_in_expr(block.test):
+                    yield node, state.get(node.id, frozenset())
+
+    def _loads_in(self, stmt):
+        # `x += 1` reads the old x, but its target carries a Store ctx.
+        if (
+            isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id in self.tracked
+        ):
+            yield stmt.target
+        for root in evaluated_roots(stmt):
+            yield from self._loads_in_expr(root)
+
+    def _loads_in_expr(self, node):
+        for child in iter_immediate_nodes(node):
+            if (
+                isinstance(child, ast.Name)
+                and isinstance(child.ctx, ast.Load)
+                and child.id in self.tracked
+            ):
+                yield child

@@ -1,0 +1,107 @@
+"""A generic worklist solver for CFG dataflow problems.
+
+The solver iterates block states to a fixpoint. A problem supplies:
+
+- ``boundary`` — the state entering the analysis (at the CFG entry for a
+  forward problem, at the exit for a backward one);
+- ``init`` — the state every other block starts from (the lattice bottom);
+- ``transfer(block, state)`` — push a state through a block's statements;
+- ``join(states)`` — merge the states arriving over several edges;
+- ``edge_transfer(edge, state)`` — optional: specialize the state flowing
+  along one specific edge (interval analysis refines branch conditions
+  here);
+- ``widen(old, new)`` — optional: applied at blocks revisited more than
+  ``widen_after`` times, for infinite-height domains.
+
+States must implement ``==`` (the convergence check). ``None`` is a legal
+state meaning "no execution reaches here"; the solver joins around it and
+never calls ``transfer`` on it.
+"""
+
+
+def solve(
+    cfg,
+    *,
+    transfer,
+    join,
+    boundary,
+    init=None,
+    direction="forward",
+    edge_transfer=None,
+    widen=None,
+    widen_after=3,
+    max_iterations=10_000,
+):
+    """Run the worklist to fixpoint; returns ``{block_index: (in, out)}``.
+
+    For a backward problem the "(in, out)" pair is still oriented by
+    execution order: ``in`` is the state *after* the block runs (what its
+    successors demand), ``out`` the state before it.
+    """
+    forward = direction == "forward"
+    start = cfg.entry if forward else cfg.exit
+
+    def incoming_edges(block):
+        return block.preds if forward else block.succs
+
+    def source_of(edge):
+        return edge.src if forward else edge.dst
+
+    in_states = {block.index: init for block in cfg.blocks}
+    out_states = {block.index: init for block in cfg.blocks}
+    in_states[start.index] = boundary
+
+    visits = {}
+    worklist = [block for block in cfg.blocks if cfg.is_reachable(block)]
+    pending = {block.index for block in worklist}
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - safety net
+            raise RuntimeError("dataflow solver failed to converge")
+        block = worklist.pop(0)
+        pending.discard(block.index)
+
+        if block is start:
+            new_in = boundary
+        else:
+            arriving = []
+            for edge in incoming_edges(block):
+                state = out_states[source_of(edge).index]
+                if state is None:
+                    continue
+                if edge_transfer is not None:
+                    state = edge_transfer(edge, state)
+                    if state is None:
+                        continue
+                arriving.append(state)
+            new_in = join(arriving) if arriving else None
+
+        count = visits.get(block.index, 0) + 1
+        visits[block.index] = count
+        if (
+            widen is not None
+            and count > widen_after
+            and new_in is not None
+            and in_states[block.index] is not None
+        ):
+            new_in = widen(in_states[block.index], new_in)
+
+        new_out = None if new_in is None else transfer(block, new_in)
+        if new_in == in_states[block.index] and new_out == out_states[block.index]:
+            if count > 1:
+                continue
+        in_states[block.index] = new_in
+        out_states[block.index] = new_out
+
+        next_edges = block.succs if forward else block.preds
+        for edge in next_edges:
+            follower = edge.dst if forward else edge.src
+            if cfg.is_reachable(follower) and follower.index not in pending:
+                worklist.append(follower)
+                pending.add(follower.index)
+
+    return {
+        block.index: (in_states[block.index], out_states[block.index])
+        for block in cfg.blocks
+    }

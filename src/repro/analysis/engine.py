@@ -10,29 +10,42 @@ module constants), and runs every registered rule over the resulting
 objects; the engine returns them as a sorted
 :class:`~repro.analysis.findings.AnalysisReport`.
 
-Two entry points:
+Entry points:
 
 - :func:`analyze_computation` — a live class; used by the ``repro lint``
   CLI on ``module:Class`` targets and by ``debug_run``'s pre-flight check.
+- :func:`analyze_combiner` — a live ``MessageCombiner`` subclass (GL015).
 - :func:`analyze_module_source` — raw source text, no import executed;
   used to lint example scripts (importing them would *run* them).
+
+``dataflow=True`` (the default) additionally builds per-method CFGs and
+runs the dataflow rule pack (GL009–GL015); ``dataflow=False`` restores
+the cheap pattern-matching rules only.
 """
 
 import ast
+import hashlib
 import inspect
 import sys
 import textwrap
+from collections import OrderedDict
 
 from repro.analysis.findings import AnalysisReport
-from repro.analysis.scopes import build_method_scope
 
-_REPORT_CACHE = {}
+#: Analysis reports keyed on (kind, qualified name, source hash, dataflow).
+#: Hashing the actual MRO sources means a class redefined with new code
+#: (notebooks, exec'd test fixtures) never sees a stale report; the LRU
+#: bound keeps long-lived sessions from accumulating every class ever
+#: linted.
+_REPORT_CACHE = OrderedDict()
+_REPORT_CACHE_MAX = 128
 
 
 class ClassContext:
     """Everything the rules see about one analyzed class."""
 
-    def __init__(self, class_name, filename, scopes, constants):
+    def __init__(self, class_name, filename, scopes, constants,
+                 kind="computation", dataflow_enabled=True):
         self.class_name = class_name
         self.filename = filename
         #: Effective methods after MRO resolution: name -> MethodScope.
@@ -40,6 +53,14 @@ class ClassContext:
         #: Resolved string/number constants visible to the class: a merge
         #: of module-level and class-level simple assignments, name -> value.
         self.constants = constants
+        #: "computation" or "combiner" — rules declare which kind they
+        #: apply to via a module-level ``APPLIES_TO``.
+        self.kind = kind
+        self.dataflow_enabled = dataflow_enabled
+        self._dataflow = {}
+        #: scope name -> exception, for dataflow passes that failed. The
+        #: analyzer degrades to pattern rules rather than blocking a run.
+        self.dataflow_errors = {}
 
     def scope(self, name):
         return self.scopes.get(name)
@@ -49,6 +70,26 @@ class ClassContext:
             if name == "__init__" and not include_init:
                 continue
             yield scope
+
+    def dataflow(self, scope):
+        """The :class:`MethodDataflow` for one scope, or None.
+
+        None means dataflow is disabled for this analysis or the pass
+        failed on this method (recorded in :attr:`dataflow_errors`).
+        Rules treat None as "no information" and stay silent.
+        """
+        if not self.dataflow_enabled or scope is None:
+            return None
+        key = id(scope)
+        if key not in self._dataflow:
+            from repro.analysis.dataflow import MethodDataflow
+
+            try:
+                self._dataflow[key] = MethodDataflow(scope)
+            except Exception as exc:  # degrade, never block
+                self._dataflow[key] = None
+                self.dataflow_errors[scope.name] = exc
+        return self._dataflow[key]
 
     def resolve_constant(self, node):
         """The literal value behind an expression, or None if dynamic.
@@ -80,18 +121,35 @@ def _collect_constants(tree, into):
 
 
 def _class_defs_from_module(tree):
-    return {
-        node.name: node for node in tree.body if isinstance(node, ast.ClassDef)
-    }
+    """Every ClassDef in ``tree``, including ones nested in classes,
+    functions, and conditional blocks.
+
+    Breadth-first, so on a name collision the shallower (top-level)
+    definition wins — matching what an importer of the module would see.
+    """
+    defs = {}
+    queue = list(tree.body)
+    while queue:
+        node = queue.pop(0)
+        if isinstance(node, ast.ClassDef):
+            defs.setdefault(node.name, node)
+        for attr in ("body", "orelse", "finalbody"):
+            queue.extend(getattr(node, attr, None) or [])
+        for handler in getattr(node, "handlers", None) or []:
+            queue.extend(handler.body)
+    return defs
 
 
-def _build_context(class_name, mro_class_defs, constants, filename):
+def _build_context(class_name, mro_class_defs, constants, filename,
+                   kind="computation", dataflow=True):
     """Assemble a :class:`ClassContext` from base-to-derived class defs.
 
     ``mro_class_defs`` is ``[(class_def, defining_name), ...]`` ordered
     base first, so later (more derived) definitions override earlier ones —
     exactly Python's attribute resolution.
     """
+    from repro.analysis.scopes import build_method_scope
+
     method_names = set()
     for class_def, _name in mro_class_defs:
         for node in class_def.body:
@@ -106,7 +164,35 @@ def _build_context(class_name, mro_class_defs, constants, filename):
                 scopes[node.name] = build_method_scope(
                     node, defining_name, filename, method_names
                 )
-    return ClassContext(class_name, filename, scopes, constants)
+    return ClassContext(class_name, filename, scopes, constants,
+                        kind=kind, dataflow_enabled=dataflow)
+
+
+#: Dataflow rules that *upgrade* a pattern rule: when the upgrading rule
+#: fires, the pattern rule's finding on the same evidence is dropped —
+#: GL013 proves the overflow GL007 only suspects (same line), GL014 proves
+#: the no-halt-path GL005 only suspects (same class).
+_LINE_SUPERSEDES = {"GL013": "GL007"}
+_CLASS_SUPERSEDES = {"GL014": "GL005"}
+
+
+def _apply_supersedes(findings):
+    upgraded_lines = {
+        (_LINE_SUPERSEDES[f.rule_id], f.line)
+        for f in findings
+        if f.rule_id in _LINE_SUPERSEDES
+    }
+    upgraded_rules = {
+        _CLASS_SUPERSEDES[f.rule_id]
+        for f in findings
+        if f.rule_id in _CLASS_SUPERSEDES
+    }
+    return [
+        f
+        for f in findings
+        if f.rule_id not in upgraded_rules
+        and (f.rule_id, f.line) not in upgraded_lines
+    ]
 
 
 def _run_rules(context, rules=None):
@@ -114,42 +200,43 @@ def _run_rules(context, rules=None):
 
     report = AnalysisReport(class_name=context.class_name,
                            filename=context.filename)
-    for rule in rules if rules is not None else all_rules():
+    if rules is None:
+        rules = all_rules(dataflow=context.dataflow_enabled)
+    for rule in rules:
+        if getattr(rule, "APPLIES_TO", "computation") != context.kind:
+            continue
         for finding in rule.check(context):
             report.add(finding)
+    report.findings[:] = _apply_supersedes(report.findings)
     return report.sort()
 
 
 # -- live-class analysis -------------------------------------------------------
 
 
-def analyze_computation(cls, rules=None):
-    """Statically analyze a ``Computation`` subclass; returns a report.
+def _live_context(cls, base_class, kind, dataflow):
+    """Build the ClassContext for a live class, or None when the source
+    cannot be located (exec/REPL-built classes are skipped, not failed).
 
-    Inherited methods are included (``BuggyRandomWalk`` is judged with the
-    ``RandomWalk.compute`` it actually runs). Classes whose source cannot
-    be located (built in ``exec``/REPL contexts) come back with
-    ``analyzed=False`` and no findings — the analyzer never blocks a run it
-    cannot see.
+    Returns ``(context, source_text)`` — the concatenated MRO sources feed
+    the report cache key.
     """
-    if rules is None and cls in _REPORT_CACHE:
-        return _REPORT_CACHE[cls]
-
-    from repro.pregel.computation import Computation
-
     mro_class_defs = []
     constants = {}
     filename = "<unknown>"
+    sources = []
     try:
         chain = [
             klass
             for klass in cls.__mro__
-            if klass not in (Computation, object)
-            and issubclass(klass, Computation)
+            if klass not in (base_class, object)
+            and issubclass(klass, base_class)
         ]
         for klass in reversed(chain):  # base first, derived overrides last
             source, start_line = inspect.getsourcelines(klass)
-            tree = ast.parse(textwrap.dedent("".join(source)))
+            text = textwrap.dedent("".join(source))
+            sources.append(text)
+            tree = ast.parse(text)
             class_def = tree.body[0]
             if not isinstance(class_def, ast.ClassDef):
                 continue
@@ -163,16 +250,69 @@ def analyze_computation(cls, rules=None):
         if filename == "<unknown>" and mro_class_defs:
             filename = inspect.getsourcefile(cls) or "<unknown>"
     except (OSError, TypeError, SyntaxError):
+        return None, ""
+    if not mro_class_defs:
+        return None, ""
+
+    context = _build_context(cls.__name__, mro_class_defs, constants,
+                             filename, kind=kind, dataflow=dataflow)
+    return context, "".join(sources)
+
+
+def _analyze_live(cls, base_class, kind, rules, dataflow):
+    context, source_text = _live_context(cls, base_class, kind, dataflow)
+    if context is None:
         return AnalysisReport(class_name=getattr(cls, "__name__", repr(cls)),
                               analyzed=False)
-    if not mro_class_defs:
-        return AnalysisReport(class_name=cls.__name__, analyzed=False)
 
-    context = _build_context(cls.__name__, mro_class_defs, constants, filename)
-    report = _run_rules(context, rules)
+    cache_key = None
     if rules is None:
-        _REPORT_CACHE[cls] = report
+        digest = hashlib.sha1(source_text.encode("utf-8")).hexdigest()
+        cache_key = (kind, cls.__module__, cls.__qualname__, digest, dataflow)
+        cached = _REPORT_CACHE.get(cache_key)
+        if cached is not None:
+            _REPORT_CACHE.move_to_end(cache_key)
+            return cached
+
+    report = _run_rules(context, rules)
+    if cache_key is not None:
+        _REPORT_CACHE[cache_key] = report
+        while len(_REPORT_CACHE) > _REPORT_CACHE_MAX:
+            _REPORT_CACHE.popitem(last=False)
     return report
+
+
+def analyze_computation(cls, rules=None, dataflow=True):
+    """Statically analyze a ``Computation`` subclass; returns a report.
+
+    Inherited methods are included (``BuggyRandomWalk`` is judged with the
+    ``RandomWalk.compute`` it actually runs). Classes whose source cannot
+    be located (built in ``exec``/REPL contexts) come back with
+    ``analyzed=False`` and no findings — the analyzer never blocks a run it
+    cannot see.
+    """
+    from repro.pregel.computation import Computation
+
+    return _analyze_live(cls, Computation, "computation", rules, dataflow)
+
+
+def analyze_combiner(cls, rules=None, dataflow=True):
+    """Statically analyze a ``MessageCombiner`` subclass (GL015)."""
+    from repro.pregel.combiners import MessageCombiner
+
+    return _analyze_live(cls, MessageCombiner, "combiner", rules, dataflow)
+
+
+def computation_context(cls, dataflow=True):
+    """The :class:`ClassContext` for a live class, or None if sourceless.
+
+    Exposed for ``repro lint --explain-cfg``, which renders CFGs and phase
+    facts straight off the context's dataflow bundles.
+    """
+    from repro.pregel.computation import Computation
+
+    context, _source = _live_context(cls, Computation, "computation", dataflow)
+    return context
 
 
 _MODULE_TREE_CACHE = {}
@@ -195,6 +335,34 @@ def _module_tree(module):
 #: users commonly extend.
 _KNOWN_COMPUTATION_BASES = {"Computation"}
 
+#: Base names that mark a class as a message combiner.
+_KNOWN_COMBINER_BASES = {
+    "MessageCombiner",
+    "SumCombiner",
+    "MinCombiner",
+    "MaxCombiner",
+}
+
+
+def _transitive_subclass_names(class_defs, known):
+    """Names in ``class_defs`` whose base chain reaches a ``known`` name."""
+    found = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, class_def in class_defs.items():
+            if name in found:
+                continue
+            for base in class_def.bases:
+                base_name = base.attr if isinstance(base, ast.Attribute) else (
+                    base.id if isinstance(base, ast.Name) else None
+                )
+                if base_name in known or base_name in found:
+                    found.add(name)
+                    changed = True
+                    break
+    return [name for name in class_defs if name in found]
+
 
 def _computation_class_names(tree):
     """Names of classes in ``tree`` that (transitively) look like vertex
@@ -212,57 +380,76 @@ def _computation_class_names(tree):
     except ImportError:  # pragma: no cover - algorithms always importable here
         pass
 
-    found = set()
-    changed = True
-    while changed:
-        changed = False
-        for name, class_def in class_defs.items():
-            if name in found:
-                continue
-            for base in class_def.bases:
-                base_name = base.attr if isinstance(base, ast.Attribute) else (
-                    base.id if isinstance(base, ast.Name) else None
-                )
-                if base_name in known or base_name in found:
-                    found.add(name)
-                    changed = True
-                    break
-    return [name for name in class_defs if name in found], class_defs
+    return _transitive_subclass_names(class_defs, known), class_defs
 
 
-def analyze_module_source(source, filename="<string>", rules=None):
+def _source_context(name, class_defs, constants_base, filename, kind,
+                    dataflow):
+    chain = []
+    cursor = class_defs[name]
+    while cursor is not None:
+        chain.append(cursor)
+        parent = None
+        for base in cursor.bases:
+            if isinstance(base, ast.Name) and base.id in class_defs:
+                candidate = class_defs[base.id]
+                if candidate not in chain:  # guard vs. base-name cycles
+                    parent = candidate
+                break
+        cursor = parent
+    mro_class_defs = [(cd, cd.name) for cd in reversed(chain)]
+    return _build_context(
+        name, mro_class_defs, dict(constants_base), filename,
+        kind=kind, dataflow=dataflow,
+    )
+
+
+def contexts_from_module_source(source, filename="<string>", dataflow=True):
+    """Build a :class:`ClassContext` per vertex-program / combiner class
+    found in raw source, without importing it."""
+    tree = ast.parse(source, filename=filename)
+    constants_base = _collect_constants(tree, {})
+    comp_names, class_defs = _computation_class_names(tree)
+    combiner_names = [
+        name
+        for name in _transitive_subclass_names(
+            class_defs, set(_KNOWN_COMBINER_BASES)
+        )
+        if name not in comp_names
+    ]
+
+    contexts = []
+    for name in comp_names:
+        contexts.append(_source_context(
+            name, class_defs, constants_base, filename, "computation",
+            dataflow,
+        ))
+    for name in combiner_names:
+        contexts.append(_source_context(
+            name, class_defs, constants_base, filename, "combiner", dataflow,
+        ))
+    return contexts
+
+
+def analyze_module_source(source, filename="<string>", rules=None,
+                          dataflow=True):
     """Analyze every vertex-program class in ``source`` without importing.
 
-    Returns ``[AnalysisReport, ...]``, one per detected class. Inheritance
+    Returns ``[AnalysisReport, ...]``, one per detected class (combiner
+    classes included, analyzed under the combiner rule pack). Inheritance
     is followed *within the module*; bases defined elsewhere contribute
     nothing (their methods are not visible in this source).
     """
-    tree = ast.parse(source, filename=filename)
-    constants_base = _collect_constants(tree, {})
-    names, class_defs = _computation_class_names(tree)
-
-    reports = []
-    for name in names:
-        chain = []
-        cursor = class_defs[name]
-        while cursor is not None:
-            chain.append(cursor)
-            parent = None
-            for base in cursor.bases:
-                if isinstance(base, ast.Name) and base.id in class_defs:
-                    parent = class_defs[base.id]
-                    break
-            cursor = parent
-        mro_class_defs = [(cd, cd.name) for cd in reversed(chain)]
-        context = _build_context(
-            name, mro_class_defs, dict(constants_base), filename
+    return [
+        _run_rules(context, rules)
+        for context in contexts_from_module_source(
+            source, filename=filename, dataflow=dataflow
         )
-        reports.append(_run_rules(context, rules))
-    return reports
+    ]
 
 
-def analyze_path(path, rules=None):
+def analyze_path(path, rules=None, dataflow=True):
     """Analyze a ``.py`` file on disk (see :func:`analyze_module_source`)."""
     with open(path, "r", encoding="utf-8") as handle:
         return analyze_module_source(handle.read(), filename=str(path),
-                                     rules=rules)
+                                     rules=rules, dataflow=dataflow)

@@ -17,6 +17,12 @@ ERROR = "error"
 WARNING = "warning"
 INFO = "info"
 
+# Confidence levels. ``proven`` findings are backed by a dataflow proof
+# (the property holds on *every* execution the CFG admits); ``likely``
+# findings are pattern matches that can misfire on unusual code.
+PROVEN = "proven"
+LIKELY = "likely"
+
 _SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
 
 
@@ -29,7 +35,7 @@ class GraftLintWarning(UserWarning):
 class Finding:
     """One static-analysis rule hit."""
 
-    rule_id: str          # "GL001" ... "GL008"
+    rule_id: str          # "GL001" ... "GL015"
     severity: str         # ERROR / WARNING / INFO
     message: str          # what is wrong, concretely
     class_name: str       # the Computation subclass analyzed
@@ -37,15 +43,26 @@ class Finding:
     filename: str         # source file (or "<string>")
     line: int             # 1-based line in `filename`
     hint: str = ""        # how to fix it
+    confidence: str = LIKELY   # PROVEN when backed by a dataflow proof
+    predicts: str = ""    # runtime evidence kind this finding forecasts
 
     def location(self):
         return f"{self.filename}:{self.line}"
 
+    @property
+    def proven(self):
+        return self.confidence == PROVEN
+
     def render(self):
+        tag = f"{self.severity} ({self.confidence})" if self.proven else (
+            self.severity
+        )
         text = (
-            f"{self.location()}: [{self.rule_id}] {self.severity}: "
+            f"{self.location()}: [{self.rule_id}] {tag}: "
             f"{self.class_name}.{self.method}: {self.message}"
         )
+        if self.predicts:
+            text += f"\n    predicts: {self.predicts} evidence at runtime"
         if self.hint:
             text += f"\n    hint: {self.hint}"
         return text
@@ -90,6 +107,10 @@ class AnalysisReport:
     @property
     def has_errors(self):
         return bool(self.errors)
+
+    @property
+    def proven_findings(self):
+        return [f for f in self.findings if f.confidence == PROVEN]
 
     def rule_ids(self):
         """The distinct rule ids hit, sorted."""

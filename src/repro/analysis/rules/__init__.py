@@ -1,8 +1,15 @@
 """The graft-lint rule pack.
 
 Each rule lives in its own module exposing ``RULE_ID``, ``SEVERITY``,
-``TITLE``, and ``check(context) -> iterable[Finding]``. The catalog (with
-before/after examples) is documented in ``docs/analysis.md``.
+``TITLE``, and ``check(context) -> iterable[Finding]``; rules that apply
+to message combiners instead of vertex programs declare
+``APPLIES_TO = "combiner"``. The catalog (with before/after examples) is
+documented in ``docs/analysis.md``.
+
+GL001–GL008 are pattern rules over method scopes. GL009–GL015 are the
+dataflow pack: they consume the CFG / reaching-definitions / interval
+analyses in :mod:`repro.analysis.dataflow` and can mark findings
+``proven`` when the property holds on every path.
 
 Summary:
 
@@ -17,6 +24,13 @@ GL005     warning   no halt path and no superstep bound (may never end)
 GL006     warning   aggregator read & written in the same ``compute``
 GL007     warning   fixed-width counters that wrap silently (Scenario 4.2)
 GL008     warning   non-strict min/max comparison admits ties (Scenario 4.1)
+GL009     error     local read before any assignment reaches it
+GL010     warning   send whose delivery phase is never read (proven)
+GL011     warning   message payloads of conflicting types
+GL012     warning   aggregator contributions of conflicting types
+GL013     error     fixed-width construction proven to wrap (upgrades GL007)
+GL014     error     CFG-proven absence of a halt path (upgrades GL005)
+GL015     error     statically non-commutative message combiner
 ========  ========  =====================================================
 """
 
@@ -29,6 +43,13 @@ from repro.analysis.rules import (
     gl006_aggregator_read_write,
     gl007_fixed_width_overflow,
     gl008_nonstrict_tiebreak,
+    gl009_use_before_def,
+    gl010_dead_send,
+    gl011_message_type_mismatch,
+    gl012_aggregator_type_conflict,
+    gl013_interval_overflow,
+    gl014_proven_no_halt,
+    gl015_noncommutative_combiner,
 )
 
 _RULE_MODULES = (
@@ -42,15 +63,36 @@ _RULE_MODULES = (
     gl008_nonstrict_tiebreak,
 )
 
+#: The dataflow pack — needs per-method CFG/interval analyses.
+_DATAFLOW_RULE_MODULES = (
+    gl009_use_before_def,
+    gl010_dead_send,
+    gl011_message_type_mismatch,
+    gl012_aggregator_type_conflict,
+    gl013_interval_overflow,
+    gl014_proven_no_halt,
+    gl015_noncommutative_combiner,
+)
 
-def all_rules():
-    """The registered rule modules, in rule-id order."""
+
+def all_rules(dataflow=True):
+    """The registered rule modules, in rule-id order.
+
+    ``dataflow=False`` restricts to the cheap pattern rules (GL001–GL008).
+    """
+    if dataflow:
+        return _RULE_MODULES + _DATAFLOW_RULE_MODULES
     return _RULE_MODULES
+
+
+def dataflow_rules():
+    """Just the dataflow pack (GL009–GL015)."""
+    return _DATAFLOW_RULE_MODULES
 
 
 def rule_catalog():
     """``{rule_id: (severity, title)}`` for docs and reporting."""
     return {
         module.RULE_ID: (module.SEVERITY, module.TITLE)
-        for module in _RULE_MODULES
+        for module in all_rules()
     }

@@ -1,0 +1,98 @@
+"""Shallow static type kinds for payload/contribution expressions.
+
+GL011/GL012 only need to tell *families* apart — a number vs. a string
+vs. a container — so the inference is deliberately coarse: literals,
+well-known constructors, and module constants resolve to a kind string;
+everything dynamic resolves to None ("unknown"), which never conflicts.
+"""
+
+import ast
+
+#: Call targets whose result is numeric.
+_NUMERIC_CALLS = {
+    "int", "float", "abs", "round", "len", "sum", "min", "max", "pow",
+    "Short16", "Int32", "Long64", "Byte8",
+    "superstep", "out_degree", "num_vertices", "num_edges", "random",
+    "aggregated_value",
+}
+
+_CONSTRUCTOR_KINDS = {
+    "str": "str",
+    "tuple": "tuple",
+    "list": "list",
+    "dict": "dict",
+    "set": "set",
+    "bool": "number",
+    "bytes": "bytes",
+}
+
+
+def value_kind(value):
+    """The kind of a resolved Python constant."""
+    if isinstance(value, bool):
+        return "number"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, bytes):
+        return "bytes"
+    if value is None:
+        return "none"
+    if isinstance(value, tuple):
+        return "tuple"
+    return None
+
+
+def expr_kind(node, context=None):
+    """The kind of an expression, or None when it cannot be pinned down.
+
+    ``context`` (a ClassContext) resolves module/class constants by name.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant):
+        return value_kind(node.value)
+    if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+        return "str"
+    if isinstance(node, ast.List):
+        return "list"
+    if isinstance(node, ast.Tuple):
+        return "tuple"
+    if isinstance(node, ast.Dict):
+        return "dict"
+    if isinstance(node, ast.Set):
+        return "set"
+    if isinstance(node, ast.UnaryOp):
+        if isinstance(node.op, (ast.USub, ast.UAdd)):
+            return expr_kind(node.operand, context)
+        if isinstance(node.op, ast.Not):
+            return "number"
+        return None
+    if isinstance(node, ast.BinOp):
+        left = expr_kind(node.left, context)
+        right = expr_kind(node.right, context)
+        if left == "number" and right == "number":
+            return "number"
+        return None  # str + str, seq * n, ... stay unknown rather than wrong
+    if isinstance(node, ast.IfExp):
+        body = expr_kind(node.body, context)
+        orelse = expr_kind(node.orelse, context)
+        return body if body == orelse else None
+    if isinstance(node, ast.Compare):
+        return "number"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in _NUMERIC_CALLS:
+            return "number"
+        if name in _CONSTRUCTOR_KINDS:
+            return _CONSTRUCTOR_KINDS[name]
+        return None
+    if isinstance(node, ast.Name) and context is not None:
+        value = context.resolve_constant(node)
+        if value is not None:
+            return value_kind(value)
+    return None

@@ -1,0 +1,68 @@
+"""GL009: a local read before any assignment can reach it.
+
+Reaching definitions over the method CFG, with a synthetic "undefined"
+definition entering at the function entry. A use reached *only* by that
+definition is a guaranteed ``UnboundLocalError`` the first time the
+statement executes — ``proven``. A use where the undefined definition
+survives alongside real ones (the variable is bound only inside one
+branch, or only inside a loop that may run zero times) is ``likely``:
+it blows up exactly when the unlucky path runs — for a vertex program,
+usually on the superstep where the message list comes up empty.
+"""
+
+from repro.analysis.dataflow.reachdef import UNDEF
+from repro.analysis.findings import ERROR, PROVEN, WARNING, Finding
+
+RULE_ID = "GL009"
+SEVERITY = ERROR
+TITLE = "local variable can be read before assignment"
+
+
+def check(context):
+    for scope in context.iter_scopes():
+        dataflow = context.dataflow(scope)
+        if dataflow is None:
+            continue
+        seen = set()
+        for name_node, defs in dataflow.reaching.uses_with_states():
+            if UNDEF not in defs:
+                continue
+            key = (scope.name, name_node.id, name_node.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            proven = defs == frozenset([UNDEF])
+            if proven:
+                message = (
+                    f"`{name_node.id}` is read at line {name_node.lineno} "
+                    "but no assignment reaches it on any path — this "
+                    "statement raises UnboundLocalError whenever it runs"
+                )
+                hint = (
+                    f"assign `{name_node.id}` before this point (or delete "
+                    "the dead read)"
+                )
+            else:
+                message = (
+                    f"`{name_node.id}` is read at line {name_node.lineno} "
+                    "but some path reaches the read without assigning it "
+                    "(bound only in one branch, or only inside a loop that "
+                    "can run zero times)"
+                )
+                hint = (
+                    f"initialize `{name_node.id}` before the branch/loop — "
+                    "an empty message list on one superstep is exactly the "
+                    "path that skips the assignment"
+                )
+            yield Finding(
+                rule_id=RULE_ID,
+                severity=ERROR if proven else WARNING,
+                message=message,
+                class_name=context.class_name,
+                method=scope.name,
+                filename=scope.filename,
+                line=name_node.lineno,
+                hint=hint,
+                confidence=PROVEN if proven else "likely",
+                predicts="exception" if proven else "",
+            )

@@ -1,0 +1,65 @@
+"""GL010: a send whose payload can never be observed.
+
+Messages sent in superstep ``s`` are delivered in ``s + 1``. The interval
+analysis stamps every send and every read of the ``messages`` parameter
+with the supersteps at which it can execute; a send whose shifted
+delivery interval misses *every* read interval produces messages nobody
+ever looks at. The finding is ``proven`` — the intervals over-approximate
+both sides, so an empty intersection holds on every real execution.
+
+Programs that never read ``messages`` at all are exempt: sending purely
+to re-activate halted neighbors is a legitimate Pregel idiom, and the
+never-reads case carries no phase contradiction to prove.
+"""
+
+from repro.analysis.dataflow.phases import delivery_interval, join_intervals
+from repro.analysis.findings import PROVEN, WARNING, Finding
+
+RULE_ID = "GL010"
+SEVERITY = WARNING
+TITLE = "message sent in a phase whose delivery is never read"
+
+
+def check(context):
+    scope = context.scope("compute")
+    if scope is None:
+        return
+    dataflow = context.dataflow(scope)
+    if dataflow is None:
+        return
+    phases = dataflow.phases
+    if not phases.message_reads:
+        return  # activation-only sends are legitimate
+    read_hull = join_intervals(phases.read_intervals())
+
+    for fact in phases.sends:
+        if not fact.reachable:
+            continue  # dead code; GL014/unreachable reporting covers it
+        delivered = delivery_interval(fact.interval)
+        if read_hull is not None and delivered.meet(read_hull) is not None:
+            continue
+        reads_at = (
+            f"messages are only read at supersteps {read_hull!r}"
+            if read_hull is not None
+            else "every read of `messages` sits on a dead path"
+        )
+        yield Finding(
+            rule_id=RULE_ID,
+            severity=SEVERITY,
+            message=(
+                f"the send at line {fact.line} fires at supersteps "
+                f"{fact.interval!r}, so its messages arrive at "
+                f"{delivered!r} — but {reads_at}; the payload can never "
+                "be observed"
+            ),
+            class_name=context.class_name,
+            method=scope.name,
+            filename=scope.filename,
+            line=fact.line,
+            hint=(
+                "align the sending phase with the reading phase (off-by-"
+                "one superstep guards are the usual culprit), or drop the "
+                "send"
+            ),
+            confidence=PROVEN,
+        )

@@ -1,0 +1,67 @@
+"""GL011: message payloads of conflicting types.
+
+All messages for a vertex land in one inbox; a ``compute`` that sums them
+cannot digest a stray string. The rule infers a shallow type kind for the
+payload of every send site across the class (including helper methods)
+and flags the class when two sites provably send different kinds —
+numbers from one phase, strings from another is the classic copy-paste
+phase bug. Sites whose payload kind cannot be pinned down never conflict.
+"""
+
+from repro.analysis.findings import WARNING, Finding
+from repro.analysis.rules._typekinds import expr_kind
+
+RULE_ID = "GL011"
+SEVERITY = WARNING
+TITLE = "message payloads of conflicting types"
+
+
+def _payload(call):
+    tail = call.target.rsplit(".", 1)[-1]
+    args = call.node.args
+    if tail == "send_message":
+        return args[1] if len(args) > 1 else None
+    return args[0] if args else None
+
+
+def check(context):
+    sites = []  # (kind, line, method)
+    for scope in context.iter_scopes():
+        for call in scope.ctx_calls(
+            "send_message", "send_message_to_all_neighbors"
+        ):
+            kind = expr_kind(_payload(call), context)
+            if kind is not None:
+                sites.append((kind, call.line, scope.name))
+
+    kinds = sorted({kind for kind, _line, _method in sites})
+    if len(kinds) < 2:
+        return
+
+    by_kind = {
+        kind: next(site for site in sites if site[0] == kind)
+        for kind in kinds
+    }
+    detail = ", ".join(
+        f"{kind} at line {line} ({method})"
+        for kind, (_k, line, method) in sorted(by_kind.items())
+    )
+    first = min(sites, key=lambda site: site[1])
+    yield Finding(
+        rule_id=RULE_ID,
+        severity=SEVERITY,
+        message=(
+            f"`{context.class_name}` sends message payloads of "
+            f"conflicting types: {detail}; every vertex reads one shared "
+            "inbox, so mixed kinds break any uniform fold over `messages`"
+        ),
+        class_name=context.class_name,
+        method=first[2],
+        filename=context.scope(first[2]).filename,
+        line=first[1],
+        hint=(
+            "send one payload shape everywhere (wrap per-phase data in a "
+            "tagged tuple if phases genuinely differ)"
+        ),
+        predicts="exception",
+    )

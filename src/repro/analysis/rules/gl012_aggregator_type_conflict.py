@@ -1,0 +1,60 @@
+"""GL012: one aggregator fed contributions of conflicting types.
+
+An aggregator folds every contribution with one operator; feeding it a
+number from one call site and a string from another dies inside the
+master's fold, far from either call site. The rule resolves the
+aggregator name at each ``ctx.aggregate(name, value)`` site (literal or
+module/class constant) and flags names whose contribution kinds disagree.
+"""
+
+from repro.analysis.findings import WARNING, Finding
+from repro.analysis.rules._typekinds import expr_kind
+
+RULE_ID = "GL012"
+SEVERITY = WARNING
+TITLE = "aggregator contributions of conflicting types"
+
+
+def check(context):
+    by_name = {}  # aggregator name -> [(kind, line, method), ...]
+    for scope in context.iter_scopes():
+        for call in scope.ctx_calls("aggregate"):
+            args = call.node.args
+            if len(args) < 2:
+                continue
+            name = context.resolve_constant(args[0])
+            if not isinstance(name, str):
+                continue
+            kind = expr_kind(args[1], context)
+            if kind is not None:
+                by_name.setdefault(name, []).append(
+                    (kind, call.line, scope.name)
+                )
+
+    for name, sites in sorted(by_name.items()):
+        kinds = sorted({kind for kind, _line, _method in sites})
+        if len(kinds) < 2:
+            continue
+        detail = ", ".join(
+            f"{kind} at line {line} ({method})"
+            for kind, line, method in sorted(sites, key=lambda s: s[1])
+        )
+        first = min(sites, key=lambda site: site[1])
+        yield Finding(
+            rule_id=RULE_ID,
+            severity=SEVERITY,
+            message=(
+                f"aggregator '{name}' receives contributions of "
+                f"conflicting types: {detail}; the fold operator cannot "
+                "combine them"
+            ),
+            class_name=context.class_name,
+            method=first[2],
+            filename=context.scope(first[2]).filename,
+            line=first[1],
+            hint=(
+                f"make every `aggregate('{name}', ...)` contribute the "
+                "same type, or split the traffic across two aggregators"
+            ),
+            predicts="exception",
+        )

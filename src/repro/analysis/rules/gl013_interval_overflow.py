@@ -1,0 +1,82 @@
+"""GL013: a fixed-width value built from an interval outside its range.
+
+GL007 flags every ``Short16``/``Int32``/``Long64``/``Byte8`` construction
+site as a conscious-decision checkpoint. This rule does the arithmetic:
+the interval analysis evaluates the constructor argument at its exact
+program point, and
+
+- if the whole interval falls outside the representable range, the value
+  wraps on *every* execution that reaches the site — ``proven``, error
+  severity, and it supersedes GL007's generic warning on that line;
+- if the interval is finite but pokes past either end, the value wraps on
+  some executions — ``likely``, warning severity.
+
+Arguments the analysis cannot bound (most runtime data) yield nothing;
+GL007's blanket warning still covers those sites.
+"""
+
+from repro.analysis.dataflow.intervals import FIXED_WIDTH_RANGES, Interval
+from repro.analysis.findings import ERROR, LIKELY, PROVEN, WARNING, Finding
+
+RULE_ID = "GL013"
+SEVERITY = ERROR
+TITLE = "fixed-width construction proven (or likely) to wrap"
+
+
+def check(context):
+    for scope in context.iter_scopes(include_init=True):
+        dataflow = context.dataflow(scope)
+        if dataflow is None:
+            continue
+        sends = scope.ctx_calls("send_message", "send_message_to_all_neighbors")
+        predicts = "message" if sends else "vertex_value"
+        for call in scope.calls:
+            type_name = call.target.rsplit(".", 1)[-1]
+            if type_name not in FIXED_WIDTH_RANGES or not call.node.args:
+                continue
+            status, state = dataflow.site_state(call.node)
+            if status != "ok":
+                continue
+            arg = dataflow.intervals.eval(call.node.args[0], state)
+            lo, hi = FIXED_WIDTH_RANGES[type_name]
+            width = Interval(lo, hi)
+            if not arg.intersects(width):
+                proven = True
+            elif arg.is_bounded and (arg.hi > hi or arg.lo < lo):
+                proven = False
+            else:
+                continue
+            if proven:
+                message = (
+                    f"{type_name}({_short(arg)}) always wraps: the "
+                    f"argument's proven range {arg!r} lies entirely "
+                    f"outside [{lo}, {hi}] — every execution reaching "
+                    f"line {call.line} produces a corrupted value"
+                )
+            else:
+                message = (
+                    f"{type_name}({_short(arg)}) can wrap: the argument "
+                    f"ranges over {arg!r}, which exceeds [{lo}, {hi}] — "
+                    "the paper's Scenario 4.2 silent-overflow bug"
+                )
+            yield Finding(
+                rule_id=RULE_ID,
+                severity=ERROR if proven else WARNING,
+                message=message,
+                class_name=context.class_name,
+                method=scope.name,
+                filename=scope.filename,
+                line=call.line,
+                hint=(
+                    "use a plain (unbounded) int, or widen the type until "
+                    "the proven range fits"
+                ),
+                confidence=PROVEN if proven else LIKELY,
+                predicts=predicts if proven else "",
+            )
+
+
+def _short(interval):
+    if interval.is_point:
+        return repr(interval.lo)
+    return "..."

@@ -1,0 +1,98 @@
+"""GL014: a CFG-proven absence of any halt path.
+
+GL005 pattern-matches "no visible termination mechanism" and stays a
+warning because it cannot see control flow. This rule can: with the CFG
+and the superstep intervals it proves either that
+
+- every ``vote_to_halt()`` call site in the class sits on a statically
+  dead path (an unreachable block, or a branch the interval analysis
+  proved never taken — ``if ctx.superstep < 0: ctx.vote_to_halt()``), or
+- no halt site exists at all (and no aggregator can drive a master halt,
+  and no superstep bound shapes the program).
+
+Either way no execution ever reaches a halt: every vertex stays active
+forever and the run terminates only by exhausting ``max_supersteps`` —
+the finding predicts ``nontermination`` evidence and supersedes GL005.
+
+Anything the analysis cannot resolve (a halt reached through a dynamic
+call, an unresolvable helper) counts as reachable, so a ``proven``
+finding here is sound: it never fires on a program that can halt.
+"""
+
+from repro.analysis.findings import ERROR, PROVEN, Finding
+from repro.analysis.rules.gl005_no_halt_path import _compares_superstep
+
+RULE_ID = "GL014"
+SEVERITY = ERROR
+TITLE = "no execution can reach vote_to_halt (proven)"
+
+
+def check(context):
+    compute = context.scope("compute")
+    if compute is None:
+        return
+
+    halt_sites = []  # (scope, call, reachable)
+    superstep_bounded = False
+    for scope in context.iter_scopes():
+        if scope.calls_to("aggregate", "aggregated_value"):
+            return  # a master computation can drive the halt
+        if _compares_superstep(scope):
+            superstep_bounded = True
+        halts = scope.calls_to("vote_to_halt")
+        if not halts:
+            continue
+        dataflow = context.dataflow(scope)
+        if dataflow is None:
+            return  # cannot prove anything about this method
+        for call in halts:
+            status, _state = dataflow.site_state(call.node)
+            if status != "dead":
+                return  # reachable (or unresolvable) halt: no proof
+            halt_sites.append((scope, call))
+
+    if halt_sites:
+        lines = ", ".join(
+            f"line {call.line} ({scope.name})" for scope, call in halt_sites
+        )
+        message = (
+            f"every vote_to_halt() in `{context.class_name}` sits on a "
+            f"statically dead path ({lines}); no execution can ever halt "
+            "a vertex, so the run only ends by exhausting max_supersteps"
+        )
+        hint = (
+            "the guard around vote_to_halt() contradicts itself (check "
+            "the superstep comparison) — no vertex will ever satisfy it"
+        )
+        anchor_scope, anchor_call = halt_sites[0]
+        line = anchor_call.line
+        method = anchor_scope.name
+        filename = anchor_scope.filename
+    else:
+        if superstep_bounded:
+            return  # phase-shaped code without halts: GL005 territory
+        message = (
+            f"`{context.class_name}` never calls vote_to_halt() and "
+            "exchanges no aggregator values: proven — every vertex stays "
+            "active on every superstep and the run cannot converge"
+        )
+        hint = (
+            "halt converged vertices with ctx.vote_to_halt(), or have a "
+            "master computation halt the job through an aggregator"
+        )
+        line = compute.line
+        method = "compute"
+        filename = compute.filename
+
+    yield Finding(
+        rule_id=RULE_ID,
+        severity=SEVERITY,
+        message=message,
+        class_name=context.class_name,
+        method=method,
+        filename=filename,
+        line=line,
+        hint=hint,
+        confidence=PROVEN,
+        predicts="nontermination",
+    )

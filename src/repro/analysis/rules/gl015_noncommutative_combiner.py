@@ -1,0 +1,182 @@
+"""GL015: a message combiner that is not commutative.
+
+Combiners fold message streams in whatever order the engine merges them;
+``combine(first, second)`` must therefore be commutative (and ideally
+associative) or different merge orders produce different inboxes — runs
+stop being reproducible and replay diverges from the recorded outcome.
+
+Statically decidable cases:
+
+- ``return first - second`` (or ``/``, ``//``, ``%``, ``**``, ``<<``,
+  ``>>`` on the two parameters) — ``proven`` non-commutative;
+- ``return first`` / ``return second`` — an order-dependent projection,
+  and any body that never reads one of the two parameters — ``likely``.
+
+This rule applies to combiner classes (``APPLIES_TO = "combiner"``); the
+engine routes ``MessageCombiner`` subclasses here via
+:func:`repro.analysis.engine.analyze_combiner`.
+"""
+
+import ast
+
+from repro.analysis.dataflow.reachdef import iter_immediate_nodes
+from repro.analysis.findings import ERROR, LIKELY, PROVEN, WARNING, Finding
+
+RULE_ID = "GL015"
+SEVERITY = ERROR
+TITLE = "message combiner is not commutative"
+APPLIES_TO = "combiner"
+
+_NONCOMMUTATIVE_OPS = {
+    ast.Sub: "-",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+    ast.LShift: "<<",
+    ast.RShift: ">>",
+}
+
+
+def check(context):
+    scope = context.scope("combine")
+    if scope is None:
+        return
+    func = scope.node
+    params = [a.arg for a in func.args.args][1:]  # drop self
+    if len(params) != 2:
+        return
+    first, second = params
+
+    returns = [
+        node
+        for node in iter_immediate_nodes(func)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    if not returns:
+        return
+
+    finding = None
+    if len(returns) == 1:
+        finding = _classify_single(returns[0], first, second, context, scope)
+    if finding is None:
+        finding = _classify_any(returns, first, second, context, scope)
+    if finding is not None:
+        yield finding
+
+
+def _classify_single(ret, first, second, context, scope):
+    expr = ret.value
+    op_symbol = _noncommutative_binop(expr, first, second)
+    if op_symbol is not None:
+        return _finding(
+            context, scope, ret.lineno,
+            message=(
+                f"combine() returns `{_unparse(expr)}` — `{op_symbol}` is "
+                "not commutative, so the folded value depends on merge "
+                "order and identical runs can produce different inboxes"
+            ),
+            hint=(
+                "use a commutative, associative fold (sum, min, max) or "
+                "drop the combiner and handle messages in compute()"
+            ),
+            confidence=PROVEN,
+            severity=ERROR,
+        )
+    if isinstance(expr, ast.Name) and expr.id in (first, second):
+        return _finding(
+            context, scope, ret.lineno,
+            message=(
+                f"combine() returns `{expr.id}` unconditionally — an "
+                "order-dependent projection that keeps whichever message "
+                "happened to arrive in that slot"
+            ),
+            hint=(
+                "pick the survivor by value (min/max) instead of by "
+                "argument position"
+            ),
+            confidence=LIKELY,
+            severity=WARNING,
+        )
+    used = _names_used(expr)
+    if (first in used) != (second in used):
+        ignored = second if first in used else first
+        return _finding(
+            context, scope, ret.lineno,
+            message=(
+                f"combine() never reads `{ignored}` on its return path — "
+                "half the message stream is silently dropped, and which "
+                "half depends on merge order"
+            ),
+            hint="fold both arguments into the result",
+            confidence=LIKELY,
+            severity=WARNING,
+        )
+    return None
+
+
+def _classify_any(returns, first, second, context, scope):
+    for ret in returns:
+        op_symbol = _noncommutative_binop(ret.value, first, second)
+        if op_symbol is not None:
+            return _finding(
+                context, scope, ret.lineno,
+                message=(
+                    f"a return path of combine() computes "
+                    f"`{_unparse(ret.value)}` — `{op_symbol}` is not "
+                    "commutative, so merge order can change the result on "
+                    "that path"
+                ),
+                hint=(
+                    "make every return path a commutative fold of both "
+                    "arguments"
+                ),
+                confidence=LIKELY,
+                severity=WARNING,
+            )
+    return None
+
+
+def _noncommutative_binop(expr, first, second):
+    if not isinstance(expr, ast.BinOp):
+        return None
+    symbol = _NONCOMMUTATIVE_OPS.get(type(expr.op))
+    if symbol is None:
+        return None
+    names = set()
+    for side in (expr.left, expr.right):
+        if isinstance(side, ast.Name):
+            names.add(side.id)
+    if names == {first, second}:
+        return symbol
+    return None
+
+
+def _names_used(expr):
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def _unparse(expr):
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+
+
+def _finding(context, scope, line, message, hint, confidence, severity):
+    return Finding(
+        rule_id=RULE_ID,
+        severity=severity,
+        message=message,
+        class_name=context.class_name,
+        method="combine",
+        filename=scope.filename,
+        line=line,
+        hint=hint,
+        confidence=confidence,
+        predicts="replay_divergence" if confidence == PROVEN else "",
+    )

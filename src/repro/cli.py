@@ -371,7 +371,27 @@ def cmd_debug(args, out):
 # -- lint -----------------------------------------------------------------
 
 
-def _lint_targets(tokens):
+def _lint_module_classes(token):
+    """Every Computation subclass a module defines or re-exports."""
+    import importlib
+
+    from repro.pregel.computation import Computation
+
+    module = importlib.import_module(token)
+    return sorted(
+        {
+            obj
+            for obj in vars(module).values()
+            if isinstance(obj, type)
+            and issubclass(obj, Computation)
+            and obj is not Computation
+            and obj.__module__.startswith(module.__name__)
+        },
+        key=lambda cls: cls.__name__,
+    )
+
+
+def _lint_targets(tokens, dataflow=True):
     """Resolve lint targets into ``(label, [AnalysisReport, ...])`` pairs.
 
     A target is ``module:Class`` (one class), ``module`` (every Computation
@@ -382,36 +402,55 @@ def _lint_targets(tokens):
     import os
 
     from repro.analysis import analyze_computation, analyze_path
-    from repro.pregel.computation import Computation
 
     for token in tokens:
         if token.endswith(".py") or os.sep in token:
-            yield token, analyze_path(token)
+            yield token, analyze_path(token, dataflow=dataflow)
         elif ":" in token:
             module_name, class_name = token.split(":", 1)
             module = importlib.import_module(module_name)
-            yield token, [analyze_computation(getattr(module, class_name))]
+            yield token, [
+                analyze_computation(
+                    getattr(module, class_name), dataflow=dataflow
+                )
+            ]
         else:
-            module = importlib.import_module(token)
-            classes = sorted(
-                {
-                    obj
-                    for obj in vars(module).values()
-                    if isinstance(obj, type)
-                    and issubclass(obj, Computation)
-                    and obj is not Computation
-                    and obj.__module__.startswith(module.__name__)
-                },
-                key=lambda cls: cls.__name__,
-            )
-            yield token, [analyze_computation(cls) for cls in classes]
+            yield token, [
+                analyze_computation(cls, dataflow=dataflow)
+                for cls in _lint_module_classes(token)
+            ]
+
+
+def _explain_contexts(tokens):
+    """Resolve lint targets into ``(label, ClassContext)`` pairs for
+    ``--explain-cfg``."""
+    import importlib
+    import os
+
+    from repro.analysis import computation_context, contexts_from_module_source
+
+    for token in tokens:
+        if token.endswith(".py") or os.sep in token:
+            with open(token, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            for context in contexts_from_module_source(source, token):
+                yield token, context
+        elif ":" in token:
+            module_name, class_name = token.split(":", 1)
+            module = importlib.import_module(module_name)
+            yield token, computation_context(getattr(module, class_name))
+        else:
+            for cls in _lint_module_classes(token):
+                yield token, computation_context(cls)
 
 
 def cmd_lint(args, out):
     import json
 
+    if args.explain_cfg:
+        return _cmd_lint_explain(args, out)
     try:
-        resolved = list(_lint_targets(args.targets))
+        resolved = list(_lint_targets(args.targets, dataflow=args.dataflow))
     except (ImportError, AttributeError, OSError, SyntaxError) as exc:
         out(f"lint: cannot resolve target: {exc}")
         return 1
@@ -433,6 +472,30 @@ def cmd_lint(args, out):
     if errors:
         return 1
     return 2 if findings else 0
+
+
+def _cmd_lint_explain(args, out):
+    """Render each target's CFG and interval-stamped phase facts."""
+    try:
+        resolved = list(_explain_contexts(args.targets))
+    except (ImportError, AttributeError, OSError, SyntaxError) as exc:
+        out(f"lint: cannot resolve target: {exc}")
+        return 1
+    rendered = 0
+    for label, context in resolved:
+        if context is None:
+            out(f"lint: no source available for {label}")
+            continue
+        out(f"=== {context.class_name} ({label}) ===")
+        for scope in context.iter_scopes():
+            flow = context.dataflow(scope)
+            if flow is None:
+                out(f"method {context.class_name}.{scope.name}: "
+                    "dataflow unavailable")
+                continue
+            out(flow.explain())
+            rendered += 1
+    return 0 if rendered else 1
 
 
 def cmd_chaos(args, out):
@@ -649,7 +712,7 @@ def build_parser():
 
     lint_parser = sub.add_parser(
         "lint",
-        help="statically analyze vertex programs (graft-lint, GL001-GL008)",
+        help="statically analyze vertex programs (graft-lint, GL001-GL015)",
     )
     lint_parser.add_argument(
         "targets", nargs="+", metavar="TARGET",
@@ -658,6 +721,19 @@ def build_parser():
     )
     lint_parser.add_argument("--format", choices=("text", "json"),
                              default="text")
+    lint_parser.add_argument(
+        "--dataflow", dest="dataflow", action="store_true", default=True,
+        help="run the CFG/interval dataflow pack GL009-GL015 (default)",
+    )
+    lint_parser.add_argument(
+        "--no-dataflow", dest="dataflow", action="store_false",
+        help="restrict to the cheap pattern rules GL001-GL008",
+    )
+    lint_parser.add_argument(
+        "--explain-cfg", action="store_true",
+        help="instead of findings, render each method's control-flow "
+             "graph and interval-stamped phase facts",
+    )
 
     trace_parser = sub.add_parser(
         "trace", help="inspect exported trace directories"

@@ -419,6 +419,39 @@ class DebugRun:
 
         return ViolationsView(self.reader, lint_report=self.lint_report)
 
+    def observed_evidence_kinds(self):
+        """The runtime evidence kinds this run actually produced.
+
+        Constraint-violation kinds from the trace, plus ``"exception"``
+        when any compute() raised, plus ``"nontermination"`` when the run
+        only ended by exhausting ``max_supersteps`` — the vocabulary the
+        static analyzer's ``predicts`` forecasts are graded against.
+        """
+        from repro.pregel import halting
+
+        kinds = {violation.kind for violation in self.violations()}
+        if self.exceptions():
+            kinds.add("exception")
+        if (
+            self.result is not None
+            and self.result.halt_reason == halting.MAX_SUPERSTEPS
+        ):
+            kinds.add("nontermination")
+        return sorted(kinds)
+
+    def prediction_score(self):
+        """Grade the pre-flight lint's proven forecasts against this run.
+
+        See :func:`repro.analysis.score_predictions` — precision is over
+        the proven findings' ``predicts`` kinds, recall over the observed
+        evidence the analyzer had a chance to predict.
+        """
+        from repro.analysis import score_predictions
+
+        return score_predictions(
+            self.lint_report, self.observed_evidence_kinds()
+        )
+
     def explain_violation(self, violation):
         """Static findings that predicted ``violation``'s kind, if any.
 
@@ -510,11 +543,13 @@ def debug_job(
     )
 
 
-def _preflight_lint(computation_factory, lint, strict):
+def _preflight_lint(computation_factory, lint, strict, combiner=None):
     """Run graft-lint on the computation class before instrumenting.
 
     Returns the :class:`~repro.analysis.AnalysisReport` (or None when
-    linting is off or the class cannot be analyzed). ``strict=True`` turns
+    linting is off or the class cannot be analyzed). A message combiner,
+    when the run uses one, is analyzed too (GL015 non-commutativity) and
+    its findings are merged into the same report. ``strict=True`` turns
     error-severity findings into a :class:`StaticAnalysisError` — the
     program is refused before any superstep executes; otherwise errors are
     surfaced as a :class:`~repro.analysis.GraftLintWarning`.
@@ -522,12 +557,33 @@ def _preflight_lint(computation_factory, lint, strict):
     if lint is False:
         return None
     try:
-        from repro.analysis import GraftLintWarning, analyze_computation
+        from repro.analysis import (
+            GraftLintWarning,
+            analyze_combiner,
+            analyze_computation,
+        )
 
         cls = computation_factory
         if not isinstance(cls, type):
             cls = type(computation_factory())
         report = analyze_computation(cls)
+        if combiner is not None:
+            combiner_cls = combiner if isinstance(combiner, type) else (
+                type(combiner)
+            )
+            combiner_report = analyze_combiner(combiner_cls)
+            if combiner_report.analyzed and combiner_report.findings:
+                # analyze_computation may have returned a cached report;
+                # merge into a fresh one rather than mutating the cache.
+                from repro.analysis import AnalysisReport
+
+                report = AnalysisReport(
+                    class_name=report.class_name,
+                    filename=report.filename,
+                    findings=list(report.findings)
+                    + list(combiner_report.findings),
+                    analyzed=report.analyzed,
+                ).sort()
     except StaticAnalysisError:
         raise
     except Exception:  # noqa: BLE001 - lint must never break a debug run
@@ -584,7 +640,10 @@ def debug_run(
     from repro.graft.instrumenter import instrument
     from repro.simfs.filesystem import SimFileSystem
 
-    lint_report = _preflight_lint(computation_factory, lint, strict)
+    lint_report = _preflight_lint(
+        computation_factory, lint, strict,
+        combiner=engine_kwargs.get("combiner"),
+    )
     if filesystem is None:
         filesystem = SimFileSystem()
     if job_id is None:

@@ -28,6 +28,10 @@ class FidelityReport:
     #: replayed faithfully even though some were captured twice.
     rollback_count: int = 0
     recovered_supersteps: int = 0
+    #: How the lint pass's *proven* forecasts fared against the run's
+    #: observed evidence (a :class:`~repro.analysis.PredictionScore`, or
+    #: None when the run carries no lint report).
+    prediction_score: object = None
 
     @property
     def ok(self):
@@ -40,9 +44,15 @@ class FidelityReport:
             if self.rollback_count
             else ""
         )
+        score = ""
+        if self.prediction_score is not None and (
+            self.prediction_score.predicted or self.prediction_score.observed
+        ):
+            score = f"; {self.prediction_score.summary()}"
         if self.ok:
             return (
-                f"all {self.total} captured contexts replay faithfully{recovery}"
+                f"all {self.total} captured contexts replay faithfully"
+                f"{recovery}{score}"
             )
         text = (
             f"{self.faithful}/{self.total} faithful; divergent: "
@@ -54,7 +64,7 @@ class FidelityReport:
         if self.predicted_by:
             rule_ids = sorted({f.rule_id for f in self.predicted_by})
             text += f" — predicted by static analysis: {', '.join(rule_ids)}"
-        return text + recovery
+        return text + recovery + score
 
 
 def verify_run_fidelity(run, computation_factory=None, limit=None):
@@ -86,4 +96,14 @@ def verify_run_fidelity(run, computation_factory=None, limit=None):
         report.predicted_by = predicted_findings(
             getattr(run, "lint_report", None), "replay_divergence"
         )
+    if getattr(run, "lint_report", None) is not None:
+        # Grade the proven static forecasts against everything this run
+        # actually produced (violations, exceptions, nontermination —
+        # plus replay divergence if the loop above found any).
+        from repro.analysis import score_predictions
+
+        observed = set(run.observed_evidence_kinds())
+        if report.unfaithful:
+            observed.add("replay_divergence")
+        report.prediction_score = score_predictions(run.lint_report, observed)
     return report

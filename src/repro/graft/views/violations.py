@@ -80,6 +80,9 @@ class ViolationsView:
             if include_tracebacks:
                 lines.extend("      " + t for t in traceback_text.splitlines())
         lines.extend(self._lint_predictions(violation_rows))
+        score_line = self._prediction_score_line(violation_rows, exception_rows)
+        if score_line:
+            lines.append(score_line)
         return "\n".join(lines)
 
     def _lint_predictions(self, violation_rows):
@@ -94,3 +97,17 @@ class ViolationsView:
             if note:
                 lines.append(f"  [{kind}] {note}")
         return lines
+
+    def _prediction_score_line(self, violation_rows, exception_rows):
+        """Score the lint pass's proven forecasts against this table."""
+        if self._lint_report is None:
+            return ""
+        from repro.analysis import score_predictions
+
+        observed = {kind for _v, _s, kind, _d in violation_rows}
+        if exception_rows:
+            observed.add("exception")
+        score = score_predictions(self._lint_report, observed)
+        if not score.predicted and not score.observed:
+            return ""
+        return f"  proven static forecasts: {score.summary()}"

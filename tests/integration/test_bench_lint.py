@@ -1,0 +1,43 @@
+"""Opt-in wrapper around scripts/bench_lint.py.
+
+Skipped by default so tier-1 stays fast and timing-free; run it with::
+
+    RUN_BENCH_LINT=1 PYTHONPATH=src python -m pytest -m bench_lint \
+        tests/integration/test_bench_lint.py -q
+
+(or run the script directly — it is the same code path).
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+pytestmark = [
+    pytest.mark.bench_lint,
+    pytest.mark.skipif(
+        not os.environ.get("RUN_BENCH_LINT"),
+        reason="timing-sensitive benchmark; set RUN_BENCH_LINT=1 to run",
+    ),
+]
+
+_SCRIPTS = os.path.join(os.path.dirname(__file__), "..", "..", "scripts")
+
+
+def test_bench_lint_gates(tmp_path):
+    sys.path.insert(0, os.path.abspath(_SCRIPTS))
+    try:
+        import bench_lint
+    finally:
+        sys.path.pop(0)
+
+    output = tmp_path / "BENCH_lint.json"
+    status = bench_lint.main(["--quick", "--output", str(output)])
+    report = json.loads(output.read_text())
+    assert report["gates"]["passed"], report["gates"]["failures"]
+    assert status == 0
+    assert report["cold_full_corpus_seconds"] < report["gates"][
+        "cold_seconds_ceiling"
+    ]
+    assert report["corpus"]["algorithm_classes"] > 5

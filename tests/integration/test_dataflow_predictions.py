@@ -1,0 +1,137 @@
+"""End-to-end: proven static forecasts graded against real debug runs.
+
+Two seeded-buggy computations whose defects the dataflow pack *proves*
+ahead of execution — a fixed-width counter that always wraps (GL013,
+predicts ``message`` evidence) and a program with no halt path (GL014,
+predicts ``nontermination``). Each runs under ``debug_run`` and the
+prediction score must come back perfect: every proven forecast observed,
+every predictable observation forecast.
+"""
+
+import pytest
+
+from repro.analysis import PROVEN, GraftLintWarning
+from repro.graft import debug_run, verify_run_fidelity
+from repro.graft.constraint_library import NonNegativeMessages
+from repro.graph import GraphBuilder
+from repro.pregel import Computation
+from repro.pregel.value_types import Short16
+
+
+def ring_graph(n=4):
+    return GraphBuilder(directed=False).cycle(*range(n)).build()
+
+
+class WrappingBroadcaster(Computation):
+    """Seeded bug: Short16(40000) wraps to -25536 on every execution."""
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(Short16(40000))
+        else:
+            ctx.set_value(sum(m.value for m in messages))
+            ctx.vote_to_halt()
+
+
+class NeverHalts(Computation):
+    """Seeded bug: no vote_to_halt on any path, no superstep bound."""
+
+    def compute(self, ctx, messages):
+        ctx.send_message(ctx.vertex_id, ctx.superstep)
+
+
+class TestProvenOverflowPrediction:
+    @pytest.fixture
+    def run(self):
+        with pytest.warns(GraftLintWarning):
+            return debug_run(
+                WrappingBroadcaster,
+                ring_graph(),
+                NonNegativeMessages(),
+                seed=1,
+            )
+
+    def test_lint_proved_the_wrap_before_running(self, run):
+        (finding,) = run.lint_report.by_rule("GL013")
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "message"
+        assert run.lint_report.by_rule("GL007") == []   # superseded
+
+    def test_run_produces_the_predicted_evidence(self, run):
+        assert run.violations()
+        assert "message" in run.observed_evidence_kinds()
+
+    def test_prediction_score_is_perfect(self, run):
+        score = run.prediction_score()
+        assert score.predicted == ("message",)
+        assert score.matched == ("message",)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_fidelity_report_carries_the_score(self, run):
+        report = verify_run_fidelity(run)
+        assert report.ok
+        assert report.prediction_score is not None
+        assert report.prediction_score.precision == 1.0
+        assert report.prediction_score.recall == 1.0
+        assert "forecast" in report.summary() or "predict" in (
+            report.prediction_score.summary()
+        )
+
+    def test_violations_view_reports_the_forecast(self, run):
+        text = run.violations_view().render()
+        assert "proven static forecasts" in text
+
+
+class TestProvenNoHaltPrediction:
+    @pytest.fixture
+    def run(self):
+        with pytest.warns(GraftLintWarning):
+            return debug_run(
+                NeverHalts,
+                ring_graph(),
+                NonNegativeMessages(),
+                seed=1,
+                max_supersteps=5,
+            )
+
+    def test_lint_proved_no_halt_path(self, run):
+        (finding,) = run.lint_report.by_rule("GL014")
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "nontermination"
+        assert run.lint_report.by_rule("GL005") == []   # superseded
+
+    def test_run_exhausts_its_superstep_budget(self, run):
+        assert run.result is not None
+        assert "nontermination" in run.observed_evidence_kinds()
+
+    def test_prediction_score_is_perfect(self, run):
+        score = run.prediction_score()
+        assert score.predicted == ("nontermination",)
+        assert score.matched == ("nontermination",)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_fidelity_report_carries_the_score(self, run):
+        report = verify_run_fidelity(run)
+        assert report.ok
+        assert report.prediction_score is not None
+        assert report.prediction_score.recall == 1.0
+
+
+class TestCleanRunScoresClean:
+    def test_no_proven_findings_no_observed_evidence(self):
+        class Quiet(Computation):
+            def compute(self, ctx, messages):
+                ctx.vote_to_halt()
+
+        run = debug_run(Quiet, ring_graph(), NonNegativeMessages(), seed=1)
+        score = run.prediction_score()
+        assert score.predicted == ()
+        assert score.observed == ()
+        assert score.precision == 1.0   # vacuous
+        assert score.recall == 1.0
+        report = verify_run_fidelity(run)
+        assert report.prediction_score is not None
+        # A clean run's summary stays free of forecast noise.
+        assert "forecast" not in report.summary()

@@ -1,0 +1,282 @@
+"""Unit tests for the dataflow passes: reaching defs, liveness, intervals."""
+
+import ast
+
+from repro.analysis import contexts_from_module_source
+from repro.analysis.dataflow import UNDEF, MethodDataflow
+from repro.analysis.dataflow.intervals import (
+    SUPERSTEP_KEY,
+    Interval,
+    const,
+)
+
+PRELUDE = "from repro.pregel import Computation\n"
+
+
+def dataflow_of(body, method="compute"):
+    """MethodDataflow of a one-method computation with the given body."""
+    indented = "\n".join(
+        "        " + line for line in body.strip("\n").splitlines()
+    )
+    source = (
+        PRELUDE
+        + "class C(Computation):\n"
+        + f"    def {method}(self, ctx, messages):\n"
+        + indented
+        + "\n"
+    )
+    (context,) = contexts_from_module_source(source, "t.py")
+    flow = context.dataflow(context.scope(method))
+    assert flow is not None, context.dataflow_errors
+    return flow
+
+
+def uses_of(flow, name):
+    return [
+        (node.lineno, defs)
+        for node, defs in flow.reaching.uses_with_states()
+        if node.id == name
+    ]
+
+
+class TestReachingDefinitions:
+    def test_parameters_are_defined_at_entry(self):
+        flow = dataflow_of("x = ctx.superstep\nctx.set_value(x)\n")
+        assert "ctx" not in flow.reaching.locals
+        ((_, defs),) = uses_of(flow, "x")
+        assert UNDEF not in defs
+
+    def test_proven_unbound_use(self):
+        flow = dataflow_of(
+            "if ctx.superstep == 0:\n"
+            "    pass\n"
+            "ctx.set_value(total)\n"
+            "total = 1\n"
+        )
+        (first_use,) = uses_of(flow, "total")
+        assert first_use[1] == frozenset([UNDEF])
+
+    def test_maybe_unbound_use(self):
+        flow = dataflow_of(
+            "if messages:\n"
+            "    total = sum(messages)\n"
+            "ctx.set_value(total)\n"
+        )
+        (use,) = uses_of(flow, "total")
+        assert UNDEF in use[1]
+        assert len(use[1]) == 2   # UNDEF plus the real def
+
+    def test_defs_on_both_branches_cover_the_join(self):
+        flow = dataflow_of(
+            "if messages:\n"
+            "    total = 1\n"
+            "else:\n"
+            "    total = 2\n"
+            "ctx.set_value(total)\n"
+        )
+        (use,) = uses_of(flow, "total")
+        assert UNDEF not in use[1]
+        assert len(use[1]) == 2
+
+    def test_augassign_reads_before_it_writes(self):
+        flow = dataflow_of("total += 1\n")
+        (use,) = uses_of(flow, "total")
+        assert use[1] == frozenset([UNDEF])
+
+    def test_for_target_bound_by_the_loop(self):
+        flow = dataflow_of(
+            "for m in messages:\n"
+            "    ctx.send_message(0, m)\n"
+        )
+        for _line, defs in uses_of(flow, "m"):
+            assert UNDEF not in defs
+
+    def test_except_as_name_bound_in_handler(self):
+        flow = dataflow_of(
+            "try:\n"
+            "    x = 1\n"
+            "except ValueError as exc:\n"
+            "    ctx.set_value(exc)\n"
+        )
+        for _line, defs in uses_of(flow, "exc"):
+            assert UNDEF not in defs
+
+    def test_method_name_is_not_a_local(self):
+        flow = dataflow_of("ctx.vote_to_halt()\n")
+        assert "compute" not in flow.reaching.locals
+
+    def test_nested_function_locals_excluded(self):
+        flow = dataflow_of(
+            "def helper():\n"
+            "    inner = 1\n"
+            "    return inner\n"
+            "ctx.set_value(helper())\n"
+        )
+        assert "inner" not in flow.reaching.locals
+        assert "helper" in flow.reaching.locals
+
+
+class TestLiveness:
+    def test_dead_store_detected(self):
+        flow = dataflow_of(
+            "x = 1\n"
+            "x = 2\n"
+            "ctx.set_value(x)\n"
+        )
+        stores = flow.liveness.dead_stores()
+        assert ("x", 4) in stores   # first store (+3 header lines)
+
+    def test_used_store_is_live(self):
+        flow = dataflow_of(
+            "x = 1\n"
+            "ctx.set_value(x)\n"
+        )
+        assert flow.liveness.dead_stores() == []
+
+    def test_loop_carried_value_is_live(self):
+        flow = dataflow_of(
+            "total = 0\n"
+            "for m in messages:\n"
+            "    total = total + m\n"
+            "ctx.set_value(total)\n"
+        )
+        assert flow.liveness.dead_stores() == []
+
+    def test_branch_only_use_keeps_store_alive(self):
+        flow = dataflow_of(
+            "x = 1\n"
+            "if messages:\n"
+            "    ctx.set_value(x)\n"
+        )
+        assert ("x", 4) not in flow.liveness.dead_stores()
+
+
+class TestIntervals:
+    def test_superstep_refined_in_true_branch(self):
+        flow = dataflow_of(
+            "if ctx.superstep == 0:\n"
+            "    ctx.send_message(0, 1)\n"
+            "ctx.vote_to_halt()\n"
+        )
+        (send,) = flow.phases.sends
+        assert send.interval == const(0)
+
+    def test_superstep_refined_in_false_branch(self):
+        flow = dataflow_of(
+            "if ctx.superstep == 0:\n"
+            "    return\n"
+            "ctx.send_message(0, sum(messages))\n"
+        )
+        (send,) = flow.phases.sends
+        assert send.interval == Interval(1, float("inf"))
+
+    def test_superstep_alias_tracked(self):
+        flow = dataflow_of(
+            "s = ctx.superstep\n"
+            "if s > 10:\n"
+            "    ctx.vote_to_halt()\n"
+        )
+        (halt,) = flow.phases.halts
+        assert halt.interval == Interval(11, float("inf"))
+
+    def test_contradictory_guard_proves_dead(self):
+        flow = dataflow_of(
+            "if ctx.superstep > 5 and ctx.superstep < 3:\n"
+            "    ctx.vote_to_halt()\n"
+        )
+        (halt,) = flow.phases.halts
+        assert not halt.reachable
+
+    def test_negative_superstep_guard_is_dead(self):
+        flow = dataflow_of(
+            "if ctx.superstep < 0:\n"
+            "    ctx.send_message(0, 1)\n"
+            "ctx.vote_to_halt()\n"
+        )
+        (send,) = flow.phases.sends
+        assert not send.reachable
+
+    def test_arithmetic_on_constants(self):
+        flow = dataflow_of(
+            "x = 3\n"
+            "y = x * 2 + 1\n"
+            "ctx.set_value(y)\n"
+            "ctx.vote_to_halt()\n"
+        )
+        stmt = flow.scope.node.body[2]   # the set_value call
+        state = flow.intervals.state_before(stmt)
+        assert state.get("y") == const(7)
+
+    def test_range_loop_target_bounded(self):
+        flow = dataflow_of(
+            "for i in range(5):\n"
+            "    ctx.send_message(i, 1)\n"
+            "ctx.vote_to_halt()\n"
+        )
+        halt_stmt = flow.scope.node.body[1]
+        state = flow.intervals.state_before(halt_stmt)
+        assert state.get(SUPERSTEP_KEY) is not None
+
+    def test_widening_terminates_on_counting_loop(self):
+        flow = dataflow_of(
+            "i = 0\n"
+            "while i < 100:\n"
+            "    i = i + 1\n"
+            "ctx.vote_to_halt()\n"
+        )
+        # Reaching a solution at all proves the widening terminated.
+        (halt,) = flow.phases.halts
+        assert halt.reachable
+
+    def test_interval_algebra(self):
+        a = Interval(1, 5)
+        b = Interval(3, 9)
+        assert a.join(b) == Interval(1, 9)
+        assert a.meet(b) == Interval(3, 5)
+        assert Interval(1, 2).meet(Interval(5, 6)) is None
+        assert a.add(b) == Interval(4, 14)
+        assert a.shift(1) == Interval(2, 6)
+        assert Interval(-3, 2).abs() == Interval(0, 3)
+        assert Interval(-2, 3).mul(const(-1)) == Interval(-3, 2)
+
+    def test_site_state_resolution(self):
+        flow = dataflow_of(
+            "if ctx.superstep < 0:\n"
+            "    ctx.send_message(0, 1)\n"
+            "ctx.vote_to_halt()\n"
+        )
+        (send_site,) = flow.scope.ctx_calls("send_message")
+        status, _state = flow.site_state(send_site.node)
+        assert status == "dead"
+        (halt_site,) = flow.scope.ctx_calls("vote_to_halt")
+        status, state = flow.site_state(halt_site.node)
+        assert status == "ok" and state is not None
+
+
+class TestMethodDataflowBundle:
+    def test_explain_contains_cfg_and_phases(self):
+        flow = dataflow_of(
+            "if ctx.superstep == 0:\n"
+            "    ctx.send_message(0, 1)\n"
+            "ctx.vote_to_halt()\n"
+        )
+        text = flow.explain()
+        assert "cfg:" in text
+        assert "send @ line" in text
+        assert "halt @ line" in text
+
+    def test_passes_are_lazy_and_cached(self):
+        flow = dataflow_of("ctx.vote_to_halt()\n")
+        assert flow._intervals is None
+        first = flow.intervals
+        assert flow.intervals is first
+
+    def test_message_read_nodes_include_aliases(self):
+        flow = dataflow_of(
+            "msgs = messages\n"
+            "total = sum(msgs)\n"
+            "ctx.set_value(total)\n"
+            "ctx.vote_to_halt()\n"
+        )
+        names = {node.id for node in flow.message_read_nodes()}
+        assert "messages" in names

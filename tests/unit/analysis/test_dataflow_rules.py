@@ -1,0 +1,534 @@
+"""Per-rule positive/negative cases for the dataflow pack (GL009-GL015),
+plus the source-hashed LRU report cache and nested/decorated class
+discovery regressions."""
+
+import pytest
+
+from repro.analysis import (
+    ERROR,
+    LIKELY,
+    PROVEN,
+    WARNING,
+    analyze_combiner,
+    analyze_computation,
+    analyze_module_source,
+)
+from repro.analysis import engine as engine_module
+from repro.pregel import Computation
+
+PRELUDE = "from repro.pregel import Computation\n"
+TYPES = "from repro.pregel.value_types import Byte8, Short16, Int32, Long64\n"
+COMBINER = "from repro.pregel.combiners import MessageCombiner\n"
+
+
+def lint(source, class_name=None):
+    reports = analyze_module_source(PRELUDE + TYPES + COMBINER + source, "t.py")
+    if class_name is None:
+        assert len(reports) == 1, [r.class_name for r in reports]
+        return reports[0]
+    return next(r for r in reports if r.class_name == class_name)
+
+
+def findings_of(source, rule_id, class_name=None):
+    return lint(source, class_name).by_rule(rule_id)
+
+
+class TestGL009UseBeforeDef:
+    def test_proven_unbound_is_error(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(total)\n"
+            "        total = 1\n"
+            "        ctx.vote_to_halt()\n",
+            "GL009",
+        )
+        assert finding.severity == ERROR
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "exception"
+
+    def test_maybe_unbound_is_likely_warning(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if messages:\n"
+            "            total = sum(messages)\n"
+            "        ctx.set_value(total)\n"
+            "        ctx.vote_to_halt()\n",
+            "GL009",
+        )
+        assert finding.severity == WARNING
+        assert finding.confidence == LIKELY
+
+    def test_defined_on_all_paths_clean(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if messages:\n"
+            "            total = sum(messages)\n"
+            "        else:\n"
+            "            total = 0\n"
+            "        ctx.set_value(total)\n"
+            "        ctx.vote_to_halt()\n",
+            "GL009",
+        ) == []
+
+    def test_loop_binding_counts(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        for m in messages:\n"
+            "            ctx.send_message(0, m)\n"
+            "        ctx.vote_to_halt()\n",
+            "GL009",
+        ) == []
+
+    def test_augassign_of_unbound_flagged(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        total += 1\n"
+            "        ctx.vote_to_halt()\n",
+            "GL009",
+        )
+        assert finding.confidence == PROVEN
+
+
+class TestGL010DeadSend:
+    SOURCE = (
+        "class C(Computation):\n"
+        "    def compute(self, ctx, messages):\n"
+        "        if ctx.superstep == 0:\n"
+        "            ctx.send_message(ctx.vertex_id, 1)\n"
+        "            return\n"
+        "        if ctx.superstep >= 5:\n"
+        "            ctx.send_message(ctx.vertex_id, sum(messages))\n"
+        "        ctx.vote_to_halt()\n"
+    )
+
+    def test_send_delivered_outside_read_window_flagged(self):
+        # Reads happen at superstep >= 5... wait, `messages` is read at
+        # superstep >= 5, sends at 0 deliver at 1 and at >=5 deliver at
+        # >=6 — the superstep-0 send lands in [1,1], never read.
+        source = (
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message(ctx.vertex_id, 1)\n"
+            "        if ctx.superstep >= 5:\n"
+            "            ctx.set_value(sum(messages))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        findings = findings_of(source, "GL010")
+        assert len(findings) == 1
+        assert findings[0].confidence == PROVEN
+
+    def test_send_inside_read_window_clean(self):
+        source = (
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message(ctx.vertex_id, 1)\n"
+            "        else:\n"
+            "            ctx.set_value(sum(messages))\n"
+            "            ctx.vote_to_halt()\n"
+        )
+        assert findings_of(source, "GL010") == []
+
+    def test_activation_only_sends_exempt(self):
+        # Never reading messages is the activation idiom: the send exists
+        # to keep targets active, not to carry data.
+        source = (
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep < 3:\n"
+            "            ctx.send_message(ctx.vertex_id, 1)\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert findings_of(source, "GL010") == []
+
+
+class TestGL011MessagePayloadTypes:
+    def test_conflicting_payload_kinds_flagged(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message(0, 'seed')\n"
+            "        else:\n"
+            "            ctx.send_message(0, sum(messages))\n"
+            "        ctx.vote_to_halt()\n",
+            "GL011",
+        )
+        assert finding.severity == WARNING
+        assert finding.confidence == LIKELY
+        assert finding.predicts == "exception"
+
+    def test_uniform_payloads_clean(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(0, 1)\n"
+            "        ctx.send_message_to_all_neighbors(sum(messages) + 1)\n"
+            "        ctx.vote_to_halt()\n",
+            "GL011",
+        ) == []
+
+    def test_unknown_kinds_do_not_count(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(0, self.make())\n"
+            "        ctx.send_message(0, 1)\n"
+            "        ctx.vote_to_halt()\n",
+            "GL011",
+        ) == []
+
+
+class TestGL012AggregatorTypes:
+    def test_conflicting_contributions_flagged(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if messages:\n"
+            "            ctx.aggregate('tag', 1)\n"
+            "        else:\n"
+            "            ctx.aggregate('tag', 'none')\n"
+            "        ctx.vote_to_halt()\n",
+            "GL012",
+        )
+        assert "tag" in finding.message
+        assert finding.confidence == LIKELY
+
+    def test_distinct_aggregators_clean(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.aggregate('count', 1)\n"
+            "        ctx.aggregate('phase', 'go')\n"
+            "        ctx.vote_to_halt()\n",
+            "GL012",
+        ) == []
+
+
+class TestGL013IntervalOverflow:
+    def test_proven_overflow_supersedes_gl007(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(0, Short16(40000))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        (finding,) = report.by_rule("GL013")
+        assert finding.severity == ERROR
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "message"
+        assert report.by_rule("GL007") == []   # superseded on that line
+
+    def test_vertex_value_prediction_without_sends(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(Byte8(1000))\n"
+            "        ctx.vote_to_halt()\n",
+            "GL013",
+        )
+        assert finding.predicts == "vertex_value"
+
+    def test_partial_overlap_is_likely_and_keeps_gl007(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        for i in range(40000):\n"
+            "            ctx.send_message(0, Short16(i))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        (finding,) = report.by_rule("GL013")
+        assert finding.severity == WARNING
+        assert finding.confidence == LIKELY
+        assert finding.predicts == ""
+
+    def test_in_range_construction_only_gl007(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(0, Short16(7))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert report.by_rule("GL013") == []
+        assert len(report.by_rule("GL007")) == 1
+
+    def test_unbounded_argument_only_gl007(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(0, Short16(sum(messages)))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert report.by_rule("GL013") == []
+        assert len(report.by_rule("GL007")) == 1
+
+
+class TestGL014ProvenNoHalt:
+    def test_upgrade_with_prediction(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(ctx.vertex_id, 1)\n"
+        )
+        (finding,) = report.by_rule("GL014")
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "nontermination"
+        assert report.by_rule("GL005") == []
+
+    def test_statically_dead_halt_sites_flagged(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep < 0:\n"
+            "            ctx.vote_to_halt()\n"
+            "        ctx.send_message(ctx.vertex_id, 1)\n"
+        )
+        assert len(report.by_rule("GL014")) == 1
+
+    def test_reachable_halt_clean(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if not messages:\n"
+            "            ctx.vote_to_halt()\n"
+            "        ctx.send_message(ctx.vertex_id, 1)\n"
+        )
+        assert report.by_rule("GL014") == []
+        assert report.by_rule("GL005") == []
+
+    def test_superstep_bound_exempts(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep < 30:\n"
+            "            ctx.send_message(ctx.vertex_id, 1)\n"
+        )
+        assert report.by_rule("GL014") == []
+
+    def test_aggregator_exempts(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.aggregate('delta', abs(sum(messages)))\n"
+            "        ctx.send_message(ctx.vertex_id, 1)\n"
+        )
+        assert report.by_rule("GL014") == []
+
+
+class TestGL015NoncommutativeCombiner:
+    def test_subtraction_proven(self):
+        (finding,) = findings_of(
+            "class Diff(MessageCombiner):\n"
+            "    def combine(self, first, second):\n"
+            "        return first - second\n",
+            "GL015",
+            class_name="Diff",
+        )
+        assert finding.severity == ERROR
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "replay_divergence"
+
+    def test_projection_likely(self):
+        (finding,) = findings_of(
+            "class KeepFirst(MessageCombiner):\n"
+            "    def combine(self, first, second):\n"
+            "        return first\n",
+            "GL015",
+            class_name="KeepFirst",
+        )
+        assert finding.severity == WARNING
+        assert finding.confidence == LIKELY
+
+    def test_ignored_parameter_likely(self):
+        (finding,) = findings_of(
+            "class HalfBlind(MessageCombiner):\n"
+            "    def combine(self, first, second):\n"
+            "        return first * 2 + 1\n",
+            "GL015",
+            class_name="HalfBlind",
+        )
+        assert finding.confidence == LIKELY
+
+    def test_commutative_fold_clean(self):
+        assert findings_of(
+            "class Sum(MessageCombiner):\n"
+            "    def combine(self, first, second):\n"
+            "        return first + second\n",
+            "GL015",
+            class_name="Sum",
+        ) == []
+
+    def test_min_fold_clean(self):
+        assert findings_of(
+            "class Min(MessageCombiner):\n"
+            "    def combine(self, first, second):\n"
+            "        return min(first, second)\n",
+            "GL015",
+            class_name="Min",
+        ) == []
+
+    def test_analyze_combiner_on_live_class(self):
+        from repro.pregel.combiners import MessageCombiner
+
+        class OrderDependent(MessageCombiner):
+            def combine(self, first, second):
+                return first - second
+
+        report = analyze_combiner(OrderDependent)
+        assert report.rule_ids() == ["GL015"]
+
+    def test_combiner_rules_not_applied_to_computations(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n"
+            "    def combine(self, first, second):\n"
+            "        return first - second\n"
+        )
+        assert report.by_rule("GL015") == []
+
+
+class _ProbeA(Computation):
+    def compute(self, ctx, messages):
+        ctx.vote_to_halt()
+
+
+class _ProbeB(Computation):
+    def compute(self, ctx, messages):
+        ctx.set_value(1)
+        ctx.vote_to_halt()
+
+
+class _ProbeC(Computation):
+    def compute(self, ctx, messages):
+        ctx.set_value(2)
+        ctx.vote_to_halt()
+
+
+class TestReportCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        engine_module._REPORT_CACHE.clear()
+        yield
+        engine_module._REPORT_CACHE.clear()
+
+    def test_same_class_hits_the_cache(self):
+        first = analyze_computation(_ProbeA)
+        second = analyze_computation(_ProbeA)
+        assert first is second
+
+    def test_key_carries_a_source_digest(self):
+        analyze_computation(_ProbeA)
+        ((kind, module, qualname, digest, flow),) = list(
+            engine_module._REPORT_CACHE
+        )
+        assert kind == "computation"
+        assert qualname.endswith("_ProbeA")
+        assert len(digest) == 40 and int(digest, 16) >= 0   # sha1 hex
+        assert flow is True
+
+    def test_dataflow_toggle_is_part_of_the_key(self):
+        with_flow = analyze_computation(_ProbeA, dataflow=True)
+        without = analyze_computation(_ProbeA, dataflow=False)
+        assert with_flow is not without
+        assert len(engine_module._REPORT_CACHE) == 2
+
+    def test_cache_evicts_least_recently_used(self, monkeypatch):
+        monkeypatch.setattr(engine_module, "_REPORT_CACHE_MAX", 2)
+        analyze_computation(_ProbeA)
+        analyze_computation(_ProbeB)
+        analyze_computation(_ProbeA)   # touch A: B is now the oldest
+        analyze_computation(_ProbeC)
+        qualnames = {key[2] for key in engine_module._REPORT_CACHE}
+        assert len(engine_module._REPORT_CACHE) == 2
+        assert any(q.endswith("_ProbeA") for q in qualnames)
+        assert not any(q.endswith("_ProbeB") for q in qualnames)
+
+    def test_explicit_rules_bypass_the_cache(self):
+        from repro.analysis.rules import all_rules
+
+        analyze_computation(_ProbeA, rules=all_rules())
+        assert len(engine_module._REPORT_CACHE) == 0
+
+
+class TestNestedAndDecoratedClasses:
+    def test_nested_class_discovered(self):
+        report = lint(
+            "def make():\n"
+            "    class Inner(Computation):\n"
+            "        def compute(self, ctx, messages):\n"
+            "            ctx.set_value(total)\n"
+            "            total = 1\n"
+            "            ctx.vote_to_halt()\n"
+            "    return Inner\n",
+            class_name="Inner",
+        )
+        assert "GL009" in report.rule_ids()
+
+    def test_class_inside_if_discovered(self):
+        report = lint(
+            "if True:\n"
+            "    class Guarded(Computation):\n"
+            "        def compute(self, ctx, messages):\n"
+            "            ctx.vote_to_halt()\n",
+            class_name="Guarded",
+        )
+        assert report.ok
+
+    def test_decorated_class_discovered(self):
+        report = lint(
+            "def register(cls):\n"
+            "    return cls\n"
+            "@register\n"
+            "class Tagged(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n",
+            class_name="Tagged",
+        )
+        assert report.analyzed
+
+    def test_top_level_wins_name_collisions(self):
+        reports = analyze_module_source(
+            PRELUDE
+            + "class Dup(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n"
+            "def shadow():\n"
+            "    class Dup(Computation):\n"
+            "        def compute(self, ctx, messages):\n"
+            "            ctx.send_message(0, 1)\n"
+            "    return Dup\n",
+            "t.py",
+        )
+        dup = [r for r in reports if r.class_name == "Dup"]
+        assert len(dup) == 1
+        assert dup[0].ok   # the clean top-level definition was analyzed
+
+
+class TestFindingRendering:
+    def test_proven_finding_renders_confidence_and_prediction(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(0, Short16(40000))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        text = report.render_text()
+        assert "(proven)" in text
+        assert "predicts:" in text
+
+    def test_proven_findings_property(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(0, Short16(40000))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        proven = report.proven_findings
+        assert [f.rule_id for f in proven] == ["GL013"]

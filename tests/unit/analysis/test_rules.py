@@ -161,11 +161,23 @@ class TestGL004SendAfterHalt:
 
 class TestGL005NoHaltPath:
     def test_never_halting_flagged(self):
+        # With the dataflow pack on, the CFG proof upgrades GL005 to GL014.
         assert rule_ids(
             "class Forever(Computation):\n"
             "    def compute(self, ctx, messages):\n"
             "        ctx.send_message(ctx.vertex_id, 1)\n"
-        ) == ["GL005"]
+        ) == ["GL014"]
+
+    def test_never_halting_flagged_without_dataflow(self):
+        reports = analyze_module_source(
+            PRELUDE
+            + "class Forever(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(ctx.vertex_id, 1)\n",
+            "prog.py",
+            dataflow=False,
+        )
+        assert reports[0].rule_ids() == ["GL005"]
 
     def test_superstep_bound_exempts(self):
         assert rule_ids(
