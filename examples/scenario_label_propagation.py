@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scenario — a determinism race caught statically, then proven at runtime.
+
+Label propagation picks each vertex's most frequent neighbor label. A
+common buggy tie-break — ``if tally >= best_count`` inside the message
+loop — silently makes the *last* tied label win, so the answer depends on
+message delivery order. On a deterministic engine the bug never shows:
+every run canonicalizes inbox order and reproduces the same
+wrong-by-luck communities.
+
+Two tools close the gap:
+
+1. **graft-lint GL016** flags the fold statically: a guarded last-wins
+   assignment over the unordered message bag, with the superstep interval
+   it runs in.
+2. **graft-san** proves it dynamically: re-run the job under K seeded
+   delivery-order permutations (same messages, different order) and
+   compare order-insensitive canonical digests. The clean implementation
+   is byte-identical across every schedule; the buggy one diverges, and
+   the report pins the first divergent (superstep, vertex, field).
+
+Run:  python examples/scenario_label_propagation.py
+"""
+
+# Imported, not defined here: the CI lint gate requires examples/ to be
+# free of *defined* order-sensitivity bugs; the shipped buggy twin lives
+# next to its clean counterpart in repro.algorithms.
+from repro.algorithms import BuggyLabelPropagation, LabelPropagation
+from repro.analysis import analyze_computation
+from repro.datasets import load_dataset
+from repro.graft import run_sanitizer
+from repro.graph import to_undirected
+
+
+def main():
+    graph = to_undirected(load_dataset("web-BS", num_vertices=60, seed=3))
+    print(f"input: web-BS stand-in, {graph.num_vertices} vertices (undirected)")
+    print()
+
+    # -- 1. static: graft-lint sees the order-sensitive tie-break --------
+    report = analyze_computation(BuggyLabelPropagation)
+    gl016 = [f for f in report.findings if f.rule_id == "GL016"]
+    print("== graft-lint on BuggyLabelPropagation ==")
+    for finding in gl016:
+        print(f"  {finding.render()}")
+    if not gl016:
+        raise SystemExit("expected GL016 on the buggy tie-break")
+    print()
+
+    # -- 2. dynamic: graft-san sweeps delivery-order permutations --------
+    print("== graft-san: buggy implementation ==")
+    buggy = run_sanitizer(
+        lambda: BuggyLabelPropagation(iterations=8),
+        graph, schedules=3, seed=7, num_workers=4,
+    )
+    print(buggy.summary())
+    if buggy.deterministic:
+        raise SystemExit("expected the buggy tie-break to diverge")
+    print()
+
+    print("== graft-san: clean implementation (max-count, min-label) ==")
+    clean = run_sanitizer(
+        lambda: LabelPropagation(iterations=8),
+        graph, schedules=3, seed=7, num_workers=4,
+    )
+    print(clean.summary())
+    if not clean.deterministic:
+        raise SystemExit("clean label propagation must be order-insensitive")
+    print()
+
+    divergence = buggy.first_divergence
+    print("== diagnosis ==")
+    print(f"  {divergence.summary()}")
+    print(
+        "  The permutation changed no message, only the order - yet vertex "
+        f"{divergence.vertex_id}'s value moved. The tie-break is the race."
+    )
+
+
+if __name__ == "__main__":
+    main()

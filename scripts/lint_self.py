@@ -31,6 +31,7 @@ from repro.pregel import Computation                       # noqa: E402
 EXPECTED_BUGGY = {
     "BuggyRandomWalk": "GL007",
     "BuggyGraphColoring": "GL008",
+    "BuggyLabelPropagation": "GL016",
 }
 
 

@@ -23,7 +23,11 @@ from repro.algorithms.components import (
     component_sizes,
 )
 from repro.algorithms.kcore import KCore, KCoreValue, core_members
-from repro.algorithms.label_propagation import LabelPropagation, communities
+from repro.algorithms.label_propagation import (
+    BuggyLabelPropagation,
+    LabelPropagation,
+    communities,
+)
 from repro.algorithms.matching import (
     MaximumWeightMatching,
     MWMValue,
@@ -70,5 +74,6 @@ __all__ = [
     "KCoreValue",
     "core_members",
     "LabelPropagation",
+    "BuggyLabelPropagation",
     "communities",
 ]

@@ -34,6 +34,42 @@ class LabelPropagation(Computation):
             ctx.vote_to_halt()
 
 
+class BuggyLabelPropagation(Computation):
+    """LPA with the classic last-wins tie-break bug (order sensitivity).
+
+    Instead of collapsing tied label counts deterministically, the hand
+    tally keeps whichever tied label it happened to see *last* — the
+    ``>=`` guard is a last-wins update over an unordered message bag.
+    Under the engine's canonical delivery order every run agrees, which
+    is exactly what makes the bug invisible in testing; permute the
+    delivery order (``repro san``) and communities come out different.
+    graft-lint flags the guarded last-wins fold as GL016 before the run.
+    """
+
+    def __init__(self, iterations=10):
+        self.iterations = iterations
+
+    def initial_value(self, vertex_id, input_value):
+        return vertex_id
+
+    def compute(self, ctx, messages):
+        if ctx.superstep > 0 and messages:
+            counts = {}
+            best_label = ctx.value
+            best_count = 0
+            for label in messages:
+                tally = counts.get(label, 0) + 1
+                counts[label] = tally
+                if tally >= best_count:   # >=: the *last* tied label wins
+                    best_count = tally
+                    best_label = label
+            ctx.set_value(best_label)
+        if ctx.superstep < self.iterations:
+            ctx.send_message_to_all_neighbors(ctx.value)
+        else:
+            ctx.vote_to_halt()
+
+
 def communities(vertex_values):
     """Group vertices by final label: ``{label: sorted members}``.
 

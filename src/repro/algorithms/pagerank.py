@@ -28,7 +28,11 @@ class PageRank(Computation):
 
     def compute(self, ctx, messages):
         if ctx.superstep > 0:
-            ctx.set_value((1.0 - DAMPING) + DAMPING * sum(messages))
+            # Value-sorted fold: float addition is not associative, so
+            # summing in delivery order would leak schedule-dependent low
+            # bits into the rank (GL018). Sorting first makes the result
+            # a pure function of the message *bag*.
+            ctx.set_value((1.0 - DAMPING) + DAMPING * sum(sorted(messages)))
         if ctx.superstep < self.iterations:
             if ctx.out_degree:
                 share = ctx.value / ctx.out_degree
@@ -48,7 +52,7 @@ class TolerancePageRank(Computation):
 
     def compute(self, ctx, messages):
         if ctx.superstep > 0:
-            new_value = (1.0 - DAMPING) + DAMPING * sum(messages)
+            new_value = (1.0 - DAMPING) + DAMPING * sum(sorted(messages))
             ctx.aggregate(DELTA_AGGREGATOR, abs(new_value - ctx.value))
             ctx.set_value(new_value)
         if ctx.out_degree:

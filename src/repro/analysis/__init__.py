@@ -27,6 +27,14 @@ superstep executes), and runtime violations / fidelity divergences report
 the rule id that predicted them (:mod:`repro.analysis.crosslink`).
 """
 
+from repro.analysis.determinism import (
+    COMMUTATIVE_FOLD_OPS,
+    NONCOMMUTATIVE_FOLD_OPS,
+    classify_fold_op,
+    message_fold_sites,
+    messages_order_uses,
+    shared_state_writes,
+)
 from repro.analysis.crosslink import (
     PREDICTABLE_KINDS,
     RUNTIME_LINKS,
@@ -79,4 +87,10 @@ __all__ = [
     "predicted_findings",
     "prediction_note",
     "score_predictions",
+    "COMMUTATIVE_FOLD_OPS",
+    "NONCOMMUTATIVE_FOLD_OPS",
+    "classify_fold_op",
+    "message_fold_sites",
+    "messages_order_uses",
+    "shared_state_writes",
 ]

@@ -19,9 +19,17 @@ from dataclasses import dataclass
 #: runtime evidence kind -> rule ids whose hazard class produces it.
 RUNTIME_LINKS = {
     # Replay diverging from the recorded outcome: hidden worker state,
-    # corrupted pre-state, randomness outside the seeded RNG, or an
-    # order-dependent message combiner.
-    "replay_divergence": ("GL001", "GL002", "GL003", "GL015"),
+    # corrupted pre-state, randomness outside the seeded RNG, an
+    # order-dependent message combiner, cross-vertex shared state, or a
+    # nondeterminism source outside the seeded context.
+    "replay_divergence": (
+        "GL001", "GL002", "GL003", "GL015", "GL019", "GL020",
+    ),
+    # The permutation sanitizer (repro san) observing different canonical
+    # digests under permuted-but-seeded delivery schedules: an
+    # order-sensitive fold, positional message access, or a float
+    # accumulation whose low bits move with the order.
+    "order_divergence": ("GL015", "GL016", "GL017", "GL018"),
     # A message-value constraint violation (e.g. negative walker counts
     # from a wrapped short, or a send fired after the halt decision).
     "message": ("GL007", "GL004", "GL013"),

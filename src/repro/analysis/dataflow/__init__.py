@@ -191,6 +191,13 @@ class MethodDataflow:
         if phase_lines:
             lines.append("  phase facts:")
             lines.extend(f"    {text}" for text in phase_lines)
+        # Imported lazily: determinism sits above scopes, next to rules.
+        from repro.analysis.determinism import determinism_fact_lines
+
+        det_lines = determinism_fact_lines(self.scope, dataflow=self)
+        if det_lines:
+            lines.append("  determinism facts:")
+            lines.extend(f"    {text}" for text in det_lines)
         dead = self.cfg.unreachable_statements()
         if dead:
             dead_lines = sorted({s.lineno for s in dead if hasattr(s, "lineno")})

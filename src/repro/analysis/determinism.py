@@ -1,0 +1,642 @@
+"""Order-sensitivity facts for the determinism rule pack (GL016–GL020).
+
+The Pregel contract gives ``compute()`` its inbox as an unordered bag:
+the model promises *which* messages arrive, never in *what order*. Code
+whose result depends on that order — a non-commutative fold, first/last
+message special-casing, iteration over an unordered container — is the
+classic cross-system heisenbug (Ammar & Özsu measure delivery order as
+the main source of cross-system variance). This module distills the
+order-sensitive sites of one :class:`~repro.analysis.scopes.MethodScope`
+into plain fact records; the GL016–GL020 rules and the
+``--explain-cfg`` renderer consume them, and the runtime sanitizer
+(:mod:`repro.graft.sanitizer`) confirms or refutes the resulting
+predictions by permuting real inboxes.
+
+Fact extraction is deliberately syntactic and conservative: only loops
+of the exact shape ``for <name> in <messages-param>`` are treated as
+message folds, mirroring the alias tracking in
+:mod:`repro.analysis.scopes`.
+"""
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.scopes import dotted_name, iter_statements
+
+#: Fold operators whose result is independent of operand order (on exact
+#: values — floats are only *commutative*, not associative, which is why
+#: GL018 exists as a separate, likely-only rule).
+COMMUTATIVE_FOLD_OPS = {
+    ast.Add: "+",
+    ast.Mult: "*",
+    ast.BitOr: "|",
+    ast.BitAnd: "&",
+    ast.BitXor: "^",
+}
+
+#: Fold operators proven order-dependent: folding a bag of messages with
+#: any of these yields different results under different delivery orders.
+NONCOMMUTATIVE_FOLD_OPS = {
+    ast.Sub: "-",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+    ast.LShift: "<<",
+    ast.RShift: ">>",
+}
+
+
+def classify_fold_op(op):
+    """``"commutative"``, ``"noncommutative"``, or ``"unknown"``.
+
+    ``op`` is an :mod:`ast` operator node or operator class (e.g.
+    ``ast.Add``). Comparison-style reductions (``min``/``max``) never
+    appear as binary operators; they classify as order-free at the call
+    level in :func:`message_fold_sites` by simply not being folds.
+    """
+    kind = op if isinstance(op, type) else type(op)
+    if kind in COMMUTATIVE_FOLD_OPS:
+        return "commutative"
+    if kind in NONCOMMUTATIVE_FOLD_OPS:
+        return "noncommutative"
+    return "unknown"
+
+
+@dataclass(frozen=True)
+class FoldSite:
+    """One accumulation over the message loop of a method.
+
+    ``kind`` is ``"augassign"`` (``acc -= m``), ``"binop"``
+    (``acc = acc - m``), or ``"last_wins"`` (``acc = m`` — the loop's
+    final iteration silently decides the value). ``guard`` describes the
+    innermost ``if`` wrapping a last-wins assignment: ``None``
+    (unconditional), ``"strict"`` (``<``/``>`` comparison — the min/max
+    idiom, order-free on ties-free data), ``"nonstrict"`` (``<=``/``>=``
+    — ties resolve to whichever message came *last*), or ``"other"``.
+    """
+
+    acc: str           # accumulator variable name
+    alias: str         # the loop's message alias
+    kind: str          # "augassign" | "binop" | "last_wins"
+    op: str            # operator symbol, "" for last_wins
+    line: int
+    node: object       # the assignment statement
+    loop: object       # the enclosing ast.For
+    guard: object = None
+    float_evidence: bool = False
+    string_evidence: bool = False
+    escapes: bool = True   # accumulator read after the loop
+
+    @property
+    def order_class(self):
+        if self.kind == "last_wins":
+            return "noncommutative"
+        symbol_table = {
+            **{v: "commutative" for v in COMMUTATIVE_FOLD_OPS.values()},
+            **{v: "noncommutative" for v in NONCOMMUTATIVE_FOLD_OPS.values()},
+        }
+        return symbol_table.get(self.op, "unknown")
+
+    def describe(self):
+        if self.kind == "last_wins":
+            shape = f"last-wins `{self.acc} = {self.alias}`"
+            if self.guard == "nonstrict":
+                shape += " under a non-strict guard"
+            elif self.guard == "strict":
+                shape += " under a strict min/max guard"
+            elif self.guard == "other":
+                shape += " under a guard"
+        else:
+            shape = f"fold `{self.acc} {self.op}= {self.alias}`"
+        return shape
+
+
+@dataclass(frozen=True)
+class OrderUse:
+    """One place where code depends on message / container ordering."""
+
+    kind: str      # "subscript" | "enumerate" | "next" | "set-iteration"
+    line: int
+    node: object
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SharedWrite:
+    """One write to state shared across vertices (the GL019 hazard)."""
+
+    kind: str      # "global" | "class-attr" | "closure-mutation"
+    name: str
+    line: int
+    node: object
+
+
+# ---------------------------------------------------------------------------
+# message fold extraction
+# ---------------------------------------------------------------------------
+
+
+def message_loops(scope):
+    """Every ``for <name> in <messages-param>`` loop in the method."""
+    if scope.messages_name is None:
+        return []
+    loops = []
+    for node in ast.walk(scope.node):
+        if (
+            isinstance(node, ast.For)
+            and isinstance(node.target, ast.Name)
+            and isinstance(node.iter, ast.Name)
+            and node.iter.id == scope.messages_name
+        ):
+            loops.append(node)
+    return loops
+
+
+def message_fold_sites(scope):
+    """All :class:`FoldSite` records for the method, in source order."""
+    sites = []
+    for loop in message_loops(scope):
+        alias = loop.target.id
+        loop_node_ids = {id(n) for n in ast.walk(loop)}
+        for stmt in iter_statements(loop.body):
+            site = _fold_from_statement(stmt, alias, loop)
+            if site is None:
+                continue
+            site = _with_context(site, scope, loop_node_ids)
+            sites.append(site)
+    sites.sort(key=lambda s: s.line)
+    return sites
+
+
+def _fold_from_statement(stmt, alias, loop):
+    if isinstance(stmt, ast.AugAssign):
+        if not isinstance(stmt.target, ast.Name):
+            return None
+        if alias not in _loaded_names(stmt.value):
+            return None
+        symbol = _op_symbol(stmt.op)
+        if symbol is None:
+            return None
+        return FoldSite(
+            acc=stmt.target.id,
+            alias=alias,
+            kind="augassign",
+            op=symbol,
+            line=stmt.lineno,
+            node=stmt,
+            loop=loop,
+        )
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            return None
+        acc = target.id
+        value = stmt.value
+        # acc = acc <op> m  /  acc = m <op> acc — an explicit fold.
+        if isinstance(value, ast.BinOp):
+            symbol = _op_symbol(value.op)
+            names = _loaded_names(value)
+            if symbol is not None and alias in names and acc in names:
+                return FoldSite(
+                    acc=acc,
+                    alias=alias,
+                    kind="binop",
+                    op=symbol,
+                    line=stmt.lineno,
+                    node=stmt,
+                    loop=loop,
+                )
+            return None
+        # acc = m  /  acc = m.attr — last-wins: the final iteration decides.
+        root = value
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name) and root.id == alias:
+            return FoldSite(
+                acc=acc,
+                alias=alias,
+                kind="last_wins",
+                op="",
+                line=stmt.lineno,
+                node=stmt,
+                loop=loop,
+                guard=_guard_kind(stmt, loop),
+            )
+    return None
+
+
+def _with_context(site, scope, loop_node_ids):
+    """Attach escape / float / string evidence to a raw fold site."""
+    escapes = _read_after_loop(scope, site.acc, site.loop, loop_node_ids)
+    float_ev, string_ev = _init_evidence(scope, site)
+    for node in ast.walk(site.node):
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, float):
+                float_ev = True
+            elif isinstance(node.value, str):
+                string_ev = True
+        elif isinstance(node, ast.Call):
+            if dotted_name(node.func) in ("str", "format", "repr"):
+                string_ev = True
+            elif dotted_name(node.func) == "float":
+                float_ev = True
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            float_ev = True
+    return FoldSite(
+        acc=site.acc,
+        alias=site.alias,
+        kind=site.kind,
+        op=site.op,
+        line=site.line,
+        node=site.node,
+        loop=site.loop,
+        guard=site.guard,
+        float_evidence=float_ev,
+        string_evidence=string_ev,
+        escapes=escapes,
+    )
+
+
+def _init_evidence(scope, site):
+    """Float / string evidence from the accumulator's pre-loop init."""
+    float_ev = string_ev = False
+    for stmt in iter_statements(scope.node.body):
+        if stmt is site.loop:
+            break
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == site.acc
+            and isinstance(stmt.value, ast.Constant)
+        ):
+            if isinstance(stmt.value.value, float):
+                float_ev = True
+                string_ev = False
+            elif isinstance(stmt.value.value, str):
+                string_ev = True
+                float_ev = False
+            else:
+                float_ev = string_ev = False
+    return float_ev, string_ev
+
+
+def _read_after_loop(scope, name, loop, loop_node_ids):
+    """Does ``name`` get read outside (textually after) the fold's loop?"""
+    for node in ast.walk(scope.node):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id == name
+            and id(node) not in loop_node_ids
+            and node.lineno > loop.lineno
+        ):
+            return True
+    return False
+
+
+def _guard_kind(stmt, loop):
+    """Classify the innermost ``if`` between ``loop`` and ``stmt``."""
+    guard = _innermost_if(loop, stmt)
+    if guard is None:
+        return None
+    test = guard.test
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        op = test.ops[0]
+        if isinstance(op, (ast.Lt, ast.Gt)):
+            return "strict"
+        if isinstance(op, (ast.LtE, ast.GtE)):
+            return "nonstrict"
+    return "other"
+
+
+def _innermost_if(root, stmt):
+    """The innermost ``ast.If`` under ``root`` whose body contains ``stmt``."""
+    found = None
+
+    def descend(node):
+        nonlocal found
+        for child in ast.iter_child_nodes(node):
+            if child is stmt:
+                if isinstance(node, ast.If):
+                    found = node
+                return True
+            if descend(child):
+                if isinstance(node, ast.If) and found is None:
+                    found = node
+                return True
+        return False
+
+    descend(root)
+    return found
+
+
+def _op_symbol(op):
+    kind = type(op)
+    return COMMUTATIVE_FOLD_OPS.get(kind) or NONCOMMUTATIVE_FOLD_OPS.get(kind)
+
+
+def _loaded_names(expr):
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+# ---------------------------------------------------------------------------
+# messages order / unordered-container iteration
+# ---------------------------------------------------------------------------
+
+
+def messages_order_uses(scope):
+    """All :class:`OrderUse` records: positional access + set iteration."""
+    uses = []
+    messages = scope.messages_name
+    for node in ast.walk(scope.node):
+        if (
+            messages is not None
+            and isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == messages
+        ):
+            uses.append(
+                OrderUse(
+                    kind="subscript",
+                    line=node.lineno,
+                    node=node,
+                    detail=_subscript_detail(node),
+                )
+            )
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if (
+                messages is not None
+                and name == "enumerate"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == messages
+            ):
+                uses.append(
+                    OrderUse(
+                        kind="enumerate",
+                        line=node.lineno,
+                        node=node,
+                        detail=f"enumerate({messages})",
+                    )
+                )
+            elif (
+                messages is not None
+                and name == "next"
+                and node.args
+                and _is_iter_of_messages(node.args[0], messages)
+            ):
+                uses.append(
+                    OrderUse(
+                        kind="next",
+                        line=node.lineno,
+                        node=node,
+                        detail=f"next(iter({messages}))",
+                    )
+                )
+        elif isinstance(node, ast.For) and _is_unordered_iterable(node.iter):
+            uses.append(
+                OrderUse(
+                    kind="set-iteration",
+                    line=node.lineno,
+                    node=node,
+                    detail="loop over an unordered set",
+                )
+            )
+    uses.sort(key=lambda u: u.line)
+    return uses
+
+
+def _subscript_detail(node):
+    index = node.slice
+    if isinstance(index, ast.Constant):
+        return f"messages[{index.value!r}]"
+    if (
+        isinstance(index, ast.UnaryOp)
+        and isinstance(index.op, ast.USub)
+        and isinstance(index.operand, ast.Constant)
+    ):
+        return f"messages[-{index.operand.value!r}]"
+    return "messages[...]"
+
+
+def _is_iter_of_messages(node, messages):
+    return (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) == "iter"
+        and node.args
+        and isinstance(node.args[0], ast.Name)
+        and node.args[0].id == messages
+    )
+
+
+def _is_unordered_iterable(node):
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) in ("set", "frozenset")
+    )
+
+
+# ---------------------------------------------------------------------------
+# shared mutable state (GL019)
+# ---------------------------------------------------------------------------
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "add", "extend", "insert", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+    }
+)
+
+
+def shared_state_writes(scope, class_name=None):
+    """All :class:`SharedWrite` records for the method.
+
+    ``class_name`` enables class-attribute detection through the class's
+    own name (``Foo.counter = ...``); ``type(self)`` / ``self.__class__``
+    are recognized unconditionally.
+    """
+    writes = []
+    declared_global = set()
+    for node in ast.walk(scope.node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+    local_names = _locally_bound_names(scope)
+
+    for node in ast.walk(scope.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                write = _classify_write_target(
+                    target, scope, class_name, declared_global, local_names
+                )
+                if write is not None:
+                    writes.append(write)
+        elif isinstance(node, ast.Call):
+            write = _classify_mutating_call(
+                node, scope, class_name, local_names
+            )
+            if write is not None:
+                writes.append(write)
+    writes.sort(key=lambda w: w.line)
+    return writes
+
+
+def _locally_bound_names(scope):
+    bound = {a.arg for a in scope.node.args.args}
+    bound.update(a.arg for a in scope.node.args.kwonlyargs)
+    for extra in (scope.node.args.vararg, scope.node.args.kwarg):
+        if extra is not None:
+            bound.add(extra.arg)
+    for node in ast.walk(scope.node):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+    return bound
+
+
+def _class_level_root(node, scope, class_name):
+    """True when an attribute chain is rooted at the class object."""
+    root = node
+    while isinstance(root, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(root, ast.Attribute)
+            and root.attr == "__class__"
+            and isinstance(root.value, ast.Name)
+            and root.value.id == scope.self_name
+        ):
+            return True
+        root = root.value
+    if isinstance(root, ast.Name):
+        return class_name is not None and root.id == class_name
+    if isinstance(root, ast.Call):
+        return (
+            dotted_name(root.func) == "type"
+            and len(root.args) == 1
+            and isinstance(root.args[0], ast.Name)
+            and root.args[0].id == scope.self_name
+        )
+    return False
+
+
+def _classify_write_target(target, scope, class_name, declared_global, local):
+    if isinstance(target, ast.Name):
+        if target.id in declared_global:
+            return SharedWrite(
+                kind="global",
+                name=target.id,
+                line=target.lineno,
+                node=target,
+            )
+        return None
+    if isinstance(target, (ast.Attribute, ast.Subscript)):
+        if _class_level_root(target, scope, class_name):
+            return SharedWrite(
+                kind="class-attr",
+                name=_written_name(target),
+                line=target.lineno,
+                node=target,
+            )
+        if isinstance(target, ast.Subscript):
+            root = target.value
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if (
+                isinstance(root, ast.Name)
+                and root.id not in local
+                and root.id not in (scope.self_name, scope.ctx_name)
+            ):
+                return SharedWrite(
+                    kind="closure-mutation",
+                    name=root.id,
+                    line=target.lineno,
+                    node=target,
+                )
+    return None
+
+
+def _classify_mutating_call(node, scope, class_name, local):
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    if node.func.attr not in _MUTATOR_METHODS:
+        return None
+    receiver = node.func.value
+    if _class_level_root(receiver, scope, class_name):
+        return SharedWrite(
+            kind="class-attr",
+            name=_written_name(node.func),
+            line=node.lineno,
+            node=node,
+        )
+    root = receiver
+    while isinstance(root, (ast.Attribute, ast.Subscript)):
+        root = root.value
+    if (
+        isinstance(root, ast.Name)
+        and root.id not in local
+        and root.id not in (scope.self_name, scope.ctx_name)
+    ):
+        return SharedWrite(
+            kind="closure-mutation",
+            name=root.id,
+            line=node.lineno,
+            node=node,
+        )
+    return None
+
+
+def _written_name(node):
+    name = dotted_name(node)
+    if name is not None:
+        return name
+    if isinstance(node, ast.Subscript):
+        inner = dotted_name(node.value)
+        if inner is not None:
+            return f"{inner}[...]"
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return "<attr>"
+
+
+# ---------------------------------------------------------------------------
+# rendering (``repro lint --explain-cfg``)
+# ---------------------------------------------------------------------------
+
+
+def determinism_fact_lines(scope, dataflow=None):
+    """Human-readable determinism facts for the ``--explain-cfg`` view."""
+    lines = []
+    for site in message_fold_sites(scope):
+        stamp = ""
+        if dataflow is not None:
+            interval = dataflow.superstep_at_node(site.loop.iter)
+            stamp = (
+                f" (superstep in {interval!r})"
+                if interval is not None
+                else " (UNREACHABLE)"
+            )
+        lines.append(
+            f"{site.describe()} @ line {site.line}: "
+            f"{site.order_class}{stamp}"
+        )
+    for use in messages_order_uses(scope):
+        detail = f" — {use.detail}" if use.detail else ""
+        lines.append(f"order use ({use.kind}) @ line {use.line}{detail}")
+    return lines

@@ -28,6 +28,7 @@ import hashlib
 import inspect
 import sys
 import textwrap
+import threading
 from collections import OrderedDict
 
 from repro.analysis.findings import AnalysisReport
@@ -36,9 +37,13 @@ from repro.analysis.findings import AnalysisReport
 #: Hashing the actual MRO sources means a class redefined with new code
 #: (notebooks, exec'd test fixtures) never sees a stale report; the LRU
 #: bound keeps long-lived sessions from accumulating every class ever
-#: linted.
+#: linted. The cache is process-global shared mutable state reachable
+#: from the threads backend's pre-flight lint (the very hazard GL019
+#: flags in user code), so every access holds ``_REPORT_CACHE_LOCK`` —
+#: ``move_to_end`` on an ``OrderedDict`` is not atomic.
 _REPORT_CACHE = OrderedDict()
 _REPORT_CACHE_MAX = 128
+_REPORT_CACHE_LOCK = threading.Lock()
 
 
 class ClassContext:
@@ -269,16 +274,18 @@ def _analyze_live(cls, base_class, kind, rules, dataflow):
     if rules is None:
         digest = hashlib.sha1(source_text.encode("utf-8")).hexdigest()
         cache_key = (kind, cls.__module__, cls.__qualname__, digest, dataflow)
-        cached = _REPORT_CACHE.get(cache_key)
-        if cached is not None:
-            _REPORT_CACHE.move_to_end(cache_key)
-            return cached
+        with _REPORT_CACHE_LOCK:
+            cached = _REPORT_CACHE.get(cache_key)
+            if cached is not None:
+                _REPORT_CACHE.move_to_end(cache_key)
+                return cached
 
     report = _run_rules(context, rules)
     if cache_key is not None:
-        _REPORT_CACHE[cache_key] = report
-        while len(_REPORT_CACHE) > _REPORT_CACHE_MAX:
-            _REPORT_CACHE.popitem(last=False)
+        with _REPORT_CACHE_LOCK:
+            _REPORT_CACHE[cache_key] = report
+            while len(_REPORT_CACHE) > _REPORT_CACHE_MAX:
+                _REPORT_CACHE.popitem(last=False)
     return report
 
 

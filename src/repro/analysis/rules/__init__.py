@@ -9,7 +9,10 @@ documented in ``docs/analysis.md``.
 GL001–GL008 are pattern rules over method scopes. GL009–GL015 are the
 dataflow pack: they consume the CFG / reaching-definitions / interval
 analyses in :mod:`repro.analysis.dataflow` and can mark findings
-``proven`` when the property holds on every path.
+``proven`` when the property holds on every path. GL016–GL020 are the
+determinism pack (:mod:`repro.analysis.determinism`): order-sensitivity
+hazards whose predictions the runtime permutation sanitizer
+(``repro san``) confirms or refutes.
 
 Summary:
 
@@ -31,6 +34,11 @@ GL012     warning   aggregator contributions of conflicting types
 GL013     error     fixed-width construction proven to wrap (upgrades GL007)
 GL014     error     CFG-proven absence of a halt path (upgrades GL005)
 GL015     error     statically non-commutative message combiner
+GL016     error     non-commutative fold over the unordered message bag
+GL017     warning   message-position / set-iteration order dependence
+GL018     warning   float accumulation sensitive to delivery order
+GL019     error     compute() mutates state shared across vertices
+GL020     warning   nondeterminism sources GL003's module scan misses
 ========  ========  =====================================================
 """
 
@@ -50,6 +58,11 @@ from repro.analysis.rules import (
     gl013_interval_overflow,
     gl014_proven_no_halt,
     gl015_noncommutative_combiner,
+    gl016_noncommutative_fold,
+    gl017_iteration_order,
+    gl018_float_accumulation,
+    gl019_shared_mutable_state,
+    gl020_unseeded_sources,
 )
 
 _RULE_MODULES = (
@@ -63,7 +76,9 @@ _RULE_MODULES = (
     gl008_nonstrict_tiebreak,
 )
 
-#: The dataflow pack — needs per-method CFG/interval analyses.
+#: The dataflow pack — needs per-method CFG/interval analyses. The
+#: determinism pack (GL016–GL020) rides with it: its rules use interval
+#: phase stamps and reachability when available.
 _DATAFLOW_RULE_MODULES = (
     gl009_use_before_def,
     gl010_dead_send,
@@ -72,6 +87,11 @@ _DATAFLOW_RULE_MODULES = (
     gl013_interval_overflow,
     gl014_proven_no_halt,
     gl015_noncommutative_combiner,
+    gl016_noncommutative_fold,
+    gl017_iteration_order,
+    gl018_float_accumulation,
+    gl019_shared_mutable_state,
+    gl020_unseeded_sources,
 )
 
 
@@ -86,7 +106,7 @@ def all_rules(dataflow=True):
 
 
 def dataflow_rules():
-    """Just the dataflow pack (GL009–GL015)."""
+    """Just the dataflow + determinism packs (GL009–GL020)."""
     return _DATAFLOW_RULE_MODULES
 
 

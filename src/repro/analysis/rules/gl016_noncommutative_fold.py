@@ -1,0 +1,141 @@
+"""GL016: a non-commutative in-loop fold over the message bag.
+
+``compute()`` receives its inbox as an unordered bag — the Pregel model
+promises the *set* of messages, never their order. A loop that folds
+them with a non-commutative operator (``-``, ``/``, string ``+``) or
+that keeps whichever message happened to iterate *last* produces a
+different vertex value under a different delivery order: the bug class
+the runtime sanitizer (``repro san``) exists to confirm.
+
+Decided cases:
+
+- ``acc -= m`` / ``acc = acc / m`` (any proven non-commutative operator
+  folding a message alias into an accumulator that escapes the loop) —
+  ``proven``, error severity, predicts ``order_divergence``;
+- ``acc += m`` with string evidence (a string-literal init or ``str()``
+  in the fold) — concatenation is order-dependent — ``likely``;
+- last-wins assignment ``acc = m`` that escapes the loop: unconditional
+  — ``proven``; guarded by a non-strict comparison (``>=``/``<=`` — the
+  classic tie-break bug, Scenario 4.1's unordered cousin) or any other
+  guard — ``likely``. A *strict* comparison guard is the min/max idiom
+  and stays silent.
+
+The dataflow pack's interval analysis stamps each fold with its
+superstep phase and suppresses folds on statically-dead paths.
+"""
+
+from repro.analysis.determinism import message_fold_sites
+from repro.analysis.findings import ERROR, LIKELY, PROVEN, WARNING, Finding
+
+RULE_ID = "GL016"
+SEVERITY = ERROR
+TITLE = "non-commutative fold over the unordered message bag"
+
+_ORDER_HINT = (
+    "fold messages with a commutative, associative reduction (sum, min, "
+    "max) or sort them first (`for m in sorted(messages)`) so the result "
+    "is independent of delivery order"
+)
+
+
+def check(context):
+    for scope in context.iter_scopes():
+        dataflow = context.dataflow(scope)
+        for site in message_fold_sites(scope):
+            if not site.escapes:
+                continue
+            if dataflow is not None and not dataflow.node_reachable(
+                site.loop.iter
+            ):
+                continue
+            phase = _phase_note(dataflow, site)
+            finding = _classify(context, scope, site, phase)
+            if finding is not None:
+                yield finding
+
+
+def _classify(context, scope, site, phase):
+    if site.kind in ("augassign", "binop") and site.order_class == (
+        "noncommutative"
+    ):
+        return _finding(
+            context, scope, site,
+            message=(
+                f"`{site.acc} {site.op}= {site.alias}` folds the message "
+                f"bag with `{site.op}`, which is not commutative — the "
+                f"accumulated value depends on delivery order{phase}"
+            ),
+            confidence=PROVEN,
+            severity=ERROR,
+        )
+    if (
+        site.kind in ("augassign", "binop")
+        and site.op == "+"
+        and site.string_evidence
+    ):
+        return _finding(
+            context, scope, site,
+            message=(
+                f"`{site.acc} += {site.alias}` looks like string "
+                "concatenation over the message bag — concatenation is "
+                f"order-dependent, so the result varies with delivery "
+                f"order{phase}"
+            ),
+            confidence=LIKELY,
+            severity=WARNING,
+        )
+    if site.kind == "last_wins":
+        if site.guard is None:
+            return _finding(
+                context, scope, site,
+                message=(
+                    f"`{site.acc} = {site.alias}` inside the message loop "
+                    "keeps only the *last* message — which message that is "
+                    f"depends on delivery order{phase}"
+                ),
+                confidence=PROVEN,
+                severity=ERROR,
+            )
+        if site.guard == "strict":
+            return None   # min/max idiom: order-free
+        qualifier = (
+            "a non-strict comparison admits ties, and which tied message "
+            "wins depends on delivery order"
+            if site.guard == "nonstrict"
+            else "whether the guard fires for the winning message depends "
+            "on delivery order"
+        )
+        return _finding(
+            context, scope, site,
+            message=(
+                f"guarded `{site.acc} = {site.alias}` in the message loop "
+                f"is a last-wins update: {qualifier}{phase}"
+            ),
+            confidence=LIKELY,
+            severity=WARNING,
+        )
+    return None
+
+
+def _phase_note(dataflow, site):
+    if dataflow is None:
+        return ""
+    interval = dataflow.superstep_at_node(site.loop.iter)
+    if interval is None:
+        return ""
+    return f" (runs with superstep in {interval!r})"
+
+
+def _finding(context, scope, site, message, confidence, severity):
+    return Finding(
+        rule_id=RULE_ID,
+        severity=severity,
+        message=message,
+        class_name=context.class_name,
+        method=scope.name,
+        filename=scope.filename,
+        line=site.line,
+        hint=_ORDER_HINT,
+        confidence=confidence,
+        predicts="order_divergence" if confidence == PROVEN else "",
+    )

@@ -1,0 +1,82 @@
+"""GL017: semantics that depend on message position or set order.
+
+The engine canonicalizes inbox order (stable sort by source id), which
+makes ``messages[0]`` *reproducible* — but still meaningless: the Pregel
+model never promises which message arrives first, and under a permuted
+delivery schedule (``repro san``) or on a real cluster the "first"
+message is a different one. Positional access to ``messages``
+(indexing, ``enumerate``, ``next(iter(...))``) and iteration over
+unordered ``set`` containers are ``likely`` order-sensitivity hazards.
+
+All findings here are ``likely`` (warning severity): positional access
+only diverges when multiple distinct messages actually arrive, which is
+a runtime fact. The sanitizer settles it — that is the point of the
+static/runtime split.
+"""
+
+from repro.analysis.determinism import messages_order_uses
+from repro.analysis.findings import LIKELY, WARNING, Finding
+
+RULE_ID = "GL017"
+SEVERITY = WARNING
+TITLE = "computation depends on message position or set iteration order"
+
+_MESSAGES = {
+    "subscript": (
+        "indexes the message bag ({detail}) — the Pregel model does not "
+        "define which message occupies a position, so the selected value "
+        "changes with delivery order"
+    ),
+    "enumerate": (
+        "enumerates the message bag — positions are an artifact of "
+        "delivery order, not part of the computation's input"
+    ),
+    "next": (
+        "takes the first message via {detail} — which message is first "
+        "depends on delivery order"
+    ),
+    "set-iteration": (
+        "iterates over an unordered set — iteration order varies across "
+        "interpreter runs (hash randomization), so any order-dependent "
+        "effect in the loop body is nondeterministic"
+    ),
+}
+
+_HINTS = {
+    "subscript": (
+        "select messages by value (min/max/sorted) instead of by position"
+    ),
+    "enumerate": (
+        "drop the index, or sort the messages first if positions must "
+        "be meaningful"
+    ),
+    "next": "use min()/max() to pick a message by value",
+    "set-iteration": (
+        "iterate `sorted(the_set)` when the loop body's effects depend "
+        "on order"
+    ),
+}
+
+
+def check(context):
+    for scope in context.iter_scopes():
+        dataflow = context.dataflow(scope)
+        for use in messages_order_uses(scope):
+            if dataflow is not None and not dataflow.node_reachable(use.node):
+                continue
+            template = _MESSAGES[use.kind]
+            yield Finding(
+                rule_id=RULE_ID,
+                severity=WARNING,
+                message=(
+                    f"`{scope.name}` "
+                    + template.format(detail=use.detail or "messages[...]")
+                ),
+                class_name=context.class_name,
+                method=scope.name,
+                filename=scope.filename,
+                line=use.line,
+                hint=_HINTS[use.kind],
+                confidence=LIKELY,
+                predicts="order_divergence",
+            )

@@ -1,0 +1,116 @@
+"""GL018: float accumulation whose low bits depend on delivery order.
+
+Float addition is commutative but *not associative*: summing the same
+bag of floats in a different order changes the rounding, so
+``sum(messages)`` over float payloads produces (slightly) different
+values under different delivery schedules. On a convergence-checked
+algorithm those low bits decide when vertices halt — runs stop being
+byte-identical across backends, which is exactly the invariant the
+canonical trace digest enforces.
+
+All findings are ``likely`` (warning severity): payload types are a
+runtime fact, so the rule only fires when it sees *float evidence* — a
+float-literal accumulator init, a float literal in the fold expression,
+or a float literal in the same statement as a ``sum(messages)`` call.
+The stable-reduce idioms are exempt by construction: folding
+``sorted(messages)`` or using ``math.fsum`` never matches (the rule
+only recognizes direct folds of the raw message parameter).
+"""
+
+import ast
+
+from repro.analysis.determinism import message_fold_sites
+from repro.analysis.findings import LIKELY, WARNING, Finding
+from repro.analysis.scopes import dotted_name, iter_statements
+
+RULE_ID = "GL018"
+SEVERITY = WARNING
+TITLE = "float accumulation over messages is delivery-order sensitive"
+
+_HINT = (
+    "make the reduction order canonical: `sum(sorted(messages))` (or "
+    "math.fsum) gives the same bits under every delivery order"
+)
+
+
+def check(context):
+    for scope in context.iter_scopes():
+        dataflow = context.dataflow(scope)
+        seen_lines = set()
+        for site in message_fold_sites(scope):
+            if site.kind == "last_wins" or not site.escapes:
+                continue
+            if site.op not in ("+", "*") or not site.float_evidence:
+                continue
+            if dataflow is not None and not dataflow.node_reachable(
+                site.loop.iter
+            ):
+                continue
+            seen_lines.add(site.line)
+            yield _finding(
+                context, scope, site.line,
+                message=(
+                    f"`{site.acc} {site.op}= {site.alias}` accumulates "
+                    "floats in delivery order — float addition is not "
+                    "associative, so the low bits differ between "
+                    "schedules and backends"
+                ),
+            )
+        for line in _float_sum_lines(scope, dataflow):
+            if line not in seen_lines:
+                yield _finding(
+                    context, scope, line,
+                    message=(
+                        "`sum(messages)` in a float expression folds the "
+                        "bag in delivery order — float addition is not "
+                        "associative, so permuted schedules change the "
+                        "low bits of the result"
+                    ),
+                )
+
+
+def _float_sum_lines(scope, dataflow):
+    """Lines holding ``sum(<messages>)`` next to a float literal."""
+    if scope.messages_name is None:
+        return []
+    lines = []
+    for stmt in iter_statements(scope.node.body):
+        sum_call = None
+        has_float = False
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) == "sum"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == scope.messages_name
+            ):
+                sum_call = node
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, float
+            ):
+                has_float = True
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                has_float = True
+        if sum_call is None or not has_float:
+            continue
+        if dataflow is not None and not dataflow.node_reachable(sum_call):
+            continue
+        if sum_call.lineno not in lines:
+            lines.append(sum_call.lineno)
+    return lines
+
+
+def _finding(context, scope, line, message):
+    return Finding(
+        rule_id=RULE_ID,
+        severity=WARNING,
+        message=message,
+        class_name=context.class_name,
+        method=scope.name,
+        filename=scope.filename,
+        line=line,
+        hint=_HINT,
+        confidence=LIKELY,
+        predicts="order_divergence",
+    )

@@ -14,6 +14,8 @@ The workflows a Giraph user would drive from a terminal::
     python -m repro trace stats job-0 --dir ./exported-traces
     python -m repro chaos presets
     python -m repro chaos run --plan worker-crash --algorithm pagerank
+    python -m repro san --algorithm label-prop-buggy --dataset web-BS \\
+        --schedules 3
     python -m repro debug --algorithm pagerank --chaos torn-trace-tail \\
         --capture-all-active
     python -m repro validate --dataset soc-Epinions --vertices 500
@@ -22,11 +24,11 @@ Exit status (documented for CI gating):
 
 - 0 — success, and (for ``debug``) no constraint violations captured;
 - 1 — failed computation, invalid input, a ``chaos run`` whose recovery
-  verification failed, or (for ``lint``) error-severity findings /
-  unresolvable target;
+  verification failed, a ``san`` sweep whose harness failed, or (for
+  ``lint``) error-severity findings / unresolvable target;
 - 2 — the run or analysis itself succeeded but found problems: ``debug``
-  captured constraint violations, or ``lint`` produced warning-severity
-  findings only.
+  captured constraint violations, ``lint`` produced warning-severity
+  findings only, or ``san`` observed a delivery-order divergence.
 """
 
 import argparse
@@ -34,6 +36,7 @@ import sys
 
 from repro.algorithms import (
     BuggyGraphColoring,
+    BuggyLabelPropagation,
     BuggyRandomWalk,
     ConnectedComponents,
     GCMaster,
@@ -122,6 +125,13 @@ def _algorithm_registry():
             lambda args: (lambda: LabelPropagation(iterations=args.iterations)),
             lambda args: {},
         ),
+        "label-prop-buggy": (
+            "label propagation with a last-wins tie-break (order-sensitive)",
+            lambda args: (
+                lambda: BuggyLabelPropagation(iterations=args.iterations)
+            ),
+            lambda args: {},
+        ),
     }
 
 
@@ -136,7 +146,9 @@ def _build_graph(args):
         )
     if args.algorithm == "mwm":
         graph = to_undirected(random_symmetric_weights(graph, seed=args.seed))
-    elif args.algorithm in ("triangles", "kcore", "label-prop", "components"):
+    elif args.algorithm in (
+        "triangles", "kcore", "label-prop", "label-prop-buggy", "components"
+    ):
         # These expect the undirected (symmetric) encoding.
         graph = to_undirected(graph)
     return graph
@@ -544,6 +556,36 @@ def cmd_chaos(args, out):
     return 0 if report.ok else 1
 
 
+def cmd_san(args, out):
+    import json
+
+    from repro.graft.sanitizer import run_sanitizer
+
+    registry = _algorithm_registry()
+    description, factory_builder, kwargs_builder = registry[args.algorithm]
+    graph = _build_graph(args)
+    kwargs = _engine_kwargs(args, kwargs_builder(args))
+    out(f"graft-san {args.algorithm} ({description}) on {args.dataset} "
+        f"[{graph.num_vertices} vertices] schedules={args.schedules} "
+        f"executor={args.executor} workers={args.workers}")
+    report = run_sanitizer(
+        factory_builder(args),
+        graph,
+        schedules=args.schedules,
+        seed=kwargs.pop("seed"),
+        num_workers=kwargs.pop("num_workers"),
+        executor=kwargs.pop("executor"),
+        **kwargs,
+    )
+    if args.format == "json":
+        out(json.dumps(report.to_dict(), indent=2, default=repr))
+    else:
+        out(report.summary())
+    if not report.ok:
+        return 1
+    return 0 if report.deterministic else 2
+
+
 def cmd_trace(args, out):
     from repro.common.errors import TraceError
     from repro.graft.trace import trace_stats
@@ -710,9 +752,22 @@ def build_parser():
     chaos_run_parser.add_argument("--format", choices=("text", "json"),
                                   default="text")
 
+    san_parser = sub.add_parser(
+        "san",
+        help="runtime determinism sanitizer (graft-san): run K permuted "
+             "message-delivery schedules and report the first divergence",
+    )
+    add_common(san_parser)
+    san_parser.add_argument(
+        "--schedules", type=int, default=3,
+        help="number of permutation schedules to sweep (default 3)",
+    )
+    san_parser.add_argument("--format", choices=("text", "json"),
+                            default="text")
+
     lint_parser = sub.add_parser(
         "lint",
-        help="statically analyze vertex programs (graft-lint, GL001-GL015)",
+        help="statically analyze vertex programs (graft-lint, GL001-GL020)",
     )
     lint_parser.add_argument(
         "targets", nargs="+", metavar="TARGET",
@@ -723,7 +778,7 @@ def build_parser():
                              default="text")
     lint_parser.add_argument(
         "--dataflow", dest="dataflow", action="store_true", default=True,
-        help="run the CFG/interval dataflow pack GL009-GL015 (default)",
+        help="run the CFG/interval dataflow pack GL009-GL020 (default)",
     )
     lint_parser.add_argument(
         "--no-dataflow", dest="dataflow", action="store_false",
@@ -770,6 +825,7 @@ _COMMANDS = {
     "run": cmd_run,
     "debug": cmd_debug,
     "chaos": cmd_chaos,
+    "san": cmd_san,
     "lint": cmd_lint,
     "trace": cmd_trace,
     "validate": cmd_validate,

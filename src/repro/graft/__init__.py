@@ -51,6 +51,13 @@ from repro.graft.diffing import DiffReport, Divergence, diff_runs
 from repro.graft.fidelity import FidelityReport, verify_run_fidelity
 from repro.graft.instrumenter import instrument
 from repro.graft.offline import OfflineGraphBuilder
+from repro.graft.sanitizer import (
+    FirstDivergence,
+    SanitizerReport,
+    order_insensitive_digest,
+    order_insensitive_lines,
+    run_sanitizer,
+)
 from repro.graft.reproducer import (
     ReplayHarness,
     ReplayOutcome,
@@ -99,6 +106,11 @@ __all__ = [
     "check_combiner_safety",
     "FidelityReport",
     "verify_run_fidelity",
+    "FirstDivergence",
+    "SanitizerReport",
+    "order_insensitive_digest",
+    "order_insensitive_lines",
+    "run_sanitizer",
     "instrument",
     "OfflineGraphBuilder",
     "ReplayHarness",

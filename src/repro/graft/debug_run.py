@@ -414,10 +414,12 @@ class DebugRun:
 
         return TabularView(self.reader, superstep)
 
-    def violations_view(self):
+    def violations_view(self, sanitizer=None):
         from repro.graft.views.violations import ViolationsView
 
-        return ViolationsView(self.reader, lint_report=self.lint_report)
+        return ViolationsView(
+            self.reader, lint_report=self.lint_report, sanitizer=sanitizer
+        )
 
     def observed_evidence_kinds(self):
         """The runtime evidence kinds this run actually produced.

@@ -67,11 +67,17 @@ class FidelityReport:
         return text + recovery + score
 
 
-def verify_run_fidelity(run, computation_factory=None, limit=None):
+def verify_run_fidelity(run, computation_factory=None, limit=None,
+                        sanitizer=None):
     """Replay every captured context of ``run`` and verify the outcomes.
 
     ``computation_factory`` defaults to the one the run used. ``limit``
     caps how many records to replay (useful for very large capture sets).
+    ``sanitizer`` optionally takes a
+    :class:`~repro.graft.sanitizer.SanitizerReport` for the same
+    computation; its ``order_divergence`` evidence then counts toward the
+    prediction score, so a GL016 forecast confirmed by graft-san grades
+    as a hit here too.
     """
     factory = computation_factory or run.computation_factory
     report = FidelityReport()
@@ -105,5 +111,7 @@ def verify_run_fidelity(run, computation_factory=None, limit=None):
         observed = set(run.observed_evidence_kinds())
         if report.unfaithful:
             observed.add("replay_divergence")
+        if sanitizer is not None:
+            observed.update(sanitizer.observed_evidence_kinds())
         report.prediction_score = score_predictions(run.lint_report, observed)
     return report

@@ -12,11 +12,16 @@ class ViolationsView:
     When the run carried a pre-flight graft-lint report, each violation
     kind that a static rule predicted is annotated with the rule id — the
     view answers "could I have known this before running?" directly.
+    A graft-san :class:`~repro.graft.sanitizer.SanitizerReport` can ride
+    along the same way: its confirmed/refuted order-sensitivity verdicts
+    join the footer and its ``order_divergence`` evidence joins the
+    prediction score.
     """
 
-    def __init__(self, reader, lint_report=None):
+    def __init__(self, reader, lint_report=None, sanitizer=None):
         self._reader = reader
         self._lint_report = lint_report
+        self._sanitizer = sanitizer
 
     def violation_rows(self, superstep=None, kind=None):
         """Violations as ``(vertex_id, superstep, kind, details)`` rows."""
@@ -80,10 +85,32 @@ class ViolationsView:
             if include_tracebacks:
                 lines.extend("      " + t for t in traceback_text.splitlines())
         lines.extend(self._lint_predictions(violation_rows))
+        lines.extend(self._sanitizer_verdicts())
         score_line = self._prediction_score_line(violation_rows, exception_rows)
         if score_line:
             lines.append(score_line)
         return "\n".join(lines)
+
+    def _sanitizer_verdicts(self):
+        """Footer lines for graft-san's order-sensitivity verdicts."""
+        if self._sanitizer is None:
+            return []
+        lines = []
+        if self._sanitizer.divergent_schedules:
+            lines.append(
+                "  [order_divergence] graft-san: delivery-order divergence "
+                f"under schedules {list(self._sanitizer.divergent_schedules)}"
+            )
+            if self._sanitizer.first_divergence is not None:
+                lines.append(
+                    f"    {self._sanitizer.first_divergence.summary()}"
+                )
+        for finding, verdict in self._sanitizer.verdicts().items():
+            lines.append(
+                f"  [{verdict} by graft-san] {finding.rule_id}"
+                f"@{finding.location()}"
+            )
+        return lines
 
     def _lint_predictions(self, violation_rows):
         """Footer lines linking observed kinds to the static findings."""
@@ -107,6 +134,8 @@ class ViolationsView:
         observed = {kind for _v, _s, kind, _d in violation_rows}
         if exception_rows:
             observed.add("exception")
+        if self._sanitizer is not None:
+            observed.update(self._sanitizer.observed_evidence_kinds())
         score = score_predictions(self._lint_report, observed)
         if not score.predicted and not score.observed:
             return ""

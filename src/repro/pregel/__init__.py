@@ -48,6 +48,7 @@ from repro.pregel.engine import PregelEngine, PregelResult, run_computation
 from repro.pregel.job import JobResult, read_output, run_job, write_output
 from repro.pregel.master import MasterComputation, MasterContext
 from repro.pregel.metrics import RunMetrics, SuperstepMetrics
+from repro.pregel.permutation import PermutationSchedule
 from repro.pregel.partition import (
     ExplicitPartitioner,
     HashPartitioner,
@@ -96,6 +97,7 @@ __all__ = [
     "MasterContext",
     "RunMetrics",
     "SuperstepMetrics",
+    "PermutationSchedule",
     "Partitioner",
     "HashPartitioner",
     "ExplicitPartitioner",

@@ -171,6 +171,7 @@ class PregelEngine:
         fault_injector=None,
         on_message_to_missing="create",
         executor="serial",
+        delivery_schedule=None,
     ):
         if max_supersteps <= 0:
             raise PregelError(f"max_supersteps must be positive, got {max_supersteps}")
@@ -195,6 +196,14 @@ class PregelEngine:
         self._on_message_to_missing = on_message_to_missing
         self._checkpoint_config = checkpoint_config
         self._fault_injector = fault_injector
+        # graft-san: a PermutationSchedule (or compatible object) that
+        # reorders canonicalized inboxes at the barrier. Seeded from the
+        # run seed unless it carries its own.
+        self._delivery_schedule = (
+            delivery_schedule.bind(seed)
+            if delivery_schedule is not None
+            else None
+        )
         self._pending_failures = {
             superstep: worker_id
             for superstep, worker_id in (failure_injections or [])
@@ -573,6 +582,17 @@ class PregelEngine:
         for outcome in outcomes:
             outgoing.merge_grouped(outcome.outbox)
         outgoing.canonicalize()
+        if self._delivery_schedule is not None:
+            # graft-san: re-open the Pregel model's delivery-order freedom.
+            # Runs in the parent over the canonicalized store, so the
+            # permutation is a pure function of (seed, schedule, superstep,
+            # target) — identical across backends and worker counts. The
+            # messages delivered here are consumed one superstep later.
+            superstep_metrics.inboxes_permuted = (
+                self._delivery_schedule.permute_store(
+                    outgoing, superstep_metrics.superstep + 1
+                )
+            )
         if self._combiner is not None:
             superstep_metrics.messages_combined = outgoing.combine(self._combiner)
         self._apply_mutations(outcomes, outgoing)

@@ -33,6 +33,9 @@ class SuperstepMetrics:
     #: True when this row re-executes a superstep after a rollback (the
     #: superstep had already completed once before a failure).
     recovered: bool = False
+    #: Inboxes whose delivery order a PermutationSchedule changed at this
+    #: superstep's barrier (0 unless a graft-san run is active).
+    inboxes_permuted: int = 0
 
     @property
     def parallel_efficiency(self):
@@ -100,6 +103,10 @@ class RunMetrics:
     @property
     def total_messages_combined(self):
         return sum(s.messages_combined for s in self.supersteps)
+
+    @property
+    def total_inboxes_permuted(self):
+        return sum(s.inboxes_permuted for s in self.supersteps)
 
     @property
     def total_compute_seconds(self):

@@ -1,0 +1,277 @@
+"""graft-san end to end: the determinism race detector's closed loop.
+
+Two halves of one claim:
+
+- the seeded order-sensitivity bug (``BuggyLabelPropagation``) is flagged
+  statically (GL016) AND diverges under permuted delivery schedules, with
+  a first-divergence report naming the superstep, vertex, and field;
+- every shipped deterministic algorithm produces a byte-identical
+  order-insensitive canonical digest across >= 3 permutation schedules on
+  all three execution backends, and carries zero proven GL016-GL020
+  findings.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    BuggyLabelPropagation,
+    ConnectedComponents,
+    GCMaster,
+    GraphColoring,
+    KCore,
+    LabelPropagation,
+    MaximumWeightMatching,
+    PageRank,
+    RandomWalk,
+    ShortestPaths,
+    TriangleCount,
+)
+from repro.analysis import PROVEN, analyze_computation
+from repro.datasets import load_dataset, random_symmetric_weights
+from repro.graft.sanitizer import run_sanitizer
+from repro.graph import to_undirected
+from repro.pregel.runtime import EXECUTOR_NAMES
+
+DETERMINISM_RULES = ("GL016", "GL017", "GL018", "GL019", "GL020")
+SCHEDULES = 3
+
+
+def _directed():
+    return load_dataset("web-BS", num_vertices=40, seed=3)
+
+
+#: name -> (factory, graph builder, engine kwargs). Every shipped
+#: deterministic algorithm, sized for a fast sweep.
+ALGORITHMS = {
+    "pagerank": (lambda: PageRank(iterations=3), _directed, {}),
+    "sssp": (lambda: ShortestPaths(0), _directed, {}),
+    "rw": (
+        lambda: RandomWalk(steps=4, initial_walkers=20),
+        _directed,
+        {"max_supersteps": 12},
+    ),
+    "components": (
+        lambda: ConnectedComponents(),
+        lambda: to_undirected(_directed()),
+        {},
+    ),
+    "label-prop": (
+        lambda: LabelPropagation(iterations=5),
+        lambda: to_undirected(_directed()),
+        {},
+    ),
+    "triangles": (
+        lambda: TriangleCount(),
+        lambda: to_undirected(_directed()),
+        {},
+    ),
+    "kcore": (lambda: KCore(2), lambda: to_undirected(_directed()), {}),
+    "gc": (
+        lambda: GraphColoring(),
+        lambda: to_undirected(_directed()),
+        {"master": GCMaster(), "max_supersteps": 30},
+    ),
+    "mwm": (
+        lambda: MaximumWeightMatching(),
+        lambda: to_undirected(random_symmetric_weights(_directed(), seed=3)),
+        {"max_supersteps": 30},
+    ),
+}
+
+_CACHE = {}
+
+
+def _sweep(algorithm, executor):
+    """One sanitizer sweep per (algorithm, executor); memoized."""
+    key = (algorithm, executor)
+    if key not in _CACHE:
+        factory, graph_builder, kwargs = ALGORITHMS[algorithm]
+        _CACHE[key] = run_sanitizer(
+            factory,
+            graph_builder(),
+            schedules=SCHEDULES,
+            seed=7,
+            num_workers=2,
+            executor=executor,
+            **kwargs,
+        )
+    return _CACHE[key]
+
+
+# -- the buggy half: flagged statically, proven dynamically --------------------
+
+
+@pytest.mark.san
+class TestClosedLoop:
+    def test_buggy_label_propagation_flagged_statically(self):
+        report = analyze_computation(BuggyLabelPropagation)
+        gl016 = [f for f in report.findings if f.rule_id == "GL016"]
+        assert gl016, "the seeded tie-break bug must be flagged"
+
+    def test_buggy_label_propagation_diverges(self):
+        report = run_sanitizer(
+            lambda: BuggyLabelPropagation(iterations=6),
+            to_undirected(_directed()),
+            schedules=SCHEDULES,
+            seed=7,
+            num_workers=4,
+        )
+        assert report.ok, report.failures
+        assert not report.deterministic
+        assert report.divergent_schedules, "permutation must expose the bug"
+        assert report.inboxes_permuted > 0
+
+        divergence = report.first_divergence
+        assert divergence is not None
+        assert divergence.schedule in report.divergent_schedules
+        assert divergence.superstep >= 1
+        assert divergence.field, "divergence must name the record field"
+        assert divergence.baseline != divergence.permuted
+        assert str(divergence.superstep) in divergence.summary()
+
+        # The GL016 finding is judged against the runtime evidence.
+        verdicts = report.verdicts()
+        assert verdicts, "the lint finding must receive a verdict"
+        assert all(v == "confirmed" for v in verdicts.values())
+        assert report.observed_evidence_kinds() == ["order_divergence"]
+
+    def test_sanitizer_report_round_trips_to_dict(self):
+        report = run_sanitizer(
+            lambda: BuggyLabelPropagation(iterations=4),
+            to_undirected(_directed()),
+            schedules=2,
+            seed=7,
+            num_workers=2,
+        )
+        payload = report.to_dict()
+        assert payload["deterministic"] is False
+        assert payload["divergent_schedules"]
+        assert payload["first_divergence"]["field"]
+        assert any("GL016" in key for key in payload["verdicts"])
+        assert "ORDER-SENSITIVE" in report.summary()
+
+
+# -- the clean half: every shipped algorithm, every backend --------------------
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_no_proven_determinism_findings(algorithm):
+    factory, _graph, _kwargs = ALGORITHMS[algorithm]
+    report = analyze_computation(type(factory()))
+    proven = [
+        f for f in report.findings
+        if f.rule_id in DETERMINISM_RULES and f.confidence == PROVEN
+    ]
+    assert proven == [], proven
+
+
+@pytest.mark.san
+@pytest.mark.parametrize("algorithm", ["pagerank", "label-prop"])
+def test_smoke_deterministic_on_serial(algorithm):
+    report = _sweep(algorithm, "serial")
+    assert report.ok, report.failures
+    assert report.deterministic, report.summary()
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+def test_deterministic_across_schedules(algorithm, executor):
+    report = _sweep(algorithm, executor)
+    assert report.ok, report.failures
+    assert len(report.schedules) >= 3
+    assert report.deterministic, report.summary()
+    assert report.observed_evidence_kinds() == []
+    # Refuted-or-empty verdicts: nothing may be "confirmed" on clean code.
+    assert "confirmed" not in report.verdicts().values()
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_digest_identical_across_backends(algorithm):
+    """The order-insensitive digest is one hash whatever backend ran."""
+    digests = {
+        executor: _sweep(algorithm, executor).baseline_digest
+        for executor in EXECUTOR_NAMES
+    }
+    assert len(set(digests.values())) == 1, digests
+
+
+# -- wiring: verdicts feed the score, the view, and the fidelity report --------
+
+
+class TestSanitizerWiring:
+    def _buggy_pair(self):
+        import warnings
+
+        from repro.graft import CaptureAllActiveConfig, debug_run
+
+        graph = to_undirected(_directed())
+        sanitizer = run_sanitizer(
+            lambda: BuggyLabelPropagation(iterations=4),
+            graph, schedules=2, seed=7, num_workers=2,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            run = debug_run(
+                lambda: BuggyLabelPropagation(iterations=4),
+                graph, CaptureAllActiveConfig(),
+                seed=7, num_workers=2,
+            )
+        return run, sanitizer
+
+    def test_violations_view_footer_carries_verdicts(self):
+        run, sanitizer = self._buggy_pair()
+        rendered = run.violations_view(sanitizer=sanitizer).render()
+        assert "order_divergence" in rendered
+        assert "confirmed by graft-san" in rendered
+        assert "first divergence" in rendered
+
+    def test_fidelity_report_observes_order_divergence(self):
+        from repro.graft import verify_run_fidelity
+
+        run, sanitizer = self._buggy_pair()
+        report = verify_run_fidelity(run, limit=10, sanitizer=sanitizer)
+        assert report.ok, "replay fidelity is unaffected by the race"
+        assert "order_divergence" in report.prediction_score.observed
+
+
+# -- the CLI surface -----------------------------------------------------------
+
+
+@pytest.mark.san
+class TestSanCli:
+    def _run_cli(self, *argv):
+        from repro.cli import main
+
+        lines = []
+        status = main(list(argv), out=lines.append)
+        return status, "\n".join(lines)
+
+    def test_divergence_exits_2(self):
+        status, output = self._run_cli(
+            "san", "--algorithm", "label-prop-buggy", "--dataset", "web-BS",
+            "--vertices", "40", "--schedules", "2", "--workers", "2",
+        )
+        assert status == 2
+        assert "ORDER-SENSITIVE" in output
+        assert "first divergence" in output
+
+    def test_deterministic_exits_0(self):
+        status, output = self._run_cli(
+            "san", "--algorithm", "label-prop", "--dataset", "web-BS",
+            "--vertices", "40", "--schedules", "2", "--workers", "2",
+        )
+        assert status == 0
+        assert "DETERMINISTIC" in output
+
+    def test_json_format(self):
+        import json
+
+        status, output = self._run_cli(
+            "san", "--algorithm", "pagerank", "--dataset", "web-BS",
+            "--vertices", "30", "--schedules", "2", "--workers", "2",
+            "--format", "json",
+        )
+        assert status == 0
+        payload = json.loads(output.split("\n", 1)[1])
+        assert payload["deterministic"] is True
+        assert len(payload["schedule_digests"]) == 2

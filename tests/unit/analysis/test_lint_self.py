@@ -22,6 +22,7 @@ REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..", "..")
 BUGGY = {
     "BuggyRandomWalk": "GL007",       # Short16 wrap-around (Scenario 4.2)
     "BuggyGraphColoring": "GL008",    # non-strict <= vs min() (Scenario 4.1)
+    "BuggyLabelPropagation": "GL016", # last-wins tie-break (determinism race)
 }
 
 

@@ -1,0 +1,119 @@
+"""PermutationSchedule: the seeded delivery-order lever graft-san pulls.
+
+The contract under test: a schedule permutes inbox *order* only — never
+the message multiset — deterministically for a given (seed, schedule,
+superstep, target), differently across schedules, and identically
+however the engine that applies it is backed.
+"""
+
+from repro.pregel.messages import Envelope, MessageStore
+from repro.pregel.permutation import PermutationSchedule
+
+
+def make_store(num_targets=3, fanin=6):
+    store = MessageStore()
+    for target in range(num_targets):
+        for source in range(fanin):
+            store.deliver(Envelope(source, target, value=source * 10 + target))
+    store.canonicalize()
+    return store
+
+
+def inbox_orders(store):
+    return {
+        target: list(store.inbox(target)) for target in store.targets()
+    }
+
+
+class TestPermuteInbox:
+    def test_schedule_zero_is_identity(self):
+        schedule = PermutationSchedule(0, seed=7)
+        envelopes = [Envelope(s, 0, s) for s in range(5)]
+        before = list(envelopes)
+        assert schedule.permute_inbox(0, 1, envelopes) is False
+        assert envelopes == before
+        assert schedule.is_identity()
+
+    def test_short_inboxes_untouched(self):
+        schedule = PermutationSchedule(1, seed=7)
+        single = [Envelope(0, 0, 0)]
+        assert schedule.permute_inbox(0, 1, single) is False
+        assert single == [Envelope(0, 0, 0)]
+
+    def test_permutation_preserves_the_multiset(self):
+        schedule = PermutationSchedule(1, seed=7)
+        envelopes = [Envelope(s, 0, s) for s in range(8)]
+        before = sorted(envelopes)
+        schedule.permute_inbox(0, 1, envelopes)
+        assert sorted(envelopes) == before
+
+    def test_same_coordinates_same_shuffle(self):
+        a = [Envelope(s, 0, s) for s in range(8)]
+        b = [Envelope(s, 0, s) for s in range(8)]
+        PermutationSchedule(1, seed=7).permute_inbox(0, 3, a)
+        PermutationSchedule(1, seed=7).permute_inbox(0, 3, b)
+        assert a == b
+
+    def test_schedules_differ(self):
+        a = [Envelope(s, 0, s) for s in range(8)]
+        b = [Envelope(s, 0, s) for s in range(8)]
+        PermutationSchedule(1, seed=7).permute_inbox(0, 1, a)
+        PermutationSchedule(2, seed=7).permute_inbox(0, 1, b)
+        assert a != b
+
+    def test_supersteps_differ(self):
+        a = [Envelope(s, 0, s) for s in range(8)]
+        b = [Envelope(s, 0, s) for s in range(8)]
+        schedule = PermutationSchedule(1, seed=7)
+        schedule.permute_inbox(0, 1, a)
+        schedule.permute_inbox(0, 2, b)
+        assert a != b
+
+    def test_targets_differ(self):
+        a = [Envelope(s, 0, s) for s in range(8)]
+        b = [Envelope(s, 0, s) for s in range(8)]
+        schedule = PermutationSchedule(1, seed=7)
+        schedule.permute_inbox("u", 1, a)
+        schedule.permute_inbox("v", 1, b)
+        assert a != b
+
+
+class TestBind:
+    def test_bind_adopts_run_seed_when_unset(self):
+        schedule = PermutationSchedule(1)
+        assert schedule.bind(42) is schedule
+        assert schedule.seed == 42
+
+    def test_bind_keeps_explicit_seed(self):
+        schedule = PermutationSchedule(1, seed=7)
+        schedule.bind(42)
+        assert schedule.seed == 7
+
+
+class TestPermuteStore:
+    def test_counts_changed_inboxes_and_keeps_multisets(self):
+        store = make_store()
+        before = {
+            t: sorted(envs) for t, envs in inbox_orders(store).items()
+        }
+        permuted = PermutationSchedule(1, seed=7).permute_store(store, 1)
+        after = inbox_orders(store)
+        assert permuted == len(before)
+        assert {t: sorted(envs) for t, envs in after.items()} == before
+        assert any(
+            after[t] != sorted(after[t], key=lambda e: repr(e.source))
+            for t in after
+        )
+
+    def test_identity_schedule_counts_zero(self):
+        store = make_store()
+        before = inbox_orders(store)
+        assert PermutationSchedule(0, seed=7).permute_store(store, 1) == 0
+        assert inbox_orders(store) == before
+
+    def test_store_permutation_is_reproducible(self):
+        first = make_store()
+        second = make_store()
+        PermutationSchedule(2, seed=9).permute_store(first, 4)
+        PermutationSchedule(2, seed=9).permute_store(second, 4)
+        assert inbox_orders(first) == inbox_orders(second)
