@@ -22,6 +22,7 @@ The result is a :class:`ChaosReport`: machine-checkable (``ok``,
 for the CLI.
 """
 
+import os
 from dataclasses import dataclass, field
 
 from repro.chaos.faults import load_fault_plan
@@ -120,6 +121,16 @@ def _reader_lines(reader):
     return sorted(lines)
 
 
+def _shm_segments():
+    """Names of multiprocessing shared-memory segments currently alive."""
+    try:
+        return {
+            name for name in os.listdir("/dev/shm") if name.startswith("psm_")
+        }
+    except OSError:  # no /dev/shm on this platform: check degrades to a no-op
+        return set()
+
+
 def run_chaos(
     computation_factory,
     graph,
@@ -155,6 +166,7 @@ def run_chaos(
     plan = load_fault_plan(plan)
     if config is None:
         config = CaptureAllActiveConfig()
+    shm_before = _shm_segments()
     common = dict(
         seed=seed,
         num_workers=num_workers,
@@ -276,6 +288,16 @@ def run_chaos(
             not snapshot_failures,
             "; ".join(snapshot_failures),
         )
+
+    # The columnar transport ships messages through shared-memory blocks
+    # under the processes backend; every crash/rollback path must unlink
+    # its segments, or repeated chaos runs slowly fill /dev/shm.
+    leaked = _shm_segments() - shm_before
+    check(
+        "no shared-memory segments leaked",
+        not leaked,
+        f"leaked /dev/shm segments: {sorted(leaked)}",
+    )
 
     return report
 

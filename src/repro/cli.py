@@ -159,6 +159,8 @@ def _engine_kwargs(args, registry_kwargs):
     kwargs["seed"] = args.seed
     kwargs["num_workers"] = args.workers
     kwargs["executor"] = args.executor
+    if getattr(args, "columnar", None) is not None:
+        kwargs["columnar"] = args.columnar
     if args.max_supersteps is not None:
         kwargs["max_supersteps"] = args.max_supersteps
     return kwargs
@@ -675,6 +677,11 @@ def build_parser():
         p.add_argument("--executor", choices=EXECUTOR_NAMES, default="serial",
                        help="superstep execution backend (results and traces "
                             "are identical across backends)")
+        p.add_argument("--columnar", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="force the columnar (packed-batch) or envelope "
+                            "message transport; default picks columnar "
+                            "automatically (results are identical)")
         p.add_argument("--max-supersteps", type=int, default=None)
         p.add_argument("--iterations", type=int, default=10,
                        help="pagerank iterations")

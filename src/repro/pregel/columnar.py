@@ -1,0 +1,1148 @@
+"""Columnar message batches and shared-memory transport (the fast data plane).
+
+``BENCH_engine.json`` showed the processes backend losing to serial:
+every superstep pickled ~50k :class:`~repro.pregel.messages.Envelope`
+objects per worker across a pipe, plus the worker's entire state dicts.
+Following Pregelix's columnar discipline (Ammar & Özsu's cross-system
+analysis), this module moves the inter-worker data plane off the object
+heap: messages and vertex values cross process boundaries as *flat packed
+buffers* — typed columns backed by :mod:`array` — shipped through
+``multiprocessing.shared_memory`` blocks, one per worker pair (child →
+parent) per superstep.
+
+The three layers
+----------------
+
+**Columns** (:class:`ColumnBuilder` / :func:`decode_column`): a value
+column holds a homogeneous run of built-in payloads — ``float`` as a
+packed ``array('d')``, ``int`` as ``array('q')``, fixed-width integers
+(:class:`~repro.pregel.value_types.Short16` and friends) as their wrapped
+``int`` payloads plus a class tag, ``str`` as a compact list. A column
+that sees a second type, an overflowing int, or an arbitrary object
+degrades to a pickled fallback list — counted, never fatal. The numpy-free
+core uses only :mod:`array`/``memoryview``; when numpy is importable the
+decode path uses ``numpy.frombuffer`` as an accelerator, with identical
+results.
+
+**Frames** (:func:`FrameBuilder` / :func:`parse_frame`): a frame is a
+sequence of length-prefixed sections — ``u32be payload_len | u8 kind |
+payload`` — the same framing convention as the v2 trace format
+(:mod:`repro.graft.traceformat`). Sections carry compact broadcast
+records, per-target point batches, and (under state-transferring
+backends) the worker's vertex values, halt flags, and — only when
+mutated — its adjacency. Vertex ids are referenced as ``u32`` indices
+into the run-global :class:`VertexInterner` (the interned dictionary
+column), which children inherit from the parent via fork, so id strings
+never travel at all.
+
+**Transport** (:class:`ShmTransport` / :class:`InlineTransport`): a frame
+crosses the process boundary as one shared-memory block handoff; the
+parent attaches, copies, and unlinks at the barrier, so no segment
+outlives its superstep (the chaos harness asserts ``/dev/shm`` stays
+clean). Same-address-space backends ship frames as plain bytes.
+
+Determinism
+-----------
+The envelope path canonicalizes each inbox by a stable sort on
+``repr(source)``; ties (equal reprs) fall back to merge position, i.e.
+``(worker id, emission order)``. The columnar store reproduces exactly
+that order when it materializes an inbox — broadcast expansion walks
+in-neighbor lists pre-sorted by ``(repr, worker, load order)`` and the
+general path sorts decorated entries by ``(repr(source), worker id,
+emission seq)`` — so canonical trace digests are byte-identical across
+serial/threads/processes, worker counts, and columnar on/off. The
+determinism suite and graft-san pin this.
+"""
+
+import pickle
+import struct
+from array import array
+
+from repro.common.errors import PregelError
+from repro.pregel.messages import BROADCAST_TARGET, Envelope, MessageStore
+
+try:  # pragma: no cover - exercised only where numpy is installed
+    import numpy as _np
+except Exception:  # noqa: BLE001 - numpy is strictly optional
+    _np = None
+
+_U32BE = struct.Struct(">I")
+
+FRAME_MAGIC = b"GCF1"
+
+# Section kinds (``u32be len | u8 kind | payload``, v2-trace framing).
+SECTION_META = 1
+SECTION_BCAST = 2
+SECTION_POINT = 3
+SECTION_FALLBACK = 4
+SECTION_VALUES = 5
+SECTION_HALTED = 6
+SECTION_EDGES = 7
+
+# Column tags (first byte of an encoded value column).
+COL_EMPTY = 0
+COL_F64 = 1
+COL_I64 = 2
+COL_FIXED = 3
+COL_STR = 4
+COL_OBJ = 5  # pickled fallback list — counted in transport metrics
+
+_META = struct.Struct(">IIQB")  # worker_id, superstep, messages, flags
+META_EDGES_DIRTY = 1
+
+#: ``array`` typecodes for the id/seq columns (u32) and numeric payloads.
+_ID_TYPECODE = "I"
+
+# -- fixed-width payload codecs (registered by value_types at import) -----
+
+#: Exact class -> (bits tag, to_int, from_int). Populated via
+#: :func:`register_fixed_width`; ``value_types`` registers Short16/Int32/
+#: Long64 so their wrapped payloads ride the integer column codec-free.
+_FIXED_BY_CLASS = {}
+_FIXED_BY_BITS = {}
+
+
+def register_fixed_width(cls, bits):
+    """Register a fixed-width int class for the columnar fast path.
+
+    The class must expose ``to_payload() -> {"value": int}`` and a
+    ``from_payload`` constructor (the trace-codec hooks); the column stores
+    only the wrapped integer plus this tag, so batches of Short16 counters
+    never touch :class:`~repro.common.serialization.ValueCodec`.
+    """
+    _FIXED_BY_CLASS[cls] = bits
+    _FIXED_BY_BITS[bits] = cls
+    return cls
+
+
+# =====================================================================
+# Vertex id interning
+# =====================================================================
+
+
+class VertexInterner:
+    """Run-global dictionary column: vertex id <-> dense u32 index.
+
+    Built once by the engine at load (vertices *and* edge targets), then
+    grown append-only as vertices are created at barriers. Children
+    inherit the table through fork, so frames reference ids as 4-byte
+    indices and the canonical ``repr`` of every id is computed exactly
+    once per run.
+    """
+
+    __slots__ = ("ids", "index", "reprs")
+
+    def __init__(self):
+        self.ids = []
+        self.index = {}
+        self.reprs = []
+
+    def intern(self, vertex_id):
+        idx = self.index.get(vertex_id)
+        if idx is None:
+            idx = len(self.ids)
+            self.index[vertex_id] = idx
+            self.ids.append(vertex_id)
+            self.reprs.append(repr(vertex_id))
+        return idx
+
+    def get(self, vertex_id):
+        return self.index.get(vertex_id)
+
+    def __len__(self):
+        return len(self.ids)
+
+
+# =====================================================================
+# Value columns
+# =====================================================================
+
+
+class ColumnBuilder:
+    """Append-only typed value column with transparent fallback.
+
+    Starts empty; adopts the type of the first value appended. A type
+    mismatch, an int wider than 64 bits, or an unregistered object class
+    degrades the whole column to a plain Python list that will be pickled
+    (``COL_OBJ``) — correctness is never at stake, only compactness.
+    """
+
+    __slots__ = ("kind", "data", "fixed_bits")
+
+    def __init__(self):
+        self.kind = COL_EMPTY
+        self.data = None
+        self.fixed_bits = 0
+
+    def append(self, value):
+        kind = self.kind
+        cls = value.__class__
+        if kind == COL_F64:
+            if cls is float:
+                self.data.append(value)
+                return
+        elif kind == COL_I64:
+            if cls is int:
+                try:
+                    self.data.append(value)
+                    return
+                except OverflowError:
+                    pass
+        elif kind == COL_FIXED:
+            if _FIXED_BY_CLASS.get(cls) == self.fixed_bits:
+                self.data.append(value.value)
+                return
+        elif kind == COL_STR:
+            if cls is str:
+                self.data.append(value)
+                return
+        elif kind == COL_OBJ:
+            self.data.append(value)
+            return
+        elif kind == COL_EMPTY:
+            self._start(cls, value)
+            return
+        self._degrade(value)
+
+    def _start(self, cls, value):
+        if cls is float:
+            self.kind = COL_F64
+            self.data = array("d", (value,))
+        elif cls is int:
+            self.kind = COL_I64
+            try:
+                self.data = array("q", (value,))
+            except OverflowError:
+                self.kind = COL_OBJ
+                self.data = [value]
+        elif cls is str:
+            self.kind = COL_STR
+            self.data = [value]
+        elif cls in _FIXED_BY_CLASS:
+            self.kind = COL_FIXED
+            self.fixed_bits = _FIXED_BY_CLASS[cls]
+            self.data = array("q", (value.value,))
+        else:
+            self.kind = COL_OBJ
+            self.data = [value]
+
+    def _degrade(self, value):
+        """Convert to the pickled-list representation and append."""
+        if self.kind == COL_FIXED:
+            cls = _FIXED_BY_BITS[self.fixed_bits]
+            self.data = [cls(v) for v in self.data]
+        elif self.kind in (COL_F64, COL_I64):
+            self.data = self.data.tolist()
+        self.kind = COL_OBJ
+        self.data.append(value)
+
+    def __len__(self):
+        return 0 if self.data is None else len(self.data)
+
+    def encode(self):
+        """Serialize to ``tag byte + payload`` bytes."""
+        kind = self.kind
+        if kind == COL_EMPTY:
+            return b"\x00"
+        if kind == COL_F64 or kind == COL_I64:
+            return bytes((kind,)) + self.data.tobytes()
+        if kind == COL_FIXED:
+            return bytes((kind, self.fixed_bits)) + self.data.tobytes()
+        # str / obj: a flat pickled list of scalars — C-speed both ways,
+        # no per-object codec dispatch, decoding yields exact values.
+        return bytes((kind,)) + pickle.dumps(self.data, protocol=4)
+
+    def values(self):
+        """Decode the live column to a plain value list (no byte round-trip).
+
+        Used by same-address-space consumers (serial/threads barriers,
+        ``outbox_envelopes``) where encoding to bytes would be pure waste.
+        """
+        kind = self.kind
+        if kind == COL_EMPTY:
+            return []
+        if kind == COL_F64 or kind == COL_I64:
+            return self.data.tolist()
+        if kind == COL_FIXED:
+            cls = _FIXED_BY_BITS[self.fixed_bits]
+            return [cls(v) for v in self.data]
+        return list(self.data)
+
+
+def decode_column(blob):
+    """Decode an encoded column to ``(list of values, was_fallback)``."""
+    kind = blob[0]
+    if kind == COL_EMPTY:
+        return [], False
+    if kind == COL_F64:
+        return _decode_numeric("d", blob, 1), False
+    if kind == COL_I64:
+        return _decode_numeric("q", blob, 1), False
+    if kind == COL_FIXED:
+        cls = _FIXED_BY_BITS.get(blob[1])
+        if cls is None:
+            raise PregelError(
+                f"columnar frame references unregistered fixed-width tag {blob[1]}"
+            )
+        raw = _decode_numeric("q", blob, 2)
+        make = cls.__new__
+        out = []
+        for v in raw:
+            obj = make(cls)
+            object.__setattr__(obj, "value", v)
+            out.append(obj)
+        return out, False
+    if kind == COL_STR:
+        return pickle.loads(blob[1:]), False
+    if kind == COL_OBJ:
+        return pickle.loads(blob[1:]), True
+    raise PregelError(f"unknown column tag {kind} in columnar frame")
+
+
+def _decode_numeric(typecode, blob, offset):
+    if _np is not None:
+        dtype = "<f8" if typecode == "d" else "<i8"
+        return _np.frombuffer(blob, dtype=dtype, offset=offset).tolist()
+    col = array(typecode)
+    col.frombytes(blob[offset:])
+    return col.tolist()
+
+
+def _encode_u32_column(values):
+    return array(_ID_TYPECODE, values).tobytes()
+
+
+def _decode_u32_column(blob):
+    col = array(_ID_TYPECODE)
+    col.frombytes(blob)
+    return col.tolist()
+
+
+# =====================================================================
+# Emit-time columnar outbox
+# =====================================================================
+
+
+class _PointBatch:
+    """Point-send accumulation for one target: parallel source/seq/value."""
+
+    __slots__ = ("sources", "seqs", "column")
+
+    def __init__(self):
+        self.sources = []
+        self.seqs = []
+        self.column = ColumnBuilder()
+
+    def add(self, source, seq, value):
+        self.sources.append(source)
+        self.seqs.append(seq)
+        self.column.append(value)
+
+    def __len__(self):
+        return len(self.sources)
+
+
+class ColumnarOutbox:
+    """Per-worker outbox that accumulates packed batches at emit time.
+
+    The two hot shapes map to two sections:
+
+    - point sends group into per-target :class:`_PointBatch` columns —
+      the packed replacement for ``group_by_target``'s envelope lists;
+    - broadcasts append **one compact record** ``(source, seq, value)``;
+      the receiver expands them against the (fork-inherited) reverse
+      adjacency, so a fan-out of ten thousand neighbors ships as a dozen
+      bytes. When the worker's adjacency has been mutated this superstep
+      (``edges_dirty``), broadcasts degrade to explicit per-target point
+      entries, because the parent's reverse index no longer matches the
+      emit-time neighbor snapshot.
+
+    ``seq`` is the worker's emission counter; one broadcast consumes one
+    seq for its whole fan-out. Per ``(worker, target)`` pair the seqs are
+    strictly increasing in emission order, which is exactly the tie-break
+    the canonical inbox sort needs.
+    """
+
+    __slots__ = ("point", "bcast_sources", "bcast_seqs", "bcast_column",
+                 "seq", "messages")
+
+    def __init__(self):
+        self.point = {}
+        self.bcast_sources = []
+        self.bcast_seqs = []
+        self.bcast_column = ColumnBuilder()
+        self.seq = 0
+        self.messages = 0
+
+    def add_point(self, source, target, value):
+        seq = self.seq
+        self.seq = seq + 1
+        batch = self.point.get(target)
+        if batch is None:
+            batch = self.point[target] = _PointBatch()
+        batch.add(source, seq, value)
+        self.messages += 1
+
+    def add_broadcast(self, source, value, fan_out):
+        seq = self.seq
+        self.seq = seq + 1
+        self.bcast_sources.append(source)
+        self.bcast_seqs.append(seq)
+        self.bcast_column.append(value)
+        self.messages += fan_out
+
+    def add_broadcast_explicit(self, source, targets, value):
+        """Dirty-adjacency fallback: file the fan-out as point entries."""
+        seq = self.seq
+        self.seq = seq + 1
+        point = self.point
+        for target in targets:
+            batch = point.get(target)
+            if batch is None:
+                batch = point[target] = _PointBatch()
+            batch.add(source, seq, value)
+        self.messages += len(targets)
+
+    def batch_count(self):
+        """Packed batches held: per-target point batches + the bcast column."""
+        return len(self.point) + (1 if self.bcast_sources else 0)
+
+    def envelopes(self, resolve_targets):
+        """Materialize every outgoing message as fully-addressed envelopes.
+
+        Debug/introspection only (``Worker.outbox_envelopes``): broadcast
+        records expand through ``resolve_targets(source)``. Emission order
+        is restored via the seq column.
+        """
+        items = []
+        for target, batch in self.point.items():
+            values = batch.column.values()
+            for source, seq, value in zip(batch.sources, batch.seqs, values):
+                items.append((seq, 0, Envelope(source, target, value)))
+        values = self.bcast_column.values()
+        for source, seq, value in zip(self.bcast_sources, self.bcast_seqs, values):
+            for order, target in enumerate(resolve_targets(source)):
+                items.append((seq, order, Envelope(source, target, value)))
+        items.sort(key=lambda item: (item[0], item[1]))
+        return [item[2] for item in items]
+
+
+# =====================================================================
+# Frames
+# =====================================================================
+
+
+class _SectionWriter:
+    """Accumulates ``u32be len | u8 kind | payload`` sections."""
+
+    def __init__(self):
+        self.parts = [FRAME_MAGIC]
+
+    def add(self, kind, payload):
+        self.parts.append(_U32BE.pack(len(payload)))
+        self.parts.append(bytes((kind,)))
+        self.parts.append(payload)
+
+    def tobytes(self):
+        return b"".join(self.parts)
+
+
+def build_frame(worker, interner, superstep, state_sections=False):
+    """Pack one worker's superstep products into a columnar frame.
+
+    Always carries the outbox (broadcast + point + fallback sections);
+    with ``state_sections`` (process backend) it also carries the
+    worker's values, halt flags, and — only when ``edges_dirty`` — its
+    adjacency, so unmutated edge maps never cross the pipe again.
+    """
+    outbox = worker.outbox
+    writer = _SectionWriter()
+    flags = META_EDGES_DIRTY if worker.edges_dirty else 0
+    writer.add(SECTION_META, _META.pack(
+        worker.worker_id, superstep, outbox.messages, flags
+    ))
+
+    if outbox.bcast_sources:
+        src_idx = array(_ID_TYPECODE, [
+            interner.index[s] for s in outbox.bcast_sources
+        ])
+        payload = b"".join((
+            _U32BE.pack(len(src_idx)),
+            src_idx.tobytes(),
+            array(_ID_TYPECODE, outbox.bcast_seqs).tobytes(),
+            outbox.bcast_column.encode(),
+        ))
+        writer.add(SECTION_BCAST, payload)
+
+    if outbox.point:
+        plain, odd = {}, {}
+        for target, batch in outbox.point.items():
+            idx = interner.index.get(target)
+            if idx is None:
+                odd[target] = batch
+            else:
+                plain[idx] = batch
+        if plain:
+            writer.add(SECTION_POINT, _encode_point_section(plain, interner))
+        if odd:
+            # Targets outside the interner (sends to ids that do not exist
+            # yet); the id itself must travel. Ships as pickled triples.
+            payload = {
+                target: list(zip(
+                    batch.seqs, batch.sources, batch.column.values()
+                ))
+                for target, batch in odd.items()
+            }
+            writer.add(SECTION_FALLBACK, pickle.dumps(payload, protocol=4))
+
+    if state_sections:
+        _add_state_sections(writer, worker, interner)
+    return writer.tobytes()
+
+
+def _encode_point_section(batches, interner):
+    parts = [_U32BE.pack(len(batches))]
+    index = interner.index
+    for target_idx, batch in batches.items():
+        src_idx = array(_ID_TYPECODE, [index[s] for s in batch.sources])
+        parts.append(_U32BE.pack(target_idx))
+        parts.append(_U32BE.pack(len(batch)))
+        parts.append(src_idx.tobytes())
+        parts.append(array(_ID_TYPECODE, batch.seqs).tobytes())
+        column = batch.column.encode()
+        parts.append(_U32BE.pack(len(column)))
+        parts.append(column)
+    return b"".join(parts)
+
+
+def _add_state_sections(writer, worker, interner):
+    index = interner.index
+    ids = array(_ID_TYPECODE, [index[v] for v in worker.values])
+    column = ColumnBuilder()
+    for value in worker.values.values():
+        column.append(value)
+    writer.add(SECTION_VALUES, b"".join((
+        _U32BE.pack(len(ids)), ids.tobytes(), column.encode()
+    )))
+    writer.add(SECTION_HALTED, b"".join((
+        _U32BE.pack(len(worker.halted)),
+        array(_ID_TYPECODE, [index[v] for v in worker.halted]).tobytes(),
+        bytes(1 if h else 0 for h in worker.halted.values()),
+    )))
+    if worker.edges_dirty:
+        writer.add(SECTION_EDGES, pickle.dumps(worker.edges, protocol=4))
+
+
+class ParsedFrame:
+    """One worker's frame, decoded to plain columns (no envelopes).
+
+    ``bcast`` is ``[(source_idx, seq, value)]``; ``point`` maps
+    ``target_idx -> (source_idx list, seq list, value list)``; ``fallback``
+    maps raw target ids to ``(seq, source, value)`` triples. State
+    sections decode into ``values``/``halted`` dicts (insertion order
+    preserved — it is the compute order) and ``edges`` when shipped.
+    """
+
+    __slots__ = ("worker_id", "superstep", "messages", "edges_dirty",
+                 "bcast", "point", "fallback", "values", "halted", "edges",
+                 "pickle_fallbacks", "batches")
+
+    def __init__(self):
+        self.worker_id = None
+        self.superstep = None
+        self.messages = 0
+        self.edges_dirty = False
+        self.bcast = []
+        self.point = {}
+        self.fallback = {}
+        self.values = None
+        self.halted = None
+        self.edges = None
+        self.pickle_fallbacks = 0
+        self.batches = 0
+
+
+def parse_frame(blob, interner):
+    """Decode a frame built by :func:`build_frame`."""
+    if blob[:4] != FRAME_MAGIC:
+        raise PregelError("columnar frame has bad magic")
+    frame = ParsedFrame()
+    offset = 4
+    view = memoryview(blob)
+    total = len(blob)
+    while offset < total:
+        (length,) = _U32BE.unpack_from(blob, offset)
+        kind = blob[offset + 4]
+        start = offset + 5
+        payload = view[start:start + length]
+        offset = start + length
+        if kind == SECTION_META:
+            wid, superstep, messages, flags = _META.unpack(payload)
+            frame.worker_id = wid
+            frame.superstep = superstep
+            frame.messages = messages
+            frame.edges_dirty = bool(flags & META_EDGES_DIRTY)
+        elif kind == SECTION_BCAST:
+            _parse_bcast(frame, payload)
+        elif kind == SECTION_POINT:
+            _parse_point(frame, payload)
+        elif kind == SECTION_FALLBACK:
+            frame.fallback = pickle.loads(payload)
+            frame.batches += len(frame.fallback)
+            frame.pickle_fallbacks += len(frame.fallback)
+        elif kind == SECTION_VALUES:
+            frame.values = _parse_keyed_column(payload, interner, frame)
+        elif kind == SECTION_HALTED:
+            (n,) = _U32BE.unpack_from(payload, 0)
+            ids = _decode_u32_column(payload[4:4 + 4 * n])
+            flags = payload[4 + 4 * n:4 + 4 * n + n]
+            resolve = interner.ids
+            frame.halted = {
+                resolve[idx]: bool(flag) for idx, flag in zip(ids, flags)
+            }
+        elif kind == SECTION_EDGES:
+            frame.edges = pickle.loads(payload)
+        # Unknown sections are skipped: frames are same-build transport,
+        # but a tolerant reader keeps partial rollouts debuggable.
+    return frame
+
+
+def _parse_bcast(frame, payload):
+    (n,) = _U32BE.unpack_from(payload, 0)
+    sources = _decode_u32_column(payload[4:4 + 4 * n])
+    seqs = _decode_u32_column(payload[4 + 4 * n:4 + 8 * n])
+    values, fell_back = decode_column(bytes(payload[4 + 8 * n:]))
+    frame.bcast = list(zip(sources, seqs, values))
+    frame.batches += 1
+    if fell_back:
+        frame.pickle_fallbacks += 1
+
+
+def _parse_point(frame, payload):
+    (ntargets,) = _U32BE.unpack_from(payload, 0)
+    offset = 4
+    for _ in range(ntargets):
+        target_idx, n = struct.unpack_from(">II", payload, offset)
+        offset += 8
+        sources = _decode_u32_column(payload[offset:offset + 4 * n])
+        offset += 4 * n
+        seqs = _decode_u32_column(payload[offset:offset + 4 * n])
+        offset += 4 * n
+        (col_len,) = _U32BE.unpack_from(payload, offset)
+        offset += 4
+        values, fell_back = decode_column(bytes(payload[offset:offset + col_len]))
+        offset += col_len
+        frame.point[target_idx] = (sources, seqs, values)
+        frame.batches += 1
+        if fell_back:
+            frame.pickle_fallbacks += 1
+
+
+def _parse_keyed_column(payload, interner, frame):
+    (n,) = _U32BE.unpack_from(payload, 0)
+    ids = _decode_u32_column(payload[4:4 + 4 * n])
+    values, fell_back = decode_column(bytes(payload[4 + 4 * n:]))
+    if fell_back:
+        frame.pickle_fallbacks += 1
+    resolve = interner.ids
+    return {resolve[idx]: value for idx, value in zip(ids, values)}
+
+
+# =====================================================================
+# Transport
+# =====================================================================
+
+
+class InlineTransport:
+    """Frames travel as plain bytes (same address space, or pipe pickle)."""
+
+    name = "inline"
+
+    def ship(self, frame_bytes):
+        return ("bytes", frame_bytes)
+
+    def retrieve(self, handle):
+        return handle[1]
+
+    def release(self, handle):
+        """Nothing to free for inline frames."""
+
+
+class ShmTransport:
+    """Frames cross the process boundary as shared-memory blocks.
+
+    The child writes the frame into a fresh ``SharedMemory`` block and
+    sends only ``("shm", name, nbytes)`` over the pipe. The parent
+    attaches, copies the bytes out, closes, and **unlinks immediately** —
+    a block never outlives the barrier that consumes it, so a run leaves
+    ``/dev/shm`` exactly as it found it (the chaos harness checks).
+    Falls back to inline bytes when the platform refuses a segment.
+    """
+
+    name = "shm"
+
+    def __init__(self):
+        # Start the multiprocessing resource tracker *before* any worker
+        # forks: children then inherit the parent's tracker instead of
+        # each spawning their own, so create (child) and unlink (parent)
+        # land in the same tracker and nothing is reported leaked.
+        try:  # pragma: no cover - absent on exotic platforms
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # noqa: BLE001 - tracker is an optimization
+            pass
+
+    def ship(self, frame_bytes):
+        try:
+            from multiprocessing import shared_memory
+            block = shared_memory.SharedMemory(
+                create=True, size=max(1, len(frame_bytes))
+            )
+        except (ImportError, OSError):
+            return ("bytes", frame_bytes)
+        try:
+            block.buf[:len(frame_bytes)] = frame_bytes
+            name = block.name
+        finally:
+            block.close()
+        return ("shm", name, len(frame_bytes))
+
+    def retrieve(self, handle):
+        if handle[0] == "bytes":
+            return handle[1]
+        from multiprocessing import shared_memory
+        block = shared_memory.SharedMemory(name=handle[1])
+        try:
+            data = bytes(block.buf[:handle[2]])
+        finally:
+            block.close()
+            block.unlink()
+        return data
+
+    def release(self, handle):
+        """Free a shipped-but-unconsumed frame (failure paths)."""
+        if handle is None or handle[0] != "shm":
+            return
+        try:
+            from multiprocessing import shared_memory
+            block = shared_memory.SharedMemory(name=handle[1])
+            block.close()
+            block.unlink()
+        except (ImportError, OSError, FileNotFoundError):
+            pass
+
+
+def release_frame(handle):
+    """Best-effort release of any frame handle (used on failure paths)."""
+    if handle is not None and handle[0] == "shm":
+        ShmTransport().release(handle)
+
+
+# =====================================================================
+# Engine-side run state: interner + reverse adjacency
+# =====================================================================
+
+
+class ColumnarRunState:
+    """Everything the columnar plane derives from the graph topology.
+
+    Owned by the engine (parent); children inherit it read-only via fork.
+    The reverse-adjacency index (``in_lists``) is what lets a compact
+    broadcast record expand on the receiving side; it is rebuilt lazily
+    whenever a worker mutated adjacency or vertices were added/removed
+    with edges.
+    """
+
+    def __init__(self):
+        self.interner = VertexInterner()
+        self.in_lists = {}
+        #: source idx -> tuple of its out-edge target ids that did not
+        #: exist at index-build time (resolver candidates).
+        self.missing_out = {}
+        self._stale = True
+
+    # -- build --------------------------------------------------------
+
+    def ensure_index(self, workers, locations):
+        if self._stale:
+            self._build(workers, locations)
+
+    def _build(self, workers, locations):
+        interner = self.interner
+        intern = interner.intern
+        in_lists = {}
+        for worker in workers:
+            for source_id, edge_map in worker.edges.items():
+                s_idx = intern(source_id)
+                for target in edge_map:
+                    t_idx = intern(target)
+                    lst = in_lists.get(t_idx)
+                    if lst is None:
+                        in_lists[t_idx] = [s_idx]
+                    else:
+                        lst.append(s_idx)
+        # Canonical source order per inbox: (repr, owning worker, load
+        # order). Computed once as a global rank so per-list sorts are
+        # plain int sorts.
+        reprs = interner.reprs
+        ids = interner.ids
+        order = sorted(
+            range(len(ids)),
+            key=lambda i: (reprs[i], locations.get(ids[i], -1), i),
+        )
+        rank = [0] * len(ids)
+        for position, idx in enumerate(order):
+            rank[idx] = position
+        for lst in in_lists.values():
+            lst.sort(key=rank.__getitem__)
+        self.in_lists = in_lists
+        missing_out = {}
+        for worker in workers:
+            for source_id, edge_map in worker.edges.items():
+                missing = tuple(t for t in edge_map if t not in locations)
+                if missing:
+                    missing_out[interner.index[source_id]] = missing
+        self.missing_out = missing_out
+        self._stale = False
+
+    # -- engine hooks -------------------------------------------------
+
+    def invalidate(self):
+        """Adjacency changed: rebuild the reverse index before next use.
+
+        The engine calls this whenever a barrier applied explicit vertex
+        mutations or a worker reported ``edges_dirty``. A barrier with
+        vertex mutations also *materializes* its outgoing store to
+        envelopes first, so no compact broadcast record ever expands
+        against an index newer than its emit-time adjacency.
+        """
+        self._stale = True
+
+    def note_vertex_added(self, vertex_id):
+        """Intern a vertex created at a barrier (index itself is unaffected:
+        a brand-new vertex has no in- or out-edges until it mutates)."""
+        self.interner.intern(vertex_id)
+
+
+# =====================================================================
+# The columnar message store (receiver side)
+# =====================================================================
+
+
+class IncomingView:
+    """Lazy per-vertex inbox view handed to :class:`ComputeContext`.
+
+    Compute itself receives raw values (``inbox_values``); envelopes are
+    materialized only if a debugger actually iterates this view
+    (``ctx.message_envelopes()``), so the fast path never allocates them.
+    """
+
+    __slots__ = ("_store", "_target")
+
+    def __init__(self, store, target):
+        self._store = store
+        self._target = target
+
+    def __iter__(self):
+        return iter(self._store.inbox(self._target))
+
+    def __len__(self):
+        return len(self._store.inbox_values(self._target))
+
+    def __bool__(self):
+        return bool(self._store.inbox_values(self._target))
+
+
+class ColumnarMessageStore:
+    """One superstep's messages, kept packed until a vertex reads them.
+
+    Built at the barrier by absorbing per-worker frames (process backend)
+    or live :class:`ColumnarOutbox` objects (serial/threads) **in
+    worker-id order**. Messages live as:
+
+    - ``_bcast``: source idx -> ``[(worker_id, seq, value)]`` compact
+      broadcast records, expanded per receiver against the run state's
+      reverse-adjacency index;
+    - ``_point``: target id -> ``[(worker_id, seq, source_id, value)]``.
+
+    Inboxes materialize lazily and memoize. Under the process backend the
+    consumers are next superstep's forked children, so the per-message
+    expansion work lands on the worker side of the fence — parallel where
+    the hardware allows — instead of in the parent's serial barrier.
+
+    Canonical order: an inbox's envelope-path order is the stable sort by
+    ``repr(source)`` over worker-id-merge order, i.e. exactly
+    ``(repr(source), worker_id, emission seq)``. The pure-broadcast fast
+    path walks in-neighbor lists pre-sorted by that key; the mixed path
+    decorates and sorts by the triple explicitly.
+    """
+
+    def __init__(self, run_state):
+        self._rs = run_state
+        self._bcast = {}
+        self._point = {}
+        self._values_cache = {}
+        self._envelope_cache = {}
+        self.total_messages = 0
+
+    # -- absorption (parent, worker-id order) -------------------------
+
+    def absorb_frame(self, frame):
+        """Merge one worker's parsed frame (process backend)."""
+        wid = frame.worker_id
+        bcast = self._bcast
+        for s_idx, seq, value in frame.bcast:
+            lst = bcast.get(s_idx)
+            if lst is None:
+                bcast[s_idx] = [(wid, seq, value)]
+            else:
+                lst.append((wid, seq, value))
+        ids = self._rs.interner.ids
+        point = self._point
+        for t_idx, (sources, seqs, values) in frame.point.items():
+            target = ids[t_idx]
+            lst = point.get(target)
+            if lst is None:
+                lst = point[target] = []
+            for s_idx, seq, value in zip(sources, seqs, values):
+                lst.append((wid, seq, ids[s_idx], value))
+        for target, triples in frame.fallback.items():
+            lst = point.get(target)
+            if lst is None:
+                lst = point[target] = []
+            for seq, source, value in triples:
+                lst.append((wid, seq, source, value))
+        self.total_messages += frame.messages
+
+    def absorb_outbox(self, worker_id, outbox):
+        """Merge one worker's live outbox (same-address-space backends)."""
+        index = self._rs.interner.index
+        bcast = self._bcast
+        for source, seq, value in zip(
+            outbox.bcast_sources, outbox.bcast_seqs,
+            outbox.bcast_column.values(),
+        ):
+            s_idx = index[source]
+            lst = bcast.get(s_idx)
+            if lst is None:
+                bcast[s_idx] = [(worker_id, seq, value)]
+            else:
+                lst.append((worker_id, seq, value))
+        point = self._point
+        for target, batch in outbox.point.items():
+            lst = point.get(target)
+            if lst is None:
+                lst = point[target] = []
+            for source, seq, value in zip(
+                batch.sources, batch.seqs, batch.column.values()
+            ):
+                lst.append((worker_id, seq, source, value))
+        self.total_messages += outbox.messages
+
+    # -- inbox materialization ----------------------------------------
+
+    def _in_list(self, target):
+        t_idx = self._rs.interner.index.get(target)
+        if t_idx is None:
+            return ()
+        return self._rs.in_lists.get(t_idx, ())
+
+    def inbox_values(self, target):
+        """Message values for ``target`` in canonical order (memoized)."""
+        cached = self._values_cache.get(target)
+        if cached is not None:
+            return cached
+        point = self._point.get(target)
+        bcast = self._bcast
+        if point is None:
+            if not bcast:
+                values = []
+            else:
+                # Pure broadcast fan-in: in-neighbors are pre-sorted by
+                # (repr, worker, load order) and each source's records
+                # are already in (worker, seq) order, so concatenation
+                # IS canonical order — no sort, no Envelope objects.
+                values = []
+                append = values.append
+                get = bcast.get
+                for s_idx in self._in_list(target):
+                    lst = get(s_idx)
+                    if lst is not None:
+                        for record in lst:
+                            append(record[2])
+        else:
+            values = [entry[4] for entry in self._decorated(target, point)]
+        self._values_cache[target] = values
+        return values
+
+    def inbox(self, target):
+        """Envelopes for ``target`` in canonical order (memoized).
+
+        Only debug-facing readers (Graft capture, checkpoints) pay for the
+        envelope objects; broadcast-derived envelopes carry the
+        :data:`~repro.pregel.messages.BROADCAST_TARGET` placeholder in
+        their target field, exactly like the envelope path's shared
+        broadcast envelopes.
+        """
+        cached = self._envelope_cache.get(target)
+        if cached is not None:
+            return cached
+        point = self._point.get(target)
+        if point is None:
+            interner = self._rs.interner
+            ids = interner.ids
+            envelopes = []
+            append = envelopes.append
+            get = self._bcast.get
+            for s_idx in self._in_list(target):
+                lst = get(s_idx)
+                if lst is not None:
+                    source = ids[s_idx]
+                    for record in lst:
+                        append(Envelope(source, BROADCAST_TARGET, record[2]))
+        else:
+            envelopes = [
+                Envelope(
+                    entry[3],
+                    BROADCAST_TARGET if entry[5] else target,
+                    entry[4],
+                )
+                for entry in self._decorated(target, point)
+            ]
+        self._envelope_cache[target] = envelopes
+        return envelopes
+
+    def _decorated(self, target, point):
+        """Mixed point+broadcast entries decorated and sorted canonically.
+
+        Each entry is ``(repr(source), worker_id, seq, source, value,
+        from_broadcast)``; sorting by the first three fields reproduces the
+        envelope path's stable repr-sort over worker-merge order exactly.
+        """
+        entries = [
+            (repr(source), wid, seq, source, value, False)
+            for wid, seq, source, value in point
+        ]
+        bcast = self._bcast
+        if bcast:
+            interner = self._rs.interner
+            ids = interner.ids
+            reprs = interner.reprs
+            for s_idx in self._in_list(target):
+                lst = bcast.get(s_idx)
+                if lst:
+                    source_repr = reprs[s_idx]
+                    source = ids[s_idx]
+                    for wid, seq, value in lst:
+                        entries.append(
+                            (source_repr, wid, seq, source, value, True)
+                        )
+        entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        return entries
+
+    # -- store protocol (what the engine/worker/checkpoint consume) ---
+
+    def incoming_view(self, target):
+        return IncomingView(self, target)
+
+    def has_inbox(self, target):
+        if target in self._point:
+            return True
+        if not self._bcast:
+            return False
+        cached = self._values_cache.get(target)
+        if cached is not None:
+            return bool(cached)
+        get = self._bcast.get
+        for s_idx in self._in_list(target):
+            if get(s_idx):
+                return True
+        return False
+
+    def has_messages(self):
+        return self.total_messages > 0
+
+    def targets(self):
+        """All vertex ids with at least one message, sorted by repr.
+
+        Full-materialization consumers only (checkpoint writes). The
+        broadcast side is recovered by scanning the reverse index for
+        in-neighbors that broadcast this superstep.
+        """
+        targets = set(self._point)
+        if self._bcast:
+            ids = self._rs.interner.ids
+            bcast = self._bcast
+            for t_idx, sources in self._rs.in_lists.items():
+                for s_idx in sources:
+                    if s_idx in bcast:
+                        targets.add(ids[t_idx])
+                        break
+        return sorted(targets, key=repr)
+
+    def missing_targets(self, locations):
+        """Message targets that do not currently exist (resolver input).
+
+        Point targets are checked directly; compact broadcasts can only
+        reach a missing id along an edge that already dangled at index
+        build time, which ``missing_out`` precomputed — so this never
+        expands a fan-out.
+        """
+        missing = set()
+        for target in self._point:
+            if target not in locations:
+                missing.add(target)
+        if self._bcast:
+            missing_out = self._rs.missing_out
+            for s_idx in self._bcast:
+                for target in missing_out.get(s_idx, ()):
+                    if target not in locations:
+                        missing.add(target)
+        return missing
+
+    def to_message_store(self):
+        """Materialize everything into a plain envelope MessageStore.
+
+        The slow-path escape hatch for barriers that mutate the graph (or
+        drop messages): the resulting store behaves exactly like the
+        envelope path's post-canonicalize store, in repr-sorted target
+        order, so mutations/rollback/drop logic needs no columnar cases.
+        """
+        store = MessageStore()
+        by_target = store._by_target
+        total = 0
+        for target in self.targets():
+            envelopes = list(self.inbox(target))
+            if envelopes:
+                by_target[target] = envelopes
+                total += len(envelopes)
+        store.total_messages = total
+        return store
+
+    def combine_into(self, combiner):
+        """Fold every inbox on its packed value column.
+
+        Returns ``(envelope MessageStore, messages_eliminated)``. Folds
+        run over raw value lists in canonical order — no per-message
+        envelope is ever built — and single-message inboxes keep their
+        original source envelope, matching
+        :meth:`~repro.pregel.messages.MessageStore.combine`.
+        """
+        store = MessageStore()
+        by_target = store._by_target
+        eliminated = 0
+        total = 0
+        for target in self.targets():
+            values = self.inbox_values(target)
+            if not values:
+                continue
+            if len(values) == 1:
+                by_target[target] = list(self.inbox(target))
+            else:
+                folded = combiner.fold_column(values)
+                by_target[target] = [Envelope(None, target, folded)]
+                eliminated += len(values) - 1
+            total += 1
+        store.total_messages = total
+        return store, eliminated

@@ -20,6 +20,20 @@ class MessageCombiner:
         """Fold two message values headed to the same vertex into one."""
         raise NotImplementedError
 
+    def fold_column(self, values):
+        """Fold a whole inbox's value column (non-empty, canonical order).
+
+        The columnar barrier hands the packed value list straight here, so
+        an inbox combines without ever materializing envelopes. The default
+        left fold is byte-identical to the envelope path's pairwise
+        :meth:`combine`; subclasses may override with a C-speed reduction
+        as long as the result is exactly equal.
+        """
+        folded = values[0]
+        for value in values[1:]:
+            folded = self.combine(folded, value)
+        return folded
+
 
 class SumCombiner(MessageCombiner):
     """Adds message values (PageRank-style contributions)."""
@@ -34,9 +48,17 @@ class MinCombiner(MessageCombiner):
     def combine(self, first, second):
         return second if second < first else first
 
+    def fold_column(self, values):
+        # Same first-smallest-wins semantics as the pairwise fold (min()
+        # returns the earliest of equal elements), at C speed.
+        return min(values)
+
 
 class MaxCombiner(MessageCombiner):
     """Keeps the larger message value."""
 
     def combine(self, first, second):
         return second if second > first else first
+
+    def fold_column(self, values):
+        return max(values)

@@ -75,6 +75,13 @@ class ComputeServices:
         """Request vertex removal at the coming barrier."""
         raise NotImplementedError
 
+    def note_edges_mutated(self):
+        """Record an in-place adjacency edit (columnar-index taint).
+
+        Default is a no-op so replay hosts stay trivial; workers override
+        it to taint broadcast compaction for the rest of the superstep.
+        """
+
 
 class ComputeContext:
     """The object handed to ``Computation.compute()``.
@@ -165,14 +172,17 @@ class ComputeContext:
                 f"vertex {self.vertex_id!r} has no edge to {target!r}"
             )
         self._edges[target] = value
+        self._services.note_edges_mutated()
 
     def add_edge(self, target, value=None):
         """Add a local outgoing edge, effective immediately."""
         self._edges[target] = value
+        self._services.note_edges_mutated()
 
     def remove_edge(self, target):
         """Remove a local outgoing edge, effective immediately."""
         self._edges.pop(target, None)
+        self._services.note_edges_mutated()
 
     # -- messages -----------------------------------------------------------
 

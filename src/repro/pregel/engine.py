@@ -50,6 +50,15 @@ from repro.common.errors import (
 from repro.common.timing import Timer
 from repro.pregel import halting
 from repro.pregel.aggregators import AggregatorRegistry
+from repro.pregel.columnar import (
+    ColumnarMessageStore,
+    ColumnarRunState,
+    InlineTransport,
+    ShmTransport,
+    build_frame,
+    parse_frame,
+    release_frame,
+)
 from repro.pregel.checkpoint import (
     WorkerFailure,
     checkpoint_candidates,
@@ -110,6 +119,12 @@ class PregelEngine:
         :class:`~repro.pregel.runtime.ExecutionBackend` instance. Results
         and Graft traces are identical across backends; see
         ``docs/performance.md``.
+    columnar:
+        Message/state transport: ``True`` forces the columnar data plane
+        (packed batches; shared-memory frames under ``processes``),
+        ``False`` the classic envelope path, ``None`` (default) picks
+        columnar unless a ``delivery_schedule`` is installed. Results and
+        trace digests are identical either way; see ``docs/columnar.md``.
     master:
         Optional :class:`~repro.pregel.MasterComputation` instance.
     combiner:
@@ -172,6 +187,7 @@ class PregelEngine:
         on_message_to_missing="create",
         executor="serial",
         delivery_schedule=None,
+        columnar=None,
     ):
         if max_supersteps <= 0:
             raise PregelError(f"max_supersteps must be positive, got {max_supersteps}")
@@ -203,6 +219,25 @@ class PregelEngine:
             delivery_schedule.bind(seed)
             if delivery_schedule is not None
             else None
+        )
+        # Columnar data plane: on by default (None = auto) for every
+        # backend — same canonical digests, flat buffers instead of
+        # per-envelope objects — except under a graft-san delivery
+        # schedule, which permutes envelope stores and therefore pins the
+        # classic path.
+        if columnar and delivery_schedule is not None:
+            raise PregelError(
+                "columnar=True cannot be combined with a delivery_schedule; "
+                "graft-san permutations operate on the envelope store"
+            )
+        if columnar is None:
+            columnar = delivery_schedule is None
+        self._columnar = bool(columnar)
+        self._run_state = ColumnarRunState() if self._columnar else None
+        self._transport = (
+            ShmTransport()
+            if self._columnar and self._backend.transfers_state
+            else InlineTransport()
         )
         self._pending_failures = {
             superstep: worker_id
@@ -300,12 +335,13 @@ class PregelEngine:
         """
         transfers_state = self._backend.transfers_state
         on_error = self._on_error
+        columnar = self._columnar
         delay = fault.get("delay") if fault else None
         crash_after = fault.get("crash_after") if fault else None
 
         def step():
             buffer = self.aggregators.buffer()
-            worker.prepare_superstep(buffer)
+            worker.prepare_superstep(buffer, columnar=columnar)
             error = None
             if delay:
                 time.sleep(delay)
@@ -324,16 +360,33 @@ class PregelEngine:
                     error = exc
             payloads = None
             state = None
+            frame = None
+            outbox = worker.outbox
             if transfers_state:
                 payloads = [
                     collector(worker.worker_id)
                     for collector in payload_collectors
                 ]
-                state = (worker.values, worker.edges, worker.halted)
+                if columnar:
+                    # Pack outbox + values + halt flags (+ adjacency only
+                    # when mutated) into one flat frame and ship it as a
+                    # shared-memory block; nothing per-message crosses the
+                    # pickle pipe.
+                    frame = self._transport.ship(
+                        build_frame(
+                            worker,
+                            self._run_state.interner,
+                            superstep,
+                            state_sections=True,
+                        )
+                    )
+                    outbox = {}
+                else:
+                    state = (worker.values, worker.edges, worker.halted)
             return StepOutcome(
                 worker_id=worker.worker_id,
                 elapsed=timer.elapsed,
-                outbox=worker.outbox,
+                outbox=outbox,
                 agg_partials=buffer.partials,
                 add_vertex_requests=worker.add_vertex_requests,
                 remove_vertex_requests=worker.remove_vertex_requests,
@@ -344,6 +397,7 @@ class PregelEngine:
                 error=error,
                 state=state,
                 payloads=payloads,
+                frame=frame,
             )
 
         return step
@@ -413,6 +467,11 @@ class PregelEngine:
                 if master_ctx.halted:
                     halt_reason = halting.MASTER_HALT
                     break
+                if self._run_state is not None:
+                    # Rebuild the interner/reverse-adjacency index if a
+                    # prior barrier invalidated it — before steps are
+                    # packaged, so forked children inherit it.
+                    self._run_state.ensure_index(self.workers, self._locations)
 
                 steps = [
                     self._make_step(
@@ -514,6 +573,10 @@ class PregelEngine:
                 break
         if failed is None:
             return
+        # The barrier will never run: free any shipped-but-unconsumed
+        # shared-memory frames before propagating.
+        for outcome in outcomes:
+            release_frame(outcome.frame)
         self._notify("on_superstep_aborted", superstep, failed.worker_id)
         raise failed.error
 
@@ -556,6 +619,10 @@ class PregelEngine:
                 continue
             self._locations = restore_workers(self.workers, checkpoint)
             self.aggregators.restore_snapshot(checkpoint["aggregators"])
+            if self._run_state is not None:
+                # Restored adjacency may predate the current reverse
+                # index; rebuild before the next columnar superstep.
+                self._run_state.invalidate()
             return checkpoint["superstep"], checkpoint["incoming"], skipped
         raise PregelError(
             "no usable checkpoint to recover from"
@@ -572,6 +639,10 @@ class PregelEngine:
         completion order, which is what makes the barrier
         backend-independent.
         """
+        if self._columnar:
+            return self._columnar_barrier(
+                outcomes, superstep_metrics, payload_collectors
+            )
         if self._backend.transfers_state:
             for outcome in outcomes:
                 worker = self.workers[outcome.worker_id]
@@ -601,6 +672,87 @@ class PregelEngine:
         self.aggregators.barrier()
         return outgoing
 
+    def _columnar_barrier(self, outcomes, superstep_metrics, payload_collectors):
+        """The barrier's columnar twin: absorb frames, keep messages packed.
+
+        Same reductions, same worker-id order. Messages stay as packed
+        columns in a :class:`ColumnarMessageStore` unless this barrier
+        must mutate the graph or drop inboxes, in which case the store is
+        materialized to envelopes first (see ``docs/columnar.md`` for the
+        fallback rules).
+        """
+        run_state = self._run_state
+        transfers = self._backend.transfers_state
+        store = ColumnarMessageStore(run_state)
+        superstep_metrics.transport = "columnar"
+        any_dirty = False
+        for outcome in outcomes:
+            if transfers:
+                blob = self._transport.retrieve(outcome.frame)
+                superstep_metrics.transport_bytes += len(blob)
+                frame = parse_frame(blob, run_state.interner)
+                superstep_metrics.transport_batches += frame.batches
+                superstep_metrics.pickle_fallbacks += frame.pickle_fallbacks
+                worker = self.workers[outcome.worker_id]
+                if frame.values is not None:
+                    worker.values = frame.values
+                if frame.halted is not None:
+                    worker.halted = frame.halted
+                if frame.edges is not None:
+                    worker.edges = frame.edges
+                any_dirty |= frame.edges_dirty
+                store.absorb_frame(frame)
+                for listener, payload in zip(payload_collectors, outcome.payloads):
+                    listener.absorb_step_payload(outcome.worker_id, payload)
+            else:
+                outbox = outcome.outbox
+                superstep_metrics.transport_batches += outbox.batch_count()
+                any_dirty |= self.workers[outcome.worker_id].edges_dirty
+                store.absorb_outbox(outcome.worker_id, outbox)
+        if any_dirty:
+            # In-place adjacency edits: the reverse index is stale for the
+            # *next* superstep (this superstep's compact broadcasts came
+            # only from clean workers, so expanding them below is safe).
+            run_state.invalidate()
+        mutating = any(
+            outcome.add_vertex_requests or outcome.remove_vertex_requests
+            for outcome in outcomes
+        )
+        if self._combiner is not None:
+            # Folds run on the packed value columns; the result is one
+            # envelope per inbox, so the combined store is an envelope
+            # store and the mutation logic below needs no columnar cases.
+            outgoing, eliminated = store.combine_into(self._combiner)
+            superstep_metrics.messages_combined = eliminated
+            self._apply_mutations(outcomes, outgoing)
+            if mutating:
+                run_state.invalidate()
+        else:
+            missing = store.missing_targets(self._locations)
+            if mutating or (missing and self._on_message_to_missing == "drop"):
+                # Graph-mutating barrier (or inbox drops): materialize to
+                # envelopes while the index still matches emit-time
+                # adjacency, then mutate freely.
+                outgoing = store.to_message_store()
+                self._apply_mutations(outcomes, outgoing)
+                run_state.invalidate()
+            else:
+                outgoing = store
+                if missing:
+                    # Pure message-driven creation (Giraph's default
+                    # resolver): new vertices have no edges, so the index
+                    # stays valid and messages stay packed.
+                    for target in sorted(missing, key=repr):
+                        worker_index = self._partitioner.worker_for(target)
+                        default = self._computations[
+                            worker_index
+                        ].default_vertex_value(target)
+                        self._create_vertex(target, default)
+        for outcome in outcomes:
+            self.aggregators.merge_partials(outcome.agg_partials)
+        self.aggregators.barrier()
+        return outgoing
+
     def _apply_mutations(self, outcomes, outgoing):
         """Removals, then additions, then message-driven vertex creation."""
         for outcome in outcomes:
@@ -612,26 +764,32 @@ class PregelEngine:
             for vertex_id, value in outcome.add_vertex_requests:
                 if vertex_id not in self._locations:
                     self._create_vertex(vertex_id, value)
+        # Repr-sorted so creation order — and therefore compute order on
+        # the owning worker — is independent of partitioning and of the
+        # columnar/envelope transport choice.
+        missing = sorted(
+            outgoing.missing_targets(self._locations), key=repr
+        )
         if self._on_message_to_missing == "create":
             # Giraph's default vertex resolver: a message to a missing id
             # creates the vertex. The "drop" policy silently discards such
             # messages instead (the other standard resolver behaviour).
-            for target in outgoing.targets():
-                if target not in self._locations:
-                    worker_index = self._partitioner.worker_for(target)
-                    default = self._computations[worker_index].default_vertex_value(
-                        target
-                    )
-                    self._create_vertex(target, default)
+            for target in missing:
+                worker_index = self._partitioner.worker_for(target)
+                default = self._computations[worker_index].default_vertex_value(
+                    target
+                )
+                self._create_vertex(target, default)
         else:
-            for target in list(outgoing.targets()):
-                if target not in self._locations:
-                    outgoing.drop_inbox(target)
+            for target in missing:
+                outgoing.drop_inbox(target)
 
     def _create_vertex(self, vertex_id, value):
         worker_index = self._partitioner.worker_for(vertex_id)
         self.workers[worker_index].load_vertex(vertex_id, value, {})
         self._locations[vertex_id] = worker_index
+        if self._run_state is not None:
+            self._run_state.note_vertex_added(vertex_id)
 
     def _collect_values(self):
         values = {}

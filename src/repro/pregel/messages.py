@@ -140,9 +140,35 @@ class MessageStore:
         """The envelopes destined for ``vertex_id`` (possibly empty)."""
         return self._by_target.get(vertex_id, [])
 
+    def inbox_values(self, vertex_id):
+        """Message values for ``vertex_id`` in delivery order.
+
+        Part of the store protocol shared with
+        :class:`~repro.pregel.columnar.ColumnarMessageStore`, where the
+        values come straight off the packed column.
+        """
+        batch = self._by_target.get(vertex_id)
+        if batch is None:
+            return []
+        return [envelope.value for envelope in batch]
+
+    def incoming_view(self, vertex_id):
+        """What ``ComputeContext`` receives as ``incoming`` (here: the list)."""
+        return self._by_target.get(vertex_id, [])
+
+    def has_inbox(self, vertex_id):
+        """True when at least one message is destined for ``vertex_id``."""
+        return vertex_id in self._by_target
+
     def targets(self):
         """Vertex ids that have at least one incoming message."""
         return self._by_target.keys()
+
+    def missing_targets(self, locations):
+        """Targets with messages but no vertex (the resolver's work list)."""
+        return [
+            target for target in self._by_target if target not in locations
+        ]
 
     def has_messages(self):
         return bool(self._by_target)

@@ -36,6 +36,16 @@ class SuperstepMetrics:
     #: Inboxes whose delivery order a PermutationSchedule changed at this
     #: superstep's barrier (0 unless a graft-san run is active).
     inboxes_permuted: int = 0
+    #: Data plane that carried this superstep's messages:
+    #: ``"columnar"`` (packed batches) or ``"envelope"`` (object lists).
+    transport: str = "envelope"
+    #: Frame bytes shipped across process boundaries at the barrier
+    #: (0 under same-address-space backends — nothing is copied).
+    transport_bytes: int = 0
+    #: Packed column batches carried by the columnar plane.
+    transport_batches: int = 0
+    #: Columns that degraded to the pickled-object fallback.
+    pickle_fallbacks: int = 0
 
     @property
     def parallel_efficiency(self):
@@ -58,6 +68,7 @@ class SuperstepMetrics:
             f"superstep {self.superstep:>4}: active={self.active_vertices:>8} "
             f"msgs={self.messages_sent:>9} combined={self.messages_combined:>8} "
             f"bytes={self.bytes_sent:>11} "
+            f"transport={self.transport} "
             f"time={format_duration(self.compute_seconds)}{parallel}{recovered}"
         )
 
@@ -107,6 +118,18 @@ class RunMetrics:
     @property
     def total_inboxes_permuted(self):
         return sum(s.inboxes_permuted for s in self.supersteps)
+
+    @property
+    def total_transport_bytes(self):
+        return sum(s.transport_bytes for s in self.supersteps)
+
+    @property
+    def total_transport_batches(self):
+        return sum(s.transport_batches for s in self.supersteps)
+
+    @property
+    def total_pickle_fallbacks(self):
+        return sum(s.pickle_fallbacks for s in self.supersteps)
 
     @property
     def total_compute_seconds(self):

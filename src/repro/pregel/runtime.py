@@ -43,6 +43,10 @@ class StepOutcome:
     :class:`~repro.common.errors.ComputeError` that aborted the step under
     the ``raise`` policy, if any. ``payloads`` carries opaque per-listener
     data collected in the child (e.g. Graft's buffered capture records).
+    ``frame`` is the columnar transport handle for this worker's packed
+    message frame (see :mod:`repro.pregel.columnar`) — a shared-memory
+    block reference under the process backend — which the barrier must
+    retrieve or release exactly once.
     """
 
     worker_id: int
@@ -58,6 +62,7 @@ class StepOutcome:
     error: object = None
     state: object = None
     payloads: object = None
+    frame: object = None
 
 
 class ExecutionBackend:
@@ -202,6 +207,13 @@ class ProcessBackend(ExecutionBackend):
                         + (f": {data}" if data else "")
                     )
         if failure is not None:
+            # Frames already shipped by surviving workers will never be
+            # retrieved by a barrier — unlink their shared-memory blocks
+            # now or they outlive the run in /dev/shm.
+            from repro.pregel.columnar import release_frame
+
+            for outcome in outcomes:
+                release_frame(getattr(outcome, "frame", None))
             raise failure
         return outcomes
 
@@ -220,6 +232,12 @@ def _child_main(step, conn):
     try:
         conn.send(payload)
     except Exception:  # noqa: BLE001 - e.g. unpicklable user values
+        if payload[0] == "ok":
+            # The parent will never see this outcome's shm handle; unlink
+            # it here or the block leaks past the run.
+            from repro.pregel.columnar import release_frame
+
+            release_frame(getattr(payload[1], "frame", None))
         conn.send(("crashed", "step outcome could not be pickled"))
     finally:
         conn.close()

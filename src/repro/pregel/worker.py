@@ -13,7 +13,10 @@ parallel backends need no locks: the engine hands each worker a private
 aggregator buffer and reads all outputs back at the barrier.
 """
 
+from array import array
+
 from repro.common.errors import ComputeError, InjectedWorkerCrash
+from repro.pregel.columnar import ColumnarOutbox
 from repro.pregel.context import ComputeContext, ComputeServices
 from repro.pregel.messages import BROADCAST_TARGET, Envelope
 
@@ -29,6 +32,13 @@ class _WorkerServices(ComputeServices):
 
     def aggregate(self, name, contribution):
         self._worker._aggregators.aggregate(name, contribution)
+
+    def note_edges_mutated(self):
+        # One worker-wide flag: any in-place adjacency edit this superstep
+        # taints broadcast-compaction and forces the engine to rebuild the
+        # columnar reverse index (and, under the process backend, to ship
+        # this worker's edges back).
+        self._worker.edges_dirty = True
 
     def emit(self, envelope):
         worker = self._worker
@@ -65,6 +75,37 @@ class _WorkerServices(ComputeServices):
         self._worker.remove_vertex_requests.append(vertex_id)
 
 
+class _ColumnarServices(_WorkerServices):
+    """Emission into packed columns instead of envelope lists.
+
+    Point sends append to the target's typed column batch; broadcasts
+    append one compact ``(source, seq, value)`` record for the whole
+    fan-out — unless this worker already mutated adjacency this superstep
+    (``edges_dirty``), in which case the engine-side reverse index no
+    longer matches the emit-time neighbor set and the fan-out is filed as
+    explicit per-target entries instead. Counters and byte estimates match
+    the envelope services exactly.
+    """
+
+    def emit(self, envelope):
+        worker = self._worker
+        worker.outbox.add_point(envelope.source, envelope.target, envelope.value)
+        worker.messages_sent += 1
+        worker.bytes_sent += _estimate_bytes(envelope.value)
+
+    def emit_broadcast(self, source, targets, value):
+        fan_out = len(targets)
+        if not fan_out:
+            return
+        worker = self._worker
+        if worker.edges_dirty:
+            worker.outbox.add_broadcast_explicit(source, targets, value)
+        else:
+            worker.outbox.add_broadcast(source, value, fan_out)
+        worker.messages_sent += fan_out
+        worker.bytes_sent += fan_out * _estimate_bytes(value)
+
+
 # Fixed estimates for types whose size doesn't depend on content enough to
 # matter for accounting. Exact-class keys so bool doesn't fall into int via
 # isinstance checks.
@@ -89,8 +130,14 @@ def _estimate_bytes(value):
     fixed = _FIXED_SIZES.get(cls)
     if fixed is not None:
         return 16 + fixed
-    if cls is str or cls is bytes:
+    if cls is str or cls is bytes or cls is bytearray:
         return 16 + len(value)
+    if cls is memoryview:
+        # A learned repr would report the ~50-char repr string, not the
+        # buffer; nbytes is exact and O(1).
+        return 16 + value.nbytes
+    if cls is array:
+        return 16 + len(value) * value.itemsize
     if cls in _CONTAINER_TYPES or isinstance(value, _CONTAINER_TYPES):
         return 32 + 8 * len(value)
     learned = _LEARNED_SIZES.get(cls)
@@ -112,10 +159,14 @@ class Worker:
         self.values = {}
         self.edges = {}
         self.halted = {}
-        self._services = _WorkerServices(self)
+        self._envelope_services = _WorkerServices(self)
+        self._columnar_services = _ColumnarServices(self)
+        self._services = self._envelope_services
         self._aggregators = None
         # Per-superstep outputs, reset by prepare_superstep():
+        self.columnar = False
         self.outbox = {}
+        self.edges_dirty = False
         self.add_vertex_requests = []
         self.remove_vertex_requests = []
         self.messages_sent = 0
@@ -149,7 +200,7 @@ class Worker:
 
     # -- superstep execution -------------------------------------------------
 
-    def prepare_superstep(self, aggregators):
+    def prepare_superstep(self, aggregators, columnar=False):
         """Reset per-superstep outputs and bind the aggregator sink.
 
         ``aggregators`` is anything with ``visible_value``/``aggregate`` —
@@ -157,9 +208,20 @@ class Worker:
         (serial semantics) or a worker-local
         :class:`~repro.pregel.aggregators.AggregatorBuffer` (what the
         engine's backends hand out so steps never share mutable state).
+
+        ``columnar`` selects the packed outbox + columnar emission services
+        for this superstep (the engine's columnar fast path); otherwise
+        emission goes through the classic grouped-envelope outbox.
         """
         self._aggregators = aggregators
-        self.outbox = {}
+        self.columnar = columnar
+        if columnar:
+            self.outbox = ColumnarOutbox()
+            self._services = self._columnar_services
+        else:
+            self.outbox = {}
+            self._services = self._envelope_services
+        self.edges_dirty = False
         self.add_vertex_requests = []
         self.remove_vertex_requests = []
         self.messages_sent = 0
@@ -168,11 +230,18 @@ class Worker:
         self.compute_errors = []
 
     def outbox_envelopes(self):
-        """All envelopes emitted this superstep, in emission order per target.
+        """All envelopes emitted this superstep, fully addressed.
 
-        Shared broadcast envelopes are rewritten with the batch's real
-        target, so callers see fully-addressed envelopes.
+        Envelope outboxes report emission order per target (shared
+        broadcast envelopes rewritten with the batch's real target);
+        columnar outboxes expand compact broadcast records against the
+        worker's adjacency and restore global emission order via the seq
+        column. Debug/introspection only — never on the hot path.
         """
+        if self.columnar:
+            return self.outbox.envelopes(
+                lambda source: self.edges.get(source, ())
+            )
         return [
             envelope
             if envelope.target is not BROADCAST_TARGET
@@ -188,7 +257,7 @@ class Worker:
         return [
             vertex_id
             for vertex_id in self.values
-            if not self.halted[vertex_id] or message_store.inbox(vertex_id)
+            if not self.halted[vertex_id] or message_store.has_inbox(vertex_id)
         ]
 
     def run_superstep(
@@ -229,12 +298,16 @@ class Worker:
                 raise InjectedWorkerCrash(
                     self.worker_id, superstep, crash_after_calls
                 )
-            inbox = message_store.inbox(vertex_id)
+            # Store-agnostic inbox access: compute() gets raw values (no
+            # envelope objects on the columnar fast path); the context's
+            # incoming view materializes envelopes only if a debugger reads
+            # them.
+            inbox_values = message_store.inbox_values(vertex_id)
             ctx = ComputeContext(
                 vertex_id=vertex_id,
                 value=self.values[vertex_id],
                 edges=self.edges[vertex_id],
-                incoming=inbox,
+                incoming=message_store.incoming_view(vertex_id),
                 superstep=superstep,
                 num_vertices=num_vertices,
                 num_edges=num_edges,
@@ -243,7 +316,7 @@ class Worker:
             )
             self.compute_calls += 1
             try:
-                computation.compute(ctx, [envelope.value for envelope in inbox])
+                computation.compute(ctx, inbox_values)
             except Exception as exc:  # noqa: BLE001 - policy decides below
                 error = ComputeError(vertex_id, superstep, exc)
                 if on_error == "raise":

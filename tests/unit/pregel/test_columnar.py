@@ -1,0 +1,377 @@
+"""Unit tests for the columnar message plane (repro.pregel.columnar).
+
+Covers the three layers separately — typed value columns, length-prefixed
+frames, shared-memory transport — plus the property the whole plane exists
+to preserve: any sequence of built-in payloads survives
+pack -> shared memory -> unpack with the envelope path's canonical inbox
+order intact, and anything unpackable degrades to the pickled fallback
+without changing delivery order.
+"""
+
+import os
+import random
+from array import array
+from types import SimpleNamespace
+
+import pytest
+
+from repro.common.errors import PregelError
+from repro.pregel.columnar import (
+    COL_F64,
+    COL_FIXED,
+    COL_I64,
+    COL_OBJ,
+    COL_STR,
+    ColumnarMessageStore,
+    ColumnarOutbox,
+    ColumnarRunState,
+    ColumnBuilder,
+    InlineTransport,
+    ShmTransport,
+    VertexInterner,
+    build_frame,
+    decode_column,
+    parse_frame,
+    release_frame,
+)
+from repro.pregel.messages import BROADCAST_TARGET, Envelope, MessageStore
+from repro.pregel.value_types import Int32, Short16
+from repro.pregel.worker import _estimate_bytes
+
+
+class Opaque:
+    """A payload the column codec has no fast path for."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __eq__(self, other):
+        return isinstance(other, Opaque) and self.tag == other.tag
+
+    def __hash__(self):
+        return hash(self.tag)
+
+    def __repr__(self):
+        return f"Opaque({self.tag})"
+
+
+def roundtrip(values):
+    column = ColumnBuilder()
+    for value in values:
+        column.append(value)
+    decoded, fallback = decode_column(column.encode())
+    assert decoded == list(values)
+    # The no-byte-round-trip decode must agree with the codec.
+    assert column.values() == list(values)
+    return column, fallback
+
+
+class TestColumns:
+    def test_float_column_packs(self):
+        column, fallback = roundtrip([0.5, -1.25, 3e9, float("inf")])
+        assert column.kind == COL_F64
+        assert not fallback
+
+    def test_int_column_packs(self):
+        column, fallback = roundtrip([0, -7, 2**62, -(2**62)])
+        assert column.kind == COL_I64
+        assert not fallback
+
+    def test_str_column(self):
+        column, fallback = roundtrip(["a", "", "vertex-42", "é"])
+        assert column.kind == COL_STR
+        assert not fallback
+
+    def test_fixed_width_column_preserves_class(self):
+        column, fallback = roundtrip([Short16(1), Short16(-32768), Short16(999)])
+        assert column.kind == COL_FIXED
+        assert not fallback
+        decoded, _ = decode_column(column.encode())
+        assert all(isinstance(v, Short16) for v in decoded)
+
+    def test_mixed_fixed_width_classes_degrade(self):
+        column, fallback = roundtrip([Short16(1), Int32(2)])
+        assert column.kind == COL_OBJ
+        assert fallback
+
+    def test_type_mismatch_degrades_preserving_prefix(self):
+        column, fallback = roundtrip([1.0, 2.0, "three", 4.0])
+        assert column.kind == COL_OBJ
+        assert fallback
+
+    def test_overflowing_int_degrades(self):
+        column, fallback = roundtrip([1, 2**80])
+        assert column.kind == COL_OBJ
+        assert fallback
+
+    def test_arbitrary_object_degrades(self):
+        column, fallback = roundtrip([Opaque("x"), Opaque("y")])
+        assert column.kind == COL_OBJ
+        assert fallback
+
+    def test_bool_is_not_treated_as_int(self):
+        # bool is an int subclass; exact-class dispatch must not let True
+        # silently become 1 on the int column.
+        column, _ = roundtrip([True, False])
+        decoded, _ = decode_column(column.encode())
+        assert decoded[0] is True and decoded[1] is False
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(PregelError):
+            decode_column(b"\x7f")
+
+
+class TestInterner:
+    def test_intern_is_stable_and_reversible(self):
+        interner = VertexInterner()
+        ids = ["v1", 42, ("t", 1)]
+        idxs = [interner.intern(v) for v in ids]
+        assert idxs == [0, 1, 2]
+        assert [interner.intern(v) for v in ids] == idxs
+        assert interner.ids == ids
+        assert interner.reprs == [repr(v) for v in ids]
+
+
+def _outbox_worker(outbox, worker_id=0, edges_dirty=False):
+    return SimpleNamespace(
+        worker_id=worker_id,
+        edges_dirty=edges_dirty,
+        outbox=outbox,
+        values={},
+        halted={},
+        edges={},
+    )
+
+
+class TestFrames:
+    def test_point_and_broadcast_roundtrip(self):
+        interner = VertexInterner()
+        for vid in ("a", "b", "c"):
+            interner.intern(vid)
+        outbox = ColumnarOutbox()
+        outbox.add_point("a", "b", 1.5)
+        outbox.add_broadcast("b", 2.5, fan_out=2)
+        outbox.add_point("a", "c", 3.5)
+        blob = build_frame(_outbox_worker(outbox, worker_id=3), interner, 7)
+        frame = parse_frame(blob, interner)
+        assert frame.worker_id == 3
+        assert frame.superstep == 7
+        assert frame.messages == 4  # 2 points + fan_out 2
+        assert not frame.edges_dirty
+        assert frame.bcast == [(interner.get("b"), 1, 2.5)]
+        b_idx, c_idx = interner.get("b"), interner.get("c")
+        assert frame.point[b_idx] == ([interner.get("a")], [0], [1.5])
+        assert frame.point[c_idx] == ([interner.get("a")], [2], [3.5])
+        assert frame.pickle_fallbacks == 0
+        assert frame.batches == 3
+
+    def test_uninterned_target_ships_via_fallback_section(self):
+        interner = VertexInterner()
+        interner.intern("a")
+        outbox = ColumnarOutbox()
+        outbox.add_point("a", "ghost", 9.0)
+        blob = build_frame(_outbox_worker(outbox), interner, 0)
+        frame = parse_frame(blob, interner)
+        assert frame.fallback == {"ghost": [(0, "a", 9.0)]}
+        assert frame.pickle_fallbacks == 1
+
+    def test_state_sections_ship_values_and_halts(self):
+        interner = VertexInterner()
+        for vid in ("a", "b"):
+            interner.intern(vid)
+        worker = _outbox_worker(ColumnarOutbox(), worker_id=1)
+        worker.values = {"a": 0.25, "b": 0.75}
+        worker.halted = {"a": False, "b": True}
+        worker.edges = {"a": {"b": None}}
+        blob = build_frame(worker, interner, 2, state_sections=True)
+        frame = parse_frame(blob, interner)
+        assert frame.values == worker.values
+        assert frame.halted == worker.halted
+        assert frame.edges is None  # clean adjacency never ships
+
+    def test_dirty_adjacency_ships_edges(self):
+        interner = VertexInterner()
+        interner.intern("a")
+        worker = _outbox_worker(
+            ColumnarOutbox(), worker_id=1, edges_dirty=True
+        )
+        worker.values = {"a": 1.0}
+        worker.halted = {"a": False}
+        worker.edges = {"a": {"z": 4}}
+        blob = build_frame(worker, interner, 2, state_sections=True)
+        frame = parse_frame(blob, interner)
+        assert frame.edges_dirty
+        assert frame.edges == {"a": {"z": 4}}
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(PregelError):
+            parse_frame(b"NOPE" + b"\x00" * 8, VertexInterner())
+
+
+class TestTransport:
+    def test_inline_roundtrip(self):
+        transport = InlineTransport()
+        handle = transport.ship(b"payload")
+        assert transport.retrieve(handle) == b"payload"
+        transport.release(handle)  # no-op, must not raise
+
+    def test_shm_roundtrip_unlinks_segment(self):
+        transport = ShmTransport()
+        handle = transport.ship(b"x" * 4096)
+        if handle[0] != "shm":
+            pytest.skip("platform refused shared memory")
+        segment = f"/dev/shm/{handle[1]}"
+        if os.path.isdir("/dev/shm"):
+            assert os.path.exists(segment)
+        assert transport.retrieve(handle) == b"x" * 4096
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists(segment)
+
+    def test_release_unlinks_unconsumed_frame(self):
+        transport = ShmTransport()
+        handle = transport.ship(b"y" * 128)
+        if handle[0] != "shm":
+            pytest.skip("platform refused shared memory")
+        release_frame(handle)
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists(f"/dev/shm/{handle[1]}")
+        # Double release must be harmless.
+        release_frame(handle)
+        release_frame(None)
+        release_frame(("bytes", b""))
+
+
+# ---------------------------------------------------------------------------
+# Property test: canonical order through the whole plane
+# ---------------------------------------------------------------------------
+
+
+PAYLOAD_MAKERS = {
+    "float": lambda rng: rng.random() * 100 - 50,
+    "int": lambda rng: rng.randrange(-(2**40), 2**40),
+    "str": lambda rng: f"msg-{rng.randrange(1000)}",
+    "short16": lambda rng: Short16(rng.randrange(-32768, 32767)),
+    "mixed": lambda rng: rng.choice(
+        [lambda: rng.random(), lambda: Opaque(rng.randrange(10))]
+    )(),
+}
+
+
+def _random_plane(seed, payload_kind):
+    """Emit one random superstep through both planes; return both stores.
+
+    Two simulated workers each emit a random interleaving of point sends
+    and broadcasts over a fixed adjacency. The reference store is the
+    envelope path exactly as the engine drives it: grouped outboxes merged
+    in worker order, then canonicalized.
+    """
+    rng = random.Random(seed)
+    make = PAYLOAD_MAKERS[payload_kind]
+    vertices = [f"v{i:02d}" for i in range(10)]
+    edges = {
+        v: {t: None for t in rng.sample(vertices, rng.randrange(1, 5))}
+        for v in vertices
+    }
+    owner = {v: i % 2 for i, v in enumerate(vertices)}
+    workers = [
+        SimpleNamespace(edges={v: e for v, e in edges.items() if owner[v] == w})
+        for w in (0, 1)
+    ]
+    locations = dict(owner)
+
+    run_state = ColumnarRunState()
+    run_state.ensure_index(workers, locations)
+
+    reference = MessageStore()
+    columnar = ColumnarMessageStore(run_state)
+    transport = ShmTransport()
+
+    for worker_id in (0, 1):
+        grouped = {}
+        outbox = ColumnarOutbox()
+        my_vertices = [v for v in vertices if owner[v] == worker_id]
+        for _ in range(rng.randrange(5, 25)):
+            source = rng.choice(my_vertices)
+            value = make(rng)
+            if rng.random() < 0.4:
+                targets = tuple(edges[source])
+                shared = Envelope(source, BROADCAST_TARGET, value)
+                for target in targets:
+                    grouped.setdefault(target, []).append(shared)
+                outbox.add_broadcast(source, value, len(targets))
+            else:
+                target = rng.choice(vertices)
+                grouped.setdefault(target, []).append(
+                    Envelope(source, target, value)
+                )
+                outbox.add_point(source, target, value)
+        reference.merge_grouped(grouped)
+        worker = _outbox_worker(outbox, worker_id=worker_id)
+        handle = transport.ship(
+            build_frame(worker, run_state.interner, 0)
+        )
+        columnar.absorb_frame(
+            parse_frame(transport.retrieve(handle), run_state.interner)
+        )
+    reference.canonicalize()
+    return vertices, reference, columnar
+
+
+class TestCanonicalOrderProperty:
+    @pytest.mark.parametrize("payload_kind", sorted(PAYLOAD_MAKERS))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pack_shm_unpack_preserves_canonical_order(
+        self, seed, payload_kind
+    ):
+        vertices, reference, columnar = _random_plane(seed, payload_kind)
+        assert columnar.total_messages == reference.total_messages
+        for vertex in vertices:
+            expected = [e.value for e in reference.inbox(vertex)]
+            assert columnar.inbox_values(vertex) == expected, vertex
+            assert columnar.has_inbox(vertex) == bool(expected)
+            # Envelope materialization agrees on sources and values.
+            expected_pairs = [
+                (e.source, e.value) for e in reference.inbox(vertex)
+            ]
+            got_pairs = [
+                (e.source, e.value) for e in columnar.inbox(vertex)
+            ]
+            assert got_pairs == expected_pairs
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mixed_unpackable_payloads_counted_as_fallback(self, seed):
+        _, reference, columnar = _random_plane(seed, "mixed")
+        assert columnar.total_messages == reference.total_messages
+
+    def test_to_message_store_matches_reference(self):
+        vertices, reference, columnar = _random_plane(99, "float")
+        materialized = columnar.to_message_store()
+        for vertex in vertices:
+            assert [e.value for e in materialized.inbox(vertex)] == [
+                e.value for e in reference.inbox(vertex)
+            ]
+
+    def test_shm_left_clean_after_property_runs(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm")
+        before = {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+        _random_plane(123, "float")
+        after = {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+        assert after == before
+
+
+class TestEstimateBytes:
+    """Regression: columnar payload types must not use the repr cache."""
+
+    def test_array_counts_buffer_not_repr(self):
+        values = array("d", [0.0] * 1000)
+        assert _estimate_bytes(values) == 16 + 8000
+
+    def test_memoryview_counts_nbytes(self):
+        view = memoryview(b"z" * 512)
+        assert _estimate_bytes(view) == 16 + 512
+        # A second, larger view must not reuse a learned per-type size.
+        assert _estimate_bytes(memoryview(b"z" * 2048)) == 16 + 2048
+
+    def test_bytearray_counts_length(self):
+        assert _estimate_bytes(bytearray(64)) == 16 + 64
