@@ -54,6 +54,7 @@ from repro.datasets import (
     DEMO_DATASETS,
     PERF_DATASETS,
     load_dataset,
+    make,
     premade_graph,
     premade_menu,
     random_symmetric_weights,
@@ -141,17 +142,31 @@ def _build_graph(args):
 
         graph = read_adjacency_file(args.input, directed=not args.undirected)
     else:
-        graph = load_dataset(
-            args.dataset, seed=args.seed, num_vertices=args.vertices
+        graph = make(
+            args.dataset, scale=getattr(args, "scale", "demo"),
+            seed=args.seed, num_vertices=args.vertices,
         )
     if args.algorithm == "mwm":
-        graph = to_undirected(random_symmetric_weights(graph, seed=args.seed))
+        graph = to_undirected(
+            random_symmetric_weights(_materialized(graph), seed=args.seed)
+        )
     elif args.algorithm in (
         "triangles", "kcore", "label-prop", "label-prop-buggy", "components"
     ):
         # These expect the undirected (symmetric) encoding.
-        graph = to_undirected(graph)
+        graph = to_undirected(_materialized(graph))
     return graph
+
+
+def _materialized(graph):
+    """Collapse a full-scale VertexStream when a transform needs a Graph.
+
+    Weight decoration and undirected symmetrization rewrite edges in
+    place, so algorithms that need them cannot stream; at full scale this
+    costs the materialization the streaming path normally avoids.
+    """
+    materialize = getattr(graph, "materialize", None)
+    return materialize() if materialize is not None else graph
 
 
 def _engine_kwargs(args, registry_kwargs):
@@ -163,6 +178,12 @@ def _engine_kwargs(args, registry_kwargs):
         kwargs["columnar"] = args.columnar
     if args.max_supersteps is not None:
         kwargs["max_supersteps"] = args.max_supersteps
+    if getattr(args, "store", None) is not None:
+        kwargs["store"] = args.store
+    if getattr(args, "memory_limit", None) is not None:
+        kwargs["memory_limit"] = args.memory_limit * 1024 * 1024
+    if getattr(args, "partitions", None) is not None:
+        kwargs["num_partitions"] = args.partitions
     return kwargs
 
 
@@ -333,6 +354,12 @@ def cmd_debug(args, out):
         **_engine_kwargs(args, kwargs_builder(args)),
     )
     out(run.summary())
+    superstep_stats = run.superstep_stats()
+    if any(s.store_bytes_spilled or s.store_bytes_loaded
+           for s in superstep_stats):
+        out("out-of-core telemetry (per superstep):")
+        for stats in superstep_stats:
+            out(f"  {stats.row()}")
     if injector is not None:
         for event in injector.events:
             out(f"chaos: superstep {event.superstep}: {event.kind} "
@@ -670,6 +697,10 @@ def build_parser():
         p.add_argument("--dataset", default="web-BS")
         p.add_argument("--vertices", type=int, default=None,
                        help="stand-in size override")
+        p.add_argument("--scale", choices=("demo", "full"), default="demo",
+                       help="dataset scale: 'demo' materializes the laptop "
+                            "stand-in; 'full' streams the paper-scale graph "
+                            "(pair with --store spill / --memory-limit)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--workers", type=int, default=4)
         p.add_argument("--num-workers", type=int, dest="workers",
@@ -682,6 +713,19 @@ def build_parser():
                        help="force the columnar (packed-batch) or envelope "
                             "message transport; default picks columnar "
                             "automatically (results are identical)")
+        p.add_argument("--store", choices=("auto", "memory", "spill"),
+                       default=None,
+                       help="vertex/message store plane: 'memory' (dicts), "
+                            "'spill' (partitioned out-of-core pages + sorted "
+                            "run files), or 'auto' (spill when the estimated "
+                            "footprint exceeds --memory-limit); results and "
+                            "traces are identical either way")
+        p.add_argument("--memory-limit", type=int, default=None, metavar="MB",
+                       help="memory ceiling in MiB; with --store auto the "
+                            "engine spills when the graph estimate exceeds it")
+        p.add_argument("--partitions", type=int, default=None,
+                       help="partition count for the spill store (decoupled "
+                            "from --workers; default max(workers, 32))")
         p.add_argument("--max-supersteps", type=int, default=None)
         p.add_argument("--iterations", type=int, default=10,
                        help="pagerank iterations")

@@ -24,7 +24,14 @@ from repro.datasets.registry import (
     PERF_DATASETS,
     DatasetSpec,
     dataset_names,
+    get_spec,
     load_dataset,
+    make,
+)
+from repro.datasets.streaming import (
+    VertexStream,
+    stream_bipartite_regular,
+    stream_power_law,
 )
 
 __all__ = [
@@ -41,5 +48,10 @@ __all__ = [
     "PERF_DATASETS",
     "DatasetSpec",
     "dataset_names",
+    "get_spec",
     "load_dataset",
+    "make",
+    "VertexStream",
+    "stream_bipartite_regular",
+    "stream_power_law",
 ]

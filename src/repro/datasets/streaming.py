@@ -1,0 +1,179 @@
+"""Streaming dataset generation: graphs that never become one big dict.
+
+A :class:`VertexStream` is the streaming twin of a generated
+:class:`~repro.graph.Graph`: it knows its shape (name, vertex count, an
+edge estimate, the id range) and can *iterate* ``(vertex_id, value,
+edge_map)`` triples in id order, one vertex's adjacency at a time. The
+engine's loader consumes ``iter_vertices`` directly into the partitioned
+spill store, so a ≥1M-vertex registry dataset materializes at full scale
+without the whole graph ever being resident — peak build memory is one
+page-segment buffer.
+
+The streamers replicate their dict-building generators *exactly*:
+:func:`stream_bipartite_regular` consumes the same seeded permutation as
+:func:`~repro.datasets.generators.bipartite_regular`, and
+:func:`stream_power_law` replays
+:func:`~repro.datasets.generators.power_law_graph`'s RNG draw-for-draw —
+``stream.materialize()`` equals the generator's graph, which the unit
+tests assert. The one freedom taken is iteration order (ids ascending,
+where a ``Graph`` yields vertices in edge-insertion order); graph
+equality and canonical trace digests are insensitive to it.
+"""
+
+from repro.common.errors import GraphError
+from repro.common.rng import derive_rng
+from repro.graph.graph import Graph
+
+
+class VertexStream:
+    """A lazily generated graph: shape up front, adjacency on demand.
+
+    ``factory`` is a zero-argument callable returning a fresh iterator of
+    ``(vertex_id, value, edge_map)`` triples; every call to
+    :meth:`iter_vertices` re-generates the stream from the seed, so the
+    stream is reusable (load + later verification passes).
+    """
+
+    def __init__(self, name, num_vertices, num_edges, factory,
+                 directed=True, id_range=None):
+        self.name = name
+        self.num_vertices = num_vertices
+        #: Directed adjacency-slot count (estimate for random generators;
+        #: exact for regular ones). The engine reports live counts from
+        #: its own store — this one feeds sizing decisions like
+        #: ``store="auto"`` under a memory ceiling.
+        self.num_edges = num_edges
+        self.directed = directed
+        self._factory = factory
+        self._id_range = (
+            id_range if id_range is not None else range(num_vertices)
+        )
+
+    def iter_vertices(self):
+        """Yield ``(vertex_id, value, edge_map)`` in ascending id order."""
+        return self._factory()
+
+    def iter_edges(self):
+        """Yield ``(source, target, value)`` for every adjacency slot."""
+        for vertex_id, _value, edge_map in self.iter_vertices():
+            for target, edge_value in edge_map.items():
+                yield vertex_id, target, edge_value
+
+    def vertex_ids(self):
+        return iter(self._id_range)
+
+    def has_vertex(self, vertex_id):
+        return vertex_id in self._id_range
+
+    def neighbors(self, vertex_id):
+        """Outgoing neighbor ids of one vertex.
+
+        Costs a stream scan (there is no resident adjacency to index
+        into); callers wanting many adjacencies should iterate
+        :meth:`iter_vertices` themselves.
+        """
+        for candidate, _value, edge_map in self.iter_vertices():
+            if candidate == vertex_id:
+                return list(edge_map)
+        return []
+
+    def materialize(self):
+        """Build the equivalent :class:`~repro.graph.Graph` (tests, demos)."""
+        graph = Graph(directed=self.directed)
+        for vertex_id, value, edge_map in self.iter_vertices():
+            graph.add_vertex(vertex_id, value)
+            for target, edge_value in edge_map.items():
+                graph.add_edge(vertex_id, target, edge_value)
+        return graph
+
+    def __repr__(self):
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"<VertexStream {self.name!r}: {self.num_vertices} vertices, "
+            f"~{self.num_edges} {kind} edges>"
+        )
+
+
+def stream_bipartite_regular(side_size, degree=3, seed=0):
+    """Streaming twin of :func:`~repro.datasets.generators.bipartite_regular`.
+
+    Same seeded permutation, same edges. A left vertex ``L`` lists its
+    rights in offset order (as the generator inserted them); a right
+    vertex ``side + r`` lists its lefts ascending (the order the
+    generator's left-major loop reached them).
+    """
+    if degree >= side_size:
+        raise GraphError(
+            f"degree {degree} must be below side size {side_size} "
+            f"for a simple bipartite graph"
+        )
+
+    def generate():
+        rng = derive_rng(seed, "bipartite", side_size, degree)
+        permutation = list(range(side_size))
+        rng.shuffle(permutation)
+        inverse = [0] * side_size
+        for index, value in enumerate(permutation):
+            inverse[value] = index
+        for left in range(side_size):
+            yield left, None, {
+                side_size + permutation[(left + offset) % side_size]: None
+                for offset in range(degree)
+            }
+        for right in range(side_size):
+            lefts = sorted(
+                (inverse[right] - offset) % side_size
+                for offset in range(degree)
+            )
+            yield side_size + right, None, {left: None for left in lefts}
+
+    return VertexStream(
+        name=f"bipartite-{side_size}x{degree}",
+        num_vertices=2 * side_size,
+        num_edges=2 * side_size * degree,
+        factory=generate,
+        directed=False,
+    )
+
+
+def stream_power_law(num_vertices, mean_out_degree, exponent=2.3, seed=0,
+                     id_offset=0):
+    """Streaming twin of :func:`~repro.datasets.generators.power_law_graph`.
+
+    Replays the generator's RNG draw-for-draw (one degree draw plus its
+    rejection-sampled targets per source, sources ascending), so the
+    produced adjacency is identical. Directed only — the undirected
+    variant needs reverse edges known before their source streams by,
+    which is exactly the dict the streaming path exists to avoid.
+    """
+    if num_vertices <= 1:
+        raise GraphError("stream_power_law needs at least 2 vertices")
+    from repro.datasets.generators import _WeightedSampler, _draw_degree, \
+        _zipf_weights
+
+    def generate():
+        rng = derive_rng(seed, "power_law", num_vertices, mean_out_degree)
+        sampler = _WeightedSampler(_zipf_weights(num_vertices, exponent))
+        for source in range(num_vertices):
+            out_degree = min(
+                num_vertices - 1, _draw_degree(rng, mean_out_degree)
+            )
+            chosen = set()
+            attempts = 0
+            while len(chosen) < out_degree and attempts < out_degree * 20:
+                target = sampler.sample(rng)
+                attempts += 1
+                if target != source:
+                    chosen.add(target)
+            yield source + id_offset, None, {
+                target + id_offset: None for target in sorted(chosen)
+            }
+
+    return VertexStream(
+        name=f"power-law-{num_vertices}",
+        num_vertices=num_vertices,
+        num_edges=int(num_vertices * mean_out_degree),
+        factory=generate,
+        directed=True,
+        id_range=range(id_offset, id_offset + num_vertices),
+    )

@@ -53,7 +53,9 @@ from repro.pregel.partition import (
     ExplicitPartitioner,
     HashPartitioner,
     Partitioner,
+    RangePartitioner,
 )
+from repro.pregel.store import SpillStore
 from repro.pregel.runtime import (
     EXECUTOR_NAMES,
     ExecutionBackend,
@@ -100,7 +102,9 @@ __all__ = [
     "PermutationSchedule",
     "Partitioner",
     "HashPartitioner",
+    "RangePartitioner",
     "ExplicitPartitioner",
+    "SpillStore",
     "EXECUTOR_NAMES",
     "ExecutionBackend",
     "SerialBackend",

@@ -61,30 +61,53 @@ class WorkerFailure(PregelError):
         self.superstep = superstep
 
 
+def _worker_payload(worker):
+    """One worker's state via the store-agnostic :meth:`Worker.iter_state`.
+
+    Spilled workers stream their pages through the same view, so the
+    checkpoint format is identical whichever plane holds the vertices.
+    """
+    values = []
+    edges = []
+    halted = []
+    for vertex_id, value, edge_map, halt_flag in worker.iter_state():
+        values.append([vertex_id, value])
+        edges.append([vertex_id, list(edge_map.items())])
+        halted.append([vertex_id, halt_flag])
+    return {
+        "worker_id": worker.worker_id,
+        "values": values,
+        "edges": edges,
+        "halted": halted,
+    }
+
+
+def _iter_messages(incoming):
+    """In-flight ``(source, target, value)`` triples in delivery order."""
+    iterator = getattr(incoming, "iter_checkpoint_messages", None)
+    if iterator is not None:
+        return iterator()
+    # Stores without the hook (e.g. the columnar store) expose the
+    # classic targets()/inbox() protocol; the inbox key is the
+    # authoritative target (shared broadcast envelopes carry a
+    # placeholder in their target field).
+    return (
+        (envelope.source, target, envelope.value)
+        for target in incoming.targets()
+        for envelope in incoming.inbox(target)
+    )
+
+
 def write_checkpoint(config, superstep, workers, aggregators, incoming, codec=None):
     """Serialize the full engine state for resuming at ``superstep``."""
     codec = codec or default_codec
     payload = {
         "superstep": superstep,
         "aggregators": aggregators.visible_snapshot(),
-        "workers": [
-            {
-                "worker_id": worker.worker_id,
-                "values": list(worker.values.items()),
-                "edges": [
-                    [vertex_id, list(edge_map.items())]
-                    for vertex_id, edge_map in worker.edges.items()
-                ],
-                "halted": list(worker.halted.items()),
-            }
-            for worker in workers
-        ],
-        # The inbox key is the authoritative target (shared broadcast
-        # envelopes carry a placeholder in their target field).
+        "workers": [_worker_payload(worker) for worker in workers],
         "messages": [
-            [envelope.source, target, envelope.value]
-            for target in incoming.targets()
-            for envelope in incoming.inbox(target)
+            [source, target, value]
+            for source, target, value in _iter_messages(incoming)
         ],
     }
     body = codec.dumps(payload)
@@ -187,12 +210,15 @@ def restore_workers(workers, checkpoint):
     locations = {}
     for worker_state in checkpoint["workers"]:
         worker = by_id[worker_state["worker_id"]]
-        worker.values = dict(worker_state["values"])
-        worker.edges = {
-            vertex_id: dict(edge_map)
-            for vertex_id, edge_map in worker_state["edges"]
-        }
-        worker.halted = dict(worker_state["halted"])
-        for vertex_id in worker.values:
+        values = dict(worker_state["values"])
+        worker.restore_state(
+            values,
+            {
+                vertex_id: dict(edge_map)
+                for vertex_id, edge_map in worker_state["edges"]
+            },
+            dict(worker_state["halted"]),
+        )
+        for vertex_id in values:
             locations[vertex_id] = worker.worker_id
     return locations

@@ -37,6 +37,7 @@ step's fatal error is about to propagate.
 """
 
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.common.errors import (
@@ -68,12 +69,32 @@ from repro.pregel.checkpoint import (
 )
 from repro.pregel.master import MasterContext, ensure_master, run_master
 from repro.pregel.messages import MessageStore
-from repro.pregel.metrics import RunMetrics, SuperstepMetrics
+from repro.pregel.metrics import RunMetrics, SuperstepMetrics, sample_peak_memory
 from repro.pregel.partition import HashPartitioner
 from repro.pregel.runtime import StepOutcome, resolve_backend
-from repro.pregel.worker import Worker
+from repro.pregel.worker import SpilledWorker, Worker
 
 DEFAULT_MAX_SUPERSTEPS = 10_000
+
+#: Default partition count when spilling: enough partitions that one
+#: partition's page is a small fraction of any realistic memory ceiling,
+#: while still a multiple of common worker counts (1/2/4/8).
+DEFAULT_SPILL_PARTITIONS = 32
+
+# Rough in-memory footprint per vertex / per edge of the dict-based
+# plane (value + adjacency + halt flag + outbox slack), used only to
+# decide whether ``store="auto"`` should spill under a memory ceiling.
+_VERTEX_FOOTPRINT = 300
+_EDGE_FOOTPRINT = 180
+
+
+def estimated_graph_bytes(graph):
+    """Estimated resident bytes of running ``graph`` fully in memory."""
+    num_vertices = getattr(graph, "num_vertices", None)
+    num_edges = getattr(graph, "num_edges", 0) or 0
+    if num_vertices is None:
+        num_vertices = len(list(graph.vertex_ids()))
+    return _VERTEX_FOOTPRINT * num_vertices + _EDGE_FOOTPRINT * num_edges
 
 
 @dataclass
@@ -97,6 +118,41 @@ class PregelResult:
             f"halt={self.halt_reason} after {self.num_supersteps} supersteps; "
             f"{self.metrics.summary()}"
         )
+
+
+class SpilledResultValues(Mapping):
+    """Lazy ``{vertex_id: value}`` view over the spill store.
+
+    Materializing a million-vertex result dict would defeat the memory
+    ceiling the spill plane exists for; point lookups go through the page
+    cache instead. Iteration order follows the location map (insertion
+    order of the load). ``dict(result.vertex_values)`` still works — and
+    pays the page churn — when a test wants the whole mapping.
+    """
+
+    def __init__(self, workers, locations):
+        self._workers = workers
+        self._locations = locations
+
+    def __getitem__(self, vertex_id):
+        worker_index = self._locations[vertex_id]
+        return self._workers[worker_index].get_vertex_value(vertex_id)
+
+    def __iter__(self):
+        return iter(self._locations)
+
+    def __len__(self):
+        return len(self._locations)
+
+    def __eq__(self, other):
+        if isinstance(other, (dict, Mapping)):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self):
+        return f"<SpilledResultValues of {len(self._locations)} vertices>"
 
 
 class PregelEngine:
@@ -188,6 +244,11 @@ class PregelEngine:
         executor="serial",
         delivery_schedule=None,
         columnar=None,
+        store=None,
+        memory_limit=None,
+        num_partitions=None,
+        spill_filesystem=None,
+        page_cache_bytes=None,
     ):
         if max_supersteps <= 0:
             raise PregelError(f"max_supersteps must be positive, got {max_supersteps}")
@@ -197,11 +258,62 @@ class PregelEngine:
             raise PregelError(
                 f"unknown on_message_to_missing policy {on_message_to_missing!r}"
             )
+        if store is None:
+            store = "auto"
+        if store not in ("auto", "memory", "spill"):
+            raise PregelError(
+                f"store must be 'auto', 'memory', or 'spill', got {store!r}"
+            )
+        spill = store == "spill" or (
+            store == "auto"
+            and memory_limit is not None
+            and estimated_graph_bytes(graph) > memory_limit
+        )
+        if spill:
+            if columnar:
+                raise PregelError(
+                    "columnar=True cannot be combined with store='spill'; "
+                    "the spill plane routes messages through sorted run "
+                    "files, not packed column frames"
+                )
+            if delivery_schedule is not None:
+                raise PregelError(
+                    "a delivery_schedule cannot be combined with "
+                    "store='spill'; graft-san permutations operate on the "
+                    "in-memory envelope store"
+                )
+            columnar = False
         self._computation_factory = computation_factory
         self._graph = graph
-        self._partitioner = partitioner or HashPartitioner(num_workers)
+        if partitioner is not None:
+            self._partitioner = partitioner
+        else:
+            if num_partitions is None and spill:
+                num_partitions = max(num_workers, DEFAULT_SPILL_PARTITIONS)
+            self._partitioner = HashPartitioner(
+                num_workers, num_partitions=num_partitions
+            )
         self._num_workers = self._partitioner.num_workers
         self._backend = resolve_backend(executor, self._num_workers)
+        self._memory_limit = memory_limit
+        if spill:
+            from repro.pregel.store import SpillStore
+            from repro.pregel.store.spill import DEFAULT_CACHE_BYTES
+
+            if page_cache_bytes is None:
+                page_cache_bytes = DEFAULT_CACHE_BYTES
+                if memory_limit is not None:
+                    page_cache_bytes = min(
+                        page_cache_bytes, max(memory_limit // 4, 1 << 20)
+                    )
+            self._store = SpillStore(
+                spill_filesystem,
+                num_partitions=self._partitioner.num_partitions,
+                cache_bytes=page_cache_bytes,
+            )
+        else:
+            self._store = None
+        self._store_counters = None
         self._seed = seed
         self._master = ensure_master(master)
         self._combiner = combiner
@@ -268,22 +380,64 @@ class PregelEngine:
 
     # -- setup ------------------------------------------------------------
 
+    def _iter_graph_vertices(self):
+        """Unified vertex source: ``(vertex_id, raw_value, edge_map)``.
+
+        A :class:`~repro.datasets.VertexStream` (or anything exposing
+        ``iter_vertices``) is consumed streaming — vertices flow straight
+        into worker/store state without the whole graph ever being a dict;
+        a materialized :class:`~repro.graph.Graph` goes through the
+        classic per-id accessors.
+        """
+        iterator = getattr(self._graph, "iter_vertices", None)
+        if iterator is not None:
+            return iterator()
+        graph = self._graph
+        return (
+            (vertex_id, graph.vertex_value(vertex_id), graph.out_edges(vertex_id))
+            for vertex_id in graph.vertex_ids()
+        )
+
     def _load(self):
+        worker_class = Worker if self._store is None else SpilledWorker
         self.workers = [
-            Worker(worker_id, self._seed) for worker_id in range(self._num_workers)
+            worker_class(worker_id, self._seed)
+            for worker_id in range(self._num_workers)
         ]
         self._computations = [
             self._computation_factory() for _ in range(self._num_workers)
         ]
-        for vertex_id in self._graph.vertex_ids():
-            worker_index = self._partitioner.worker_for(vertex_id)
-            computation = self._computations[worker_index]
-            initial = computation.initial_value(
-                vertex_id, self._graph.vertex_value(vertex_id)
-            )
-            edge_map = dict(self._graph.out_edges(vertex_id))
-            self.workers[worker_index].load_vertex(vertex_id, initial, edge_map)
-            self._locations[vertex_id] = worker_index
+        if self._store is not None:
+            # Bulk-build pages partition-at-a-time: bounded buffers, no
+            # full-graph dict — what lets ≥1M-vertex datasets load under
+            # a memory ceiling.
+            partitioner = self._partitioner
+            computations = self._computations
+            builder = self._store.builder()
+            for vertex_id, raw_value, edge_map in self._iter_graph_vertices():
+                partition_id = partitioner.partition_for(vertex_id)
+                worker_index = partitioner.worker_of_partition(partition_id)
+                initial = computations[worker_index].initial_value(
+                    vertex_id, raw_value
+                )
+                builder.add(partition_id, vertex_id, initial, edge_map)
+                self._locations[vertex_id] = worker_index
+            builder.finish()
+            self._store_counters = self._store.counters()
+            for worker in self.workers:
+                worker.attach_spill(
+                    self._store, partitioner, self._locations,
+                    deferred=self._backend.transfers_state,
+                )
+        else:
+            for vertex_id, raw_value, edge_map in self._iter_graph_vertices():
+                worker_index = self._partitioner.worker_for(vertex_id)
+                computation = self._computations[worker_index]
+                initial = computation.initial_value(vertex_id, raw_value)
+                self.workers[worker_index].load_vertex(
+                    vertex_id, initial, edge_map
+                )
+                self._locations[vertex_id] = worker_index
         for name, aggregator in self._extra_aggregators.items():
             self.aggregators.register(name, aggregator)
         if self._master is not None:
@@ -294,7 +448,7 @@ class PregelEngine:
         worker_index = self._locations.get(vertex_id)
         if worker_index is None:
             raise PregelError(f"vertex {vertex_id!r} not in the computation")
-        return self.workers[worker_index].values[vertex_id]
+        return self.workers[worker_index].get_vertex_value(vertex_id)
 
     def has_vertex(self, vertex_id):
         return vertex_id in self._locations
@@ -304,7 +458,7 @@ class PregelEngine:
         worker_index = self._locations.get(vertex_id)
         if worker_index is None:
             raise PregelError(f"vertex {vertex_id!r} not in the computation")
-        return dict(self.workers[worker_index].edges[vertex_id])
+        return self.workers[worker_index].get_vertex_edges(vertex_id)
 
     @property
     def num_vertices(self):
@@ -336,6 +490,7 @@ class PregelEngine:
         transfers_state = self._backend.transfers_state
         on_error = self._on_error
         columnar = self._columnar
+        spill = self._store is not None
         delay = fault.get("delay") if fault else None
         crash_after = fault.get("crash_after") if fault else None
 
@@ -362,7 +517,18 @@ class PregelEngine:
             state = None
             frame = None
             outbox = worker.outbox
-            if transfers_state:
+            if spill:
+                # Messages are already in run files (or the worker's
+                # deferred router under ``transfers_state``); nothing is
+                # grouped in an outbox.
+                outbox = {}
+                if transfers_state:
+                    payloads = [
+                        collector(worker.worker_id)
+                        for collector in payload_collectors
+                    ]
+                    state = worker.collect_spill_state()
+            elif transfers_state:
                 payloads = [
                     collector(worker.worker_id)
                     for collector in payload_collectors
@@ -493,8 +659,21 @@ class PregelEngine:
                     )
                 ]
                 try:
-                    with Timer() as wall_timer:
-                        outcomes = self._backend.run_superstep(steps)
+                    if self._store is not None:
+                        # A crashed earlier attempt may have left torn run
+                        # chunks for this delivery superstep; re-execution
+                        # must start from a clean directory. Freeze the
+                        # store while steps run in other address spaces so
+                        # forked children can never write the fork-shared
+                        # spill area.
+                        self._store.clear_runs(superstep + 1)
+                        self._store.frozen = self._backend.transfers_state
+                    try:
+                        with Timer() as wall_timer:
+                            outcomes = self._backend.run_superstep(steps)
+                    finally:
+                        if self._store is not None:
+                            self._store.frozen = False
                     self._raise_if_step_failed(superstep, outcomes)
 
                     superstep_metrics = SuperstepMetrics(
@@ -512,6 +691,7 @@ class PregelEngine:
                     outgoing = self._barrier(
                         outcomes, superstep_metrics, payload_collectors
                     )
+                    superstep_metrics.peak_memory_bytes = sample_peak_memory()
                     metrics.add_superstep(superstep_metrics)
                     self._notify("on_superstep_end", superstep, superstep_metrics)
                     supersteps_run = max(supersteps_run, superstep + 1)
@@ -639,6 +819,10 @@ class PregelEngine:
         completion order, which is what makes the barrier
         backend-independent.
         """
+        if self._store is not None:
+            return self._spill_barrier(
+                outcomes, superstep_metrics, payload_collectors
+            )
         if self._columnar:
             return self._columnar_barrier(
                 outcomes, superstep_metrics, payload_collectors
@@ -753,6 +937,134 @@ class PregelEngine:
         self.aggregators.barrier()
         return outgoing
 
+    def _spill_barrier(self, outcomes, superstep_metrics, payload_collectors):
+        """The barrier's out-of-core twin: absorb pages, hand off runs.
+
+        Same reductions in the same worker-id order as the in-memory
+        barrier. Messages were already routed into sorted per-partition
+        run files during the steps (canonicalization is the merge order
+        of the runs, see :mod:`repro.pregel.store.runs`); combining
+        happens lazily when the next superstep loads each partition, so
+        the eliminations reported here were accounted by *this*
+        superstep's loads.
+        """
+        store = self._store
+        transfers = self._backend.transfers_state
+        superstep = superstep_metrics.superstep
+        superstep_metrics.transport = "spill"
+        routed = 0
+        combined = 0
+        suspects = set()
+        suspect_counts = {}
+        for outcome in outcomes:
+            if transfers:
+                shipped = outcome.state
+                for partition_id in sorted(shipped["pages"]):
+                    values, edges, halted = shipped["pages"][partition_id]
+                    store.replace_partition(partition_id, values, edges, halted)
+                for path, data in shipped["runs"]:
+                    store.install_run_file(path, data)
+                routed += shipped["routed"]
+                for target, count in shipped["suspect_counts"].items():
+                    suspect_counts[target] = (
+                        suspect_counts.get(target, 0) + count
+                    )
+                suspects |= shipped["suspects"]
+                combined += shipped["messages_combined"]
+                for listener, payload in zip(
+                    payload_collectors, outcome.payloads
+                ):
+                    listener.absorb_step_payload(outcome.worker_id, payload)
+            else:
+                worker = self.workers[outcome.worker_id]
+                router = worker.router
+                if router is not None:
+                    routed += router.count
+                    for target, count in router.suspect_counts.items():
+                        suspect_counts[target] = (
+                            suspect_counts.get(target, 0) + count
+                        )
+                    suspects |= router.suspects
+                combined += worker.messages_combined
+        superstep_metrics.messages_combined = combined
+        outgoing = store.message_store(
+            superstep + 1, total_messages=routed, combiner=self._combiner
+        )
+        self._apply_spill_mutations(
+            outcomes, outgoing, suspects, suspect_counts
+        )
+        for outcome in outcomes:
+            self.aggregators.merge_partials(outcome.agg_partials)
+        self.aggregators.barrier()
+        # This superstep's inbox runs are fully consumed; the next
+        # rollback restores messages from a checkpoint, never from here.
+        store.clear_runs(superstep)
+        counters = store.counters()
+        before = self._store_counters or counters
+        superstep_metrics.store_bytes_spilled = (
+            counters["bytes_spilled"] - before["bytes_spilled"]
+        )
+        superstep_metrics.store_bytes_loaded = (
+            counters["bytes_loaded"] - before["bytes_loaded"]
+        )
+        superstep_metrics.page_cache_hits = (
+            counters["page_hits"] - before["page_hits"]
+        )
+        superstep_metrics.page_cache_misses = (
+            counters["page_misses"] - before["page_misses"]
+        )
+        self._store_counters = counters
+        superstep_metrics.partitions_resident = store.resident_partitions()
+        return outgoing
+
+    def _apply_spill_mutations(self, outcomes, outgoing, suspects,
+                               suspect_counts):
+        """Removals, then additions, then message-driven vertex creation.
+
+        The resolver's work list is built incrementally: routers record
+        emit-time suspects (targets not in ``_locations`` when the message
+        was sent); vertices *removed at this barrier* passed that check,
+        so their in-flight messages are counted with a run scan of just
+        their partitions. The re-check against ``_locations`` below then
+        sees the post-mutation graph, exactly like the in-memory
+        ``missing_targets`` scan.
+        """
+        removed = []
+        for outcome in outcomes:
+            for vertex_id in outcome.remove_vertex_requests:
+                location = self._locations.pop(vertex_id, None)
+                if location is not None:
+                    self.workers[location].remove_vertex(vertex_id)
+                    removed.append(vertex_id)
+        for outcome in outcomes:
+            for vertex_id, value in outcome.add_vertex_requests:
+                if vertex_id not in self._locations:
+                    self._create_vertex(vertex_id, value)
+        removed_missing = [
+            vertex_id for vertex_id in removed
+            if vertex_id not in self._locations
+        ]
+        if removed_missing:
+            for target, count in outgoing.count_targets(
+                self._partitioner, removed_missing
+            ).items():
+                suspects.add(target)
+                suspect_counts[target] = suspect_counts.get(target, 0) + count
+        missing = sorted(
+            (target for target in suspects if target not in self._locations),
+            key=repr,
+        )
+        if self._on_message_to_missing == "create":
+            for target in missing:
+                worker_index = self._partitioner.worker_for(target)
+                default = self._computations[
+                    worker_index
+                ].default_vertex_value(target)
+                self._create_vertex(target, default)
+        else:
+            for target in missing:
+                outgoing.drop_target(target, suspect_counts.get(target, 0))
+
     def _apply_mutations(self, outcomes, outgoing):
         """Removals, then additions, then message-driven vertex creation."""
         for outcome in outcomes:
@@ -792,6 +1104,8 @@ class PregelEngine:
             self._run_state.note_vertex_added(vertex_id)
 
     def _collect_values(self):
+        if self._store is not None:
+            return SpilledResultValues(self.workers, dict(self._locations))
         values = {}
         for worker in self.workers:
             values.update(worker.vertex_values())

@@ -160,6 +160,27 @@ class MessageStore:
         """True when at least one message is destined for ``vertex_id``."""
         return vertex_id in self._by_target
 
+    def load_partition(self, partition_id):
+        """Partition-at-a-time read protocol: the in-memory store holds
+        every partition's inbox at once, so the "loaded view" is the store
+        itself. The spill plane's store returns a per-partition view here.
+        """
+        return self
+
+    @property
+    def eliminated(self):
+        """Combiner eliminations attributable to a loaded view (spill
+        plane); the in-memory store combines at the producing barrier and
+        reports eliminations there, so views report zero."""
+        return 0
+
+    def iter_checkpoint_messages(self):
+        """``(source, target, value)`` for every in-flight message, in
+        per-target delivery order — the order a checkpoint must preserve."""
+        for target, envelopes in self._by_target.items():
+            for envelope in envelopes:
+                yield envelope.source, target, envelope.value
+
     def targets(self):
         """Vertex ids that have at least one incoming message."""
         return self._by_target.keys()

@@ -13,9 +13,35 @@ efficiency: 1.0 means perfectly serial execution, ``num_workers`` means
 ideal speedup.
 """
 
+import tracemalloc
 from dataclasses import dataclass, field
 
 from repro.common.timing import format_duration
+
+
+def sample_peak_memory():
+    """Best-available peak-resident-bytes reading for this process.
+
+    When :mod:`tracemalloc` is tracing (the scale bench turns it on), the
+    peak since the last sample is returned and the peak counter reset, so
+    successive calls yield genuine per-superstep peaks of Python-heap
+    allocations. Otherwise falls back to ``ru_maxrss`` — the OS-reported
+    lifetime high-water mark of the whole process, which is monotonic
+    across supersteps and includes the interpreter itself.
+    """
+    if tracemalloc.is_tracing():
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        return peak
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    import sys
+
+    scale = 1 if sys.platform == "darwin" else 1024
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale
 
 
 @dataclass
@@ -46,6 +72,27 @@ class SuperstepMetrics:
     transport_batches: int = 0
     #: Columns that degraded to the pickled-object fallback.
     pickle_fallbacks: int = 0
+    #: Peak resident bytes observed at this superstep's barrier: the
+    #: per-superstep tracemalloc peak when tracing is on, otherwise the
+    #: process-lifetime ``ru_maxrss`` high-water mark (monotonic).
+    peak_memory_bytes: int = 0
+    #: Vertex-page bytes written to / read from the spill filesystem this
+    #: superstep (0 unless ``store="spill"``).
+    store_bytes_spilled: int = 0
+    store_bytes_loaded: int = 0
+    #: Page-cache accounting for this superstep's partition acquisitions.
+    page_cache_hits: int = 0
+    page_cache_misses: int = 0
+    #: Partition pages resident in memory when the barrier completed.
+    partitions_resident: int = 0
+
+    @property
+    def page_cache_hit_rate(self):
+        """Hit fraction of this superstep's page acquisitions (None if none)."""
+        total = self.page_cache_hits + self.page_cache_misses
+        if total == 0:
+            return None
+        return self.page_cache_hits / total
 
     @property
     def parallel_efficiency(self):
@@ -64,12 +111,25 @@ class SuperstepMetrics:
             f" parallel={efficiency:.2f}x" if efficiency is not None else ""
         )
         recovered = " [recovered]" if self.recovered else ""
+        memory = ""
+        if self.peak_memory_bytes:
+            memory = f" mem={self.peak_memory_bytes}"
+        spill = ""
+        if self.store_bytes_spilled or self.store_bytes_loaded:
+            hit_rate = self.page_cache_hit_rate
+            cache = f" cache={hit_rate:.0%}" if hit_rate is not None else ""
+            spill = (
+                f" spilled={self.store_bytes_spilled}"
+                f" loaded={self.store_bytes_loaded}{cache}"
+                f" resident={self.partitions_resident}"
+            )
         return (
             f"superstep {self.superstep:>4}: active={self.active_vertices:>8} "
             f"msgs={self.messages_sent:>9} combined={self.messages_combined:>8} "
             f"bytes={self.bytes_sent:>11} "
             f"transport={self.transport} "
-            f"time={format_duration(self.compute_seconds)}{parallel}{recovered}"
+            f"time={format_duration(self.compute_seconds)}{parallel}"
+            f"{memory}{spill}{recovered}"
         )
 
 
@@ -132,6 +192,30 @@ class RunMetrics:
         return sum(s.pickle_fallbacks for s in self.supersteps)
 
     @property
+    def peak_memory_bytes(self):
+        """Highest per-superstep peak observed across the run."""
+        return max(
+            (s.peak_memory_bytes for s in self.supersteps), default=0
+        )
+
+    @property
+    def total_store_bytes_spilled(self):
+        return sum(s.store_bytes_spilled for s in self.supersteps)
+
+    @property
+    def total_store_bytes_loaded(self):
+        return sum(s.store_bytes_loaded for s in self.supersteps)
+
+    @property
+    def page_cache_hit_rate(self):
+        """Run-wide page-cache hit fraction (None when nothing was paged)."""
+        hits = sum(s.page_cache_hits for s in self.supersteps)
+        misses = sum(s.page_cache_misses for s in self.supersteps)
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
+    @property
     def total_compute_seconds(self):
         return sum(s.compute_seconds for s in self.supersteps)
 
@@ -158,10 +242,22 @@ class RunMetrics:
                 f", {self.rollback_count} rollback(s) "
                 f"({self.recovered_supersteps} supersteps re-executed)"
             )
+        spill = ""
+        if self.total_store_bytes_spilled or self.total_store_bytes_loaded:
+            hit_rate = self.page_cache_hit_rate
+            cache = (
+                f", page-cache {hit_rate:.0%}" if hit_rate is not None else ""
+            )
+            spill = (
+                f", spilled {self.total_store_bytes_spilled} bytes / "
+                f"loaded {self.total_store_bytes_loaded} bytes{cache}, "
+                f"peak memory {self.peak_memory_bytes} bytes"
+            )
         return (
             f"{self.num_supersteps} supersteps, "
             f"{self.total_compute_calls} compute calls, "
             f"{self.total_messages} messages "
             f"({self.total_bytes_sent} bytes), "
             f"{format_duration(self.total_seconds)} total{parallel}{recovery}"
+            f"{spill}"
         )

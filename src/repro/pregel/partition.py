@@ -1,8 +1,23 @@
-"""Vertex-to-worker partitioning.
+"""Vertex-to-partition-to-worker mapping.
 
-Giraph assigns vertices to workers by hashing their ids; the same
-stable hash used everywhere in this library makes the assignment
-deterministic across runs and processes.
+Giraph assigns vertices to *partitions* and multiplexes partitions over
+workers; partition count and worker count are independent knobs. The
+in-memory engine historically collapsed the two (one partition per
+worker); the out-of-core store needs many more partitions than workers
+so one partition's page fits comfortably under the memory ceiling.
+
+Every partitioner therefore answers two questions:
+
+- :meth:`Partitioner.partition_for` — which partition owns a vertex id
+  (a pure function of the id, stable across runs, backends, and worker
+  counts);
+- :meth:`Partitioner.worker_of_partition` — which worker runs a
+  partition (round-robin, so partitions spread evenly).
+
+``worker_for`` composes the two. With the default ``num_partitions ==
+num_workers``, ``HashPartitioner`` reduces exactly to the historical
+``stable_hash % num_workers`` assignment, so existing runs, traces, and
+checkpoints are unchanged.
 """
 
 from repro.common.errors import PregelError
@@ -10,15 +25,35 @@ from repro.common.hashing import stable_hash
 
 
 class Partitioner:
-    """Maps a vertex id to a worker index in ``range(num_workers)``."""
+    """Maps vertex ids to partitions and partitions to workers."""
 
-    def __init__(self, num_workers):
+    def __init__(self, num_workers, num_partitions=None):
         if num_workers <= 0:
             raise PregelError(f"need at least one worker, got {num_workers}")
         self.num_workers = num_workers
+        if num_partitions is None:
+            num_partitions = num_workers
+        if num_partitions < num_workers:
+            raise PregelError(
+                f"need at least one partition per worker, got "
+                f"{num_partitions} partition(s) for {num_workers} worker(s)"
+            )
+        self.num_partitions = num_partitions
+
+    def partition_for(self, vertex_id):
+        """Partition index in ``range(num_partitions)`` owning ``vertex_id``."""
+        raise NotImplementedError
+
+    def worker_of_partition(self, partition_id):
+        """Worker index running ``partition_id`` (round-robin)."""
+        return partition_id % self.num_workers
+
+    def partitions_of_worker(self, worker_id):
+        """The partition ids multiplexed onto ``worker_id``, ascending."""
+        return range(worker_id, self.num_partitions, self.num_workers)
 
     def worker_for(self, vertex_id):
-        raise NotImplementedError
+        return self.worker_of_partition(self.partition_for(vertex_id))
 
     def partition(self, vertex_ids):
         """Group ``vertex_ids`` into per-worker lists, preserving order."""
@@ -29,22 +64,62 @@ class Partitioner:
 
 
 class HashPartitioner(Partitioner):
-    """Giraph's default: stable hash of the vertex id modulo worker count.
+    """Giraph's default: stable hash of the vertex id modulo partitions.
 
     >>> p = HashPartitioner(4)
     >>> p.worker_for("v1") == p.worker_for("v1")
     True
+    >>> q = HashPartitioner(4, num_partitions=16)
+    >>> q.worker_of_partition(q.partition_for("v1")) == q.worker_for("v1")
+    True
     """
 
-    def worker_for(self, vertex_id):
-        return stable_hash("partition", vertex_id) % self.num_workers
+    def partition_for(self, vertex_id):
+        return stable_hash("partition", vertex_id) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous integer-id ranges, one per partition.
+
+    The natural layout for the generated datasets (consecutive int ids):
+    partition ``p`` owns ids ``[p * ceil(n / P), ...)``, so each
+    partition's page holds a contiguous, cache-friendly id range and a
+    vertex's partition can be computed without hashing. Ids outside
+    ``[id_offset, id_offset + total_vertices)`` — e.g. vertices created
+    at a barrier — are clamped into the nearest edge partition, keeping
+    the assignment total and deterministic.
+    """
+
+    def __init__(self, num_workers, total_vertices, num_partitions=None,
+                 id_offset=0):
+        super().__init__(num_workers, num_partitions)
+        if total_vertices <= 0:
+            raise PregelError(
+                f"total_vertices must be positive, got {total_vertices}"
+            )
+        self.total_vertices = total_vertices
+        self.id_offset = id_offset
+
+    def partition_for(self, vertex_id):
+        if not isinstance(vertex_id, int) or isinstance(vertex_id, bool):
+            raise PregelError(
+                f"RangePartitioner needs integer vertex ids, got "
+                f"{vertex_id!r}"
+            )
+        position = vertex_id - self.id_offset
+        if position < 0:
+            return 0
+        if position >= self.total_vertices:
+            return self.num_partitions - 1
+        return position * self.num_partitions // self.total_vertices
 
 
 class ExplicitPartitioner(Partitioner):
-    """Fixed assignment from a mapping; unmapped ids fall back to hashing.
+    """Fixed vertex-to-worker assignment; unmapped ids fall back to hashing.
 
     Used by tests that need to place specific vertices on specific workers
-    (e.g. to prove traces merge correctly across worker files).
+    (e.g. to prove traces merge correctly across worker files). Partition
+    count equals worker count: the explicit map speaks in worker ids.
     """
 
     def __init__(self, num_workers, assignment):
@@ -55,7 +130,7 @@ class ExplicitPartitioner(Partitioner):
         self._assignment = dict(assignment)
         self._fallback = HashPartitioner(num_workers)
 
-    def worker_for(self, vertex_id):
+    def partition_for(self, vertex_id):
         if vertex_id in self._assignment:
             return self._assignment[vertex_id]
-        return self._fallback.worker_for(vertex_id)
+        return self._fallback.partition_for(vertex_id)

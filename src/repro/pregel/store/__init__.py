@@ -1,0 +1,32 @@
+"""Out-of-core partitioned vertex/message store.
+
+The engine's spill plane (``store="spill"``): vertex state lives in
+per-partition *pages* and in-flight messages in sorted per-partition
+*runs*, both written through :class:`~repro.simfs.BlockWriter` framing
+onto a spill filesystem (a disk-backed
+:class:`~repro.simfs.SpoolFileSystem` by default). The BSP loop then
+schedules partition-at-a-time: load a page, merge-join its inbox runs,
+compute, spill, advance — under a byte-budgeted LRU of hot pages.
+
+See ``docs/scale.md`` for the formats and the memory-ceiling policy.
+"""
+
+from repro.pregel.store.pages import (
+    PAGE_SEGMENT_ENTRIES,
+    decode_segment,
+    encode_segment,
+    iter_frames,
+)
+from repro.pregel.store.runs import RunRouter, SpilledMessageStore
+from repro.pregel.store.spill import PartitionPage, SpillStore
+
+__all__ = [
+    "PAGE_SEGMENT_ENTRIES",
+    "PartitionPage",
+    "RunRouter",
+    "SpillStore",
+    "SpilledMessageStore",
+    "decode_segment",
+    "encode_segment",
+    "iter_frames",
+]

@@ -190,6 +190,23 @@ class Worker:
     def has_vertex(self, vertex_id):
         return vertex_id in self.values
 
+    def get_vertex_value(self, vertex_id):
+        return self.values[vertex_id]
+
+    def get_vertex_edges(self, vertex_id):
+        return dict(self.edges[vertex_id])
+
+    def iter_state(self):
+        """Iterate ``(vertex_id, value, edge_map, halted)`` — checkpoint view."""
+        for vertex_id, value in self.values.items():
+            yield vertex_id, value, self.edges[vertex_id], self.halted[vertex_id]
+
+    def restore_state(self, values, edges, halted):
+        """Overwrite this worker's full vertex state (checkpoint restore)."""
+        self.values = values
+        self.edges = edges
+        self.halted = halted
+
     @property
     def num_vertices(self):
         return len(self.values)
@@ -290,6 +307,20 @@ class Worker:
             self.worker_id, superstep, num_vertices, num_edges
         )
         computation.pre_superstep(worker_info)
+        self._run_vertices(
+            computation, superstep, message_store, num_vertices, num_edges,
+            on_error, crash_after_calls,
+        )
+        computation.post_superstep(worker_info)
+
+    def _run_vertices(self, computation, superstep, message_store,
+                      num_vertices, num_edges, on_error, crash_after_calls):
+        """The inner compute loop over ``self.values``'s active vertices.
+
+        Factored out so the spill plane can point ``values``/``edges``/
+        ``halted`` at one partition page at a time and re-run this loop per
+        partition — the loop itself is store-agnostic.
+        """
         for vertex_id in self.active_vertices(superstep, message_store):
             if (
                 crash_after_calls is not None
@@ -326,7 +357,6 @@ class Worker:
                 continue
             self.values[vertex_id] = ctx.value
             self.halted[vertex_id] = ctx.halted
-        computation.post_superstep(worker_info)
 
     def all_halted(self):
         return all(self.halted.values())
@@ -334,3 +364,202 @@ class Worker:
     def vertex_values(self):
         """Iterate ``(vertex_id, value)`` pairs owned by this worker."""
         return iter(self.values.items())
+
+
+class _SpillServices(_WorkerServices):
+    """Emission straight into the worker's run router.
+
+    No grouped outbox exists under the spill plane: every send is routed
+    to its target partition's sorted run file immediately, so emission
+    memory stays bounded by the router's chunk buffer. Counters and byte
+    estimates match the envelope services exactly.
+    """
+
+    def emit(self, envelope):
+        worker = self._worker
+        worker.router.add(envelope.source, envelope.target, envelope.value)
+        worker.messages_sent += 1
+        worker.bytes_sent += _estimate_bytes(envelope.value)
+
+    def emit_broadcast(self, source, targets, value):
+        worker = self._worker
+        router = worker.router
+        for target in targets:
+            router.add(source, target, value)
+        worker.messages_sent += len(targets)
+        worker.bytes_sent += len(targets) * _estimate_bytes(value)
+
+
+class SpilledWorker(Worker):
+    """A worker whose vertex state lives in a partitioned spill store.
+
+    Owns ``partitions_of_worker(worker_id)`` partitions and runs each
+    superstep partition-at-a-time: pin the partition's page, load its
+    merged message inbox, point ``values``/``edges``/``halted`` at the
+    page's dicts, run the shared inner compute loop, release dirty. With
+    one partition per worker and a page cache large enough to hold it,
+    this degenerates to exactly the in-memory worker's behaviour —
+    identical compute order, identical aggregator fold order.
+    """
+
+    def __init__(self, worker_id, run_seed):
+        super().__init__(worker_id, run_seed)
+        self._spill_services = _SpillServices(self)
+        self.store = None
+        self.spill_partitioner = None
+        self.locations = None
+        self.deferred_runs = False
+        self.router = None
+        self.messages_combined = 0
+        self._partitions = ()
+
+    def attach_spill(self, store, partitioner, locations, deferred=False):
+        """Bind this worker to the shared store (engine load time)."""
+        self.store = store
+        self.spill_partitioner = partitioner
+        self.locations = locations
+        self.deferred_runs = deferred
+        self._partitions = list(
+            partitioner.partitions_of_worker(self.worker_id)
+        )
+        # The base dicts are never the source of truth here.
+        self.values = {}
+        self.edges = {}
+        self.halted = {}
+
+    @property
+    def partitions(self):
+        return self._partitions
+
+    # -- superstep execution ----------------------------------------------
+
+    def prepare_superstep(self, aggregators, columnar=False):
+        # The spill plane has no columnar outbox; emission always routes
+        # through the run router (the engine refuses columnar + spill).
+        super().prepare_superstep(aggregators, columnar=False)
+        self._services = self._spill_services
+        self.messages_combined = 0
+        self.router = None
+
+    def run_superstep(
+        self,
+        computation,
+        superstep,
+        message_store,
+        num_vertices,
+        num_edges,
+        on_error="raise",
+        crash_after_calls=None,
+    ):
+        from repro.pregel.computation import WorkerInfo
+
+        store = self.store
+        self.router = store.run_router(
+            self.worker_id,
+            superstep + 1,
+            self.spill_partitioner,
+            self.locations,
+            deferred=self.deferred_runs,
+        )
+        worker_info = WorkerInfo(
+            self.worker_id, superstep, num_vertices, num_edges
+        )
+        computation.pre_superstep(worker_info)
+        for partition_id in self._partitions:
+            page = store.acquire(partition_id)
+            view = message_store.load_partition(partition_id)
+            self.values = page.values
+            self.edges = page.edges
+            self.halted = page.halted
+            try:
+                self._run_vertices(
+                    computation, superstep, view, num_vertices, num_edges,
+                    on_error, crash_after_calls,
+                )
+            finally:
+                self.messages_combined += view.eliminated
+                store.release(partition_id, dirty=True)
+        computation.post_superstep(worker_info)
+        self.router.seal()
+
+    def outbox_envelopes(self):
+        # Sent messages live in run files, not an outbox; the debugger's
+        # emission views come from capture listeners, which observe sends
+        # through the compute context before they reach the router.
+        return []
+
+    def collect_spill_state(self):
+        """Everything the process backend must ship back to the parent."""
+        router = self.router
+        return {
+            "pages": self.store.collect_dirty(self._partitions),
+            "runs": router.shipped_files() if router is not None else [],
+            "routed": router.count if router is not None else 0,
+            "suspects": router.suspects if router is not None else set(),
+            "suspect_counts": (
+                router.suspect_counts if router is not None else {}
+            ),
+            "messages_combined": self.messages_combined,
+        }
+
+    # -- state access through the store ------------------------------------
+
+    def load_vertex(self, vertex_id, value, edge_map):
+        self.store.add_vertex(
+            self.spill_partitioner.partition_for(vertex_id),
+            vertex_id, value, edge_map,
+        )
+
+    def remove_vertex(self, vertex_id):
+        self.store.remove_vertex(
+            self.spill_partitioner.partition_for(vertex_id), vertex_id
+        )
+
+    def has_vertex(self, vertex_id):
+        return self.store.has_vertex(
+            self.spill_partitioner.partition_for(vertex_id), vertex_id
+        )
+
+    def get_vertex_value(self, vertex_id):
+        return self.store.get_vertex_value(
+            self.spill_partitioner.partition_for(vertex_id), vertex_id
+        )
+
+    def get_vertex_edges(self, vertex_id):
+        return self.store.get_vertex_edges(
+            self.spill_partitioner.partition_for(vertex_id), vertex_id
+        )
+
+    @property
+    def num_vertices(self):
+        return self.store.num_vertices(self._partitions)
+
+    @property
+    def num_edges(self):
+        return self.store.num_edges(self._partitions)
+
+    def all_halted(self):
+        return self.store.all_halted(self._partitions)
+
+    def iter_state(self):
+        for partition_id in self._partitions:
+            yield from self.store.iter_partition(partition_id)
+
+    def vertex_values(self):
+        for vertex_id, value, _edges, _halted in self.iter_state():
+            yield vertex_id, value
+
+    def restore_state(self, values, edges, halted):
+        """Rewrite every owned partition from checkpoint dicts."""
+        by_partition = {}
+        for vertex_id in values:
+            partition_id = self.spill_partitioner.partition_for(vertex_id)
+            by_partition.setdefault(partition_id, []).append(vertex_id)
+        for partition_id in self._partitions:
+            ids = by_partition.get(partition_id, ())
+            self.store.replace_partition(
+                partition_id,
+                {vid: values[vid] for vid in ids},
+                {vid: edges[vid] for vid in ids},
+                {vid: halted[vid] for vid in ids},
+            )

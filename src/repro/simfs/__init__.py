@@ -8,6 +8,13 @@ writers, atomic-rename, listing, and byte/block accounting (the paper's
 """
 
 from repro.simfs.filesystem import FileStat, SimFileSystem
+from repro.simfs.spool import SpoolFileSystem
 from repro.simfs.writers import BlockWriter, LineWriter
 
-__all__ = ["FileStat", "SimFileSystem", "LineWriter", "BlockWriter"]
+__all__ = [
+    "FileStat",
+    "SimFileSystem",
+    "SpoolFileSystem",
+    "LineWriter",
+    "BlockWriter",
+]

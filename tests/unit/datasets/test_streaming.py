@@ -1,0 +1,127 @@
+"""Unit tests for the streaming dataset generators.
+
+The contract: every streamer is an RNG-exact replay of its dict-building
+generator, so ``stream.materialize()`` equals the generator's graph —
+which means a full-scale streaming load computes the same graph the demo
+path would, just without the dict.
+"""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.datasets import (
+    VertexStream,
+    load_dataset,
+    make,
+    stream_bipartite_regular,
+    stream_power_law,
+)
+from repro.datasets.generators import (
+    bipartite_regular,
+    follower_network,
+    power_law_graph,
+)
+from repro.datasets.registry import get_spec
+
+
+class TestVertexStream:
+    def test_shape_and_iteration(self):
+        stream = stream_bipartite_regular(10, 3, seed=1)
+        assert stream.num_vertices == 20
+        assert stream.num_edges == 60  # directed adjacency slots
+        assert not stream.directed
+        assert list(stream.vertex_ids()) == list(range(20))
+        assert stream.has_vertex(0) and stream.has_vertex(19)
+        assert not stream.has_vertex(20)
+
+    def test_iter_vertices_is_replayable(self):
+        stream = stream_power_law(50, 4, seed=3)
+        first = [(v, dict(e)) for v, _val, e in stream.iter_vertices()]
+        second = [(v, dict(e)) for v, _val, e in stream.iter_vertices()]
+        assert first == second
+
+    def test_iter_edges_matches_adjacency(self):
+        stream = stream_bipartite_regular(8, 3, seed=2)
+        edges = list(stream.iter_edges())
+        assert len(edges) == stream.num_edges
+        assert all(value is None for _s, _t, value in edges)
+
+    def test_id_range_offset(self):
+        stream = stream_power_law(10, 2, seed=0, id_offset=100)
+        assert list(stream.vertex_ids()) == list(range(100, 110))
+        assert stream.has_vertex(100) and not stream.has_vertex(0)
+
+
+class TestStreamBipartiteRegular:
+    @pytest.mark.parametrize("side,seed", [(4, 0), (25, 0), (13, 7), (40, 3)])
+    def test_materialize_equals_generator(self, side, seed):
+        stream = stream_bipartite_regular(side, 3, seed=seed)
+        assert stream.materialize() == bipartite_regular(side, 3, seed=seed)
+
+    def test_regularity(self):
+        stream = stream_bipartite_regular(20, 3, seed=5)
+        for _vertex, _value, edge_map in stream.iter_vertices():
+            assert len(edge_map) == 3
+
+    def test_degree_must_fit(self):
+        with pytest.raises(GraphError):
+            stream_bipartite_regular(3, 3)
+
+
+class TestStreamPowerLaw:
+    @pytest.mark.parametrize("n,mean,exponent,seed", [
+        (50, 4, 2.3, 0),
+        (200, 11, 2.2, 0),
+        (150, 8, 2.1, 5),
+        (120, 10, 1.9, 9),
+    ])
+    def test_materialize_equals_generator(self, n, mean, exponent, seed):
+        stream = stream_power_law(n, mean, exponent=exponent, seed=seed)
+        assert stream.materialize() == power_law_graph(
+            n, mean, exponent=exponent, seed=seed
+        )
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(GraphError):
+            stream_power_law(1, 2)
+
+
+class TestRegistryMake:
+    def test_demo_scale_matches_load_dataset(self):
+        assert make("web-BS", num_vertices=200) == load_dataset(
+            "web-BS", num_vertices=200
+        )
+
+    def test_full_scale_returns_stream(self):
+        stream = make("bipartite-1M-3M", scale="full", num_vertices=40)
+        assert isinstance(stream, VertexStream)
+        assert stream.materialize() == load_dataset(
+            "bipartite-1M-3M", num_vertices=40
+        )
+
+    def test_full_scale_twitter_replays_follower_seed_wiring(self):
+        stream = make("twitter", scale="full", num_vertices=150, seed=4)
+        assert stream.materialize() == follower_network(
+            150, mean_degree=10, seed=4
+        )
+
+    def test_full_scale_without_streamer_materializes(self):
+        graph = make("soc-Epinions", scale="full", num_vertices=300)
+        assert graph == load_dataset("soc-Epinions", num_vertices=300)
+
+    def test_full_scale_default_sizes(self):
+        stream = make("bipartite-1M-3M", scale="full")
+        assert stream.num_vertices == 1_000_000
+        # Directed adjacency slots, same accounting as Graph.num_edges:
+        # 500K per side x degree 3 x 2 directions.
+        assert stream.num_edges == 3_000_000
+        assert make("sk-2005", scale="full").num_vertices == 1_000_000
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make("web-BS", scale="huge")
+
+    def test_spec_full_scale_vertices_populated(self):
+        for name in ("web-BS", "bipartite-1M-3M", "sk-2005", "twitter",
+                     "bipartite-2B-6B", "soc-Epinions"):
+            assert get_spec(name).full_scale_vertices > 0

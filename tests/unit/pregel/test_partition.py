@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import PregelError
-from repro.pregel import ExplicitPartitioner, HashPartitioner
+from repro.pregel import ExplicitPartitioner, HashPartitioner, RangePartitioner
 
 
 class TestHashPartitioner:
@@ -38,6 +38,84 @@ class TestHashPartitioner:
     def test_single_worker_gets_everything(self):
         p = HashPartitioner(1)
         assert all(p.worker_for(v) == 0 for v in range(50))
+
+
+class TestPartitionWorkerDecoupling:
+    """Partition count is a knob independent of worker count."""
+
+    def test_partition_assignment_is_worker_count_invariant(self):
+        # The vertex->partition map must not change when the worker count
+        # does — this is what makes spilled layouts (and their digests)
+        # identical across 1/2/4 workers.
+        ids = [*range(200), "a", "b", (1, 2)]
+        reference = [
+            HashPartitioner(1, num_partitions=32).partition_for(v)
+            for v in ids
+        ]
+        for workers in (2, 4, 8):
+            p = HashPartitioner(workers, num_partitions=32)
+            assert [p.partition_for(v) for v in ids] == reference
+
+    def test_round_robin_multiplexing(self):
+        p = HashPartitioner(3, num_partitions=8)
+        for partition_id in range(8):
+            assert p.worker_of_partition(partition_id) == partition_id % 3
+        owned = [list(p.partitions_of_worker(w)) for w in range(3)]
+        assert owned == [[0, 3, 6], [1, 4, 7], [2, 5]]
+        assert sorted(pid for group in owned for pid in group) == list(range(8))
+
+    def test_default_reduces_to_historical_assignment(self):
+        # num_partitions=None: worker_for must equal the historical
+        # stable_hash % num_workers so existing traces stay valid.
+        p = HashPartitioner(4)
+        q = HashPartitioner(4, num_partitions=4)
+        for v in range(500):
+            assert p.worker_for(v) == q.worker_for(v)
+
+    def test_fewer_partitions_than_workers_rejected(self):
+        with pytest.raises(PregelError):
+            HashPartitioner(8, num_partitions=4)
+
+
+class TestRangePartitioner:
+    def test_contiguous_ranges(self):
+        p = RangePartitioner(2, total_vertices=100, num_partitions=4)
+        assert p.partition_for(0) == 0
+        assert p.partition_for(24) == 0
+        assert p.partition_for(25) == 1
+        assert p.partition_for(99) == 3
+        # Every partition owns a contiguous block.
+        boundaries = [p.partition_for(v) for v in range(100)]
+        assert boundaries == sorted(boundaries)
+
+    def test_out_of_range_ids_clamp_to_edge_partitions(self):
+        p = RangePartitioner(2, total_vertices=10, num_partitions=4)
+        assert p.partition_for(-5) == 0
+        assert p.partition_for(10_000) == 3
+
+    def test_id_offset(self):
+        p = RangePartitioner(1, total_vertices=10, num_partitions=2,
+                             id_offset=100)
+        assert p.partition_for(100) == 0
+        assert p.partition_for(109) == 1
+
+    def test_non_integer_ids_rejected(self):
+        p = RangePartitioner(1, total_vertices=10)
+        with pytest.raises(PregelError):
+            p.partition_for("v1")
+        with pytest.raises(PregelError):
+            p.partition_for(True)
+
+    def test_positive_size_required(self):
+        with pytest.raises(PregelError):
+            RangePartitioner(1, total_vertices=0)
+
+    def test_balance(self):
+        p = RangePartitioner(4, total_vertices=1000, num_partitions=16)
+        counts = [0] * 16
+        for v in range(1000):
+            counts[p.partition_for(v)] += 1
+        assert max(counts) - min(counts) <= 1
 
 
 class TestExplicitPartitioner:

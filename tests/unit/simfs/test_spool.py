@@ -1,0 +1,116 @@
+"""Unit tests for the disk-backed spool filesystem."""
+
+import os
+
+import pytest
+
+from repro.common.errors import SimFsError
+from repro.simfs import BlockWriter
+from repro.simfs.spool import SpoolFileSystem
+
+
+@pytest.fixture
+def fs():
+    spool = SpoolFileSystem()
+    yield spool
+    spool.close()
+
+
+class TestSpoolBasics:
+    def test_round_trip(self, fs):
+        fs.append_bytes("/spill/a.bin", b"hello")
+        fs.append_bytes("/spill/a.bin", b" world")
+        assert fs.read_bytes("/spill/a.bin") == b"hello world"
+
+    def test_bytes_live_on_disk_not_in_memory(self, fs):
+        fs.append_bytes("/spill/big.bin", b"x" * 4096)
+        backing = [
+            name for name in os.listdir(fs.root)
+        ]
+        assert backing, "spool wrote no backing file"
+        total = sum(
+            os.path.getsize(os.path.join(fs.root, name)) for name in backing
+        )
+        assert total == 4096
+
+    def test_read_range_is_positional(self, fs):
+        fs.append_bytes("/spill/r.bin", bytes(range(100)))
+        assert fs.read_range("/spill/r.bin", 10, 5) == bytes(range(10, 15))
+        # Reads past EOF truncate like pread.
+        assert fs.read_range("/spill/r.bin", 95, 50) == bytes(range(95, 100))
+
+    def test_read_range_rejects_negative(self, fs):
+        fs.append_bytes("/spill/r.bin", b"abc")
+        with pytest.raises(SimFsError):
+            fs.read_range("/spill/r.bin", -1, 2)
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(SimFsError):
+            fs.read_bytes("/nope")
+        with pytest.raises(SimFsError):
+            fs.stat("/nope")
+        with pytest.raises(SimFsError):
+            fs.delete("/nope")
+
+    def test_create_without_overwrite_raises_on_existing(self, fs):
+        fs.create("/f")
+        with pytest.raises(SimFsError):
+            fs.create("/f")
+        fs.create("/f", overwrite=True)  # allowed
+
+    def test_truncate(self, fs):
+        fs.append_bytes("/t", b"0123456789")
+        fs.truncate("/t", 4)
+        assert fs.read_bytes("/t") == b"0123"
+        assert fs.stat("/t").size == 4
+        with pytest.raises(SimFsError):
+            fs.truncate("/t", 99)
+
+    def test_glob_and_recursive_delete(self, fs):
+        fs.append_bytes("/spill/runs/s1/p0.run", b"a")
+        fs.append_bytes("/spill/runs/s1/p1.run", b"b")
+        fs.append_bytes("/spill/runs/s2/p0.run", b"c")
+        assert fs.glob_files("/spill/runs/s1", ".run") == [
+            "/spill/runs/s1/p0.run",
+            "/spill/runs/s1/p1.run",
+        ]
+        fs.delete("/spill/runs/s1", recursive=True)
+        assert fs.glob_files("/spill/runs/s1") == []
+        assert fs.exists("/spill/runs/s2/p0.run")
+
+    def test_accounting_counters(self, fs):
+        fs.append_bytes("/a", b"1234")
+        fs.read_bytes("/a")
+        assert fs.bytes_written == 4
+        assert fs.bytes_read == 4
+        assert fs.append_calls == 1
+        assert fs.read_calls == 1
+
+    def test_total_bytes(self, fs):
+        fs.append_bytes("/spill/a", b"12")
+        fs.append_bytes("/spill/b", b"345")
+        fs.append_bytes("/other/c", b"6789")
+        assert fs.total_bytes("/spill") == 5
+
+    def test_close_removes_directory(self):
+        spool = SpoolFileSystem()
+        root = spool.root
+        spool.append_bytes("/x", b"data")
+        spool.close()
+        assert not os.path.exists(root)
+        spool.close()  # idempotent
+
+
+class TestSpoolWithBlockWriter:
+    def test_block_writer_frames_round_trip(self, fs):
+        writer = BlockWriter(fs, "/spill/pages/p0.page")
+        payload = b"payload-" * 64
+        offset, length, flags = writer.write_block(payload)
+        writer.close()
+        # The frame is `u32be stored_length | u8 flags | stored`.
+        stored = fs.read_range("/spill/pages/p0.page", offset + 5, length - 5)
+        if flags & 0x01:
+            import zlib
+
+            stored = zlib.decompress(stored)
+        assert stored == payload
