@@ -12,6 +12,8 @@ The workflows a Giraph user would drive from a terminal::
     python -m repro lint repro.algorithms:BuggyRandomWalk --format json
     python -m repro lint repro.algorithms examples/quickstart.py
     python -m repro trace stats job-0 --dir ./exported-traces
+    python -m repro trace stats job-0 --dir ./exported-traces --json
+    python -m repro serve --dir ./exported-traces --port 8707
     python -m repro chaos presets
     python -m repro chaos run --plan worker-crash --algorithm pagerank
     python -m repro san --algorithm label-prop-buggy --dataset web-BS \\
@@ -616,6 +618,8 @@ def cmd_san(args, out):
 
 
 def cmd_trace(args, out):
+    import json
+
     from repro.common.errors import TraceError
     from repro.graft.trace import trace_stats
     from repro.simfs import SimFileSystem
@@ -626,6 +630,18 @@ def cmd_trace(args, out):
     except OSError as exc:
         out(f"trace: cannot load {args.dir}: {exc}")
         return 1
+    if args.json:
+        # The same serializer the debug server's /jobs/<id> endpoint uses,
+        # so scripted consumers see one schema whichever door they enter.
+        from repro.serve.sessions import job_summary
+
+        try:
+            summary = job_summary(fs, args.job_id, root=args.root)
+        except TraceError as exc:
+            out(f"trace: {exc}")
+            return 1
+        out(json.dumps(summary, indent=2, sort_keys=True, default=repr))
+        return 0
     try:
         stats = trace_stats(fs, args.job_id, root=args.root)
     except TraceError as exc:
@@ -659,6 +675,38 @@ def cmd_trace(args, out):
         rows,
         title=f"Trace storage for job {args.job_id}",
     ))
+    return 0
+
+
+def cmd_serve(args, out):
+    from repro.serve import create_server
+    from repro.simfs import SimFileSystem
+
+    fs = SimFileSystem()
+    try:
+        fs.import_from_directory(args.dir)
+    except OSError as exc:
+        out(f"serve: cannot load {args.dir}: {exc}")
+        return 1
+    pool_options = {}
+    if args.record_cache is not None:
+        pool_options["record_cache_size"] = args.record_cache
+    if args.block_cache is not None:
+        pool_options["block_cache_size"] = args.block_cache
+    server = create_server(
+        fs, root=args.root, host=args.host, port=args.port, **pool_options
+    )
+    jobs = server.pool.job_ids()
+    out(f"serving {len(jobs)} job(s) from {args.dir} at {server.url}")
+    for job_id in jobs:
+        out(f"  {server.url}/jobs/{job_id}")
+    out("press Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        out("stopped")
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -860,6 +908,43 @@ def build_parser():
         "--root", default="/graft",
         help="trace root inside the exported tree (default: /graft)",
     )
+    stats_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the job summary as JSON (the debug server's "
+             "/jobs/<id> schema, digest included)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve a trace directory over HTTP (views, point queries, "
+             "reproduce downloads, profiler endpoints)",
+    )
+    serve_parser.add_argument(
+        "--dir", required=True,
+        help="local directory holding exported traces "
+             "(DebugRun.export_traces output)",
+    )
+    serve_parser.add_argument(
+        "--root", default="/graft",
+        help="trace root inside the exported tree (default: /graft)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8707,
+        help="port to bind (0 picks a free one; default: 8707)",
+    )
+    serve_parser.add_argument(
+        "--record-cache", type=int,
+        default=None,
+        help="process-wide decoded-record LRU budget shared by every "
+             "client (default: 16x a single reader's budget)",
+    )
+    serve_parser.add_argument(
+        "--block-cache", type=int,
+        default=None,
+        help="process-wide decompressed-block LRU budget (default: 8x a "
+             "single reader's budget)",
+    )
 
     validate_parser = sub.add_parser("validate", help="validate an input graph")
     validate_parser.add_argument("--dataset", default="soc-Epinions")
@@ -879,6 +964,7 @@ _COMMANDS = {
     "san": cmd_san,
     "lint": cmd_lint,
     "trace": cmd_trace,
+    "serve": cmd_serve,
     "validate": cmd_validate,
 }
 

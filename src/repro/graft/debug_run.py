@@ -545,6 +545,31 @@ def debug_job(
     )
 
 
+def _persist_metrics(session, result):
+    """Write the run's metrics.json next to its trace files.
+
+    A completed run persists the engine's full :class:`RunMetrics`; a
+    failed run still persists the supersteps that did complete (built from
+    the session's listener-observed rows) — profiling a failed run is
+    exactly when the numbers matter. Persistence must never mask the run's
+    own outcome, so filesystem errors are swallowed.
+    """
+    from repro.graft.trace import write_job_metrics
+    from repro.pregel.metrics import RunMetrics
+
+    if result is not None:
+        metrics = result.metrics
+    else:
+        metrics = RunMetrics()
+        for row in session.superstep_metrics:
+            metrics.add_superstep(row)
+        metrics.total_seconds = metrics.total_wall_seconds
+    try:
+        write_job_metrics(session.filesystem, session.job_id, metrics)
+    except Exception:  # noqa: BLE001 - telemetry only, never break the run
+        pass
+
+
 def _preflight_lint(computation_factory, lint, strict, combiner=None):
     """Run graft-lint on the computation class before instrumenting.
 
@@ -673,6 +698,7 @@ def debug_run(
         failure = exc
     finally:
         session.finalize()
+    _persist_metrics(session, result)
     return DebugRun(
         session, computation_factory, graph, result, failure,
         lint_report=lint_report, reader_mode=reader_mode,

@@ -47,6 +47,7 @@ wrote v1 files and the other v2.
 import hashlib
 import json
 import posixpath
+import threading
 import zlib
 
 from repro.common.errors import SerializationError, SimFsError, TraceError
@@ -106,6 +107,39 @@ def worker_trace_path(job_id, worker_id, root=DEFAULT_ROOT):
 
 def master_trace_path(job_id, root=DEFAULT_ROOT):
     return f"{job_directory(job_id, root)}/master.trace"
+
+
+def metrics_path(job_id, root=DEFAULT_ROOT):
+    """The per-job ``metrics.json`` sidecar (persisted RunMetrics)."""
+    return f"{job_directory(job_id, root)}/metrics.json"
+
+
+def write_job_metrics(filesystem, job_id, run_metrics, root=DEFAULT_ROOT):
+    """Persist one run's :class:`~repro.pregel.metrics.RunMetrics`.
+
+    Written at ``debug_run`` completion next to the trace files, so the
+    debug server's profiler endpoints and ``repro trace stats`` can report
+    per-superstep counters without re-executing the job. Returns the path.
+    """
+    from repro.pregel.metrics import run_metrics_to_dict
+
+    path = metrics_path(job_id, root)
+    payload = run_metrics_to_dict(run_metrics)
+    filesystem.write_text(
+        path, json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    )
+    return path
+
+
+def load_job_metrics(filesystem, job_id, root=DEFAULT_ROOT):
+    """Load a job's persisted metrics document, or None when absent/corrupt."""
+    path = metrics_path(job_id, root)
+    if not filesystem.is_file(path):
+        return None
+    try:
+        return json.loads(filesystem.read_text(path))
+    except (ValueError, UnicodeDecodeError):
+        return None
 
 
 def iter_file_records(filesystem, path, codec=None):
@@ -383,33 +417,48 @@ class TraceStore:
 
 
 class _LRUCache:
-    """A tiny LRU map; ``maxsize=0`` disables caching entirely."""
+    """A tiny LRU map; ``maxsize=0`` disables caching entirely.
+
+    Thread-safe: the debug server shares one record cache and one block
+    cache across every concurrent read session (a process-wide memory
+    budget), so ``get``'s recency bump and ``put``'s eviction walk — both
+    multi-step mutations of the underlying OrderedDict — run under a lock.
+    Uncontended acquisition is a few hundred nanoseconds; the disk read a
+    miss triggers is microseconds, so the lock never shows up in profiles.
+    """
 
     def __init__(self, maxsize):
         from collections import OrderedDict
 
         self._maxsize = maxsize
         self._data = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key):
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-            self.hits += 1
-            return data[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+                self.hits += 1
+                return data[key]
+            self.misses += 1
+            return None
 
     def put(self, key, value):
         if self._maxsize <= 0:
             return
-        data = self._data
-        data[key] = value
-        data.move_to_end(key)
-        while len(data) > self._maxsize:
-            data.popitem(last=False)
+        with self._lock:
+            data = self._data
+            data[key] = value
+            data.move_to_end(key)
+            while len(data) > self._maxsize:
+                data.popitem(last=False)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._data)
 
 
 class _FallbackSource:
@@ -467,7 +516,14 @@ class _FallbackSource:
 
 
 class _IndexedSource:
-    """v2 file behind its sidecar: block directory now, records on demand."""
+    """v2 file behind its sidecar: block directory now, records on demand.
+
+    Safe for concurrent readers: the sidecar's per-record entry lists parse
+    lazily on first touch, and that parse-and-memoize is a multi-step
+    mutation of the shared :class:`BlockMeta`, so it runs under a
+    per-source lock (``_entries_of``). The record/block LRUs are locked
+    internally (see :class:`_LRUCache`).
+    """
 
     def __init__(self, filesystem, path, codec, record_cache, block_cache):
         self.path = path
@@ -475,6 +531,7 @@ class _IndexedSource:
         self._codec = codec
         self._record_cache = record_cache
         self._block_cache = block_cache
+        self._entries_lock = threading.Lock()
         self._blocks, header, self.index_stats = load_index(
             filesystem, path, codec
         )
@@ -489,9 +546,17 @@ class _IndexedSource:
     def _entry_tuple(self, block_index, raw):
         return (raw[0], raw[1], raw[2], (block_index, raw[3], raw[4]), raw[5])
 
+    def _entries_of(self, meta):
+        """``meta.entries()`` with the lazy JSON parse done under a lock."""
+        entries = meta._entries
+        if entries is not None:
+            return entries
+        with self._entries_lock:
+            return meta.entries()
+
     def iter_entries(self):
         for block_index, meta in enumerate(self._blocks):
-            for raw in meta.entries():
+            for raw in self._entries_of(meta):
                 yield self._entry_tuple(block_index, raw)
 
     def entries_for_superstep(self, superstep):
@@ -500,7 +565,7 @@ class _IndexedSource:
                 continue
             if meta.num_masters == meta.num_records:
                 continue
-            for raw in meta.entries():
+            for raw in self._entries_of(meta):
                 if raw[0] == KIND_VERTEX and raw[1] == superstep:
                     yield self._entry_tuple(block_index, raw)
 
@@ -512,7 +577,7 @@ class _IndexedSource:
             if meta.min_superstep == meta.max_superstep:
                 found.add(meta.min_superstep)
             else:
-                for raw in meta.entries():
+                for raw in self._entries_of(meta):
                     if raw[0] == KIND_VERTEX:
                         found.add(raw[1])
         return found
@@ -525,7 +590,7 @@ class _IndexedSource:
         for meta in self._blocks:
             if not getattr(meta, counter):
                 continue
-            for raw in meta.entries():
+            for raw in self._entries_of(meta):
                 if raw[0] == KIND_VERTEX and raw[5] & vflag:
                     found.add(raw[1])
         return found
@@ -535,7 +600,7 @@ class _IndexedSource:
         for block_index, meta in enumerate(self._blocks):
             if not meta.num_masters:
                 continue
-            for raw in meta.entries():
+            for raw in self._entries_of(meta):
                 if raw[0] == KIND_MASTER:
                     entries.append(self._entry_tuple(block_index, raw))
         return entries
@@ -571,8 +636,12 @@ def _trace_sources(filesystem, job_id, codec, root,
     directory = job_directory(job_id, root)
     if not filesystem.is_dir(directory):
         raise TraceError(f"no trace directory for job {job_id!r}")
-    record_cache = record_cache or _LRUCache(0)
-    block_cache = block_cache or _LRUCache(DEFAULT_BLOCK_CACHE)
+    # Explicit None checks: an injected-but-currently-empty cache is falsy
+    # (it has __len__), and must still be used, not replaced.
+    if record_cache is None:
+        record_cache = _LRUCache(0)
+    if block_cache is None:
+        block_cache = _LRUCache(DEFAULT_BLOCK_CACHE)
     sources = []
     for path in filesystem.glob_files(directory, suffix=".trace"):
         if is_v2_file(filesystem, path):
@@ -613,19 +682,34 @@ class TraceReader:
         mode="lazy",
         cache_records=DEFAULT_RECORD_CACHE,
         cache_blocks=DEFAULT_BLOCK_CACHE,
+        record_cache=None,
+        block_cache=None,
     ):
         if mode not in ("lazy", "eager"):
             raise TraceError(f"unknown TraceReader mode {mode!r}")
         self._codec = codec or default_codec
         self.job_id = job_id
         self.mode = mode
+        # Guards *installation* of the lazy mode's build-once structures
+        # (superstep maps, postings, sorted tuples). Builds themselves run
+        # outside the lock — they are pure reads over the sources (which
+        # carry their own locks), so a cheap point query is never stuck
+        # behind another thread materializing a whole superstep; a lost
+        # race just wastes one duplicate build.
+        self._lock = threading.RLock()
         directory = job_directory(job_id, root)
         if not filesystem.is_dir(directory):
             raise TraceError(f"no trace directory for job {job_id!r}")
         if mode == "eager":
             self._load_eager(filesystem, directory)
         else:
-            self._open_lazy(filesystem, root, cache_records, cache_blocks)
+            # record_cache/block_cache inject *shared* caches (the debug
+            # server's process-wide budgets); cache_records/cache_blocks
+            # size private per-reader ones otherwise.
+            self._open_lazy(
+                filesystem, root, cache_records, cache_blocks,
+                record_cache=record_cache, block_cache=block_cache,
+            )
 
     # -- eager construction --------------------------------------------------
 
@@ -666,9 +750,14 @@ class TraceReader:
 
     # -- lazy construction ---------------------------------------------------
 
-    def _open_lazy(self, filesystem, root, cache_records, cache_blocks):
-        self._record_cache = _LRUCache(cache_records)
-        self._block_cache = _LRUCache(cache_blocks)
+    def _open_lazy(self, filesystem, root, cache_records, cache_blocks,
+                   record_cache=None, block_cache=None):
+        if record_cache is None:
+            record_cache = _LRUCache(cache_records)
+        if block_cache is None:
+            block_cache = _LRUCache(cache_blocks)
+        self._record_cache = record_cache
+        self._block_cache = block_cache
         self._sources = _trace_sources(
             filesystem, self.job_id, self._codec, root,
             record_cache=self._record_cache, block_cache=self._block_cache,
@@ -696,11 +785,12 @@ class TraceReader:
         """``{vid_repr: (source, entry)}`` for one superstep, last write wins."""
         found = self._superstep_maps.get(superstep)
         if found is None:
-            found = {}
+            built = {}
             for source in self._sources:
                 for entry in source.entries_for_superstep(superstep):
-                    found[entry[2]] = (source, entry)
-            self._superstep_maps[superstep] = found
+                    built[entry[2]] = (source, entry)
+            with self._lock:
+                found = self._superstep_maps.setdefault(superstep, built)
         return found
 
     def _vertex_postings(self):
@@ -711,8 +801,12 @@ class TraceReader:
                 for entry in source.iter_entries():
                     if entry[0] != KIND_VERTEX:
                         continue
-                    postings.setdefault(entry[2], {})[entry[1]] = (source, entry)
-            self._postings = postings
+                    postings.setdefault(entry[2], {})[entry[1]] = (
+                        source, entry
+                    )
+            with self._lock:
+                if self._postings is None:
+                    self._postings = postings
         return self._postings
 
     def _lazy_lookup(self, vertex_id, superstep):
@@ -781,11 +875,13 @@ class TraceReader:
         cached = self._at_cache.get(superstep)
         if cached is None:
             step_map = self._superstep_map(superstep)
-            cached = tuple(
+            built = tuple(
                 source.fetch(entry[3])
-                for _vid_repr, (source, entry) in sorted(step_map.items())
+                for _vid_repr, (source, entry)
+                in sorted(step_map.items())
             )
-            self._at_cache[superstep] = cached
+            with self._lock:
+                cached = self._at_cache.setdefault(superstep, built)
         return cached
 
     def history(self, vertex_id):
@@ -813,7 +909,10 @@ class TraceReader:
             found = set()
             for source in self._sources:
                 found |= source.supersteps()
-            self._supersteps = sorted(found)
+            ordered = sorted(found)
+            with self._lock:
+                if self._supersteps is None:
+                    self._supersteps = ordered
         return self._supersteps
 
     def captured_vertex_ids(self):
@@ -862,7 +961,9 @@ class TraceReader:
             records = []
             for superstep in self.supersteps():
                 records.extend(self.at_superstep(superstep))
-            self._vertex_records = records
+            with self._lock:
+                if self._vertex_records is None:
+                    self._vertex_records = records
         return self._vertex_records
 
     def __len__(self):

@@ -686,6 +686,13 @@ class PregelEngine:
                         superstep_metrics.active_vertices += outcome.compute_calls
                         superstep_metrics.messages_sent += outcome.messages_sent
                         superstep_metrics.bytes_sent += outcome.bytes_sent
+                        superstep_metrics.add_worker_row(
+                            outcome.worker_id,
+                            outcome.elapsed,
+                            outcome.compute_calls,
+                            outcome.messages_sent,
+                            outcome.bytes_sent,
+                        )
                         compute_errors.extend(outcome.compute_errors)
 
                     outgoing = self._barrier(

@@ -14,7 +14,7 @@ ideal speedup.
 """
 
 import tracemalloc
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.common.timing import format_duration
 
@@ -85,6 +85,32 @@ class SuperstepMetrics:
     page_cache_misses: int = 0
     #: Partition pages resident in memory when the barrier completed.
     partitions_resident: int = 0
+    #: Per-worker breakdown of this superstep: one
+    #: ``[worker_id, compute_seconds, compute_calls, messages_sent,
+    #: bytes_sent]`` row per worker, in worker-id order. This is what the
+    #: debug server's worker-skew timeline is computed from.
+    worker_rows: list = field(default_factory=list)
+
+    def add_worker_row(self, worker_id, compute_seconds, compute_calls,
+                       messages_sent, bytes_sent):
+        self.worker_rows.append(
+            [worker_id, compute_seconds, compute_calls, messages_sent,
+             bytes_sent]
+        )
+
+    @property
+    def compute_skew(self):
+        """Max worker compute time over the mean (1.0 = perfectly balanced).
+
+        None when per-worker rows are missing or nothing was timed.
+        """
+        times = [row[1] for row in self.worker_rows]
+        if not times:
+            return None
+        mean = sum(times) / len(times)
+        if mean <= 0.0:
+            return None
+        return max(times) / mean
 
     @property
     def page_cache_hit_rate(self):
@@ -261,3 +287,88 @@ class RunMetrics:
             f"{format_duration(self.total_seconds)} total{parallel}{recovery}"
             f"{spill}"
         )
+
+    def to_dict(self):
+        return run_metrics_to_dict(self)
+
+
+# -- serialization ------------------------------------------------------------
+#
+# The per-job ``metrics.json`` file (written next to the trace files at
+# debug_run completion) is plain JSON: one dict per superstep row plus a
+# totals summary. The debug server's profiler endpoints and ``repro trace
+# stats --json`` both read this file, so runs can be profiled long after
+# the process that executed them is gone.
+
+_SUPERSTEP_FIELDS = tuple(f.name for f in fields(SuperstepMetrics))
+
+#: RunMetrics totals surfaced in the summary block, recomputed on load so
+#: a hand-edited rows list stays consistent with its summary.
+_SUMMARY_PROPERTIES = (
+    "num_supersteps",
+    "total_compute_calls",
+    "total_messages",
+    "total_messages_combined",
+    "total_bytes_sent",
+    "total_compute_seconds",
+    "total_wall_seconds",
+    "parallel_efficiency",
+    "total_inboxes_permuted",
+    "total_transport_bytes",
+    "total_transport_batches",
+    "total_pickle_fallbacks",
+    "peak_memory_bytes",
+    "total_store_bytes_spilled",
+    "total_store_bytes_loaded",
+    "page_cache_hit_rate",
+)
+
+
+def superstep_metrics_to_dict(metrics):
+    """One superstep row as a JSON-safe dict (field name -> value)."""
+    row = {name: getattr(metrics, name) for name in _SUPERSTEP_FIELDS}
+    row["parallel_efficiency"] = metrics.parallel_efficiency
+    return row
+
+
+def superstep_metrics_from_dict(row):
+    """Rebuild a :class:`SuperstepMetrics` from its dict form.
+
+    Unknown keys (derived values like ``parallel_efficiency``, or fields
+    added by a newer writer) are ignored, so older readers stay compatible.
+    """
+    kwargs = {
+        name: row[name] for name in _SUPERSTEP_FIELDS if name in row
+    }
+    return SuperstepMetrics(**kwargs)
+
+
+def run_metrics_to_dict(metrics):
+    """A whole run's metrics as the ``metrics.json`` document."""
+    summary = {
+        name: getattr(metrics, name) for name in _SUMMARY_PROPERTIES
+    }
+    summary["total_seconds"] = metrics.total_seconds
+    summary["rollback_count"] = metrics.rollback_count
+    summary["recovered_supersteps"] = metrics.recovered_supersteps
+    summary["checkpoints_skipped"] = metrics.checkpoints_skipped
+    return {
+        "rows": [superstep_metrics_to_dict(s) for s in metrics.supersteps],
+        "summary": summary,
+        "summary_line": metrics.summary(),
+        "recovery_events": list(metrics.recovery_events),
+    }
+
+
+def run_metrics_from_dict(payload):
+    """Rebuild a :class:`RunMetrics` from a ``metrics.json`` document."""
+    metrics = RunMetrics()
+    for row in payload.get("rows", ()):
+        metrics.add_superstep(superstep_metrics_from_dict(row))
+    summary = payload.get("summary", {})
+    metrics.total_seconds = summary.get("total_seconds", 0.0)
+    metrics.rollback_count = summary.get("rollback_count", 0)
+    metrics.checkpoints_skipped = summary.get("checkpoints_skipped", 0)
+    metrics.recovery_events = list(payload.get("recovery_events", ()))
+    # recovered_supersteps was re-derived from the rows' recovered flags.
+    return metrics

@@ -1,0 +1,148 @@
+"""The HTTP layer: a threading stdlib server around the router.
+
+:class:`DebugServer` wraps :class:`http.server.ThreadingHTTPServer` — one
+OS thread per in-flight request, all of them reading through the single
+shared :class:`~repro.serve.sessions.ReaderPool`. The handler does exactly
+two jobs the router doesn't:
+
+1. **Conditional requests.** Every ``/jobs/<id>/...`` response carries an
+   ``ETag`` equal to the job's canonical trace digest. A request whose
+   ``If-None-Match`` equals that digest is answered ``304 Not Modified``
+   *before* the route handler runs: once the digest is cached, the
+   revalidation path performs zero trace reads (asserted against simfs
+   read accounting in the test suite). Trace directories are immutable
+   once imported, so a digest never goes stale.
+2. **Transport framing.** Status line, Content-Length, HEAD bodies,
+   connection errors.
+
+Everything with actual logic lives in :mod:`repro.serve.router` and is
+tested by direct call; the socket layer stays this thin on purpose.
+"""
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.router import Router
+from repro.serve.sessions import DEFAULT_ROOT, ReaderPool
+
+
+class DebugServer:
+    """A running (or startable) debug service over one trace directory."""
+
+    def __init__(self, filesystem, root=DEFAULT_ROOT, host="127.0.0.1",
+                 port=0, pool=None):
+        self.pool = pool or ReaderPool(filesystem, root=root)
+        self.router = Router(self.pool)
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(self.router)
+        )
+        self._httpd.daemon_threads = True
+        self._thread = None
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self):
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self):
+        """Serve in a daemon thread; returns self (for ``with``-less use)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="graft-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self):
+        """Serve on the calling thread (the ``repro serve`` foreground path)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self):
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+
+
+def create_server(filesystem, root=DEFAULT_ROOT, host="127.0.0.1", port=0,
+                  **pool_options):
+    """Build a :class:`DebugServer` with its own pool over ``filesystem``."""
+    pool = ReaderPool(filesystem, root=root, **pool_options)
+    return DebugServer(filesystem, root=root, host=host, port=port, pool=pool)
+
+
+def _make_handler(router):
+    """A BaseHTTPRequestHandler subclass bound to one router instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "graft-serve/1.0"
+
+        def do_GET(self):
+            self._respond(include_body=True)
+
+        def do_HEAD(self):
+            self._respond(include_body=False)
+
+        def _respond(self, include_body):
+            etag = self._not_modified_etag()
+            if etag is not None:
+                # The zero-IO revalidation path: the digest matched the
+                # client's validator, so the route handler never runs and
+                # no trace file is touched.
+                self.send_response(304)
+                self.send_header("ETag", f'"{etag}"')
+                self.end_headers()
+                return
+            response = router.handle(self.command, self.path)
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            if response.etag:
+                self.send_header("ETag", f'"{response.etag}"')
+                self.send_header("Cache-Control", "private, must-revalidate")
+            self.end_headers()
+            if include_body:
+                self.wfile.write(response.body)
+
+        def _not_modified_etag(self):
+            """The job digest iff If-None-Match revalidates this request.
+
+            Only consults the pool's *cached* digest: a cold job (digest
+            not yet computed) never 304s, because proving a match would
+            cost the very reads the 304 exists to avoid.
+            """
+            validator = self.headers.get("If-None-Match")
+            if not validator:
+                return None
+            job_id = router.job_id_of(self.path)
+            if job_id is None:
+                return None
+            etag = router.pool.cached_etag(job_id)
+            if etag is None:
+                return None
+            candidates = {
+                tag.strip().strip('"')
+                for tag in validator.split(",")
+            }
+            if etag in candidates or "*" in candidates:
+                return etag
+            return None
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # request logging is the caller's business, not stderr's
+
+    return Handler

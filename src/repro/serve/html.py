@@ -1,0 +1,62 @@
+"""The server's minimal HTML index page.
+
+One self-contained page (no assets, no scripts) listing the served jobs
+with links into the JSON API — enough to explore a trace directory from a
+browser, in the spirit of the paper's GUI, without pretending to be it.
+The real data surface is the JSON API; see docs/serve.md.
+"""
+
+from html import escape
+
+_STYLE = (
+    "body{font-family:monospace;margin:2em}"
+    "table{border-collapse:collapse}"
+    "td,th{border:1px solid #999;padding:4px 8px;text-align:left}"
+    "th{background:#eee}"
+    ".digest{color:#666;font-size:smaller}"
+)
+
+_VIEW_LINKS = ("nodelink", "tabular", "violations")
+_PROFILE_LINKS = ("heatmap", "skew")
+
+
+def index_page(pool):
+    """Render the job index for a :class:`~repro.serve.sessions.ReaderPool`.
+
+    Deliberately cheap: only job ids (a directory listing) and *already
+    computed* digests are shown — rendering the index never forces trace
+    reads, so hitting ``/`` on a server over hundreds of cold jobs stays
+    instant.
+    """
+    rows = []
+    for job_id in pool.job_ids():
+        digest = pool.cached_etag(job_id)
+        safe = escape(job_id, quote=True)
+        views = " ".join(
+            f'<a href="/jobs/{safe}/views/{name}">{name}</a>'
+            for name in _VIEW_LINKS
+        )
+        profile = " ".join(
+            f'<a href="/jobs/{safe}/profile/{name}">{name}</a>'
+            for name in _PROFILE_LINKS
+        )
+        rows.append(
+            "<tr>"
+            f'<td><a href="/jobs/{safe}">{safe}</a></td>'
+            f"<td>{views}</td>"
+            f"<td>{profile}</td>"
+            f'<td class="digest">{escape(digest[:16]) if digest else "(not computed)"}</td>'
+            "</tr>"
+        )
+    body = "\n".join(rows) or '<tr><td colspan="4">no jobs found</td></tr>'
+    return (
+        "<!DOCTYPE html>\n"
+        "<html><head><title>graft debug server</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        "<h1>graft debug server</h1>"
+        f'<p><a href="/api">API table</a> — <a href="/stats">cache stats</a></p>'
+        "<table><tr><th>job</th><th>views</th><th>profile</th>"
+        "<th>digest</th></tr>"
+        f"{body}"
+        "</table></body></html>"
+    )

@@ -1,0 +1,105 @@
+"""Cursor pagination for the debug server's list endpoints.
+
+A cursor is an opaque, URL-safe token encoding where the previous page
+stopped. The server paginates *sorted, repr-keyed* sequences (the trace
+reader's id-ordered superstep tuples), so the natural cursor is the last
+key served: the next page starts strictly after it, which stays correct
+even if the client re-reads pages in any order. Offset cursors exist for
+row lists with no natural key (violations, history).
+
+Tokens are base64url-encoded compact JSON. They are deliberately
+transparent-on-inspection (this is a debugging tool), but clients must
+treat them as opaque: the only contract is "pass ``next_cursor`` back".
+"""
+
+import base64
+import binascii
+import json
+
+from repro.common.errors import ReproError
+
+#: Page-size bounds: a missing ``limit`` serves DEFAULT_LIMIT rows, and a
+#: client cannot ask for more than MAX_LIMIT in one page.
+DEFAULT_LIMIT = 100
+MAX_LIMIT = 1000
+
+
+class PaginationError(ReproError):
+    """A malformed cursor or limit (the server answers 400)."""
+
+
+def encode_cursor(payload):
+    """Encode a JSON-safe payload into an opaque URL-safe token."""
+    raw = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii")
+
+
+def decode_cursor(token):
+    """Decode a cursor token back to its payload, or raise PaginationError."""
+    try:
+        raw = base64.urlsafe_b64decode(token.encode("ascii"))
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, binascii.Error, UnicodeError) as exc:
+        raise PaginationError(f"malformed cursor {token!r}: {exc}") from None
+    if not isinstance(payload, dict):
+        raise PaginationError(f"malformed cursor {token!r}: not an object")
+    return payload
+
+
+def clamp_limit(limit):
+    """Normalize a raw ``limit`` query value into [1, MAX_LIMIT]."""
+    if limit is None or limit == "":
+        return DEFAULT_LIMIT
+    try:
+        value = int(limit)
+    except (TypeError, ValueError):
+        raise PaginationError(f"limit must be an integer, got {limit!r}") from None
+    if value < 1:
+        raise PaginationError(f"limit must be >= 1, got {value}")
+    return min(value, MAX_LIMIT)
+
+
+def paginate(items, cursor=None, limit=None, key=None):
+    """One page of ``items`` plus the cursor for the next page.
+
+    ``items`` must already be sorted. With ``key`` (a function to a
+    string), pagination is keyset-based: the page starts strictly after
+    the cursor's ``after`` key — stable under a fixed snapshot and O(log n)
+    via bisection on the precomputed key list. Without ``key`` it is
+    offset-based (cursor carries ``offset``).
+
+    Returns ``(page, next_cursor)`` where ``next_cursor`` is None on the
+    last page.
+    """
+    limit = clamp_limit(limit)
+    if key is not None:
+        return _paginate_keyset(items, cursor, limit, key)
+    start = 0
+    if cursor:
+        payload = decode_cursor(cursor)
+        start = payload.get("offset")
+        if not isinstance(start, int) or start < 0:
+            raise PaginationError(f"cursor has no valid offset: {cursor!r}")
+    page = list(items[start:start + limit])
+    next_cursor = None
+    if start + limit < len(items):
+        next_cursor = encode_cursor({"offset": start + limit})
+    return page, next_cursor
+
+
+def _paginate_keyset(items, cursor, limit, key):
+    from bisect import bisect_right
+
+    start = 0
+    if cursor:
+        payload = decode_cursor(cursor)
+        after = payload.get("after")
+        if not isinstance(after, str):
+            raise PaginationError(f"cursor has no valid key: {cursor!r}")
+        keys = [key(item) for item in items]
+        start = bisect_right(keys, after)
+    page = list(items[start:start + limit])
+    next_cursor = None
+    if start + limit < len(items):
+        next_cursor = encode_cursor({"after": key(page[-1])})
+    return page, next_cursor

@@ -1,0 +1,112 @@
+"""GiViP-style profiler endpoints computed from persisted run metrics.
+
+GiViP (Arleo et al.) profiles a Pregel run by visualizing message traffic
+and per-worker load over supersteps. The debug server reproduces the two
+core signals from the per-job ``metrics.json`` that ``debug_run`` persists
+next to the trace files:
+
+- the **heatmap**: a superstep × worker matrix of message traffic (with a
+  per-superstep aggregate track), normalized so a UI can map intensity
+  straight to color, and
+- the **skew timeline**: per-superstep compute-time imbalance
+  (max worker time over the mean — 1.0 is perfectly balanced), the load
+  signal that points at stragglers and hot partitions.
+
+Both operate on the already-JSON document (not live RunMetrics objects),
+so a run can be profiled long after the process that executed it is gone.
+"""
+
+#: worker_rows layout, from SuperstepMetrics.add_worker_row.
+_W_ID, _W_SECONDS, _W_CALLS, _W_MESSAGES, _W_BYTES = range(5)
+
+
+def message_heatmap(metrics):
+    """The superstep × worker message-traffic heatmap.
+
+    ``metrics`` is the ``metrics.json`` document (or None). Returns a dict
+    with the sorted ``workers`` axis, one ``cells`` row per superstep
+    (worker-aligned message counts, None where a worker sat out the
+    superstep), per-superstep totals, and ``max_messages`` so intensities
+    normalize client-side. Runs persisted without per-worker rows still
+    get the aggregate track; the worker axis is then empty.
+    """
+    rows = _rows(metrics)
+    workers = sorted(
+        {row[_W_ID] for step in rows for row in step.get("worker_rows", ())}
+    )
+    index = {worker_id: i for i, worker_id in enumerate(workers)}
+    cells = []
+    max_messages = 0
+    for step in rows:
+        line = [None] * len(workers)
+        for row in step.get("worker_rows", ()):
+            line[index[row[_W_ID]]] = row[_W_MESSAGES]
+            max_messages = max(max_messages, row[_W_MESSAGES])
+        cells.append(
+            {
+                "superstep": step.get("superstep"),
+                "messages": line,
+                "total_messages": step.get("messages_sent", 0),
+                "total_bytes": step.get("bytes_sent", 0),
+                "combined": step.get("messages_combined", 0),
+                "transport": step.get("transport"),
+            }
+        )
+    return {
+        "workers": workers,
+        "cells": cells,
+        "max_messages": max_messages,
+        "total_messages": sum(c["total_messages"] for c in cells),
+        "total_bytes": sum(c["total_bytes"] for c in cells),
+    }
+
+
+def worker_skew(metrics):
+    """The per-superstep compute-skew timeline.
+
+    Each point carries the superstep's skew factor (max worker compute
+    time / mean, None when untimed or single-sourced), the slowest
+    worker's id and time, and the mean — enough to draw the GiViP load
+    chart and name the straggler. The top-level ``max_skew`` /
+    ``worst_superstep`` answer "where was the run most imbalanced?" in one
+    field.
+    """
+    rows = _rows(metrics)
+    timeline = []
+    max_skew = None
+    worst_superstep = None
+    for step in rows:
+        worker_rows = step.get("worker_rows", ())
+        times = [row[_W_SECONDS] for row in worker_rows]
+        mean = (sum(times) / len(times)) if times else 0.0
+        skew = None
+        slowest = None
+        if times and mean > 0.0:
+            skew = max(times) / mean
+            slowest = max(worker_rows, key=lambda row: row[_W_SECONDS])
+        timeline.append(
+            {
+                "superstep": step.get("superstep"),
+                "skew": skew,
+                "mean_seconds": mean,
+                "max_seconds": max(times) if times else 0.0,
+                "slowest_worker": None if slowest is None else slowest[_W_ID],
+                "workers": len(worker_rows),
+                "wall_seconds": step.get("wall_seconds", 0.0),
+                "parallel_efficiency": step.get("parallel_efficiency"),
+            }
+        )
+        if skew is not None and (max_skew is None or skew > max_skew):
+            max_skew = skew
+            worst_superstep = step.get("superstep")
+    return {
+        "timeline": timeline,
+        "max_skew": max_skew,
+        "worst_superstep": worst_superstep,
+    }
+
+
+def _rows(metrics):
+    if not metrics:
+        return []
+    return list(metrics.get("rows", ()))

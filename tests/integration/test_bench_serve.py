@@ -1,0 +1,42 @@
+"""Opt-in wrapper around scripts/bench_serve.py.
+
+Skipped by default so tier-1 stays fast and timing-free; run it with::
+
+    RUN_BENCH_SERVE=1 PYTHONPATH=src python -m pytest -m bench_serve \
+        tests/integration/test_bench_serve.py -q
+
+(or run the script directly — it is the same code path).
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+pytestmark = [
+    pytest.mark.bench_serve,
+    pytest.mark.skipif(
+        not os.environ.get("RUN_BENCH_SERVE"),
+        reason="timing-sensitive benchmark; set RUN_BENCH_SERVE=1 to run",
+    ),
+]
+
+_SCRIPTS = os.path.join(os.path.dirname(__file__), "..", "..", "scripts")
+
+
+def test_bench_serve_gates(tmp_path):
+    sys.path.insert(0, os.path.abspath(_SCRIPTS))
+    try:
+        import bench_serve
+    finally:
+        sys.path.pop(0)
+
+    output = tmp_path / "BENCH_serve.json"
+    status = bench_serve.main(["--quick", "--output", str(output)])
+    report = json.loads(output.read_text())
+    assert report["gates"]["passed"], report["gates"]["failures"]
+    assert status == 0
+    assert report["revalidation"]["zero_filesystem_reads"]
+    assert report["correctness"]["byte_identical"]
+    assert report["workload"]["num_clients"] >= 8

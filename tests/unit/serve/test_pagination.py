@@ -1,0 +1,105 @@
+"""Cursor pagination: roundtrips, clamping, full-coverage walks."""
+
+import pytest
+
+from repro.serve.pagination import (
+    DEFAULT_LIMIT,
+    MAX_LIMIT,
+    PaginationError,
+    clamp_limit,
+    decode_cursor,
+    encode_cursor,
+    paginate,
+)
+
+
+def test_cursor_roundtrip():
+    payload = {"after": "repr-of-id", "n": 3}
+    assert decode_cursor(encode_cursor(payload)) == payload
+
+
+def test_cursor_is_urlsafe():
+    token = encode_cursor({"after": "x" * 100})
+    assert all(c.isalnum() or c in "-_=" for c in token)
+
+
+@pytest.mark.parametrize("bad", ["", "not-base64!", "aGVsbG8", encode_cursor([1, 2])[:-1] + "!"])
+def test_malformed_cursors_raise(bad):
+    with pytest.raises(PaginationError):
+        decode_cursor(bad)
+
+
+def test_non_object_cursor_raises():
+    with pytest.raises(PaginationError):
+        decode_cursor(encode_cursor([1, 2, 3]))
+
+
+def test_clamp_limit_defaults_and_bounds():
+    assert clamp_limit(None) == DEFAULT_LIMIT
+    assert clamp_limit("") == DEFAULT_LIMIT
+    assert clamp_limit("7") == 7
+    assert clamp_limit(10 ** 9) == MAX_LIMIT
+    with pytest.raises(PaginationError):
+        clamp_limit("three")
+    with pytest.raises(PaginationError):
+        clamp_limit(0)
+
+
+def _walk(items, limit, key=None):
+    """Collect every page; return (all items seen, number of pages)."""
+    seen = []
+    cursor = None
+    pages = 0
+    while True:
+        page, cursor = paginate(items, cursor=cursor, limit=limit, key=key)
+        seen.extend(page)
+        pages += 1
+        if cursor is None:
+            return seen, pages
+
+
+def test_offset_walk_covers_everything_once():
+    items = list(range(25))
+    seen, pages = _walk(items, limit=10)
+    assert seen == items
+    assert pages == 3
+
+
+def test_keyset_walk_covers_everything_once():
+    items = sorted(range(25), key=repr)
+    seen, pages = _walk(items, limit=7, key=repr)
+    assert seen == items
+    assert pages == 4
+
+
+def test_keyset_cursor_survives_item_removal_before_cursor():
+    # Keyset pagination resumes *after a key*, not at an index, so pages
+    # stay coherent even if earlier items vanish between requests.
+    items = sorted(range(20), key=repr)
+    page, cursor = paginate(items, limit=5, key=repr)
+    shrunk = [i for i in items if i not in page[:3]]
+    next_page, _ = paginate(shrunk, cursor=cursor, limit=5, key=repr)
+    assert next_page == items[5:10]
+
+
+def test_single_page_has_no_cursor():
+    page, cursor = paginate([1, 2, 3], limit=10)
+    assert page == [1, 2, 3]
+    assert cursor is None
+
+
+def test_empty_items():
+    page, cursor = paginate([], limit=10)
+    assert page == [] and cursor is None
+    page, cursor = paginate([], limit=10, key=repr)
+    assert page == [] and cursor is None
+
+
+def test_offset_cursor_without_offset_raises():
+    with pytest.raises(PaginationError):
+        paginate([1, 2], cursor=encode_cursor({"nope": 1}), limit=1)
+
+
+def test_keyset_cursor_without_key_raises():
+    with pytest.raises(PaginationError):
+        paginate([1, 2], cursor=encode_cursor({"after": 3}), limit=1, key=repr)

@@ -1,0 +1,89 @@
+"""Profiler computations over persisted metrics documents."""
+
+from repro.pregel.metrics import (
+    RunMetrics,
+    SuperstepMetrics,
+    run_metrics_to_dict,
+)
+from repro.serve.profile import message_heatmap, worker_skew
+
+
+def _document():
+    metrics = RunMetrics()
+    for superstep in range(3):
+        row = SuperstepMetrics(
+            superstep=superstep,
+            messages_sent=100 * (superstep + 1),
+            bytes_sent=1000,
+            messages_combined=5,
+            wall_seconds=0.01,
+            compute_seconds=0.02,
+        )
+        row.add_worker_row(0, 0.001, 10, 60 * (superstep + 1), 600)
+        row.add_worker_row(1, 0.003 * (superstep + 1), 10,
+                           40 * (superstep + 1), 400)
+        metrics.add_superstep(row)
+    return run_metrics_to_dict(metrics)
+
+
+def test_heatmap_axes_and_cells():
+    heatmap = message_heatmap(_document())
+    assert heatmap["workers"] == [0, 1]
+    assert len(heatmap["cells"]) == 3
+    first = heatmap["cells"][0]
+    assert first["superstep"] == 0
+    assert first["messages"] == [60, 40]
+    assert first["total_messages"] == 100
+    assert heatmap["max_messages"] == 180
+    assert heatmap["total_messages"] == 600
+
+
+def test_heatmap_handles_missing_worker_rows():
+    metrics = RunMetrics()
+    metrics.add_superstep(SuperstepMetrics(superstep=0, messages_sent=7))
+    heatmap = message_heatmap(run_metrics_to_dict(metrics))
+    assert heatmap["workers"] == []
+    assert heatmap["cells"][0]["messages"] == []
+    assert heatmap["cells"][0]["total_messages"] == 7
+
+
+def test_heatmap_of_no_metrics():
+    assert message_heatmap(None) == {
+        "workers": [],
+        "cells": [],
+        "max_messages": 0,
+        "total_messages": 0,
+        "total_bytes": 0,
+    }
+
+
+def test_skew_timeline_names_the_straggler():
+    skew = worker_skew(_document())
+    assert len(skew["timeline"]) == 3
+    # worker 1's time grows with the superstep; the last one is the worst.
+    assert skew["worst_superstep"] == 2
+    last = skew["timeline"][2]
+    assert last["slowest_worker"] == 1
+    assert last["skew"] > 1.5
+    assert last["workers"] == 2
+    assert skew["max_skew"] == last["skew"]
+
+
+def test_skew_of_untimed_rows_is_none():
+    metrics = RunMetrics()
+    row = SuperstepMetrics(superstep=0)
+    row.add_worker_row(0, 0.0, 1, 1, 1)
+    metrics.add_superstep(row)
+    skew = worker_skew(run_metrics_to_dict(metrics))
+    assert skew["timeline"][0]["skew"] is None
+    assert skew["max_skew"] is None
+    assert skew["worst_superstep"] is None
+
+
+def test_compute_skew_property_matches_endpoint_math():
+    row = SuperstepMetrics(superstep=0)
+    row.add_worker_row(0, 0.001, 1, 1, 1)
+    row.add_worker_row(1, 0.003, 1, 1, 1)
+    document = run_metrics_to_dict(RunMetrics(supersteps=[row]))
+    endpoint = worker_skew(document)["timeline"][0]["skew"]
+    assert abs(endpoint - row.compute_skew) < 1e-12

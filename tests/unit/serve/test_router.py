@@ -1,0 +1,243 @@
+"""Router endpoints by direct call — no sockets anywhere."""
+
+import json
+
+import pytest
+
+from repro.graft.views import NodeLinkView, TabularView, ViolationsView
+from repro.serve.pagination import encode_cursor
+from repro.serve.router import Router
+from repro.serve.sessions import ReaderPool
+
+from tests.unit.serve.conftest import NUM_SUPERSTEPS, NUM_VERTICES
+
+
+@pytest.fixture(scope="module")
+def router(served_fs):
+    return Router(ReaderPool(served_fs))
+
+
+def _json(response):
+    assert response.content_type.startswith("application/json")
+    return json.loads(response.body.decode("utf-8"))
+
+
+def test_healthz_and_api(router):
+    assert _json(router.handle("GET", "/healthz")) == {"ok": True}
+    endpoints = _json(router.handle("GET", "/api"))["endpoints"]
+    assert "/jobs/<job>/profile/heatmap" in endpoints
+
+
+def test_unknown_paths_404(router):
+    assert router.handle("GET", "/nope").status == 404
+    assert router.handle("GET", "/jobs/job-a/bogus").status == 404
+    assert router.handle("GET", "/jobs/job-a/views/spiral").status == 404
+    assert router.handle("GET", "/jobs/no-such-job").status == 404
+
+
+def test_post_is_rejected(router):
+    assert router.handle("POST", "/jobs").status == 405
+
+
+def test_jobs_listing(router):
+    jobs = _json(router.handle("GET", "/jobs"))["jobs"]
+    assert [j["job_id"] for j in jobs] == ["job-a", "job-b"]
+    assert all(j["digest"] for j in jobs)
+
+
+def test_job_summary_carries_etag(router):
+    response = router.handle("GET", "/jobs/job-a")
+    assert response.status == 200
+    assert response.etag == router.pool.etag("job-a")
+    assert _json(response)["supersteps"] == list(range(NUM_SUPERSTEPS))
+
+
+@pytest.mark.parametrize("name,view_factory", [
+    ("nodelink", lambda reader: NodeLinkView(reader, None)),
+    ("tabular", lambda reader: TabularView(reader)),
+    ("violations", lambda reader: ViolationsView(reader)),
+])
+def test_render_endpoints_are_byte_identical_to_views(router, name,
+                                                      view_factory):
+    response = router.handle("GET", f"/jobs/job-a/views/{name}/render")
+    assert response.status == 200
+    expected = view_factory(router.pool.reader("job-a")).render()
+    assert response.body == expected.encode("utf-8")
+
+
+def test_render_respects_superstep_param(router):
+    response = router.handle(
+        "GET", "/jobs/job-a/views/tabular/render?superstep=2"
+    )
+    expected = TabularView(router.pool.reader("job-a"), superstep=2).render()
+    assert response.body == expected.encode("utf-8")
+
+
+def test_nodelink_json_pagination_walks_all_nodes(router):
+    seen = []
+    cursor = ""
+    while True:
+        suffix = f"&cursor={cursor}" if cursor else ""
+        payload = _json(router.handle(
+            "GET", f"/jobs/job-a/views/nodelink?limit=12{suffix}"
+        ))
+        seen.extend(node["vertex_id"] for node in payload["nodes"])
+        assert payload["total_nodes"] == NUM_VERTICES
+        cursor = payload["next_cursor"]
+        if cursor is None:
+            break
+    assert seen == sorted(range(NUM_VERTICES), key=repr)
+
+
+def test_nodelink_json_superstep_and_boxes(router):
+    payload = _json(router.handle(
+        "GET", "/jobs/job-a/views/nodelink?superstep=2&limit=5"
+    ))
+    assert payload["superstep"] == 2
+    assert payload["status_boxes"]["M"] == "red"  # the planted violation
+    assert payload["status_boxes"]["E"] == "green"
+    assert payload["aggregators"] == {"total": 2.0}
+    assert len(payload["edges"]) == 5  # one out-edge per served node
+
+
+def test_tabular_search(router):
+    payload = _json(router.handle("GET", "/jobs/job-a/views/tabular?q=7"))
+    matched = {row["vertex_id"] for row in payload["rows"]}
+    assert 7 in matched
+    assert payload["total_rows"] < NUM_VERTICES
+    assert payload["query"] == "7"
+    assert len(payload["summaries"]) == len(payload["rows"])
+
+
+def test_violations_json(router):
+    payload = _json(router.handle("GET", "/jobs/job-a/views/violations"))
+    assert payload["total_violations"] == 1
+    violation = payload["violations"][0]
+    assert violation["vertex_id"] == 7
+    assert violation["superstep"] == 2
+    assert violation["kind"] == "message"
+    assert payload["supersteps_with_violations"] == [2]
+    assert payload["exceptions"][0]["vertex_id"] == 11
+    assert "ValueError" in payload["exceptions"][0]["summary"]
+
+
+def test_vertex_point_query(router):
+    payload = _json(router.handle("GET", "/jobs/job-a/vertex/3?superstep=1"))
+    assert payload["vertex_id"] == 3
+    assert payload["superstep"] == 1
+    assert payload["value_after"] == 4.0
+    assert payload["exception"] is None
+
+
+def test_vertex_query_requires_superstep(router):
+    assert router.handle("GET", "/jobs/job-a/vertex/3").status == 400
+
+
+def test_vertex_query_missing_vertex_404(router):
+    response = router.handle("GET", "/jobs/job-a/vertex/999?superstep=0")
+    assert response.status == 404
+
+
+def test_vertex_history(router):
+    payload = _json(router.handle("GET", "/jobs/job-a/vertex/5/history"))
+    assert payload["total_records"] == NUM_SUPERSTEPS
+    assert [r["superstep"] for r in payload["records"]] == (
+        list(range(NUM_SUPERSTEPS))
+    )
+
+
+def test_vertex_history_of_unknown_vertex_404(router):
+    assert router.handle("GET", "/jobs/job-a/vertex/999/history").status == 404
+
+
+def test_reproduce_without_computation_returns_context(router):
+    payload = _json(router.handle("GET", "/jobs/job-a/reproduce/7/2"))
+    assert payload["record"]["vertex_id"] == 7
+    assert payload["record"]["violations"][0]["kind"] == "message"
+    assert "computation" in payload["note"]
+
+
+def test_reproduce_with_computation_generates_pytest(router):
+    response = router.handle(
+        "GET", "/jobs/job-a/reproduce/3/1?computation=ConnectedComponents"
+    )
+    assert response.status == 200
+    assert response.content_type.startswith("text/x-python")
+    code = response.body.decode("utf-8")
+    assert "def test_reproduce_vertex_3_superstep_1" in code
+    assert "ReplayHarness" in code
+
+
+def test_reproduce_with_unknown_computation_400(router):
+    response = router.handle(
+        "GET", "/jobs/job-a/reproduce/3/1?computation=EvilClass"
+    )
+    assert response.status == 400
+    assert "available" in _json(response)["error"]
+
+
+def test_profile_heatmap(router):
+    payload = _json(router.handle("GET", "/jobs/job-a/profile/heatmap"))
+    assert payload["job_id"] == "job-a"
+    assert payload["workers"] == [0, 1]
+    assert len(payload["cells"]) == NUM_SUPERSTEPS
+
+
+def test_profile_skew(router):
+    payload = _json(router.handle("GET", "/jobs/job-a/profile/skew"))
+    assert payload["timeline"][0]["slowest_worker"] == 1
+    assert payload["max_skew"] > 1.0
+
+
+def test_profile_without_metrics_404(router):
+    response = router.handle("GET", "/jobs/job-b/profile/heatmap")
+    assert response.status == 404
+    assert "metrics.json" in _json(response)["error"]
+
+
+def test_metrics_endpoint(router):
+    payload = _json(router.handle("GET", "/jobs/job-a/metrics"))
+    assert len(payload["rows"]) == NUM_SUPERSTEPS
+    assert payload["summary"]["num_supersteps"] == NUM_SUPERSTEPS
+    assert router.handle("GET", "/jobs/job-b/metrics").status == 404
+
+
+def test_malformed_cursor_400(router):
+    response = router.handle(
+        "GET", "/jobs/job-a/views/tabular?cursor=garbage!!"
+    )
+    assert response.status == 400
+
+
+def test_malformed_limit_400(router):
+    response = router.handle("GET", "/jobs/job-a/views/tabular?limit=lots")
+    assert response.status == 400
+
+
+def test_malformed_superstep_400(router):
+    response = router.handle(
+        "GET", "/jobs/job-a/views/tabular?superstep=second"
+    )
+    assert response.status == 400
+
+
+def test_string_cursor_keys_are_honored(router):
+    cursor = encode_cursor({"after": repr(12)})
+    payload = _json(router.handle(
+        "GET", f"/jobs/job-a/views/tabular?limit=5&cursor={cursor}"
+    ))
+    first = payload["rows"][0]["vertex_id"]
+    assert repr(first) > repr(12)
+
+
+def test_index_page_lists_jobs(router):
+    response = router.handle("GET", "/")
+    assert response.status == 200
+    assert response.content_type.startswith("text/html")
+    html = response.body.decode("utf-8")
+    assert "job-a" in html and "job-b" in html
+
+
+def test_stats_endpoint(router):
+    payload = _json(router.handle("GET", "/stats"))
+    assert set(payload) == {"record_cache", "block_cache"}

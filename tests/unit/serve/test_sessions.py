@@ -1,0 +1,112 @@
+"""ReaderPool discovery, shared caches, and the job_summary serializer."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.graft.trace import TraceReader, canonical_trace_digest
+from repro.serve.sessions import ReaderPool, job_summary
+from repro.simfs import SimFileSystem
+
+from tests.unit.serve.conftest import NUM_SUPERSTEPS, NUM_VERTICES
+
+
+def test_job_discovery_is_sorted_and_filtered(served_fs):
+    pool = ReaderPool(served_fs)
+    assert pool.job_ids() == ["job-a", "job-b"]
+
+
+def test_job_discovery_ignores_non_trace_dirs(served_fs):
+    fs = SimFileSystem()
+    fs.import_from_filesystem = None  # guard against accidental API drift
+    pool = ReaderPool(fs, root="/nowhere")
+    assert pool.job_ids() == []
+
+
+def test_unknown_job_raises_trace_error(served_fs):
+    pool = ReaderPool(served_fs)
+    with pytest.raises(TraceError):
+        pool.session("job-missing")
+
+
+def test_sessions_are_singletons_with_shared_caches(served_fs):
+    pool = ReaderPool(served_fs)
+    assert pool.session("job-a") is pool.session("job-a")
+    reader_a = pool.reader("job-a")
+    reader_b = pool.reader("job-b")
+    assert reader_a is pool.reader("job-a")
+    # Both jobs draw on the same process-wide LRUs.
+    assert reader_a._record_cache is pool.record_cache
+    assert reader_b._record_cache is pool.record_cache
+    assert reader_a._block_cache is pool.block_cache
+    reader_a.get(3, 1)
+    reader_b.get(4, 2)
+    assert pool.record_cache.misses >= 2
+
+
+def test_etag_is_the_canonical_digest_and_cached(served_fs):
+    pool = ReaderPool(served_fs)
+    assert pool.cached_etag("job-a") is None  # nothing computed yet
+    etag = pool.etag("job-a")
+    assert etag == canonical_trace_digest(served_fs, "job-a")
+    assert pool.cached_etag("job-a") == etag
+
+
+def test_job_summary_shape(served_fs):
+    summary = job_summary(served_fs, "job-a")
+    assert summary["job_id"] == "job-a"
+    assert summary["digest"] == canonical_trace_digest(served_fs, "job-a")
+    assert summary["totals"]["records"] > 0
+    assert summary["violations"] == 1
+    assert summary["exceptions"] == 1
+    assert summary["metrics"]["num_supersteps"] == NUM_SUPERSTEPS
+    assert summary["metrics"]["total_compute_calls"] == (
+        NUM_VERTICES * NUM_SUPERSTEPS
+    )
+    assert "supersteps" not in summary  # only the pool adds the reader view
+
+
+def test_job_summary_without_metrics(served_fs):
+    summary = job_summary(served_fs, "job-b")
+    assert summary["metrics"] is None
+    assert summary["metrics_summary_line"] is None
+    assert summary["violations"] == 0
+
+
+def test_pool_summary_matches_bare_job_summary(served_fs):
+    # The pool serves cached pieces, the bare call recomputes everything;
+    # the documents must agree (modulo the supersteps list only the pool
+    # adds) or the CLI and the server would drift.
+    pool = ReaderPool(served_fs)
+    pooled = pool.session("job-a").summary()
+    assert pooled.pop("supersteps") == list(range(NUM_SUPERSTEPS))
+    assert pooled == job_summary(served_fs, "job-a")
+
+
+def test_job_summary_digest_opt_out(served_fs):
+    summary = job_summary(served_fs, "job-a", digest=None)
+    assert summary["digest"] is None
+
+
+def test_cache_stats_counters_move(served_fs):
+    pool = ReaderPool(served_fs)
+    before = pool.cache_stats()
+    assert before["record_cache"]["hits"] == 0
+    pool.reader("job-a").get(1, 0)
+    pool.reader("job-a").get(1, 0)
+    after = pool.cache_stats()
+    assert after["record_cache"]["misses"] >= 1
+    assert after["record_cache"]["hits"] >= 1
+    assert after["block_cache"]["entries"] >= 1
+
+
+def test_pool_reader_answers_match_private_reader(served_fs):
+    pool = ReaderPool(served_fs)
+    private = TraceReader(served_fs, "job-a", mode="eager")
+    shared = pool.reader("job-a")
+    for vid in (0, 7, 11, NUM_VERTICES - 1):
+        for step in range(NUM_SUPERSTEPS):
+            a = shared.get(vid, step)
+            b = private.get(vid, step)
+            assert (a.value_after, a.sent, a.halted) == (
+                b.value_after, b.sent, b.halted
+            )
