@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Scenario — cross-superstep protocol bugs caught statically, then observed.
+
+Phased vertex programs commit to an implicit wire protocol: each phase's
+sends must match what the *receiving* phase does with its inbox one
+superstep later. Two classic ways that contract breaks:
+
+1. **Payload mismatch (GL022).** The seed phase of a phased SSSP
+   broadcasts ``(weight, sender_id)`` tuples for provenance, but the
+   gather phase still folds the inbox with ``sum(messages)``. The
+   tuples arrive in superstep 1 and the sum raises ``TypeError``.
+2. **Phase gap (GL023).** A two-hop broadcast relays a wave in phase 1
+   (delivered in superstep 2) but only collects in phase 3. Pregel
+   silently discards the unread inbox at the barrier, so phase 3
+   computes from its empty-inbox default — wrong values, no crash.
+
+graft-lint's interprocedural pack proves both before the job runs: it
+joins every send's payload shape and delivery interval (through helper
+methods, via callee summaries) against every phase's consumption
+pattern. Each proven finding names the runtime evidence it forecasts
+(``exception`` / ``vertex_value``), and the debugger grades those
+forecasts against what the run actually produced — the closed loop.
+
+Run:  python examples/scenario_protocol_mismatch.py
+"""
+
+# Imported, not defined here: the CI lint gate requires examples/ to be
+# free of defined protocol bugs; the shipped buggy twins live next to
+# their clean counterpart in repro.algorithms.
+from repro import DebugConfig, debug_run
+from repro.algorithms import (
+    BuggyPhaseGapBroadcast,
+    BuggyPhasedShortestPaths,
+    PhasedShortestPaths,
+)
+from repro.analysis import analyze_computation
+from repro.datasets import load_dataset
+
+
+class NonNegativeValueConfig(DebugConfig):
+    """Distances and wave counts are never negative — the constraint that
+    catches a phase-gap default (-1.0) leaking into vertex state."""
+
+    def vertex_value_constraint(self, value, vertex_id, superstep):
+        return not (value < 0)
+
+
+def show_findings(cls, rule_id):
+    report = analyze_computation(cls)
+    hits = [f for f in report.findings if f.rule_id == rule_id]
+    print(f"== graft-lint on {cls.__name__} ==")
+    for finding in hits:
+        print(f"  {finding.render()}")
+    if not hits:
+        raise SystemExit(f"expected {rule_id} on {cls.__name__}")
+    if not all(f.proven for f in hits):
+        raise SystemExit(f"expected {rule_id} to be proven")
+    print()
+    return report
+
+
+def main():
+    graph = load_dataset("web-BS", num_vertices=40, seed=11)
+    print(f"input: web-BS stand-in, {graph.num_vertices} vertices")
+    print()
+
+    # -- 1. the clean phased SSSP is finding-free and runs clean ---------
+    clean_report = analyze_computation(PhasedShortestPaths)
+    print(f"== graft-lint on PhasedShortestPaths: {clean_report.summary()} ==")
+    if not clean_report.ok:
+        raise SystemExit("the clean phased SSSP must lint clean")
+    clean = debug_run(
+        lambda: PhasedShortestPaths(source=0), graph,
+        NonNegativeValueConfig(), seed=11,
+    )
+    print(f"   runs: {clean.summary()}")
+    print()
+
+    # -- 2. payload mismatch: proven TypeError before the run -----------
+    show_findings(BuggyPhasedShortestPaths, "GL022")
+    mismatch = debug_run(
+        lambda: BuggyPhasedShortestPaths(source=0), graph,
+        NonNegativeValueConfig(), seed=11, lint=True,
+    )
+    observed = mismatch.observed_evidence_kinds()
+    print(f"   observed evidence: {observed}")
+    if "exception" not in observed:
+        raise SystemExit("expected the tuple payload to raise in phase 1")
+    score = mismatch.prediction_score()
+    print(f"   {score.summary()}")
+    if score.precision < 1.0 or score.recall < 1.0:
+        raise SystemExit("GL022's forecast should fully match the run")
+    print()
+
+    # -- 3. phase gap: proven wrong-values before the run ----------------
+    show_findings(BuggyPhaseGapBroadcast, "GL023")
+    gap = debug_run(
+        BuggyPhaseGapBroadcast, graph,
+        NonNegativeValueConfig(), seed=11, lint=True,
+    )
+    observed = gap.observed_evidence_kinds()
+    print(f"   observed evidence: {observed}")
+    if "vertex_value" not in observed:
+        raise SystemExit("expected the dropped wave to violate the constraint")
+    score = gap.prediction_score()
+    print(f"   {score.summary()}")
+    if score.precision < 1.0 or score.recall < 1.0:
+        raise SystemExit("GL023's forecast should fully match the run")
+    print()
+
+    print("== diagnosis ==")
+    print(
+        "  Both bugs are one-superstep disagreements between a sender and "
+        "a receiver that never\n  execute together — exactly the class of "
+        "bug per-method analysis cannot see and the\n  interprocedural "
+        "protocol join proves."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,8 @@ EXPECTED_BUGGY = {
     "BuggyRandomWalk": "GL007",
     "BuggyGraphColoring": "GL008",
     "BuggyLabelPropagation": "GL016",
+    "BuggyPhasedShortestPaths": "GL022",
+    "BuggyPhaseGapBroadcast": "GL023",
 }
 
 

@@ -42,6 +42,9 @@ from repro.algorithms.random_walk import (
 )
 from repro.algorithms.shortest_paths import (
     BreadthFirstSearch,
+    BuggyPhasedShortestPaths,
+    BuggyPhaseGapBroadcast,
+    PhasedShortestPaths,
     ShortestPaths,
 )
 from repro.algorithms.triangles import TriangleCount, total_triangles
@@ -68,6 +71,9 @@ __all__ = [
     "total_walkers",
     "ShortestPaths",
     "BreadthFirstSearch",
+    "PhasedShortestPaths",
+    "BuggyPhasedShortestPaths",
+    "BuggyPhaseGapBroadcast",
     "TriangleCount",
     "total_triangles",
     "KCore",

@@ -47,3 +47,95 @@ class BreadthFirstSearch(ShortestPaths):
                 ctx.set_value(best)
             ctx.send_message_to_all_neighbors(ctx.value + 1)
         ctx.vote_to_halt()
+
+
+class PhasedShortestPaths(Computation):
+    """SSSP with the relaxation factored into a helper method.
+
+    Semantically identical to :class:`ShortestPaths`, but written the
+    way production vertex programs usually are: the seed phase and the
+    relax phase are separate branches and the actual message fan-out
+    lives in ``self._relax``. graft-lint's interprocedural summaries see
+    the sends through the helper, so the class stays finding-free.
+    """
+
+    def __init__(self, source=0):
+        self.source = source
+
+    def initial_value(self, vertex_id, input_value):
+        return 0.0 if vertex_id == self.source else math.inf
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            if ctx.vertex_id == self.source:
+                self._relax(ctx, 0.0)
+        else:
+            best = min(messages) if messages else math.inf
+            if best < ctx.value:
+                ctx.set_value(best)
+                self._relax(ctx, best)
+        ctx.vote_to_halt()
+
+    def _relax(self, ctx, distance):
+        for target, weight in ctx.out_edges():
+            ctx.send_message(
+                target, distance + (1.0 if weight is None else weight)
+            )
+
+
+class BuggyPhasedShortestPaths(PhasedShortestPaths):
+    """Phased SSSP whose two phases disagree about the wire protocol.
+
+    The seed phase broadcasts ``(weight, sender_id)`` *pairs* — someone
+    wanted provenance on the first hop — but the gather phase still
+    folds the inbox with ``sum(messages)``. The tuples arrive in
+    superstep 1 and the sum raises ``TypeError`` on the first vertex
+    with an in-edge from the source. graft-lint proves the mismatch
+    statically (GL022): the delivery interval of the tuple send
+    intersects the phase that does numeric folding.
+    """
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            if ctx.vertex_id == self.source:
+                for target, weight in ctx.out_edges():
+                    ctx.send_message(
+                        target,
+                        ((1.0 if weight is None else weight), ctx.vertex_id),
+                    )
+        else:
+            total = sum(messages)
+            if total < ctx.value:
+                ctx.set_value(total)
+                self._relax(ctx, total)
+        ctx.vote_to_halt()
+
+
+class BuggyPhaseGapBroadcast(Computation):
+    """Two-hop broadcast with an off-by-one phase guard.
+
+    Phase 0 seeds a wave, phase 1 relays it — so the relayed values are
+    *delivered* in superstep 2. But the collection guard says
+    ``superstep == 3``: nothing reads the inbox in superstep 2, Pregel
+    discards the undelivered wave at the barrier, and phase 3 computes
+    from its empty-inbox default (``-1.0``) instead. graft-lint proves
+    the gap statically (GL023): the relay's delivery interval sits
+    inside the program's read window but intersects no individual read
+    phase. At runtime a non-negative vertex-value constraint catches
+    the default leaking into the vertex state.
+    """
+
+    def initial_value(self, vertex_id, input_value):
+        return 0.0
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_message_to_all_neighbors(1.0)
+        elif ctx.superstep == 1:
+            incoming = min(messages) if messages else 0.0
+            ctx.send_message_to_all_neighbors(incoming + 1.0)
+        elif ctx.superstep == 3:
+            ctx.set_value(min(messages) if messages else -1.0)
+            ctx.vote_to_halt()
+        elif ctx.superstep >= 4:
+            ctx.vote_to_halt()

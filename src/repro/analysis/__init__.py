@@ -61,7 +61,10 @@ from repro.analysis.findings import (
     Finding,
     GraftLintWarning,
 )
+from repro.analysis.interproc import CalleeSummary, Interprocedural
+from repro.analysis.protocol import ProtocolTable
 from repro.analysis.rules import all_rules, dataflow_rules, rule_catalog
+from repro.analysis.sarif import sarif_log
 
 __all__ = [
     "analyze_computation",
@@ -81,6 +84,10 @@ __all__ = [
     "all_rules",
     "dataflow_rules",
     "rule_catalog",
+    "CalleeSummary",
+    "Interprocedural",
+    "ProtocolTable",
+    "sarif_log",
     "RUNTIME_LINKS",
     "PREDICTABLE_KINDS",
     "PredictionScore",

@@ -35,16 +35,17 @@ RUNTIME_LINKS = {
     "message": ("GL007", "GL004", "GL013"),
     "message_target": ("GL007", "GL004", "GL013"),
     # A vertex-value constraint violation: wrapped counters parked on the
-    # vertex, or in-place mutation making the checked value stale.
-    "vertex_value": ("GL007", "GL002", "GL013"),
+    # vertex, or in-place mutation making the checked value stale — or a
+    # phase gap silently dropping the payload a value was computed from.
+    "vertex_value": ("GL007", "GL002", "GL013", "GL023"),
     # A neighborhood constraint violation ("no two adjacent vertices share
     # a color"): symmetric ties admitted by a non-strict comparison.
     "neighborhood": ("GL008",),
     # The engine hitting max_supersteps without convergence.
-    "nontermination": ("GL005", "GL014"),
+    "nontermination": ("GL005", "GL014", "GL025"),
     # An exception escaping compute (e.g. a use-before-def UnboundLocalError
-    # or a payload-type TypeError).
-    "exception": ("GL009", "GL011", "GL012"),
+    # or a payload-type TypeError — possibly through a helper call).
+    "exception": ("GL009", "GL011", "GL012", "GL021", "GL022"),
 }
 
 #: Evidence kinds any rule can forecast — the recall denominator only

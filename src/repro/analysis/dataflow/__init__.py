@@ -51,8 +51,13 @@ __all__ = [
 class MethodDataflow:
     """Lazily-computed dataflow facts for one method scope."""
 
-    def __init__(self, scope):
+    def __init__(self, scope, interproc=None):
         self.scope = scope
+        #: The class-level interprocedural bundle (call graph + callee
+        #: summaries), or None. When present, the interval pass resolves
+        #: helper-call return values and :class:`PhaseFacts` propagates
+        #: callee effects to their call sites.
+        self.interproc = interproc
         self.cfg = build_cfg(scope.node)
         self._reaching = None
         self._liveness = None
@@ -77,7 +82,18 @@ class MethodDataflow:
     @property
     def intervals(self):
         if self._intervals is None:
-            self._intervals = IntervalAnalysis(self.cfg, self.scope)
+            call_intervals = None
+            if self.interproc is not None:
+                interproc, scope = self.interproc, self.scope
+
+                def call_intervals(call_node, target):
+                    return interproc.return_interval_for(
+                        scope, call_node, target
+                    )
+
+            self._intervals = IntervalAnalysis(
+                self.cfg, self.scope, call_intervals=call_intervals
+            )
         return self._intervals
 
     @property
@@ -152,6 +168,40 @@ class MethodDataflow:
     def node_reachable(self, node):
         return self.superstep_at_node(node) is not None
 
+    def always_executes(self, node):
+        """True when every entry-to-exit path evaluates ``node``.
+
+        CFG-proven: there is no path from the entry to the exit avoiding
+        the block(s) that evaluate the node. Used by GL025 to prove a
+        recursive call unconditional (the function can never return
+        without recursing).
+        """
+        where = self._owner_map().get(id(node))
+        if where is None:
+            return False
+        kind, anchor = where
+        if kind == "stmt":
+            avoid = {
+                block.index
+                for block in self.cfg.blocks
+                if any(stmt is anchor for stmt in block.statements)
+            }
+        else:
+            avoid = {anchor.index}
+        if not avoid:
+            return False
+        seen = set()
+        stack = [self.cfg.entry]
+        while stack:
+            block = stack.pop()
+            if block.index in seen or block.index in avoid:
+                continue
+            seen.add(block.index)
+            if block is self.cfg.exit:
+                return False  # the exit is reachable without the node
+            stack.extend(edge.dst for edge in block.succs)
+        return True
+
     def message_read_nodes(self):
         """Every load of the messages parameter (or a message alias)."""
         names = set(self.scope.message_aliases)
@@ -187,7 +237,8 @@ class MethodDataflow:
                     if fact.reachable
                     else "UNREACHABLE"
                 )
-                phase_lines.append(f"{label} @ line {fact.line}: {stamp}")
+                via = f" (via {fact.via})" if fact.via else ""
+                phase_lines.append(f"{label} @ line {fact.line}: {stamp}{via}")
         if phase_lines:
             lines.append("  phase facts:")
             lines.extend(f"    {text}" for text in phase_lines)

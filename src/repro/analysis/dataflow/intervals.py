@@ -188,10 +188,15 @@ class _State:
 class IntervalAnalysis:
     """Forward abstract interpretation of one method scope."""
 
-    def __init__(self, cfg, scope):
+    def __init__(self, cfg, scope, call_intervals=None):
         self.cfg = cfg
         self.scope = scope
         self.ctx_name = scope.ctx_name
+        #: Optional hook ``(call_node, dotted_target) -> Interval|None``
+        #: resolving calls the builtin table cannot — interprocedural
+        #: callee-summary return intervals. Must be set before the solve:
+        #: the fixpoint below already evaluates calls.
+        self._call_intervals = call_intervals
         boundary = _State()
         boundary.set(SUPERSTEP_KEY, NON_NEGATIVE)
         self.solution = solve(
@@ -394,6 +399,14 @@ class IntervalAnalysis:
             return Interval(
                 max(i.lo for i in intervals), max(i.hi for i in intervals)
             )
+        if self._call_intervals is not None:
+            from repro.analysis.scopes import dotted_name
+
+            target = dotted_name(func)
+            if target is not None:
+                resolved = self._call_intervals(call, target)
+                if resolved is not None:
+                    return resolved
         return TOP
 
     def _binop_interval(self, op, left, right):

@@ -9,6 +9,14 @@ stamps: a message sent in superstep ``s`` is delivered in ``s + 1``, so a
 send whose shifted interval misses every read interval is dead (GL010); a
 ``vote_to_halt`` whose interval is empty sits on a proven-dead path
 (GL014).
+
+When the owning :class:`MethodDataflow` carries an interprocedural
+bundle, facts *propagate through calls*: ``compute`` calling
+``self._relax(ctx, best)`` gains a send fact at the call line, stamped
+with the meet of the call site's interval and the callee's own stamp
+(``ctx.superstep`` is the same value in both frames, so the meet is
+sound). Cycles in the call graph truncate cleanly — the missing effects
+only make the facts *less* complete, never wrong.
 """
 
 from repro.analysis.dataflow.intervals import NON_NEGATIVE
@@ -20,21 +28,44 @@ class SiteFact:
     ``interval`` is None when the site is statically unreachable (dead
     code, or an interval-proven dead branch); otherwise an over-
     approximation of ``ctx.superstep`` whenever the site executes.
+
+    For send facts, ``payload`` is the payload expression node and
+    ``payload_scope`` the MethodScope whose body owns it (the callee's,
+    for propagated facts). ``via`` names the summarized callee a
+    propagated fact came through, or None for a direct site.
     """
 
-    __slots__ = ("node", "line", "interval")
+    __slots__ = ("node", "line", "interval", "payload", "payload_scope", "via")
 
-    def __init__(self, node, line, interval):
+    def __init__(self, node, line, interval, payload=None,
+                 payload_scope=None, via=None):
         self.node = node
         self.line = line
         self.interval = interval
+        self.payload = payload
+        self.payload_scope = payload_scope
+        self.via = via
 
     @property
     def reachable(self):
         return self.interval is not None
 
     def __repr__(self):
-        return f"<site line={self.line} superstep={self.interval!r}>"
+        tag = f" via {self.via}" if self.via else ""
+        return f"<site line={self.line} superstep={self.interval!r}{tag}>"
+
+
+def send_payload(call_node, target):
+    """The payload expression of a send call, or None.
+
+    ``send_message(target, value)`` carries it second;
+    ``send_message_to_all_neighbors(value)`` first.
+    """
+    tail = target.rsplit(".", 1)[-1]
+    args = call_node.args
+    if tail == "send_message":
+        return args[1] if len(args) > 1 else None
+    return args[0] if args else None
 
 
 class PhaseFacts:
@@ -43,7 +74,9 @@ class PhaseFacts:
     def __init__(self, scope, dataflow):
         self.scope = scope
         self.sends = [
-            _fact(call.node, call.line, dataflow)
+            _fact(call.node, call.line, dataflow,
+                  payload=send_payload(call.node, call.target),
+                  payload_scope=scope)
             for call in scope.ctx_calls(
                 "send_message", "send_message_to_all_neighbors"
             )
@@ -68,6 +101,48 @@ class PhaseFacts:
             _fact(node, node.lineno, dataflow)
             for node in dataflow.message_read_nodes()
         ]
+        self._propagate(scope, dataflow)
+
+    def _propagate(self, scope, dataflow):
+        """Fold summarized callee effects in at their call sites."""
+        interproc = getattr(dataflow, "interproc", None)
+        if interproc is None:
+            return
+        for call in scope.calls:
+            key = interproc.resolve(scope, call)
+            if key is None:
+                continue
+            summary = interproc.summary(key)
+            if summary is None or not summary.effects:
+                continue
+            site_interval = dataflow.superstep_at_node(call.node)
+            via = summary.describe()
+            for eff in summary.effects:
+                if site_interval is None:
+                    interval = None  # the call site itself is dead
+                elif eff.interval is None:
+                    interval = site_interval  # callee stamp unknown
+                else:
+                    # May be None: the callee's own phase guard can be
+                    # infeasible from this call site — a genuinely dead
+                    # propagated fact.
+                    interval = site_interval.meet(eff.interval)
+                fact = SiteFact(
+                    call.node, call.line, interval,
+                    payload=eff.payload,
+                    payload_scope=eff.scope,
+                    via=via,
+                )
+                if eff.kind == "send":
+                    self.sends.append(fact)
+                elif eff.kind == "halt":
+                    self.halts.append(fact)
+                elif eff.kind == "message_read":
+                    self.message_reads.append(fact)
+                elif eff.kind == "aggregate_write":
+                    self.aggregate_writes.append((eff.agg_name_node, fact))
+                elif eff.kind == "aggregate_read":
+                    self.aggregate_reads.append((eff.agg_name_node, fact))
 
     def send_intervals(self):
         return [fact.interval for fact in self.sends if fact.reachable]
@@ -79,9 +154,10 @@ class PhaseFacts:
         return [fact for fact in self.halts if fact.reachable]
 
 
-def _fact(node, line, dataflow):
+def _fact(node, line, dataflow, payload=None, payload_scope=None):
     interval = dataflow.superstep_at_node(node)
-    return SiteFact(node, line, interval)
+    return SiteFact(node, line, interval, payload=payload,
+                    payload_scope=payload_scope)
 
 
 def join_intervals(intervals):

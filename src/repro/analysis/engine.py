@@ -26,6 +26,7 @@ the cheap pattern-matching rules only.
 import ast
 import hashlib
 import inspect
+import os
 import sys
 import textwrap
 import threading
@@ -46,11 +47,16 @@ _REPORT_CACHE_MAX = 128
 _REPORT_CACHE_LOCK = threading.Lock()
 
 
+#: Sentinel for lazily-built, possibly-None context attributes.
+_UNSET = object()
+
+
 class ClassContext:
     """Everything the rules see about one analyzed class."""
 
     def __init__(self, class_name, filename, scopes, constants,
-                 kind="computation", dataflow_enabled=True):
+                 kind="computation", dataflow_enabled=True,
+                 module_functions=None):
         self.class_name = class_name
         self.filename = filename
         #: Effective methods after MRO resolution: name -> MethodScope.
@@ -58,11 +64,17 @@ class ClassContext:
         #: Resolved string/number constants visible to the class: a merge
         #: of module-level and class-level simple assignments, name -> value.
         self.constants = constants
+        #: Module-level helper functions visible to the class:
+        #: name -> (ast.FunctionDef, filename). The interprocedural layer
+        #: resolves bare-name calls against these.
+        self.module_functions = module_functions or {}
         #: "computation" or "combiner" — rules declare which kind they
         #: apply to via a module-level ``APPLIES_TO``.
         self.kind = kind
         self.dataflow_enabled = dataflow_enabled
         self._dataflow = {}
+        self._interproc = _UNSET
+        self._protocol = _UNSET
         #: scope name -> exception, for dataflow passes that failed. The
         #: analyzer degrades to pattern rules rather than blocking a run.
         self.dataflow_errors = {}
@@ -90,11 +102,51 @@ class ClassContext:
             from repro.analysis.dataflow import MethodDataflow
 
             try:
-                self._dataflow[key] = MethodDataflow(scope)
+                self._dataflow[key] = MethodDataflow(
+                    scope, interproc=self.interproc
+                )
             except Exception as exc:  # degrade, never block
                 self._dataflow[key] = None
                 self.dataflow_errors[scope.name] = exc
         return self._dataflow[key]
+
+    @property
+    def interproc(self):
+        """The class's :class:`~repro.analysis.interproc.Interprocedural`
+        bundle (call graph + callee summaries), or None on failure."""
+        if self._interproc is _UNSET:
+            from repro.analysis.interproc import Interprocedural
+
+            try:
+                self._interproc = Interprocedural(self)
+            except Exception as exc:  # degrade, never block
+                self._interproc = None
+                self.dataflow_errors["<interproc>"] = exc
+        return self._interproc
+
+    @property
+    def protocol(self):
+        """The class's message-protocol table
+        (:class:`~repro.analysis.protocol.ProtocolTable`), or None."""
+        if self._protocol is _UNSET:
+            from repro.analysis.protocol import ProtocolTable
+
+            try:
+                self._protocol = ProtocolTable(self)
+            except Exception as exc:  # degrade, never block
+                self._protocol = None
+                self.dataflow_errors["<protocol>"] = exc
+        return self._protocol
+
+    def helper_source_text(self):
+        """Source of module helpers the class can call (cache-key input)."""
+        interproc = self.interproc
+        if interproc is None:
+            return ""
+        try:
+            return interproc.helper_source_text()
+        except Exception:
+            return ""
 
     def resolve_constant(self, node):
         """The literal value behind an expression, or None if dynamic.
@@ -146,7 +198,7 @@ def _class_defs_from_module(tree):
 
 
 def _build_context(class_name, mro_class_defs, constants, filename,
-                   kind="computation", dataflow=True):
+                   kind="computation", dataflow=True, module_functions=None):
     """Assemble a :class:`ClassContext` from base-to-derived class defs.
 
     ``mro_class_defs`` is ``[(class_def, defining_name), ...]`` ordered
@@ -170,14 +222,24 @@ def _build_context(class_name, mro_class_defs, constants, filename,
                     node, defining_name, filename, method_names
                 )
     return ClassContext(class_name, filename, scopes, constants,
-                        kind=kind, dataflow_enabled=dataflow)
+                        kind=kind, dataflow_enabled=dataflow,
+                        module_functions=module_functions)
+
+
+def _module_function_defs(tree, filename, into=None):
+    """Record top-level ``def``s from a module tree: name -> (def, file)."""
+    funcs = into if into is not None else {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            funcs[node.name] = (node, filename)
+    return funcs
 
 
 #: Dataflow rules that *upgrade* a pattern rule: when the upgrading rule
 #: fires, the pattern rule's finding on the same evidence is dropped —
 #: GL013 proves the overflow GL007 only suspects (same line), GL014 proves
 #: the no-halt-path GL005 only suspects (same class).
-_LINE_SUPERSEDES = {"GL013": "GL007"}
+_LINE_SUPERSEDES = {"GL013": "GL007", "GL024": "GL006"}
 _CLASS_SUPERSEDES = {"GL014": "GL005"}
 
 
@@ -228,6 +290,7 @@ def _live_context(cls, base_class, kind, dataflow):
     """
     mro_class_defs = []
     constants = {}
+    module_functions = {}
     filename = "<unknown>"
     sources = []
     try:
@@ -250,7 +313,12 @@ def _live_context(cls, base_class, kind, dataflow):
             filename = klass_file if klass is cls else filename
             module = sys.modules.get(klass.__module__)
             if module is not None:
-                _collect_constants(_module_tree(module), constants)
+                module_tree = _module_tree(module)
+                _collect_constants(module_tree, constants)
+                # Derived modules override base modules' helper names,
+                # matching what a bare-name call in the derived class sees.
+                _module_function_defs(module_tree, klass_file,
+                                      into=module_functions)
             mro_class_defs.append((class_def, klass.__name__))
         if filename == "<unknown>" and mro_class_defs:
             filename = inspect.getsourcefile(cls) or "<unknown>"
@@ -260,7 +328,8 @@ def _live_context(cls, base_class, kind, dataflow):
         return None, ""
 
     context = _build_context(cls.__name__, mro_class_defs, constants,
-                             filename, kind=kind, dataflow=dataflow)
+                             filename, kind=kind, dataflow=dataflow,
+                             module_functions=module_functions)
     return context, "".join(sources)
 
 
@@ -272,7 +341,11 @@ def _analyze_live(cls, base_class, kind, rules, dataflow):
 
     cache_key = None
     if rules is None:
-        digest = hashlib.sha1(source_text.encode("utf-8")).hexdigest()
+        # The digest covers the MRO class sources *and* every module-level
+        # helper the class can call: an edit to a called helper changes
+        # the analysis result, so it must miss the cache.
+        keyed_source = source_text + "\x00" + context.helper_source_text()
+        digest = hashlib.sha1(keyed_source.encode("utf-8")).hexdigest()
         cache_key = (kind, cls.__module__, cls.__qualname__, digest, dataflow)
         with _REPORT_CACHE_LOCK:
             cached = _REPORT_CACHE.get(cache_key)
@@ -322,17 +395,35 @@ def computation_context(cls, dataflow=True):
     return context
 
 
+#: module name -> (file stamp, parsed tree). Stamped by (mtime_ns, size)
+#: so an edited-and-reloaded module file is re-read instead of served
+#: stale — the helper-hash half of the report-cache key depends on it.
 _MODULE_TREE_CACHE = {}
 
 
 def _module_tree(module):
     name = module.__name__
-    if name not in _MODULE_TREE_CACHE:
+    path = getattr(module, "__file__", None)
+    stamp = None
+    if path:
         try:
-            _MODULE_TREE_CACHE[name] = ast.parse(inspect.getsource(module))
-        except (OSError, TypeError, SyntaxError):
-            _MODULE_TREE_CACHE[name] = ast.parse("")
-    return _MODULE_TREE_CACHE[name]
+            status = os.stat(path)
+            stamp = (status.st_mtime_ns, status.st_size)
+        except OSError:
+            path = None
+    cached = _MODULE_TREE_CACHE.get(name)
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    try:
+        if path and path.endswith(".py"):
+            with open(path, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read())
+        else:
+            tree = ast.parse(inspect.getsource(module))
+    except (OSError, TypeError, SyntaxError, ValueError):
+        tree = ast.parse("")
+    _MODULE_TREE_CACHE[name] = (stamp, tree)
+    return tree
 
 
 # -- source-level analysis -----------------------------------------------------
@@ -391,7 +482,7 @@ def _computation_class_names(tree):
 
 
 def _source_context(name, class_defs, constants_base, filename, kind,
-                    dataflow):
+                    dataflow, module_functions=None):
     chain = []
     cursor = class_defs[name]
     while cursor is not None:
@@ -408,6 +499,7 @@ def _source_context(name, class_defs, constants_base, filename, kind,
     return _build_context(
         name, mro_class_defs, dict(constants_base), filename,
         kind=kind, dataflow=dataflow,
+        module_functions=dict(module_functions or {}),
     )
 
 
@@ -416,6 +508,7 @@ def contexts_from_module_source(source, filename="<string>", dataflow=True):
     found in raw source, without importing it."""
     tree = ast.parse(source, filename=filename)
     constants_base = _collect_constants(tree, {})
+    module_functions = _module_function_defs(tree, filename)
     comp_names, class_defs = _computation_class_names(tree)
     combiner_names = [
         name
@@ -429,11 +522,12 @@ def contexts_from_module_source(source, filename="<string>", dataflow=True):
     for name in comp_names:
         contexts.append(_source_context(
             name, class_defs, constants_base, filename, "computation",
-            dataflow,
+            dataflow, module_functions=module_functions,
         ))
     for name in combiner_names:
         contexts.append(_source_context(
             name, class_defs, constants_base, filename, "combiner", dataflow,
+            module_functions=module_functions,
         ))
     return contexts
 

@@ -1,0 +1,583 @@
+"""Interprocedural analysis: per-class call graphs + dataflow summaries.
+
+graft-lint's dataflow passes are per-method, but real vertex programs
+delegate: ``compute`` calls ``self._relax(ctx, best)`` or a module-level
+``fold_messages(messages)``, and every intraprocedural rule used to go
+dark behind the call. This module recovers that structure:
+
+- a **call graph** over each analyzed class covering ``self.<method>()``
+  calls and bare calls to module-level helper functions. The graph is
+  cycle-tolerant (recursive and mutually-recursive callees get truncated
+  summaries, never infinite loops) and conservatively complete:
+  ``getattr(self, ...)`` dynamic dispatch marks every method reachable,
+  and a method/helper *referenced* without being called (passed as a
+  callback) counts as reachable too.
+- a bottom-up :class:`CalleeSummary` per callee — returned-value kind and
+  interval, messages sent (payload expression + superstep stamp), halt
+  and aggregator effects, message consumption — applied at call sites by
+  :class:`~repro.analysis.dataflow.phases.PhaseFacts` and the interval
+  pass. ``ctx.superstep`` denotes the same value in caller and callee
+  frames, so meeting the callee's stamp with the call site's interval is
+  sound.
+- reachability facts for GL014 (a halt in a never-called helper is a
+  dead halt) and recursion facts for GL025.
+
+Summaries are context-insensitive (parameters are TOP), so anything they
+claim holds for every call site; imprecision only ever widens intervals
+or drops effects to "unknown stamp", both of which are the sound
+direction for the proven rules built on top.
+"""
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.scopes import (
+    LIFECYCLE_METHODS,
+    build_function_scope,
+)
+
+#: Methods that can actually run during a job — the call-graph entry set.
+_ENTRY_METHODS = LIFECYCLE_METHODS + ("__init__", "combine", "initial")
+
+
+@dataclass
+class SummaryEffect:
+    """One side effect a callee performs, stamped with its own interval.
+
+    ``interval`` is the callee-frame ``ctx.superstep`` interval (None for
+    "unknown stamp" — the callee's dataflow failed); callers meet it with
+    the call site's interval. ``payload`` / ``agg_name_node`` carry the
+    AST needed to classify the effect further (payload kinds, aggregator
+    names); ``scope`` is the MethodScope whose body owns those nodes.
+    """
+
+    kind: str            # "send" | "halt" | "message_read" |
+                         # "aggregate_write" | "aggregate_read"
+    interval: object     # Interval | None
+    line: int
+    scope: object = None
+    payload: object = None
+    agg_name_node: object = None
+
+
+@dataclass
+class CalleeSummary:
+    """What one callee does, independent of any particular call site."""
+
+    key: tuple                      # ("method"|"helper", name)
+    scope: object                   # MethodScope
+    return_kind: str = None         # _typekinds kind of returned values
+    return_interval: object = None  # Interval | None (unknown)
+    effects: list = field(default_factory=list)
+    reads_messages: bool = False
+    complete: bool = True           # False when truncated by a cycle
+
+    @property
+    def name(self):
+        return self.key[1]
+
+    def describe(self):
+        tag = "self." if self.key[0] == "method" else ""
+        return f"{tag}{self.name}()"
+
+
+class Interprocedural:
+    """Call graph + summaries for one :class:`ClassContext`."""
+
+    def __init__(self, context):
+        self.context = context
+        #: name -> (ast.FunctionDef, filename) for module-level helpers.
+        self.helper_defs = dict(getattr(context, "module_functions", {}) or {})
+        self._helper_scopes = {}
+        self._helper_flows = {}
+        self._edges = None
+        self._dynamic = False
+        self._reachable = None
+        self._summaries = {}
+        self._in_progress = set()
+        self._reaches_memo = {}
+
+    # -- scopes ----------------------------------------------------------------
+
+    def helper_scope(self, name):
+        """The pseudo-MethodScope for one module-level helper, or None."""
+        if name not in self.helper_defs:
+            return None
+        if name not in self._helper_scopes:
+            node, filename = self.helper_defs[name]
+            try:
+                self._helper_scopes[name] = build_function_scope(node, filename)
+            except Exception:
+                self._helper_scopes[name] = None
+        return self._helper_scopes[name]
+
+    def helper_dataflow(self, name):
+        """MethodDataflow over a helper body, or None when the pass fails."""
+        if name not in self._helper_flows:
+            scope = self.helper_scope(name)
+            if scope is None or not self.context.dataflow_enabled:
+                self._helper_flows[name] = None
+            else:
+                from repro.analysis.dataflow import MethodDataflow
+
+                try:
+                    self._helper_flows[name] = MethodDataflow(
+                        scope, interproc=self
+                    )
+                except Exception as exc:
+                    self._helper_flows[name] = None
+                    self.context.dataflow_errors.setdefault(
+                        f"<helper {name}>", exc
+                    )
+        return self._helper_flows[name]
+
+    def _scope_for(self, key):
+        kind, name = key
+        if kind == "method":
+            return self.context.scopes.get(name)
+        return self.helper_scope(name)
+
+    def _dataflow_for(self, key):
+        kind, name = key
+        if kind == "method":
+            return self.context.dataflow(self._scope_for(key))
+        return self.helper_dataflow(name)
+
+    # -- call graph ------------------------------------------------------------
+
+    def resolve(self, scope, call):
+        """The callee key behind one CallSite in ``scope``, or None."""
+        target = call.target
+        if "." in target:
+            owner, _, meth = target.rpartition(".")
+            if (
+                owner == scope.self_name
+                and meth in self.context.scopes
+            ):
+                return ("method", meth)
+            return None
+        if target in self.helper_defs:
+            return ("helper", target)
+        return None
+
+    def edges(self):
+        """caller key -> [(callee key, CallSite-or-None), ...].
+
+        A None call site marks a bare *reference* (callback use): it makes
+        the callee reachable but carries no effects to propagate.
+        """
+        if self._edges is None:
+            edges = {}
+            for name, scope in self.context.scopes.items():
+                edges[("method", name)] = self._callees(scope, is_method=True)
+            for name in self.helper_defs:
+                scope = self.helper_scope(name)
+                edges[("helper", name)] = (
+                    [] if scope is None
+                    else self._callees(scope, is_method=False)
+                )
+            self._edges = edges
+        return self._edges
+
+    def _callees(self, scope, is_method):
+        out = []
+        called_func_ids = set()
+        for call in scope.calls:
+            key = self.resolve(scope, call)
+            if key is not None:
+                out.append((key, call))
+                called_func_ids.add(id(call.node.func))
+        for node in ast.walk(scope.node):
+            if (
+                is_method
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == scope.self_name
+                and node.attr in self.context.scopes
+                and id(node) not in called_func_ids
+            ):
+                out.append((("method", node.attr), None))
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in self.helper_defs
+                and id(node) not in called_func_ids
+            ):
+                out.append((("helper", node.id), None))
+            elif (
+                is_method
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "getattr"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == scope.self_name
+            ):
+                # Dynamic dispatch off self: every method may be called.
+                self._dynamic = True
+        return out
+
+    def reachable(self):
+        """Keys reachable from the entry methods (lifecycle + __init__)."""
+        if self._reachable is None:
+            edges = self.edges()  # also decides self._dynamic
+            if self._dynamic:
+                self._reachable = set(edges)
+                return self._reachable
+            entries = [
+                ("method", name)
+                for name in self.context.scopes
+                if name in _ENTRY_METHODS
+            ]
+            seen = set(entries)
+            stack = list(entries)
+            while stack:
+                key = stack.pop()
+                for callee, _call in edges.get(key, ()):
+                    if callee not in seen:
+                        seen.add(callee)
+                        stack.append(callee)
+            self._reachable = seen
+        return self._reachable
+
+    def reachable_scope_names(self):
+        return {
+            name for kind, name in self.reachable() if kind == "method"
+        }
+
+    def reachable_helper_names(self):
+        return {
+            name for kind, name in self.reachable() if kind == "helper"
+        }
+
+    def _reaches(self, start, goal):
+        """True when ``goal`` is reachable from ``start`` via >= 0 edges."""
+        memo_key = (start, goal)
+        if memo_key in self._reaches_memo:
+            return self._reaches_memo[memo_key]
+        edges = self.edges()
+        seen = set()
+        stack = [start]
+        found = False
+        while stack:
+            key = stack.pop()
+            if key == goal:
+                found = True
+                break
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(c for c, _call in edges.get(key, ()))
+        self._reaches_memo[memo_key] = found
+        return found
+
+    def recursion_sites(self):
+        """Call sites that close a cycle in the call graph.
+
+        Returns ``[(caller_key, callee_key, CallSite, proven), ...]``;
+        ``proven`` is True only for *direct* self-recursion whose call
+        site executes on every path through the function — entering the
+        callee then recurses unconditionally (a guaranteed
+        ``RecursionError``). Mutual recursion and guarded self-recursion
+        stay ``likely``.
+        """
+        sites = []
+        for caller, callees in self.edges().items():
+            if caller not in self.reachable():
+                continue
+            for callee, call in callees:
+                if call is None or not self._reaches(callee, caller):
+                    continue
+                proven = False
+                if callee == caller:
+                    dataflow = self._dataflow_for(caller)
+                    if dataflow is not None and dataflow.always_executes(
+                        call.node
+                    ):
+                        proven = True
+                sites.append((caller, callee, call, proven))
+        return sites
+
+    # -- summaries -------------------------------------------------------------
+
+    def summary_for_call(self, scope, call):
+        key = self.resolve(scope, call)
+        if key is None:
+            return None
+        return self.summary(key)
+
+    def summary(self, key):
+        """The :class:`CalleeSummary` for ``key``, or None mid-cycle."""
+        if key in self._summaries:
+            return self._summaries[key]
+        if key in self._in_progress:
+            return None  # cycle: the caller treats the callee as unknown
+        scope = self._scope_for(key)
+        if scope is None:
+            return None
+        self._in_progress.add(key)
+        try:
+            summary = self._compute_summary(key, scope)
+        except Exception as exc:
+            summary = CalleeSummary(key=key, scope=scope, complete=False)
+            self.context.dataflow_errors.setdefault(
+                f"<summary {key[1]}>", exc
+            )
+        finally:
+            self._in_progress.discard(key)
+        self._summaries[key] = summary
+        return summary
+
+    def _compute_summary(self, key, scope):
+        from repro.analysis.rules._typekinds import expr_kind
+
+        summary = CalleeSummary(key=key, scope=scope)
+        dataflow = self._dataflow_for(key)
+        if dataflow is None:
+            summary.complete = False
+            self._syntactic_effects(summary, scope)
+            return summary
+
+        # Returned values: join the kind and interval over every live
+        # `return` statement; a possible fall-off-the-end return of None
+        # degrades both to unknown.
+        kinds = []
+        intervals = []
+        returns = _own_returns(scope.node)
+        for ret in returns:
+            state = dataflow.intervals.state_before(ret)
+            if state is None:
+                continue  # dead return
+            if ret.value is None:
+                kinds.append("none")
+                intervals.append(None)
+                continue
+            kinds.append(expr_kind(ret.value, self.context))
+            intervals.append(dataflow.intervals.eval(ret.value, state))
+        if not _always_returns(scope.node.body):
+            kinds.append("none")
+            intervals.append(None)
+        live_kinds = {k for k in kinds if k is not None}
+        if len(live_kinds) == 1 and len(live_kinds) == len(kinds):
+            summary.return_kind = live_kinds.pop()
+        if intervals and all(iv is not None for iv in intervals):
+            merged = intervals[0]
+            for iv in intervals[1:]:
+                merged = merged.join(iv)
+            if not merged.is_top:
+                summary.return_interval = merged
+
+        # Effects: the callee's own PhaseFacts already fold in *its*
+        # callees (cycle-truncated), so these are transitive.
+        phases = dataflow.phases
+        for fact in phases.sends:
+            summary.effects.append(SummaryEffect(
+                "send", fact.interval, fact.line,
+                scope=fact.payload_scope or scope, payload=fact.payload,
+            ))
+        for fact in phases.halts:
+            summary.effects.append(
+                SummaryEffect("halt", fact.interval, fact.line, scope=scope)
+            )
+        for name_node, fact in phases.aggregate_writes:
+            summary.effects.append(SummaryEffect(
+                "aggregate_write", fact.interval, fact.line,
+                scope=scope, agg_name_node=name_node,
+            ))
+        for name_node, fact in phases.aggregate_reads:
+            summary.effects.append(SummaryEffect(
+                "aggregate_read", fact.interval, fact.line,
+                scope=scope, agg_name_node=name_node,
+            ))
+        for fact in phases.message_reads:
+            summary.effects.append(SummaryEffect(
+                "message_read", fact.interval, fact.line, scope=scope,
+            ))
+        summary.reads_messages = bool(phases.message_reads)
+        return summary
+
+    def _syntactic_effects(self, summary, scope):
+        """Effects with unknown stamps when the callee's dataflow failed."""
+        for call in scope.ctx_calls(
+            "send_message", "send_message_to_all_neighbors"
+        ):
+            from repro.analysis.dataflow.phases import send_payload
+
+            summary.effects.append(SummaryEffect(
+                "send", None, call.line,
+                scope=scope, payload=send_payload(call.node, call.target),
+            ))
+        for call in scope.ctx_calls("vote_to_halt"):
+            summary.effects.append(
+                SummaryEffect("halt", None, call.line, scope=scope)
+            )
+        for call in scope.ctx_calls("aggregate"):
+            summary.effects.append(SummaryEffect(
+                "aggregate_write", None, call.line, scope=scope,
+                agg_name_node=call.node.args[0] if call.node.args else None,
+            ))
+        for call in scope.ctx_calls("aggregated_value"):
+            summary.effects.append(SummaryEffect(
+                "aggregate_read", None, call.line, scope=scope,
+                agg_name_node=call.node.args[0] if call.node.args else None,
+            ))
+        summary.reads_messages = scope.messages_name is not None
+
+    # -- summary application hooks --------------------------------------------
+
+    def return_interval_for(self, scope, call_node, target):
+        """Interval of a resolvable call's return value, or None.
+
+        Hook for :class:`IntervalAnalysis`: called with the raw AST call
+        node plus its dotted target.
+        """
+        key = self._resolve_target(scope, target)
+        if key is None:
+            return None
+        summary = self.summary(key)
+        if summary is None:
+            return None
+        return summary.return_interval
+
+    def return_kind_for(self, scope, call_node, target=None):
+        from repro.analysis.scopes import dotted_name
+
+        if target is None:
+            target = dotted_name(call_node.func)
+        if target is None:
+            return None
+        key = self._resolve_target(scope, target)
+        if key is None:
+            return None
+        summary = self.summary(key)
+        if summary is None:
+            return None
+        return summary.return_kind
+
+    def _resolve_target(self, scope, target):
+        if target is None:
+            return None
+        if "." in target:
+            owner, _, meth = target.rpartition(".")
+            if owner == scope.self_name and meth in self.context.scopes:
+                return ("method", meth)
+            return None
+        if target in self.helper_defs:
+            return ("helper", target)
+        return None
+
+    # -- cache-key support ----------------------------------------------------
+
+    def helper_source_text(self):
+        """Concatenated source of every module helper the class can call.
+
+        Folded into the engine's report-cache key: the MRO class sources
+        alone miss edits to module-level helpers, which would otherwise
+        serve stale cached reports.
+        """
+        parts = []
+        for name in sorted(self.reachable_helper_names()):
+            node, _filename = self.helper_defs[name]
+            try:
+                parts.append(ast.unparse(node))
+            except Exception:  # pragma: no cover - unparse is total on 3.9+
+                parts.append(ast.dump(node))
+        return "\n".join(parts)
+
+    # -- rendering ------------------------------------------------------------
+
+    def explain(self):
+        """Call graph + per-callee summaries (``--explain-cfg``)."""
+        lines = [f"call graph for {self.context.class_name}:"]
+        edges = self.edges()
+        reachable = self.reachable()
+        callee_keys = set()
+        any_edge = False
+        for caller in sorted(edges):
+            callees = edges[caller]
+            if not callees:
+                continue
+            any_edge = True
+            rendered = []
+            for callee, call in callees:
+                mark = "" if callee in reachable else " (unreachable)"
+                how = "ref" if call is None else f"line {call.line}"
+                rendered.append(f"{_key_name(callee)} [{how}]{mark}")
+                callee_keys.add(callee)
+            lines.append(
+                f"  {_key_name(caller)} -> " + ", ".join(rendered)
+            )
+        if not any_edge:
+            lines.append("  (no resolvable calls)")
+        if self._dynamic:
+            lines.append(
+                "  dynamic dispatch via getattr(self, ...): every method "
+                "treated as reachable"
+            )
+        for key in sorted(callee_keys):
+            summary = self.summary(key)
+            if summary is None:
+                continue
+            lines.append(f"  summary {_key_name(key)}:")
+            lines.append(
+                f"    returns: kind={summary.return_kind or '?'} "
+                f"interval={summary.return_interval!r}"
+            )
+            for eff in summary.effects:
+                stamp = (
+                    f"superstep in {eff.interval!r}"
+                    if eff.interval is not None else "unknown stamp"
+                )
+                lines.append(f"    {eff.kind} @ line {eff.line}: {stamp}")
+            if not summary.complete:
+                lines.append("    (truncated: cycle or failed dataflow)")
+        return "\n".join(lines)
+
+
+def _key_name(key):
+    kind, name = key
+    return f"self.{name}" if kind == "method" else name
+
+
+def _own_returns(func_node):
+    """Every ``return`` in ``func_node``'s own body (nested defs skipped)."""
+    out = []
+    stack = list(func_node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                   ast.ClassDef)
+        ):
+            continue
+        if isinstance(node, ast.Return):
+            out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _always_returns(body):
+    """True when control provably cannot fall off the end of ``body``."""
+    if not body:
+        return False
+    last = body[-1]
+    if isinstance(last, (ast.Return, ast.Raise)):
+        return True
+    if isinstance(last, ast.If):
+        return (
+            bool(last.orelse)
+            and _always_returns(last.body)
+            and _always_returns(last.orelse)
+        )
+    if isinstance(last, ast.While):
+        test = last.test
+        return (
+            isinstance(test, ast.Constant)
+            and bool(test.value)
+            and not last.orelse
+            and not any(
+                isinstance(n, ast.Break) for n in ast.walk(last)
+            )
+        )
+    return False

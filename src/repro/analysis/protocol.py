@@ -1,0 +1,688 @@
+"""Message-protocol inference: what a class sends vs. how it consumes.
+
+A vertex program's messages form an implicit wire protocol: every send
+site commits to a payload shape and a delivery superstep (``s + 1``), and
+every consumption site assumes a shape and executes at some superstep.
+The intraprocedural passes already stamp the *where/when* —
+:class:`~repro.analysis.dataflow.phases.PhaseFacts` carries sends (with
+payload expressions, through helpers) and the interval analysis carries
+superstep stamps. This module adds the *what*:
+
+- :class:`SendSite` — payload kind (via ``_typekinds`` plus callee
+  return-kind summaries) and tuple arity, with the delivery interval;
+- :class:`ReceiveSite` — how the inbox is consumed: an arithmetic fold
+  (``sum``), a comparison fold (``min``/``max``), iteration with tuple
+  unpacking of some arity, per-element arithmetic/subscripts, a length
+  or presence test;
+- aggregator write/read sites with resolved names.
+
+:meth:`ProtocolTable.conflicts` joins every send against every receive
+it can reach (delivery interval intersects the receive's interval) and
+reports shape mismatches — ``sum(messages)`` over tuple payloads, tuple
+unpacking of the wrong arity, subscripting a float — for GL022.
+:meth:`ProtocolTable.phase_gaps` finds sends whose delivery lands
+*between* the phases that read (GL023: silently dropped messages), and
+:meth:`ProtocolTable.aggregator_hazards` finds aggregators read strictly
+before their first barrier-visible write (GL024).
+
+Receives found inside helpers are stamped in the callee frame and then
+met with a call-chain context interval (``ctx.superstep`` denotes the
+same value in every frame), so a helper only consulted in phase 1 does
+not claim to consume phase-0 deliveries.
+"""
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow.intervals import NON_NEGATIVE
+from repro.analysis.dataflow.phases import delivery_interval, join_intervals
+from repro.analysis.interproc import _ENTRY_METHODS
+from repro.analysis.rules._typekinds import expr_kind, value_kind
+
+#: Whole-inbox folds that add elements together — numeric payloads only.
+_FOLD_ARITH = {"sum", "fsum"}
+#: Whole-inbox folds that only compare elements — any orderable payload.
+_FOLD_COMPARE = {"min", "max", "sorted"}
+#: Whole-inbox uses that never look inside an element.
+_COLLECT = {
+    "len", "list", "tuple", "set", "frozenset", "any", "all", "iter",
+    "enumerate", "reversed", "count",
+}
+#: Per-element coercions that require a numeric element.
+_ELEMENT_NUMERIC = {"float", "int", "abs", "round"}
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod,
+              ast.Pow)
+
+#: Payload kinds a numeric operation chokes on.
+_NON_NUMERIC = {"tuple", "list", "str", "set", "dict", "none", "bytes"}
+
+
+@dataclass
+class SendSite:
+    """One reachable send, as the receiver will experience it."""
+
+    line: int
+    method: str              # scope the *call* sits in (caller for via=)
+    interval: object         # send-time superstep interval
+    delivery: object         # interval the payload arrives in
+    payload: object = None   # payload expression node (callee AST for via=)
+    kind: str = None         # _typekinds kind of the payload, or None
+    arity: int = None        # tuple arity when statically known
+    via: str = None          # summarized callee the send came through
+
+    def describe_payload(self):
+        if self.kind is None:
+            return "unknown payload"
+        if self.kind == "tuple" and self.arity is not None:
+            return f"{self.arity}-tuple payload"
+        return f"{self.kind} payload"
+
+
+@dataclass
+class ReceiveSite:
+    """One way the inbox (or a message element) is consumed."""
+
+    pattern: str             # "fold-arith" | "fold-compare" | "collect" |
+                             # "iter-unpack" | "iter-arith" |
+                             # "iter-subscript" | "iter-compare" |
+                             # "iter-opaque" | "presence" | "positional" |
+                             # "opaque"
+    line: int
+    method: str
+    interval: object         # superstep interval, None when unreachable
+    arity: int = None        # for iter-unpack
+    index: int = None        # for iter-subscript (constant index)
+    other_kind: str = None   # for iter-arith: kind of the other operand
+
+    @property
+    def reachable(self):
+        return self.interval is not None
+
+    def describe(self):
+        if self.pattern == "iter-unpack":
+            return f"unpacks each message into {self.arity} names"
+        if self.pattern == "iter-subscript" and self.index is not None:
+            return f"subscripts each message at [{self.index}]"
+        if self.pattern == "iter-arith":
+            if self.other_kind == "number":
+                return "uses each message in numeric arithmetic"
+            return "uses each message in arithmetic"
+        if self.pattern == "fold-arith":
+            return "sums the whole inbox"
+        if self.pattern == "fold-compare":
+            return "folds the inbox with min/max/sorted"
+        if self.pattern == "collect":
+            return "collects the inbox without reading elements"
+        if self.pattern == "presence":
+            return "tests the inbox for emptiness"
+        if self.pattern == "positional":
+            return "indexes into the inbox"
+        if self.pattern == "iter-compare":
+            return "compares message elements"
+        return "consumes messages opaquely"
+
+
+@dataclass
+class AggSite:
+    """One aggregator touch with a resolved name."""
+
+    name: object             # resolved aggregator name, or None (dynamic)
+    kind: str                # "write" | "read"
+    line: int
+    method: str
+    interval: object
+    via: str = None
+
+
+@dataclass
+class Conflict:
+    """A send whose payload the overlapping receive cannot digest."""
+
+    send: SendSite
+    receive: ReceiveSite
+    proven: bool
+    reason: str              # human sentence fragment
+    exception: str = "TypeError"
+
+
+@dataclass
+class PhaseGap:
+    """A send delivered inside the read window but into a silent phase."""
+
+    send: SendSite
+    read_hull: object        # join of every receive interval
+    proven: bool = True
+
+
+@dataclass
+class AggregatorHazard:
+    """An aggregator whose every read precedes its first visible write."""
+
+    name: object
+    first_read: AggSite
+    reads_hull: object
+    writes_hull: object
+    write_lines: list = field(default_factory=list)
+
+
+class ProtocolTable:
+    """Send/receive/aggregator protocol facts for one ClassContext."""
+
+    def __init__(self, context):
+        self.context = context
+        self.interproc = context.interproc
+        self.sends = []
+        self.receives = []
+        self.agg_sites = []
+        if context.dataflow_enabled:
+            self._build()
+
+    # -- construction --------------------------------------------------------
+
+    def _entry_scopes(self):
+        return [
+            scope
+            for name, scope in self.context.scopes.items()
+            if name in _ENTRY_METHODS
+        ]
+
+    def _build(self):
+        context = self.context
+        for scope in self._entry_scopes():
+            dataflow = context.dataflow(scope)
+            if dataflow is None:
+                continue
+            phases = dataflow.phases
+            for fact in phases.sends:
+                if not fact.reachable:
+                    continue
+                kind, arity = self._payload_shape(fact)
+                self.sends.append(SendSite(
+                    line=fact.line,
+                    method=scope.name,
+                    interval=fact.interval,
+                    delivery=delivery_interval(fact.interval),
+                    payload=fact.payload,
+                    kind=kind,
+                    arity=arity,
+                    via=fact.via,
+                ))
+            for agg_kind, pairs in (
+                ("write", phases.aggregate_writes),
+                ("read", phases.aggregate_reads),
+            ):
+                for name_node, fact in pairs:
+                    if not fact.reachable:
+                        continue
+                    self.agg_sites.append(AggSite(
+                        name=context.resolve_constant(name_node)
+                        if name_node is not None else None,
+                        kind=agg_kind,
+                        line=fact.line,
+                        method=scope.name,
+                        interval=fact.interval,
+                        via=fact.via,
+                    ))
+        self._build_receives()
+
+    def _payload_shape(self, fact):
+        """(kind, tuple_arity) for a send fact's payload expression."""
+        payload = fact.payload
+        if payload is None:
+            return (None, None)
+        context = self.context
+        kind = expr_kind(payload, context)
+        if (
+            kind is None
+            and isinstance(payload, ast.Call)
+            and self.interproc is not None
+            and fact.payload_scope is not None
+        ):
+            kind = self.interproc.return_kind_for(fact.payload_scope, payload)
+        arity = None
+        if isinstance(payload, ast.Tuple):
+            arity = len(payload.elts)
+        else:
+            value = context.resolve_constant(payload)
+            if isinstance(value, tuple):
+                kind = kind or value_kind(value)
+                arity = len(value)
+        return (kind, arity)
+
+    def _build_receives(self):
+        context = self.context
+        caps = self._context_intervals()
+        scopes = []
+        for name, scope in context.scopes.items():
+            scopes.append((("method", name), scope))
+        if self.interproc is not None:
+            for name in self.interproc.reachable_helper_names():
+                scope = self.interproc.helper_scope(name)
+                if scope is not None:
+                    scopes.append((("helper", name), scope))
+        reachable = (
+            self.interproc.reachable() if self.interproc is not None else None
+        )
+        for key, scope in scopes:
+            if scope.messages_name is None and not scope.message_aliases:
+                continue
+            if (
+                reachable is not None
+                and key not in reachable
+                and key[1] not in _ENTRY_METHODS
+            ):
+                continue
+            if key[0] == "method":
+                dataflow = context.dataflow(scope)
+            else:
+                dataflow = self.interproc.helper_dataflow(key[1])
+            cap = None if key[1] in _ENTRY_METHODS else caps.get(key)
+            self.receives.extend(
+                _classify_receives(scope, dataflow, cap, context)
+            )
+
+    def _context_intervals(self):
+        """Callee key -> join of caller-frame intervals at its call sites.
+
+        A small fixpoint over the call graph: ``ctx.superstep`` is the
+        same value in every frame, so a callee only ever runs at the
+        supersteps its (transitive) call sites can execute. Entry
+        methods start at ``[0, +inf]``; joins converge because every
+        contribution is a meet of finitely many site intervals.
+        """
+        interproc = self.interproc
+        if interproc is None:
+            return {}
+        edges = interproc.edges()
+        if getattr(interproc, "_dynamic", False):
+            return {key: NON_NEGATIVE for key in edges}
+        ctx = {
+            ("method", name): NON_NEGATIVE
+            for name in self.context.scopes
+            if name in _ENTRY_METHODS
+        }
+        for _ in range(len(edges) + 2):
+            changed = False
+            for caller, callees in edges.items():
+                base = ctx.get(caller)
+                if base is None:
+                    continue
+                dataflow = None
+                try:
+                    dataflow = interproc._dataflow_for(caller)
+                except Exception:
+                    dataflow = None
+                for callee, call in callees:
+                    if call is None or dataflow is None:
+                        site = base
+                    else:
+                        stamp = dataflow.superstep_at_node(call.node)
+                        if stamp is None:
+                            continue  # dead call site
+                        site = stamp.meet(base)
+                        if site is None:
+                            continue
+                    merged = (
+                        site if callee not in ctx else ctx[callee].join(site)
+                    )
+                    if ctx.get(callee) != merged:
+                        ctx[callee] = merged
+                        changed = True
+            if not changed:
+                break
+        return ctx
+
+    # -- queries -------------------------------------------------------------
+
+    def conflicts(self):
+        """Every (send, receive) pair whose shapes cannot both be right."""
+        out = []
+        for send in self.sends:
+            if send.kind is None:
+                continue
+            for receive in self.receives:
+                if not receive.reachable:
+                    continue
+                if not send.delivery.intersects(receive.interval):
+                    continue
+                conflict = _judge(send, receive)
+                if conflict is not None:
+                    out.append(conflict)
+        return out
+
+    def phase_gaps(self):
+        """Sends delivered inside the read window but into a silent phase.
+
+        GL010 already covers deliveries that miss the read window
+        entirely; a *gap* is subtler — the hull of the receive intervals
+        contains the delivery, but no individual receive does, so the
+        message lands in a superstep whose code never looks at the
+        inbox and is silently discarded.
+        """
+        intervals = [r.interval for r in self.receives if r.reachable]
+        hull = join_intervals(intervals)
+        if hull is None:
+            return []
+        out = []
+        seen_lines = set()
+        for send in self.sends:
+            if send.line in seen_lines:
+                continue
+            delivery = send.delivery
+            if delivery.meet(hull) is None:
+                continue  # GL010's territory
+            if any(delivery.intersects(iv) for iv in intervals):
+                continue
+            seen_lines.add(send.line)
+            out.append(PhaseGap(send=send, read_hull=hull))
+        return out
+
+    def aggregator_hazards(self):
+        """Aggregators whose every read precedes the first visible write.
+
+        A write at superstep ``s`` is barrier-delayed: readable from
+        ``s + 1``. When the hull of read supersteps ends at or before
+        the hull of write supersteps begins, every read sees only the
+        initial value — the writes are dead as far as the reads are
+        concerned.
+        """
+        by_name = {}
+        for site in self.agg_sites:
+            if site.name is None:
+                return []  # a dynamic name could alias anything
+            by_name.setdefault(site.name, []).append(site)
+        out = []
+        for name, sites in sorted(by_name.items(), key=lambda kv: str(kv[0])):
+            writes = [s for s in sites if s.kind == "write"]
+            reads = [s for s in sites if s.kind == "read"]
+            if not writes or not reads:
+                continue  # GL006's territory
+            writes_hull = join_intervals([s.interval for s in writes])
+            reads_hull = join_intervals([s.interval for s in reads])
+            if reads_hull.hi > writes_hull.lo:
+                continue  # some read can land after a visible write
+            first_read = min(reads, key=lambda s: s.line)
+            out.append(AggregatorHazard(
+                name=name,
+                first_read=first_read,
+                reads_hull=reads_hull,
+                writes_hull=writes_hull,
+                write_lines=sorted({s.line for s in writes}),
+            ))
+        return out
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self):
+        """Per-phase protocol table for ``--explain-cfg``."""
+        lines = [f"message protocol for {self.context.class_name}:"]
+        if self.sends:
+            lines.append("  sends:")
+            for send in sorted(self.sends, key=lambda s: s.line):
+                via = f" via {send.via}" if send.via else ""
+                lines.append(
+                    f"    line {send.line} ({send.method}{via}): "
+                    f"{send.describe_payload()}, delivered at superstep in "
+                    f"{send.delivery!r}"
+                )
+        if self.receives:
+            lines.append("  receives:")
+            for receive in sorted(self.receives, key=lambda r: r.line):
+                stamp = (
+                    f"superstep in {receive.interval!r}"
+                    if receive.reachable else "UNREACHABLE"
+                )
+                lines.append(
+                    f"    line {receive.line} ({receive.method}): "
+                    f"{receive.describe()}, {stamp}"
+                )
+        if self.agg_sites:
+            lines.append("  aggregators:")
+            for site in sorted(self.agg_sites, key=lambda s: s.line):
+                lines.append(
+                    f"    line {site.line} ({site.method}): "
+                    f"{site.kind} {site.name!r}, superstep in "
+                    f"{site.interval!r}"
+                )
+        if len(lines) == 1:
+            lines.append("  (no sends, receives, or aggregator traffic)")
+        return "\n".join(lines)
+
+
+# -- conflict judgement --------------------------------------------------------
+
+
+def _judge(send, receive):
+    """A :class:`Conflict` when the payload cannot satisfy the receive."""
+    kind = send.kind
+    pattern = receive.pattern
+    if pattern == "fold-arith":
+        if kind in _NON_NUMERIC:
+            return Conflict(
+                send, receive, proven=True,
+                reason=f"summing a {kind} payload raises",
+            )
+        return None
+    if pattern == "iter-unpack":
+        if kind == "number":
+            return Conflict(
+                send, receive, proven=True,
+                reason="a number payload cannot be unpacked",
+            )
+        if (
+            kind == "tuple"
+            and send.arity is not None
+            and receive.arity is not None
+            and send.arity != receive.arity
+        ):
+            return Conflict(
+                send, receive, proven=True,
+                reason=(
+                    f"a {send.arity}-tuple payload unpacked into "
+                    f"{receive.arity} names"
+                ),
+                exception="ValueError",
+            )
+        return None
+    if pattern == "iter-arith":
+        if kind == "number":
+            return None
+        if kind in _NON_NUMERIC:
+            if receive.other_kind == "number":
+                return Conflict(
+                    send, receive, proven=True,
+                    reason=f"numeric arithmetic on a {kind} payload",
+                )
+            return Conflict(
+                send, receive, proven=False,
+                reason=f"arithmetic on a {kind} payload",
+            )
+        return None
+    if pattern == "iter-subscript":
+        if kind == "number":
+            return Conflict(
+                send, receive, proven=True,
+                reason="subscripting a number payload",
+            )
+        if (
+            kind == "tuple"
+            and send.arity is not None
+            and receive.index is not None
+            and receive.index >= send.arity
+        ):
+            return Conflict(
+                send, receive, proven=True,
+                reason=(
+                    f"index [{receive.index}] out of range for a "
+                    f"{send.arity}-tuple payload"
+                ),
+                exception="IndexError",
+            )
+        return None
+    return None
+
+
+# -- receive classification ----------------------------------------------------
+
+
+def _classify_receives(scope, dataflow, cap, context):
+    """Every :class:`ReceiveSite` in one scope.
+
+    ``cap`` is the call-chain context interval for non-entry scopes (the
+    callee-frame stamps are met with it); None leaves stamps as-is.
+    """
+    collection = scope.messages_name
+    elements = set(scope.message_aliases)
+    parents = {}
+    for parent in ast.walk(scope.node):
+        for child in ast.iter_child_nodes(parent):
+            parents[id(child)] = parent
+
+    sites = []
+    skip_loads = set()
+
+    def stamp(node):
+        if dataflow is None:
+            interval = NON_NEGATIVE
+        else:
+            interval = dataflow.superstep_at_node(node)
+        if interval is not None and cap is not None:
+            interval = interval.meet(cap)
+        return interval
+
+    def add(pattern, node, **extra):
+        sites.append(ReceiveSite(
+            pattern=pattern,
+            line=getattr(node, "lineno", scope.line),
+            method=scope.name,
+            interval=stamp(node),
+            **extra,
+        ))
+
+    # Iteration over the whole inbox: classify the loop target.
+    for node in ast.walk(scope.node):
+        iters = []
+        if isinstance(node, ast.For):
+            iters.append((node.target, node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            iters.extend((g.target, g.iter) for g in node.generators)
+        for target, source in iters:
+            if not (
+                isinstance(source, ast.Name) and source.id == collection
+            ):
+                continue
+            skip_loads.add(id(source))
+            if isinstance(target, ast.Tuple):
+                add("iter-unpack", source, arity=len(target.elts))
+            elif isinstance(target, ast.Name):
+                elements.add(target.id)
+
+    for node in ast.walk(scope.node):
+        if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+            continue
+        if node.id == collection and collection is not None:
+            if id(node) in skip_loads:
+                continue
+            sites.append(_classify_collection_load(
+                node, parents, scope, stamp
+            ))
+        elif node.id in elements:
+            site = _classify_element_load(node, parents, scope, stamp, context)
+            if site is not None:
+                sites.append(site)
+
+    return _dedupe(sites)
+
+
+def _classify_collection_load(node, parents, scope, stamp):
+    parent = parents.get(id(node))
+
+    def site(pattern, **extra):
+        return ReceiveSite(
+            pattern=pattern, line=node.lineno, method=scope.name,
+            interval=stamp(node), **extra,
+        )
+
+    if isinstance(parent, ast.Call) and node in parent.args:
+        target = _call_tail(parent)
+        if target in _FOLD_ARITH:
+            return site("fold-arith")
+        if target in _FOLD_COMPARE:
+            return site("fold-compare")
+        if target in _COLLECT:
+            return site("collect")
+        return site("opaque")
+    if isinstance(parent, ast.Subscript) and parent.value is node:
+        return site("positional")
+    if (
+        (isinstance(parent, (ast.If, ast.While)) and parent.test is node)
+        or (isinstance(parent, ast.IfExp) and parent.test is node)
+        or isinstance(parent, ast.BoolOp)
+        or (
+            isinstance(parent, ast.UnaryOp)
+            and isinstance(parent.op, ast.Not)
+        )
+        or isinstance(parent, ast.Compare)
+    ):
+        return site("presence")
+    return site("opaque")
+
+
+def _classify_element_load(node, parents, scope, stamp, context):
+    parent = parents.get(id(node))
+
+    def site(pattern, **extra):
+        return ReceiveSite(
+            pattern=pattern, line=node.lineno, method=scope.name,
+            interval=stamp(node), **extra,
+        )
+
+    if isinstance(parent, ast.BinOp) and isinstance(parent.op, _ARITH_OPS):
+        other = parent.right if parent.left is node else parent.left
+        return site("iter-arith", other_kind=expr_kind(other, context))
+    if isinstance(parent, ast.AugAssign) and parent.value is node:
+        if isinstance(parent.op, _ARITH_OPS):
+            return site("iter-arith", other_kind=None)
+        return site("iter-opaque")
+    if isinstance(parent, ast.Subscript) and parent.value is node:
+        index = None
+        sl = parent.slice
+        if isinstance(sl, ast.Constant) and isinstance(sl.value, int):
+            index = sl.value
+        return site("iter-subscript", index=index)
+    if isinstance(parent, ast.Compare):
+        return site("iter-compare")
+    if isinstance(parent, ast.Assign) and parent.value is node:
+        targets = parent.targets
+        if len(targets) == 1 and isinstance(targets[0], ast.Tuple):
+            return site("iter-unpack", arity=len(targets[0].elts))
+        return None  # plain rebinding, not a consumption
+    if isinstance(parent, ast.Call) and node in parent.args:
+        if _call_tail(parent) in _ELEMENT_NUMERIC:
+            return site("iter-arith", other_kind="number")
+        return site("iter-opaque")
+    return site("iter-opaque")
+
+
+def _call_tail(call_node):
+    func = call_node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _dedupe(sites):
+    seen = set()
+    out = []
+    for site in sites:
+        key = (site.line, site.pattern, site.arity, site.index,
+               site.other_kind, site.interval is None)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(site)
+    return out

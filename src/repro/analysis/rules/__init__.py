@@ -12,7 +12,10 @@ analyses in :mod:`repro.analysis.dataflow` and can mark findings
 ``proven`` when the property holds on every path. GL016–GL020 are the
 determinism pack (:mod:`repro.analysis.determinism`): order-sensitivity
 hazards whose predictions the runtime permutation sanitizer
-(``repro san``) confirms or refutes.
+(``repro san``) confirms or refutes. GL021–GL025 are the
+interprocedural pack: they consume the per-class call graph and callee
+summaries (:mod:`repro.analysis.interproc`) and the message-protocol
+table (:mod:`repro.analysis.protocol`).
 
 Summary:
 
@@ -39,6 +42,11 @@ GL017     warning   message-position / set-iteration order dependence
 GL018     warning   float accumulation sensitive to delivery order
 GL019     error     compute() mutates state shared across vertices
 GL020     warning   nondeterminism sources GL003's module scan misses
+GL021     error     use-before-def / type conflicts hidden in helpers
+GL022     error     payload shape vs. receiving-phase consumption mismatch
+GL023     error     delivery into a phase that never reads the inbox
+GL024     warning   aggregator proven read-only-before-first-write
+GL025     error     unbounded helper recursion / halt-window starvation
 ========  ========  =====================================================
 """
 
@@ -63,6 +71,11 @@ from repro.analysis.rules import (
     gl018_float_accumulation,
     gl019_shared_mutable_state,
     gl020_unseeded_sources,
+    gl021_helper_dataflow,
+    gl022_protocol_mismatch,
+    gl023_phase_gap,
+    gl024_aggregator_lifecycle,
+    gl025_recursion_progression,
 )
 
 _RULE_MODULES = (
@@ -92,6 +105,11 @@ _DATAFLOW_RULE_MODULES = (
     gl018_float_accumulation,
     gl019_shared_mutable_state,
     gl020_unseeded_sources,
+    gl021_helper_dataflow,
+    gl022_protocol_mismatch,
+    gl023_phase_gap,
+    gl024_aggregator_lifecycle,
+    gl025_recursion_progression,
 )
 
 
@@ -106,7 +124,7 @@ def all_rules(dataflow=True):
 
 
 def dataflow_rules():
-    """Just the dataflow + determinism packs (GL009–GL020)."""
+    """The dataflow + determinism + interprocedural packs (GL009–GL025)."""
     return _DATAFLOW_RULE_MODULES
 
 

@@ -14,9 +14,13 @@ Either way no execution ever reaches a halt: every vertex stays active
 forever and the run terminates only by exhausting ``max_supersteps`` —
 the finding predicts ``nontermination`` evidence and supersedes GL005.
 
-Anything the analysis cannot resolve (a halt reached through a dynamic
-call, an unresolvable helper) counts as reachable, so a ``proven``
-finding here is sound: it never fires on a program that can halt.
+With the interprocedural call graph a third dead-halt shape becomes
+provable: a ``vote_to_halt`` that lives in a method no lifecycle entry
+point ever calls (a leftover ``_finish`` helper). ``getattr(self, ...)``
+dynamic dispatch and bare method references (callbacks) both count as
+calls, so anything the analysis cannot resolve still counts as
+reachable and a ``proven`` finding here stays sound: it never fires on
+a program that can halt.
 """
 
 from repro.analysis.findings import ERROR, PROVEN, Finding
@@ -32,7 +36,12 @@ def check(context):
     if compute is None:
         return
 
-    halt_sites = []  # (scope, call, reachable)
+    interproc = context.interproc
+    called_methods = (
+        interproc.reachable_scope_names() if interproc is not None else None
+    )
+
+    halt_sites = []  # (scope, call, note)
     superstep_bounded = False
     for scope in context.iter_scopes():
         if scope.calls_to("aggregate", "aggregated_value"):
@@ -42,6 +51,15 @@ def check(context):
         halts = scope.calls_to("vote_to_halt")
         if not halts:
             continue
+        if (
+            called_methods is not None
+            and scope.name not in called_methods
+        ):
+            # The whole method is dead: no entry point ever calls it.
+            halt_sites.extend(
+                (scope, call, "never-called method") for call in halts
+            )
+            continue
         dataflow = context.dataflow(scope)
         if dataflow is None:
             return  # cannot prove anything about this method
@@ -49,11 +67,12 @@ def check(context):
             status, _state = dataflow.site_state(call.node)
             if status != "dead":
                 return  # reachable (or unresolvable) halt: no proof
-            halt_sites.append((scope, call))
+            halt_sites.append((scope, call, "dead branch"))
 
     if halt_sites:
         lines = ", ".join(
-            f"line {call.line} ({scope.name})" for scope, call in halt_sites
+            f"line {call.line} ({scope.name}, {note})"
+            for scope, call, note in halt_sites
         )
         message = (
             f"every vote_to_halt() in `{context.class_name}` sits on a "
@@ -62,9 +81,10 @@ def check(context):
         )
         hint = (
             "the guard around vote_to_halt() contradicts itself (check "
-            "the superstep comparison) — no vertex will ever satisfy it"
+            "the superstep comparison), or the halting helper is never "
+            "called from any lifecycle method"
         )
-        anchor_scope, anchor_call = halt_sites[0]
+        anchor_scope, anchor_call, _note = halt_sites[0]
         line = anchor_call.line
         method = anchor_scope.name
         filename = anchor_scope.filename

@@ -1,0 +1,172 @@
+"""GL021: dataflow hazards that only appear through the call graph.
+
+GL009 (use-before-def) runs per method, so a buggy fold moved into a
+module-level helper used to vanish from the report. With the
+interprocedural layer two new hazards become checkable:
+
+- **use-before-def inside a reachable module helper** — the same
+  reaching-definitions proof GL009 makes, run over the helper's own CFG.
+  Parameters enter defined; a local read only the synthetic "undefined"
+  definition reaches is a guaranteed ``UnboundLocalError`` the first
+  time the vertex program calls the helper.
+- **summary-propagated type conflict at a call site** — a callee whose
+  every return is provably non-numeric (a tuple, a list, ``None`` from
+  falling off the end) used directly in numeric arithmetic by the
+  caller. The callee summary is context-insensitive, so the conflict
+  holds for every call: a proven ``TypeError``.
+
+Both variants predict ``exception`` evidence when proven.
+"""
+
+import ast
+
+from repro.analysis.dataflow.reachdef import UNDEF
+from repro.analysis.findings import ERROR, PROVEN, WARNING, Finding
+from repro.analysis.scopes import dotted_name
+
+RULE_ID = "GL021"
+SEVERITY = ERROR
+TITLE = "helper-propagated use-before-def or return-type conflict"
+
+#: Return kinds that explode inside numeric arithmetic.
+_NON_NUMERIC_RETURNS = {"tuple", "list", "str", "set", "dict", "none",
+                        "bytes"}
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod,
+              ast.Pow)
+
+
+def check(context):
+    interproc = context.interproc
+    if interproc is None:
+        return
+    yield from _helper_use_before_def(context, interproc)
+    yield from _return_type_conflicts(context, interproc)
+
+
+def _helper_use_before_def(context, interproc):
+    for name in sorted(interproc.reachable_helper_names()):
+        scope = interproc.helper_scope(name)
+        dataflow = interproc.helper_dataflow(name)
+        if scope is None or dataflow is None:
+            continue
+        seen = set()
+        for name_node, defs in dataflow.reaching.uses_with_states():
+            if UNDEF not in defs:
+                continue
+            key = (name_node.id, name_node.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            proven = defs == frozenset([UNDEF])
+            if proven:
+                message = (
+                    f"helper `{name}` (called from "
+                    f"`{context.class_name}`) reads `{name_node.id}` at "
+                    f"line {name_node.lineno} but no assignment reaches it "
+                    "on any path — the first call raises UnboundLocalError"
+                )
+            else:
+                message = (
+                    f"helper `{name}` (called from "
+                    f"`{context.class_name}`) reads `{name_node.id}` at "
+                    f"line {name_node.lineno} but some path reaches the "
+                    "read without assigning it (bound only in one branch, "
+                    "or only inside a loop that can run zero times)"
+                )
+            yield Finding(
+                rule_id=RULE_ID,
+                severity=ERROR if proven else WARNING,
+                message=message,
+                class_name=context.class_name,
+                method=name,
+                filename=scope.filename,
+                line=name_node.lineno,
+                hint=(
+                    f"initialize `{name_node.id}` before the first read — "
+                    "an empty message list is exactly the path that skips "
+                    "the assignment"
+                ),
+                confidence=PROVEN if proven else "likely",
+                predicts="exception" if proven else "",
+            )
+
+
+def _return_type_conflicts(context, interproc):
+    reachable = interproc.reachable_scope_names()
+    for scope in context.iter_scopes():
+        if scope.name not in reachable:
+            continue
+        dataflow = context.dataflow(scope)
+        parents = _parent_map(scope.node)
+        seen = set()
+        for call in scope.calls:
+            key = interproc.resolve(scope, call)
+            if key is None:
+                continue
+            summary = interproc.summary(key)
+            if summary is None or not summary.complete:
+                continue
+            kind = summary.return_kind
+            if kind not in _NON_NUMERIC_RETURNS:
+                continue
+            parent = parents.get(id(call.node))
+            if not (
+                isinstance(parent, ast.BinOp)
+                and isinstance(parent.op, _ARITH_OPS)
+            ):
+                continue
+            other = (
+                parent.right if parent.left is call.node else parent.left
+            )
+            from repro.analysis.rules._typekinds import expr_kind
+
+            other_kind = expr_kind(other, context)
+            if other_kind is None and interproc is not None and isinstance(
+                other, ast.Call
+            ):
+                other_kind = interproc.return_kind_for(
+                    scope, other, dotted_name(other.func)
+                )
+            if other_kind != "number":
+                continue
+            dedupe = (scope.name, call.line, summary.describe())
+            if dedupe in seen:
+                continue
+            seen.add(dedupe)
+            returns = (
+                "returns None on some path"
+                if kind == "none"
+                else f"always returns a {kind}"
+            )
+            reachable_site = (
+                dataflow is None or dataflow.node_reachable(call.node)
+            )
+            yield Finding(
+                rule_id=RULE_ID,
+                severity=ERROR if reachable_site else WARNING,
+                message=(
+                    f"`{scope.name}` uses the result of "
+                    f"{summary.describe()} in numeric arithmetic at line "
+                    f"{call.line}, but the callee {returns} — this "
+                    "expression raises TypeError when it runs"
+                ),
+                class_name=context.class_name,
+                method=scope.name,
+                filename=scope.filename,
+                line=call.line,
+                hint=(
+                    f"make {summary.describe()} return a number on every "
+                    "path, or unpack its result before doing arithmetic"
+                ),
+                confidence=PROVEN if reachable_site else "likely",
+                predicts="exception" if reachable_site else "",
+            )
+
+
+def _parent_map(root):
+    parents = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            parents[id(child)] = parent
+    return parents

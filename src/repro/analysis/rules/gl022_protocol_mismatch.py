@@ -1,0 +1,62 @@
+"""GL022: a payload shape the receiving phase cannot digest.
+
+The protocol table (:mod:`repro.analysis.protocol`) knows every send's
+payload kind (through helper summaries) and delivery interval, and every
+receive's consumption pattern and superstep interval. When a delivery
+lands inside a receive's window and the shapes contradict — a tuple
+payload folded with ``sum``, a 2-tuple unpacked into three names, a
+float subscripted — the receiving superstep raises.
+
+The join is phase-aware: sending tuples in phase 0 and floats in phase 1
+is fine as long as each phase's consumer matches; GL011 (which ignores
+phases) stays conservative about exactly this pattern, while GL022 can
+*prove* the mismatch because it intersects the intervals first. Proven
+findings predict ``exception`` evidence.
+"""
+
+from repro.analysis.findings import ERROR, PROVEN, WARNING, Finding
+
+RULE_ID = "GL022"
+SEVERITY = ERROR
+TITLE = "message payload mismatches its receiving phase's consumption"
+
+
+def check(context):
+    protocol = context.protocol
+    if protocol is None:
+        return
+    seen = set()
+    for conflict in protocol.conflicts():
+        send, receive = conflict.send, conflict.receive
+        key = (send.line, receive.line, conflict.reason)
+        if key in seen:
+            continue
+        seen.add(key)
+        scope = context.scopes.get(receive.method)
+        via = f" (via {send.via})" if send.via else ""
+        yield Finding(
+            rule_id=RULE_ID,
+            severity=ERROR if conflict.proven else WARNING,
+            message=(
+                f"the {send.describe_payload()} sent at line "
+                f"{send.line}{via} is delivered at superstep in "
+                f"{send.delivery!r}, where line {receive.line} "
+                f"({receive.method}) {receive.describe()} — "
+                f"{conflict.reason}"
+                + (
+                    f" ({conflict.exception})"
+                    if conflict.proven else ""
+                )
+            ),
+            class_name=context.class_name,
+            method=receive.method,
+            filename=scope.filename if scope is not None else context.filename,
+            line=receive.line,
+            hint=(
+                "make the send and the receive agree on one payload shape "
+                "per phase — or gate the consumption on the superstep the "
+                "matching payload actually arrives in"
+            ),
+            confidence=PROVEN if conflict.proven else "likely",
+            predicts="exception" if conflict.proven else "",
+        )

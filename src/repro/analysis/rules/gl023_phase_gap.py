@@ -1,0 +1,55 @@
+"""GL023: a delivery landing in a phase that never reads the inbox.
+
+GL010 catches sends whose delivery misses the read window *entirely*.
+This rule catches the subtler off-by-one: the program does read messages
+both before and after the delivery superstep, but not *at* it — e.g.
+phase 1 relays a value that arrives in phase 2, while the consumer only
+looks at the inbox in phases 1 and 3. Pregel silently discards an
+unread inbox at the superstep barrier, so the payload is lost and the
+consuming phase computes from defaults — wrong values rather than a
+crash, which is why the finding predicts ``vertex_value`` evidence (a
+value constraint catches the default leaking into the vertex state).
+
+Proven: the delivery interval intersects the hull of the read intervals
+(so GL010 stays silent) but intersects no individual read interval.
+Interval stamps are over-approximations, so an empty intersection
+against *every* read is a proof the delivery superstep never consumes.
+"""
+
+from repro.analysis.findings import ERROR, PROVEN, Finding
+
+RULE_ID = "GL023"
+SEVERITY = ERROR
+TITLE = "message delivered into a phase that never reads the inbox"
+
+
+def check(context):
+    protocol = context.protocol
+    if protocol is None:
+        return
+    for gap in protocol.phase_gaps():
+        send = gap.send
+        scope = context.scopes.get(send.method)
+        via = f" (via {send.via})" if send.via else ""
+        yield Finding(
+            rule_id=RULE_ID,
+            severity=SEVERITY,
+            message=(
+                f"the message sent at line {send.line}{via} is delivered "
+                f"at superstep in {send.delivery!r} — inside the program's "
+                f"read window {gap.read_hull!r}, but no inbox read "
+                "executes in that phase; the barrier discards the payload "
+                "and the next reading phase computes from defaults"
+            ),
+            class_name=context.class_name,
+            method=send.method,
+            filename=scope.filename if scope is not None else context.filename,
+            line=send.line,
+            hint=(
+                "shift the send (or the phase guard on the read) by one "
+                "superstep so the delivery lands in a phase that consumes "
+                "it — or add a relay read in the gap phase"
+            ),
+            confidence=PROVEN,
+            predicts="vertex_value",
+        )

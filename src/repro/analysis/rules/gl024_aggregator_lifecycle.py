@@ -1,0 +1,54 @@
+"""GL024: an aggregator read strictly before its first visible write.
+
+Aggregator writes are barrier-delayed: a contribution made at superstep
+``s`` is visible to reads from ``s + 1``. When the interval stamps prove
+that every read of an aggregator executes at or before the superstep of
+its *earliest possible* write, no read can ever observe a contribution —
+the reads all return the aggregator's initial value and the writes are
+dead as far as this class is concerned.
+
+GL006 warns whenever one class reads and writes the same name at all
+(the generic stale-read hazard); this rule is its interval-proven
+upgrade for the degenerate lifecycle and supersedes it at the same
+line. Both phases and helpers count: the facts come through
+:class:`~repro.analysis.dataflow.phases.PhaseFacts`, summaries included.
+"""
+
+from repro.analysis.findings import PROVEN, WARNING, Finding
+
+RULE_ID = "GL024"
+SEVERITY = WARNING
+TITLE = "aggregator proven read-only-before-first-write (initial value)"
+
+
+def check(context):
+    protocol = context.protocol
+    if protocol is None:
+        return
+    for hazard in protocol.aggregator_hazards():
+        first = hazard.first_read
+        scope = context.scopes.get(first.method)
+        write_lines = ", ".join(str(n) for n in hazard.write_lines)
+        yield Finding(
+            rule_id=RULE_ID,
+            severity=SEVERITY,
+            message=(
+                f"aggregator {hazard.name!r} is only read at supersteps in "
+                f"{hazard.reads_hull!r} (first read line {first.line}) but "
+                f"first written at supersteps in {hazard.writes_hull!r} "
+                f"(lines {write_lines}); writes are visible one superstep "
+                "later, so every read returns the initial value and no "
+                "contribution is ever observed"
+            ),
+            class_name=context.class_name,
+            method=first.method,
+            filename=scope.filename if scope is not None else context.filename,
+            line=first.line,
+            hint=(
+                "read the aggregator in a superstep after the first write "
+                "(remember the one-superstep visibility delay), or drop "
+                "the dead writes"
+            ),
+            confidence=PROVEN,
+            predicts="",
+        )

@@ -1,0 +1,145 @@
+"""GL025: unbounded helper recursion / missing phase progression.
+
+Two ways a vertex program fails to make progress, both visible only
+with the call graph:
+
+- **Recursion.** A helper that (transitively) calls itself. Proven when
+  the cycle is direct self-recursion whose call site executes on every
+  path through the function — entering it once guarantees a
+  ``RecursionError`` (predicts ``exception``). Guarded self-recursion
+  and mutual cycles stay ``likely``: the summaries are truncated there,
+  so downstream facts are incomplete and a human should look.
+- **Halt-window starvation.** Every reachable ``vote_to_halt`` is
+  confined to a bounded superstep window (``if ctx.superstep == 3:``),
+  but some send keeps delivering messages past that window — re-waking
+  vertices forever after the last superstep that could halt them, with
+  no aggregator through which a master computation could end the job.
+  The run only stops by exhausting ``max_supersteps`` (predicts
+  ``nontermination``). Kept ``likely``: halting is per-vertex, and the
+  analysis cannot prove every vertex misses the window.
+"""
+
+from repro.analysis.dataflow.intervals import POS_INF
+from repro.analysis.dataflow.phases import join_intervals
+from repro.analysis.findings import ERROR, PROVEN, WARNING, Finding
+from repro.analysis.interproc import _ENTRY_METHODS
+
+RULE_ID = "GL025"
+SEVERITY = ERROR
+TITLE = "unbounded helper recursion or halt-window starvation"
+
+
+def check(context):
+    interproc = context.interproc
+    if interproc is None:
+        return
+    yield from _recursion(context, interproc)
+    yield from _halt_starvation(context, interproc)
+
+
+def _recursion(context, interproc):
+    seen = set()
+    for caller, callee, call, proven in interproc.recursion_sites():
+        key = (caller, callee, call.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        caller_name = _describe(caller)
+        callee_name = _describe(callee)
+        scope = interproc._scope_for(caller)
+        if proven:
+            message = (
+                f"{caller_name} recurses unconditionally at line "
+                f"{call.line}: the call executes on every path through the "
+                "function, so entering it once raises RecursionError"
+            )
+        elif caller == callee:
+            message = (
+                f"{caller_name} recurses at line {call.line}; the analysis "
+                "cannot bound the depth, and summary-based rules see a "
+                "truncated view of its effects"
+            )
+        else:
+            message = (
+                f"{caller_name} and {callee_name} are mutually recursive "
+                f"(cycle closed at line {call.line}); the analysis cannot "
+                "bound the depth"
+            )
+        yield Finding(
+            rule_id=RULE_ID,
+            severity=ERROR if proven else WARNING,
+            message=message,
+            class_name=context.class_name,
+            method=caller[1],
+            filename=scope.filename if scope is not None else context.filename,
+            line=call.line,
+            hint=(
+                "rewrite the helper as a loop, or add a base case that "
+                "provably executes (graph traversals should ride the "
+                "superstep loop, not the Python stack)"
+            ),
+            confidence=PROVEN if proven else "likely",
+            predicts="exception" if proven else "",
+        )
+
+
+def _halt_starvation(context, interproc):
+    halts = []
+    sends = []
+    for name, scope in context.scopes.items():
+        if name not in _ENTRY_METHODS:
+            continue
+        if scope.calls_to("aggregate", "aggregated_value"):
+            return  # a master computation can still end the job
+        dataflow = context.dataflow(scope)
+        if dataflow is None:
+            return
+        phases = dataflow.phases
+        halts.extend(fact for fact in phases.halts if fact.reachable)
+        sends.extend(fact for fact in phases.sends if fact.reachable)
+    if not halts or not sends:
+        return  # no halts at all is GL005/GL014 territory
+    halt_hull = join_intervals([fact.interval for fact in halts])
+    if halt_hull.hi == POS_INF:
+        return  # some halt can fire arbitrarily late
+    late_sends = [
+        fact
+        for fact in sends
+        if fact.interval.shift(1).hi > halt_hull.hi
+    ]
+    if not late_sends:
+        return
+    compute = context.scope("compute")
+    anchor = late_sends[0]
+    send_lines = ", ".join(
+        sorted({str(fact.line) for fact in late_sends}, key=int)
+    )
+    yield Finding(
+        rule_id=RULE_ID,
+        severity=WARNING,
+        message=(
+            f"every reachable vote_to_halt() is confined to supersteps in "
+            f"{halt_hull!r}, but sends at line(s) {send_lines} deliver "
+            "messages past that window — re-woken vertices can never halt "
+            "again and no aggregator lets a master end the job; the run "
+            "only stops by exhausting max_supersteps"
+        ),
+        class_name=context.class_name,
+        method="compute",
+        filename=(
+            compute.filename if compute is not None else context.filename
+        ),
+        line=anchor.line,
+        hint=(
+            "halt in a phase the late deliveries can reach (e.g. an "
+            "unconditional vote_to_halt() after the last working phase), "
+            "or stop sending once the final phase begins"
+        ),
+        confidence="likely",
+        predicts="nontermination",
+    )
+
+
+def _describe(key):
+    kind, name = key
+    return f"`self.{name}`" if kind == "method" else f"helper `{name}`"

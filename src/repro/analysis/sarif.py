@@ -1,0 +1,118 @@
+"""SARIF 2.1.0 export for graft-lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the schema code
+hosts ingest for code-scanning annotations — one ``run`` with a tool
+descriptor, a rule catalog, and a flat result list. This module turns a
+batch of :class:`~repro.analysis.findings.AnalysisReport` objects into
+one SARIF log:
+
+- every rule that fired (plus the full catalog by default) appears under
+  ``tool.driver.rules`` with its title as ``shortDescription``;
+- every finding becomes a ``result`` with ``level`` mapped from the
+  finding severity, a physical location, and graft-specific fields
+  (class, method, confidence, predicted runtime evidence) preserved
+  under ``properties`` so nothing the text renderer shows is lost;
+- file paths are emitted relative to ``base_dir`` when given, since
+  code-scanning UIs match annotations by repo-relative URI.
+
+The export is pure-dict construction — callers ``json.dumps`` the
+returned log (``repro lint --format sarif`` does exactly that).
+"""
+
+import os
+
+from repro.analysis.findings import ERROR, INFO, WARNING
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {ERROR: "error", WARNING: "warning", INFO: "note"}
+
+
+def _rule_descriptor(rule_id, severity, title):
+    return {
+        "id": rule_id,
+        "name": rule_id,
+        "shortDescription": {"text": title},
+        "defaultConfiguration": {"level": _LEVELS.get(severity, "warning")},
+    }
+
+
+def _artifact_uri(filename, base_dir):
+    if not filename or filename.startswith("<"):
+        return filename or "<unknown>"
+    if base_dir:
+        try:
+            rel = os.path.relpath(filename, base_dir)
+        except ValueError:  # different drive on windows
+            return filename
+        if not rel.startswith(".."):
+            return rel.replace(os.sep, "/")
+    return filename
+
+
+def _result(finding, base_dir):
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {
+            "text": f"{finding.class_name}.{finding.method}: "
+                    f"{finding.message}"
+        },
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": _artifact_uri(finding.filename, base_dir),
+                },
+                "region": {"startLine": max(1, int(finding.line or 1))},
+            },
+        }],
+        "properties": {
+            "className": finding.class_name,
+            "method": finding.method,
+            "confidence": finding.confidence,
+        },
+    }
+    if finding.predicts:
+        result["properties"]["predicts"] = finding.predicts
+    if finding.hint:
+        result["properties"]["hint"] = finding.hint
+    return result
+
+
+def sarif_log(reports, base_dir=None, tool_version="0.1"):
+    """One SARIF 2.1.0 log (a plain dict) for a batch of reports.
+
+    ``reports`` is an iterable of :class:`AnalysisReport`. The rule
+    catalog covers every registered rule, so code-scanning UIs can show
+    descriptions even for rules that produced no results this run.
+    """
+    from repro.analysis.rules import rule_catalog
+
+    rules = [
+        _rule_descriptor(rule_id, severity, title)
+        for rule_id, (severity, title) in sorted(rule_catalog().items())
+    ]
+    results = []
+    for report in reports:
+        for finding in report.findings:
+            results.append(_result(finding, base_dir))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "graft-lint",
+                    "informationUri": "https://example.org/graft-lint",
+                    "version": tool_version,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }

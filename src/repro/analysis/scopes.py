@@ -176,6 +176,47 @@ def build_method_scope(func_node, class_name, filename, method_names):
     return scope
 
 
+def build_function_scope(func_node, filename):
+    """Distill a *module-level* helper function into a :class:`MethodScope`.
+
+    Unlike methods there is no ``self`` receiver, so every parameter is a
+    candidate for the conventional roles: a ``ctx`` parameter makes the
+    helper able to send/halt/aggregate, a ``messages`` parameter makes it
+    a message consumer. ``self_name`` is set to a non-identifier sentinel
+    so the attribute bookkeeping can never match.
+    """
+    args = [a.arg for a in func_node.args.args]
+    scope = MethodScope(
+        name=func_node.name,
+        class_name="<module>",
+        node=func_node,
+        filename=filename,
+        self_name="<module-function>",
+    )
+    for arg in args:
+        if arg == "ctx" and scope.ctx_name is None:
+            scope.ctx_name = arg
+        elif arg in ("messages", "msgs") and scope.messages_name is None:
+            scope.messages_name = arg
+        elif arg in VALUE_PARAM_NAMES:
+            scope.value_aliases.add(arg)
+        elif arg in MESSAGE_PARAM_NAMES:
+            scope.message_aliases.add(arg)
+
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Call):
+            target = dotted_name(node.func)
+            if target is not None:
+                scope.calls.append(CallSite(target, node, node.lineno))
+
+    for stmt in iter_statements(func_node.body):
+        if isinstance(stmt, ast.Assign):
+            _track_aliases(scope, stmt)
+        elif isinstance(stmt, ast.For):
+            _track_loop_aliases(scope, stmt)
+    return scope
+
+
 def iter_statements(body):
     """Yield every statement under ``body`` in source order."""
     for stmt in body:

@@ -500,7 +500,15 @@ def cmd_lint(args, out):
 
     reports = [report for _label, target_reports in resolved
                for report in target_reports]
-    if args.format == "json":
+    if args.format == "sarif":
+        import os
+
+        from repro.analysis import sarif_log
+
+        out(json.dumps(
+            sarif_log(reports, base_dir=os.getcwd()), indent=2, default=repr
+        ))
+    elif args.format == "json":
         out(json.dumps([r.to_dict() for r in reports], indent=2, default=repr))
     else:
         for report in reports:
@@ -538,6 +546,12 @@ def _cmd_lint_explain(args, out):
                 continue
             out(flow.explain())
             rendered += 1
+        interproc = context.interproc
+        if interproc is not None:
+            out(interproc.explain())
+        protocol = context.protocol
+        if protocol is not None:
+            out(protocol.render())
     return 0 if rendered else 1
 
 
@@ -866,18 +880,23 @@ def build_parser():
 
     lint_parser = sub.add_parser(
         "lint",
-        help="statically analyze vertex programs (graft-lint, GL001-GL020)",
+        help="statically analyze vertex programs (graft-lint, GL001-GL025)",
     )
     lint_parser.add_argument(
         "targets", nargs="+", metavar="TARGET",
         help="module:Class, a module (all its Computation subclasses), "
              "or a .py file (analyzed without importing)",
     )
-    lint_parser.add_argument("--format", choices=("text", "json"),
+    lint_parser.add_argument("--format", choices=("text", "json", "sarif"),
                              default="text")
     lint_parser.add_argument(
+        "--sarif", dest="format", action="store_const", const="sarif",
+        help="shorthand for --format sarif (SARIF 2.1.0 for code scanning)",
+    )
+    lint_parser.add_argument(
         "--dataflow", dest="dataflow", action="store_true", default=True,
-        help="run the CFG/interval dataflow pack GL009-GL020 (default)",
+        help="run the CFG/interval dataflow, determinism, and "
+             "interprocedural packs GL009-GL025 (default)",
     )
     lint_parser.add_argument(
         "--no-dataflow", dest="dataflow", action="store_false",
@@ -886,7 +905,8 @@ def build_parser():
     lint_parser.add_argument(
         "--explain-cfg", action="store_true",
         help="instead of findings, render each method's control-flow "
-             "graph and interval-stamped phase facts",
+             "graph and interval-stamped phase facts, plus the class "
+             "call graph, callee summaries, and message-protocol table",
     )
 
     trace_parser = sub.add_parser(

@@ -1,0 +1,104 @@
+"""End-to-end: interprocedural protocol forecasts graded on real runs.
+
+The shipped phased-SSSP twins carry the two protocol bugs GL022/GL023
+prove statically: a seed phase that broadcasts tuples into a summing
+gather phase (TypeError at superstep 1), and a relay wave delivered into
+a phase that never reads its inbox (silently dropped, wrong values).
+Each runs under ``debug_run`` and the prediction score must come back
+perfect — every proven forecast observed, every predictable observation
+forecast.
+"""
+
+import pytest
+
+from repro import DebugConfig
+from repro.algorithms import (
+    BuggyPhaseGapBroadcast,
+    BuggyPhasedShortestPaths,
+    PhasedShortestPaths,
+)
+from repro.analysis import PROVEN, GraftLintWarning, analyze_computation
+from repro.datasets import load_dataset
+from repro.graft import debug_run, verify_run_fidelity
+
+
+class NonNegativeValues(DebugConfig):
+    """Distances and wave counts are never negative; a phase-gap default
+    (-1.0) leaking into vertex state violates this."""
+
+    def vertex_value_constraint(self, value, vertex_id, superstep):
+        return not (value < 0)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("web-BS", num_vertices=40, seed=11)
+
+
+class TestCleanPhasedBaseline:
+    def test_clean_twin_lints_clean(self):
+        assert analyze_computation(PhasedShortestPaths).ok
+
+    def test_clean_twin_runs_and_scores_vacuously(self, graph):
+        run = debug_run(
+            lambda: PhasedShortestPaths(source=0), graph,
+            NonNegativeValues(), seed=11,
+        )
+        assert run.result is not None
+        score = run.prediction_score()
+        assert score.precision == 1.0 and score.recall == 1.0
+
+
+class TestPayloadMismatchPrediction:
+    @pytest.fixture
+    def run(self, graph):
+        with pytest.warns(GraftLintWarning):
+            return debug_run(
+                lambda: BuggyPhasedShortestPaths(source=0), graph,
+                NonNegativeValues(), seed=11, lint=True,
+            )
+
+    def test_lint_proved_the_mismatch_before_running(self, run):
+        findings = run.lint_report.by_rule("GL022")
+        assert findings
+        assert all(f.confidence == PROVEN for f in findings)
+        assert all(f.predicts == "exception" for f in findings)
+
+    def test_run_raises_as_forecast(self, run):
+        assert "exception" in run.observed_evidence_kinds()
+
+    def test_prediction_score_is_perfect(self, run):
+        score = run.prediction_score()
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert "exception" in score.matched
+
+    def test_fidelity_report_carries_the_score(self, run):
+        report = verify_run_fidelity(run)
+        assert report.prediction_score is not None
+        assert report.prediction_score.precision == 1.0
+
+
+class TestPhaseGapPrediction:
+    @pytest.fixture
+    def run(self, graph):
+        with pytest.warns(GraftLintWarning):
+            return debug_run(
+                BuggyPhaseGapBroadcast, graph,
+                NonNegativeValues(), seed=11, lint=True,
+            )
+
+    def test_lint_proved_the_gap_before_running(self, run):
+        findings = run.lint_report.by_rule("GL023")
+        assert findings
+        assert all(f.confidence == PROVEN for f in findings)
+        assert all(f.predicts == "vertex_value" for f in findings)
+
+    def test_dropped_wave_violates_the_value_constraint(self, run):
+        assert "vertex_value" in run.observed_evidence_kinds()
+
+    def test_prediction_score_is_perfect(self, run):
+        score = run.prediction_score()
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert "vertex_value" in score.matched

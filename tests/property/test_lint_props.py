@@ -80,10 +80,37 @@ def test_dataflow_never_fails_on_corpus_methods(relpath, source):
         )
 
 
+@pytest.mark.parametrize(
+    "relpath,source", CORPUS, ids=[rel for rel, _ in CORPUS]
+)
+def test_interproc_and_protocol_never_fail_on_corpus(relpath, source):
+    """Call-graph summaries and the protocol table build for every corpus
+    class — helpers included — without raising or recording dataflow
+    errors, and both renderers produce text."""
+    for context in contexts_from_module_source(source, relpath):
+        interproc = context.interproc
+        assert interproc is not None, context.class_name
+        for key in interproc.edges():
+            interproc.summary(key)
+        interproc.recursion_sites()
+        assert isinstance(interproc.explain(), str)
+        protocol = context.protocol
+        assert protocol is not None, context.class_name
+        protocol.conflicts()
+        protocol.phase_gaps()
+        protocol.aggregator_hazards()
+        assert isinstance(protocol.render(), str)
+        assert context.dataflow_errors == {}, (
+            context.class_name,
+            context.dataflow_errors,
+        )
+
+
 def test_dataflow_and_pattern_rules_agree_on_shared_pack():
     """Disabling dataflow never introduces findings the full pack lacks,
-    except the documented GL005/GL007 -> GL014/GL013 upgrades."""
-    upgrades = {"GL005": "GL014", "GL007": "GL013"}
+    except the documented GL005/GL007/GL006 -> GL014/GL013/GL024
+    upgrades."""
+    upgrades = {"GL005": "GL014", "GL007": "GL013", "GL006": "GL024"}
     for relpath, source in CORPUS:
         full = {
             r.class_name: set(r.rule_ids())

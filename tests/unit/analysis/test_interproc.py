@@ -1,0 +1,367 @@
+"""Unit tests for the per-class call graph and callee summaries.
+
+Covers edge construction (calls, bare references, module helpers, the
+dynamic-dispatch valve), reachability from lifecycle entries, cycle
+tolerance (mutual recursion, diamonds), recursion-site proof obligations,
+and the content of bottom-up CalleeSummary effects.
+"""
+
+from repro.analysis import contexts_from_module_source
+from repro.analysis.dataflow.intervals import Interval
+
+PRELUDE = (
+    "from repro.pregel import Computation\n"
+    "from repro.pregel.value_types import Short16\n"
+)
+
+
+def context_of(source, class_name=None):
+    contexts = contexts_from_module_source(PRELUDE + source, "t.py")
+    if class_name is None:
+        assert len(contexts) == 1, [c.class_name for c in contexts]
+        return contexts[0]
+    return next(c for c in contexts if c.class_name == class_name)
+
+
+def interproc_of(source, class_name=None):
+    context = context_of(source, class_name)
+    interproc = context.interproc
+    assert interproc is not None, context.dataflow_errors
+    return interproc
+
+
+class TestCallGraphEdges:
+    def test_self_method_call_is_an_edge(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._relax(ctx)\n"
+            "    def _relax(self, ctx):\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        callees = ip.edges()[("method", "compute")]
+        assert [(key, call is not None) for key, call in callees] == [
+            (("method", "_relax"), True)
+        ]
+
+    def test_module_helper_call_is_an_edge(self):
+        ip = interproc_of(
+            "def fold(messages):\n"
+            "    return sum(messages)\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(fold(messages))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        keys = [key for key, _ in ip.edges()[("method", "compute")]]
+        assert ("helper", "fold") in keys
+
+    def test_bare_reference_is_an_edge_without_a_call_site(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        picker = self._pick\n"
+            "        ctx.set_value(picker(messages))\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _pick(self, messages):\n"
+            "        return min(messages, default=0)\n"
+        )
+        callees = ip.edges()[("method", "compute")]
+        assert (("method", "_pick"), None) in [
+            (key, call) for key, call in callees
+        ]
+        assert ("method", "_pick") in ip.reachable()
+
+    def test_unknown_targets_resolve_to_none(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n"
+            "        other.thing()\n"
+        )
+        assert ip.edges()[("method", "compute")] == []
+
+
+class TestReachability:
+    SOURCE = (
+        "class C(Computation):\n"
+        "    def compute(self, ctx, messages):\n"
+        "        self._used(ctx)\n"
+        "    def _used(self, ctx):\n"
+        "        ctx.vote_to_halt()\n"
+        "    def _dead(self, ctx):\n"
+        "        ctx.send_message(0, 1)\n"
+    )
+
+    def test_called_methods_are_reachable_dead_ones_are_not(self):
+        ip = interproc_of(self.SOURCE)
+        assert ip.reachable_scope_names() >= {"compute", "_used"}
+        assert "_dead" not in ip.reachable_scope_names()
+
+    def test_dynamic_dispatch_makes_everything_reachable(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        getattr(self, 'phase_' + str(ctx.superstep % 2))(ctx)\n"
+            "    def phase_0(self, ctx):\n"
+            "        ctx.send_message_to_all_neighbors(1.0)\n"
+            "    def phase_1(self, ctx):\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert ip.reachable_scope_names() >= {"compute", "phase_0", "phase_1"}
+
+    def test_transitive_helper_chain_is_reachable(self):
+        ip = interproc_of(
+            "def inner(x):\n"
+            "    return x + 1\n"
+            "def outer(x):\n"
+            "    return inner(x) * 2\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(outer(ctx.superstep))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert ip.reachable_helper_names() == {"inner", "outer"}
+
+
+class TestSummaries:
+    def test_send_effect_carries_callee_frame_interval(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            self._seed(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _seed(self, ctx):\n"
+            "        ctx.send_message_to_all_neighbors(0.0)\n"
+        )
+        summary = ip.summary(("method", "_seed"))
+        assert summary is not None and summary.complete
+        sends = [e for e in summary.effects if e.kind == "send"]
+        assert len(sends) == 1
+        # The callee's own frame knows nothing beyond superstep >= 0;
+        # the caller meets this with the [0, 0] call-site interval.
+        assert sends[0].interval is None or sends[0].interval.contains(0)
+
+    def test_halt_effect_is_summarized(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._finish(ctx)\n"
+            "    def _finish(self, ctx):\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        summary = ip.summary(("method", "_finish"))
+        assert any(e.kind == "halt" for e in summary.effects)
+
+    def test_return_kind_and_interval_of_constant_helper(self):
+        ip = interproc_of(
+            "def forty():\n"
+            "    return 40000\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(forty())\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        summary = ip.summary(("helper", "forty"))
+        assert summary.return_kind == "number"
+        assert summary.return_interval == Interval(40000, 40000)
+
+    def test_tuple_returning_helper_has_tuple_kind(self):
+        ip = interproc_of(
+            "def pair(a, b):\n"
+            "    return (a, b)\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(pair(1, 2))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert ip.summary(("helper", "pair")).return_kind == "tuple"
+
+    def test_fall_off_the_end_widens_the_return_kind(self):
+        ip = interproc_of(
+            "def maybe(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(maybe(ctx.superstep))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        # One branch returns a number, the other falls off and returns
+        # None — the kind must not claim "number" for every call.
+        assert ip.summary(("helper", "maybe")).return_kind != "number"
+
+    def test_reads_messages_flag(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(self._fold(messages))\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _fold(self, messages):\n"
+            "        return sum(messages)\n"
+        )
+        assert ip.summary(("method", "_fold")).reads_messages
+
+    def test_effects_are_transitive_through_nested_helpers(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._outer(ctx)\n"
+            "    def _outer(self, ctx):\n"
+            "        self._inner(ctx)\n"
+            "    def _inner(self, ctx):\n"
+            "        ctx.send_message_to_all_neighbors(1.0)\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        kinds = {e.kind for e in ip.summary(("method", "_outer")).effects}
+        assert "send" in kinds and "halt" in kinds
+
+
+class TestCyclesAndDiamonds:
+    def test_mutual_recursion_does_not_hang_or_raise(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._even(ctx, 4)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _even(self, ctx, n):\n"
+            "        if n:\n"
+            "            self._odd(ctx, n - 1)\n"
+            "    def _odd(self, ctx, n):\n"
+            "        if n:\n"
+            "            self._even(ctx, n - 1)\n"
+        )
+        for key in ip.edges():
+            ip.summary(key)   # must terminate
+        summary = ip.summary(("method", "_even"))
+        assert summary is not None
+
+    def test_summary_returns_none_mid_cycle_only(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _leaf(self, ctx):\n"
+            "        ctx.send_message(0, 1)\n"
+        )
+        assert ip.summary(("method", "_leaf")) is not None
+        assert ip.summary(("method", "missing")) is None
+
+    def test_diamond_call_graph_summarizes_each_node_once(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._left(ctx)\n"
+            "        self._right(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _left(self, ctx):\n"
+            "        self._base(ctx)\n"
+            "    def _right(self, ctx):\n"
+            "        self._base(ctx)\n"
+            "    def _base(self, ctx):\n"
+            "        ctx.send_message_to_all_neighbors(1.0)\n"
+        )
+        left = ip.summary(("method", "_left"))
+        right = ip.summary(("method", "_right"))
+        base = ip.summary(("method", "_base"))
+        assert base.complete
+        # Both arms see the shared base's send effect.
+        assert any(e.kind == "send" for e in left.effects)
+        assert any(e.kind == "send" for e in right.effects)
+        # Memoized: asking again returns the identical object.
+        assert ip.summary(("method", "_base")) is base
+
+
+class TestRecursionSites:
+    def test_unconditional_self_recursion_is_proven(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._spin(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _spin(self, ctx):\n"
+            "        self._spin(ctx)\n"
+        )
+        sites = ip.recursion_sites()
+        assert any(
+            caller == callee == ("method", "_spin") and proven
+            for caller, callee, _call, proven in sites
+        )
+
+    def test_guarded_self_recursion_stays_likely(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._walk(ctx, 3)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _walk(self, ctx, n):\n"
+            "        if n > 0:\n"
+            "            self._walk(ctx, n - 1)\n"
+        )
+        sites = ip.recursion_sites()
+        assert sites and all(not proven for *_rest, proven in sites)
+
+    def test_mutual_recursion_is_reported_unproven(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._ping(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _ping(self, ctx):\n"
+            "        self._pong(ctx)\n"
+            "    def _pong(self, ctx):\n"
+            "        self._ping(ctx)\n"
+        )
+        sites = ip.recursion_sites()
+        assert sites
+        assert all(not proven for *_rest, proven in sites)
+
+    def test_unreachable_recursion_is_ignored(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _dead_spin(self, ctx):\n"
+            "        self._dead_spin(ctx)\n"
+        )
+        assert ip.recursion_sites() == []
+
+    def test_straight_line_code_has_no_recursion_sites(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._relax(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _relax(self, ctx):\n"
+            "        ctx.send_message_to_all_neighbors(1.0)\n"
+        )
+        assert ip.recursion_sites() == []
+
+
+class TestExplain:
+    def test_explain_names_edges_and_summaries(self):
+        ip = interproc_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._relax(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _relax(self, ctx):\n"
+            "        ctx.send_message_to_all_neighbors(1.0)\n"
+        )
+        text = ip.explain()
+        assert "_relax" in text
+        assert "compute" in text
+
+    def test_helper_source_text_is_stable_and_covers_helpers(self):
+        context = context_of(
+            "def fold(messages):\n"
+            "    return sum(messages)\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(fold(messages))\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        text = context.helper_source_text()
+        assert "fold" in text
+        assert text == context.helper_source_text()

@@ -1,0 +1,515 @@
+"""Per-rule cases for the interprocedural pack (GL021-GL025), the
+helper-refactored regressions for the older dataflow rules (GL009,
+GL013, GL014 must keep firing when the buggy code moves into a helper),
+and the report-cache invalidation regression for helper edits."""
+
+import importlib.util
+import linecache
+import os
+import sys
+
+import pytest
+
+from repro.analysis import (
+    ERROR,
+    PROVEN,
+    WARNING,
+    analyze_computation,
+    analyze_module_source,
+)
+from repro.analysis import engine as engine_module
+
+PRELUDE = (
+    "from repro.pregel import Computation\n"
+    "from repro.pregel.value_types import Short16\n"
+)
+
+
+def lint(source, class_name=None):
+    reports = analyze_module_source(PRELUDE + source, "t.py")
+    if class_name is None:
+        assert len(reports) == 1, [r.class_name for r in reports]
+        return reports[0]
+    return next(r for r in reports if r.class_name == class_name)
+
+
+def findings_of(source, rule_id, class_name=None):
+    return lint(source, class_name).by_rule(rule_id)
+
+
+class TestGL021HelperUseBeforeDef:
+    def test_proven_unbound_in_module_helper(self):
+        (finding,) = findings_of(
+            "def fold(messages):\n"
+            "    total = acc + 1\n"
+            "    acc = 0\n"
+            "    return total\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(fold(messages))\n"
+            "        ctx.vote_to_halt()\n",
+            "GL021",
+        )
+        assert finding.severity == ERROR
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "exception"
+        assert finding.method == "fold"
+        assert "UnboundLocalError" in finding.message
+
+    def test_loop_bound_accumulator_is_likely(self):
+        findings = findings_of(
+            "def fold(messages):\n"
+            "    for m in messages:\n"
+            "        acc = acc + m\n"
+            "    return acc\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(fold(messages))\n"
+            "        ctx.vote_to_halt()\n",
+            "GL021",
+        )
+        assert findings
+        assert all(f.severity == WARNING for f in findings)
+        assert all(f.confidence != PROVEN for f in findings)
+
+    def test_unreachable_helper_is_silent(self):
+        assert findings_of(
+            "def fold(messages):\n"
+            "    return acc\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n",
+            "GL021",
+        ) == []
+
+    def test_clean_helper_is_silent(self):
+        assert findings_of(
+            "def fold(messages):\n"
+            "    acc = 0\n"
+            "    for m in messages:\n"
+            "        acc = acc + m\n"
+            "    return acc\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(fold(messages))\n"
+            "        ctx.vote_to_halt()\n",
+            "GL021",
+        ) == []
+
+
+class TestGL021ReturnTypeConflict:
+    def test_tuple_returning_helper_in_arithmetic_is_proven(self):
+        (finding,) = findings_of(
+            "def pair():\n"
+            "    return (1, 2)\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(pair() + 1.0)\n"
+            "        ctx.vote_to_halt()\n",
+            "GL021",
+        )
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "exception"
+        assert "TypeError" in finding.message
+
+    def test_side_effect_helper_returning_none_in_arithmetic(self):
+        findings = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(self._bump(ctx) + 1.0)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _bump(self, ctx):\n"
+            "        ctx.send_message_to_all_neighbors(1.0)\n",
+            "GL021",
+        )
+        assert findings
+        assert "None" in findings[0].message
+
+    def test_mixed_numeric_and_fall_off_returns_stay_silent(self):
+        # One path returns a number, the other falls off: the summary
+        # kind widens to unknown, and unknown must not be flagged.
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(self._maybe(ctx) + 1.0)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _maybe(self, ctx):\n"
+            "        if ctx.superstep > 3:\n"
+            "            return 1.0\n",
+            "GL021",
+        ) == []
+
+    def test_numeric_helper_in_arithmetic_is_silent(self):
+        assert findings_of(
+            "def weight():\n"
+            "    return 2.5\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.set_value(weight() + 1.0)\n"
+            "        ctx.vote_to_halt()\n",
+            "GL021",
+        ) == []
+
+
+class TestGL022ProtocolMismatch:
+    MISMATCH = (
+        "class C(Computation):\n"
+        "    def compute(self, ctx, messages):\n"
+        "        if ctx.superstep == 0:\n"
+        "            ctx.send_message_to_all_neighbors((1.0, ctx.vertex_id))\n"
+        "        else:\n"
+        "            ctx.set_value(sum(messages))\n"
+        "            ctx.vote_to_halt()\n"
+    )
+
+    def test_tuple_into_sum_is_a_proven_error(self):
+        (finding,) = findings_of(self.MISMATCH, "GL022")
+        assert finding.severity == ERROR
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "exception"
+        assert "TypeError" in finding.message
+
+    def test_finding_anchors_at_the_receive_line(self):
+        (finding,) = findings_of(self.MISMATCH, "GL022")
+        # PRELUDE is 2 lines; sum(messages) sits on source line 6 + 2.
+        assert finding.line == 8
+
+    def test_send_through_helper_still_conflicts(self):
+        findings = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            self._seed(ctx)\n"
+            "        else:\n"
+            "            ctx.set_value(sum(messages))\n"
+            "            ctx.vote_to_halt()\n"
+            "    def _seed(self, ctx):\n"
+            "        ctx.send_message_to_all_neighbors((1.0, ctx.vertex_id))\n",
+            "GL022",
+        )
+        assert findings and findings[0].confidence == PROVEN
+
+    def test_matching_protocol_is_silent(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message_to_all_neighbors(1.0)\n"
+            "        else:\n"
+            "            ctx.set_value(sum(messages))\n"
+            "            ctx.vote_to_halt()\n",
+            "GL022",
+        ) == []
+
+    def test_disjoint_phases_are_silent(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message_to_all_neighbors((1.0, 2.0))\n"
+            "        elif ctx.superstep == 1:\n"
+            "            pairs = [a + b for a, b in messages]\n"
+            "            ctx.send_message_to_all_neighbors(float(len(pairs)))\n"
+            "        else:\n"
+            "            ctx.set_value(sum(messages))\n"
+            "            ctx.vote_to_halt()\n",
+            "GL022",
+        ) == []
+
+
+class TestGL023PhaseGap:
+    GAP = (
+        "class C(Computation):\n"
+        "    def compute(self, ctx, messages):\n"
+        "        if ctx.superstep == 0:\n"
+        "            ctx.send_message_to_all_neighbors(1.0)\n"
+        "        elif ctx.superstep == 1:\n"
+        "            best = max(messages, default=0.0)\n"
+        "            ctx.send_message_to_all_neighbors(best + 1.0)\n"
+        "        elif ctx.superstep == 3:\n"
+        "            ctx.set_value(min(messages, default=-1.0))\n"
+        "            ctx.vote_to_halt()\n"
+        "        else:\n"
+        "            ctx.vote_to_halt()\n"
+    )
+
+    def test_relay_into_silent_phase_is_proven(self):
+        (finding,) = findings_of(self.GAP, "GL023")
+        assert finding.severity == ERROR
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "vertex_value"
+
+    def test_finding_anchors_at_the_send_line(self):
+        (finding,) = findings_of(self.GAP, "GL023")
+        # The phase-1 relay send sits on source line 7 + 2-line PRELUDE.
+        assert finding.line == 9
+
+    def test_contiguous_phases_are_silent(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message_to_all_neighbors(1.0)\n"
+            "        else:\n"
+            "            ctx.set_value(sum(messages))\n"
+            "            ctx.vote_to_halt()\n",
+            "GL023",
+        ) == []
+
+
+class TestGL024AggregatorLifecycle:
+    def test_read_always_before_first_visible_write(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.set_value(ctx.aggregated_value('total') or 0.0)\n"
+            "        else:\n"
+            "            ctx.aggregate('total', 1.0)\n"
+            "            ctx.vote_to_halt()\n",
+            "GL024",
+        )
+        assert finding.severity == WARNING
+        assert finding.confidence == PROVEN
+        assert "total" in finding.message
+
+    def test_gl024_supersedes_gl006_at_the_read_line(self):
+        report = lint(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.set_value(ctx.aggregated_value('total') or 0.0)\n"
+            "        else:\n"
+            "            ctx.aggregate('total', 1.0)\n"
+            "            ctx.vote_to_halt()\n"
+        )
+        assert report.by_rule("GL024")
+        assert report.by_rule("GL006") == []
+
+    def test_write_then_later_read_is_clean(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.aggregate('total', 1.0)\n"
+            "        else:\n"
+            "            ctx.set_value(ctx.aggregated_value('total'))\n"
+            "            ctx.vote_to_halt()\n",
+            "GL024",
+        ) == []
+
+
+class TestGL025Recursion:
+    def test_unconditional_self_recursion_is_a_proven_error(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._spin(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _spin(self, ctx):\n"
+            "        self._spin(ctx)\n",
+            "GL025",
+        )
+        assert finding.severity == ERROR
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "exception"
+        assert "RecursionError" in finding.message
+
+    def test_guarded_recursion_is_a_likely_warning(self):
+        findings = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._walk(ctx, 3)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _walk(self, ctx, n):\n"
+            "        if n > 0:\n"
+            "            self._walk(ctx, n - 1)\n",
+            "GL025",
+        )
+        assert findings
+        assert all(f.severity == WARNING for f in findings)
+
+    def test_mutual_recursion_names_the_cycle(self):
+        findings = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._ping(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _ping(self, ctx):\n"
+            "        self._pong(ctx)\n"
+            "    def _pong(self, ctx):\n"
+            "        self._ping(ctx)\n",
+            "GL025",
+        )
+        assert findings
+        assert any("mutually recursive" in f.message for f in findings)
+
+    def test_iterative_helpers_are_silent(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._relax(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _relax(self, ctx):\n"
+            "        for _ in range(3):\n"
+            "            ctx.send_message_to_all_neighbors(1.0)\n",
+            "GL025",
+        ) == []
+
+
+class TestGL025HaltStarvation:
+    STARVED = (
+        "class C(Computation):\n"
+        "    def compute(self, ctx, messages):\n"
+        "        if ctx.superstep == 3:\n"
+        "            ctx.vote_to_halt()\n"
+        "        else:\n"
+        "            ctx.send_message_to_all_neighbors(1.0)\n"
+        "        ctx.set_value(float(len(list(messages))))\n"
+    )
+
+    def test_sends_past_the_halt_window_predict_nontermination(self):
+        (finding,) = findings_of(self.STARVED, "GL025")
+        assert finding.severity == WARNING
+        assert finding.predicts == "nontermination"
+        assert finding.method == "compute"
+
+    def test_unbounded_halt_window_is_silent(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep >= 3:\n"
+            "            ctx.vote_to_halt()\n"
+            "        else:\n"
+            "            ctx.send_message_to_all_neighbors(1.0)\n",
+            "GL025",
+        ) == []
+
+    def test_an_aggregator_disables_the_check(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 3:\n"
+            "            ctx.vote_to_halt()\n"
+            "        else:\n"
+            "            ctx.send_message_to_all_neighbors(1.0)\n"
+            "        ctx.aggregate('alive', 1)\n",
+            "GL025",
+        ) == []
+
+
+class TestHelperRefactoredRegressions:
+    """Bugs the pre-interprocedural pack proved in-line must stay proven
+    when the buggy expression moves into a helper."""
+
+    def test_gl013_overflow_through_a_helper_payload(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message_to_all_neighbors("
+            "Short16(self._payload()))\n"
+            "        else:\n"
+            "            ctx.set_value(sum(m.value for m in messages))\n"
+            "            ctx.vote_to_halt()\n"
+            "    def _payload(self):\n"
+            "        return 40000\n",
+            "GL013",
+        )
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "message"
+
+    def test_gl013_overflow_through_a_module_helper(self):
+        (finding,) = findings_of(
+            "def payload():\n"
+            "    return 40000\n"
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message_to_all_neighbors("
+            "Short16(payload()))\n"
+            "        else:\n"
+            "            ctx.set_value(sum(m.value for m in messages))\n"
+            "            ctx.vote_to_halt()\n",
+            "GL013",
+        )
+        assert finding.confidence == PROVEN
+
+    def test_gl014_halt_only_in_a_never_called_method(self):
+        (finding,) = findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.send_message(ctx.vertex_id, ctx.superstep)\n"
+            "    def _finish(self, ctx):\n"
+            "        ctx.vote_to_halt()\n",
+            "GL014",
+        )
+        assert finding.confidence == PROVEN
+        assert finding.predicts == "nontermination"
+
+    def test_gl014_halt_in_a_called_helper_is_clean(self):
+        assert findings_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        self._finish(ctx)\n"
+            "    def _finish(self, ctx):\n"
+            "        ctx.vote_to_halt()\n",
+            "GL014",
+        ) == []
+
+
+class TestHelperEditInvalidatesCache:
+    """Regression: the report-cache key folds helper sources, so editing
+    only a module-level helper (class body untouched) must produce a
+    fresh report, not the stale cached one."""
+
+    MODULE = (
+        "from repro.pregel import Computation\n"
+        "from repro.pregel.value_types import Short16\n"
+        "def payload():\n"
+        "    return 3\n"
+        "class P(Computation):\n"
+        "    def compute(self, ctx, messages):\n"
+        "        if ctx.superstep == 0:\n"
+        "            ctx.send_message_to_all_neighbors(Short16(payload()))\n"
+        "        else:\n"
+        "            ctx.set_value(sum(m.value for m in messages))\n"
+        "            ctx.vote_to_halt()\n"
+    )
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        engine_module._REPORT_CACHE.clear()
+        yield
+        engine_module._REPORT_CACHE.clear()
+
+    def test_helper_rewrite_changes_the_report(self, tmp_path):
+        mod_path = tmp_path / "cache_probe_mod.py"
+        mod_path.write_text(self.MODULE, encoding="utf-8")
+        spec = importlib.util.spec_from_file_location(
+            "cache_probe_mod", str(mod_path)
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules["cache_probe_mod"] = module
+        try:
+            spec.loader.exec_module(module)
+            first = analyze_computation(module.P)
+            assert first.by_rule("GL013") == []
+            assert analyze_computation(module.P) is first   # cache hit
+
+            # Edit ONLY the helper; the class body keeps its old digest.
+            rewritten = self.MODULE.replace("return 3", "return 40000")
+            mod_path.write_text(rewritten, encoding="utf-8")
+            stat = os.stat(str(mod_path))
+            os.utime(
+                str(mod_path),
+                ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000),
+            )
+            linecache.checkcache(str(mod_path))
+
+            second = analyze_computation(module.P)
+            assert second is not first
+            (finding,) = second.by_rule("GL013")
+            assert finding.confidence == PROVEN
+        finally:
+            sys.modules.pop("cache_probe_mod", None)

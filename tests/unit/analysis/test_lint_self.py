@@ -23,6 +23,8 @@ BUGGY = {
     "BuggyRandomWalk": "GL007",       # Short16 wrap-around (Scenario 4.2)
     "BuggyGraphColoring": "GL008",    # non-strict <= vs min() (Scenario 4.1)
     "BuggyLabelPropagation": "GL016", # last-wins tie-break (determinism race)
+    "BuggyPhasedShortestPaths": "GL022",  # tuple payload into sum() phase
+    "BuggyPhaseGapBroadcast": "GL023",    # delivery into a silent phase
 }
 
 

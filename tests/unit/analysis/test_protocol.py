@@ -1,0 +1,309 @@
+"""Unit tests for the cross-superstep message-protocol table.
+
+Covers send-site shapes and delivery intervals, receive-pattern
+classification, the payload/consumption conflict matrix, phase-gap
+detection, aggregator write->read lifecycle hazards, and the rendered
+table used by ``--explain-cfg``.
+"""
+
+from repro.analysis import contexts_from_module_source
+from repro.analysis.dataflow.intervals import Interval
+
+PRELUDE = (
+    "from repro.pregel import Computation\n"
+    "from repro.pregel.value_types import Short16\n"
+)
+
+
+def protocol_of(source, class_name=None):
+    contexts = contexts_from_module_source(PRELUDE + source, "t.py")
+    if class_name is None:
+        assert len(contexts) == 1, [c.class_name for c in contexts]
+        context = contexts[0]
+    else:
+        context = next(c for c in contexts if c.class_name == class_name)
+    protocol = context.protocol
+    assert protocol is not None, context.dataflow_errors
+    return protocol
+
+
+PHASED = (
+    "class C(Computation):\n"
+    "    def compute(self, ctx, messages):\n"
+    "        if ctx.superstep == 0:\n"
+    "            ctx.send_message_to_all_neighbors((1.0, ctx.vertex_id))\n"
+    "        else:\n"
+    "            ctx.set_value(sum(messages))\n"
+    "            ctx.vote_to_halt()\n"
+)
+
+
+class TestSendSites:
+    def test_payload_kind_arity_and_delivery(self):
+        protocol = protocol_of(PHASED)
+        (send,) = protocol.sends
+        assert send.kind == "tuple"
+        assert send.arity == 2
+        assert send.interval == Interval(0, 0)
+        assert send.delivery == Interval(1, 1)
+
+    def test_send_through_helper_carries_via_tag(self):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            self._seed(ctx)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _seed(self, ctx):\n"
+            "        ctx.send_message_to_all_neighbors(0.0)\n"
+        )
+        (send,) = protocol.sends
+        assert send.via and "_seed" in send.via
+        assert send.kind == "number"
+        assert send.delivery == Interval(1, 1)
+
+    def test_no_messages_means_empty_table(self):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert protocol.sends == []
+        assert "no sends" in protocol.render()
+
+
+class TestReceiveClassification:
+    def cases(self):
+        return [
+            ("ctx.set_value(sum(messages))", "fold-arith"),
+            ("ctx.set_value(min(messages, default=0))", "fold-compare"),
+            ("ctx.set_value(len(list(messages)))", "collect"),
+            ("[a + b for a, b in messages]", "iter-unpack"),
+            ("[m[0] for m in messages]", "iter-subscript"),
+            ("[m + 1 for m in messages]", "iter-arith"),
+            ("ctx.set_value(1 if messages else 0)", "presence"),
+        ]
+
+    def test_patterns(self):
+        for consume, expected in self.cases():
+            protocol = protocol_of(
+                "class C(Computation):\n"
+                "    def compute(self, ctx, messages):\n"
+                f"        {consume}\n"
+                "        ctx.vote_to_halt()\n"
+            )
+            patterns = {r.pattern for r in protocol.receives}
+            assert expected in patterns, (consume, patterns)
+
+    def test_iter_unpack_records_arity(self):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        for a, b, c in messages:\n"
+            "            ctx.set_value(a + b + c)\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        (receive,) = [
+            r for r in protocol.receives if r.pattern == "iter-unpack"
+        ]
+        assert receive.arity == 3
+
+    def test_helper_receive_inherits_call_site_interval(self):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep >= 1:\n"
+            "            self._fold(ctx, messages)\n"
+            "        ctx.vote_to_halt()\n"
+            "    def _fold(self, ctx, messages):\n"
+            "        ctx.set_value(sum(messages))\n"
+        )
+        (receive,) = [
+            r for r in protocol.receives if r.pattern == "fold-arith"
+        ]
+        assert receive.reachable
+        assert receive.interval.lo >= 1
+
+
+class TestConflictMatrix:
+    def conflict_for(self, payload, consume):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            f"            ctx.send_message_to_all_neighbors({payload})\n"
+            "        else:\n"
+            f"            {consume}\n"
+            "            ctx.vote_to_halt()\n"
+        )
+        return protocol.conflicts()
+
+    def test_tuple_into_sum_is_a_proven_type_error(self):
+        (conflict,) = self.conflict_for(
+            "(1.0, ctx.vertex_id)", "ctx.set_value(sum(messages))"
+        )
+        assert conflict.proven
+        assert conflict.exception == "TypeError"
+
+    def test_number_into_unpack_is_proven(self):
+        conflicts = self.conflict_for(
+            "1.0", "total = [a + b for a, b in messages]"
+        )
+        assert any(
+            c.proven and c.exception == "TypeError" for c in conflicts
+        )
+
+    def test_tuple_arity_mismatch_is_a_value_error(self):
+        conflicts = self.conflict_for(
+            "(1.0, 2.0, 3.0)", "total = [a + b for a, b in messages]"
+        )
+        assert any(c.exception == "ValueError" and c.proven for c in conflicts)
+
+    def test_number_into_subscript_is_proven(self):
+        conflicts = self.conflict_for("1.0", "vals = [m[0] for m in messages]")
+        assert any(c.proven for c in conflicts)
+
+    def test_tuple_index_out_of_range_is_an_index_error(self):
+        conflicts = self.conflict_for(
+            "(1.0, 2.0)", "vals = [m[5] for m in messages]"
+        )
+        assert any(c.exception == "IndexError" and c.proven for c in conflicts)
+
+    def test_matching_protocol_has_no_conflicts(self):
+        assert self.conflict_for("1.0", "ctx.set_value(sum(messages))") == []
+        assert self.conflict_for(
+            "(1.0, 2.0)", "total = [a + b for a, b in messages]"
+        ) == []
+
+    def test_disjoint_phases_do_not_conflict(self):
+        # The tuple is delivered in superstep 1 but the sum only runs in
+        # superstep 3+ and a numeric send covers the sum's window.
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message_to_all_neighbors((1.0, 2.0))\n"
+            "        elif ctx.superstep == 1:\n"
+            "            pairs = [a + b for a, b in messages]\n"
+            "            ctx.send_message_to_all_neighbors(float(len(pairs)))\n"
+            "        else:\n"
+            "            ctx.set_value(sum(messages))\n"
+            "            ctx.vote_to_halt()\n"
+        )
+        assert protocol.conflicts() == []
+
+
+class TestPhaseGaps:
+    GAP = (
+        "class C(Computation):\n"
+        "    def compute(self, ctx, messages):\n"
+        "        if ctx.superstep == 0:\n"
+        "            ctx.send_message_to_all_neighbors(1.0)\n"
+        "        elif ctx.superstep == 1:\n"
+        "            best = max(messages, default=0.0)\n"
+        "            ctx.send_message_to_all_neighbors(best + 1.0)\n"
+        "        elif ctx.superstep == 3:\n"
+        "            ctx.set_value(min(messages, default=-1.0))\n"
+        "            ctx.vote_to_halt()\n"
+        "        else:\n"
+        "            ctx.vote_to_halt()\n"
+    )
+
+    def test_relay_into_silent_phase_is_a_gap(self):
+        protocol = protocol_of(self.GAP)
+        gaps = protocol.phase_gaps()
+        assert len(gaps) == 1
+        (gap,) = gaps
+        # The phase-1 relay is delivered in superstep 2; reads happen
+        # only in supersteps 1 and 3.
+        assert gap.send.delivery == Interval(2, 2)
+        assert gap.proven
+
+    def test_contiguous_phases_have_no_gap(self):
+        protocol = protocol_of(PHASED)
+        assert protocol.phase_gaps() == []
+
+    def test_delivery_outside_the_hull_is_not_a_gap(self):
+        # Sends after the last read are GL010's territory, not a gap.
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.set_value(sum(messages))\n"
+            "        if ctx.superstep >= 5:\n"
+            "            ctx.send_message_to_all_neighbors(1.0)\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert protocol.phase_gaps() == []
+
+
+class TestAggregatorHazards:
+    def test_read_always_before_first_visible_write(self):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            total = ctx.aggregated_value('total')\n"
+            "            ctx.set_value(total or 0.0)\n"
+            "        else:\n"
+            "            ctx.aggregate('total', 1.0)\n"
+            "            ctx.vote_to_halt()\n"
+        )
+        (hazard,) = protocol.aggregator_hazards()
+        assert hazard.name == "total"
+        assert hazard.reads_hull == Interval(0, 0)
+        assert hazard.writes_hull.lo >= 1
+
+    def test_write_then_read_next_superstep_is_clean(self):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.aggregate('total', 1.0)\n"
+            "        else:\n"
+            "            ctx.set_value(ctx.aggregated_value('total'))\n"
+            "            ctx.vote_to_halt()\n"
+        )
+        assert protocol.aggregator_hazards() == []
+
+    def test_dynamic_aggregator_name_disables_the_check(self):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        name = 'a' if ctx.superstep % 2 else 'b'\n"
+            "        ctx.set_value(ctx.aggregated_value(name) or 0.0)\n"
+            "        if ctx.superstep > 2:\n"
+            "            ctx.aggregate(name, 1.0)\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert protocol.aggregator_hazards() == []
+
+    def test_write_only_and_read_only_names_are_gl006_territory(self):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        ctx.aggregate('w', 1.0)\n"
+            "        ctx.set_value(ctx.aggregated_value('r') or 0.0)\n"
+            "        ctx.vote_to_halt()\n"
+        )
+        assert protocol.aggregator_hazards() == []
+
+
+class TestRender:
+    def test_render_lists_sends_receives_and_aggregators(self):
+        protocol = protocol_of(
+            "class C(Computation):\n"
+            "    def compute(self, ctx, messages):\n"
+            "        if ctx.superstep == 0:\n"
+            "            ctx.send_message_to_all_neighbors(1.0)\n"
+            "            ctx.aggregate('seen', 1)\n"
+            "        else:\n"
+            "            ctx.set_value(sum(messages))\n"
+            "            ctx.vote_to_halt()\n"
+        )
+        text = protocol.render()
+        assert "sends:" in text
+        assert "receives:" in text
+        assert "aggregators:" in text
+        assert "number payload" in text
+        assert "sums the whole inbox" in text
